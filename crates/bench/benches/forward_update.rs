@@ -1,0 +1,117 @@
+//! Forward-index operations — the atomic in-place attribute update of
+//! Figure 7 and the append path of Figure 8, with and without concurrent
+//! readers (the paper: "no conflict between search and update processes").
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use jdvs_core::forward::ForwardIndex;
+use jdvs_core::ids::ImageId;
+use jdvs_storage::model::{ProductAttributes, ProductId};
+
+fn populated(n: u32) -> ForwardIndex {
+    let fwd = ForwardIndex::new();
+    for i in 0..n {
+        fwd.append(&ProductAttributes::new(
+            ProductId(u64::from(i)),
+            10,
+            999,
+            5,
+            format!("https://img.jd.test/sku/{i}/0.jpg"),
+        ))
+        .expect("append");
+    }
+    fwd
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_index");
+
+    group.throughput(Throughput::Elements(1));
+    let fwd = populated(10_000);
+    group.bench_function("numeric_update", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            fwd.update_numeric(ImageId(black_box(i)), Some(123), Some(456), None).unwrap()
+        })
+    });
+
+    group.bench_function("numeric_read", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            fwd.numeric(ImageId(black_box(i))).unwrap()
+        })
+    });
+
+    group.bench_function("url_update", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            fwd.update_url(ImageId(black_box(i)), "https://img.jd.test/updated.jpg").unwrap()
+        })
+    });
+
+    group.bench_function("attributes_read_full", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            fwd.attributes(ImageId(black_box(i))).unwrap()
+        })
+    });
+
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("append_1k", |b| {
+        b.iter_with_setup(ForwardIndex::new, |fwd| {
+            for i in 0..1_000u32 {
+                fwd.append(&ProductAttributes::new(
+                    ProductId(u64::from(i)),
+                    10,
+                    999,
+                    5,
+                    "https://img.jd.test/x.jpg".to_string(),
+                ))
+                .unwrap();
+            }
+            fwd.len()
+        })
+    });
+
+    // Updates racing 4 reader threads — the "maximum concurrency" claim.
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("numeric_update_vs_4_readers", |b| {
+        let fwd = Arc::new(populated(10_000));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|t| {
+                let fwd = Arc::clone(&fwd);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = t * 1_000u32;
+                    let mut acc = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        i = (i + 1) % 10_000;
+                        acc = acc.wrapping_add(fwd.numeric(ImageId(i)).unwrap().sales);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            fwd.update_numeric(ImageId(black_box(i)), Some(77), None, None).unwrap()
+        });
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            let _ = r.join();
+        }
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

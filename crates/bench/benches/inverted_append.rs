@@ -1,0 +1,70 @@
+//! Inverted-list append throughput — the real-time insertion hot path
+//! (Figure 8), including the expansion protocol (Figure 9) and append
+//! throughput under concurrent scans.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jdvs_core::ids::ImageId;
+use jdvs_core::inverted::InvertedList;
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inverted_append");
+    group.throughput(Throughput::Elements(10_000));
+
+    for background in [true, false] {
+        let label = if background { "background_copy" } else { "inline_copy" };
+        group.bench_with_input(BenchmarkId::new("append_10k", label), &background, |b, &bg| {
+            b.iter(|| {
+                // Small initial capacity so the 10k appends cross several
+                // expansions.
+                let list = InvertedList::new(64, bg);
+                for i in 0..10_000u32 {
+                    list.append(ImageId(black_box(i)));
+                }
+                list.flush();
+                list.len()
+            })
+        });
+    }
+
+    // Appends racing concurrent scans: the paper's claim is that search
+    // and update do not block each other.
+    group.bench_function("append_10k_with_2_readers", |b| {
+        b.iter_with_setup(
+            || {
+                let list = Arc::new(InvertedList::new(64, true));
+                let stop = Arc::new(AtomicBool::new(false));
+                let readers: Vec<_> = (0..2)
+                    .map(|_| {
+                        let list = Arc::clone(&list);
+                        let stop = Arc::clone(&stop);
+                        std::thread::spawn(move || {
+                            let mut acc = 0u64;
+                            while !stop.load(Ordering::Relaxed) {
+                                list.scan(|id| acc = acc.wrapping_add(id.as_u64()));
+                            }
+                            acc
+                        })
+                    })
+                    .collect();
+                (list, stop, readers)
+            },
+            |(list, stop, readers)| {
+                for i in 0..10_000u32 {
+                    list.append(ImageId(black_box(i)));
+                }
+                list.flush();
+                stop.store(true, Ordering::Relaxed);
+                for r in readers {
+                    let _ = r.join();
+                }
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_append);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! K-means training and assignment — the full indexer's classification
+//! step (Section 2.2) and the per-insert cell assignment of the real-time
+//! path (Figure 8).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use jdvs_vector::kmeans::{Kmeans, KmeansConfig};
+use jdvs_vector::rng::Xoshiro256;
+use jdvs_vector::Vector;
+
+fn random_data(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
+    let mut rng = Xoshiro256::seed_from(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.next_gaussian() as f32).collect()).collect()
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    group.sample_size(10);
+    for k in [16usize, 64] {
+        let data = random_data(2_000, 32, 7);
+        group.bench_with_input(BenchmarkId::new("train_2000x32d", k), &k, |b, &k| {
+            b.iter(|| {
+                Kmeans::train(
+                    black_box(&data),
+                    &KmeansConfig { k, max_iters: 10, ..Default::default() },
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("kmeans_assign");
+    let data = random_data(5_000, 64, 9);
+    let model = Kmeans::train(&data, &KmeansConfig { k: 128, max_iters: 10, ..Default::default() });
+    let query = random_data(1, 64, 11).remove(0);
+    group.bench_function("assign_128x64d", |b| {
+        b.iter(|| model.assign(black_box(query.as_slice())))
+    });
+    group.bench_function("assign_multi_8_of_128", |b| {
+        b.iter(|| model.assign_multi(black_box(query.as_slice()), 8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Message-queue throughput — the update path's front door: publishers
+//! append product events, every searcher tail-follows (Section 2.3).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jdvs_storage::MessageQueue;
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue");
+
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("publish_10k", |b| {
+        b.iter_with_setup(MessageQueue::<u64>::new, |q| {
+            for i in 0..10_000u64 {
+                q.publish(black_box(i));
+            }
+            q.len()
+        })
+    });
+
+    group.bench_function("publish_batch_10k", |b| {
+        b.iter_with_setup(MessageQueue::<u64>::new, |q| {
+            q.publish_batch(0..10_000u64);
+            q.len()
+        })
+    });
+
+    // One publisher feeding N tail-following consumers — the paper's
+    // every-searcher-follows-the-queue fan-out.
+    for consumers in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("drain_10k_by_consumers", consumers),
+            &consumers,
+            |b, &n| {
+                b.iter_with_setup(
+                    || {
+                        let q = MessageQueue::<u64>::new();
+                        q.publish_batch(0..10_000u64);
+                        q
+                    },
+                    |q| {
+                        let handles: Vec<_> = (0..n)
+                            .map(|_| {
+                                let mut c = q.consumer();
+                                std::thread::spawn(move || {
+                                    let mut sum = 0u64;
+                                    while let Some(v) = c.poll_now() {
+                                        sum = sum.wrapping_add(v);
+                                    }
+                                    sum
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+                    },
+                )
+            },
+        );
+    }
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("poll_now_hit", |b| {
+        let q = MessageQueue::new();
+        q.publish_batch(0..10_000_000u64);
+        let mut c = q.consumer();
+        b.iter(|| c.poll_now())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

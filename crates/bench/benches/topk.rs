@@ -1,0 +1,53 @@
+//! Top-k selection — every merge level of the hierarchy (searcher scan,
+//! broker merge, blender merge) runs one of these.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jdvs_vector::rng::Xoshiro256;
+use jdvs_vector::topk::TopK;
+
+fn bench_topk(c: &mut Criterion) {
+    let mut rng = Xoshiro256::seed_from(5);
+    let stream: Vec<(u64, f32)> =
+        (0..100_000u64).map(|i| (i, rng.next_f32() * 1_000.0)).collect();
+
+    let mut group = c.benchmark_group("topk");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for k in [10usize, 100, 1_000] {
+        group.bench_with_input(BenchmarkId::new("select_from_100k", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut topk = TopK::new(k);
+                for &(id, d) in black_box(&stream) {
+                    topk.push(id, d);
+                }
+                topk.into_sorted_vec().len()
+            })
+        });
+    }
+
+    // Broker-style merge of 5 partial top-100 lists.
+    let partials: Vec<Vec<(u64, f32)>> = (0..5)
+        .map(|p| {
+            let mut t = TopK::new(100);
+            for &(id, d) in stream.iter().skip(p * 20_000).take(20_000) {
+                t.push(id, d);
+            }
+            t.into_sorted_vec().into_iter().map(|n| (n.id, n.distance)).collect()
+        })
+        .collect();
+    group.throughput(Throughput::Elements(500));
+    group.bench_function("merge_5_partials_of_100", |b| {
+        b.iter(|| {
+            let mut merged = TopK::new(100);
+            for partial in black_box(&partials) {
+                for &(id, d) in partial {
+                    merged.push(id, d);
+                }
+            }
+            merged.into_sorted_vec().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

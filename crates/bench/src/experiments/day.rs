@@ -1,0 +1,252 @@
+//! The production-day experiments: Table 1, Figure 11(a), Figure 11(b).
+//!
+//! One scaled day of catalog updates (Table 1 mix, Figure 11(a) hourly
+//! curve) is replayed through a real-time indexer. Counts give Table 1 and
+//! Fig. 11(a); per-event latency gives Fig. 11(b).
+//!
+//! Latency model for 11(b): the paper's per-update latencies (avg 132 ms,
+//! p90 223 ms, p99 816 ms) are dominated by costs our in-process replay
+//! does not physically pay — message-queue hops, feature-store round trips
+//! and GPU feature extraction for the ~1.5% novel images. We therefore
+//! charge a *virtual* cost per event (log-normal base ~90 ms plus an
+//! extraction surcharge when the reuse check misses) on top of the real
+//! measured apply time, and report the sum. DESIGN.md records this
+//! substitution; the shape target is p99 ≫ p90 > avg with a peak-hour
+//! thickening, which the model preserves.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use jdvs_core::realtime::RealtimeIndexer;
+use jdvs_core::{IndexConfig, VisualIndex};
+use jdvs_features::cost::CostModel;
+use jdvs_features::{CachingExtractor, ExtractorConfig, FeatureExtractor};
+use jdvs_metrics::HourlySeries;
+use jdvs_storage::{FeatureDb, ImageStore};
+use jdvs_vector::rng::Xoshiro256;
+use jdvs_workload::catalog::{Catalog, CatalogConfig};
+use jdvs_workload::events::{DailyPlan, DailyPlanConfig, DayCounts};
+
+use crate::report::ExperimentResult;
+use crate::row;
+
+use super::Ctx;
+
+const DIM: usize = 32;
+
+/// Shared day-replay output.
+pub struct DayRun {
+    /// Counts from the generated plan.
+    pub counts: DayCounts,
+    /// Per-hour counts by kind (update/addition/deletion).
+    pub hourly: [[u64; 3]; 24],
+    /// Peak hour of the plan.
+    pub peak_hour: usize,
+    /// Per-hour synthetic apply-latency series.
+    pub latency: HourlySeries,
+    /// Fresh feature extractions performed.
+    pub extractions: u64,
+    /// Additions served by the reuse path (revalidation, no extraction).
+    pub reuses: u64,
+    /// Wall-clock of the replay itself.
+    pub wall: std::time::Duration,
+}
+
+/// Builds the catalog, generates the day, replays it through a real-time
+/// indexer, and measures.
+pub fn run_day(ctx: &Ctx) -> DayRun {
+    let total_events = ctx.scaled(20_000, 500);
+    let num_products = total_events.max(1_000);
+    let images = Arc::new(ImageStore::with_blob_len(64));
+    let feature_db = Arc::new(FeatureDb::new());
+    let extractor = Arc::new(CachingExtractor::new(
+        FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+        CostModel::free(),
+    ));
+    let mut catalog = Catalog::generate(&CatalogConfig {
+        num_products,
+        num_clusters: 100,
+        ..Default::default()
+    });
+    catalog.materialize(&images);
+
+    // Bootstrap: extract features for a training sample, build the index,
+    // bulk-load the catalog (the weekly full index's output), then delist
+    // the plan's pre-delisted slice so re-listings exercise revalidation.
+    let mut training = Vec::new();
+    for product in catalog.products().iter().take(2_000) {
+        for attrs in product.image_attributes() {
+            let (f, _) = extractor.features_for(&attrs, &images, &feature_db);
+            training.push(f.expect("materialized image"));
+        }
+    }
+    let index = Arc::new(VisualIndex::bootstrap(
+        IndexConfig { dim: DIM, num_lists: 64, initial_list_capacity: 64, ..Default::default() },
+        &training,
+    ));
+    let indexer = RealtimeIndexer::for_index(
+        Arc::clone(&index),
+        Arc::clone(&extractor),
+        Arc::clone(&images),
+        Arc::clone(&feature_db),
+    );
+    for event in catalog.bootstrap_events() {
+        indexer.apply(&event);
+    }
+    index.flush();
+
+    let plan = DailyPlan::generate(
+        &mut catalog,
+        &images,
+        &DailyPlanConfig { total_events, ..Default::default() },
+    );
+    for pid in plan.predelisted() {
+        if let Some(product) = catalog.products().iter().find(|p| p.id == *pid) {
+            indexer.apply(&product.remove_event());
+        }
+    }
+    // Pre-day state set; reset measurement baselines.
+    let extractions_before = extractor.misses();
+
+    // Virtual latency model (see module docs).
+    let base_cost = CostModel::virtual_time(
+        jdvs_features::cost::CostDistribution::LogNormal {
+            median: std::time::Duration::from_millis(90),
+            sigma: 0.85,
+        },
+        7,
+    );
+    let extract_cost = CostModel::virtual_time(
+        jdvs_features::cost::CostDistribution::LogNormal {
+            median: std::time::Duration::from_millis(400),
+            sigma: 0.5,
+        },
+        8,
+    );
+    let mut peak_rng = Xoshiro256::seed_from(99);
+
+    let latency = HourlySeries::new();
+    let mut reuses = 0u64;
+    let t0 = Instant::now();
+    for te in plan.events() {
+        let misses_before = extractor.misses();
+        let start = Instant::now();
+        let report = indexer.apply(&te.event);
+        let real = start.elapsed();
+        reuses += report.revalidated;
+        let extracted = extractor.misses() > misses_before;
+        let mut synthetic = real + base_cost.sample();
+        if extracted {
+            synthetic += extract_cost.sample();
+        }
+        // Peak-hour congestion: the paper's 11(b) latencies thicken around
+        // the rate peak; emulate queueing pressure proportional to the
+        // hour's load.
+        let load = jdvs_workload::events::FIG11A_HOURLY_WEIGHTS[te.hour] / 80.0;
+        if peak_rng.next_bool(load * 0.25) {
+            synthetic += base_cost.sample().mul_f64(load);
+        }
+        latency.record(te.hour, synthetic.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+    index.flush();
+    let wall = t0.elapsed();
+
+    DayRun {
+        counts: plan.counts(),
+        hourly: plan.hourly_counts(),
+        peak_hour: plan.peak_hour(),
+        latency,
+        extractions: extractor.misses() - extractions_before,
+        reuses,
+        wall,
+    }
+}
+
+/// Table 1: number of image updates by type.
+pub fn table1(ctx: &Ctx) -> ExperimentResult {
+    let run = run_day(ctx);
+    let mut r = ExperimentResult::new(
+        "table1",
+        "Number of image updates on the simulated day (scaled)",
+        "Table 1: total 977 M = 315 M updates + 521 M additions (513 M re-listed) + 141 M deletions",
+    );
+    let c = run.counts;
+    let scale_note = c.total as f64 / 977e6;
+    r.push_row(row![
+        "kind" => "total", "count" => c.total,
+        "share_%" => "100.0",
+        "paper_share_%" => "100.0",
+    ]);
+    for (kind, count, paper_share) in [
+        ("attribute_update", c.updates, 315.0 / 977.0),
+        ("image_addition", c.additions, 521.0 / 977.0),
+        ("addition_relisted", c.relists, 513.0 / 977.0),
+        ("image_deletion", c.deletions, 141.0 / 977.0),
+    ] {
+        r.push_row(row![
+            "kind" => kind,
+            "count" => count,
+            "share_%" => format!("{:.1}", 100.0 * count as f64 / c.total as f64),
+            "paper_share_%" => format!("{:.1}", 100.0 * paper_share),
+        ]);
+    }
+    r.note(format!("scale factor vs paper day: {scale_note:.2e}"));
+    r.note(format!(
+        "feature extractions during replay: {} (reuses: {}) — re-listings avoid re-extraction",
+        run.extractions, run.reuses
+    ));
+    r.note(format!("replay wall time: {:?}", run.wall));
+    r
+}
+
+/// Figure 11(a): hourly rate of real-time index updates by type.
+pub fn fig11a(ctx: &Ctx) -> ExperimentResult {
+    let run = run_day(ctx);
+    let mut r = ExperimentResult::new(
+        "fig11a",
+        "Hourly rate of real-time index updates (scaled)",
+        "Figure 11(a): night trough, morning ramp, ~80 M/h peak at 11:00",
+    );
+    for (h, counts) in run.hourly.iter().enumerate() {
+        let total: u64 = counts.iter().sum();
+        r.push_row(row![
+            "hour" => h,
+            "update" => counts[0],
+            "addition" => counts[1],
+            "deletion" => counts[2],
+            "total" => total,
+        ]);
+    }
+    r.note(format!("peak hour: {}:00 (paper: 11:00)", run.peak_hour));
+    r
+}
+
+/// Figure 11(b): per-hour latency of real-time index updates.
+pub fn fig11b(ctx: &Ctx) -> ExperimentResult {
+    let run = run_day(ctx);
+    let mut r = ExperimentResult::new(
+        "fig11b",
+        "Latency of real-time index updates by hour (virtual cost model)",
+        "Figure 11(b): 24h average 132 ms, p90 223 ms, p99 816 ms",
+    );
+    for (h, (mean, p90, p99)) in run.latency.latency_stats().iter().enumerate() {
+        if run.latency.hour_histogram(h).count() == 0 {
+            continue;
+        }
+        r.push_row(row![
+            "hour" => h,
+            "avg_ms" => format!("{:.1}", mean / 1e3),
+            "p90_ms" => format!("{:.1}", *p90 as f64 / 1e3),
+            "p99_ms" => format!("{:.1}", *p99 as f64 / 1e3),
+        ]);
+    }
+    let day = run.latency.day_histogram();
+    r.note(format!(
+        "24h: avg {:.0} ms (paper 132), p90 {:.0} ms (paper 223), p99 {:.0} ms (paper 816)",
+        day.mean_us() / 1e3,
+        day.percentile_us(0.90) as f64 / 1e3,
+        day.percentile_us(0.99) as f64 / 1e3,
+    ));
+    r.note("latencies = measured apply time + virtual queue/extraction costs (see module docs)");
+    r
+}

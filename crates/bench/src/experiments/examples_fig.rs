@@ -1,0 +1,63 @@
+//! Figure 14: qualitative search examples, made quantitative.
+//!
+//! The paper shows three mobile-app screenshots returning the top-6
+//! similar products. Our analogue: three fresh query photos from known
+//! product families; the measurable claim is that results come from the
+//! query's own family (intra-family precision@6).
+
+use std::time::Duration;
+
+use jdvs_workload::catalog::CatalogConfig;
+use jdvs_workload::queries::QueryGenerator;
+use jdvs_workload::scenario::{World, WorldConfig};
+
+use crate::report::ExperimentResult;
+use crate::row;
+
+use super::Ctx;
+
+/// Figure 14 analogue.
+pub fn fig14(ctx: &Ctx) -> ExperimentResult {
+    let world = World::build(WorldConfig {
+        catalog: CatalogConfig {
+            num_products: ctx.scaled(2_000, 200),
+            num_clusters: 50,
+            ..Default::default()
+        },
+        ..WorldConfig::fast_test()
+    });
+    let client = world.client(Duration::from_secs(10));
+    let generator = QueryGenerator::new(world.catalog(), 1414);
+
+    let mut r = ExperimentResult::new(
+        "fig14",
+        "Search examples: top-6 similar products for three query photos",
+        "Figure 14: three mobile searches, each returning 6 visually similar products",
+    );
+    let mut total_hits = 0usize;
+    let mut total = 0usize;
+    for q in 0..3 {
+        let (query, family) = generator.next_query(world.images(), 6);
+        let resp = client.search(query).expect("search");
+        for (rank, hit) in resp.results.iter().enumerate() {
+            let hit_family = world.cluster_of(hit.hit.product_id);
+            let same = hit_family == Some(family);
+            total += 1;
+            total_hits += usize::from(same);
+            r.push_row(row![
+                "query" => q,
+                "rank" => rank + 1,
+                "product" => hit.hit.product_id,
+                "distance" => format!("{:.4}", hit.hit.distance),
+                "query_family" => family,
+                "result_family" => format!("{:?}", hit_family.unwrap_or(u64::MAX)),
+                "same_family" => same,
+            ]);
+        }
+    }
+    r.note(format!(
+        "intra-family precision@6: {:.1}% over 3 queries (paper: qualitative screenshots)",
+        100.0 * total_hits as f64 / total.max(1) as f64
+    ));
+    r
+}

@@ -1,0 +1,166 @@
+//! Experiment result reporting: aligned text tables + JSON dumps.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// One row of an experiment's output table: column name → value.
+pub type Row = Vec<(String, String)>;
+
+/// A finished experiment, ready to print and persist.
+#[derive(Debug, Serialize)]
+pub struct ExperimentResult {
+    /// Short id, e.g. `"fig12a"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper reports for this table/figure.
+    pub paper_reference: String,
+    /// Column-ordered rows.
+    #[serde(skip)]
+    pub rows: Vec<Row>,
+    /// The same rows as JSON objects (serialized form).
+    pub data: Vec<serde_json::Value>,
+    /// Shape checks / caveats worth recording.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result.
+    pub fn new(id: &str, title: &str, paper_reference: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            paper_reference: paper_reference.to_string(),
+            rows: Vec::new(),
+            data: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (also mirrored into the JSON payload).
+    pub fn push_row(&mut self, row: Row) {
+        let mut obj = serde_json::Map::new();
+        for (k, v) in &row {
+            // Store numbers as numbers when they parse, else strings.
+            let val = v
+                .parse::<f64>()
+                .ok()
+                .and_then(serde_json::Number::from_f64)
+                .map(serde_json::Value::Number)
+                .unwrap_or_else(|| serde_json::Value::String(v.clone()));
+            obj.insert(k.clone(), val);
+        }
+        self.data.push(serde_json::Value::Object(obj));
+        self.rows.push(row);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {}\n", self.id, self.title));
+        out.push_str(&format!("   paper: {}\n", self.paper_reference));
+        if let Some(first) = self.rows.first() {
+            let cols: Vec<&String> = first.iter().map(|(k, _)| k).collect();
+            let mut widths: Vec<usize> = cols.iter().map(|c| c.len()).collect();
+            for row in &self.rows {
+                for (i, (_, v)) in row.iter().enumerate() {
+                    if i < widths.len() {
+                        widths[i] = widths[i].max(v.len());
+                    }
+                }
+            }
+            out.push_str("   ");
+            for (c, w) in cols.iter().zip(&widths) {
+                out.push_str(&format!("{c:>w$}  ", w = w));
+            }
+            out.push('\n');
+            for row in &self.rows {
+                out.push_str("   ");
+                for ((_, v), w) in row.iter().zip(&widths) {
+                    out.push_str(&format!("{v:>w$}  ", w = w));
+                }
+                out.push('\n');
+            }
+        }
+        for n in &self.notes {
+            out.push_str(&format!("   note: {n}\n"));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Writes the JSON payload to `dir/<id>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(path)?;
+        let json = serde_json::json!({
+            "id": self.id,
+            "title": self.title,
+            "paper_reference": self.paper_reference,
+            "data": self.data,
+            "notes": self.notes,
+        });
+        writeln!(f, "{}", serde_json::to_string_pretty(&json).expect("serializable"))?;
+        Ok(())
+    }
+}
+
+/// Convenience: builds a row from `(&str, String)` pairs.
+#[macro_export]
+macro_rules! row {
+    ($($k:expr => $v:expr),* $(,)?) => {
+        vec![$(($k.to_string(), $v.to_string())),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = ExperimentResult::new("t1", "Test", "paper says X");
+        r.push_row(row!["threads" => 1, "qps" => 1234.5]);
+        r.push_row(row!["threads" => 32, "qps" => 9.0]);
+        r.note("shape holds");
+        let s = r.render();
+        assert!(s.contains("t1"));
+        assert!(s.contains("threads"));
+        assert!(s.contains("1234.5"));
+        assert!(s.contains("note: shape holds"));
+    }
+
+    #[test]
+    fn json_payload_stores_numbers() {
+        let mut r = ExperimentResult::new("t2", "Test", "ref");
+        r.push_row(row!["x" => 5, "label" => "abc"]);
+        assert_eq!(r.data[0]["x"], serde_json::json!(5.0));
+        assert_eq!(r.data[0]["label"], serde_json::json!("abc"));
+    }
+
+    #[test]
+    fn save_json_writes_file() {
+        let mut r = ExperimentResult::new("t3", "Test", "ref");
+        r.push_row(row!["x" => 1]);
+        let dir = std::env::temp_dir().join("jdvs_bench_test");
+        r.save_json(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("t3.json")).unwrap();
+        assert!(content.contains("\"id\": \"t3\""));
+    }
+}

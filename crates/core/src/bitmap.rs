@@ -1,0 +1,210 @@
+//! The validity bitmap.
+//!
+//! Section 2.1: *"A bitmap is used to indicate if a product or image is
+//! valid or not. When a product is removed from the market, it is marked
+//! invalid and excluded from the indexing and search processes."*
+//!
+//! Deletion in jdvs is **logical**: flipping one bit, visible to all
+//! concurrent searches immediately, with no index restructuring. Physical
+//! cleanup happens at the next weekly full-index build. [`AtomicBitmap`]
+//! packs 64 validity flags per `AtomicU64` word; set/clear/test are single
+//! atomic ops. The word array grows amortized-doubling behind a `RwLock`
+//! spine — readers pay one uncontended read-lock acquisition, writers only
+//! take the write lock on (rare) growth.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A growable, thread-safe bitmap.
+///
+/// # Example
+///
+/// ```
+/// use jdvs_core::bitmap::AtomicBitmap;
+///
+/// let bm = AtomicBitmap::new();
+/// bm.set(100);
+/// assert!(bm.test(100));
+/// assert!(!bm.test(99));
+/// bm.clear(100);
+/// assert!(!bm.test(100));
+/// ```
+#[derive(Debug, Default)]
+pub struct AtomicBitmap {
+    words: RwLock<Vec<AtomicU64>>,
+}
+
+impl AtomicBitmap {
+    /// Creates an empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bitmap pre-sized for at least `bits` flags.
+    pub fn with_capacity(bits: usize) -> Self {
+        let words = bits.div_ceil(64);
+        Self { words: RwLock::new((0..words).map(|_| AtomicU64::new(0)).collect()) }
+    }
+
+    /// Sets bit `index` to 1 (image becomes valid), growing as needed.
+    pub fn set(&self, index: usize) {
+        self.ensure(index);
+        let words = self.words.read();
+        words[index / 64].fetch_or(1 << (index % 64), Ordering::Release);
+    }
+
+    /// Clears bit `index` to 0 (image becomes invalid), growing as needed.
+    pub fn clear(&self, index: usize) {
+        self.ensure(index);
+        let words = self.words.read();
+        words[index / 64].fetch_and(!(1 << (index % 64)), Ordering::Release);
+    }
+
+    /// Writes bit `index` to `value`.
+    pub fn assign(&self, index: usize, value: bool) {
+        if value {
+            self.set(index);
+        } else {
+            self.clear(index);
+        }
+    }
+
+    /// Tests bit `index`; out-of-range bits read as 0 (an image the bitmap
+    /// has never covered is invalid by definition).
+    pub fn test(&self, index: usize) -> bool {
+        let words = self.words.read();
+        match words.get(index / 64) {
+            Some(w) => w.load(Ordering::Acquire) & (1 << (index % 64)) != 0,
+            None => false,
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.read().iter().map(|w| w.load(Ordering::Acquire).count_ones() as usize).sum()
+    }
+
+    /// Current capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.words.read().len() * 64
+    }
+
+    /// Grows the word array (amortized doubling) so `index` is addressable.
+    fn ensure(&self, index: usize) {
+        let needed = index / 64 + 1;
+        if self.words.read().len() >= needed {
+            return;
+        }
+        let mut words = self.words.write();
+        // Re-check under the write lock; another writer may have grown.
+        let target = needed.max(words.len() * 2).max(4);
+        while words.len() < target {
+            words.push(AtomicU64::new(0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fresh_bits_are_clear() {
+        let bm = AtomicBitmap::new();
+        assert!(!bm.test(0));
+        assert!(!bm.test(1_000_000));
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_test_clear_round_trip() {
+        let bm = AtomicBitmap::new();
+        bm.set(5);
+        bm.set(64);
+        bm.set(65);
+        assert!(bm.test(5));
+        assert!(bm.test(64));
+        assert!(bm.test(65));
+        assert!(!bm.test(6));
+        assert_eq!(bm.count_ones(), 3);
+        bm.clear(64);
+        assert!(!bm.test(64));
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    fn assign_maps_to_set_and_clear() {
+        let bm = AtomicBitmap::new();
+        bm.assign(10, true);
+        assert!(bm.test(10));
+        bm.assign(10, false);
+        assert!(!bm.test(10));
+    }
+
+    #[test]
+    fn clear_beyond_capacity_grows_but_stays_zero() {
+        let bm = AtomicBitmap::new();
+        bm.clear(10_000);
+        assert!(!bm.test(10_000));
+        assert!(bm.capacity() > 10_000);
+    }
+
+    #[test]
+    fn with_capacity_presizes() {
+        let bm = AtomicBitmap::with_capacity(1000);
+        assert!(bm.capacity() >= 1000);
+    }
+
+    #[test]
+    fn word_boundaries_are_independent() {
+        let bm = AtomicBitmap::new();
+        bm.set(63);
+        bm.set(64);
+        bm.clear(63);
+        assert!(!bm.test(63));
+        assert!(bm.test(64));
+    }
+
+    #[test]
+    fn concurrent_disjoint_sets_are_lossless() {
+        let bm = Arc::new(AtomicBitmap::new());
+        let handles: Vec<_> = (0..8usize)
+            .map(|t| {
+                let bm = Arc::clone(&bm);
+                std::thread::spawn(move || {
+                    for i in 0..1_000 {
+                        bm.set(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(bm.count_ones(), 8_000);
+        for b in 0..8_000 {
+            assert!(bm.test(b));
+        }
+    }
+
+    #[test]
+    fn concurrent_growth_is_safe() {
+        let bm = Arc::new(AtomicBitmap::new());
+        let handles: Vec<_> = (0..4usize)
+            .map(|t| {
+                let bm = Arc::clone(&bm);
+                std::thread::spawn(move || {
+                    // Each thread forces growth at staggered offsets.
+                    for i in 0..100 {
+                        bm.set(t * 50_000 + i * 97);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(bm.count_ones(), 400);
+    }
+}

@@ -1,0 +1,324 @@
+//! The append-only variable-length attribute buffer.
+//!
+//! Section 2.2: *"The variable length attributes like URL are stored in an
+//! additional buffer, and the offset of the attribute in the buffer is
+//! recorded in the array."* Section 2.3 (update): *"For an attribute with
+//! varying length, the value is added at the end of the buffer and the
+//! offset value is updated in the forward index"* — so an in-place update
+//! never rewrites bytes a reader might be scanning; it appends fresh bytes
+//! and swings one atomic word.
+//!
+//! [`VarBuffer`] implements that contract:
+//!
+//! - storage is a chain of fixed-size chunks of `AtomicU8`; chunks are
+//!   never moved or freed, so references stay valid forever;
+//! - [`VarBuffer::append`] writes the bytes (relaxed stores) and returns a
+//!   [`PackedRef`] — offset and length packed into one `u64` — which the
+//!   caller publishes with a release store into the forward index;
+//! - readers acquire the packed word, then read exactly those bytes.
+//!
+//! A record never straddles a chunk boundary (appends skip to the next
+//! chunk instead), so every read is a single contiguous copy.
+
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use crate::error::IndexError;
+
+/// Chunk size in bytes (1 MiB).
+pub const CHUNK_SIZE: usize = 1 << 20;
+
+/// Maximum record length: 24 bits of the packed word.
+pub const MAX_RECORD_LEN: usize = (1 << 24) - 1;
+
+/// A packed buffer reference: high 40 bits global byte offset, low 24 bits
+/// length. Fits in the single `AtomicU64` cell the forward index swaps on
+/// update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PackedRef(u64);
+
+impl PackedRef {
+    /// The empty record (offset 0, length 0).
+    pub const EMPTY: PackedRef = PackedRef(0);
+
+    fn new(offset: u64, len: usize) -> Self {
+        debug_assert!(len <= MAX_RECORD_LEN);
+        debug_assert!(offset < (1 << 40));
+        Self((offset << 24) | len as u64)
+    }
+
+    /// Reconstructs from the raw word (as read from the forward index).
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw word to store in the forward index.
+    pub fn as_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Global byte offset of the record.
+    pub fn offset(self) -> u64 {
+        self.0 >> 24
+    }
+
+    /// Record length in bytes.
+    pub fn len(self) -> usize {
+        (self.0 & 0xFF_FFFF) as usize
+    }
+
+    /// Returns `true` for zero-length records.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct Chunk {
+    bytes: Box<[AtomicU8]>,
+}
+
+impl Chunk {
+    fn new(size: usize) -> Self {
+        let mut v = Vec::with_capacity(size);
+        v.resize_with(size, || AtomicU8::new(0));
+        Self { bytes: v.into_boxed_slice() }
+    }
+}
+
+/// The append-only buffer; see the module docs.
+///
+/// # Example
+///
+/// ```
+/// use jdvs_core::buffer::VarBuffer;
+///
+/// let buf = VarBuffer::new();
+/// let r = buf.append(b"https://img.jd.com/sku/1.jpg").unwrap();
+/// assert_eq!(buf.read(r), b"https://img.jd.com/sku/1.jpg");
+/// ```
+pub struct VarBuffer {
+    chunks: RwLock<Vec<Arc<Chunk>>>,
+    // Single append cursor; appends are serialized (the real-time indexer
+    // is the only writer per partition), reads are lock-free w.r.t. it.
+    write_pos: Mutex<u64>,
+    chunk_size: usize,
+}
+
+impl std::fmt::Debug for VarBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VarBuffer")
+            .field("chunks", &self.chunks.read().len())
+            .field("bytes_used", &*self.write_pos.lock())
+            .finish()
+    }
+}
+
+impl Default for VarBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VarBuffer {
+    /// Creates a buffer with the default chunk size.
+    pub fn new() -> Self {
+        Self::with_chunk_size(CHUNK_SIZE)
+    }
+
+    /// Creates a buffer with a custom chunk size (tests use small chunks to
+    /// exercise boundary handling cheaply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn with_chunk_size(chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Self {
+            chunks: RwLock::new(Vec::new()),
+            write_pos: Mutex::new(0),
+            chunk_size,
+        }
+    }
+
+    /// Appends `bytes`, returning the reference to publish.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::AttributeTooLarge`] if `bytes` exceeds the
+    /// record limit (or the configured chunk size).
+    pub fn append(&self, bytes: &[u8]) -> Result<PackedRef, IndexError> {
+        let max = MAX_RECORD_LEN.min(self.chunk_size);
+        if bytes.len() > max {
+            return Err(IndexError::AttributeTooLarge { len: bytes.len(), max });
+        }
+        let mut pos = self.write_pos.lock();
+        let chunk_size = self.chunk_size as u64;
+        // Skip to the next chunk if the record would straddle a boundary.
+        let within = *pos % chunk_size;
+        if within + bytes.len() as u64 > chunk_size {
+            *pos += chunk_size - within;
+        }
+        let offset = *pos;
+        let chunk_idx = (offset / chunk_size) as usize;
+        let chunk_off = (offset % chunk_size) as usize;
+        // Grow the chunk chain if needed.
+        {
+            let chunks = self.chunks.read();
+            if chunks.len() <= chunk_idx {
+                drop(chunks);
+                let mut chunks = self.chunks.write();
+                while chunks.len() <= chunk_idx {
+                    chunks.push(Arc::new(Chunk::new(self.chunk_size)));
+                }
+            }
+        }
+        let chunk = Arc::clone(&self.chunks.read()[chunk_idx]);
+        for (i, &b) in bytes.iter().enumerate() {
+            chunk.bytes[chunk_off + i].store(b, Ordering::Relaxed);
+        }
+        *pos = offset + bytes.len() as u64;
+        Ok(PackedRef::new(offset, bytes.len()))
+    }
+
+    /// Reads the bytes behind a reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not reference bytes this buffer has allocated
+    /// (references must come from [`VarBuffer::append`] on this buffer).
+    pub fn read(&self, r: PackedRef) -> Vec<u8> {
+        if r.is_empty() {
+            return Vec::new();
+        }
+        let chunk_idx = (r.offset() / self.chunk_size as u64) as usize;
+        let chunk_off = (r.offset() % self.chunk_size as u64) as usize;
+        let chunks = self.chunks.read();
+        let chunk = Arc::clone(
+            chunks.get(chunk_idx).expect("PackedRef references an unallocated chunk"),
+        );
+        drop(chunks);
+        (0..r.len()).map(|i| chunk.bytes[chunk_off + i].load(Ordering::Relaxed)).collect()
+    }
+
+    /// Reads a reference as UTF-8, replacing invalid sequences.
+    pub fn read_string(&self, r: PackedRef) -> String {
+        String::from_utf8_lossy(&self.read(r)).into_owned()
+    }
+
+    /// Total bytes appended (including boundary padding skips).
+    pub fn bytes_used(&self) -> u64 {
+        *self.write_pos.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn append_read_round_trip() {
+        let buf = VarBuffer::new();
+        let r1 = buf.append(b"hello").unwrap();
+        let r2 = buf.append(b"world!").unwrap();
+        assert_eq!(buf.read(r1), b"hello");
+        assert_eq!(buf.read(r2), b"world!");
+        assert_eq!(buf.read_string(r1), "hello");
+    }
+
+    #[test]
+    fn empty_record_reads_empty() {
+        let buf = VarBuffer::new();
+        let r = buf.append(b"").unwrap();
+        assert!(r.is_empty());
+        assert!(buf.read(r).is_empty());
+        assert!(buf.read(PackedRef::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn records_never_straddle_chunks() {
+        let buf = VarBuffer::with_chunk_size(16);
+        let r1 = buf.append(b"0123456789").unwrap(); // 10 bytes in chunk 0
+        let r2 = buf.append(b"abcdefghij").unwrap(); // won't fit: starts chunk 1
+        assert_eq!(buf.read(r1), b"0123456789");
+        assert_eq!(buf.read(r2), b"abcdefghij");
+        assert_eq!(r2.offset(), 16, "second record skips to the chunk boundary");
+    }
+
+    #[test]
+    fn oversized_record_is_rejected() {
+        let buf = VarBuffer::with_chunk_size(8);
+        let err = buf.append(b"123456789").unwrap_err();
+        assert!(matches!(err, IndexError::AttributeTooLarge { len: 9, max: 8 }));
+    }
+
+    #[test]
+    fn packed_ref_round_trips_raw() {
+        let r = PackedRef::new(123456, 789);
+        let r2 = PackedRef::from_raw(r.as_raw());
+        assert_eq!(r, r2);
+        assert_eq!(r2.offset(), 123456);
+        assert_eq!(r2.len(), 789);
+    }
+
+    #[test]
+    fn update_appends_new_value_old_still_readable() {
+        // The paper's update protocol: old bytes remain valid while any
+        // reader still holds the old reference.
+        let buf = VarBuffer::new();
+        let old = buf.append(b"price-9.99").unwrap();
+        let new = buf.append(b"price-4.99").unwrap();
+        assert_eq!(buf.read(old), b"price-9.99");
+        assert_eq!(buf.read(new), b"price-4.99");
+    }
+
+    #[test]
+    fn many_records_across_many_chunks() {
+        let buf = VarBuffer::with_chunk_size(64);
+        let refs: Vec<(PackedRef, String)> = (0..1_000)
+            .map(|i| {
+                let s = format!("record-{i}");
+                (buf.append(s.as_bytes()).unwrap(), s)
+            })
+            .collect();
+        for (r, expect) in refs {
+            assert_eq!(buf.read_string(r), expect);
+        }
+        assert!(buf.bytes_used() > 0);
+    }
+
+    #[test]
+    fn concurrent_readers_during_appends() {
+        let buf = StdArc::new(VarBuffer::with_chunk_size(256));
+        let r0 = buf.append(b"stable-record").unwrap();
+        let stop = StdArc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let buf = StdArc::clone(&buf);
+                let stop = StdArc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        assert_eq!(buf.read(r0), b"stable-record");
+                    }
+                })
+            })
+            .collect();
+        for i in 0..5_000 {
+            let s = format!("r{i}");
+            let r = buf.append(s.as_bytes()).unwrap();
+            assert_eq!(buf.read(r), s.as_bytes());
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in readers {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated chunk")]
+    fn bogus_ref_panics() {
+        let buf = VarBuffer::new();
+        buf.read(PackedRef::new(10 * CHUNK_SIZE as u64, 4));
+    }
+}

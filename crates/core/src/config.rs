@@ -1,0 +1,111 @@
+//! Index configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a partition's [`crate::index::VisualIndex`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexConfig {
+    /// Feature vector dimensionality.
+    pub dim: usize,
+    /// Number of inverted lists (the paper's `N`, = k-means `k`).
+    pub num_lists: usize,
+    /// Pre-allocated slots per inverted list (Section 2.3's "the memory of
+    /// an inverted list is pre-allocated"). Lists double from here.
+    pub initial_list_capacity: usize,
+    /// Default number of inverted lists probed per query.
+    pub nprobe: usize,
+    /// Copy old-slab contents on a background thread during expansion
+    /// (Figure 9's design). `false` copies inline — the ablation baseline.
+    pub background_expansion: bool,
+    /// k-means training: maximum Lloyd iterations.
+    pub kmeans_iters: usize,
+    /// k-means training: sample size cap (training on every image would
+    /// dominate full-index build time).
+    pub train_sample: usize,
+    /// Product-quantized scan mode: `Some(m)` additionally stores an
+    /// `m`-byte PQ code per image and enables
+    /// [`crate::index::VisualIndex::search_compressed`] (two-stage ADC
+    /// scan + raw rerank). `m` must divide `dim`. `None` scans raw
+    /// vectors only — the paper's baseline behaviour.
+    pub pq_subspaces: Option<usize>,
+    /// Master seed for quantizer training.
+    pub seed: u64,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        Self {
+            dim: 64,
+            num_lists: 64,
+            initial_list_capacity: 64,
+            nprobe: 4,
+            background_expansion: true,
+            kmeans_iters: 15,
+            train_sample: 10_000,
+            pq_subspaces: None,
+            seed: 0x1D05,
+        }
+    }
+}
+
+impl IndexConfig {
+    /// Validates invariants; called by index constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is zero where a positive value is required.
+    pub fn validate(&self) {
+        assert!(self.dim > 0, "dim must be positive");
+        assert!(self.num_lists > 0, "num_lists must be positive");
+        assert!(self.initial_list_capacity > 0, "initial_list_capacity must be positive");
+        assert!(self.nprobe > 0, "nprobe must be positive");
+        assert!(self.train_sample > 0, "train_sample must be positive");
+        if let Some(m) = self.pq_subspaces {
+            assert!(m > 0, "pq_subspaces must be positive");
+            assert!(
+                self.dim.is_multiple_of(m),
+                "pq_subspaces ({m}) must divide dim ({})",
+                self.dim
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        IndexConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must be positive")]
+    fn zero_dim_rejected() {
+        IndexConfig { dim: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "num_lists must be positive")]
+    fn zero_lists_rejected() {
+        IndexConfig { num_lists: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "nprobe must be positive")]
+    fn zero_nprobe_rejected() {
+        IndexConfig { nprobe: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide dim")]
+    fn indivisible_pq_rejected() {
+        IndexConfig { dim: 10, pq_subspaces: Some(3), ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn valid_pq_accepted() {
+        IndexConfig { dim: 64, pq_subspaces: Some(8), ..Default::default() }.validate();
+    }
+}

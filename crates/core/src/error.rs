@@ -1,0 +1,68 @@
+//! Error types for index operations.
+
+use crate::ids::ImageId;
+
+/// Errors surfaced by index operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// A feature vector's dimension does not match the index configuration.
+    DimensionMismatch {
+        /// Dimension the index was built with.
+        expected: usize,
+        /// Dimension the caller supplied.
+        actual: usize,
+    },
+    /// An operation referenced an image id beyond the forward index.
+    UnknownImage(ImageId),
+    /// An operation referenced an image URL the index has never seen.
+    UnknownUrl(String),
+    /// The per-partition image capacity (u32 id space) is exhausted.
+    CapacityExhausted,
+    /// A variable-length attribute exceeds the buffer's record limit.
+    AttributeTooLarge {
+        /// Size the caller attempted to store.
+        len: usize,
+        /// Maximum supported record size.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::DimensionMismatch { expected, actual } => {
+                write!(f, "feature dimension mismatch: index expects {expected}, got {actual}")
+            }
+            IndexError::UnknownImage(id) => write!(f, "unknown image id {id}"),
+            IndexError::UnknownUrl(url) => write!(f, "unknown image url {url:?}"),
+            IndexError::CapacityExhausted => f.write_str("partition image capacity exhausted"),
+            IndexError::AttributeTooLarge { len, max } => {
+                write!(f, "variable-length attribute of {len} bytes exceeds the {max}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = IndexError::DimensionMismatch { expected: 64, actual: 32 };
+        assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains("32"));
+        assert!(IndexError::UnknownImage(ImageId(5)).to_string().contains("#5"));
+        assert!(IndexError::UnknownUrl("u".into()).to_string().contains("u"));
+        assert!(!IndexError::CapacityExhausted.to_string().is_empty());
+        assert!(IndexError::AttributeTooLarge { len: 10, max: 5 }.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&IndexError::CapacityExhausted);
+    }
+}

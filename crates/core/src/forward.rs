@@ -1,0 +1,392 @@
+//! The forward index.
+//!
+//! Section 2.2: *"Each image is numbered sequentially and the product
+//! attributes of the image are stored in a forward index, which is a custom
+//! array... The numeric attributes such as product ID, sales, price are
+//! stored in the fixed-length fields in the array. The variable length
+//! attributes like URL are stored in an additional buffer, and the offset
+//! of the attribute in the buffer is recorded in the array."*
+//!
+//! Section 2.3 (Figure 7): *"the associated images' attributes in the
+//! forward index are updated. This operation is atomic and there is no
+//! conflict between search and update processes for maximum concurrency."*
+//!
+//! [`ForwardIndex`] realizes that design:
+//!
+//! - records live in fixed-size chunks that are never moved, so a record's
+//!   address is stable for the life of the index;
+//! - every fixed-length field is an `AtomicU64` cell — updates are
+//!   single-word atomic stores, reads are single-word atomic loads, and a
+//!   reader can never observe a torn value;
+//! - the URL is a [`PackedRef`] into the [`VarBuffer`], stored in one more
+//!   atomic cell — a URL update appends the new bytes and swings this word;
+//! - appended records become visible when the global `len` counter is
+//!   bumped with release ordering (single appender per partition).
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use jdvs_storage::model::{ProductAttributes, ProductId};
+
+use crate::buffer::{PackedRef, VarBuffer};
+use crate::error::IndexError;
+use crate::ids::ImageId;
+
+/// Records per chunk.
+const CHUNK_RECORDS: usize = 4096;
+
+/// One fixed-length record: four numeric attribute cells plus the packed
+/// URL reference (Figure 7's update targets).
+#[derive(Debug, Default)]
+struct Record {
+    product_id: AtomicU64,
+    sales: AtomicU64,
+    price: AtomicU64,
+    praise: AtomicU64,
+    url_ref: AtomicU64,
+}
+
+struct Chunk {
+    records: Box<[Record]>,
+}
+
+impl Chunk {
+    fn new() -> Self {
+        let mut v = Vec::with_capacity(CHUNK_RECORDS);
+        v.resize_with(CHUNK_RECORDS, Record::default);
+        Self { records: v.into_boxed_slice() }
+    }
+}
+
+/// A snapshot of one record's numeric fields (read atomically field-by-
+/// field; each field is internally consistent, which is the paper's
+/// guarantee — it does not promise cross-field transactionality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumericAttributes {
+    /// Owning product.
+    pub product_id: ProductId,
+    /// Sales count.
+    pub sales: u64,
+    /// Price in minor units.
+    pub price: u64,
+    /// Praise count.
+    pub praise: u64,
+}
+
+/// The forward index; see the module docs.
+pub struct ForwardIndex {
+    chunks: RwLock<Vec<Arc<Chunk>>>,
+    len: AtomicU64,
+    buffer: VarBuffer,
+}
+
+impl std::fmt::Debug for ForwardIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForwardIndex").field("len", &self.len()).finish()
+    }
+}
+
+impl Default for ForwardIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ForwardIndex {
+    /// Creates an empty forward index with its own attribute buffer.
+    pub fn new() -> Self {
+        Self { chunks: RwLock::new(Vec::new()), len: AtomicU64::new(0), buffer: VarBuffer::new() }
+    }
+
+    /// Number of records (images ever appended; logical deletion does not
+    /// shrink the forward index — the bitmap handles liveness).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire) as usize
+    }
+
+    /// Returns `true` if no image has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a record, returning the new image's sequential id.
+    ///
+    /// Single-appender discipline: one thread per partition appends (the
+    /// searcher that owns the partition); concurrent readers are unlimited.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::CapacityExhausted`] if the `u32` id space is
+    /// full, or [`IndexError::AttributeTooLarge`] if the URL exceeds the
+    /// buffer record limit.
+    pub fn append(&self, attrs: &ProductAttributes) -> Result<ImageId, IndexError> {
+        let id = self.len.load(Ordering::Relaxed);
+        if id > u64::from(u32::MAX) {
+            return Err(IndexError::CapacityExhausted);
+        }
+        let url_ref = self.buffer.append(attrs.url.as_bytes())?;
+        let chunk_idx = (id as usize) / CHUNK_RECORDS;
+        let rec_idx = (id as usize) % CHUNK_RECORDS;
+        {
+            let chunks = self.chunks.read();
+            if chunks.len() <= chunk_idx {
+                drop(chunks);
+                let mut chunks = self.chunks.write();
+                while chunks.len() <= chunk_idx {
+                    chunks.push(Arc::new(Chunk::new()));
+                }
+            }
+        }
+        let chunks = self.chunks.read();
+        let rec = &chunks[chunk_idx].records[rec_idx];
+        rec.product_id.store(attrs.product_id.0, Ordering::Relaxed);
+        rec.sales.store(attrs.sales, Ordering::Relaxed);
+        rec.price.store(attrs.price, Ordering::Relaxed);
+        rec.praise.store(attrs.praise, Ordering::Relaxed);
+        rec.url_ref.store(url_ref.as_raw(), Ordering::Relaxed);
+        drop(chunks);
+        // Publish: readers that observe len > id see fully-written fields.
+        self.len.store(id + 1, Ordering::Release);
+        Ok(ImageId(id as u32))
+    }
+
+    fn record(&self, id: ImageId) -> Result<Arc<Chunk>, IndexError> {
+        if id.as_usize() >= self.len() {
+            return Err(IndexError::UnknownImage(id));
+        }
+        Ok(Arc::clone(&self.chunks.read()[id.as_usize() / CHUNK_RECORDS]))
+    }
+
+    /// Reads the numeric attributes of `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::UnknownImage`] for out-of-range ids.
+    pub fn numeric(&self, id: ImageId) -> Result<NumericAttributes, IndexError> {
+        let chunk = self.record(id)?;
+        let rec = &chunk.records[id.as_usize() % CHUNK_RECORDS];
+        Ok(NumericAttributes {
+            product_id: ProductId(rec.product_id.load(Ordering::Relaxed)),
+            sales: rec.sales.load(Ordering::Relaxed),
+            price: rec.price.load(Ordering::Relaxed),
+            praise: rec.praise.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Reads the URL of `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::UnknownImage`] for out-of-range ids.
+    pub fn url(&self, id: ImageId) -> Result<String, IndexError> {
+        let chunk = self.record(id)?;
+        let rec = &chunk.records[id.as_usize() % CHUNK_RECORDS];
+        let r = PackedRef::from_raw(rec.url_ref.load(Ordering::Acquire));
+        Ok(self.buffer.read_string(r))
+    }
+
+    /// Reads the full attribute record of `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::UnknownImage`] for out-of-range ids.
+    pub fn attributes(&self, id: ImageId) -> Result<ProductAttributes, IndexError> {
+        let n = self.numeric(id)?;
+        let url = self.url(id)?;
+        Ok(ProductAttributes::new(n.product_id, n.sales, n.price, n.praise, url))
+    }
+
+    /// Atomically updates the numeric attributes present in the arguments
+    /// (Figure 7: each changed field is one atomic store; concurrent
+    /// searches see either the old or the new value, never garbage).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::UnknownImage`] for out-of-range ids.
+    pub fn update_numeric(
+        &self,
+        id: ImageId,
+        sales: Option<u64>,
+        price: Option<u64>,
+        praise: Option<u64>,
+    ) -> Result<(), IndexError> {
+        let chunk = self.record(id)?;
+        let rec = &chunk.records[id.as_usize() % CHUNK_RECORDS];
+        if let Some(s) = sales {
+            rec.sales.store(s, Ordering::Relaxed);
+        }
+        if let Some(p) = price {
+            rec.price.store(p, Ordering::Relaxed);
+        }
+        if let Some(p) = praise {
+            rec.praise.store(p, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Updates the variable-length URL: appends the new value to the buffer
+    /// and swings the packed reference word (Section 2.3's varying-length
+    /// update protocol). Old bytes stay readable for in-flight readers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::UnknownImage`] for out-of-range ids or
+    /// [`IndexError::AttributeTooLarge`] for oversized values.
+    pub fn update_url(&self, id: ImageId, url: &str) -> Result<(), IndexError> {
+        let chunk = self.record(id)?;
+        let new_ref = self.buffer.append(url.as_bytes())?;
+        let rec = &chunk.records[id.as_usize() % CHUNK_RECORDS];
+        rec.url_ref.store(new_ref.as_raw(), Ordering::Release);
+        Ok(())
+    }
+
+    /// The underlying variable-length buffer (exposed for stats).
+    pub fn buffer(&self) -> &VarBuffer {
+        &self.buffer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+
+    fn attrs(product: u64, url: &str) -> ProductAttributes {
+        ProductAttributes::new(ProductId(product), 100, 1999, 50, url.to_string())
+    }
+
+    #[test]
+    fn append_assigns_sequential_ids() {
+        let fwd = ForwardIndex::new();
+        assert_eq!(fwd.append(&attrs(1, "u1")).unwrap(), ImageId(0));
+        assert_eq!(fwd.append(&attrs(2, "u2")).unwrap(), ImageId(1));
+        assert_eq!(fwd.len(), 2);
+        assert!(!fwd.is_empty());
+    }
+
+    #[test]
+    fn round_trips_attributes() {
+        let fwd = ForwardIndex::new();
+        let a = attrs(7, "https://img.jd.com/7/0.jpg");
+        let id = fwd.append(&a).unwrap();
+        assert_eq!(fwd.attributes(id).unwrap(), a);
+        let n = fwd.numeric(id).unwrap();
+        assert_eq!(n.product_id, ProductId(7));
+        assert_eq!(n.sales, 100);
+        assert_eq!(n.price, 1999);
+        assert_eq!(n.praise, 50);
+        assert_eq!(fwd.url(id).unwrap(), "https://img.jd.com/7/0.jpg");
+    }
+
+    #[test]
+    fn unknown_id_errors() {
+        let fwd = ForwardIndex::new();
+        assert_eq!(fwd.numeric(ImageId(0)).unwrap_err(), IndexError::UnknownImage(ImageId(0)));
+        fwd.append(&attrs(1, "u")).unwrap();
+        assert!(fwd.numeric(ImageId(0)).is_ok());
+        assert!(fwd.numeric(ImageId(1)).is_err());
+    }
+
+    #[test]
+    fn numeric_update_is_selective() {
+        let fwd = ForwardIndex::new();
+        let id = fwd.append(&attrs(1, "u")).unwrap();
+        fwd.update_numeric(id, Some(500), None, None).unwrap();
+        let n = fwd.numeric(id).unwrap();
+        assert_eq!(n.sales, 500);
+        assert_eq!(n.price, 1999, "unspecified fields unchanged");
+        fwd.update_numeric(id, None, Some(999), Some(3)).unwrap();
+        let n = fwd.numeric(id).unwrap();
+        assert_eq!(n.price, 999);
+        assert_eq!(n.praise, 3);
+        assert_eq!(n.sales, 500);
+    }
+
+    #[test]
+    fn url_update_swings_reference() {
+        let fwd = ForwardIndex::new();
+        let id = fwd.append(&attrs(1, "old-url")).unwrap();
+        fwd.update_url(id, "new-url").unwrap();
+        assert_eq!(fwd.url(id).unwrap(), "new-url");
+    }
+
+    #[test]
+    fn spans_multiple_chunks() {
+        let fwd = ForwardIndex::new();
+        let n = CHUNK_RECORDS + 10;
+        for i in 0..n {
+            fwd.append(&attrs(i as u64, &format!("u{i}"))).unwrap();
+        }
+        assert_eq!(fwd.len(), n);
+        assert_eq!(fwd.attributes(ImageId(0)).unwrap().url, "u0");
+        let last = ImageId((n - 1) as u32);
+        assert_eq!(fwd.attributes(last).unwrap().url, format!("u{}", n - 1));
+        assert_eq!(fwd.numeric(last).unwrap().product_id, ProductId((n - 1) as u64));
+    }
+
+    #[test]
+    fn concurrent_readers_with_updates_never_see_torn_values() {
+        let fwd = StdArc::new(ForwardIndex::new());
+        let id = fwd.append(&attrs(1, "u")).unwrap();
+        // Writer flips between two consistent field values; readers must
+        // only ever observe one of the two per field.
+        let stop = StdArc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let fwd = StdArc::clone(&fwd);
+                let stop = StdArc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let n = fwd.numeric(id).unwrap();
+                        assert!(n.sales == 100 || n.sales == 77_777, "torn sales {}", n.sales);
+                        assert!(n.price == 1999 || n.price == 1, "torn price {}", n.price);
+                    }
+                })
+            })
+            .collect();
+        for i in 0..20_000 {
+            if i % 2 == 0 {
+                fwd.update_numeric(id, Some(77_777), Some(1), None).unwrap();
+            } else {
+                fwd.update_numeric(id, Some(100), Some(1999), None).unwrap();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in readers {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_during_appends_see_only_published_records() {
+        let fwd = StdArc::new(ForwardIndex::new());
+        let stop = StdArc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let fwd = StdArc::clone(&fwd);
+                let stop = StdArc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let len = fwd.len();
+                        if len > 0 {
+                            // Any published record must read back consistent.
+                            let id = ImageId((len - 1) as u32);
+                            let a = fwd.attributes(id).unwrap();
+                            assert_eq!(a.product_id.0, u64::from(id.0));
+                            assert_eq!(a.url, format!("u{}", id.0));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for i in 0..10_000u64 {
+            fwd.append(&attrs(i, &format!("u{i}"))).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in readers {
+            h.join().unwrap();
+        }
+        assert_eq!(fwd.len(), 10_000);
+    }
+}

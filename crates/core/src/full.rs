@@ -1,0 +1,354 @@
+//! Full indexing (Section 2.2, Figures 2 and 3).
+//!
+//! *"The full indexing is performed periodically to ensure the data
+//! completeness... All product update messages of a day are buffered in a
+//! message log. At the end of the day, each message in the log is processed
+//! in order."*
+//!
+//! [`FullIndexBuilder`] replays a message log, resolves the catalog's final
+//! state (which images exist, their freshest attributes, whether they are
+//! valid), obtains features (reusing the feature database — only genuinely
+//! new images are extracted), trains the k-means coarse quantizer on a
+//! sample, and bulk-builds a fresh [`VisualIndex`] containing **only the
+//! valid images** — the paper's optimization that keeps weekly rebuilds and
+//! subsequent searches fast.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use jdvs_features::CachingExtractor;
+use jdvs_storage::model::{ImageKey, ProductAttributes, ProductEvent};
+use jdvs_storage::{FeatureDb, ImageStore};
+use jdvs_vector::rng::Xoshiro256;
+use jdvs_vector::Vector;
+
+use crate::config::IndexConfig;
+use crate::index::VisualIndex;
+
+/// Statistics from one full-index build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BuildReport {
+    /// Messages replayed from the log.
+    pub messages_replayed: u64,
+    /// Distinct images in the final catalog state.
+    pub images_seen: u64,
+    /// Images valid at the end of the replay (indexed).
+    pub images_indexed: u64,
+    /// Images skipped because they were invalid at the end of the day.
+    pub images_invalid: u64,
+    /// Images skipped because they hash to another partition.
+    pub images_foreign: u64,
+    /// Feature extractions actually performed (the rest were reused).
+    pub extractions: u64,
+    /// Features reused from the feature database.
+    pub reuses: u64,
+}
+
+/// Catalog state accumulated during log replay.
+#[derive(Debug, Default)]
+struct CatalogState {
+    /// Final attributes + validity per image, in first-seen order (the
+    /// paper numbers images sequentially during the build).
+    images: Vec<(ImageKey, ProductAttributes, bool)>,
+    by_key: HashMap<ImageKey, usize>,
+}
+
+impl CatalogState {
+    fn apply(&mut self, event: &ProductEvent) {
+        match event {
+            ProductEvent::AddProduct { images, .. } => {
+                for attrs in images {
+                    let key = attrs.image_key();
+                    match self.by_key.get(&key) {
+                        Some(&i) => {
+                            self.images[i].1 = attrs.clone();
+                            self.images[i].2 = true;
+                        }
+                        None => {
+                            self.by_key.insert(key, self.images.len());
+                            self.images.push((key, attrs.clone(), true));
+                        }
+                    }
+                }
+            }
+            ProductEvent::RemoveProduct { urls, .. } => {
+                for url in urls {
+                    if let Some(&i) = self.by_key.get(&ImageKey::from_url(url)) {
+                        self.images[i].2 = false;
+                    }
+                }
+            }
+            ProductEvent::UpdateAttributes { urls, sales, price, praise, .. } => {
+                for url in urls {
+                    if let Some(&i) = self.by_key.get(&ImageKey::from_url(url)) {
+                        let attrs = &mut self.images[i].1;
+                        if let Some(s) = sales {
+                            attrs.sales = *s;
+                        }
+                        if let Some(p) = price {
+                            attrs.price = *p;
+                        }
+                        if let Some(p) = praise {
+                            attrs.praise = *p;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The full indexer; see the module docs.
+#[derive(Debug)]
+pub struct FullIndexBuilder {
+    config: IndexConfig,
+    extractor: Arc<CachingExtractor>,
+    images: Arc<ImageStore>,
+    feature_db: Arc<FeatureDb>,
+    /// `(partition, num_partitions)`: restrict the build to one partition.
+    partition: Option<(usize, usize)>,
+}
+
+impl FullIndexBuilder {
+    /// Creates a builder over the shared stores.
+    pub fn new(
+        config: IndexConfig,
+        extractor: Arc<CachingExtractor>,
+        images: Arc<ImageStore>,
+        feature_db: Arc<FeatureDb>,
+    ) -> Self {
+        config.validate();
+        Self { config, extractor, images, feature_db, partition: None }
+    }
+
+    /// Restricts the build to images hashing into `partition` of
+    /// `num_partitions` — how each searcher's weekly index file is built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition >= num_partitions` or `num_partitions == 0`.
+    pub fn with_partition(mut self, partition: usize, num_partitions: usize) -> Self {
+        assert!(num_partitions > 0, "num_partitions must be positive");
+        assert!(partition < num_partitions, "partition out of range");
+        self.partition = Some((partition, num_partitions));
+        self
+    }
+
+    /// Replays `log` in order and builds a fresh index of the valid images.
+    /// Returns the index and a build report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replay yields no valid image with an available blob —
+    /// an index needs at least one vector to train its quantizer.
+    pub fn build(&self, log: &[ProductEvent]) -> (VisualIndex, BuildReport) {
+        let mut report = BuildReport { messages_replayed: log.len() as u64, ..Default::default() };
+
+        // Phase 1: resolve final catalog state.
+        let mut state = CatalogState::default();
+        for event in log {
+            state.apply(event);
+        }
+        report.images_seen = state.images.len() as u64;
+
+        // Phase 2: obtain features for valid images (reuse-first).
+        let extractions_before = self.extractor.misses();
+        let reuses_before = self.extractor.hits();
+        let mut indexable: Vec<(Vector, ProductAttributes)> = Vec::new();
+        for (key, attrs, valid) in &state.images {
+            if let Some((p, n)) = self.partition {
+                if key.partition(n) != p {
+                    report.images_foreign += 1;
+                    continue;
+                }
+            }
+            if !valid {
+                report.images_invalid += 1;
+                continue;
+            }
+            let (features, _) = self.extractor.features_for(attrs, &self.images, &self.feature_db);
+            if let Some(f) = features {
+                indexable.push((f, attrs.clone()));
+            }
+        }
+        report.extractions = self.extractor.misses() - extractions_before;
+        report.reuses = self.extractor.hits() - reuses_before;
+        assert!(
+            !indexable.is_empty() || self.partition.is_some(),
+            "full index build requires at least one valid image with features"
+        );
+
+        // Phase 3: train the coarse quantizer on a bounded sample. A
+        // partition-scoped build may legitimately own zero images; it still
+        // needs a valid (degenerate) quantizer to serve empty results.
+        let sample = if indexable.is_empty() {
+            vec![Vector::zeros(self.config.dim)]
+        } else {
+            self.training_sample(&indexable)
+        };
+        let index = VisualIndex::bootstrap(self.config.clone(), &sample);
+
+        // Phase 4: bulk insert.
+        for (features, attrs) in indexable {
+            index
+                .insert(features, attrs)
+                .expect("bulk insert of validated records cannot fail");
+            report.images_indexed += 1;
+        }
+        index.flush();
+        (index, report)
+    }
+
+    /// Deterministic sample of up to `config.train_sample` feature vectors.
+    fn training_sample(&self, indexable: &[(Vector, ProductAttributes)]) -> Vec<Vector> {
+        let n = indexable.len();
+        let cap = self.config.train_sample.min(n);
+        if cap == n {
+            return indexable.iter().map(|(v, _)| v.clone()).collect();
+        }
+        let mut rng = Xoshiro256::seed_from(self.config.seed ^ 0x7241_1A5E);
+        rng.sample_indices(n, cap).into_iter().map(|i| indexable[i].0.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jdvs_features::cost::CostModel;
+    use jdvs_features::{ExtractorConfig, FeatureExtractor};
+    use jdvs_storage::model::ProductId;
+
+    const DIM: usize = 16;
+
+    struct Fixture {
+        builder: FullIndexBuilder,
+        images: Arc<ImageStore>,
+        extractor: Arc<CachingExtractor>,
+    }
+
+    fn fixture() -> Fixture {
+        let images = Arc::new(ImageStore::with_blob_len(64));
+        let feature_db = Arc::new(FeatureDb::new());
+        let extractor = Arc::new(CachingExtractor::new(
+            FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+            CostModel::free(),
+        ));
+        let builder = FullIndexBuilder::new(
+            IndexConfig { dim: DIM, num_lists: 4, initial_list_capacity: 8, ..Default::default() },
+            Arc::clone(&extractor),
+            Arc::clone(&images),
+            feature_db,
+        );
+        Fixture { builder, images, extractor }
+    }
+
+    fn add(f: &Fixture, product: u64, url: &str) -> ProductEvent {
+        f.images.put_synthetic(url, product * 17);
+        ProductEvent::AddProduct {
+            product_id: ProductId(product),
+            images: vec![ProductAttributes::new(ProductId(product), 1, 100, 1, url.into())],
+        }
+    }
+
+    fn remove(product: u64, url: &str) -> ProductEvent {
+        ProductEvent::RemoveProduct { product_id: ProductId(product), urls: vec![url.into()] }
+    }
+
+    #[test]
+    fn builds_index_of_valid_images_only() {
+        let f = fixture();
+        let log = vec![
+            add(&f, 1, "u1"),
+            add(&f, 2, "u2"),
+            add(&f, 3, "u3"),
+            remove(2, "u2"), // delisted before end of day
+        ];
+        let (index, report) = f.builder.build(&log);
+        assert_eq!(report.messages_replayed, 4);
+        assert_eq!(report.images_seen, 3);
+        assert_eq!(report.images_indexed, 2);
+        assert_eq!(report.images_invalid, 1);
+        assert_eq!(index.valid_images(), 2);
+        assert!(index.lookup(ImageKey::from_url("u2")).is_none(), "invalid image not indexed");
+    }
+
+    #[test]
+    fn relisting_within_the_day_keeps_image_valid() {
+        let f = fixture();
+        let log = vec![add(&f, 1, "u1"), remove(1, "u1"), add(&f, 1, "u1")];
+        let (index, report) = f.builder.build(&log);
+        assert_eq!(report.images_indexed, 1);
+        assert_eq!(index.valid_images(), 1);
+    }
+
+    #[test]
+    fn update_events_shape_final_attributes() {
+        let f = fixture();
+        let log = vec![
+            add(&f, 1, "u1"),
+            ProductEvent::UpdateAttributes {
+                product_id: ProductId(1),
+                urls: vec!["u1".into()],
+                sales: Some(5_000),
+                price: Some(42),
+                praise: None,
+            },
+        ];
+        let (index, _) = f.builder.build(&log);
+        let id = index.lookup(ImageKey::from_url("u1")).unwrap();
+        let attrs = index.attributes(id).unwrap();
+        assert_eq!(attrs.sales, 5_000);
+        assert_eq!(attrs.price, 42);
+        assert_eq!(attrs.praise, 1, "untouched field keeps the add-time value");
+    }
+
+    #[test]
+    fn second_build_reuses_features() {
+        let f = fixture();
+        let log: Vec<ProductEvent> = (0..20).map(|i| add(&f, i, &format!("u{i}"))).collect();
+        let (_, first) = f.builder.build(&log);
+        assert_eq!(first.extractions, 20);
+        assert_eq!(first.reuses, 0);
+        let (_, second) = f.builder.build(&log);
+        assert_eq!(second.extractions, 0, "second build extracts nothing");
+        assert_eq!(second.reuses, 20);
+        assert_eq!(f.extractor.misses(), 20);
+    }
+
+    #[test]
+    fn built_index_answers_queries() {
+        let f = fixture();
+        let log: Vec<ProductEvent> = (0..50).map(|i| add(&f, i, &format!("u{i}"))).collect();
+        let (index, _) = f.builder.build(&log);
+        let id = index.lookup(ImageKey::from_url("u7")).unwrap();
+        let feats = index.features(id).unwrap();
+        let hits = index.search(feats.as_slice(), 1, index.quantizer().k());
+        assert_eq!(hits[0].id, id.as_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one valid image")]
+    fn empty_log_panics() {
+        let f = fixture();
+        f.builder.build(&[]);
+    }
+
+    #[test]
+    fn update_before_add_is_ignored() {
+        let f = fixture();
+        let log = vec![
+            ProductEvent::UpdateAttributes {
+                product_id: ProductId(1),
+                urls: vec!["u1".into()],
+                sales: Some(1),
+                price: None,
+                praise: None,
+            },
+            remove(1, "u1"),
+            add(&f, 1, "u1"),
+        ];
+        let (index, report) = f.builder.build(&log);
+        assert_eq!(report.images_indexed, 1);
+        assert_eq!(index.valid_images(), 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Index-internal identifiers.
+//!
+//! The paper numbers each image sequentially as it enters the forward index
+//! (Section 2.2); that dense sequence number is [`ImageId`]. Inverted lists
+//! are identified by [`ListId`] (the k-means cluster index).
+
+use serde::{Deserialize, Serialize};
+
+/// Dense per-partition image number: the position of the image's record in
+/// the forward index, its feature vector in the vector store, and its
+/// validity bit in the bitmap.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ImageId(pub u32);
+
+impl ImageId {
+    /// As a `usize` array index.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// As the `u64` id used by [`jdvs_vector::topk`].
+    pub fn as_u64(self) -> u64 {
+        u64::from(self.0)
+    }
+}
+
+impl From<u32> for ImageId {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+impl std::fmt::Display for ImageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Index of an inverted list (= k-means cluster index).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ListId(pub u32);
+
+impl ListId {
+    /// As a `usize` array index.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ListId {
+    fn from(v: u32) -> Self {
+        Self(v)
+    }
+}
+
+impl std::fmt::Display for ListId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "list-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let id = ImageId::from(7u32);
+        assert_eq!(id.as_usize(), 7);
+        assert_eq!(id.as_u64(), 7);
+        assert_eq!(id.to_string(), "#7");
+        let l = ListId::from(3u32);
+        assert_eq!(l.as_usize(), 3);
+        assert_eq!(l.to_string(), "list-3");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(ImageId(2) < ImageId(10));
+        assert!(ListId(0) < ListId(1));
+    }
+}

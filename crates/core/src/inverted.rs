@@ -1,0 +1,480 @@
+//! The real-time inverted index (Figures 5, 8 and 9).
+//!
+//! The index is `N` inverted lists, one per k-means cluster. Each list is a
+//! **pre-allocated slab** of image-id slots plus an atomic count of
+//! published entries — the per-list "position of the last element" that the
+//! paper keeps in an auxiliary array (Figure 5). An append writes the slot,
+//! then bumps the count with release ordering; concurrent searches load the
+//! count with acquire ordering and scan exactly the published prefix. No
+//! locks on either path.
+//!
+//! **Expansion** (Figure 9): when a slab fills, a slab of **double size**
+//! is allocated. New image ids are appended into the new slab while *"the
+//! current inverted list continues to serve the requests until a background
+//! process finishes copying all the content of the current list to the new
+//! list. When the copy operation completes, the newly created inverted list
+//! becomes the current one and the old one is deleted."* Exactly that
+//! protocol is implemented here: searches keep reading the old slab during
+//! the copy; entries appended during the window become visible at the atomic
+//! swap. `background_copy: false` gives the inline-copy ablation baseline.
+
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::ids::{ImageId, ListId};
+
+/// A fixed-capacity array of image-id slots with a published-length counter.
+#[derive(Debug)]
+pub struct Slab {
+    slots: Box<[AtomicU64]>,
+    len: AtomicUsize,
+}
+
+impl Slab {
+    fn new(capacity: usize) -> Self {
+        // `vec![0u64; n]` allocates through calloc, which hands back
+        // lazily-zeroed pages in O(1); element-wise `AtomicU64::new(0)`
+        // construction would touch every slot on the writer path and make
+        // "allocate the double-size list" cost O(n) at expansion time —
+        // exactly the stall Figure 9's protocol exists to avoid.
+        let zeroed: Box<[u64]> = vec![0u64; capacity].into_boxed_slice();
+        // SAFETY: `AtomicU64` is `repr(C)` with the same size and alignment
+        // as `u64` (guaranteed by std), and the all-zero bit pattern is a
+        // valid `AtomicU64`. Ownership transfers through the raw pointer
+        // without aliasing.
+        let slots = unsafe {
+            let raw: *mut [u64] = Box::into_raw(zeroed);
+            Box::from_raw(raw as *mut [AtomicU64])
+        };
+        Self { slots, len: AtomicUsize::new(0) }
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Published entries.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Returns `true` if no entry is published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Writer-side state of an in-flight expansion.
+struct Migration {
+    new_slab: Arc<Slab>,
+    /// Next free position in the new slab (old contents occupy `[0, base)`;
+    /// the copier fills that prefix while we append at `base..`).
+    next_pos: usize,
+    copy_done: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// One inverted list; see the module docs.
+pub struct InvertedList {
+    current: RwLock<Arc<Slab>>,
+    writer: Mutex<Option<Migration>>,
+    background_copy: bool,
+    expansions: AtomicU64,
+}
+
+impl std::fmt::Debug for InvertedList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let slab = self.current.read();
+        f.debug_struct("InvertedList")
+            .field("len", &slab.len())
+            .field("capacity", &slab.capacity())
+            .field("expansions", &self.expansions.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl InvertedList {
+    /// Creates a list with `initial_capacity` pre-allocated slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_capacity == 0`.
+    pub fn new(initial_capacity: usize, background_copy: bool) -> Self {
+        assert!(initial_capacity > 0, "initial capacity must be positive");
+        Self {
+            current: RwLock::new(Arc::new(Slab::new(initial_capacity))),
+            writer: Mutex::new(None),
+            background_copy,
+            expansions: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an image id. Safe to call from one writer at a time per
+    /// list (the owning searcher); concurrent with any number of scans.
+    pub fn append(&self, id: ImageId) {
+        let mut writer = self.writer.lock();
+        loop {
+            // Finish a completed migration first so appends land normally.
+            if let Some(m) = writer.as_mut() {
+                if m.copy_done.load(Ordering::Acquire) {
+                    Self::finish_migration(&self.current, writer.take().expect("checked above"));
+                    continue;
+                }
+                // Migration still copying: append into the new slab's tail.
+                if m.next_pos < m.new_slab.capacity() {
+                    m.new_slab.slots[m.next_pos].store(id.as_u64(), Ordering::Relaxed);
+                    m.next_pos += 1;
+                    return;
+                }
+                // New slab filled before the copy finished (pathological:
+                // capacity doubled, so the writer outran a whole copy).
+                // Wait for the copy, publish, and retry.
+                let m = writer.take().expect("checked above");
+                Self::wait_and_finish(&self.current, m);
+                continue;
+            }
+            let slab = Arc::clone(&self.current.read());
+            let len = slab.len.load(Ordering::Relaxed);
+            if len < slab.capacity() {
+                slab.slots[len].store(id.as_u64(), Ordering::Relaxed);
+                slab.len.store(len + 1, Ordering::Release);
+                return;
+            }
+            // Full: start an expansion, then loop to append via migration.
+            *writer = Some(self.start_migration(&slab));
+        }
+    }
+
+    fn start_migration(&self, old: &Arc<Slab>) -> Migration {
+        self.expansions.fetch_add(1, Ordering::Relaxed);
+        let old_len = old.len();
+        let new_slab = Arc::new(Slab::new((old.capacity() * 2).max(1)));
+        let copy_done = Arc::new(AtomicBool::new(false));
+        let copy = {
+            let old = Arc::clone(old);
+            let new_slab = Arc::clone(&new_slab);
+            let copy_done = Arc::clone(&copy_done);
+            move || {
+                for i in 0..old_len {
+                    new_slab.slots[i]
+                        .store(old.slots[i].load(Ordering::Relaxed), Ordering::Relaxed);
+                }
+                copy_done.store(true, Ordering::Release);
+            }
+        };
+        let handle = if self.background_copy {
+            Some(std::thread::spawn(copy))
+        } else {
+            copy();
+            None
+        };
+        Migration { new_slab, next_pos: old_len, copy_done, handle }
+    }
+
+    /// Publishes a finished migration: set the new slab's length to cover
+    /// both the copied prefix and the appended tail, then atomically make
+    /// it current. The old slab is dropped when its last reader releases
+    /// its `Arc` — "the old one is deleted", without blocking anyone.
+    fn finish_migration(current: &RwLock<Arc<Slab>>, mut m: Migration) {
+        debug_assert!(m.copy_done.load(Ordering::Acquire));
+        if let Some(h) = m.handle.take() {
+            let _ = h.join();
+        }
+        m.new_slab.len.store(m.next_pos, Ordering::Release);
+        *current.write() = m.new_slab;
+    }
+
+    fn wait_and_finish(current: &RwLock<Arc<Slab>>, mut m: Migration) {
+        if let Some(h) = m.handle.take() {
+            let _ = h.join();
+        } else {
+            while !m.copy_done.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        }
+        Self::finish_migration(current, m);
+    }
+
+    /// Completes any in-flight expansion, waiting for the background copy.
+    /// The real-time indexer calls this when the message queue goes idle so
+    /// recently appended ids become searchable without waiting for the next
+    /// append.
+    pub fn flush(&self) {
+        let mut writer = self.writer.lock();
+        if let Some(m) = writer.take() {
+            Self::wait_and_finish(&self.current, m);
+        }
+    }
+
+    /// Calls `f` with every published image id (a lock-free snapshot scan:
+    /// entries appended after the scan starts may or may not be seen).
+    pub fn scan(&self, mut f: impl FnMut(ImageId)) {
+        let slab = Arc::clone(&self.current.read());
+        let len = slab.len();
+        for slot in &slab.slots[..len] {
+            f(ImageId(slot.load(Ordering::Relaxed) as u32));
+        }
+    }
+
+    /// Published entry count — this list's element of the paper's auxiliary
+    /// last-position array.
+    pub fn len(&self) -> usize {
+        self.current.read().len()
+    }
+
+    /// Returns `true` if no entry is published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current slab capacity.
+    pub fn capacity(&self) -> usize {
+        self.current.read().capacity()
+    }
+
+    /// Number of expansions performed.
+    pub fn expansions(&self) -> u64 {
+        self.expansions.load(Ordering::Relaxed)
+    }
+}
+
+/// The `N`-list inverted index.
+#[derive(Debug)]
+pub struct InvertedIndex {
+    lists: Vec<InvertedList>,
+}
+
+impl InvertedIndex {
+    /// Creates `num_lists` lists with `initial_capacity` slots each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_lists == 0` or `initial_capacity == 0`.
+    pub fn new(num_lists: usize, initial_capacity: usize, background_copy: bool) -> Self {
+        assert!(num_lists > 0, "num_lists must be positive");
+        Self {
+            lists: (0..num_lists)
+                .map(|_| InvertedList::new(initial_capacity, background_copy))
+                .collect(),
+        }
+    }
+
+    /// Number of lists (`N`).
+    pub fn num_lists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Appends `id` to list `list`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `list` is out of range.
+    pub fn append(&self, list: ListId, id: ImageId) {
+        self.lists[list.as_usize()].append(id);
+    }
+
+    /// Scans list `list`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `list` is out of range.
+    pub fn scan(&self, list: ListId, f: impl FnMut(ImageId)) {
+        self.lists[list.as_usize()].scan(f);
+    }
+
+    /// Borrow a list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `list` is out of range.
+    pub fn list(&self, list: ListId) -> &InvertedList {
+        &self.lists[list.as_usize()]
+    }
+
+    /// Completes all in-flight expansions.
+    pub fn flush(&self) {
+        for l in &self.lists {
+            l.flush();
+        }
+    }
+
+    /// The auxiliary array: each list's published last-element position.
+    pub fn aux_positions(&self) -> Vec<usize> {
+        self.lists.iter().map(InvertedList::len).collect()
+    }
+
+    /// Total entries across lists.
+    pub fn total_entries(&self) -> usize {
+        self.lists.iter().map(InvertedList::len).sum()
+    }
+
+    /// Total expansions across lists.
+    pub fn total_expansions(&self) -> u64 {
+        self.lists.iter().map(InvertedList::expansions).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc as StdArc;
+
+    fn collect(list: &InvertedList) -> Vec<u32> {
+        let mut out = Vec::new();
+        list.scan(|id| out.push(id.0));
+        out
+    }
+
+    #[test]
+    fn append_then_scan_in_order() {
+        let list = InvertedList::new(8, false);
+        for i in 0..5 {
+            list.append(ImageId(i));
+        }
+        assert_eq!(collect(&list), vec![0, 1, 2, 3, 4]);
+        assert_eq!(list.len(), 5);
+        assert_eq!(list.capacity(), 8);
+        assert_eq!(list.expansions(), 0);
+    }
+
+    #[test]
+    fn inline_expansion_doubles_capacity_and_preserves_order() {
+        let list = InvertedList::new(4, false);
+        for i in 0..20 {
+            list.append(ImageId(i));
+        }
+        list.flush();
+        assert_eq!(collect(&list), (0..20).collect::<Vec<_>>());
+        assert!(list.capacity() >= 20);
+        assert!(list.expansions() >= 2);
+    }
+
+    #[test]
+    fn background_expansion_preserves_all_entries() {
+        let list = InvertedList::new(4, true);
+        for i in 0..1_000 {
+            list.append(ImageId(i));
+        }
+        list.flush();
+        assert_eq!(collect(&list), (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn entries_appended_during_migration_become_visible_after_flush() {
+        let list = InvertedList::new(2, true);
+        list.append(ImageId(0));
+        list.append(ImageId(1));
+        // This append triggers expansion; the id may be invisible until the
+        // swap happens.
+        list.append(ImageId(2));
+        list.flush();
+        assert_eq!(collect(&list), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn old_slab_serves_reads_during_migration() {
+        // With background copy, immediately after the expansion-triggering
+        // append the *published* view must still contain the old prefix.
+        let list = InvertedList::new(2, true);
+        list.append(ImageId(0));
+        list.append(ImageId(1));
+        list.append(ImageId(2)); // starts migration
+        let seen = collect(&list);
+        assert!(seen == vec![0, 1] || seen == vec![0, 1, 2], "old prefix always visible: {seen:?}");
+        list.flush();
+        assert_eq!(collect(&list), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn flush_without_migration_is_noop() {
+        let list = InvertedList::new(4, true);
+        list.append(ImageId(9));
+        list.flush();
+        assert_eq!(collect(&list), vec![9]);
+    }
+
+    #[test]
+    fn concurrent_scans_during_appends_see_consistent_prefixes() {
+        let list = StdArc::new(InvertedList::new(8, true));
+        let stop = StdArc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let list = StdArc::clone(&list);
+                let stop = StdArc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut max_seen = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let ids = {
+                            let mut v = Vec::new();
+                            list.scan(|id| v.push(id.0));
+                            v
+                        };
+                        // Prefix property: entries are exactly 0..n in order.
+                        for (i, &id) in ids.iter().enumerate() {
+                            assert_eq!(id as usize, i, "scan must be a dense prefix");
+                        }
+                        // Monotonicity within one reader *between* swaps is
+                        // not guaranteed mid-migration (paper semantics);
+                        // but the final view must be complete.
+                        max_seen = max_seen.max(ids.len());
+                    }
+                    max_seen
+                })
+            })
+            .collect();
+        for i in 0..50_000u32 {
+            list.append(ImageId(i));
+        }
+        list.flush();
+        stop.store(true, Ordering::Relaxed);
+        for h in readers {
+            h.join().unwrap();
+        }
+        assert_eq!(collect(&list), (0..50_000).collect::<Vec<_>>());
+        assert!(list.expansions() > 0);
+    }
+
+    #[test]
+    fn index_routes_to_lists() {
+        let idx = InvertedIndex::new(4, 8, false);
+        idx.append(ListId(0), ImageId(1));
+        idx.append(ListId(0), ImageId(2));
+        idx.append(ListId(3), ImageId(9));
+        assert_eq!(idx.num_lists(), 4);
+        assert_eq!(idx.aux_positions(), vec![2, 0, 0, 1]);
+        assert_eq!(idx.total_entries(), 3);
+        let mut seen = HashSet::new();
+        idx.scan(ListId(0), |id| {
+            seen.insert(id.0);
+        });
+        assert_eq!(seen, HashSet::from([1, 2]));
+    }
+
+    #[test]
+    fn index_flush_completes_all_lists() {
+        let idx = InvertedIndex::new(2, 2, true);
+        for i in 0..10 {
+            idx.append(ListId(0), ImageId(i));
+            idx.append(ListId(1), ImageId(100 + i));
+        }
+        idx.flush();
+        assert_eq!(idx.total_entries(), 20);
+        assert!(idx.total_expansions() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_lists must be positive")]
+    fn zero_lists_panics() {
+        InvertedIndex::new(0, 4, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial capacity must be positive")]
+    fn zero_capacity_panics() {
+        InvertedList::new(0, false);
+    }
+}

@@ -1,0 +1,228 @@
+//! Single-partition query evaluation (Section 2.4).
+//!
+//! *"Each searcher node identifies the cluster that is most similar to the
+//! queried image based on its features. It then scans the cluster's
+//! inverted list and calculates the similarity as each image in the
+//! inverted list. The top N most similar images are returned."*
+//!
+//! [`ann_search`] generalizes "the cluster" to the `nprobe` nearest
+//! clusters (probing one list is the paper's letter; multi-probe is the
+//! standard recall knob and the `ablate-nprobe` experiment sweeps it).
+//! Invalid images — cleared bits in the validity bitmap — are skipped
+//! during the scan, so logically deleted products never surface.
+
+use jdvs_vector::distance::squared_l2;
+use jdvs_vector::topk::{Neighbor, TopK};
+
+use crate::ids::{ImageId, ListId};
+use crate::index::VisualIndex;
+
+/// IVF search over one partition; see the module docs.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `nprobe == 0`, or `query` has the wrong dimension.
+pub fn ann_search(index: &VisualIndex, query: &[f32], k: usize, nprobe: usize) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+    assert!(nprobe > 0, "nprobe must be positive");
+    assert_eq!(query.len(), index.config().dim, "query dimension mismatch");
+    let lists = index.quantizer().assign_multi(query, nprobe);
+    let mut topk = TopK::new(k);
+    for list in lists {
+        index.inverted_internal().scan(ListId(list as u32), |id| {
+            if !index.bitmap().test(id.as_usize()) {
+                return; // logically deleted
+            }
+            let d = index
+                .vectors()
+                .with(id, |v| squared_l2(query, v.as_slice()))
+                .unwrap_or(f32::INFINITY);
+            topk.push(id.as_u64(), d);
+        });
+    }
+    topk.into_sorted_vec()
+}
+
+/// Two-stage compressed (PQ) search; see
+/// [`VisualIndex::search_compressed`].
+///
+/// # Panics
+///
+/// Panics if PQ mode is disabled, any count is zero, or `query` has the
+/// wrong dimension.
+pub fn compressed_search(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    rerank_factor: usize,
+) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+    assert!(nprobe > 0, "nprobe must be positive");
+    assert!(rerank_factor > 0, "rerank_factor must be positive");
+    assert_eq!(query.len(), index.config().dim, "query dimension mismatch");
+    let pq = index
+        .pq_store()
+        .expect("compressed search requires config.pq_subspaces (see IndexConfig)");
+
+    // Stage 1: ADC scan of the probed lists over m-byte codes.
+    let table = pq.adc_table(query);
+    let lists = index.quantizer().assign_multi(query, nprobe);
+    let mut shortlist = TopK::new(k.saturating_mul(rerank_factor).max(k));
+    for list in lists {
+        index.inverted_internal().scan(ListId(list as u32), |id| {
+            if !index.bitmap().test(id.as_usize()) {
+                return;
+            }
+            if let Some(d) = pq.distance(&table, id) {
+                shortlist.push(id.as_u64(), d);
+            }
+        });
+    }
+
+    // Stage 2: exact rerank of the shortlist over raw vectors.
+    let mut topk = TopK::new(k);
+    for candidate in shortlist.into_sorted_vec() {
+        let id = ImageId(candidate.id as u32);
+        if let Some(d) = index.vectors().with(id, |v| squared_l2(query, v.as_slice())) {
+            topk.push(candidate.id, d);
+        }
+    }
+    topk.into_sorted_vec()
+}
+
+/// Exact top-k over every valid image (ground truth; `O(n·d)`).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `query` has the wrong dimension.
+pub fn brute_force(index: &VisualIndex, query: &[f32], k: usize) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(query.len(), index.config().dim, "query dimension mismatch");
+    let mut topk = TopK::new(k);
+    for raw in 0..index.forward().len() {
+        let id = ImageId(raw as u32);
+        if !index.bitmap().test(raw) {
+            continue;
+        }
+        if let Some(d) = index.vectors().with(id, |v| squared_l2(query, v.as_slice())) {
+            topk.push(id.as_u64(), d);
+        }
+    }
+    topk.into_sorted_vec()
+}
+
+/// Recall@k of `got` against ground-truth `expected` (fraction of expected
+/// ids present in got).
+pub fn recall(got: &[Neighbor], expected: &[Neighbor]) -> f64 {
+    if expected.is_empty() {
+        return 1.0;
+    }
+    let got_ids: std::collections::HashSet<u64> = got.iter().map(|n| n.id).collect();
+    let hit = expected.iter().filter(|n| got_ids.contains(&n.id)).count();
+    hit as f64 / expected.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use jdvs_storage::model::{ProductAttributes, ProductId};
+    use jdvs_vector::rng::Xoshiro256;
+    use jdvs_vector::Vector;
+
+    fn build_index(n: usize, num_lists: usize, seed: u64) -> (VisualIndex, Vec<Vector>) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let data: Vec<Vector> =
+            (0..n).map(|_| (0..8).map(|_| rng.next_gaussian() as f32).collect()).collect();
+        let config = IndexConfig {
+            dim: 8,
+            num_lists,
+            initial_list_capacity: 8,
+            ..Default::default()
+        };
+        let index = VisualIndex::bootstrap(config, &data);
+        for (i, v) in data.iter().enumerate() {
+            index
+                .insert(
+                    v.clone(),
+                    ProductAttributes::new(ProductId(i as u64), 0, 0, 0, format!("u{i}")),
+                )
+                .unwrap();
+        }
+        index.flush();
+        (index, data)
+    }
+
+    #[test]
+    fn full_probe_equals_brute_force() {
+        let (index, data) = build_index(300, 8, 3);
+        for q in data.iter().take(20) {
+            let ann = ann_search(&index, q.as_slice(), 5, 8);
+            let exact = brute_force(&index, q.as_slice(), 5);
+            assert_eq!(recall(&ann, &exact), 1.0);
+        }
+    }
+
+    #[test]
+    fn recall_grows_with_nprobe() {
+        let (index, data) = build_index(500, 16, 5);
+        let mut totals = Vec::new();
+        for nprobe in [1usize, 4, 16] {
+            let mut total = 0.0;
+            for q in data.iter().take(30) {
+                let ann = ann_search(&index, q.as_slice(), 10, nprobe);
+                let exact = brute_force(&index, q.as_slice(), 10);
+                total += recall(&ann, &exact);
+            }
+            totals.push(total / 30.0);
+        }
+        assert!(totals[0] <= totals[1] + 1e-9);
+        assert!(totals[1] <= totals[2] + 1e-9);
+        assert!((totals[2] - 1.0).abs() < 1e-9, "full probe is exact");
+    }
+
+    #[test]
+    fn results_are_sorted_by_distance() {
+        let (index, data) = build_index(200, 4, 7);
+        let hits = ann_search(&index, data[0].as_slice(), 10, 4);
+        for w in hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn deleted_images_are_skipped_by_both_paths() {
+        let (index, data) = build_index(50, 4, 9);
+        let key = jdvs_storage::model::ImageKey::from_url("u0");
+        index.invalidate(key, "u0").unwrap();
+        let ann = ann_search(&index, data[0].as_slice(), 50, 4);
+        let exact = brute_force(&index, data[0].as_slice(), 50);
+        assert!(ann.iter().all(|n| n.id != 0));
+        assert!(exact.iter().all(|n| n.id != 0));
+        assert_eq!(ann.len(), 49);
+    }
+
+    #[test]
+    fn recall_of_identical_sets_is_one() {
+        let a = vec![Neighbor::new(1, 0.0), Neighbor::new(2, 1.0)];
+        assert_eq!(recall(&a, &a), 1.0);
+        assert_eq!(recall(&a, &[]), 1.0);
+        let b = vec![Neighbor::new(1, 0.0), Neighbor::new(9, 1.0)];
+        assert_eq!(recall(&b, &a), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimension mismatch")]
+    fn wrong_query_dim_panics() {
+        let (index, _) = build_index(10, 2, 1);
+        ann_search(&index, &[0.0; 4], 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let (index, data) = build_index(10, 2, 1);
+        ann_search(&index, data[0].as_slice(), 0, 1);
+    }
+}

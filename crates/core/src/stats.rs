@@ -1,0 +1,47 @@
+//! Index operation statistics.
+
+use jdvs_metrics::Counter;
+
+/// Counters describing an index partition's lifetime activity.
+#[derive(Debug, Default)]
+pub struct IndexStats {
+    /// Fresh image insertions (new forward-index records).
+    pub inserts: Counter,
+    /// Insertions satisfied by reuse (re-listing of a known image: bitmap
+    /// flip instead of extraction + append).
+    pub reuses: Counter,
+    /// Numeric/URL attribute updates applied.
+    pub updates: Counter,
+    /// Logical deletions (validity bits cleared).
+    pub deletions: Counter,
+    /// Queries served.
+    pub searches: Counter,
+}
+
+impl IndexStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sum of all mutation counters (Table 1's "total").
+    pub fn total_mutations(&self) -> u64 {
+        self.inserts.get() + self.reuses.get() + self.updates.get() + self.deletions.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_mutations() {
+        let s = IndexStats::new();
+        s.inserts.add(2);
+        s.reuses.add(3);
+        s.updates.add(5);
+        s.deletions.add(7);
+        s.searches.add(100); // not a mutation
+        assert_eq!(s.total_mutations(), 17);
+    }
+}

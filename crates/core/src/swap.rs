@@ -1,0 +1,112 @@
+//! Hot-swappable index handles.
+//!
+//! Figure 2: the full index is rebuilt weekly and distributed to searcher
+//! nodes — *while they keep serving*. [`IndexHandle`] is the indirection
+//! that makes the cutover safe: searchers and the real-time indexer
+//! resolve the current [`VisualIndex`] through the handle per operation;
+//! a rebuild publishes the fresh index with one [`IndexHandle::swap`].
+//! In-flight searches keep their `Arc` to the old index and finish
+//! normally; the old index is freed when its last reader drops it.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+use crate::index::VisualIndex;
+
+/// A shared, swappable reference to a partition's current index.
+#[derive(Debug)]
+pub struct IndexHandle {
+    current: RwLock<Arc<VisualIndex>>,
+    generation: std::sync::atomic::AtomicU64,
+}
+
+impl IndexHandle {
+    /// Creates a handle over an initial index (generation 0).
+    pub fn new(index: Arc<VisualIndex>) -> Self {
+        Self { current: RwLock::new(index), generation: std::sync::atomic::AtomicU64::new(0) }
+    }
+
+    /// Snapshot of the current index. Cheap (one `Arc` clone under an
+    /// uncontended read lock); the snapshot stays valid across swaps.
+    pub fn get(&self) -> Arc<VisualIndex> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Publishes `new_index`, returning the replaced one. Bumps the
+    /// generation counter (observable by monitoring).
+    pub fn swap(&self, new_index: Arc<VisualIndex>) -> Arc<VisualIndex> {
+        let mut guard = self.current.write();
+        let old = std::mem::replace(&mut *guard, new_index);
+        self.generation.fetch_add(1, std::sync::atomic::Ordering::Release);
+        old
+    }
+
+    /// How many swaps have been published.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use jdvs_storage::model::{ProductAttributes, ProductId};
+    use jdvs_vector::Vector;
+
+    fn tiny_index(tag: u64) -> Arc<VisualIndex> {
+        let index = Arc::new(VisualIndex::bootstrap(
+            IndexConfig { dim: 2, num_lists: 1, ..Default::default() },
+            &[Vector::from(vec![0.0, 0.0])],
+        ));
+        index
+            .insert(
+                Vector::from(vec![tag as f32, 0.0]),
+                ProductAttributes::new(ProductId(tag), 0, 0, 0, format!("u{tag}")),
+            )
+            .unwrap();
+        index
+    }
+
+    #[test]
+    fn get_returns_current_and_swap_replaces() {
+        let handle = IndexHandle::new(tiny_index(1));
+        assert_eq!(handle.generation(), 0);
+        let snapshot = handle.get();
+        assert_eq!(snapshot.attributes(crate::ids::ImageId(0)).unwrap().url, "u1");
+
+        let old = handle.swap(tiny_index(2));
+        assert_eq!(handle.generation(), 1);
+        assert_eq!(old.attributes(crate::ids::ImageId(0)).unwrap().url, "u1");
+        assert_eq!(handle.get().attributes(crate::ids::ImageId(0)).unwrap().url, "u2");
+        // The pre-swap snapshot still works (readers never break).
+        assert_eq!(snapshot.attributes(crate::ids::ImageId(0)).unwrap().url, "u1");
+    }
+
+    #[test]
+    fn concurrent_readers_survive_swaps() {
+        let handle = Arc::new(IndexHandle::new(tiny_index(0)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let handle = Arc::clone(&handle);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let index = handle.get();
+                        let attrs = index.attributes(crate::ids::ImageId(0)).unwrap();
+                        assert!(attrs.url.starts_with('u'));
+                    }
+                })
+            })
+            .collect();
+        for gen in 1..50u64 {
+            handle.swap(tiny_index(gen));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(handle.generation(), 49);
+    }
+}

@@ -1,0 +1,158 @@
+//! Append-only feature-vector store, aligned with forward-index ids.
+//!
+//! The inverted lists hold image **ids**; computing a query's Euclidean
+//! distance to a candidate (Section 2.4) needs the candidate's raw feature
+//! vector. The production system keeps features alongside the index; here
+//! they live in a chunked, append-only store where slot `i` is image `i`'s
+//! vector. Slots are `OnceLock`s: written exactly once by the appender,
+//! read lock-free (with acquire semantics) by any number of searchers.
+
+use parking_lot::RwLock;
+use std::sync::{Arc, OnceLock};
+
+use jdvs_vector::Vector;
+
+use crate::ids::ImageId;
+
+/// Vectors per chunk.
+const CHUNK_VECTORS: usize = 4096;
+
+struct Chunk {
+    slots: Box<[OnceLock<Vector>]>,
+}
+
+impl Chunk {
+    fn new() -> Self {
+        let mut v = Vec::with_capacity(CHUNK_VECTORS);
+        v.resize_with(CHUNK_VECTORS, OnceLock::new);
+        Self { slots: v.into_boxed_slice() }
+    }
+}
+
+/// The vector store; see the module docs.
+///
+/// # Example
+///
+/// ```
+/// use jdvs_core::vectors::VectorStore;
+/// use jdvs_core::ids::ImageId;
+/// use jdvs_vector::Vector;
+///
+/// let store = VectorStore::new();
+/// store.put(ImageId(0), Vector::from(vec![1.0, 2.0]));
+/// assert_eq!(store.get(ImageId(0)).unwrap().as_slice(), &[1.0, 2.0]);
+/// assert!(store.get(ImageId(1)).is_none());
+/// ```
+#[derive(Default)]
+pub struct VectorStore {
+    chunks: RwLock<Vec<Arc<Chunk>>>,
+}
+
+impl std::fmt::Debug for VectorStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VectorStore").field("chunks", &self.chunks.read().len()).finish()
+    }
+}
+
+impl VectorStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `vector` in slot `id`. Each slot may be written once; a
+    /// second write to the same id is ignored (slots are immutable — a new
+    /// version of an image is a new id in this design).
+    pub fn put(&self, id: ImageId, vector: Vector) {
+        let chunk_idx = id.as_usize() / CHUNK_VECTORS;
+        {
+            let chunks = self.chunks.read();
+            if chunks.len() <= chunk_idx {
+                drop(chunks);
+                let mut chunks = self.chunks.write();
+                while chunks.len() <= chunk_idx {
+                    chunks.push(Arc::new(Chunk::new()));
+                }
+            }
+        }
+        let chunks = self.chunks.read();
+        let _ = chunks[chunk_idx].slots[id.as_usize() % CHUNK_VECTORS].set(vector);
+    }
+
+    /// Fetches the vector in slot `id`, if written.
+    pub fn get(&self, id: ImageId) -> Option<Vector> {
+        self.with(id, Clone::clone)
+    }
+
+    /// Applies `f` to the vector in slot `id` without cloning (the scan hot
+    /// path: distance computation borrows the slice in place).
+    pub fn with<R>(&self, id: ImageId, f: impl FnOnce(&Vector) -> R) -> Option<R> {
+        let chunk_idx = id.as_usize() / CHUNK_VECTORS;
+        let chunks = self.chunks.read();
+        let chunk = Arc::clone(chunks.get(chunk_idx)?);
+        drop(chunks);
+        chunk.slots[id.as_usize() % CHUNK_VECTORS].get().map(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn put_get_round_trip() {
+        let s = VectorStore::new();
+        s.put(ImageId(3), Vector::from(vec![1.0]));
+        assert_eq!(s.get(ImageId(3)).unwrap().as_slice(), &[1.0]);
+        assert!(s.get(ImageId(2)).is_none(), "unwritten slot is empty");
+        assert!(s.get(ImageId(100_000)).is_none(), "unallocated chunk is empty");
+    }
+
+    #[test]
+    fn slots_are_write_once() {
+        let s = VectorStore::new();
+        s.put(ImageId(0), Vector::from(vec![1.0]));
+        s.put(ImageId(0), Vector::from(vec![2.0]));
+        assert_eq!(s.get(ImageId(0)).unwrap().as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn with_borrows_in_place() {
+        let s = VectorStore::new();
+        s.put(ImageId(1), Vector::from(vec![3.0, 4.0]));
+        let norm = s.with(ImageId(1), |v| v.norm()).unwrap();
+        assert!((norm - 5.0).abs() < 1e-6);
+        assert!(s.with(ImageId(9), |v| v.norm()).is_none());
+    }
+
+    #[test]
+    fn spans_chunks() {
+        let s = VectorStore::new();
+        let far = ImageId((CHUNK_VECTORS * 3 + 7) as u32);
+        s.put(far, Vector::from(vec![9.0]));
+        assert_eq!(s.get(far).unwrap().as_slice(), &[9.0]);
+    }
+
+    #[test]
+    fn concurrent_put_get() {
+        let s = StdArc::new(VectorStore::new());
+        let writers: Vec<_> = (0..4u32)
+            .map(|t| {
+                let s = StdArc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u32 {
+                        let id = ImageId(t * 2_000 + i);
+                        s.put(id, Vector::from(vec![id.0 as f32]));
+                    }
+                })
+            })
+            .collect();
+        for h in writers {
+            h.join().unwrap();
+        }
+        for id in 0..8_000u32 {
+            assert_eq!(s.get(ImageId(id)).unwrap().as_slice(), &[id as f32]);
+        }
+    }
+}

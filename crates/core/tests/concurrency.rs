@@ -1,0 +1,216 @@
+//! Concurrency stress tests for the real-time index: the paper's central
+//! claim is that search and update never conflict. These tests run
+//! searcher-like reader threads against a writer applying the full event
+//! mix, checking invariants the whole time.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use jdvs_core::ids::ImageId;
+use jdvs_core::{IndexConfig, VisualIndex};
+use jdvs_storage::model::{ImageKey, ProductAttributes, ProductId};
+use jdvs_vector::rng::Xoshiro256;
+use jdvs_vector::Vector;
+
+const DIM: usize = 16;
+
+fn fresh_index() -> Arc<VisualIndex> {
+    let mut rng = Xoshiro256::seed_from(77);
+    let train: Vec<Vector> =
+        (0..128).map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect()).collect();
+    Arc::new(VisualIndex::bootstrap(
+        IndexConfig {
+            dim: DIM,
+            num_lists: 8,
+            initial_list_capacity: 4, // force many expansions
+            nprobe: 8,
+            ..Default::default()
+        },
+        &train,
+    ))
+}
+
+fn vec_for(i: u64) -> Vector {
+    let mut rng = Xoshiro256::seed_from(i ^ 0xFEED);
+    (0..DIM).map(|_| rng.next_gaussian() as f32).collect()
+}
+
+fn attrs_for(i: u64) -> ProductAttributes {
+    ProductAttributes::new(ProductId(i), i, 100 + i, i % 7, format!("u{i}"))
+}
+
+#[test]
+fn searches_stay_consistent_while_writer_inserts_through_expansions() {
+    let index = fresh_index();
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|r| {
+            let index = Arc::clone(&index);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let query = vec_for(r);
+                let mut observed_max = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let hits = index.search(query.as_slice(), 10, 8);
+                    // Results must be sorted, distinct, and reference
+                    // readable records.
+                    for w in hits.windows(2) {
+                        assert!(w[0].distance <= w[1].distance);
+                        assert_ne!(w[0].id, w[1].id);
+                    }
+                    for n in &hits {
+                        let attrs = index
+                            .attributes(ImageId(n.id as u32))
+                            .expect("hit must reference a published record");
+                        assert_eq!(attrs.url, format!("u{}", attrs.product_id.0));
+                    }
+                    observed_max = observed_max.max(hits.len());
+                }
+                observed_max
+            })
+        })
+        .collect();
+
+    for i in 0..5_000u64 {
+        index.insert(vec_for(i), attrs_for(i)).unwrap();
+    }
+    index.flush();
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        assert!(r.join().unwrap() > 0, "readers must see results");
+    }
+    assert_eq!(index.num_images(), 5_000);
+    assert!(index.inverted().total_expansions() > 0, "expansions must have occurred");
+    // Post-quiescence: every insert is searchable.
+    let hits = index.search(vec_for(4_999).as_slice(), 1, 8);
+    let top = index.attributes(ImageId(hits[0].id as u32)).unwrap();
+    assert_eq!(top.url, "u4999");
+}
+
+#[test]
+fn deletions_and_relistings_never_corrupt_reader_view() {
+    let index = fresh_index();
+    // Preload 2 000 images.
+    for i in 0..2_000u64 {
+        index.insert(vec_for(i), attrs_for(i)).unwrap();
+    }
+    index.flush();
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|r| {
+            let index = Arc::clone(&index);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let query = vec_for(1_000 + r);
+                while !stop.load(Ordering::Relaxed) {
+                    for n in index.search(query.as_slice(), 20, 8) {
+                        // Whatever the interleaving, a returned hit was
+                        // valid at scan time and must still have coherent
+                        // attributes.
+                        let attrs = index.attributes(ImageId(n.id as u32)).unwrap();
+                        assert!(attrs.product_id.0 < 2_000);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Writer: delete/relist churn over the whole catalog.
+    for round in 0..20 {
+        for i in (0..2_000u64).filter(|i| i % 3 == round % 3) {
+            let key = ImageKey::from_url(&format!("u{i}"));
+            index.invalidate(key, &format!("u{i}")).unwrap();
+        }
+        for i in (0..2_000u64).filter(|i| i % 3 == round % 3) {
+            index
+                .upsert(attrs_for(i), || panic!("relist must reuse"))
+                .unwrap();
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert_eq!(index.valid_images(), 2_000, "all relisted at the end");
+    assert_eq!(index.num_images(), 2_000, "no duplicate records from churn");
+}
+
+#[test]
+fn attribute_updates_race_searches_without_torn_reads() {
+    let index = fresh_index();
+    for i in 0..500u64 {
+        index.insert(vec_for(i), attrs_for(i)).unwrap();
+    }
+    index.flush();
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let index = Arc::clone(&index);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for i in 0..500u64 {
+                        let a = index.attributes(ImageId(i as u32)).unwrap();
+                        // The writer flips between two coherent states per
+                        // field; any mix is fine, garbage is not.
+                        assert!(a.sales == i || a.sales == i + 1_000_000, "torn sales {}", a.sales);
+                        assert!(a.price == 100 + i || a.price == 42, "torn price {}", a.price);
+                    }
+                }
+            })
+        })
+        .collect();
+    for _ in 0..200 {
+        for i in 0..500u64 {
+            let key = ImageKey::from_url(&format!("u{i}"));
+            index
+                .update_numeric(key, &format!("u{i}"), Some(i + 1_000_000), Some(42), None)
+                .unwrap();
+            index
+                .update_numeric(key, &format!("u{i}"), Some(i), Some(100 + i), None)
+                .unwrap();
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+}
+
+#[test]
+fn single_writer_many_reader_throughput_smoke() {
+    // Not a benchmark — just asserts forward progress under maximum
+    // read-side pressure (regression guard against accidental writer
+    // blocking on the read path).
+    let index = fresh_index();
+    for i in 0..100u64 {
+        index.insert(vec_for(i), attrs_for(i)).unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let index = Arc::clone(&index);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let q = vec_for(3);
+                while !stop.load(Ordering::Relaxed) {
+                    index.search(q.as_slice(), 5, 8);
+                }
+            })
+        })
+        .collect();
+    let start = std::time::Instant::now();
+    for i in 100..1_100u64 {
+        index.insert(vec_for(i), attrs_for(i)).unwrap();
+    }
+    let elapsed = start.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert!(
+        elapsed < std::time::Duration::from_secs(30),
+        "writer starved by readers: {elapsed:?}"
+    );
+    assert_eq!(index.num_images(), 1_100);
+}

@@ -1,0 +1,185 @@
+//! Property-based tests for jdvs-core: snapshot persistence, the PQ code
+//! store, the swap handle and whole-index invariants under random event
+//! sequences.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use jdvs_core::ids::ImageId;
+use jdvs_core::swap::IndexHandle;
+use jdvs_core::{persist, IndexConfig, VisualIndex};
+use jdvs_storage::model::{ImageKey, ProductAttributes, ProductId};
+use jdvs_vector::Vector;
+
+const DIM: usize = 6;
+
+fn base_index() -> VisualIndex {
+    VisualIndex::bootstrap(
+        IndexConfig {
+            dim: DIM,
+            num_lists: 3,
+            initial_list_capacity: 2,
+            nprobe: 3,
+            ..Default::default()
+        },
+        &[
+            Vector::from(vec![0.0; DIM]),
+            Vector::from(vec![1.0; DIM]),
+            Vector::from(vec![-1.0; DIM]),
+        ],
+    )
+}
+
+/// A random mutation against a pool of `n` potential products.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, [i8; DIM]),
+    Delete(u8),
+    Update(u8, u32),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<[i8; DIM]>()).prop_map(|(p, v)| Op::Insert(p, v)),
+        any::<u8>().prop_map(Op::Delete),
+        (any::<u8>(), any::<u32>()).prop_map(|(p, s)| Op::Update(p, s)),
+    ]
+}
+
+fn url_of(p: u8) -> String {
+    format!("prop/u{p}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the mutation sequence, the index agrees with a trivial
+    /// model: valid set, attributes, and searchability of valid images.
+    #[test]
+    fn index_matches_model_under_random_ops(ops in prop::collection::vec(op(), 1..60)) {
+        let index = base_index();
+        // model: product -> (sales, valid)
+        let mut model: std::collections::HashMap<u8, (u64, bool)> =
+            std::collections::HashMap::new();
+        for op in &ops {
+            match op {
+                Op::Insert(p, v) => {
+                    let attrs =
+                        ProductAttributes::new(ProductId(u64::from(*p)), 1, 2, 3, url_of(*p));
+                    let vector =
+                        Vector::from(v.iter().map(|&x| f32::from(x)).collect::<Vec<_>>());
+                    let outcome = index.upsert(attrs, || Some(vector)).unwrap();
+                    let entry = model.entry(*p).or_insert((1, true));
+                    entry.1 = true;
+                    if outcome.reused() {
+                        entry.0 = 1; // upsert refreshes attrs to sales=1
+                    } else {
+                        *entry = (1, true);
+                    }
+                }
+                Op::Delete(p) => {
+                    let key = ImageKey::from_url(&url_of(*p));
+                    let result = index.invalidate(key, &url_of(*p));
+                    prop_assert_eq!(result.is_ok(), model.contains_key(p));
+                    if let Some(e) = model.get_mut(p) {
+                        e.1 = false;
+                    }
+                }
+                Op::Update(p, sales) => {
+                    let key = ImageKey::from_url(&url_of(*p));
+                    let result =
+                        index.update_numeric(key, &url_of(*p), Some(u64::from(*sales)), None, None);
+                    prop_assert_eq!(result.is_ok(), model.contains_key(p));
+                    if let Some(e) = model.get_mut(p) {
+                        e.0 = u64::from(*sales);
+                    }
+                }
+            }
+        }
+        index.flush();
+        let valid_expected = model.values().filter(|(_, v)| *v).count();
+        prop_assert_eq!(index.valid_images(), valid_expected);
+        prop_assert_eq!(index.num_images(), model.len());
+        for (p, (sales, valid)) in &model {
+            let id = index.lookup(ImageKey::from_url(&url_of(*p))).expect("inserted");
+            prop_assert_eq!(index.is_valid(id), *valid);
+            prop_assert_eq!(&index.attributes(id).unwrap().sales, sales);
+        }
+    }
+
+    /// Snapshot round trip preserves the whole observable state for any
+    /// mutation sequence.
+    #[test]
+    fn persist_round_trip_under_random_ops(ops in prop::collection::vec(op(), 1..40)) {
+        let index = base_index();
+        for op in &ops {
+            match op {
+                Op::Insert(p, v) => {
+                    let attrs =
+                        ProductAttributes::new(ProductId(u64::from(*p)), 1, 2, 3, url_of(*p));
+                    let vector =
+                        Vector::from(v.iter().map(|&x| f32::from(x)).collect::<Vec<_>>());
+                    let _ = index.upsert(attrs, || Some(vector));
+                }
+                Op::Delete(p) => {
+                    let _ = index.invalidate(ImageKey::from_url(&url_of(*p)), &url_of(*p));
+                }
+                Op::Update(p, sales) => {
+                    let _ = index.update_numeric(
+                        ImageKey::from_url(&url_of(*p)),
+                        &url_of(*p),
+                        Some(u64::from(*sales)),
+                        None,
+                        None,
+                    );
+                }
+            }
+        }
+        index.flush();
+        let restored = persist::load(&persist::save(&index)).expect("round trip");
+        prop_assert_eq!(restored.num_images(), index.num_images());
+        prop_assert_eq!(restored.valid_images(), index.valid_images());
+        for raw in 0..index.num_images() {
+            let id = ImageId(raw as u32);
+            prop_assert_eq!(restored.attributes(id).unwrap(), index.attributes(id).unwrap());
+            prop_assert_eq!(restored.is_valid(id), index.is_valid(id));
+            prop_assert_eq!(restored.features(id), index.features(id));
+        }
+    }
+
+    /// Swapping through an IndexHandle never tears: a reader sees either
+    /// the full old state or the full new state.
+    #[test]
+    fn handle_swaps_are_atomic(n_swaps in 1usize..10) {
+        let handle = IndexHandle::new(Arc::new(base_index()));
+        for gen in 0..n_swaps {
+            let fresh = base_index();
+            for i in 0..=gen {
+                fresh
+                    .insert(
+                        Vector::from(vec![i as f32; DIM]),
+                        ProductAttributes::new(
+                            ProductId(i as u64),
+                            gen as u64,
+                            0,
+                            0,
+                            format!("g{gen}/u{i}"),
+                        ),
+                    )
+                    .unwrap();
+            }
+            fresh.flush();
+            handle.swap(Arc::new(fresh));
+            let snapshot = handle.get();
+            // A snapshot is internally consistent: all its records belong
+            // to the same generation.
+            prop_assert_eq!(snapshot.num_images(), gen + 1);
+            for raw in 0..snapshot.num_images() {
+                let attrs = snapshot.attributes(ImageId(raw as u32)).unwrap();
+                prop_assert_eq!(attrs.sales, gen as u64);
+            }
+        }
+        prop_assert_eq!(handle.generation(), n_swaps as u64);
+    }
+}

@@ -1,0 +1,214 @@
+//! Extraction cost model.
+//!
+//! Feature extraction dominates real-time indexing latency for novel images
+//! (the paper's Fig. 11(b) hourly latencies — avg 132 ms, p99 816 ms — are
+//! dominated by extraction, which is why reusing previously extracted
+//! features "significantly improved the response time"). The synthetic
+//! extractor computes in microseconds, so experiments that reproduce the
+//! paper's latency shape charge an explicit cost per extraction.
+//!
+//! Two modes:
+//! - [`CostModel::sleep`] — really sleep, for wall-clock experiments;
+//! - [`CostModel::virtual_time`] — account the cost without sleeping, for
+//!   fast tests (the charged nanoseconds are returned to the caller).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use jdvs_vector::rng::Xoshiro256;
+use parking_lot::Mutex;
+
+/// Distribution of a single extraction's cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostDistribution {
+    /// Fixed cost per extraction.
+    Constant(Duration),
+    /// Uniform in `[min, max]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        min: Duration,
+        /// Upper bound (inclusive).
+        max: Duration,
+    },
+    /// Log-normal-ish: `median * exp(sigma * N(0,1))`, clamped to
+    /// `10 * median`. Heavy right tail, like real GPU batch queues.
+    LogNormal {
+        /// Median cost.
+        median: Duration,
+        /// Dimensionless spread (0.3–0.8 is realistic).
+        sigma: f64,
+    },
+    /// No cost at all.
+    Free,
+}
+
+/// How the cost is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Sleep,
+    Virtual,
+}
+
+/// A thread-safe extraction cost model.
+///
+/// # Example
+///
+/// ```
+/// use jdvs_features::CostModel;
+/// use std::time::Duration;
+///
+/// let model = CostModel::virtual_time(
+///     jdvs_features::cost::CostDistribution::Constant(Duration::from_millis(50)), 1);
+/// let charged = model.charge();
+/// assert_eq!(charged, Duration::from_millis(50));
+/// assert_eq!(model.total_charged(), Duration::from_millis(50));
+/// ```
+#[derive(Debug)]
+pub struct CostModel {
+    distribution: CostDistribution,
+    mode: Mode,
+    rng: Mutex<Xoshiro256>,
+    total_ns: AtomicU64,
+    charges: AtomicU64,
+}
+
+impl CostModel {
+    /// A model that really sleeps for the sampled cost.
+    pub fn sleep(distribution: CostDistribution, seed: u64) -> Self {
+        Self::new(distribution, Mode::Sleep, seed)
+    }
+
+    /// A model that only accounts the sampled cost.
+    pub fn virtual_time(distribution: CostDistribution, seed: u64) -> Self {
+        Self::new(distribution, Mode::Virtual, seed)
+    }
+
+    /// A zero-cost model (unit tests).
+    pub fn free() -> Self {
+        Self::new(CostDistribution::Free, Mode::Virtual, 0)
+    }
+
+    fn new(distribution: CostDistribution, mode: Mode, seed: u64) -> Self {
+        Self {
+            distribution,
+            mode,
+            rng: Mutex::new(Xoshiro256::seed_from(seed)),
+            total_ns: AtomicU64::new(0),
+            charges: AtomicU64::new(0),
+        }
+    }
+
+    /// Samples one extraction's cost, applies it (sleeping if configured),
+    /// and returns it.
+    pub fn charge(&self) -> Duration {
+        let cost = self.sample();
+        self.total_ns.fetch_add(cost.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+        self.charges.fetch_add(1, Ordering::Relaxed);
+        if self.mode == Mode::Sleep && !cost.is_zero() {
+            std::thread::sleep(cost);
+        }
+        cost
+    }
+
+    /// Samples a cost without applying it.
+    pub fn sample(&self) -> Duration {
+        match self.distribution {
+            CostDistribution::Free => Duration::ZERO,
+            CostDistribution::Constant(d) => d,
+            CostDistribution::Uniform { min, max } => {
+                let (lo, hi) = (min.min(max), max.max(min));
+                let span = (hi - lo).as_nanos() as u64;
+                let mut rng = self.rng.lock();
+                let off = if span == 0 { 0 } else { rng.next_bounded(span + 1) };
+                lo + Duration::from_nanos(off)
+            }
+            CostDistribution::LogNormal { median, sigma } => {
+                let g = self.rng.lock().next_gaussian();
+                let factor = (sigma * g).exp().min(10.0);
+                Duration::from_nanos((median.as_nanos() as f64 * factor) as u64)
+            }
+        }
+    }
+
+    /// Total cost charged so far (virtual or real).
+    pub fn total_charged(&self) -> Duration {
+        Duration::from_nanos(self.total_ns.load(Ordering::Relaxed))
+    }
+
+    /// Number of extractions charged so far.
+    pub fn charge_count(&self) -> u64 {
+        self.charges.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let m = CostModel::free();
+        assert_eq!(m.charge(), Duration::ZERO);
+        assert_eq!(m.total_charged(), Duration::ZERO);
+        assert_eq!(m.charge_count(), 1);
+    }
+
+    #[test]
+    fn constant_virtual_accumulates() {
+        let m = CostModel::virtual_time(CostDistribution::Constant(Duration::from_millis(10)), 1);
+        for _ in 0..5 {
+            m.charge();
+        }
+        assert_eq!(m.total_charged(), Duration::from_millis(50));
+        assert_eq!(m.charge_count(), 5);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let m = CostModel::virtual_time(
+            CostDistribution::Uniform {
+                min: Duration::from_micros(10),
+                max: Duration::from_micros(20),
+            },
+            2,
+        );
+        for _ in 0..1_000 {
+            let c = m.sample();
+            assert!(c >= Duration::from_micros(10) && c <= Duration::from_micros(20), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_plausible_and_clamped() {
+        let m = CostModel::virtual_time(
+            CostDistribution::LogNormal { median: Duration::from_millis(100), sigma: 0.5 },
+            3,
+        );
+        let mut samples: Vec<Duration> = (0..2_001).map(|_| m.sample()).collect();
+        samples.sort();
+        let med = samples[1000];
+        assert!(med > Duration::from_millis(70) && med < Duration::from_millis(140), "{med:?}");
+        assert!(*samples.last().unwrap() <= Duration::from_millis(1000), "clamped at 10x median");
+    }
+
+    #[test]
+    fn sleep_mode_really_sleeps() {
+        let m = CostModel::sleep(CostDistribution::Constant(Duration::from_millis(5)), 4);
+        let start = std::time::Instant::now();
+        m.charge();
+        assert!(start.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let dist = CostDistribution::Uniform {
+            min: Duration::from_nanos(0),
+            max: Duration::from_micros(100),
+        };
+        let a = CostModel::virtual_time(dist, 42);
+        let b = CostModel::virtual_time(dist, 42);
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # jdvs-features
+//!
+//! Feature extraction for the jdvs visual search system.
+//!
+//! The production JD system runs a CNN over product images — an expensive
+//! GPU operation the paper works hard to avoid repeating (the reuse
+//! optimisation of Sections 2.1–2.3). We cannot ship a CNN, and do not
+//! need to: the serving system only depends on three properties of the
+//! extractor, all preserved here (see DESIGN.md §2):
+//!
+//! 1. **Determinism** — identical image bytes yield identical features, so
+//!    deduplication by image key is sound. [`extractor::FeatureExtractor`]
+//!    derives features from the blob's visual seed and content hash.
+//! 2. **Neighbourhood structure** — images of visually similar products
+//!    must land near each other. Blobs carry a `visual_seed` (cluster id);
+//!    features are `cluster_center(visual_seed) + per-image jitter`, giving
+//!    k-means-clusterable data.
+//! 3. **Cost** — extraction is orders of magnitude more expensive than an
+//!    index append, which is what makes feature reuse matter.
+//!    [`cost::CostModel`] charges a configurable delay (real sleep or
+//!    virtual accounting).
+//!
+//! [`cache::CachingExtractor`] wraps the extractor with the paper's
+//! KV-store dedup check, and [`category`] provides the coarse category
+//! detection the online search pipeline performs on query images.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod category;
+pub mod cost;
+pub mod extractor;
+
+pub use cache::CachingExtractor;
+pub use category::CategoryDetector;
+pub use cost::CostModel;
+pub use extractor::{ExtractorConfig, FeatureExtractor};

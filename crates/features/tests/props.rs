@@ -1,0 +1,92 @@
+//! Property-based tests for the feature pipeline.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use jdvs_features::category::{CategoryDetector, CategoryId};
+use jdvs_features::{ExtractorConfig, FeatureExtractor};
+use jdvs_storage::image_store::ImageBlob;
+use jdvs_vector::Vector;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Extraction is a pure function of (bytes, visual_seed, config):
+    /// identical inputs give identical vectors, across extractor instances.
+    #[test]
+    fn extraction_is_deterministic(
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+        visual_seed in any::<u64>(),
+        model_seed in any::<u64>(),
+    ) {
+        let cfg = ExtractorConfig { dim: 12, model_seed, ..Default::default() };
+        let a = FeatureExtractor::new(cfg.clone());
+        let b = FeatureExtractor::new(cfg);
+        let blob = ImageBlob { bytes: Bytes::from(bytes), visual_seed };
+        prop_assert_eq!(a.extract(&blob), b.extract(&blob));
+    }
+
+    /// Normalized extraction always yields unit vectors of the configured
+    /// dimension.
+    #[test]
+    fn extraction_output_shape(
+        bytes in prop::collection::vec(any::<u8>(), 1..48),
+        visual_seed in any::<u64>(),
+        dim in 1usize..64,
+    ) {
+        let ex = FeatureExtractor::new(ExtractorConfig { dim, normalize: true, ..Default::default() });
+        let v = ex.extract(&ImageBlob { bytes: Bytes::from(bytes), visual_seed });
+        prop_assert_eq!(v.dim(), dim);
+        prop_assert!((v.norm() - 1.0).abs() < 1e-4);
+        prop_assert!(v.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    /// Same-cluster images are closer than cross-cluster images, for any
+    /// pair of distinct cluster seeds (the structural property the whole
+    /// search stack relies on).
+    #[test]
+    fn cluster_structure_holds(seed_a in any::<u64>(), seed_b in any::<u64>(), content in any::<u64>()) {
+        prop_assume!(seed_a != seed_b);
+        let ex = FeatureExtractor::new(ExtractorConfig { dim: 24, ..Default::default() });
+        let mk = |cluster: u64, tag: u64| {
+            ex.extract(&ImageBlob {
+                bytes: Bytes::from(tag.to_le_bytes().to_vec()),
+                visual_seed: cluster,
+            })
+        };
+        let a1 = mk(seed_a, content);
+        let a2 = mk(seed_a, content.wrapping_add(1));
+        let b1 = mk(seed_b, content.wrapping_add(2));
+        let near = jdvs_vector::distance::squared_l2(a1.as_slice(), a2.as_slice());
+        let far = jdvs_vector::distance::squared_l2(a1.as_slice(), b1.as_slice());
+        prop_assert!(near < far, "near {near} vs far {far}");
+    }
+
+    /// The category detector classifies each prototype to itself and every
+    /// point to its nearest prototype.
+    #[test]
+    fn detector_is_nearest_prototype(
+        protos in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 4..=4), 1..6),
+        query in prop::collection::vec(-10.0f32..10.0, 4..=4),
+    ) {
+        let detector = CategoryDetector::new(
+            protos
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (CategoryId(i as u32), Vector::from(p.clone())))
+                .collect(),
+        );
+        // Prototypes classify to themselves (ties break to first).
+        for (i, p) in protos.iter().enumerate() {
+            let got = detector.detect(p);
+            let d_self = jdvs_vector::distance::squared_l2(p, &protos[got.0 as usize]);
+            prop_assert!(d_self <= 1e-12, "prototype {i} classified to a non-coincident class");
+        }
+        // Arbitrary queries classify to their argmin prototype.
+        let (got, dist) = detector.detect_with_distance(&query);
+        for p in &protos {
+            prop_assert!(dist <= jdvs_vector::distance::squared_l2(p, &query) + 1e-6);
+        }
+        prop_assert!((got.0 as usize) < protos.len());
+    }
+}

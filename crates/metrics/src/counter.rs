@@ -1,0 +1,114 @@
+//! Monotonic event counters.
+//!
+//! Table 1 and Figure 11(a) are, at heart, counters: updates, additions and
+//! deletions processed per hour and per day. [`Counter`] is a thin wrapper
+//! over `AtomicU64` with relaxed ordering — counts are statistics, not
+//! synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A thread-safe monotonic counter.
+///
+/// # Example
+///
+/// ```
+/// use jdvs_metrics::Counter;
+///
+/// let c = Counter::new();
+/// c.incr();
+/// c.add(41);
+/// assert_eq!(c.get(), 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments by one, returning the previous value.
+    pub fn incr(&self) -> u64 {
+        self.value.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Adds `n`, returning the previous value.
+    pub fn add(&self, n: u64) -> u64 {
+        self.value.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero, returning the value at reset time.
+    pub fn reset(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        Self { value: AtomicU64::new(self.get()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Counter::new().get(), 0);
+    }
+
+    #[test]
+    fn incr_and_add_accumulate() {
+        let c = Counter::new();
+        assert_eq!(c.incr(), 0);
+        assert_eq!(c.add(10), 1);
+        assert_eq!(c.get(), 11);
+    }
+
+    #[test]
+    fn reset_returns_and_clears() {
+        let c = Counter::new();
+        c.add(5);
+        assert_eq!(c.reset(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn clone_snapshots_value() {
+        let c = Counter::new();
+        c.add(7);
+        let d = c.clone();
+        c.incr();
+        assert_eq!(d.get(), 7);
+        assert_eq!(c.get(), 8);
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+}

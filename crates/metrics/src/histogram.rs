@@ -1,0 +1,456 @@
+//! Log-linear latency histograms.
+//!
+//! The evaluation reports average / p90 / p99 latencies (Fig. 11(b)), mean
+//! response times (Fig. 12(b)) and a full response-time CDF (Fig. 13(b)).
+//! [`Histogram`] supports all three from one compact structure: values are
+//! recorded in microseconds into buckets that are exact up to
+//! [`LINEAR_LIMIT`] µs and grow geometrically (64 sub-buckets per octave)
+//! beyond it, giving ≤ ~1.6 % relative quantization error — more than enough
+//! to reproduce the paper's curves.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Values up to this many microseconds land in exact 1 µs buckets.
+pub const LINEAR_LIMIT: u64 = 1024;
+
+/// Sub-buckets per power-of-two octave above the linear range.
+const SUBBUCKETS: u64 = 64;
+
+/// Total number of buckets (linear range + 52 octaves of 64 sub-buckets
+/// covers every representable u64 microsecond value).
+const NUM_BUCKETS: usize = LINEAR_LIMIT as usize + 64 * SUBBUCKETS as usize;
+
+fn bucket_index(value_us: u64) -> usize {
+    if value_us < LINEAR_LIMIT {
+        value_us as usize
+    } else {
+        // The octave of `value_us` is floor(log2(v)); within the octave we
+        // keep SUBBUCKETS evenly spaced slots.
+        let octave = 63 - value_us.leading_zeros() as u64; // >= 10
+        let base = 1u64 << octave;
+        // (value - base) * SUBBUCKETS >> octave, shifted to avoid overflow
+        // near u64::MAX (SUBBUCKETS = 2^6, octave >= 10, so octave - 6 > 0).
+        let sub = (value_us - base) >> (octave - 6);
+        (LINEAR_LIMIT + (octave - 10) * SUBBUCKETS + sub) as usize
+    }
+}
+
+/// Representative (midpoint) value of a bucket in microseconds.
+fn bucket_value(index: usize) -> u64 {
+    if (index as u64) < LINEAR_LIMIT {
+        index as u64
+    } else {
+        let rel = index as u64 - LINEAR_LIMIT;
+        let octave = rel / SUBBUCKETS + 10;
+        let sub = rel % SUBBUCKETS;
+        let base = 1u64 << octave;
+        let width = base / SUBBUCKETS;
+        base + sub * width + width / 2
+    }
+}
+
+/// A single-threaded latency histogram; wrap in [`SharedHistogram`] for
+/// concurrent recording.
+///
+/// # Example
+///
+/// ```
+/// use jdvs_metrics::Histogram;
+/// use std::time::Duration;
+///
+/// let mut h = Histogram::new();
+/// h.record(Duration::from_micros(250));
+/// h.record_us(750);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.min_us(), 250);
+/// assert_eq!(h.max_us(), 750);
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    // Sparse would save memory, but a dense Vec keeps `record` branch-free;
+    // one histogram is ~37 KB which is irrelevant at our scale.
+    buckets: Vec<u64>,
+    count: u64,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("mean_us", &self.mean_us())
+            .field("p50_us", &self.percentile_us(0.5))
+            .field("p99_us", &self.percentile_us(0.99))
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+
+    /// Records a duration.
+    pub fn record(&mut self, d: Duration) {
+        self.record_us(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records a raw microsecond value.
+    pub fn record_us(&mut self, us: u64) {
+        self.buckets[bucket_index(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value in µs (0 when empty).
+    pub fn min_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// Largest recorded value in µs (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean in µs (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Mean as a [`Duration`].
+    pub fn mean(&self) -> Duration {
+        Duration::from_micros(self.mean_us() as u64)
+    }
+
+    /// Approximate `q`-quantile in µs, with `q` in `[0, 1]`.
+    /// Exact `min`/`max` are substituted at the extremes so the reported
+    /// range never exceeds observed values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min_us();
+        }
+        if q >= 1.0 {
+            return self.max_us();
+        }
+        let rank = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_value(i).clamp(self.min_us(), self.max_us());
+            }
+        }
+        self.max_us()
+    }
+
+    /// Approximate `q`-quantile as a [`Duration`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Duration {
+        Duration::from_micros(self.percentile_us(q))
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        if other.count > 0 {
+            self.min_us = self.min_us.min(other.min_us);
+            self.max_us = self.max_us.max(other.max_us);
+        }
+    }
+
+    /// Emits `(latency_us, cumulative_fraction)` points — the response-time
+    /// CDF of Figure 13(b). Only non-empty buckets contribute, so the series
+    /// is compact and strictly increasing in both coordinates.
+    pub fn cdf_points(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        if self.count == 0 {
+            return out;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            let v = bucket_value(i).clamp(self.min_us(), self.max_us());
+            out.push((v, seen as f64 / self.count as f64));
+        }
+        out
+    }
+
+    /// One-line human summary (used by the repro harness output).
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.2}ms p50={:.2}ms p90={:.2}ms p99={:.2}ms max={:.2}ms",
+            self.count,
+            self.mean_us() / 1e3,
+            self.percentile_us(0.50) as f64 / 1e3,
+            self.percentile_us(0.90) as f64 / 1e3,
+            self.percentile_us(0.99) as f64 / 1e3,
+            self.max_us() as f64 / 1e3,
+        )
+    }
+}
+
+/// A mutex-guarded histogram shared across recording threads.
+///
+/// Recording takes an uncontended `parking_lot` lock (tens of nanoseconds),
+/// which is negligible next to the millisecond-scale operations measured.
+#[derive(Debug, Default)]
+pub struct SharedHistogram {
+    inner: Mutex<Histogram>,
+}
+
+impl SharedHistogram {
+    /// Creates an empty shared histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a duration.
+    pub fn record(&self, d: Duration) {
+        self.inner.lock().record(d);
+    }
+
+    /// Records a raw microsecond value.
+    pub fn record_us(&self, us: u64) {
+        self.inner.lock().record_us(us);
+    }
+
+    /// Returns a snapshot copy of the current state.
+    pub fn snapshot(&self) -> Histogram {
+        self.inner.lock().clone()
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.percentile_us(0.99), 0);
+        assert!(h.cdf_points().is_empty());
+    }
+
+    #[test]
+    fn linear_range_is_exact() {
+        let mut h = Histogram::new();
+        for v in 0..LINEAR_LIMIT {
+            h.record_us(v);
+        }
+        assert_eq!(h.count(), LINEAR_LIMIT);
+        assert_eq!(h.min_us(), 0);
+        assert_eq!(h.max_us(), LINEAR_LIMIT - 1);
+        // Exact buckets: the median of 0..1024 is ~512.
+        assert_eq!(h.percentile_us(0.5), 511);
+    }
+
+    #[test]
+    fn geometric_range_error_is_bounded() {
+        let mut h = Histogram::new();
+        let value = 1_000_000u64; // 1 s
+        h.record_us(value);
+        let p = h.percentile_us(0.5);
+        let rel_err = (p as f64 - value as f64).abs() / value as f64;
+        assert!(rel_err < 0.02, "relative error {rel_err} too large");
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = Histogram::new();
+        let mut x = 7u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h.record_us(x % 2_000_000);
+        }
+        let mut prev = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            let p = h.percentile_us(q);
+            assert!(p >= prev, "p({q}) = {p} < {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn mean_matches_arithmetic_mean() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record_us(v);
+        }
+        assert!((h.mean_us() - 20.0).abs() < 1e-9);
+        assert_eq!(h.mean(), Duration::from_micros(20));
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 0..500u64 {
+            a.record_us(v * 3);
+            all.record_us(v * 3);
+        }
+        for v in 0..500u64 {
+            b.record_us(v * 7 + 1);
+            all.record_us(v * 7 + 1);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min_us(), all.min_us());
+        assert_eq!(a.max_us(), all.max_us());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.percentile_us(q), all.percentile_us(q));
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_preserves_min_max() {
+        let mut a = Histogram::new();
+        a.record_us(42);
+        let b = Histogram::new();
+        a.merge(&b);
+        assert_eq!(a.min_us(), 42);
+        assert_eq!(a.max_us(), 42);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut h = Histogram::new();
+        for v in [5u64, 5, 100, 2_000, 50_000, 50_000, 1_000_000] {
+            h.record_us(v);
+        }
+        let cdf = h.cdf_points();
+        assert!(!cdf.is_empty());
+        let mut prev_v = 0;
+        let mut prev_f = 0.0;
+        for &(v, f) in &cdf {
+            assert!(v >= prev_v);
+            assert!(f > prev_f);
+            prev_v = v;
+            prev_f = f;
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_quantiles_hit_exact_min_max() {
+        let mut h = Histogram::new();
+        h.record_us(123);
+        h.record_us(456_789);
+        assert_eq!(h.percentile_us(0.0), 123);
+        assert_eq!(h.percentile_us(1.0), 456_789);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn out_of_range_quantile_panics() {
+        Histogram::new().percentile_us(1.5);
+    }
+
+    #[test]
+    fn shared_histogram_accumulates_across_threads() {
+        use std::sync::Arc;
+        let shared = Arc::new(SharedHistogram::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let s = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        s.record_us(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.count(), 8_000);
+        let snap = shared.snapshot();
+        assert_eq!(snap.count(), 8_000);
+        assert_eq!(snap.min_us(), 0);
+    }
+
+    #[test]
+    fn duration_overflow_is_clamped() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_secs(u64::MAX / 1_000_000 + 1));
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn bucket_round_trip_is_close() {
+        for v in [0u64, 1, 1023, 1024, 1025, 4096, 1_000_000, u64::MAX / 2] {
+            let idx = bucket_index(v);
+            let rep = bucket_value(idx);
+            if v < LINEAR_LIMIT {
+                assert_eq!(rep, v);
+            } else {
+                let rel = (rep as f64 - v as f64).abs() / v as f64;
+                assert!(rel < 0.02, "v={v} rep={rep} rel={rel}");
+            }
+        }
+    }
+}

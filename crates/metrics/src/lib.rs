@@ -1,0 +1,36 @@
+//! # jdvs-metrics
+//!
+//! Measurement infrastructure for the jdvs visual search system: log-linear
+//! latency histograms (percentiles and CDFs for Figures 11(b), 12(b) and
+//! 13(b)), monotonic counters, hourly time series (Figure 11(a)) and
+//! lightweight stopwatches.
+//!
+//! All shared collectors are thread-safe: the workload drivers run dozens of
+//! closed-loop client threads that record into shared recorders.
+//!
+//! ## Example
+//!
+//! ```
+//! use jdvs_metrics::Histogram;
+//! use std::time::Duration;
+//!
+//! let mut h = Histogram::new();
+//! for ms in [1u64, 2, 3, 100] {
+//!     h.record(Duration::from_millis(ms));
+//! }
+//! assert_eq!(h.count(), 4);
+//! assert!(h.percentile(0.5) <= h.percentile(0.99));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod counter;
+pub mod histogram;
+pub mod stopwatch;
+pub mod timeseries;
+
+pub use counter::Counter;
+pub use histogram::{Histogram, SharedHistogram};
+pub use stopwatch::Stopwatch;
+pub use timeseries::{HourlySeries, HOURS_PER_DAY};

@@ -1,0 +1,92 @@
+//! Wall-clock stopwatches.
+//!
+//! Thin helpers over [`std::time::Instant`] used by the workload drivers to
+//! time individual operations and whole benchmark phases.
+
+use std::time::{Duration, Instant};
+
+/// A restartable wall-clock stopwatch.
+///
+/// # Example
+///
+/// ```
+/// use jdvs_metrics::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// let elapsed = sw.elapsed();
+/// assert!(elapsed.as_nanos() < 1_000_000_000);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch.
+    pub fn start() -> Self {
+        Self { started: Instant::now() }
+    }
+
+    /// Time since start (or last restart).
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Time since start in whole microseconds.
+    pub fn elapsed_us(&self) -> u64 {
+        self.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Restarts the stopwatch, returning the elapsed time up to now.
+    pub fn restart(&mut self) -> Duration {
+        let e = self.elapsed();
+        self.started = Instant::now();
+        e
+    }
+}
+
+/// Times a closure, returning its result and the elapsed duration.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let sw = Stopwatch::start();
+    let out = f();
+    (out, sw.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn restart_resets_clock() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let before = sw.restart();
+        assert!(before >= Duration::from_millis(2));
+        assert!(sw.elapsed() < before);
+    }
+
+    #[test]
+    fn time_reports_closure_result() {
+        let (val, dur) = time(|| {
+            std::thread::sleep(Duration::from_millis(1));
+            7
+        });
+        assert_eq!(val, 7);
+        assert!(dur >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn elapsed_us_is_consistent() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(sw.elapsed_us() >= 1_000);
+    }
+}

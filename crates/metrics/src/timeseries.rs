@@ -1,0 +1,226 @@
+//! Hourly time series.
+//!
+//! Figure 11 plots per-hour data over one day: update/add/delete counts in
+//! 11(a) and per-hour latency statistics in 11(b). [`HourlySeries`] buckets
+//! samples by simulated hour-of-day and exposes exactly those views.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::Histogram;
+
+/// Hours in a simulated day.
+pub const HOURS_PER_DAY: usize = 24;
+
+/// Per-hour sample accumulator: a count and a latency histogram per hour.
+///
+/// # Example
+///
+/// ```
+/// use jdvs_metrics::HourlySeries;
+///
+/// let s = HourlySeries::new();
+/// s.record(11, 132_000); // hour 11, 132 ms
+/// s.record(11, 90_000);
+/// assert_eq!(s.counts()[11], 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct HourlySeries {
+    hours: [Mutex<Histogram>; HOURS_PER_DAY],
+}
+
+impl HourlySeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event at `hour` (0–23) with latency `latency_us`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn record(&self, hour: usize, latency_us: u64) {
+        assert!(hour < HOURS_PER_DAY, "hour out of range: {hour}");
+        self.hours[hour].lock().record_us(latency_us);
+    }
+
+    /// Event count per hour — the bars of Figure 11(a).
+    pub fn counts(&self) -> [u64; HOURS_PER_DAY] {
+        let mut out = [0u64; HOURS_PER_DAY];
+        for (o, h) in out.iter_mut().zip(&self.hours) {
+            *o = h.lock().count();
+        }
+        out
+    }
+
+    /// `(mean, p90, p99)` latency in µs per hour — the lines of Fig. 11(b).
+    /// Hours with no samples report zeros.
+    pub fn latency_stats(&self) -> [(f64, u64, u64); HOURS_PER_DAY] {
+        let mut out = [(0.0, 0, 0); HOURS_PER_DAY];
+        for (o, h) in out.iter_mut().zip(&self.hours) {
+            let hist = h.lock();
+            *o = (hist.mean_us(), hist.percentile_us(0.90), hist.percentile_us(0.99));
+        }
+        out
+    }
+
+    /// Snapshot of one hour's full histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn hour_histogram(&self, hour: usize) -> Histogram {
+        assert!(hour < HOURS_PER_DAY, "hour out of range: {hour}");
+        self.hours[hour].lock().clone()
+    }
+
+    /// Merges all hours into a single whole-day histogram (the paper's
+    /// "average over 24 hours" figures).
+    pub fn day_histogram(&self) -> Histogram {
+        let mut total = Histogram::new();
+        for h in &self.hours {
+            total.merge(&h.lock());
+        }
+        total
+    }
+
+    /// Total events across the whole day.
+    pub fn total(&self) -> u64 {
+        self.hours.iter().map(|h| h.lock().count()).sum()
+    }
+
+    /// Hour with the most events (ties break to the earliest hour) — used to
+    /// verify the peak placement of Figure 11(a).
+    pub fn peak_hour(&self) -> usize {
+        let counts = self.counts();
+        let mut best = 0usize;
+        for (h, &c) in counts.iter().enumerate() {
+            if c > counts[best] {
+                best = h;
+            }
+        }
+        best
+    }
+}
+
+/// A plain, serializable per-hour breakdown for experiment reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HourlyReport {
+    /// Event count per hour.
+    pub counts: Vec<u64>,
+    /// Mean latency (µs) per hour.
+    pub mean_us: Vec<f64>,
+    /// 90th percentile latency (µs) per hour.
+    pub p90_us: Vec<u64>,
+    /// 99th percentile latency (µs) per hour.
+    pub p99_us: Vec<u64>,
+}
+
+impl From<&HourlySeries> for HourlyReport {
+    fn from(s: &HourlySeries) -> Self {
+        let stats = s.latency_stats();
+        Self {
+            counts: s.counts().to_vec(),
+            mean_us: stats.iter().map(|t| t.0).collect(),
+            p90_us: stats.iter().map(|t| t.1).collect(),
+            p99_us: stats.iter().map(|t| t.2).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_their_hour() {
+        let s = HourlySeries::new();
+        s.record(0, 10);
+        s.record(23, 20);
+        s.record(23, 30);
+        let counts = s.counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[23], 2);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "hour out of range")]
+    fn hour_24_panics() {
+        HourlySeries::new().record(24, 1);
+    }
+
+    #[test]
+    fn peak_hour_finds_maximum() {
+        let s = HourlySeries::new();
+        for _ in 0..5 {
+            s.record(11, 1);
+        }
+        for _ in 0..3 {
+            s.record(4, 1);
+        }
+        assert_eq!(s.peak_hour(), 11);
+    }
+
+    #[test]
+    fn peak_hour_of_empty_series_is_zero() {
+        assert_eq!(HourlySeries::new().peak_hour(), 0);
+    }
+
+    #[test]
+    fn day_histogram_merges_all_hours() {
+        let s = HourlySeries::new();
+        s.record(1, 100);
+        s.record(2, 200);
+        s.record(3, 300);
+        let day = s.day_histogram();
+        assert_eq!(day.count(), 3);
+        assert_eq!(day.min_us(), 100);
+        assert_eq!(day.max_us(), 300);
+    }
+
+    #[test]
+    fn latency_stats_shape() {
+        let s = HourlySeries::new();
+        for v in [100u64, 200, 300, 400] {
+            s.record(7, v);
+        }
+        let stats = s.latency_stats();
+        let (mean, p90, p99) = stats[7];
+        assert!((mean - 250.0).abs() < 1e-9);
+        assert!(p90 >= 300);
+        assert!(p99 >= p90);
+        assert_eq!(stats[8], (0.0, 0, 0));
+    }
+
+    #[test]
+    fn report_conversion_round_trips_counts() {
+        let s = HourlySeries::new();
+        s.record(5, 50);
+        let report = HourlyReport::from(&s);
+        assert_eq!(report.counts.len(), HOURS_PER_DAY);
+        assert_eq!(report.counts[5], 1);
+        assert_eq!(report.mean_us[5], 50.0);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let s = Arc::new(HourlySeries::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        s.record((t * 6 + (i % 6) as usize) % 24, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.total(), 4_000);
+    }
+}

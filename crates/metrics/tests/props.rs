@@ -1,0 +1,111 @@
+//! Property-based tests for metrics invariants.
+
+use proptest::prelude::*;
+
+use jdvs_metrics::{Histogram, HourlySeries};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging histograms is equivalent to recording the concatenated
+    /// stream, regardless of how samples are split.
+    #[test]
+    fn merge_is_order_independent(
+        a in prop::collection::vec(0u64..5_000_000, 0..200),
+        b in prop::collection::vec(0u64..5_000_000, 0..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &v in &a {
+            ha.record_us(v);
+            hall.record_us(v);
+        }
+        for &v in &b {
+            hb.record_us(v);
+            hall.record_us(v);
+        }
+        // a.merge(b) == b.merge(a) == concatenated
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        for h in [&ab, &ba] {
+            prop_assert_eq!(h.count(), hall.count());
+            prop_assert_eq!(h.min_us(), hall.min_us());
+            prop_assert_eq!(h.max_us(), hall.max_us());
+            for q in [0.1, 0.5, 0.9, 0.99] {
+                prop_assert_eq!(h.percentile_us(q), hall.percentile_us(q));
+            }
+        }
+    }
+
+    /// The mean is exact (not quantized) and bounded by min/max.
+    #[test]
+    fn mean_is_exact(values in prop::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record_us(v);
+        }
+        let expected = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean_us() - expected).abs() < 1e-6);
+        prop_assert!(h.mean_us() >= h.min_us() as f64);
+        prop_assert!(h.mean_us() <= h.max_us() as f64);
+    }
+
+    /// CDF points are strictly increasing in both coordinates and end at 1.
+    #[test]
+    fn cdf_is_a_distribution(values in prop::collection::vec(0u64..10_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record_us(v);
+        }
+        let cdf = h.cdf_points();
+        prop_assert!(!cdf.is_empty());
+        let mut prev_frac = 0.0;
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        for &(_, f) in &cdf {
+            prop_assert!(f > prev_frac);
+            prev_frac = f;
+        }
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        // X-coordinates are bucket representatives clamped to the observed
+        // range (values sharing a bucket share a representative).
+        prop_assert!(cdf[0].0 >= h.min_us() && cdf[0].0 <= h.max_us());
+        prop_assert!(cdf.last().unwrap().0 <= h.max_us());
+    }
+
+    /// Hourly series counts and day histogram agree with per-hour inputs.
+    #[test]
+    fn hourly_series_accounting(samples in prop::collection::vec((0usize..24, 0u64..1_000_000), 1..200)) {
+        let series = HourlySeries::new();
+        let mut per_hour = [0u64; 24];
+        for &(h, v) in &samples {
+            series.record(h, v);
+            per_hour[h] += 1;
+        }
+        prop_assert_eq!(series.counts(), per_hour);
+        prop_assert_eq!(series.total(), samples.len() as u64);
+        prop_assert_eq!(series.day_histogram().count(), samples.len() as u64);
+        let peak = series.peak_hour();
+        let max = *per_hour.iter().max().unwrap();
+        prop_assert_eq!(per_hour[peak], max);
+    }
+
+    /// Percentile quantization error is within the documented 2% bound for
+    /// single-value histograms at any magnitude.
+    #[test]
+    fn single_value_quantization_bound(v in 0u64..u64::MAX / 2) {
+        let mut h = Histogram::new();
+        h.record_us(v);
+        let p = h.percentile_us(0.5);
+        if v < 1024 {
+            prop_assert_eq!(p, v);
+        } else {
+            let rel = (p as f64 - v as f64).abs() / v as f64;
+            prop_assert!(rel < 0.02, "v={} p={} rel={}", v, p, rel);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The front-end load balancer.
+//!
+//! Figure 1's entry point: *"a front end (i.e., load balancer) forwards the
+//! query to one of the blenders."* [`Balancer`] round-robins over a set of
+//! equivalent [`NodeHandle`]s and fails over: if the chosen node is down or
+//! the call errors, the next replica is tried, up to one full rotation —
+//! which is what makes "multiple identical instances for load balancing and
+//! fault tolerance" actually tolerate faults.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use crate::node::NodeHandle;
+use crate::rpc::{RpcError, Service};
+
+/// Round-robin balancer with failover over identical nodes.
+pub struct Balancer<S: Service> {
+    targets: Vec<NodeHandle<S>>,
+    next: AtomicUsize,
+}
+
+impl<S: Service> std::fmt::Debug for Balancer<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Balancer").field("targets", &self.targets.len()).finish()
+    }
+}
+
+impl<S: Service> Balancer<S> {
+    /// Creates a balancer over `targets`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty.
+    pub fn new(targets: Vec<NodeHandle<S>>) -> Self {
+        assert!(!targets.is_empty(), "balancer needs at least one target");
+        Self { targets, next: AtomicUsize::new(0) }
+    }
+
+    /// Number of backend nodes.
+    pub fn num_targets(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Calls one backend, rotating through replicas on failure. Requests
+    /// are cloned per attempt, hence the `Clone` bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns the **last** error if every replica fails.
+    pub fn call(&self, request: S::Request, deadline: Duration) -> Result<S::Response, RpcError>
+    where
+        S::Request: Clone,
+    {
+        let n = self.targets.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut last_err = RpcError::NodeDown;
+        for i in 0..n {
+            let target = &self.targets[(start + i) % n];
+            if target.is_down() {
+                last_err = RpcError::NodeDown;
+                continue;
+            }
+            match target.call(request.clone(), deadline) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// The backend that the next call would try first (for tests/metrics).
+    pub fn peek_next(&self) -> &NodeHandle<S> {
+        &self.targets[self.next.load(Ordering::Relaxed) % self.targets.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Node;
+    use std::sync::atomic::AtomicU64;
+
+    struct Tagged(u64);
+    impl Service for Tagged {
+        type Request = ();
+        type Response = u64;
+        fn handle(&self, _: ()) -> u64 {
+            self.0
+        }
+    }
+
+    struct Counting(AtomicU64);
+    impl Service for Counting {
+        type Request = ();
+        type Response = u64;
+        fn handle(&self, _: ()) -> u64 {
+            self.0.fetch_add(1, Ordering::Relaxed)
+        }
+    }
+
+    const DL: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn round_robin_rotates_over_targets() {
+        let nodes: Vec<_> = (0..3).map(|i| Node::spawn(format!("n{i}"), Tagged(i), 1)).collect();
+        let lb = Balancer::new(nodes.iter().map(Node::handle).collect());
+        let got: Vec<u64> = (0..6).map(|_| lb.call((), DL).unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(lb.num_targets(), 3);
+    }
+
+    #[test]
+    fn failover_skips_downed_node() {
+        let nodes: Vec<_> = (0..3).map(|i| Node::spawn(format!("n{i}"), Tagged(i), 1)).collect();
+        let lb = Balancer::new(nodes.iter().map(Node::handle).collect());
+        nodes[1].faults().set_down(true);
+        let got: Vec<u64> = (0..4).map(|_| lb.call((), DL).unwrap()).collect();
+        assert!(!got.contains(&1), "downed node must be skipped: {got:?}");
+    }
+
+    #[test]
+    fn all_down_returns_error() {
+        let nodes: Vec<_> = (0..2).map(|i| Node::spawn(format!("n{i}"), Tagged(i), 1)).collect();
+        let lb = Balancer::new(nodes.iter().map(Node::handle).collect());
+        for n in &nodes {
+            n.faults().set_down(true);
+        }
+        assert_eq!(lb.call((), DL), Err(RpcError::NodeDown));
+    }
+
+    #[test]
+    fn recovery_restores_rotation() {
+        let nodes: Vec<_> = (0..2).map(|i| Node::spawn(format!("n{i}"), Tagged(i), 1)).collect();
+        let lb = Balancer::new(nodes.iter().map(Node::handle).collect());
+        nodes[0].faults().set_down(true);
+        assert_eq!(lb.call((), DL).unwrap(), 1);
+        nodes[0].faults().set_down(false);
+        let got: Vec<u64> = (0..4).map(|_| lb.call((), DL).unwrap()).collect();
+        assert!(got.contains(&0), "recovered node serves again: {got:?}");
+    }
+
+    #[test]
+    fn dropped_requests_fail_over() {
+        let flaky = Node::spawn("flaky", Counting(AtomicU64::new(0)), 1);
+        let solid = Node::spawn("solid", Counting(AtomicU64::new(1000)), 1);
+        flaky.faults().set_drop_probability(1.0);
+        let lb = Balancer::new(vec![flaky.handle(), solid.handle()]);
+        for _ in 0..5 {
+            let v = lb.call((), DL).unwrap();
+            assert!(v >= 1000, "only the solid node can answer: {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn empty_targets_panics() {
+        Balancer::<Tagged>::new(vec![]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Cluster lifecycle helper.
+//!
+//! Experiments spin up dozens of heterogeneous nodes (blenders, brokers,
+//! searchers). [`Cluster`] type-erases them behind a shutdown trait so the
+//! whole testbed can be torn down in one call, in reverse spawn order
+//! (leaves first, like a real drain).
+
+use crate::node::Node;
+use crate::rpc::Service;
+
+/// Anything that can be shut down (implemented by every [`Node`]).
+pub trait Shutdown: Send + Sync {
+    /// Stops the component and joins its threads. Must be idempotent.
+    fn shutdown(&self);
+
+    /// The component's name, for logs.
+    fn name(&self) -> &str;
+}
+
+impl<S: Service> Shutdown for Node<S> {
+    fn shutdown(&self) {
+        Node::shutdown(self);
+    }
+
+    fn name(&self) -> &str {
+        Node::name(self)
+    }
+}
+
+/// A set of nodes torn down together.
+#[derive(Default)]
+pub struct Cluster {
+    members: Vec<Box<dyn Shutdown>>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster").field("members", &self.members.len()).finish()
+    }
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a member; later members are shut down first.
+    pub fn register(&mut self, member: Box<dyn Shutdown>) {
+        self.members.push(member);
+    }
+
+    /// Convenience: registers a [`Node`], returning nothing (grab handles
+    /// before registering).
+    pub fn register_node<S: Service>(&mut self, node: Node<S>) {
+        self.register(Box::new(node));
+    }
+
+    /// Number of registered members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if no member is registered.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Member names in spawn order.
+    pub fn names(&self) -> Vec<&str> {
+        self.members.iter().map(|m| m.name()).collect()
+    }
+
+    /// Shuts every member down, last-registered first.
+    pub fn shutdown(&self) {
+        for m in self.members.iter().rev() {
+            m.shutdown();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    struct Echo;
+    impl Service for Echo {
+        type Request = u32;
+        type Response = u32;
+        fn handle(&self, r: u32) -> u32 {
+            r
+        }
+    }
+
+    #[test]
+    fn registers_and_shuts_down_nodes() {
+        let mut cluster = Cluster::new();
+        let a = Node::spawn("a", Echo, 1);
+        let b = Node::spawn("b", Echo, 1);
+        let ha = a.handle();
+        let hb = b.handle();
+        cluster.register_node(a);
+        cluster.register_node(b);
+        assert_eq!(cluster.len(), 2);
+        assert_eq!(cluster.names(), vec!["a", "b"]);
+        assert_eq!(ha.call(1, Duration::from_secs(1)), Ok(1));
+        cluster.shutdown();
+        assert!(ha.is_down());
+        assert!(hb.is_down());
+    }
+
+    #[test]
+    fn shutdown_order_is_reverse_registration() {
+        struct Probe {
+            name: String,
+            order: Arc<AtomicUsize>,
+            seen: Arc<AtomicUsize>,
+        }
+        impl Shutdown for Probe {
+            fn shutdown(&self) {
+                self.seen.store(self.order.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+            }
+            fn name(&self) -> &str {
+                &self.name
+            }
+        }
+        let order = Arc::new(AtomicUsize::new(1));
+        let first_seen = Arc::new(AtomicUsize::new(0));
+        let second_seen = Arc::new(AtomicUsize::new(0));
+        let mut cluster = Cluster::new();
+        cluster.register(Box::new(Probe {
+            name: "first".into(),
+            order: Arc::clone(&order),
+            seen: Arc::clone(&first_seen),
+        }));
+        cluster.register(Box::new(Probe {
+            name: "second".into(),
+            order: Arc::clone(&order),
+            seen: Arc::clone(&second_seen),
+        }));
+        cluster.shutdown();
+        assert!(second_seen.load(Ordering::SeqCst) < first_seen.load(Ordering::SeqCst));
+        std::mem::forget(cluster); // probes already consumed their one-shot counters
+    }
+
+    #[test]
+    fn empty_cluster_is_fine() {
+        let cluster = Cluster::new();
+        assert!(cluster.is_empty());
+        cluster.shutdown();
+    }
+}

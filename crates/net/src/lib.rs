@@ -1,0 +1,55 @@
+//! # jdvs-net
+//!
+//! In-process cluster runtime standing in for the paper's 28-server testbed
+//! (see DESIGN.md §2). The evaluation phenomena — fan-out/fan-in, queueing
+//! under concurrency, stragglers, replica failover — are properties of the
+//! topology and service times, not of physical NICs, so nodes here are
+//! worker-pool actors reachable by RPC over channels, with a seeded
+//! per-hop latency model and runtime fault injection.
+//!
+//! - [`rpc`] — the [`rpc::Service`] trait, call errors, deadlines.
+//! - [`node`] — [`node::Node`]: a named actor with `n` worker threads;
+//!   [`node::NodeHandle`]: the cloneable client stub.
+//! - [`latency`] — seeded per-hop latency distributions.
+//! - [`fault`] — drop/fail/slow injection, runtime-togglable.
+//! - [`balancer`] — round-robin load balancer with failover (the paper's
+//!   front end).
+//! - [`cluster`] — lifecycle helper that shuts a set of nodes down.
+//!
+//! ## Example
+//!
+//! ```
+//! use jdvs_net::node::Node;
+//! use jdvs_net::rpc::Service;
+//! use std::time::Duration;
+//!
+//! struct Echo;
+//! impl Service for Echo {
+//!     type Request = String;
+//!     type Response = String;
+//!     fn handle(&self, req: String) -> String { req }
+//! }
+//!
+//! let node = Node::spawn("echo-0", Echo, 2);
+//! let handle = node.handle();
+//! let reply = handle.call("hi".to_string(), Duration::from_secs(1)).unwrap();
+//! assert_eq!(reply, "hi");
+//! node.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod balancer;
+pub mod cluster;
+pub mod fault;
+pub mod latency;
+pub mod node;
+pub mod rpc;
+
+pub use balancer::Balancer;
+pub use cluster::Cluster;
+pub use fault::FaultInjector;
+pub use latency::LatencyModel;
+pub use node::{Node, NodeHandle};
+pub use rpc::{RpcError, Service};

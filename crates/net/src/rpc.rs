@@ -1,0 +1,64 @@
+//! RPC contract: the service trait and call errors.
+
+use std::time::Duration;
+
+/// A request handler living inside a [`crate::node::Node`].
+///
+/// One service instance is shared by all of a node's worker threads, so
+/// handlers must be `Sync`; jdvs services (searchers, brokers, blenders)
+/// hold their state in the concurrent structures of `jdvs-core`.
+pub trait Service: Send + Sync + 'static {
+    /// Request message type.
+    type Request: Send + 'static;
+    /// Response message type.
+    type Response: Send + 'static;
+
+    /// Handles one request. Runs on a node worker thread.
+    fn handle(&self, req: Self::Request) -> Self::Response;
+}
+
+/// Errors a remote call can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// No reply within the caller's deadline.
+    Timeout {
+        /// The deadline that elapsed.
+        deadline: Duration,
+    },
+    /// The target node has been shut down (or crashed via fault injection).
+    NodeDown,
+    /// The fault injector dropped the request.
+    Dropped,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Timeout { deadline } => write!(f, "rpc timed out after {deadline:?}"),
+            RpcError::NodeDown => f.write_str("target node is down"),
+            RpcError::Dropped => f.write_str("request dropped by fault injection"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(RpcError::Timeout { deadline: Duration::from_millis(5) }
+            .to_string()
+            .contains("timed out"));
+        assert!(RpcError::NodeDown.to_string().contains("down"));
+        assert!(RpcError::Dropped.to_string().contains("dropped"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes(_: &dyn std::error::Error) {}
+        takes(&RpcError::NodeDown);
+    }
+}

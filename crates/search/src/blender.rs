@@ -1,0 +1,326 @@
+//! The blender service (top of Figure 10).
+//!
+//! *"When a blender receives an image query request, it extracts the
+//! features and sends them to all the brokers. The blender also combines
+//! and ranks the results and returns to the user."*
+//!
+//! [`BlenderService`] resolves the query's features (extracting from the
+//! image store when handed a URL — the expensive step, charged to the cost
+//! model), fans out to one instance of every broker group in parallel,
+//! merges the group top-k lists, and applies the [`RankingPolicy`].
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use jdvs_features::category::CategoryDetector;
+use jdvs_features::CachingExtractor;
+use jdvs_net::balancer::Balancer;
+use jdvs_net::rpc::Service;
+use jdvs_storage::lru::LruCache;
+use jdvs_storage::model::ImageKey;
+use jdvs_storage::ImageStore;
+
+use crate::broker::BrokerService;
+use crate::protocol::{FanoutQuery, QueryInput, SearchQuery, SearchResponse};
+use crate::ranking::RankingPolicy;
+
+/// One blender instance.
+pub struct BlenderService {
+    /// One balancer per broker group (instances of a group are identical).
+    broker_groups: Vec<Balancer<BrokerService>>,
+    extractor: Arc<CachingExtractor>,
+    images: Arc<ImageStore>,
+    ranking: RankingPolicy,
+    broker_deadline: Duration,
+    /// Optional query-feature cache: repeated query images (viral photos,
+    /// trending products) skip re-extraction — the most expensive step of
+    /// the query path. Shared across blender instances when cloned in.
+    query_cache: Option<Arc<LruCache<ImageKey, Vec<f32>>>>,
+    /// Optional query-category detector (Section 2.4's "the product
+    /// category of the item is identified").
+    category_detector: Option<Arc<CategoryDetector>>,
+}
+
+impl std::fmt::Debug for BlenderService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlenderService")
+            .field("broker_groups", &self.broker_groups.len())
+            .finish()
+    }
+}
+
+impl BlenderService {
+    /// Creates a blender over its broker-group balancers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `broker_groups` is empty.
+    pub fn new(
+        broker_groups: Vec<Balancer<BrokerService>>,
+        extractor: Arc<CachingExtractor>,
+        images: Arc<ImageStore>,
+        ranking: RankingPolicy,
+        broker_deadline: Duration,
+    ) -> Self {
+        assert!(!broker_groups.is_empty(), "a blender needs at least one broker group");
+        Self {
+            broker_groups,
+            extractor,
+            images,
+            ranking,
+            broker_deadline,
+            query_cache: None,
+            category_detector: None,
+        }
+    }
+
+    /// Attaches a category detector; responses then carry the detected
+    /// category of the query image.
+    pub fn with_category_detector(mut self, detector: Arc<CategoryDetector>) -> Self {
+        self.category_detector = Some(detector);
+        self
+    }
+
+    /// Attaches a query-feature cache (typically shared across blenders).
+    pub fn with_query_cache(mut self, cache: Arc<LruCache<ImageKey, Vec<f32>>>) -> Self {
+        self.query_cache = Some(cache);
+        self
+    }
+
+    /// Snapshot of the query cache's statistics, if one is attached.
+    pub fn query_cache_stats(&self) -> Option<jdvs_storage::lru::LruStats> {
+        self.query_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Resolves a query's features: pass-through for pre-extracted
+    /// features; store-fetch + extraction (cost charged) for image URLs.
+    fn resolve_features(&self, input: &QueryInput) -> Option<Vec<f32>> {
+        match input {
+            QueryInput::Features(f) => Some(f.clone()),
+            QueryInput::ImageUrl(url) => {
+                let key = ImageKey::from_url(url);
+                if let Some(cache) = &self.query_cache {
+                    if let Some(hit) = cache.get(&key) {
+                        return Some(hit);
+                    }
+                }
+                let blob = self.images.get(key)?;
+                self.extractor.cost().charge();
+                let features = self.extractor.extractor().extract(&blob).into_inner();
+                if let Some(cache) = &self.query_cache {
+                    cache.put(key, features.clone());
+                }
+                Some(features)
+            }
+        }
+    }
+
+    /// Executes one user query end-to-end.
+    pub fn execute(&self, query: &SearchQuery) -> SearchResponse {
+        let Some(features) = self.resolve_features(&query.input) else {
+            return SearchResponse::default();
+        };
+        let detected_category =
+            self.category_detector.as_ref().map(|d| d.detect(&features).0);
+        let fanout = FanoutQuery {
+            features,
+            k: query.k,
+            nprobe: query.nprobe,
+            compressed: query.compressed,
+        };
+        let responses: Vec<Option<crate::protocol::PartialResponse>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .broker_groups
+                    .iter()
+                    .map(|group| {
+                        let q = fanout.clone();
+                        scope.spawn(move |_| group.call(q, self.broker_deadline).ok())
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap_or(None)).collect()
+            })
+            .expect("blender fan-out scope");
+        let mut answered = 0;
+        let mut failed = 0;
+        let mut all_hits = Vec::new();
+        for resp in responses {
+            match resp {
+                Some(r) => {
+                    answered += 1;
+                    all_hits.extend(r.hits);
+                }
+                None => failed += 1,
+            }
+        }
+        SearchResponse {
+            results: self.ranking.rank(all_hits, query.k),
+            partitions_answered: answered,
+            partitions_failed: failed,
+            detected_category,
+        }
+    }
+}
+
+impl Service for BlenderService {
+    type Request = SearchQuery;
+    type Response = SearchResponse;
+
+    fn handle(&self, req: SearchQuery) -> SearchResponse {
+        self.execute(&req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::searcher::SearcherService;
+    use jdvs_core::{IndexConfig, VisualIndex};
+    use jdvs_features::cost::CostModel;
+    use jdvs_features::{ExtractorConfig, FeatureExtractor};
+    use jdvs_net::node::Node;
+    use jdvs_storage::model::{ProductAttributes, ProductId};
+    use jdvs_storage::FeatureDb;
+    use jdvs_vector::Vector;
+
+    const DIM: usize = 8;
+    const DL: Duration = Duration::from_secs(5);
+
+    struct World {
+        blender: BlenderService,
+        images: Arc<ImageStore>,
+        index: Arc<VisualIndex>,
+        _nodes: Vec<Node<SearcherService>>,
+        _broker_nodes: Vec<Node<BrokerService>>,
+    }
+
+    /// One partition, one broker group, populated through the real
+    /// extraction pipeline so URL queries resolve to indexed neighborhoods.
+    fn world() -> World {
+        let images = Arc::new(ImageStore::with_blob_len(64));
+        let feature_db = Arc::new(FeatureDb::new());
+        let extractor = Arc::new(CachingExtractor::new(
+            FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+            CostModel::free(),
+        ));
+
+        // Index 60 images across 3 visual clusters.
+        let mut feats = Vec::new();
+        for i in 0..60u64 {
+            let url = format!("u{i}");
+            images.put_synthetic(&url, i % 3);
+            let attrs = ProductAttributes::new(ProductId(i), i, 100, 1, url.clone());
+            let (f, _) = extractor.features_for(&attrs, &images, &feature_db);
+            feats.push((f.unwrap(), attrs));
+        }
+        let train: Vec<Vector> = feats.iter().map(|(f, _)| f.clone()).collect();
+        let index = Arc::new(VisualIndex::bootstrap(
+            IndexConfig { dim: DIM, num_lists: 3, nprobe: 3, ..Default::default() },
+            &train,
+        ));
+        for (f, a) in feats {
+            index.insert(f, a).unwrap();
+        }
+        index.flush();
+
+        let searcher = Node::spawn("s-0-0", SearcherService::for_index(0, Arc::clone(&index)), 2);
+        let broker = Node::spawn(
+            "b-0-0",
+            BrokerService::new(0, vec![Balancer::new(vec![searcher.handle()])], DL),
+            2,
+        );
+        let blender = BlenderService::new(
+            vec![Balancer::new(vec![broker.handle()])],
+            extractor,
+            Arc::clone(&images),
+            RankingPolicy::similarity_only(),
+            DL,
+        );
+        World {
+            blender,
+            images,
+            index,
+            _nodes: vec![searcher],
+            _broker_nodes: vec![broker],
+        }
+    }
+
+    #[test]
+    fn feature_query_returns_ranked_results() {
+        let w = world();
+        let feats = w.index.features(jdvs_core::ids::ImageId(5)).unwrap();
+        let resp = w.blender.execute(&SearchQuery::by_features(feats.into_inner(), 6));
+        assert_eq!(resp.results.len(), 6);
+        assert_eq!(resp.partitions_answered, 1);
+        assert_eq!(resp.partitions_failed, 0);
+        assert_eq!(resp.results[0].hit.local_id, 5, "self-match first");
+        for w2 in resp.results.windows(2) {
+            assert!(w2[0].score >= w2[1].score);
+        }
+    }
+
+    #[test]
+    fn image_url_query_extracts_then_searches() {
+        let w = world();
+        // Query with a *new* image from visual cluster 0: its neighbors
+        // should be indexed images of the same cluster (i % 3 == 0).
+        w.images.put_synthetic("query-img", 0);
+        let resp = w.blender.execute(&SearchQuery::by_image_url("query-img", 6));
+        assert_eq!(resp.results.len(), 6);
+        let same_cluster = resp
+            .results
+            .iter()
+            .filter(|r| r.hit.product_id.0 % 3 == 0)
+            .count();
+        assert!(same_cluster >= 5, "visual cluster should dominate: {same_cluster}/6");
+    }
+
+    #[test]
+    fn unknown_image_url_returns_empty() {
+        let w = world();
+        let resp = w.blender.execute(&SearchQuery::by_image_url("missing", 5));
+        assert!(resp.results.is_empty());
+        assert_eq!(resp.partitions_answered, 0);
+    }
+
+    #[test]
+    fn results_deduplicate_products() {
+        let w = world();
+        let feats = w.index.features(jdvs_core::ids::ImageId(0)).unwrap();
+        let resp = w.blender.execute(&SearchQuery::by_features(feats.into_inner(), 20));
+        let mut products: Vec<u64> = resp.results.iter().map(|r| r.hit.product_id.0).collect();
+        let before = products.len();
+        products.dedup();
+        assert_eq!(products.len(), before, "each product at most once");
+    }
+
+    #[test]
+    fn query_cache_skips_repeat_extraction() {
+        let w = world();
+        w.images.put_synthetic("viral", 1);
+        let cache = Arc::new(LruCache::new(16));
+        // Rebuild a blender around the same backends but with a cache.
+        let blender = {
+            let World { blender, .. } = w;
+            blender.with_query_cache(Arc::clone(&cache))
+        };
+        let q = SearchQuery::by_image_url("viral", 3);
+        let r1 = blender.execute(&q);
+        let r2 = blender.execute(&q);
+        assert_eq!(r1.results, r2.results, "cached features give identical results");
+        let stats = blender.query_cache_stats().unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one broker group")]
+    fn empty_broker_groups_panics() {
+        let images = Arc::new(ImageStore::new());
+        let extractor = Arc::new(CachingExtractor::new(
+            FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+            CostModel::free(),
+        ));
+        BlenderService::new(vec![], extractor, images, RankingPolicy::default(), DL);
+    }
+}

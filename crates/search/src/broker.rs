@@ -1,0 +1,207 @@
+//! The broker service (middle of Figure 10).
+//!
+//! *"A broker forwards the query to all the searchers it connects to and
+//! collects the partial search results from each searcher."* A broker group
+//! owns a subset of partitions; each instance holds, per owned partition, a
+//! replica-failover [`Balancer`] over that partition's searchers. Fan-out
+//! is parallel (scoped threads — one in-flight call per partition), and the
+//! partial top-k lists are merged into the group's top-k.
+
+use std::time::Duration;
+
+use jdvs_net::balancer::Balancer;
+use jdvs_net::rpc::Service;
+use jdvs_vector::topk::TopK;
+
+use crate::protocol::{FanoutQuery, PartialHit, PartialResponse};
+use crate::searcher::SearcherService;
+
+/// One broker instance of a broker group.
+pub struct BrokerService {
+    group: usize,
+    /// One replica set per owned partition.
+    partitions: Vec<Balancer<SearcherService>>,
+    searcher_deadline: Duration,
+}
+
+impl std::fmt::Debug for BrokerService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrokerService")
+            .field("group", &self.group)
+            .field("partitions", &self.partitions.len())
+            .finish()
+    }
+}
+
+impl BrokerService {
+    /// Creates a broker instance for `group` over its partitions' replica
+    /// balancers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is empty.
+    pub fn new(
+        group: usize,
+        partitions: Vec<Balancer<SearcherService>>,
+        searcher_deadline: Duration,
+    ) -> Self {
+        assert!(!partitions.is_empty(), "a broker group must own at least one partition");
+        Self { group, partitions, searcher_deadline }
+    }
+
+    /// This instance's broker group.
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
+    /// Partitions owned.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Fans `query` to every owned partition in parallel and merges the
+    /// partial results into this group's top-k. Failed partitions are
+    /// silently absent from the merge (availability over completeness, as
+    /// in production fan-out search).
+    pub fn execute(&self, query: &FanoutQuery) -> PartialResponse {
+        let responses: Vec<Option<PartialResponse>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .partitions
+                    .iter()
+                    .map(|balancer| {
+                        let q = query.clone();
+                        scope.spawn(move |_| balancer.call(q, self.searcher_deadline).ok())
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap_or(None)).collect()
+            })
+            .expect("broker fan-out scope");
+        let mut topk = TopK::new(query.k.max(1));
+        let mut by_key: std::collections::HashMap<u64, PartialHit> = std::collections::HashMap::new();
+        for resp in responses.into_iter().flatten() {
+            for hit in resp.hits {
+                // Key hits by (partition, local_id) packed into a u64 so the
+                // TopK can track them.
+                let key = ((hit.partition as u64) << 32) | u64::from(hit.local_id);
+                if topk.push(key, hit.distance) {
+                    by_key.insert(key, hit);
+                }
+            }
+        }
+        let hits = topk
+            .into_sorted_vec()
+            .into_iter()
+            .filter_map(|n| by_key.remove(&n.id))
+            .collect();
+        PartialResponse { hits }
+    }
+}
+
+impl Service for BrokerService {
+    type Request = FanoutQuery;
+    type Response = PartialResponse;
+
+    fn handle(&self, req: FanoutQuery) -> PartialResponse {
+        self.execute(&req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jdvs_core::{IndexConfig, VisualIndex};
+    use jdvs_net::node::Node;
+    use jdvs_storage::model::{ProductAttributes, ProductId};
+    use jdvs_vector::rng::Xoshiro256;
+    use jdvs_vector::Vector;
+    use std::sync::Arc;
+
+    const DIM: usize = 8;
+    const DL: Duration = Duration::from_secs(5);
+
+    fn make_index(seed: u64, ids: std::ops::Range<u64>) -> Arc<VisualIndex> {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let train: Vec<Vector> =
+            (0..32).map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect()).collect();
+        let index = Arc::new(VisualIndex::bootstrap(
+            IndexConfig { dim: DIM, num_lists: 2, nprobe: 2, ..Default::default() },
+            &train,
+        ));
+        for i in ids {
+            let v: Vector = (0..DIM).map(|_| rng.next_gaussian() as f32).collect();
+            index
+                .insert(v, ProductAttributes::new(ProductId(i), 0, 0, 0, format!("u{i}")))
+                .unwrap();
+        }
+        index.flush();
+        index
+    }
+
+    /// Builds a 2-partition broker; returns (broker, partition indexes,
+    /// searcher nodes kept alive).
+    fn make_broker() -> (BrokerService, Vec<Arc<VisualIndex>>, Vec<Node<SearcherService>>) {
+        let mut nodes = Vec::new();
+        let mut balancers = Vec::new();
+        let mut indexes = Vec::new();
+        for p in 0..2usize {
+            let index = make_index(p as u64 + 1, (p as u64 * 100)..(p as u64 * 100 + 50));
+            indexes.push(Arc::clone(&index));
+            let node = Node::spawn(format!("searcher-{p}-0"), SearcherService::for_index(p, index), 2);
+            balancers.push(Balancer::new(vec![node.handle()]));
+            nodes.push(node);
+        }
+        (BrokerService::new(0, balancers, DL), indexes, nodes)
+    }
+
+    #[test]
+    fn merges_partial_results_across_partitions() {
+        let (broker, indexes, _nodes) = make_broker();
+        // Query with partition-1's image 10 → global best must come from p1.
+        let feats = indexes[1].features(jdvs_core::ids::ImageId(10)).unwrap();
+        let resp = broker.execute(&FanoutQuery { features: feats.into_inner(), k: 8, nprobe: Some(2), compressed: false });
+        assert_eq!(resp.hits.len(), 8);
+        assert_eq!(resp.hits[0].partition, 1);
+        assert_eq!(resp.hits[0].local_id, 10);
+        // Hits from both partitions appear (both have images).
+        let partitions: std::collections::HashSet<usize> =
+            resp.hits.iter().map(|h| h.partition).collect();
+        assert!(partitions.len() >= 1);
+        for w in resp.hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance, "merged list stays sorted");
+        }
+    }
+
+    #[test]
+    fn tolerates_a_dead_partition() {
+        let (broker, indexes, nodes) = make_broker();
+        nodes[0].faults().set_down(true);
+        let feats = indexes[1].features(jdvs_core::ids::ImageId(0)).unwrap();
+        let resp = broker.execute(&FanoutQuery { features: feats.into_inner(), k: 5, nprobe: Some(2), compressed: false });
+        assert!(!resp.hits.is_empty(), "partition 1 still answers");
+        assert!(resp.hits.iter().all(|h| h.partition == 1));
+    }
+
+    #[test]
+    fn replica_failover_inside_a_partition() {
+        // Partition with two replicas; kill one; broker still answers.
+        let index = make_index(9, 0..30);
+        let n0 = Node::spawn("s-0-a", SearcherService::for_index(0, Arc::clone(&index)), 1);
+        let n1 = Node::spawn("s-0-b", SearcherService::for_index(0, Arc::clone(&index)), 1);
+        let broker = BrokerService::new(
+            0,
+            vec![Balancer::new(vec![n0.handle(), n1.handle()])],
+            DL,
+        );
+        n0.faults().set_down(true);
+        let feats = index.features(jdvs_core::ids::ImageId(3)).unwrap();
+        let resp = broker.execute(&FanoutQuery { features: feats.into_inner(), k: 1, nprobe: Some(2), compressed: false });
+        assert_eq!(resp.hits[0].local_id, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn empty_partitions_panics() {
+        BrokerService::new(0, vec![], DL);
+    }
+}

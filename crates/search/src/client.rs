@@ -1,0 +1,122 @@
+//! The user-facing search client.
+//!
+//! A [`SearchClient`] is what the workload generator's emulated users hold:
+//! a handle to the front-end load balancer plus a deadline. Clients are
+//! cheap to clone — closed-loop drivers clone one per thread.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use jdvs_net::balancer::Balancer;
+use jdvs_net::rpc::RpcError;
+
+use crate::blender::BlenderService;
+use crate::protocol::{SearchQuery, SearchResponse};
+
+/// A cloneable user handle through the front end.
+#[derive(Clone)]
+pub struct SearchClient {
+    frontend: Arc<Balancer<BlenderService>>,
+    deadline: Duration,
+}
+
+impl std::fmt::Debug for SearchClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchClient").field("deadline", &self.deadline).finish()
+    }
+}
+
+impl SearchClient {
+    /// Creates a client (usually via
+    /// [`crate::topology::SearchTopology::client`]).
+    pub fn new(frontend: Arc<Balancer<BlenderService>>, deadline: Duration) -> Self {
+        Self { frontend, deadline }
+    }
+
+    /// The per-query deadline.
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+
+    /// Executes one query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the last [`RpcError`] if every blender fails.
+    pub fn search(&self, query: SearchQuery) -> Result<SearchResponse, RpcError> {
+        self.frontend.call(query, self.deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::RankingPolicy;
+    use jdvs_features::cost::CostModel;
+    use jdvs_features::{CachingExtractor, ExtractorConfig, FeatureExtractor};
+    use jdvs_net::node::Node;
+    use jdvs_storage::ImageStore;
+
+    // A minimal single-blender stack that always answers empty (blender
+    // with an unknown-image query path); enough to exercise the client.
+    fn tiny_frontend() -> (Arc<Balancer<BlenderService>>, Vec<Node<BlenderService>>) {
+        use crate::broker::BrokerService;
+        use crate::searcher::SearcherService;
+        use jdvs_core::{IndexConfig, VisualIndex};
+        use jdvs_vector::Vector;
+        let images = Arc::new(ImageStore::with_blob_len(32));
+        let extractor = Arc::new(CachingExtractor::new(
+            FeatureExtractor::new(ExtractorConfig { dim: 4, ..Default::default() }),
+            CostModel::free(),
+        ));
+        let index = Arc::new(VisualIndex::bootstrap(
+            IndexConfig { dim: 4, num_lists: 1, ..Default::default() },
+            &[Vector::from(vec![0.0; 4])],
+        ));
+        let searcher = Node::spawn("s", SearcherService::for_index(0, index), 1);
+        let broker = Node::spawn(
+            "b",
+            BrokerService::new(
+                0,
+                vec![Balancer::new(vec![searcher.handle()])],
+                Duration::from_secs(1),
+            ),
+            1,
+        );
+        let blender = Node::spawn(
+            "bl",
+            BlenderService::new(
+                vec![Balancer::new(vec![broker.handle()])],
+                extractor,
+                images,
+                RankingPolicy::default(),
+                Duration::from_secs(1),
+            ),
+            1,
+        );
+        let frontend = Arc::new(Balancer::new(vec![blender.handle()]));
+        (frontend, vec![blender])
+        // searcher/broker nodes intentionally leak into the test scope via
+        // closure capture in handles; they stay alive because handles hold
+        // Arcs to their shared state.
+    }
+
+    #[test]
+    fn client_round_trip() {
+        let (frontend, _nodes) = tiny_frontend();
+        let client = SearchClient::new(frontend, Duration::from_secs(2));
+        assert_eq!(client.deadline(), Duration::from_secs(2));
+        let resp = client.search(SearchQuery::by_image_url("missing", 3)).unwrap();
+        assert!(resp.results.is_empty());
+    }
+
+    #[test]
+    fn clients_clone_cheaply() {
+        let (frontend, _nodes) = tiny_frontend();
+        let client = SearchClient::new(frontend, Duration::from_secs(2));
+        let clones: Vec<SearchClient> = (0..8).map(|_| client.clone()).collect();
+        for c in clones {
+            let _ = c.search(SearchQuery::by_image_url("missing", 1)).unwrap();
+        }
+    }
+}

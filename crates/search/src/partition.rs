@@ -1,0 +1,136 @@
+//! Index partitioning (Section 2.4).
+//!
+//! *"The entire image index data is divided into multiple partitions by
+//! hashing the image's URL. Each partition can have multiple copies for
+//! availability. A partition is handled by a single searcher node. A broker
+//! connects to a subset of searchers."*
+//!
+//! [`PartitionMap`] owns those assignments: URL → partition (delegating to
+//! [`ImageKey::partition`]), and partition → broker group (round-robin), so
+//! every layer agrees on who owns what.
+
+use jdvs_storage::model::ImageKey;
+use serde::{Deserialize, Serialize};
+
+/// The cluster-wide partition layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionMap {
+    num_partitions: usize,
+    num_broker_groups: usize,
+}
+
+impl PartitionMap {
+    /// Creates a layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero or there are more broker groups than
+    /// partitions (a group with nothing to own is a configuration bug).
+    pub fn new(num_partitions: usize, num_broker_groups: usize) -> Self {
+        assert!(num_partitions > 0, "num_partitions must be positive");
+        assert!(num_broker_groups > 0, "num_broker_groups must be positive");
+        assert!(
+            num_broker_groups <= num_partitions,
+            "more broker groups ({num_broker_groups}) than partitions ({num_partitions})"
+        );
+        Self { num_partitions, num_broker_groups }
+    }
+
+    /// Total partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// Total broker groups.
+    pub fn num_broker_groups(&self) -> usize {
+        self.num_broker_groups
+    }
+
+    /// The partition an image belongs to.
+    pub fn partition_of(&self, key: ImageKey) -> usize {
+        key.partition(self.num_partitions)
+    }
+
+    /// The partition an image URL belongs to.
+    pub fn partition_of_url(&self, url: &str) -> usize {
+        self.partition_of(ImageKey::from_url(url))
+    }
+
+    /// The broker group that owns a partition (round-robin assignment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    pub fn broker_group_of(&self, partition: usize) -> usize {
+        assert!(partition < self.num_partitions, "partition out of range");
+        partition % self.num_broker_groups
+    }
+
+    /// The partitions owned by a broker group, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn partitions_of_group(&self, group: usize) -> Vec<usize> {
+        assert!(group < self.num_broker_groups, "broker group out of range");
+        (group..self.num_partitions).step_by(self.num_broker_groups).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_partition_has_exactly_one_group() {
+        let map = PartitionMap::new(10, 3);
+        let mut owned = vec![0usize; 10];
+        for g in 0..3 {
+            for p in map.partitions_of_group(g) {
+                owned[p] += 1;
+                assert_eq!(map.broker_group_of(p), g, "assignment must be consistent");
+            }
+        }
+        assert!(owned.iter().all(|&c| c == 1), "each partition owned once: {owned:?}");
+    }
+
+    #[test]
+    fn url_routing_is_stable_and_in_range() {
+        let map = PartitionMap::new(8, 2);
+        for i in 0..100 {
+            let url = format!("https://img.jd.com/{i}.jpg");
+            let p = map.partition_of_url(&url);
+            assert!(p < 8);
+            assert_eq!(p, map.partition_of_url(&url), "stable routing");
+            assert_eq!(p, map.partition_of(ImageKey::from_url(&url)));
+        }
+    }
+
+    #[test]
+    fn groups_get_balanced_partition_counts() {
+        let map = PartitionMap::new(20, 6);
+        let sizes: Vec<usize> = (0..6).map(|g| map.partitions_of_group(g).len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "round-robin is balanced: {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn single_group_owns_everything() {
+        let map = PartitionMap::new(5, 1);
+        assert_eq!(map.partitions_of_group(0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more broker groups")]
+    fn more_groups_than_partitions_panics() {
+        PartitionMap::new(2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition out of range")]
+    fn out_of_range_partition_panics() {
+        PartitionMap::new(2, 1).broker_group_of(2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Wire messages of the search hierarchy.
+
+use jdvs_storage::model::ProductId;
+use serde::{Deserialize, Serialize};
+
+/// What the user hands the blender.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryInput {
+    /// Pre-extracted feature vector (client-side extraction, or replay of a
+    /// stored query).
+    Features(Vec<f32>),
+    /// A raw query image identified by URL; the blender pulls the blob and
+    /// extracts features (charging the extraction cost model) — the paper's
+    /// "extracts the features" step.
+    ImageUrl(String),
+}
+
+/// A user-level query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchQuery {
+    /// The query image or features.
+    pub input: QueryInput,
+    /// Results wanted.
+    pub k: usize,
+    /// Inverted lists probed per partition (`None` = partition default).
+    pub nprobe: Option<usize>,
+    /// Request the compressed (PQ) scan path on searchers whose index has
+    /// it enabled (`IndexConfig::pq_subspaces`); searchers without PQ fall
+    /// back to the raw scan.
+    pub compressed: bool,
+}
+
+impl SearchQuery {
+    /// Query by pre-extracted features.
+    pub fn by_features(features: Vec<f32>, k: usize) -> Self {
+        Self { input: QueryInput::Features(features), k, nprobe: None, compressed: false }
+    }
+
+    /// Query by image URL.
+    pub fn by_image_url(url: impl Into<String>, k: usize) -> Self {
+        Self { input: QueryInput::ImageUrl(url.into()), k, nprobe: None, compressed: false }
+    }
+
+    /// Overrides the per-partition probe count.
+    pub fn with_nprobe(mut self, nprobe: usize) -> Self {
+        self.nprobe = Some(nprobe);
+        self
+    }
+
+    /// Requests the compressed (PQ) scan path.
+    pub fn with_compressed(mut self) -> Self {
+        self.compressed = true;
+        self
+    }
+}
+
+/// Internal query fanned from blenders to brokers to searchers: features
+/// are always resolved by the blender before fan-out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FanoutQuery {
+    /// Resolved query features.
+    pub features: Vec<f32>,
+    /// Results wanted per level.
+    pub k: usize,
+    /// Probe count (`None` = partition default).
+    pub nprobe: Option<usize>,
+    /// Use the compressed scan where available.
+    pub compressed: bool,
+}
+
+/// One partial hit, as returned by a searcher: everything the blender needs
+/// to rank without a second round-trip (the searcher owns the forward index
+/// with the attributes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialHit {
+    /// Partition the hit came from.
+    pub partition: usize,
+    /// Partition-local image id.
+    pub local_id: u32,
+    /// Squared Euclidean distance to the query.
+    pub distance: f32,
+    /// Owning product.
+    pub product_id: ProductId,
+    /// Sales count at response time.
+    pub sales: u64,
+    /// Price at response time.
+    pub price: u64,
+    /// Praise count at response time.
+    pub praise: u64,
+    /// The image URL (what the app displays).
+    pub url: String,
+}
+
+/// A searcher's reply: its local top-k.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PartialResponse {
+    /// Hits, nearest first.
+    pub hits: Vec<PartialHit>,
+}
+
+/// A fully-ranked user-facing result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedHit {
+    /// The matched image and its attributes.
+    pub hit: PartialHit,
+    /// Final blended score (higher is better).
+    pub score: f64,
+}
+
+/// The blender's reply to the user.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SearchResponse {
+    /// Ranked results, best first.
+    pub results: Vec<RankedHit>,
+    /// Partitions that answered in time (fan-out health indicator).
+    pub partitions_answered: usize,
+    /// Partitions that failed or timed out.
+    pub partitions_failed: usize,
+    /// Product category detected for the query image (Section 2.4: "the
+    /// product category of the item is identified"); `None` when the
+    /// blender has no category detector attached.
+    pub detected_category: Option<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_constructors() {
+        let q = SearchQuery::by_features(vec![1.0, 2.0], 5);
+        assert_eq!(q.k, 5);
+        assert!(matches!(q.input, QueryInput::Features(_)));
+        assert_eq!(q.nprobe, None);
+
+        let q = SearchQuery::by_image_url("u1", 3).with_nprobe(7);
+        assert_eq!(q.nprobe, Some(7));
+        assert!(matches!(q.input, QueryInput::ImageUrl(ref u) if u == "u1"));
+    }
+
+    #[test]
+    fn partial_response_default_is_empty() {
+        assert!(PartialResponse::default().hits.is_empty());
+        let r = SearchResponse::default();
+        assert_eq!(r.partitions_answered, 0);
+        assert!(r.results.is_empty());
+    }
+
+    #[test]
+    fn messages_clone_and_compare() {
+        let hit = PartialHit {
+            partition: 1,
+            local_id: 2,
+            distance: 0.5,
+            product_id: ProductId(3),
+            sales: 4,
+            price: 5,
+            praise: 6,
+            url: "u".into(),
+        };
+        assert_eq!(hit.clone(), hit);
+        let q = FanoutQuery { features: vec![0.0], k: 1, nprobe: Some(2), compressed: false };
+        assert_eq!(q.clone(), q);
+        assert!(SearchQuery::by_features(vec![], 1).with_compressed().compressed);
+    }
+}

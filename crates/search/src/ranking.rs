@@ -1,0 +1,153 @@
+//! Result ranking.
+//!
+//! Section 2.4: *"Finally, the similar products are ranked according to
+//! their sales, praise, price and other attributes."* The blender blends
+//! visual similarity with business attributes. [`RankingPolicy`] is a
+//! weighted linear blend over normalized signals:
+//!
+//! - similarity: `1 / (1 + distance)` — monotone-decreasing in distance,
+//!   in `(0, 1]`;
+//! - sales and praise: `log1p` compressed (counts are heavy-tailed);
+//! - price: inverted log (cheaper ranks higher, all else equal).
+
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::{PartialHit, RankedHit};
+
+/// Weighted blend of similarity and product attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankingPolicy {
+    /// Weight of visual similarity.
+    pub w_similarity: f64,
+    /// Weight of (log-compressed) sales.
+    pub w_sales: f64,
+    /// Weight of (log-compressed) praise.
+    pub w_praise: f64,
+    /// Weight of (inverted log) price.
+    pub w_price: f64,
+}
+
+impl Default for RankingPolicy {
+    /// Similarity-dominant defaults: visual match is the primary signal,
+    /// attributes break near-ties, as in product visual search.
+    fn default() -> Self {
+        Self { w_similarity: 1.0, w_sales: 0.02, w_praise: 0.01, w_price: 0.005 }
+    }
+}
+
+impl RankingPolicy {
+    /// Pure similarity ranking (the ablation baseline).
+    pub fn similarity_only() -> Self {
+        Self { w_similarity: 1.0, w_sales: 0.0, w_praise: 0.0, w_price: 0.0 }
+    }
+
+    /// Scores one hit (higher is better).
+    pub fn score(&self, hit: &PartialHit) -> f64 {
+        let similarity = 1.0 / (1.0 + f64::from(hit.distance));
+        let sales = (hit.sales as f64).ln_1p();
+        let praise = (hit.praise as f64).ln_1p();
+        // Cheaper is better: invert the compressed price.
+        let price = 1.0 / (1.0 + (hit.price as f64).ln_1p());
+        self.w_similarity * similarity
+            + self.w_sales * sales
+            + self.w_praise * praise
+            + self.w_price * price
+    }
+
+    /// Ranks hits best-first, deduplicating by product (a product with
+    /// several near-identical images should occupy one result slot, as in
+    /// the paper's mobile UI), and truncates to `k`.
+    pub fn rank(&self, hits: Vec<PartialHit>, k: usize) -> Vec<RankedHit> {
+        let mut scored: Vec<RankedHit> =
+            hits.into_iter().map(|h| RankedHit { score: self.score(&h), hit: h }).collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.hit.url.cmp(&b.hit.url))
+        });
+        let mut seen_products = std::collections::HashSet::new();
+        scored.retain(|r| seen_products.insert(r.hit.product_id));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jdvs_storage::model::ProductId;
+
+    fn hit(product: u64, distance: f32, sales: u64, price: u64) -> PartialHit {
+        PartialHit {
+            partition: 0,
+            local_id: product as u32,
+            distance,
+            product_id: ProductId(product),
+            sales,
+            price,
+            praise: 0,
+            url: format!("u{product}-{distance}"),
+        }
+    }
+
+    #[test]
+    fn closer_hits_score_higher() {
+        let p = RankingPolicy::similarity_only();
+        assert!(p.score(&hit(1, 0.1, 0, 0)) > p.score(&hit(2, 2.0, 0, 0)));
+    }
+
+    #[test]
+    fn sales_break_ties() {
+        let p = RankingPolicy::default();
+        let popular = hit(1, 1.0, 1_000_000, 100);
+        let obscure = hit(2, 1.0, 0, 100);
+        assert!(p.score(&popular) > p.score(&obscure));
+    }
+
+    #[test]
+    fn cheaper_wins_at_equal_similarity_and_sales() {
+        let p = RankingPolicy::default();
+        let cheap = hit(1, 1.0, 10, 100);
+        let pricey = hit(2, 1.0, 10, 1_000_000);
+        assert!(p.score(&cheap) > p.score(&pricey));
+    }
+
+    #[test]
+    fn similarity_dominates_attributes_by_default() {
+        let p = RankingPolicy::default();
+        let near_unpopular = hit(1, 0.01, 0, 1_000_000);
+        let far_popular = hit(2, 5.0, 1_000_000, 1);
+        assert!(p.score(&near_unpopular) > p.score(&far_popular));
+    }
+
+    #[test]
+    fn rank_sorts_dedupes_and_truncates() {
+        let p = RankingPolicy::similarity_only();
+        let hits = vec![
+            hit(1, 3.0, 0, 0),
+            hit(1, 0.5, 0, 0), // same product, closer image
+            hit(2, 1.0, 0, 0),
+            hit(3, 2.0, 0, 0),
+        ];
+        let ranked = p.rank(hits, 2);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].hit.product_id, ProductId(1));
+        assert!((ranked[0].hit.distance - 0.5).abs() < 1e-6, "best image of the product wins");
+        assert_eq!(ranked[1].hit.product_id, ProductId(2));
+    }
+
+    #[test]
+    fn rank_of_empty_is_empty() {
+        assert!(RankingPolicy::default().rank(vec![], 10).is_empty());
+    }
+
+    #[test]
+    fn ranking_is_deterministic_under_ties() {
+        let p = RankingPolicy::similarity_only();
+        let hits = vec![hit(1, 1.0, 0, 0), hit(2, 1.0, 0, 0), hit(3, 1.0, 0, 0)];
+        let a = p.rank(hits.clone(), 3);
+        let b = p.rank(hits, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,237 @@
+//! Adaptive (learned) ranking — the paper's stated future work.
+//!
+//! Section 5: *"We plan on integrating advanced search and ranking
+//! algorithms into our visual search system in the future work."*
+//!
+//! [`AdaptiveRanking`] is that integration point: an online logistic
+//! model over the same signals the static [`crate::ranking::RankingPolicy`]
+//! blends (visual similarity, sales, praise, price), trained from click
+//! feedback with per-impression SGD. The blender can rank with it directly;
+//! the serving path stays identical, only the scorer changes — which is
+//! exactly how ranking models are swapped in production systems.
+//!
+//! The model is deliberately compact (5 weights, atomic-free reads via a
+//! lock): this is the *systems* integration of learned ranking, not a
+//! leaderboard model.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::protocol::{PartialHit, RankedHit};
+
+/// Number of model features (bias + 4 signals).
+pub const NUM_FEATURES: usize = 5;
+
+/// An online logistic ranking model; see the module docs.
+#[derive(Debug)]
+pub struct AdaptiveRanking {
+    /// `[bias, similarity, log1p(sales), log1p(praise), 1/(1+log1p(price))]`.
+    weights: RwLock<[f64; NUM_FEATURES]>,
+    learning_rate: f64,
+    updates: AtomicU64,
+}
+
+impl Default for AdaptiveRanking {
+    fn default() -> Self {
+        Self::new(0.05)
+    }
+}
+
+impl AdaptiveRanking {
+    /// Creates a model with similarity-dominant initial weights (it starts
+    /// out behaving like the static policy and drifts with feedback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not positive and finite.
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(
+            learning_rate > 0.0 && learning_rate.is_finite(),
+            "learning rate must be positive and finite"
+        );
+        Self {
+            weights: RwLock::new([0.0, 2.0, 0.05, 0.02, 0.01]),
+            learning_rate,
+            updates: AtomicU64::new(0),
+        }
+    }
+
+    /// The feature vector of a hit.
+    pub fn features(hit: &PartialHit) -> [f64; NUM_FEATURES] {
+        [
+            1.0,
+            1.0 / (1.0 + f64::from(hit.distance)),
+            (hit.sales as f64).ln_1p(),
+            (hit.praise as f64).ln_1p(),
+            1.0 / (1.0 + (hit.price as f64).ln_1p()),
+        ]
+    }
+
+    fn dot(weights: &[f64; NUM_FEATURES], x: &[f64; NUM_FEATURES]) -> f64 {
+        weights.iter().zip(x).map(|(w, v)| w * v).sum()
+    }
+
+    /// Predicted click probability for a hit.
+    pub fn score(&self, hit: &PartialHit) -> f64 {
+        let x = Self::features(hit);
+        let z = Self::dot(&self.weights.read(), &x);
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Ranks hits by predicted click probability, deduplicating by product
+    /// and truncating to `k` (same contract as the static policy).
+    pub fn rank(&self, hits: Vec<PartialHit>, k: usize) -> Vec<RankedHit> {
+        let weights = *self.weights.read();
+        let mut scored: Vec<RankedHit> = hits
+            .into_iter()
+            .map(|h| {
+                let z = Self::dot(&weights, &Self::features(&h));
+                RankedHit { score: 1.0 / (1.0 + (-z).exp()), hit: h }
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.hit.url.cmp(&b.hit.url))
+        });
+        let mut seen = std::collections::HashSet::new();
+        scored.retain(|r| seen.insert(r.hit.product_id));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Records one impression outcome: the user clicked (`true`) or
+    /// skipped (`false`) this hit. One SGD step on the logistic loss.
+    pub fn record_feedback(&self, hit: &PartialHit, clicked: bool) {
+        let x = Self::features(hit);
+        let mut weights = self.weights.write();
+        let z = Self::dot(&weights, &x);
+        let p = 1.0 / (1.0 + (-z).exp());
+        let gradient = p - f64::from(u8::from(clicked));
+        for (w, v) in weights.iter_mut().zip(&x) {
+            *w -= self.learning_rate * gradient * v;
+        }
+        drop(weights);
+        self.updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the current weights.
+    pub fn weights(&self) -> [f64; NUM_FEATURES] {
+        *self.weights.read()
+    }
+
+    /// Number of feedback events applied.
+    pub fn updates(&self) -> u64 {
+        self.updates.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jdvs_storage::model::ProductId;
+
+    fn hit(product: u64, distance: f32, sales: u64, price: u64) -> PartialHit {
+        PartialHit {
+            partition: 0,
+            local_id: product as u32,
+            distance,
+            product_id: ProductId(product),
+            sales,
+            price,
+            praise: 0,
+            url: format!("u{product}"),
+        }
+    }
+
+    #[test]
+    fn initial_model_prefers_similarity() {
+        let model = AdaptiveRanking::default();
+        assert!(model.score(&hit(1, 0.1, 0, 100)) > model.score(&hit(2, 3.0, 0, 100)));
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let model = AdaptiveRanking::default();
+        for h in [hit(1, 0.0, 1_000_000, 1), hit(2, 100.0, 0, u64::MAX / 2)] {
+            let s = model.score(&h);
+            assert!((0.0..=1.0).contains(&s), "{s}");
+        }
+    }
+
+    #[test]
+    fn click_feedback_shifts_preferences_toward_cheap_items() {
+        let model = AdaptiveRanking::new(0.1);
+        let cheap = hit(1, 1.0, 10, 50);
+        let pricey = hit(2, 1.0, 10, 5_000_000);
+        let before = model.score(&cheap) - model.score(&pricey);
+        // Users click cheap items and skip expensive ones, repeatedly.
+        for _ in 0..500 {
+            model.record_feedback(&cheap, true);
+            model.record_feedback(&pricey, false);
+        }
+        let after = model.score(&cheap) - model.score(&pricey);
+        assert!(after > before, "gap must widen: {before} → {after}");
+        assert!(model.score(&cheap) > model.score(&pricey));
+        assert_eq!(model.updates(), 1_000);
+    }
+
+    #[test]
+    fn rank_dedupes_and_sorts_like_static_policy() {
+        let model = AdaptiveRanking::default();
+        let hits = vec![hit(1, 2.0, 0, 0), hit(1, 0.1, 0, 0), hit(2, 1.0, 0, 0)];
+        let ranked = model.rank(hits, 5);
+        assert_eq!(ranked.len(), 2, "deduped by product");
+        for w in ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        assert_eq!(ranked[0].hit.product_id, ProductId(1));
+        assert!((ranked[0].hit.distance - 0.1).abs() < 1e-6, "best image per product");
+    }
+
+    #[test]
+    fn training_converges_on_a_separable_pattern() {
+        // Clicks depend only on sales; the model must learn to rank a
+        // high-sales far item above a low-sales near item.
+        let model = AdaptiveRanking::new(0.05);
+        let popular_far = hit(1, 2.0, 100_000, 100);
+        let obscure_near = hit(2, 0.5, 0, 100);
+        assert!(model.score(&obscure_near) > model.score(&popular_far), "starts similarity-led");
+        for _ in 0..2_000 {
+            model.record_feedback(&popular_far, true);
+            model.record_feedback(&obscure_near, false);
+        }
+        assert!(
+            model.score(&popular_far) > model.score(&obscure_near),
+            "feedback overrides the similarity prior"
+        );
+    }
+
+    #[test]
+    fn concurrent_feedback_is_safe() {
+        use std::sync::Arc;
+        let model = Arc::new(AdaptiveRanking::new(0.01));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let model = Arc::clone(&model);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        model.record_feedback(&hit(t * 500 + i, 1.0, i, 100), i % 2 == 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(model.updates(), 2_000);
+        assert!(model.weights().iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn invalid_learning_rate_panics() {
+        AdaptiveRanking::new(0.0);
+    }
+}

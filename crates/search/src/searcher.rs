@@ -1,0 +1,180 @@
+//! The searcher service (bottom of Figure 10).
+//!
+//! One searcher owns one partition replica: it serves ANN queries over its
+//! [`VisualIndex`] and returns its local top-k *with attributes attached*
+//! (it owns the forward index, so no second lookup round-trip is needed).
+//! The same index is concurrently maintained by the partition's real-time
+//! indexing thread — the whole point of the paper's lock-free structures.
+
+use std::sync::Arc;
+
+use jdvs_core::ids::ImageId;
+use jdvs_core::swap::IndexHandle;
+use jdvs_core::VisualIndex;
+use jdvs_net::rpc::Service;
+
+use crate::protocol::{FanoutQuery, PartialHit, PartialResponse};
+
+/// The per-partition query service.
+///
+/// The index is resolved through a hot-swappable [`IndexHandle`] per
+/// query, so weekly full-index cutovers (Figure 2) are invisible to the
+/// query path: a query in flight keeps its snapshot, the next query sees
+/// the fresh index.
+#[derive(Debug)]
+pub struct SearcherService {
+    partition: usize,
+    handle: Arc<IndexHandle>,
+}
+
+impl SearcherService {
+    /// Creates a searcher for `partition` over a swappable index handle.
+    pub fn new(partition: usize, handle: Arc<IndexHandle>) -> Self {
+        Self { partition, handle }
+    }
+
+    /// Convenience: a searcher over a fixed (never-swapped) index.
+    pub fn for_index(partition: usize, index: Arc<VisualIndex>) -> Self {
+        Self::new(partition, Arc::new(IndexHandle::new(index)))
+    }
+
+    /// This searcher's partition number.
+    pub fn partition(&self) -> usize {
+        self.partition
+    }
+
+    /// Snapshot of the current index (shared with the real-time indexer).
+    pub fn index(&self) -> Arc<VisualIndex> {
+        self.handle.get()
+    }
+
+    /// The swappable handle.
+    pub fn handle(&self) -> &Arc<IndexHandle> {
+        &self.handle
+    }
+
+    /// Executes a query locally (also the code path the RPC handler runs).
+    pub fn execute(&self, query: &FanoutQuery) -> PartialResponse {
+        let index = self.handle.get();
+        let nprobe = query.nprobe.unwrap_or(index.config().nprobe);
+        let neighbors = if query.compressed && index.has_pq() {
+            // Two-stage PQ scan with a 4x rerank shortlist (standard ratio).
+            index.search_compressed(&query.features, query.k.max(1), nprobe, 4)
+        } else {
+            index.search(&query.features, query.k.max(1), nprobe)
+        };
+        let hits = neighbors
+            .into_iter()
+            .filter_map(|n| {
+                let id = ImageId(n.id as u32);
+                // The record is guaranteed present (ids come from the same
+                // index snapshot held across the whole query).
+                let attrs = index.attributes(id).ok()?;
+                Some(PartialHit {
+                    partition: self.partition,
+                    local_id: id.0,
+                    distance: n.distance,
+                    product_id: attrs.product_id,
+                    sales: attrs.sales,
+                    price: attrs.price,
+                    praise: attrs.praise,
+                    url: attrs.url,
+                })
+            })
+            .collect();
+        PartialResponse { hits }
+    }
+}
+
+impl Service for SearcherService {
+    type Request = FanoutQuery;
+    type Response = PartialResponse;
+
+    fn handle(&self, req: FanoutQuery) -> PartialResponse {
+        self.execute(&req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jdvs_core::IndexConfig;
+    use jdvs_storage::model::{ProductAttributes, ProductId};
+    use jdvs_vector::rng::Xoshiro256;
+    use jdvs_vector::Vector;
+
+    const DIM: usize = 8;
+
+    fn index_with(n: usize) -> Arc<VisualIndex> {
+        let mut rng = Xoshiro256::seed_from(3);
+        let train: Vec<Vector> =
+            (0..32).map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect()).collect();
+        let index = Arc::new(VisualIndex::bootstrap(
+            IndexConfig { dim: DIM, num_lists: 4, nprobe: 4, ..Default::default() },
+            &train,
+        ));
+        for i in 0..n {
+            let v: Vector = (0..DIM).map(|_| rng.next_gaussian() as f32).collect();
+            index
+                .insert(
+                    v,
+                    ProductAttributes::new(ProductId(i as u64), i as u64, 100, 1, format!("u{i}")),
+                )
+                .unwrap();
+        }
+        index.flush();
+        index
+    }
+
+    #[test]
+    fn execute_returns_hits_with_attributes() {
+        let index = index_with(50);
+        let searcher = SearcherService::for_index(3, Arc::clone(&index));
+        assert_eq!(searcher.partition(), 3);
+        let feats = index.features(jdvs_core::ids::ImageId(7)).unwrap();
+        let resp = searcher.execute(&FanoutQuery {
+            features: feats.into_inner(),
+            k: 5,
+            nprobe: Some(4),
+            compressed: false,
+        });
+        assert_eq!(resp.hits.len(), 5);
+        let top = &resp.hits[0];
+        assert_eq!(top.local_id, 7);
+        assert_eq!(top.partition, 3);
+        assert_eq!(top.url, "u7");
+        assert_eq!(top.product_id, ProductId(7));
+        assert_eq!(top.sales, 7);
+    }
+
+    #[test]
+    fn default_nprobe_comes_from_config() {
+        let index = index_with(20);
+        let searcher = SearcherService::for_index(0, Arc::clone(&index));
+        let feats = index.features(jdvs_core::ids::ImageId(0)).unwrap();
+        let resp =
+            searcher.execute(&FanoutQuery { features: feats.into_inner(), k: 3, nprobe: None, compressed: false });
+        assert!(!resp.hits.is_empty());
+    }
+
+    #[test]
+    fn hits_are_sorted_by_distance() {
+        let index = index_with(100);
+        let searcher = SearcherService::for_index(0, index);
+        let resp = searcher.execute(&FanoutQuery { features: vec![0.0; DIM], k: 10, nprobe: Some(4), compressed: false });
+        for w in resp.hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn service_impl_delegates_to_execute() {
+        let index = index_with(10);
+        let searcher = SearcherService::for_index(0, Arc::clone(&index));
+        let feats = index.features(jdvs_core::ids::ImageId(2)).unwrap();
+        let q = FanoutQuery { features: feats.into_inner(), k: 1, nprobe: Some(4), compressed: false };
+        let via_service = Service::handle(&searcher, q.clone());
+        let via_execute = searcher.execute(&q);
+        assert_eq!(via_service, via_execute);
+    }
+}

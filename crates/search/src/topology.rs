@@ -1,0 +1,1008 @@
+//! Whole-system assembly (Figure 1 / Figure 10).
+//!
+//! [`SearchTopology::build`] stands up the paper's serving stack in one
+//! call: P×R searcher nodes (each with its partition index behind a
+//! hot-swappable [`IndexHandle`] and, when enabled, a real-time indexing
+//! thread following the shared message queue), G×R broker instances, B
+//! blenders, and the front-end load balancer. The returned handle owns
+//! every node and thread and tears the system down in
+//! [`SearchTopology::shutdown`] (also on drop).
+//!
+//! [`SearchTopology::rebuild_partition`] performs the paper's **weekly
+//! full indexing** (Figure 2) online: it replays the message log into a
+//! fresh index (physically dropping logically-deleted images), serializes
+//! it through the snapshot format (the "index file" production ships to
+//! searcher nodes), and hot-swaps each replica while searches keep
+//! flowing.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use jdvs_core::full::FullIndexBuilder;
+use jdvs_core::realtime::RealtimeIndexer;
+use jdvs_core::swap::IndexHandle;
+use jdvs_core::{persist, IndexConfig, VisualIndex};
+use jdvs_features::CachingExtractor;
+use jdvs_net::balancer::Balancer;
+use jdvs_net::latency::LatencyModel;
+use jdvs_net::node::Node;
+use jdvs_net::rpc::RpcError;
+use jdvs_storage::model::ProductEvent;
+use jdvs_storage::{FeatureDb, ImageStore, MessageQueue};
+use jdvs_vector::kmeans::{Kmeans, KmeansConfig};
+use jdvs_vector::Vector;
+
+use crate::blender::BlenderService;
+use crate::broker::BrokerService;
+use crate::client::SearchClient;
+use crate::partition::PartitionMap;
+use crate::protocol::{SearchQuery, SearchResponse};
+use crate::ranking::RankingPolicy;
+use crate::searcher::SearcherService;
+
+/// Shape and behaviour of the serving stack.
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    /// Per-partition index configuration.
+    pub index: IndexConfig,
+    /// Number of index partitions (paper testbed: 20).
+    pub num_partitions: usize,
+    /// Searcher replicas per partition ("each partition can have multiple
+    /// copies for availability").
+    pub replicas_per_partition: usize,
+    /// Broker groups (each owns a partition subset).
+    pub num_broker_groups: usize,
+    /// Identical instances per broker group.
+    pub broker_replicas: usize,
+    /// Blender instances.
+    pub num_blenders: usize,
+    /// Worker threads per searcher node (its "cores").
+    pub searcher_workers: usize,
+    /// Worker threads per broker instance.
+    pub broker_workers: usize,
+    /// Worker threads per blender instance.
+    pub blender_workers: usize,
+    /// Per-hop latency model for every node.
+    pub latency: LatencyModel,
+    /// Deadline for broker→searcher calls.
+    pub searcher_deadline: Duration,
+    /// Deadline for blender→broker calls.
+    pub broker_deadline: Duration,
+    /// Run a real-time indexing thread per searcher.
+    pub realtime_indexing: bool,
+    /// Result ranking policy.
+    pub ranking: RankingPolicy,
+    /// Capacity of the shared blender query-feature cache (`None`
+    /// disables caching; repeated query images then re-extract).
+    pub query_cache_capacity: Option<usize>,
+    /// Query-category detector attached to every blender (`None` disables
+    /// category detection on responses).
+    pub category_detector: Option<Arc<jdvs_features::category::CategoryDetector>>,
+    /// Master seed (latency streams, fault streams).
+    pub seed: u64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        Self {
+            index: IndexConfig::default(),
+            num_partitions: 4,
+            replicas_per_partition: 1,
+            num_broker_groups: 2,
+            broker_replicas: 1,
+            num_blenders: 2,
+            searcher_workers: 2,
+            broker_workers: 2,
+            blender_workers: 2,
+            latency: LatencyModel::Zero,
+            searcher_deadline: Duration::from_secs(5),
+            broker_deadline: Duration::from_secs(10),
+            realtime_indexing: true,
+            ranking: RankingPolicy::default(),
+            query_cache_capacity: None,
+            category_detector: None,
+            seed: 0x70B0,
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero counts or group/partition mismatch.
+    pub fn validate(&self) {
+        self.index.validate();
+        assert!(self.num_partitions > 0, "num_partitions must be positive");
+        assert!(self.replicas_per_partition > 0, "replicas_per_partition must be positive");
+        assert!(self.broker_replicas > 0, "broker_replicas must be positive");
+        assert!(self.num_blenders > 0, "num_blenders must be positive");
+        assert!(self.searcher_workers > 0, "searcher_workers must be positive");
+        // PartitionMap::new enforces the group/partition relationship.
+        let _ = PartitionMap::new(self.num_partitions, self.num_broker_groups);
+    }
+}
+
+/// Outcome of one partition's online full rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildReport {
+    /// Partition rebuilt.
+    pub partition: usize,
+    /// Messages replayed from the log (max across replicas).
+    pub messages_replayed: u64,
+    /// Records in the old index (including logically deleted) at swap time,
+    /// summed over replicas.
+    pub records_before: usize,
+    /// Records in the fresh index (valid images only), summed.
+    pub records_after: usize,
+    /// Snapshot bytes shipped per replica (last replica's size).
+    pub snapshot_bytes: usize,
+}
+
+/// Per-replica slice of an [`OpsReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionOps {
+    /// Partition number.
+    pub partition: usize,
+    /// Replica number.
+    pub replica: usize,
+    /// Hot-swap generation (how many full rebuilds landed).
+    pub generation: u64,
+    /// Forward-index records (incl. logically deleted).
+    pub records: usize,
+    /// Currently valid (searchable) images.
+    pub valid: usize,
+    /// Lifetime insert count.
+    pub inserts: u64,
+    /// Lifetime reuse (revalidation) count.
+    pub reuses: u64,
+    /// Lifetime attribute-update count.
+    pub updates: u64,
+    /// Lifetime logical-deletion count.
+    pub deletions: u64,
+    /// Lifetime queries served by this replica's index.
+    pub searches: u64,
+    /// Inverted-list expansions performed.
+    pub expansions: u64,
+}
+
+/// Point-in-time operational snapshot of the stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpsReport {
+    /// Messages ever published to the update queue.
+    pub queue_length: u64,
+    /// Events the slowest real-time indexer has yet to consume.
+    pub max_indexer_lag: u64,
+    /// Blender query-cache statistics, when enabled.
+    pub query_cache: Option<jdvs_storage::lru::LruStats>,
+    /// One entry per (partition, replica).
+    pub partitions: Vec<PartitionOps>,
+}
+
+impl OpsReport {
+    /// Valid images across one replica of each partition (logical corpus
+    /// size).
+    pub fn logical_valid_images(&self) -> usize {
+        self.partitions.iter().filter(|p| p.replica == 0).map(|p| p.valid).sum()
+    }
+}
+
+/// The assembled serving system.
+pub struct SearchTopology {
+    frontend: Arc<Balancer<BlenderService>>,
+    partition_map: PartitionMap,
+    config: TopologyConfig,
+    /// `handles[p][r]` = hot-swappable index of partition `p`, replica `r`.
+    handles: Vec<Vec<Arc<IndexHandle>>>,
+    searcher_nodes: Vec<Vec<Node<SearcherService>>>,
+    broker_nodes: Vec<Vec<Node<BrokerService>>>,
+    blender_nodes: Vec<Node<BlenderService>>,
+    queue: MessageQueue<ProductEvent>,
+    extractor: Arc<CachingExtractor>,
+    images: Arc<ImageStore>,
+    feature_db: Arc<FeatureDb>,
+    indexer_stop: Arc<AtomicBool>,
+    indexer_pause: Arc<AtomicBool>,
+    indexer_threads: Vec<JoinHandle<()>>,
+    /// `processed[p][r]` = events consumed by that replica's indexer.
+    indexer_processed: Vec<Vec<Arc<AtomicU64>>>,
+    query_cache: Option<Arc<jdvs_storage::lru::LruCache<jdvs_storage::model::ImageKey, Vec<f32>>>>,
+    realtime_indexing: bool,
+}
+
+impl std::fmt::Debug for SearchTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchTopology")
+            .field("partitions", &self.handles.len())
+            .field("blenders", &self.blender_nodes.len())
+            .field("realtime_indexing", &self.realtime_indexing)
+            .finish()
+    }
+}
+
+impl SearchTopology {
+    /// Builds the full stack.
+    ///
+    /// The coarse quantizer is trained once on `training` and shared by all
+    /// partition replicas (as the weekly full index does in production);
+    /// `queue` is the catalog's update stream, followed by every searcher's
+    /// real-time indexing thread when `config.realtime_indexing` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid or `training` is empty.
+    pub fn build(
+        config: TopologyConfig,
+        extractor: Arc<CachingExtractor>,
+        images: Arc<ImageStore>,
+        feature_db: Arc<FeatureDb>,
+        training: &[Vector],
+        queue: MessageQueue<ProductEvent>,
+    ) -> Self {
+        config.validate();
+        let partition_map = PartitionMap::new(config.num_partitions, config.num_broker_groups);
+        let quantizer = Kmeans::train(
+            training,
+            &KmeansConfig {
+                k: config.index.num_lists,
+                max_iters: config.index.kmeans_iters,
+                tolerance: 1e-4,
+                seed: config.index.seed,
+            },
+        );
+        // PQ codebook (when compressed mode is configured) is trained once
+        // and shared by all replicas, like the coarse quantizer.
+        let pq_quantizer = config.index.pq_subspaces.map(|m| {
+            Arc::new(jdvs_vector::pq::ProductQuantizer::train(
+                training,
+                &jdvs_vector::pq::PqConfig {
+                    num_subspaces: m,
+                    max_iters: config.index.kmeans_iters,
+                    seed: config.index.seed ^ 0x90DE,
+                },
+            ))
+        });
+
+        // --- Searchers: one node per (partition, replica). --------------
+        let indexer_stop = Arc::new(AtomicBool::new(false));
+        let indexer_pause = Arc::new(AtomicBool::new(false));
+        let mut handles: Vec<Vec<Arc<IndexHandle>>> = Vec::with_capacity(config.num_partitions);
+        let mut searcher_nodes = Vec::with_capacity(config.num_partitions);
+        let mut indexer_threads = Vec::new();
+        let mut indexer_processed: Vec<Vec<Arc<AtomicU64>>> = Vec::new();
+        for p in 0..config.num_partitions {
+            let mut replica_handles = Vec::new();
+            let mut nodes = Vec::new();
+            let mut processed_row = Vec::new();
+            for r in 0..config.replicas_per_partition {
+                let index = Arc::new(VisualIndex::with_quantizers(
+                    config.index.clone(),
+                    quantizer.clone(),
+                    pq_quantizer.clone(),
+                ));
+                let handle = Arc::new(IndexHandle::new(index));
+                replica_handles.push(Arc::clone(&handle));
+                let node = Node::spawn_with(
+                    format!("searcher-{p}-{r}"),
+                    SearcherService::new(p, Arc::clone(&handle)),
+                    config.searcher_workers,
+                    config.latency,
+                    config.seed ^ ((p as u64) << 16) ^ r as u64,
+                );
+                nodes.push(node);
+                if config.realtime_indexing {
+                    let indexer = RealtimeIndexer::new(
+                        handle,
+                        Arc::clone(&extractor),
+                        Arc::clone(&images),
+                        Arc::clone(&feature_db),
+                    )
+                    .with_partition(p, config.num_partitions);
+                    let mut consumer = queue.consumer();
+                    let stop = Arc::clone(&indexer_stop);
+                    let pause = Arc::clone(&indexer_pause);
+                    let processed = Arc::new(AtomicU64::new(0));
+                    processed_row.push(Arc::clone(&processed));
+                    indexer_threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("rtidx-{p}-{r}"))
+                            .spawn(move || {
+                                while !stop.load(Ordering::Relaxed) {
+                                    if pause.load(Ordering::Acquire) {
+                                        std::thread::sleep(Duration::from_millis(1));
+                                        continue;
+                                    }
+                                    match consumer.poll(Duration::from_millis(10)) {
+                                        Some(event) => {
+                                            indexer.apply(&event);
+                                            processed.fetch_add(1, Ordering::Release);
+                                        }
+                                        None => indexer.index().flush(),
+                                    }
+                                }
+                                // Drain the backlog for deterministic
+                                // shutdown (ignoring pause: we are exiting).
+                                while let Some(event) = consumer.poll_now() {
+                                    indexer.apply(&event);
+                                    processed.fetch_add(1, Ordering::Release);
+                                }
+                                indexer.index().flush();
+                            })
+                            .expect("spawning real-time indexer thread"),
+                    );
+                }
+            }
+            handles.push(replica_handles);
+            searcher_nodes.push(nodes);
+            indexer_processed.push(processed_row);
+        }
+
+        // --- Brokers: G groups × broker_replicas instances. --------------
+        let mut broker_nodes = Vec::with_capacity(config.num_broker_groups);
+        for g in 0..config.num_broker_groups {
+            let mut instances = Vec::new();
+            for b in 0..config.broker_replicas {
+                let balancers: Vec<Balancer<SearcherService>> = partition_map
+                    .partitions_of_group(g)
+                    .into_iter()
+                    .map(|p| {
+                        Balancer::new(searcher_nodes[p].iter().map(Node::handle).collect())
+                    })
+                    .collect();
+                let service = BrokerService::new(g, balancers, config.searcher_deadline);
+                instances.push(Node::spawn_with(
+                    format!("broker-{g}-{b}"),
+                    service,
+                    config.broker_workers,
+                    config.latency,
+                    config.seed ^ 0xB0 ^ ((g as u64) << 16) ^ b as u64,
+                ));
+            }
+            broker_nodes.push(instances);
+        }
+
+        // --- Blenders. ----------------------------------------------------
+        let query_cache = config
+            .query_cache_capacity
+            .map(|cap| Arc::new(jdvs_storage::lru::LruCache::new(cap)));
+        let blender_nodes: Vec<Node<BlenderService>> = (0..config.num_blenders)
+            .map(|i| {
+                let groups: Vec<Balancer<BrokerService>> = broker_nodes
+                    .iter()
+                    .map(|instances| {
+                        Balancer::new(instances.iter().map(Node::handle).collect())
+                    })
+                    .collect();
+                let mut service = BlenderService::new(
+                    groups,
+                    Arc::clone(&extractor),
+                    Arc::clone(&images),
+                    config.ranking,
+                    config.broker_deadline,
+                );
+                if let Some(cache) = &query_cache {
+                    service = service.with_query_cache(Arc::clone(cache));
+                }
+                if let Some(detector) = &config.category_detector {
+                    service = service.with_category_detector(Arc::clone(detector));
+                }
+                Node::spawn_with(
+                    format!("blender-{i}"),
+                    service,
+                    config.blender_workers,
+                    config.latency,
+                    config.seed ^ 0xB1E ^ i as u64,
+                )
+            })
+            .collect();
+
+        // --- Front end. ----------------------------------------------------
+        let frontend =
+            Arc::new(Balancer::new(blender_nodes.iter().map(Node::handle).collect()));
+
+        let realtime_indexing = config.realtime_indexing;
+        Self {
+            frontend,
+            partition_map,
+            config,
+            handles,
+            searcher_nodes,
+            broker_nodes,
+            blender_nodes,
+            queue,
+            extractor,
+            images,
+            feature_db,
+            indexer_stop,
+            indexer_pause,
+            indexer_threads,
+            indexer_processed,
+            query_cache,
+            realtime_indexing,
+        }
+    }
+
+    /// Statistics of the shared blender query-feature cache, if enabled.
+    pub fn query_cache_stats(&self) -> Option<jdvs_storage::lru::LruStats> {
+        self.query_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// A point-in-time operational report across the whole stack — what a
+    /// production dashboard would scrape.
+    pub fn ops_report(&self) -> OpsReport {
+        let mut partitions = Vec::with_capacity(self.handles.len());
+        for (p, row) in self.handles.iter().enumerate() {
+            for (r, handle) in row.iter().enumerate() {
+                let index = handle.get();
+                partitions.push(PartitionOps {
+                    partition: p,
+                    replica: r,
+                    generation: handle.generation(),
+                    records: index.num_images(),
+                    valid: index.valid_images(),
+                    inserts: index.stats().inserts.get(),
+                    reuses: index.stats().reuses.get(),
+                    updates: index.stats().updates.get(),
+                    deletions: index.stats().deletions.get(),
+                    searches: index.stats().searches.get(),
+                    expansions: index.inverted().total_expansions(),
+                });
+            }
+        }
+        OpsReport {
+            queue_length: self.queue.len(),
+            max_indexer_lag: self.max_indexer_lag(),
+            query_cache: self.query_cache_stats(),
+            partitions,
+        }
+    }
+
+    /// The partition layout.
+    pub fn partition_map(&self) -> PartitionMap {
+        self.partition_map
+    }
+
+    /// The catalog update queue (publish events here).
+    pub fn queue(&self) -> &MessageQueue<ProductEvent> {
+        &self.queue
+    }
+
+    /// Publishes one catalog event.
+    pub fn publish(&self, event: ProductEvent) {
+        self.queue.publish(event);
+    }
+
+    /// A user-facing client through the front-end balancer.
+    pub fn client(&self, deadline: Duration) -> SearchClient {
+        SearchClient::new(Arc::clone(&self.frontend), deadline)
+    }
+
+    /// Convenience: one query through the front end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RPC errors if every blender fails.
+    pub fn search(&self, query: SearchQuery) -> Result<SearchResponse, RpcError> {
+        self.frontend.call(query, Duration::from_secs(30))
+    }
+
+    /// Snapshot of replica `r` of partition `p`'s current index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn index(&self, partition: usize, replica: usize) -> Arc<VisualIndex> {
+        self.handles[partition][replica].get()
+    }
+
+    /// The hot-swap handle of a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn handle(&self, partition: usize, replica: usize) -> &Arc<IndexHandle> {
+        &self.handles[partition][replica]
+    }
+
+    /// Snapshots of all current indexes, `[partition][replica]`.
+    pub fn indexes(&self) -> Vec<Vec<Arc<VisualIndex>>> {
+        self.handles
+            .iter()
+            .map(|row| row.iter().map(|h| h.get()).collect())
+            .collect()
+    }
+
+    /// Fault controls of a searcher node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn searcher_faults(&self, partition: usize, replica: usize) -> &jdvs_net::FaultInjector {
+        self.searcher_nodes[partition][replica].faults()
+    }
+
+    /// Fault controls of a broker instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn broker_faults(&self, group: usize, instance: usize) -> &jdvs_net::FaultInjector {
+        self.broker_nodes[group][instance].faults()
+    }
+
+    /// Total images across partition replicas (each image counted once per
+    /// replica; divide by the replica count for logical size).
+    pub fn total_indexed_images(&self) -> usize {
+        self.indexes().iter().flatten().map(|i| i.num_images()).sum()
+    }
+
+    /// Number of unread events the slowest real-time indexer still has to
+    /// process — 0 means every partition is fully caught up.
+    pub fn max_indexer_lag(&self) -> u64 {
+        let published = self.queue.len();
+        self.indexer_processed
+            .iter()
+            .flatten()
+            .map(|p| published.saturating_sub(p.load(Ordering::Acquire)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Blocks until every partition's indexer has consumed the whole queue
+    /// (only meaningful while nothing is concurrently publishing), then
+    /// flushes in-flight inverted-list expansions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indexers fail to catch up within `timeout`.
+    pub fn wait_for_freshness(&self, timeout: Duration) {
+        if !self.realtime_indexing {
+            return;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        while self.max_indexer_lag() > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "real-time indexers failed to catch up within {timeout:?}"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        for row in &self.handles {
+            for handle in row {
+                handle.get().flush();
+            }
+        }
+    }
+
+    /// Performs the weekly full rebuild of one partition **online**
+    /// (Figure 2): real-time indexing is briefly paused at a quiesced
+    /// cut point, the message log up to each replica's cut is replayed
+    /// into a fresh index (logically-deleted images are physically
+    /// dropped), the index is shipped through the snapshot format and
+    /// hot-swapped, and indexing resumes — all while searches keep being
+    /// served (by the old index until the instant of the swap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range, real-time indexing is
+    /// disabled, or the replayed log contains no valid image for this
+    /// partition.
+    pub fn rebuild_partition(&self, partition: usize) -> RebuildReport {
+        assert!(partition < self.handles.len(), "partition out of range");
+        assert!(
+            self.realtime_indexing,
+            "online rebuild requires real-time indexing (otherwise just build a world)"
+        );
+        // 1. Pause consumption and wait for in-flight applies to settle:
+        //    processed counters stable across two samples.
+        self.indexer_pause.store(true, Ordering::Release);
+        let snapshot_counts = |row: &[Arc<AtomicU64>]| -> Vec<u64> {
+            row.iter().map(|c| c.load(Ordering::Acquire)).collect()
+        };
+        loop {
+            let before = snapshot_counts(&self.indexer_processed[partition]);
+            std::thread::sleep(Duration::from_millis(15));
+            let after = snapshot_counts(&self.indexer_processed[partition]);
+            if before == after {
+                break;
+            }
+        }
+
+        // 2. Per replica: replay [0, cut) into a fresh index, ship it as a
+        //    snapshot, swap it in.
+        let mut report = RebuildReport {
+            partition,
+            messages_replayed: 0,
+            records_before: 0,
+            records_after: 0,
+            snapshot_bytes: 0,
+        };
+        for (r, handle) in self.handles[partition].iter().enumerate() {
+            let cut = self.indexer_processed[partition][r].load(Ordering::Acquire);
+            let log = self.queue.read_range(0, cut as usize);
+            let builder = FullIndexBuilder::new(
+                self.config.index.clone(),
+                Arc::clone(&self.extractor),
+                Arc::clone(&self.images),
+                Arc::clone(&self.feature_db),
+            )
+            .with_partition(partition, self.config.num_partitions);
+            let (fresh, build) = builder.build(&log);
+            // Ship through the on-disk format, as production distributes
+            // index files to searcher nodes.
+            let bytes = persist::save(&fresh);
+            let loaded =
+                Arc::new(persist::load(&bytes).expect("snapshot round-trip cannot fail"));
+            report.messages_replayed = report.messages_replayed.max(build.messages_replayed);
+            report.snapshot_bytes = bytes.len();
+            report.records_after += loaded.num_images();
+            let old = handle.swap(loaded);
+            report.records_before += old.num_images();
+        }
+
+        // 3. Resume real-time indexing; events after each cut apply to the
+        //    fresh index through the handle.
+        self.indexer_pause.store(false, Ordering::Release);
+        report
+    }
+
+    /// Stops real-time indexers (draining the queue), then shuts every node
+    /// down, top of the stack first. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.indexer_stop.store(true, Ordering::SeqCst);
+        // A paused indexer would never reach the drain loop.
+        self.indexer_pause.store(false, Ordering::SeqCst);
+        for t in self.indexer_threads.drain(..) {
+            let _ = t.join();
+        }
+        for b in &self.blender_nodes {
+            b.shutdown();
+        }
+        for g in &self.broker_nodes {
+            for b in g {
+                b.shutdown();
+            }
+        }
+        for p in &self.searcher_nodes {
+            for s in p {
+                s.shutdown();
+            }
+        }
+    }
+}
+
+impl Drop for SearchTopology {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jdvs_features::cost::CostModel;
+    use jdvs_features::{ExtractorConfig, FeatureExtractor};
+    use jdvs_storage::model::{ImageKey, ProductAttributes, ProductId};
+    use jdvs_vector::rng::Xoshiro256;
+
+    const DIM: usize = 8;
+
+    struct World {
+        topology: SearchTopology,
+        images: Arc<ImageStore>,
+    }
+
+    fn world(realtime: bool) -> World {
+        let images = Arc::new(ImageStore::with_blob_len(64));
+        let feature_db = Arc::new(FeatureDb::new());
+        let extractor = Arc::new(CachingExtractor::new(
+            FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+            CostModel::free(),
+        ));
+        let mut rng = Xoshiro256::seed_from(2);
+        let training: Vec<Vector> =
+            (0..64).map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect()).collect();
+        let config = TopologyConfig {
+            index: IndexConfig { dim: DIM, num_lists: 4, nprobe: 4, ..Default::default() },
+            num_partitions: 4,
+            replicas_per_partition: 2,
+            num_broker_groups: 2,
+            broker_replicas: 2,
+            num_blenders: 2,
+            realtime_indexing: realtime,
+            ranking: RankingPolicy::similarity_only(),
+            ..Default::default()
+        };
+        let topology = SearchTopology::build(
+            config,
+            extractor,
+            Arc::clone(&images),
+            feature_db,
+            &training,
+            MessageQueue::new(),
+        );
+        World { topology, images }
+    }
+
+    fn add_event(w: &World, product: u64) -> ProductEvent {
+        let url = format!("u{product}");
+        w.images.put_synthetic(&url, product % 5);
+        ProductEvent::AddProduct {
+            product_id: ProductId(product),
+            images: vec![ProductAttributes::new(ProductId(product), 1, 100, 1, url)],
+        }
+    }
+
+    #[test]
+    fn events_flow_to_partitions_and_become_searchable() {
+        let w = world(true);
+        for i in 0..40u64 {
+            w.topology.publish(add_event(&w, i));
+        }
+        w.topology.wait_for_freshness(Duration::from_secs(30));
+        // Every partition replica pair must agree, and the logical total
+        // must be 40.
+        let mut logical_total = 0;
+        for p in 0..4 {
+            let a = w.topology.index(p, 0).num_images();
+            let b = w.topology.index(p, 1).num_images();
+            assert_eq!(a, b, "replicas of partition {p} must converge");
+            logical_total += a;
+        }
+        assert_eq!(logical_total, 40);
+
+        // A query for an indexed image's features must find it.
+        let map = w.topology.partition_map();
+        let p = map.partition_of_url("u7");
+        let index = w.topology.index(p, 0);
+        let id = index.lookup(ImageKey::from_url("u7")).unwrap();
+        let feats = index.features(id).unwrap();
+        let resp = w
+            .topology
+            .search(SearchQuery::by_features(feats.into_inner(), 3))
+            .unwrap();
+        assert_eq!(resp.results[0].hit.url, "u7");
+        assert_eq!(resp.partitions_answered, 2, "both broker groups answered");
+    }
+
+    #[test]
+    fn searcher_replica_failure_is_transparent() {
+        let w = world(true);
+        for i in 0..20u64 {
+            w.topology.publish(add_event(&w, i));
+        }
+        w.topology.wait_for_freshness(Duration::from_secs(30));
+        for p in 0..4 {
+            w.topology.searcher_faults(p, 0).set_down(true);
+        }
+        let map = w.topology.partition_map();
+        let p = map.partition_of_url("u3");
+        let index = w.topology.index(p, 1);
+        let id = index.lookup(ImageKey::from_url("u3")).unwrap();
+        let feats = index.features(id).unwrap();
+        let resp = w.topology.search(SearchQuery::by_features(feats.into_inner(), 1)).unwrap();
+        assert_eq!(resp.results[0].hit.url, "u3", "replica 1 serves after replica 0 died");
+    }
+
+    #[test]
+    fn broker_instance_failure_is_transparent() {
+        let w = world(true);
+        for i in 0..20u64 {
+            w.topology.publish(add_event(&w, i));
+        }
+        w.topology.wait_for_freshness(Duration::from_secs(30));
+        w.topology.broker_faults(0, 0).set_down(true);
+        w.topology.broker_faults(1, 0).set_down(true);
+        let resp = w
+            .topology
+            .search(SearchQuery::by_image_url("u3", 3))
+            .unwrap();
+        assert!(!resp.results.is_empty(), "second broker instances answer");
+    }
+
+    #[test]
+    fn without_realtime_indexing_queue_is_ignored() {
+        let w = world(false);
+        for i in 0..10u64 {
+            w.topology.publish(add_event(&w, i));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(w.topology.total_indexed_images(), 0);
+        w.topology.wait_for_freshness(Duration::from_secs(1)); // no-op
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_stops_queries() {
+        let mut w = world(true);
+        w.topology.publish(add_event(&w, 0));
+        w.topology.wait_for_freshness(Duration::from_secs(30));
+        let client = w.topology.client(Duration::from_secs(5));
+        w.topology.shutdown();
+        w.topology.shutdown();
+        let err = client.search(SearchQuery::by_image_url("u0", 1)).unwrap_err();
+        assert_eq!(err, RpcError::NodeDown);
+    }
+
+    #[test]
+    fn online_rebuild_drops_deleted_records_and_keeps_serving() {
+        let w = world(true);
+        // 30 products; delete 10 of them.
+        for i in 0..30u64 {
+            w.topology.publish(add_event(&w, i));
+        }
+        for i in 0..10u64 {
+            w.topology.publish(ProductEvent::RemoveProduct {
+                product_id: ProductId(i),
+                urls: vec![format!("u{i}")],
+            });
+        }
+        w.topology.wait_for_freshness(Duration::from_secs(30));
+        let valid_before: usize =
+            w.topology.indexes().iter().map(|row| row[0].valid_images()).sum();
+        assert_eq!(valid_before, 20);
+
+        // Rebuild every partition online.
+        let mut records_before = 0;
+        let mut records_after = 0;
+        for p in 0..4 {
+            let report = w.topology.rebuild_partition(p);
+            assert!(report.snapshot_bytes > 0);
+            records_before += report.records_before;
+            records_after += report.records_after;
+        }
+        // Each count is doubled (2 replicas). Before: 30 records per
+        // logical copy (deleted kept); after: only the 20 valid.
+        assert_eq!(records_before, 30 * 2);
+        assert_eq!(records_after, 20 * 2);
+
+        // Queries still answer from the fresh indexes.
+        let resp = w.topology.search(SearchQuery::by_image_url("u15", 1)).unwrap();
+        assert_eq!(resp.results[0].hit.url, "u15");
+        // Deleted products stay gone.
+        let resp = w.topology.search(SearchQuery::by_image_url("u3", 5)).unwrap();
+        assert!(resp.results.iter().all(|h| h.hit.url != "u3"));
+
+        // Real-time indexing still works after the swap.
+        w.topology.publish(add_event(&w, 999));
+        w.topology.wait_for_freshness(Duration::from_secs(30));
+        let resp = w.topology.search(SearchQuery::by_image_url("u999", 1)).unwrap();
+        assert_eq!(resp.results[0].hit.url, "u999");
+    }
+
+    #[test]
+    fn rebuild_bumps_handle_generation() {
+        let w = world(true);
+        for i in 0..8u64 {
+            w.topology.publish(add_event(&w, i));
+        }
+        w.topology.wait_for_freshness(Duration::from_secs(30));
+        assert_eq!(w.topology.handle(0, 0).generation(), 0);
+        w.topology.rebuild_partition(0);
+        assert_eq!(w.topology.handle(0, 0).generation(), 1);
+        assert_eq!(w.topology.handle(1, 0).generation(), 0, "other partitions untouched");
+    }
+
+    #[test]
+    fn ops_report_reflects_activity() {
+        let w = world(true);
+        for i in 0..12u64 {
+            w.topology.publish(add_event(&w, i));
+        }
+        w.topology.wait_for_freshness(Duration::from_secs(30));
+        let report = w.topology.ops_report();
+        assert_eq!(report.queue_length, 12);
+        assert_eq!(report.max_indexer_lag, 0);
+        assert_eq!(report.partitions.len(), 8, "4 partitions x 2 replicas");
+        assert_eq!(report.logical_valid_images(), 12);
+        let total_inserts: u64 =
+            report.partitions.iter().filter(|p| p.replica == 0).map(|p| p.inserts).sum();
+        assert_eq!(total_inserts, 12);
+        assert!(report.partitions.iter().all(|p| p.generation == 0));
+    }
+
+    #[test]
+    fn compressed_mode_works_end_to_end() {
+        let images = Arc::new(ImageStore::with_blob_len(64));
+        let feature_db = Arc::new(FeatureDb::new());
+        let extractor = Arc::new(CachingExtractor::new(
+            FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+            CostModel::free(),
+        ));
+        let mut rng = Xoshiro256::seed_from(6);
+        let training: Vec<Vector> =
+            (0..128).map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect()).collect();
+        let topology = SearchTopology::build(
+            TopologyConfig {
+                index: IndexConfig {
+                    dim: DIM,
+                    num_lists: 4,
+                    nprobe: 4,
+                    pq_subspaces: Some(4),
+                    ..Default::default()
+                },
+                num_partitions: 2,
+                num_broker_groups: 1,
+                ranking: RankingPolicy::similarity_only(),
+                ..Default::default()
+            },
+            extractor,
+            Arc::clone(&images),
+            feature_db,
+            &training,
+            MessageQueue::new(),
+        );
+        for i in 0..30u64 {
+            let url = format!("u{i}");
+            images.put_synthetic(&url, i % 4);
+            topology.publish(ProductEvent::AddProduct {
+                product_id: ProductId(i),
+                images: vec![ProductAttributes::new(ProductId(i), 1, 1, 1, url)],
+            });
+        }
+        topology.wait_for_freshness(Duration::from_secs(30));
+        assert!(topology.index(0, 0).has_pq());
+        // Exact-image query through the compressed path still self-matches
+        // (the rerank stage restores exact distances).
+        let resp = topology
+            .search(SearchQuery::by_image_url("u7", 1).with_compressed())
+            .unwrap();
+        assert_eq!(resp.results[0].hit.url, "u7");
+        assert!(resp.results[0].hit.distance < 1e-6);
+        // A compressed-mode rebuild round-trips the PQ config too.
+        let report = topology.rebuild_partition(0);
+        assert!(report.snapshot_bytes > 0);
+        assert!(topology.index(0, 0).has_pq(), "PQ survives the hot swap");
+        let resp = topology
+            .search(SearchQuery::by_image_url("u7", 1).with_compressed())
+            .unwrap();
+        assert_eq!(resp.results[0].hit.url, "u7");
+    }
+
+    #[test]
+    fn shared_query_cache_serves_repeat_queries() {
+        let images = Arc::new(ImageStore::with_blob_len(64));
+        let feature_db = Arc::new(FeatureDb::new());
+        let extractor = Arc::new(CachingExtractor::new(
+            FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+            CostModel::free(),
+        ));
+        let mut rng = Xoshiro256::seed_from(4);
+        let training: Vec<Vector> =
+            (0..32).map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect()).collect();
+        let topology = SearchTopology::build(
+            TopologyConfig {
+                index: IndexConfig { dim: DIM, num_lists: 2, ..Default::default() },
+                num_partitions: 2,
+                num_broker_groups: 1,
+                query_cache_capacity: Some(8),
+                ..Default::default()
+            },
+            extractor,
+            Arc::clone(&images),
+            feature_db,
+            &training,
+            MessageQueue::new(),
+        );
+        images.put_synthetic("popular", 3);
+        for _ in 0..5 {
+            let _ = topology.search(SearchQuery::by_image_url("popular", 1)).unwrap();
+        }
+        let stats = topology.query_cache_stats().expect("cache enabled");
+        assert_eq!(stats.misses, 1, "first query extracts");
+        assert_eq!(stats.hits, 4, "repeats hit the cache");
+    }
+
+    #[test]
+    #[should_panic(expected = "more broker groups")]
+    fn invalid_config_panics() {
+        TopologyConfig {
+            num_partitions: 1,
+            num_broker_groups: 2,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

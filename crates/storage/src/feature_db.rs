@@ -1,0 +1,142 @@
+//! The feature database.
+//!
+//! Section 2.2: *"If it is a new image, the features are extracted and
+//! stored in the feature database. The feature database contains each
+//! image's high dimensional features and its corresponding product's
+//! attributes."*
+//!
+//! [`FeatureDb`] is exactly that: a concurrent map from [`ImageKey`] to the
+//! extracted [`Vector`] plus the image's [`ProductAttributes`]. It doubles
+//! as the dedup source for the reuse optimisation — `contains` answers
+//! "have we extracted this image before?" without copying the vector.
+
+use jdvs_vector::Vector;
+
+use crate::kv::KvStore;
+use crate::model::{ImageKey, ProductAttributes};
+
+/// One feature-database record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureRecord {
+    /// Extracted high-dimensional features.
+    pub features: Vector,
+    /// Attributes of the owning product at extraction time.
+    pub attributes: ProductAttributes,
+}
+
+/// Concurrent feature database keyed by image URL hash.
+///
+/// # Example
+///
+/// ```
+/// use jdvs_storage::{FeatureDb, ImageKey, ProductAttributes, ProductId};
+/// use jdvs_vector::Vector;
+///
+/// let db = FeatureDb::new();
+/// let attrs = ProductAttributes::new(ProductId(1), 10, 999, 3, "u".into());
+/// let key = db.insert(Vector::from(vec![0.5; 4]), attrs);
+/// assert!(db.contains(key));
+/// assert_eq!(db.features(key).unwrap().dim(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct FeatureDb {
+    records: KvStore<ImageKey, FeatureRecord>,
+}
+
+impl FeatureDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) the record for `attributes.url`, returning the
+    /// image key.
+    pub fn insert(&self, features: Vector, attributes: ProductAttributes) -> ImageKey {
+        let key = attributes.image_key();
+        self.records.put(key, FeatureRecord { features, attributes });
+        key
+    }
+
+    /// Returns `true` if features for `key` were extracted before — the
+    /// paper's pre-extraction check.
+    pub fn contains(&self, key: ImageKey) -> bool {
+        self.records.contains(&key)
+    }
+
+    /// Fetches the whole record.
+    pub fn get(&self, key: ImageKey) -> Option<FeatureRecord> {
+        self.records.get(&key)
+    }
+
+    /// Fetches just the feature vector.
+    pub fn features(&self, key: ImageKey) -> Option<Vector> {
+        self.records.get(&key).map(|r| r.features)
+    }
+
+    /// Fetches just the attributes.
+    pub fn attributes(&self, key: ImageKey) -> Option<ProductAttributes> {
+        self.records.get(&key).map(|r| r.attributes)
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Snapshot of all keys (full-index rebuild input).
+    pub fn keys(&self) -> Vec<ImageKey> {
+        self.records.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ProductId;
+
+    fn attrs(url: &str) -> ProductAttributes {
+        ProductAttributes::new(ProductId(1), 5, 100, 2, url.to_string())
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let db = FeatureDb::new();
+        let key = db.insert(Vector::from(vec![1.0, 2.0]), attrs("u1"));
+        assert!(db.contains(key));
+        assert_eq!(db.features(key).unwrap().as_slice(), &[1.0, 2.0]);
+        assert_eq!(db.attributes(key).unwrap().url, "u1");
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn missing_key_is_absent() {
+        let db = FeatureDb::new();
+        let key = ImageKey::from_url("nope");
+        assert!(!db.contains(key));
+        assert!(db.get(key).is_none());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces_record() {
+        let db = FeatureDb::new();
+        let key = db.insert(Vector::from(vec![1.0]), attrs("u1"));
+        db.insert(Vector::from(vec![9.0]), attrs("u1"));
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.features(key).unwrap().as_slice(), &[9.0]);
+    }
+
+    #[test]
+    fn keys_cover_all_inserts() {
+        let db = FeatureDb::new();
+        for i in 0..10 {
+            db.insert(Vector::zeros(2), attrs(&format!("u{i}")));
+        }
+        assert_eq!(db.keys().len(), 10);
+    }
+}

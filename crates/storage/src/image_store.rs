@@ -1,0 +1,186 @@
+//! Blob store of product images.
+//!
+//! Stands in for the production image store the full indexer pulls from
+//! (*"the images of new added products during the day are pulled from an
+//! image store"*). Real JPEG content is irrelevant to the serving system —
+//! only the bytes→features mapping matters — so blobs are synthetic:
+//! deterministic pseudo-random bytes derived from the URL and a *visual
+//! seed*. Images of visually similar products share a visual seed, which
+//! the synthetic feature extractor turns into nearby feature vectors; that
+//! gives the index a non-trivial nearest-neighbour structure to search.
+
+use bytes::Bytes;
+
+use crate::kv::KvStore;
+use crate::model::ImageKey;
+
+/// Default synthetic blob size; small enough to generate billions, large
+/// enough that hashing it costs a realistic fraction of extraction time.
+pub const DEFAULT_BLOB_LEN: usize = 4096;
+
+/// A stored image: its bytes plus the visual-cluster seed used to derive
+/// them (carried along so the extractor can reconstruct cluster structure
+/// without a catalog lookup).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageBlob {
+    /// The (synthetic) encoded image bytes.
+    pub bytes: Bytes,
+    /// Seed of the visual cluster this image belongs to.
+    pub visual_seed: u64,
+}
+
+/// In-memory blob store keyed by [`ImageKey`].
+///
+/// # Example
+///
+/// ```
+/// use jdvs_storage::{ImageStore, ImageKey};
+///
+/// let store = ImageStore::new();
+/// let key = store.put_synthetic("https://img.jd.com/sku/1/0.jpg", 42);
+/// let blob = store.get(key).expect("stored");
+/// assert_eq!(blob.visual_seed, 42);
+/// assert_eq!(key, ImageKey::from_url("https://img.jd.com/sku/1/0.jpg"));
+/// ```
+#[derive(Debug, Default)]
+pub struct ImageStore {
+    blobs: KvStore<ImageKey, ImageBlob>,
+    blob_len: usize,
+}
+
+impl ImageStore {
+    /// Creates a store producing [`DEFAULT_BLOB_LEN`]-byte synthetic blobs.
+    pub fn new() -> Self {
+        Self { blobs: KvStore::new(), blob_len: DEFAULT_BLOB_LEN }
+    }
+
+    /// Creates a store with a custom synthetic blob size (tests use tiny
+    /// blobs to stay fast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blob_len == 0`.
+    pub fn with_blob_len(blob_len: usize) -> Self {
+        assert!(blob_len > 0, "blob length must be positive");
+        Self { blobs: KvStore::new(), blob_len }
+    }
+
+    /// Generates and stores a synthetic image for `url`, belonging to the
+    /// visual cluster identified by `visual_seed`. Returns the image key.
+    /// Idempotent: re-putting the same URL keeps the existing blob.
+    pub fn put_synthetic(&self, url: &str, visual_seed: u64) -> ImageKey {
+        let key = ImageKey::from_url(url);
+        let len = self.blob_len;
+        self.blobs.get_or_insert_with(key, || ImageBlob {
+            bytes: synth_bytes(key, visual_seed, len),
+            visual_seed,
+        });
+        key
+    }
+
+    /// Stores caller-provided bytes (used by tests injecting fixed content).
+    pub fn put_raw(&self, url: &str, bytes: Bytes, visual_seed: u64) -> ImageKey {
+        let key = ImageKey::from_url(url);
+        self.blobs.put(key, ImageBlob { bytes, visual_seed });
+        key
+    }
+
+    /// Fetches the blob for `key`.
+    pub fn get(&self, key: ImageKey) -> Option<ImageBlob> {
+        self.blobs.get(&key)
+    }
+
+    /// Fetches the blob for a URL.
+    pub fn get_by_url(&self, url: &str) -> Option<ImageBlob> {
+        self.get(ImageKey::from_url(url))
+    }
+
+    /// Number of stored images.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Returns `true` if no image is stored.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+}
+
+/// Deterministic pseudo-random bytes from (key, visual_seed).
+fn synth_bytes(key: ImageKey, visual_seed: u64, len: usize) -> Bytes {
+    let mut state = key.0 ^ visual_seed.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        // splitmix64 step
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        out.extend_from_slice(&z.to_le_bytes());
+    }
+    out.truncate(len);
+    Bytes::from(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_blobs_are_deterministic() {
+        let a = ImageStore::with_blob_len(128);
+        let b = ImageStore::with_blob_len(128);
+        let ka = a.put_synthetic("url-1", 7);
+        let kb = b.put_synthetic("url-1", 7);
+        assert_eq!(ka, kb);
+        assert_eq!(a.get(ka).unwrap().bytes, b.get(kb).unwrap().bytes);
+    }
+
+    #[test]
+    fn different_urls_produce_different_bytes() {
+        let s = ImageStore::with_blob_len(128);
+        let k1 = s.put_synthetic("url-1", 7);
+        let k2 = s.put_synthetic("url-2", 7);
+        assert_ne!(s.get(k1).unwrap().bytes, s.get(k2).unwrap().bytes);
+    }
+
+    #[test]
+    fn put_is_idempotent() {
+        let s = ImageStore::with_blob_len(64);
+        let k = s.put_synthetic("url-1", 7);
+        let first = s.get(k).unwrap();
+        s.put_synthetic("url-1", 99); // different seed ignored on re-put
+        assert_eq!(s.get(k).unwrap(), first);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn blob_has_requested_length() {
+        let s = ImageStore::with_blob_len(100);
+        let k = s.put_synthetic("url-x", 1);
+        assert_eq!(s.get(k).unwrap().bytes.len(), 100);
+    }
+
+    #[test]
+    fn get_by_url_matches_get_by_key() {
+        let s = ImageStore::with_blob_len(64);
+        s.put_synthetic("abc", 5);
+        assert_eq!(s.get_by_url("abc"), s.get(ImageKey::from_url("abc")));
+        assert!(s.get_by_url("missing").is_none());
+    }
+
+    #[test]
+    fn put_raw_overwrites() {
+        let s = ImageStore::new();
+        let k = s.put_raw("u", Bytes::from_static(b"hello"), 3);
+        assert_eq!(s.get(k).unwrap().bytes, Bytes::from_static(b"hello"));
+        assert_eq!(s.get(k).unwrap().visual_seed, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "blob length must be positive")]
+    fn zero_blob_len_panics() {
+        ImageStore::with_blob_len(0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Sharded concurrent key-value store.
+//!
+//! Stands in for the distributed KV store the paper consults before feature
+//! extraction: *"The feature extraction process first checks if the image's
+//! features have been extracted through a distributed key-value store."*
+//! Only the contract matters to the system under study — concurrent
+//! `get`/`put`/`contains` with read-mostly traffic — so the implementation
+//! is a fixed array of `RwLock`-guarded hash maps ("shards"), the standard
+//! recipe for low-contention concurrent maps.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+
+
+use parking_lot::RwLock;
+
+/// FNV-1a hasher (deterministic across runs, unlike `RandomState`).
+#[derive(Debug, Default, Clone)]
+pub struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvBuild = BuildHasherDefault<FnvHasher>;
+
+/// A sharded, thread-safe key-value store.
+///
+/// # Example
+///
+/// ```
+/// use jdvs_storage::KvStore;
+///
+/// let kv: KvStore<u64, String> = KvStore::new();
+/// assert!(kv.put(1, "features".to_string()).is_none());
+/// assert_eq!(kv.get(&1), Some("features".to_string()));
+/// assert!(kv.contains(&1));
+/// assert_eq!(kv.remove(&1), Some("features".to_string()));
+/// assert!(kv.get(&1).is_none());
+/// ```
+pub struct KvStore<K, V> {
+    shards: Vec<RwLock<HashMap<K, V, FnvBuild>>>,
+    build: FnvBuild,
+}
+
+impl<K, V> std::fmt::Debug for KvStore<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvStore")
+            .field("shards", &self.shards.len())
+            .field("len", &self.shards.iter().map(|s| s.read().len()).sum::<usize>())
+            .finish()
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> Default for KvStore<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> KvStore<K, V> {
+    /// Default shard count; 64 keeps contention negligible for the thread
+    /// counts the experiments use (≤ ~40).
+    pub const DEFAULT_SHARDS: usize = 64;
+
+    /// Creates a store with [`KvStore::DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    /// Creates a store with an explicit shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        Self {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::default())).collect(),
+            build: FnvBuild::default(),
+        }
+    }
+
+    fn shard_for(&self, key: &K) -> &RwLock<HashMap<K, V, FnvBuild>> {
+        let h = self.build.hash_one(key);
+        // Use the high bits: FNV's low bits correlate with short keys.
+        &self.shards[(h >> 32) as usize % self.shards.len()]
+    }
+
+    /// Inserts `value` under `key`, returning the previous value if any.
+    pub fn put(&self, key: K, value: V) -> Option<V> {
+        self.shard_for(&key).write().insert(key, value)
+    }
+
+    /// Returns a clone of the value under `key`.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard_for(key).read().get(key).cloned()
+    }
+
+    /// Returns `true` if `key` is present (cheaper than `get` for large
+    /// values — this is the feature-dedup fast path).
+    pub fn contains(&self, key: &K) -> bool {
+        self.shard_for(key).read().contains_key(key)
+    }
+
+    /// Removes and returns the value under `key`.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shard_for(key).write().remove(key)
+    }
+
+    /// Inserts the value produced by `make` unless `key` is already present;
+    /// returns the resident value either way. The closure runs outside any
+    /// lock held on other shards but inside this shard's write lock, which
+    /// makes the check-then-insert atomic (no duplicate feature extraction
+    /// for concurrent misses on the same key).
+    pub fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> V) -> V {
+        let shard = self.shard_for(&key);
+        if let Some(v) = shard.read().get(&key) {
+            return v.clone();
+        }
+        let mut guard = shard.write();
+        guard.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Total number of entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Returns `true` if the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every entry.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.write().clear();
+        }
+    }
+
+    /// Snapshot of all keys (order unspecified). Intended for tests and
+    /// full-index rebuilds, not hot paths.
+    pub fn keys(&self) -> Vec<K>
+    where
+        K: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        for s in &self.shards {
+            out.extend(s.read().keys().cloned());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_get_remove_round_trip() {
+        let kv: KvStore<String, u32> = KvStore::new();
+        assert!(kv.put("a".into(), 1).is_none());
+        assert_eq!(kv.put("a".into(), 2), Some(1));
+        assert_eq!(kv.get(&"a".to_string()), Some(2));
+        assert_eq!(kv.remove(&"a".to_string()), Some(2));
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn contains_and_len() {
+        let kv: KvStore<u64, u64> = KvStore::new();
+        for i in 0..100 {
+            kv.put(i, i * 2);
+        }
+        assert_eq!(kv.len(), 100);
+        assert!(kv.contains(&50));
+        assert!(!kv.contains(&1000));
+    }
+
+    #[test]
+    fn get_or_insert_with_runs_once() {
+        let kv: KvStore<u32, u32> = KvStore::new();
+        let mut calls = 0;
+        let v = kv.get_or_insert_with(1, || {
+            calls += 1;
+            42
+        });
+        assert_eq!(v, 42);
+        let v2 = kv.get_or_insert_with(1, || {
+            calls += 1;
+            7
+        });
+        assert_eq!(v2, 42, "resident value wins");
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn clear_empties_all_shards() {
+        let kv: KvStore<u64, u64> = KvStore::with_shards(4);
+        for i in 0..100 {
+            kv.put(i, i);
+        }
+        kv.clear();
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn keys_returns_everything() {
+        let kv: KvStore<u64, ()> = KvStore::new();
+        for i in 0..50 {
+            kv.put(i, ());
+        }
+        let mut keys = kv.keys();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_panics() {
+        KvStore::<u64, u64>::with_shards(0);
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_is_consistent() {
+        let kv = Arc::new(KvStore::<u64, u64>::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let kv = Arc::clone(&kv);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        let key = t * 1_000 + i;
+                        kv.put(key, key);
+                        assert_eq!(kv.get(&key), Some(key));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(kv.len(), 8_000);
+    }
+
+    #[test]
+    fn concurrent_get_or_insert_yields_single_value() {
+        let kv = Arc::new(KvStore::<u64, u64>::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let kv = Arc::clone(&kv);
+                std::thread::spawn(move || kv.get_or_insert_with(99, move || t))
+            })
+            .collect();
+        let got: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(got.windows(2).all(|w| w[0] == w[1]), "all threads see one value: {got:?}");
+    }
+}

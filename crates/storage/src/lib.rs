@@ -1,0 +1,49 @@
+//! # jdvs-storage
+//!
+//! Storage substrates the JD visual search system depends on, rebuilt as
+//! in-process equivalents (see DESIGN.md §2 for the substitution rationale):
+//!
+//! - [`model`] — the shared domain schema: products, images, attributes and
+//!   the [`model::ProductEvent`] update messages that drive both full and
+//!   real-time indexing.
+//! - [`kv`] — a sharded concurrent key-value store, standing in for the
+//!   distributed KV store the paper uses to deduplicate feature extraction.
+//! - [`queue`] — an ordered, offset-addressed, multi-consumer message log,
+//!   standing in for the production message queue; supports both bounded
+//!   replay (full indexing reads a day's buffer) and tail-following
+//!   (real-time indexing).
+//! - [`image_store`] — a blob store of (synthetic) product images keyed by
+//!   image URL.
+//! - [`feature_db`] — the feature database: extracted feature vectors plus
+//!   the owning product's attributes, keyed by image URL hash.
+//!
+//! ## Example
+//!
+//! ```
+//! use jdvs_storage::queue::MessageQueue;
+//!
+//! let q = MessageQueue::new();
+//! q.publish("hello");
+//! q.publish("world");
+//! let mut consumer = q.consumer();
+//! assert_eq!(consumer.poll_now(), Some("hello"));
+//! assert_eq!(consumer.poll_now(), Some("world"));
+//! assert_eq!(consumer.poll_now(), None);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod feature_db;
+pub mod image_store;
+pub mod kv;
+pub mod lru;
+pub mod model;
+pub mod queue;
+
+pub use feature_db::FeatureDb;
+pub use image_store::ImageStore;
+pub use kv::KvStore;
+pub use lru::LruCache;
+pub use model::{ImageKey, ProductAttributes, ProductEvent, ProductId};
+pub use queue::MessageQueue;

@@ -1,0 +1,283 @@
+//! A bounded, thread-safe LRU cache.
+//!
+//! Substrate for the blender's query-feature cache: viral query images
+//! repeat (shared screenshots, trending products), and re-extracting the
+//! same photo wastes the most expensive step of the query path. A small
+//! LRU in front of extraction captures that repetition.
+//!
+//! Implementation: a `HashMap` keyed store plus a monotonic recency stamp
+//! per entry; eviction removes the stalest entry. O(capacity) eviction
+//! scan — fine for the few-thousand-entry caches used here, with no
+//! unsafe linked-list machinery.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use parking_lot::Mutex;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LruStats {
+    /// Lookups that found a value.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl LruStats {
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    stamp: u64,
+}
+
+struct Inner<K, V> {
+    map: HashMap<K, Entry<V>>,
+    clock: u64,
+    stats: LruStats,
+}
+
+/// A bounded LRU cache; see the module docs.
+///
+/// # Example
+///
+/// ```
+/// use jdvs_storage::lru::LruCache;
+///
+/// let cache: LruCache<&str, u32> = LruCache::new(2);
+/// cache.put("a", 1);
+/// cache.put("b", 2);
+/// assert_eq!(cache.get(&"a"), Some(1)); // refreshes "a"
+/// cache.put("c", 3);                    // evicts "b" (stalest)
+/// assert_eq!(cache.get(&"b"), None);
+/// assert_eq!(cache.get(&"a"), Some(1));
+/// ```
+pub struct LruCache<K, V> {
+    inner: Mutex<Inner<K, V>>,
+    capacity: usize,
+}
+
+impl<K, V> std::fmt::Debug for LruCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("LruCache")
+            .field("len", &inner.map.len())
+            .field("capacity", &self.capacity)
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::with_capacity(capacity + 1),
+                clock: 0,
+                stats: LruStats::default(),
+            }),
+            capacity,
+        }
+    }
+
+    /// Fetches a value, refreshing its recency.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = stamp;
+                let v = entry.value.clone();
+                inner.stats.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a value, evicting the stalest entry if full.
+    pub fn put(&self, key: K, value: V) {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.map.insert(key, Entry { value, stamp });
+        if inner.map.len() > self.capacity {
+            if let Some(stale) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&stale);
+                inner.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Fetches or computes-and-caches.
+    pub fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.get(&key) {
+            return v;
+        }
+        let v = make();
+        self.put(key, v.clone());
+        v
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of hit/miss/eviction counters.
+    pub fn stats(&self) -> LruStats {
+        self.inner.lock().stats
+    }
+
+    /// Drops every entry (stats are kept).
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_put_get() {
+        let cache = LruCache::new(4);
+        cache.put(1, "one");
+        assert_eq!(cache.get(&1), Some("one"));
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = LruCache::new(3);
+        cache.put(1, 1);
+        cache.put(2, 2);
+        cache.put(3, 3);
+        cache.get(&1); // 2 is now stalest
+        cache.put(4, 4);
+        assert_eq!(cache.get(&2), None, "2 evicted");
+        assert_eq!(cache.get(&1), Some(1));
+        assert_eq!(cache.get(&3), Some(3));
+        assert_eq!(cache.get(&4), Some(4));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn put_refreshes_recency() {
+        let cache = LruCache::new(2);
+        cache.put(1, 1);
+        cache.put(2, 2);
+        cache.put(1, 10); // refresh 1; 2 becomes stalest
+        cache.put(3, 3);
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get(&2), None);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let cache = LruCache::new(2);
+        cache.put("k", 1);
+        cache.get(&"k");
+        cache.get(&"k");
+        cache.get(&"absent");
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_of_untouched_cache_is_zero() {
+        let cache: LruCache<u8, u8> = LruCache::new(1);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn get_or_insert_with_computes_once() {
+        let cache = LruCache::new(2);
+        let mut calls = 0;
+        let v = cache.get_or_insert_with(5, || {
+            calls += 1;
+            50
+        });
+        assert_eq!(v, 50);
+        let v = cache.get_or_insert_with(5, || {
+            calls += 1;
+            99
+        });
+        assert_eq!(v, 50);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_stats() {
+        let cache = LruCache::new(2);
+        cache.put(1, 1);
+        cache.get(&1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        LruCache::<u8, u8>::new(0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let cache = Arc::new(LruCache::new(64));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        cache.put(t * 1_000 + i, i);
+                        cache.get(&(t * 1_000 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 64);
+        assert!(cache.stats().hits > 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Shared domain schema.
+//!
+//! The whole pipeline speaks this vocabulary: products carry attributes and
+//! one or more images; every catalog change is a [`ProductEvent`] flowing
+//! through the message queue; images are addressed by URL, and the system
+//! keys feature storage and index partitioning by a stable 64-bit hash of
+//! that URL ([`ImageKey`]).
+
+use serde::{Deserialize, Serialize};
+
+/// A product's stable identifier (SKU id).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ProductId(pub u64);
+
+impl std::fmt::Display for ProductId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sku-{}", self.0)
+    }
+}
+
+/// Stable 64-bit key derived from an image URL (FNV-1a).
+///
+/// The paper hashes the image URL both to deduplicate feature extraction in
+/// the KV store and to assign the image to an index partition; a single
+/// stable hash serves both uses.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ImageKey(pub u64);
+
+impl ImageKey {
+    /// Hashes an image URL with FNV-1a (stable across runs and platforms,
+    /// unlike `std`'s randomized `DefaultHasher`).
+    pub fn from_url(url: &str) -> Self {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for &b in url.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        Self(h)
+    }
+
+    /// The partition (searcher shard) this image belongs to, out of
+    /// `num_partitions` — the paper's "divides the entire image index data
+    /// into multiple partitions by hashing the image's URL".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_partitions == 0`.
+    pub fn partition(self, num_partitions: usize) -> usize {
+        assert!(num_partitions > 0, "num_partitions must be positive");
+        // Multiply-shift spreads low-entropy keys across partitions better
+        // than a plain modulus.
+        ((self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % num_partitions as u64) as usize
+    }
+}
+
+impl std::fmt::Display for ImageKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "img-{:016x}", self.0)
+    }
+}
+
+/// Numeric and variable-length product attributes stored in the forward
+/// index and used for result ranking (Section 2.2: "product ID, sales,
+/// prices and image URL are used to search and rank results").
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProductAttributes {
+    /// Owning product.
+    pub product_id: ProductId,
+    /// Cumulative sales count.
+    pub sales: u64,
+    /// Price in minor currency units (fen).
+    pub price: u64,
+    /// Praise / positive-review count.
+    pub praise: u64,
+    /// The image's URL (variable-length attribute).
+    pub url: String,
+}
+
+impl ProductAttributes {
+    /// Convenience constructor.
+    pub fn new(product_id: ProductId, sales: u64, price: u64, praise: u64, url: String) -> Self {
+        Self { product_id, sales, price, praise, url }
+    }
+
+    /// The image key for this record's URL.
+    pub fn image_key(&self) -> ImageKey {
+        ImageKey::from_url(&self.url)
+    }
+}
+
+/// A catalog-change message, as delivered by the message queue.
+///
+/// These are the three real-time operations of Section 2.3 plus the
+/// attribute-only update of Figure 7. `AddProduct` covers both genuinely new
+/// products and re-listings (the paper's dominant case: 513 M of 521 M
+/// additions on the measured day were products returning to the market).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProductEvent {
+    /// A product (re-)enters the market with the given images.
+    AddProduct {
+        /// Owning product.
+        product_id: ProductId,
+        /// One attribute record per image of the product.
+        images: Vec<ProductAttributes>,
+    },
+    /// A product leaves the market; its images become invalid.
+    RemoveProduct {
+        /// Product being delisted.
+        product_id: ProductId,
+        /// URLs of the product's images (the indexer flips their validity
+        /// bits).
+        urls: Vec<String>,
+    },
+    /// Numeric attributes of a product changed (price cut, sales tick...).
+    UpdateAttributes {
+        /// Product being updated.
+        product_id: ProductId,
+        /// URLs of the images whose forward-index entries must change.
+        urls: Vec<String>,
+        /// New sales count, if changed.
+        sales: Option<u64>,
+        /// New price, if changed.
+        price: Option<u64>,
+        /// New praise count, if changed.
+        praise: Option<u64>,
+    },
+}
+
+impl ProductEvent {
+    /// The product this event concerns.
+    pub fn product_id(&self) -> ProductId {
+        match self {
+            ProductEvent::AddProduct { product_id, .. }
+            | ProductEvent::RemoveProduct { product_id, .. }
+            | ProductEvent::UpdateAttributes { product_id, .. } => *product_id,
+        }
+    }
+
+    /// Image URLs touched by this event.
+    pub fn urls(&self) -> Vec<&str> {
+        match self {
+            ProductEvent::AddProduct { images, .. } => {
+                images.iter().map(|a| a.url.as_str()).collect()
+            }
+            ProductEvent::RemoveProduct { urls, .. }
+            | ProductEvent::UpdateAttributes { urls, .. } => {
+                urls.iter().map(String::as_str).collect()
+            }
+        }
+    }
+
+    /// Short kind tag for statistics ("add" / "remove" / "update").
+    pub fn kind(&self) -> EventKind {
+        match self {
+            ProductEvent::AddProduct { .. } => EventKind::Addition,
+            ProductEvent::RemoveProduct { .. } => EventKind::Deletion,
+            ProductEvent::UpdateAttributes { .. } => EventKind::Update,
+        }
+    }
+}
+
+/// Classification of product events, matching Table 1's three columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Attribute update.
+    Update,
+    /// Image/product addition (including re-listings).
+    Addition,
+    /// Image/product removal.
+    Deletion,
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EventKind::Update => "update",
+            EventKind::Addition => "addition",
+            EventKind::Deletion => "deletion",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_key_is_stable() {
+        let a = ImageKey::from_url("https://img.jd.com/sku/1/main.jpg");
+        let b = ImageKey::from_url("https://img.jd.com/sku/1/main.jpg");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn image_key_differs_for_different_urls() {
+        let a = ImageKey::from_url("https://img.jd.com/sku/1/main.jpg");
+        let b = ImageKey::from_url("https://img.jd.com/sku/2/main.jpg");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a of "a" is a published constant.
+        assert_eq!(ImageKey::from_url("a").0, 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn partition_is_in_range_and_spreads() {
+        let n = 16;
+        let mut seen = vec![0usize; n];
+        for i in 0..10_000 {
+            let k = ImageKey::from_url(&format!("https://img.jd.com/sku/{i}/1.jpg"));
+            let p = k.partition(n);
+            assert!(p < n);
+            seen[p] += 1;
+        }
+        let min = *seen.iter().min().unwrap();
+        let max = *seen.iter().max().unwrap();
+        assert!(min > 0, "every partition should receive images");
+        assert!(max < 3 * 10_000 / n, "partition skew too high: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "num_partitions must be positive")]
+    fn zero_partitions_panics() {
+        ImageKey(1).partition(0);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let attrs = ProductAttributes::new(ProductId(7), 10, 1999, 5, "u1".into());
+        let add = ProductEvent::AddProduct { product_id: ProductId(7), images: vec![attrs] };
+        assert_eq!(add.product_id(), ProductId(7));
+        assert_eq!(add.urls(), vec!["u1"]);
+        assert_eq!(add.kind(), EventKind::Addition);
+
+        let rm = ProductEvent::RemoveProduct { product_id: ProductId(8), urls: vec!["u2".into()] };
+        assert_eq!(rm.kind(), EventKind::Deletion);
+        assert_eq!(rm.urls(), vec!["u2"]);
+
+        let up = ProductEvent::UpdateAttributes {
+            product_id: ProductId(9),
+            urls: vec!["u3".into()],
+            sales: Some(1),
+            price: None,
+            praise: None,
+        };
+        assert_eq!(up.kind(), EventKind::Update);
+    }
+
+    #[test]
+    fn attributes_image_key_matches_url_hash() {
+        let attrs = ProductAttributes::new(ProductId(1), 0, 0, 0, "xyz".into());
+        assert_eq!(attrs.image_key(), ImageKey::from_url("xyz"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProductId(3).to_string(), "sku-3");
+        assert!(ImageKey(0xff).to_string().starts_with("img-"));
+        assert_eq!(EventKind::Update.to_string(), "update");
+    }
+}

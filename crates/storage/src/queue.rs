@@ -1,0 +1,326 @@
+//! Ordered, offset-addressed, multi-consumer message log.
+//!
+//! The paper's two indexing paths share one message source:
+//!
+//! - **Full indexing** buffers *"all product update messages of a day"* and
+//!   replays them in order at the end of the day (Section 2.2) — that is a
+//!   bounded range read.
+//! - **Real-time indexing** receives messages *"from a message queue and
+//!   processed instantly"* (Section 2.3) — that is tail-following, one
+//!   cursor per searcher.
+//!
+//! [`MessageQueue`] provides both over one append-only log: publishers
+//! append, each [`Consumer`] owns an independent offset cursor, and range
+//! reads (`read_range`) serve replay. Blocking polls park on a condvar so
+//! tail-followers wake within microseconds of a publish — the foundation of
+//! the sub-second freshness the paper measures.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Position of a message in the log (0-based, dense).
+pub type Offset = u64;
+
+#[derive(Debug)]
+struct Inner<T> {
+    log: Mutex<Vec<T>>,
+    not_empty: Condvar,
+}
+
+/// An in-process, ordered, multi-consumer message log.
+///
+/// Cloning the queue is cheap (it is an `Arc` handle); all clones publish
+/// to and read from the same log.
+///
+/// # Example
+///
+/// ```
+/// use jdvs_storage::MessageQueue;
+///
+/// let q = MessageQueue::new();
+/// q.publish(1u32);
+/// q.publish(2);
+/// assert_eq!(q.read_range(0, 10), vec![1, 2]);
+/// let mut c = q.consumer();
+/// assert_eq!(c.poll_now(), Some(1));
+/// ```
+#[derive(Debug)]
+pub struct MessageQueue<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for MessageQueue<T> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Clone> Default for MessageQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> MessageQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { inner: Arc::new(Inner { log: Mutex::new(Vec::new()), not_empty: Condvar::new() }) }
+    }
+
+    /// Appends a message, returning its offset.
+    pub fn publish(&self, msg: T) -> Offset {
+        let mut log = self.inner.log.lock();
+        log.push(msg);
+        let off = (log.len() - 1) as Offset;
+        drop(log);
+        self.inner.not_empty.notify_all();
+        off
+    }
+
+    /// Appends a batch, returning the offset of the first message.
+    pub fn publish_batch(&self, msgs: impl IntoIterator<Item = T>) -> Offset {
+        let mut log = self.inner.log.lock();
+        let first = log.len() as Offset;
+        log.extend(msgs);
+        drop(log);
+        self.inner.not_empty.notify_all();
+        first
+    }
+
+    /// Number of messages ever published (the next offset to be assigned).
+    pub fn len(&self) -> u64 {
+        self.inner.log.lock().len() as u64
+    }
+
+    /// Returns `true` if nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.inner.log.lock().is_empty()
+    }
+
+    /// Copies up to `max` messages starting at `from` (bounded replay; the
+    /// full indexer's read path). Returns fewer than `max` at the tail.
+    pub fn read_range(&self, from: Offset, max: usize) -> Vec<T> {
+        let log = self.inner.log.lock();
+        let start = (from as usize).min(log.len());
+        let end = start.saturating_add(max).min(log.len());
+        log[start..end].to_vec()
+    }
+
+    /// Creates a tail-following consumer starting at offset 0.
+    pub fn consumer(&self) -> Consumer<T> {
+        self.consumer_at(0)
+    }
+
+    /// Creates a consumer starting at `offset`.
+    pub fn consumer_at(&self, offset: Offset) -> Consumer<T> {
+        Consumer { queue: self.clone(), cursor: offset }
+    }
+}
+
+/// An independent read cursor over a [`MessageQueue`].
+///
+/// Consumers never contend with each other: each tracks only its own offset,
+/// so any number of searchers can follow the same log (the paper attaches
+/// every searcher to the queue for real-time indexing).
+#[derive(Debug)]
+pub struct Consumer<T> {
+    queue: MessageQueue<T>,
+    cursor: Offset,
+}
+
+impl<T: Clone> Consumer<T> {
+    /// Current cursor position (offset of the next message to read).
+    pub fn position(&self) -> Offset {
+        self.cursor
+    }
+
+    /// How many published messages this consumer has not yet read.
+    pub fn lag(&self) -> u64 {
+        self.queue.len().saturating_sub(self.cursor)
+    }
+
+    /// Non-blocking poll: returns the next message if one is available.
+    pub fn poll_now(&mut self) -> Option<T> {
+        let log = self.queue.inner.log.lock();
+        let msg = log.get(self.cursor as usize).cloned();
+        drop(log);
+        if msg.is_some() {
+            self.cursor += 1;
+        }
+        msg
+    }
+
+    /// Blocking poll: waits up to `timeout` for the next message.
+    pub fn poll(&mut self, timeout: Duration) -> Option<T> {
+        let mut log = self.queue.inner.log.lock();
+        if (self.cursor as usize) >= log.len() {
+            self.queue.inner.not_empty.wait_for(&mut log, timeout);
+        }
+        let msg = log.get(self.cursor as usize).cloned();
+        drop(log);
+        if msg.is_some() {
+            self.cursor += 1;
+        }
+        msg
+    }
+
+    /// Non-blocking batch poll: drains up to `max` available messages.
+    pub fn poll_batch(&mut self, max: usize) -> Vec<T> {
+        let log = self.queue.inner.log.lock();
+        let start = (self.cursor as usize).min(log.len());
+        let end = start.saturating_add(max).min(log.len());
+        let out = log[start..end].to_vec();
+        drop(log);
+        self.cursor = end as Offset;
+        out
+    }
+
+    /// Moves the cursor to an absolute offset (replay / skip-ahead).
+    pub fn seek(&mut self, offset: Offset) {
+        self.cursor = offset;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn publish_assigns_dense_offsets() {
+        let q = MessageQueue::new();
+        assert_eq!(q.publish("a"), 0);
+        assert_eq!(q.publish("b"), 1);
+        assert_eq!(q.publish_batch(["c", "d"]), 2);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn read_range_clamps_to_tail() {
+        let q = MessageQueue::new();
+        q.publish_batch(0..5u32);
+        assert_eq!(q.read_range(3, 100), vec![3, 4]);
+        assert_eq!(q.read_range(10, 5), Vec::<u32>::new());
+        assert_eq!(q.read_range(0, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn consumer_reads_in_order() {
+        let q = MessageQueue::new();
+        q.publish_batch(0..10u32);
+        let mut c = q.consumer();
+        let got: Vec<u32> = std::iter::from_fn(|| c.poll_now()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(c.lag(), 0);
+    }
+
+    #[test]
+    fn consumers_are_independent() {
+        let q = MessageQueue::new();
+        q.publish_batch(0..4u32);
+        let mut a = q.consumer();
+        let mut b = q.consumer();
+        assert_eq!(a.poll_now(), Some(0));
+        assert_eq!(a.poll_now(), Some(1));
+        assert_eq!(b.poll_now(), Some(0), "b has its own cursor");
+    }
+
+    #[test]
+    fn poll_batch_drains_up_to_max() {
+        let q = MessageQueue::new();
+        q.publish_batch(0..10u32);
+        let mut c = q.consumer();
+        assert_eq!(c.poll_batch(3), vec![0, 1, 2]);
+        assert_eq!(c.poll_batch(100), (3..10).collect::<Vec<_>>());
+        assert!(c.poll_batch(5).is_empty());
+    }
+
+    #[test]
+    fn seek_supports_replay() {
+        let q = MessageQueue::new();
+        q.publish_batch(0..5u32);
+        let mut c = q.consumer();
+        c.poll_batch(5);
+        c.seek(2);
+        assert_eq!(c.poll_now(), Some(2));
+    }
+
+    #[test]
+    fn blocking_poll_times_out_when_empty() {
+        let q: MessageQueue<u32> = MessageQueue::new();
+        let mut c = q.consumer();
+        let start = std::time::Instant::now();
+        assert_eq!(c.poll(Duration::from_millis(20)), None);
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn blocking_poll_wakes_on_publish() {
+        let q = MessageQueue::new();
+        let mut c = q.consumer();
+        let q2 = q.clone();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            q2.publish(99u32);
+        });
+        let got = c.poll(Duration::from_secs(5));
+        t.join().unwrap();
+        assert_eq!(got, Some(99));
+    }
+
+    #[test]
+    fn lag_tracks_unread_messages() {
+        let q = MessageQueue::new();
+        let mut c = q.consumer();
+        assert_eq!(c.lag(), 0);
+        q.publish_batch(0..7u32);
+        assert_eq!(c.lag(), 7);
+        c.poll_batch(3);
+        assert_eq!(c.lag(), 4);
+        assert_eq!(c.position(), 3);
+    }
+
+    #[test]
+    fn concurrent_publishers_preserve_all_messages() {
+        let q = MessageQueue::new();
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        q.publish(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(q.len(), 4_000);
+        let mut all = q.read_range(0, 4_000);
+        all.sort_unstable();
+        assert_eq!(all, (0..4_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tail_follower_sees_all_messages_from_concurrent_publisher() {
+        let q = MessageQueue::new();
+        let mut c = q.consumer();
+        let q2 = q.clone();
+        let publisher = thread::spawn(move || {
+            for i in 0..500u32 {
+                q2.publish(i);
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 500 {
+            if let Some(m) = c.poll(Duration::from_secs(5)) {
+                got.push(m);
+            }
+        }
+        publisher.join().unwrap();
+        assert_eq!(got, (0..500).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for jdvs-storage: the KV store against a model
+//! map, queue cursor semantics, and event/catalog schema laws.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use jdvs_storage::model::{ImageKey, ProductAttributes, ProductEvent, ProductId};
+use jdvs_storage::{KvStore, MessageQueue};
+
+#[derive(Debug, Clone)]
+enum KvOp {
+    Put(u16, u32),
+    Remove(u16),
+    GetOrInsert(u16, u32),
+}
+
+fn kv_op() -> impl Strategy<Value = KvOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| KvOp::Put(k, v)),
+        any::<u16>().prop_map(KvOp::Remove),
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| KvOp::GetOrInsert(k, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sharded KV store behaves exactly like a HashMap under any
+    /// sequence of put/remove/get_or_insert.
+    #[test]
+    fn kv_matches_model(ops in prop::collection::vec(kv_op(), 1..200)) {
+        let kv: KvStore<u16, u32> = KvStore::with_shards(8);
+        let mut model: HashMap<u16, u32> = HashMap::new();
+        for op in ops {
+            match op {
+                KvOp::Put(k, v) => {
+                    prop_assert_eq!(kv.put(k, v), model.insert(k, v));
+                }
+                KvOp::Remove(k) => {
+                    prop_assert_eq!(kv.remove(&k), model.remove(&k));
+                }
+                KvOp::GetOrInsert(k, v) => {
+                    let got = kv.get_or_insert_with(k, || v);
+                    let expected = *model.entry(k).or_insert(v);
+                    prop_assert_eq!(got, expected);
+                }
+            }
+        }
+        prop_assert_eq!(kv.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(kv.get(k), Some(*v));
+            prop_assert!(kv.contains(k));
+        }
+    }
+
+    /// Interleaved consumers each independently see the full sequence.
+    #[test]
+    fn queue_consumers_are_isolated(
+        messages in prop::collection::vec(any::<u16>(), 1..100),
+        splits in prop::collection::vec(1usize..10, 1..10),
+    ) {
+        let q = MessageQueue::new();
+        q.publish_batch(messages.iter().copied());
+        let mut a = q.consumer();
+        let mut b = q.consumer();
+        // Drain a in arbitrary batch sizes, b all at once; both match.
+        let mut got_a = Vec::new();
+        let mut i = 0;
+        while got_a.len() < messages.len() {
+            let n = splits[i % splits.len()];
+            got_a.extend(a.poll_batch(n));
+            i += 1;
+        }
+        prop_assert_eq!(&got_a, &messages);
+        prop_assert_eq!(&b.poll_batch(usize::MAX), &messages);
+    }
+
+    /// seek + read_range agree with direct consumption.
+    #[test]
+    fn queue_seek_matches_range(
+        messages in prop::collection::vec(any::<u8>(), 1..80),
+        from in 0u64..100,
+    ) {
+        let q = MessageQueue::new();
+        q.publish_batch(messages.iter().copied());
+        let range = q.read_range(from, usize::MAX);
+        let mut c = q.consumer_at(from);
+        let drained: Vec<u8> = std::iter::from_fn(|| c.poll_now()).collect();
+        prop_assert_eq!(range, drained);
+    }
+
+    /// Image keys are injective in practice: distinct short URLs rarely
+    /// collide; identical URLs always agree; partitions are stable.
+    #[test]
+    fn image_key_laws(url_a in ".{1,40}", url_b in ".{1,40}", parts in 1usize..32) {
+        let ka = ImageKey::from_url(&url_a);
+        prop_assert_eq!(ka, ImageKey::from_url(&url_a));
+        if url_a != url_b {
+            // Not a strict guarantee (hash), but FNV over short strings
+            // colliding within a proptest run would indicate a broken hash.
+            prop_assert_ne!(ka, ImageKey::from_url(&url_b));
+        }
+        prop_assert!(ka.partition(parts) < parts);
+    }
+
+    /// Event accessors agree with the payload for all event kinds.
+    #[test]
+    fn event_accessors_consistent(
+        pid in any::<u64>(),
+        urls in prop::collection::vec(".{1,20}", 1..5),
+    ) {
+        let product_id = ProductId(pid);
+        let images: Vec<ProductAttributes> = urls
+            .iter()
+            .map(|u| ProductAttributes::new(product_id, 1, 2, 3, u.clone()))
+            .collect();
+        let add = ProductEvent::AddProduct { product_id, images };
+        prop_assert_eq!(add.product_id(), product_id);
+        prop_assert_eq!(add.urls().len(), urls.len());
+
+        let rm = ProductEvent::RemoveProduct { product_id, urls: urls.clone() };
+        prop_assert_eq!(rm.urls(), urls.iter().map(String::as_str).collect::<Vec<_>>());
+
+        let up = ProductEvent::UpdateAttributes {
+            product_id,
+            urls: urls.clone(),
+            sales: None,
+            price: Some(9),
+            praise: None,
+        };
+        prop_assert_eq!(up.product_id(), product_id);
+    }
+}

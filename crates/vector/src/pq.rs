@@ -1,0 +1,271 @@
+//! Product quantization (Jégou, Douze & Schmid 2011 — the paper's ref \[19\]).
+//!
+//! The production JD system scans inverted lists over raw features; at
+//! 100 B images the memory footprint makes compressed codes attractive, and
+//! the paper cites PQ as the established technique. We provide it as the
+//! searcher's optional compressed-scan mode and as an ablation subject: a
+//! `d`-dimensional vector is split into `m` subspaces, each quantized by its
+//! own 256-entry codebook, so a vector costs `m` bytes instead of `4·d`.
+//!
+//! Queries use asymmetric distance computation (ADC): a per-query lookup
+//! table of squared distances from each query sub-vector to every codeword,
+//! after which scanning a code is `m` table lookups and adds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance::squared_l2;
+use crate::kmeans::{Kmeans, KmeansConfig};
+use crate::vector::Vector;
+
+/// Number of codewords per sub-quantizer (one byte per sub-code).
+pub const CODEBOOK_SIZE: usize = 256;
+
+/// Configuration for [`ProductQuantizer::train`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PqConfig {
+    /// Number of subspaces `m`; must divide the vector dimension.
+    pub num_subspaces: usize,
+    /// Lloyd iterations per sub-quantizer.
+    pub max_iters: usize,
+    /// Training seed.
+    pub seed: u64,
+}
+
+impl Default for PqConfig {
+    fn default() -> Self {
+        Self { num_subspaces: 8, max_iters: 15, seed: 0xC0DE }
+    }
+}
+
+/// A trained product quantizer.
+///
+/// # Example
+///
+/// ```
+/// use jdvs_vector::{Vector, pq::{ProductQuantizer, PqConfig}};
+/// use jdvs_vector::rng::Xoshiro256;
+///
+/// let mut rng = Xoshiro256::seed_from(1);
+/// let data: Vec<Vector> = (0..300)
+///     .map(|_| (0..8).map(|_| rng.next_gaussian() as f32).collect())
+///     .collect();
+/// let pq = ProductQuantizer::train(&data, &PqConfig { num_subspaces: 4, ..Default::default() });
+/// let code = pq.encode(data[0].as_slice());
+/// assert_eq!(code.len(), 4);
+/// let approx = pq.decode(&code);
+/// assert_eq!(approx.dim(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProductQuantizer {
+    dim: usize,
+    sub_dim: usize,
+    // One k-means model per subspace, each over `sub_dim`-dimensional data.
+    codebooks: Vec<Kmeans>,
+}
+
+impl ProductQuantizer {
+    /// Trains one 256-word codebook per subspace on `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, `config.num_subspaces` is zero or does not
+    /// divide the vector dimension, or vectors have inconsistent dimensions.
+    pub fn train(data: &[Vector], config: &PqConfig) -> Self {
+        assert!(!data.is_empty(), "cannot train PQ on empty data");
+        let dim = data[0].dim();
+        let m = config.num_subspaces;
+        assert!(m > 0, "num_subspaces must be positive");
+        assert_eq!(dim % m, 0, "num_subspaces ({m}) must divide dimension ({dim})");
+        let sub_dim = dim / m;
+        let mut codebooks = Vec::with_capacity(m);
+        for sub in 0..m {
+            let slice_data: Vec<Vector> = data
+                .iter()
+                .map(|v| Vector::from(&v.as_slice()[sub * sub_dim..(sub + 1) * sub_dim]))
+                .collect();
+            let cfg = KmeansConfig {
+                k: CODEBOOK_SIZE,
+                max_iters: config.max_iters,
+                tolerance: 1e-4,
+                seed: config.seed.wrapping_add(sub as u64),
+            };
+            codebooks.push(Kmeans::train(&slice_data, &cfg));
+        }
+        Self { dim, sub_dim, codebooks }
+    }
+
+    /// Original vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of subspaces `m` (= bytes per encoded vector).
+    pub fn num_subspaces(&self) -> usize {
+        self.codebooks.len()
+    }
+
+    /// Encodes `v` into `m` one-byte codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.dim()`.
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        assert_eq!(v.len(), self.dim, "encode dimension mismatch");
+        self.codebooks
+            .iter()
+            .enumerate()
+            .map(|(sub, cb)| cb.assign(&v[sub * self.sub_dim..(sub + 1) * self.sub_dim]) as u8)
+            .collect()
+    }
+
+    /// Reconstructs the approximate vector for a code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code.len() != self.num_subspaces()`.
+    pub fn decode(&self, code: &[u8]) -> Vector {
+        assert_eq!(code.len(), self.num_subspaces(), "decode code-length mismatch");
+        let mut out = Vec::with_capacity(self.dim);
+        for (sub, &c) in code.iter().enumerate() {
+            let centroid = &self.codebooks[sub].centroids()[c as usize % self.codebooks[sub].k()];
+            out.extend_from_slice(centroid.as_slice());
+        }
+        Vector::from(out)
+    }
+
+    /// Builds the per-query ADC table: `table[sub][word]` is the squared
+    /// distance between the query's `sub`-th sub-vector and codeword `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != self.dim()`.
+    pub fn adc_table(&self, query: &[f32]) -> AdcTable {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut table = Vec::with_capacity(self.num_subspaces());
+        for (sub, cb) in self.codebooks.iter().enumerate() {
+            let q = &query[sub * self.sub_dim..(sub + 1) * self.sub_dim];
+            let mut row = vec![f32::INFINITY; CODEBOOK_SIZE];
+            for (w, centroid) in cb.centroids().iter().enumerate() {
+                row[w] = squared_l2(q, centroid.as_slice());
+            }
+            table.push(row);
+        }
+        AdcTable { table }
+    }
+}
+
+/// Asymmetric-distance lookup table for one query; see
+/// [`ProductQuantizer::adc_table`].
+#[derive(Debug, Clone)]
+pub struct AdcTable {
+    table: Vec<Vec<f32>>,
+}
+
+impl AdcTable {
+    /// Approximate squared L2 distance between the query and the vector
+    /// encoded as `code`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code.len()` differs from the number of subspaces.
+    #[inline]
+    pub fn distance(&self, code: &[u8]) -> f32 {
+        assert_eq!(code.len(), self.table.len(), "code length mismatch");
+        code.iter().zip(&self.table).map(|(&c, row)| row[c as usize]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn random_data(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
+        let mut rng = Xoshiro256::seed_from(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.next_gaussian() as f32).collect()).collect()
+    }
+
+    #[test]
+    fn encode_decode_reduces_error_vs_random() {
+        let data = random_data(400, 16, 5);
+        let pq = ProductQuantizer::train(&data, &PqConfig { num_subspaces: 4, ..Default::default() });
+        let mut err = 0.0f64;
+        let mut base = 0.0f64;
+        for v in data.iter().take(100) {
+            let approx = pq.decode(&pq.encode(v.as_slice()));
+            err += squared_l2(v.as_slice(), approx.as_slice()) as f64;
+            base += v.squared_norm() as f64; // error of quantizing to origin
+        }
+        assert!(err < base * 0.5, "PQ reconstruction ({err}) should beat origin baseline ({base})");
+    }
+
+    #[test]
+    fn adc_matches_decoded_distance() {
+        let data = random_data(300, 8, 6);
+        let pq = ProductQuantizer::train(&data, &PqConfig { num_subspaces: 2, ..Default::default() });
+        let query = &data[0];
+        let table = pq.adc_table(query.as_slice());
+        for v in data.iter().take(50) {
+            let code = pq.encode(v.as_slice());
+            let adc = table.distance(&code);
+            let exact = squared_l2(query.as_slice(), pq.decode(&code).as_slice());
+            assert!((adc - exact).abs() < 1e-3, "adc {adc} vs decoded {exact}");
+        }
+    }
+
+    #[test]
+    fn adc_preserves_neighbor_ordering_roughly() {
+        // With well-separated clusters, ADC must rank the same-cluster point
+        // closer than a far-cluster point.
+        let mut data = Vec::new();
+        let mut rng = Xoshiro256::seed_from(8);
+        for c in [0.0f32, 50.0] {
+            for _ in 0..200 {
+                data.push(Vector::from(vec![
+                    c + rng.next_gaussian() as f32,
+                    c + rng.next_gaussian() as f32,
+                    c + rng.next_gaussian() as f32,
+                    c + rng.next_gaussian() as f32,
+                ]));
+            }
+        }
+        let pq = ProductQuantizer::train(&data, &PqConfig { num_subspaces: 2, ..Default::default() });
+        let table = pq.adc_table(data[0].as_slice());
+        let near = table.distance(&pq.encode(data[1].as_slice()));
+        let far = table.distance(&pq.encode(data[250].as_slice()));
+        assert!(near < far);
+    }
+
+    #[test]
+    fn code_length_equals_subspaces() {
+        let data = random_data(300, 12, 7);
+        let pq = ProductQuantizer::train(&data, &PqConfig { num_subspaces: 3, ..Default::default() });
+        assert_eq!(pq.encode(data[0].as_slice()).len(), 3);
+        assert_eq!(pq.num_subspaces(), 3);
+        assert_eq!(pq.dim(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide dimension")]
+    fn indivisible_subspaces_panic() {
+        let data = random_data(10, 10, 1);
+        ProductQuantizer::train(&data, &PqConfig { num_subspaces: 3, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "encode dimension mismatch")]
+    fn encode_wrong_dim_panics() {
+        let data = random_data(50, 8, 2);
+        let pq = ProductQuantizer::train(&data, &PqConfig { num_subspaces: 2, ..Default::default() });
+        pq.encode(&[0.0; 4]);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = random_data(200, 8, 3);
+        let cfg = PqConfig { num_subspaces: 2, ..Default::default() };
+        let a = ProductQuantizer::train(&data, &cfg);
+        let b = ProductQuantizer::train(&data, &cfg);
+        assert_eq!(a.encode(data[5].as_slice()), b.encode(data[5].as_slice()));
+    }
+}

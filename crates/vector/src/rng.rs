@@ -1,0 +1,291 @@
+//! Deterministic pseudo-random number generators.
+//!
+//! The visual search system must be reproducible end-to-end: catalog
+//! generation, feature extraction, k-means initialization and the simulated
+//! network latency model all consume randomness. This module provides two
+//! small, well-known generators — [`SplitMix64`] (for seeding and cheap
+//! streams) and [`Xoshiro256`] (xoshiro256**, the workhorse) — plus helpers
+//! for uniform floats and Gaussian samples.
+//!
+//! We implement these by hand instead of depending on `rand` in library code
+//! so that the exact bit-streams are pinned by this crate and cannot drift
+//! with a dependency upgrade. (`rand` is still used in dev-dependencies for
+//! tests that need an independent source.)
+
+/// SplitMix64 generator (Steele, Lea & Flood 2014).
+///
+/// Primarily used to expand a single `u64` seed into the larger state of
+/// [`Xoshiro256`] and to derive independent per-entity seeds (e.g. one seed
+/// per simulated node) from a master experiment seed.
+///
+/// # Example
+///
+/// ```
+/// use jdvs_vector::rng::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Derives an independent sub-seed; calling this repeatedly yields a
+    /// stream of seeds suitable for seeding per-entity generators.
+    pub fn derive_seed(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna 2018): fast, high-quality, 256-bit
+/// state general-purpose generator.
+///
+/// # Example
+///
+/// ```
+/// use jdvs_vector::rng::Xoshiro256;
+/// let mut rng = Xoshiro256::seed_from(7);
+/// let x = rng.next_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator whose 256-bit state is expanded from `seed` via
+    /// [`SplitMix64`], per the xoshiro authors' recommendation.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // An all-zero state would be a fixed point; SplitMix64 cannot
+        // produce four consecutive zeros from any seed, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` using the top 24 bits.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift method
+    /// (unbiased rejection variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection sampling on the multiply-high trick.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        self.next_bounded(bound as u64) as usize
+    }
+
+    /// Standard Gaussian sample (mean 0, variance 1) via the Marsaglia polar
+    /// method. Two samples are generated per rejection round; the spare is
+    /// cached-free (recomputed) to keep the generator state a pure function
+    /// of draw count.
+    pub fn next_gaussian(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.next_f64() - 1.0;
+            let v = 2.0 * self.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// Fills `out` with standard Gaussian samples.
+    pub fn fill_gaussian(&mut self, out: &mut [f32]) {
+        for x in out {
+            *x = self.next_gaussian() as f32;
+        }
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffles `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Samples `n` distinct indices from `[0, bound)` (reservoir sampling);
+    /// result order is unspecified but deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > bound`.
+    pub fn sample_indices(&mut self, bound: usize, n: usize) -> Vec<usize> {
+        assert!(n <= bound, "cannot sample {n} distinct indices from {bound}");
+        let mut reservoir: Vec<usize> = (0..n).collect();
+        for i in n..bound {
+            let j = self.next_index(i + 1);
+            if j < n {
+                reservoir[j] = i;
+            }
+        }
+        reservoir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_known_vector() {
+        // Reference values from the public-domain splitmix64.c with seed 0.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn xoshiro_streams_differ_by_seed() {
+        let mut a = Xoshiro256::seed_from(1);
+        let mut b = Xoshiro256::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "independent seeds should rarely collide");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Xoshiro256::seed_from(9);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bounded_is_in_range_and_covers() {
+        let mut rng = Xoshiro256::seed_from(5);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let x = rng.next_bounded(10);
+            assert!(x < 10);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn bounded_zero_panics() {
+        Xoshiro256::seed_from(1).next_bounded(0);
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = Xoshiro256::seed_from(2024);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move elements");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut rng = Xoshiro256::seed_from(4);
+        let sample = rng.sample_indices(1000, 50);
+        assert_eq!(sample.len(), 50);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50, "indices must be distinct");
+        assert!(sample.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn sample_indices_full_range() {
+        let mut rng = Xoshiro256::seed_from(4);
+        let mut sample = rng.sample_indices(10, 10);
+        sample.sort_unstable();
+        assert_eq!(sample, (0..10).collect::<Vec<_>>());
+    }
+}

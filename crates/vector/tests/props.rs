@@ -1,0 +1,145 @@
+//! Property-based tests for jdvs-vector invariants.
+
+use proptest::prelude::*;
+
+use jdvs_vector::distance::{cosine_similarity, dot, l2, squared_l2};
+use jdvs_vector::kmeans::{Kmeans, KmeansConfig};
+use jdvs_vector::pq::{PqConfig, ProductQuantizer};
+use jdvs_vector::rng::Xoshiro256;
+use jdvs_vector::topk::TopK;
+use jdvs_vector::Vector;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1e3f32..1e3, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Distance axioms (on finite inputs): non-negativity, identity,
+    /// symmetry.
+    #[test]
+    fn squared_l2_axioms(a in finite_vec(16), b in finite_vec(16)) {
+        let dab = squared_l2(&a, &b);
+        prop_assert!(dab >= 0.0);
+        prop_assert_eq!(squared_l2(&a, &a), 0.0);
+        prop_assert_eq!(dab, squared_l2(&b, &a));
+    }
+
+    /// `l2` is the square root of `squared_l2`.
+    #[test]
+    fn l2_consistent_with_squared(a in finite_vec(8), b in finite_vec(8)) {
+        let d = l2(&a, &b);
+        prop_assert!((d * d - squared_l2(&a, &b)).abs() <= squared_l2(&a, &b) * 1e-5 + 1e-3);
+    }
+
+    /// Dot product is bilinear in its first argument (within float slack).
+    #[test]
+    fn dot_is_additive(a in finite_vec(8), b in finite_vec(8), c in finite_vec(8)) {
+        let lhs = dot(&a.iter().zip(&b).map(|(x, y)| x + y).collect::<Vec<_>>(), &c);
+        let rhs = dot(&a, &c) + dot(&b, &c);
+        let scale = lhs.abs().max(rhs.abs()).max(1.0);
+        prop_assert!((lhs - rhs).abs() / scale < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    /// Cosine similarity is scale-invariant and bounded.
+    #[test]
+    fn cosine_bounded_and_scale_invariant(
+        a in finite_vec(8),
+        b in finite_vec(8),
+        s in 0.1f32..100.0,
+    ) {
+        let c = cosine_similarity(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&c));
+        let scaled: Vec<f32> = a.iter().map(|x| x * s).collect();
+        let c2 = cosine_similarity(&scaled, &b);
+        prop_assert!((c - c2).abs() < 1e-3, "{c} vs {c2}");
+    }
+
+    /// Normalization yields unit vectors for non-zero inputs.
+    #[test]
+    fn normalize_yields_unit_norm(data in finite_vec(12)) {
+        let v = Vector::from(data);
+        prop_assume!(v.norm() > 1e-3);
+        prop_assert!((v.normalized().norm() - 1.0).abs() < 1e-4);
+    }
+
+    /// k-means assignment always returns the argmin centroid.
+    #[test]
+    fn kmeans_assign_is_argmin(seed in any::<u64>(), k in 2usize..8) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let data: Vec<Vector> = (0..60)
+            .map(|_| (0..6).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let model = Kmeans::train(&data, &KmeansConfig { k, max_iters: 5, seed, ..Default::default() });
+        for v in data.iter().take(10) {
+            let assigned = model.assign(v.as_slice());
+            let d_assigned = squared_l2(model.centroids()[assigned].as_slice(), v.as_slice());
+            for c in model.centroids() {
+                prop_assert!(d_assigned <= squared_l2(c.as_slice(), v.as_slice()) + 1e-6);
+            }
+        }
+    }
+
+    /// assign_multi returns distinct, distance-sorted cells whose first
+    /// element equals assign.
+    #[test]
+    fn assign_multi_consistent(seed in any::<u64>(), nprobe in 1usize..6) {
+        let mut rng = Xoshiro256::seed_from(seed ^ 0xA55);
+        let data: Vec<Vector> = (0..40)
+            .map(|_| (0..4).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let model = Kmeans::train(&data, &KmeansConfig { k: 6, max_iters: 4, seed, ..Default::default() });
+        let q: Vec<f32> = (0..4).map(|_| rng.next_gaussian() as f32).collect();
+        let probes = model.assign_multi(&q, nprobe);
+        prop_assert_eq!(probes.len(), nprobe.min(model.k()));
+        prop_assert_eq!(probes[0], model.assign(&q));
+        let mut sorted = probes.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), probes.len(), "no duplicate cells");
+    }
+
+    /// PQ: ADC distance equals the exact distance to the decoded vector.
+    #[test]
+    fn pq_adc_matches_decoded(seed in any::<u64>()) {
+        let mut rng = Xoshiro256::seed_from(seed ^ 0x99);
+        let data: Vec<Vector> = (0..300)
+            .map(|_| (0..8).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqConfig { num_subspaces: 2, max_iters: 4, seed },
+        );
+        let table = pq.adc_table(data[0].as_slice());
+        for v in data.iter().take(10) {
+            let code = pq.encode(v.as_slice());
+            let adc = table.distance(&code);
+            let exact = squared_l2(data[0].as_slice(), pq.decode(&code).as_slice());
+            prop_assert!((adc - exact).abs() < 1e-2, "{adc} vs {exact}");
+        }
+    }
+
+    /// TopK's threshold never decreases acceptance wrongly: any candidate
+    /// strictly below the threshold is accepted when the heap is full.
+    #[test]
+    fn topk_threshold_contract(
+        items in prop::collection::vec((any::<u64>(), 0.0f32..1e6), 10..100),
+        k in 1usize..8,
+    ) {
+        let mut topk = TopK::new(k);
+        for (i, &(id, d)) in items.iter().enumerate() {
+            let threshold = topk.threshold();
+            let accepted = topk.push(id.wrapping_add(i as u64), d);
+            if d < threshold {
+                prop_assert!(accepted, "candidate below threshold must be kept");
+            }
+            if topk.is_full() {
+                prop_assert!(topk.threshold() <= threshold, "threshold shrinks monotonically");
+            }
+        }
+        let sorted = topk.into_sorted_vec();
+        for w in sorted.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Synthetic product catalogs.
+//!
+//! A catalog is a set of products, each with 1–4 images, a price, sales and
+//! praise counts, and a **visual cluster** (product family): all images of
+//! a cluster share a `visual_seed`, so the synthetic extractor maps them to
+//! nearby feature vectors. That is what gives the index a real
+//! nearest-neighbour structure and makes "similar product" queries
+//! meaningful (Figure 14's qualitative examples become measurable
+//! intra-cluster hit rates).
+
+use jdvs_storage::model::{ProductAttributes, ProductEvent, ProductId};
+use jdvs_storage::ImageStore;
+use jdvs_vector::rng::Xoshiro256;
+use serde::{Deserialize, Serialize};
+
+/// Catalog shape parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogConfig {
+    /// Number of products.
+    pub num_products: usize,
+    /// Maximum images per product (uniform in `1..=max`).
+    pub max_images_per_product: usize,
+    /// Number of visual clusters (product families).
+    pub num_clusters: usize,
+    /// Seed for all catalog randomness.
+    pub seed: u64,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        Self { num_products: 1_000, max_images_per_product: 3, num_clusters: 50, seed: 0x0CA7_A106 }
+    }
+}
+
+/// One product.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Product {
+    /// Stable id.
+    pub id: ProductId,
+    /// Visual cluster (family) this product belongs to.
+    pub cluster: u64,
+    /// Image URLs (1..=max per product).
+    pub urls: Vec<String>,
+    /// Initial sales count.
+    pub sales: u64,
+    /// Price in minor units.
+    pub price: u64,
+    /// Initial praise count.
+    pub praise: u64,
+}
+
+impl Product {
+    /// Attribute records for each image (what an `AddProduct` carries).
+    pub fn image_attributes(&self) -> Vec<ProductAttributes> {
+        self.urls
+            .iter()
+            .map(|u| ProductAttributes::new(self.id, self.sales, self.price, self.praise, u.clone()))
+            .collect()
+    }
+
+    /// The `AddProduct` event (re-)listing this product.
+    pub fn add_event(&self) -> ProductEvent {
+        ProductEvent::AddProduct { product_id: self.id, images: self.image_attributes() }
+    }
+
+    /// The `RemoveProduct` event delisting this product.
+    pub fn remove_event(&self) -> ProductEvent {
+        ProductEvent::RemoveProduct { product_id: self.id, urls: self.urls.clone() }
+    }
+
+    /// The visual seed all this product's images share.
+    pub fn visual_seed(&self) -> u64 {
+        self.cluster
+    }
+}
+
+/// A generated catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    products: Vec<Product>,
+    num_clusters: usize,
+    seed: u64,
+}
+
+impl Catalog {
+    /// Generates a catalog deterministically from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count in `config` is zero.
+    pub fn generate(config: &CatalogConfig) -> Self {
+        assert!(config.num_products > 0, "num_products must be positive");
+        assert!(config.max_images_per_product > 0, "max_images_per_product must be positive");
+        assert!(config.num_clusters > 0, "num_clusters must be positive");
+        let mut rng = Xoshiro256::seed_from(config.seed);
+        let products = (0..config.num_products)
+            .map(|i| {
+                let id = ProductId(i as u64 + 1);
+                let cluster = rng.next_bounded(config.num_clusters as u64);
+                let n_images = 1 + rng.next_index(config.max_images_per_product);
+                let urls = (0..n_images)
+                    .map(|j| format!("https://img.jd.test/sku/{}/img{j}.jpg", id.0))
+                    .collect();
+                Product {
+                    id,
+                    cluster,
+                    urls,
+                    sales: rng.next_bounded(100_000),
+                    price: 99 + rng.next_bounded(1_000_000),
+                    praise: rng.next_bounded(10_000),
+                }
+            })
+            .collect();
+        Self { products, num_clusters: config.num_clusters, seed: config.seed }
+    }
+
+    /// The products.
+    pub fn products(&self) -> &[Product] {
+        &self.products
+    }
+
+    /// Number of products.
+    pub fn len(&self) -> usize {
+        self.products.len()
+    }
+
+    /// Returns `true` for an empty catalog (cannot happen via `generate`).
+    pub fn is_empty(&self) -> bool {
+        self.products.is_empty()
+    }
+
+    /// Number of visual clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// Total images across products.
+    pub fn num_images(&self) -> usize {
+        self.products.iter().map(|p| p.urls.len()).sum()
+    }
+
+    /// Generates every product's image blobs into `store`.
+    pub fn materialize(&self, store: &ImageStore) {
+        for p in &self.products {
+            for url in &p.urls {
+                store.put_synthetic(url, p.visual_seed());
+            }
+        }
+    }
+
+    /// `AddProduct` events for the whole catalog, in id order (initial bulk
+    /// load / the full indexer's day-log prefix).
+    pub fn bootstrap_events(&self) -> Vec<ProductEvent> {
+        self.products.iter().map(Product::add_event).collect()
+    }
+
+    /// Appends a brand-new product (used by the event generator for the
+    /// non-relist additions) and returns it.
+    pub fn push_new_product(&mut self, rng: &mut Xoshiro256) -> &Product {
+        let id = ProductId(self.products.len() as u64 + 1);
+        let cluster = rng.next_bounded(self.num_clusters as u64);
+        let n_images = 1 + rng.next_index(3);
+        let urls = (0..n_images)
+            .map(|j| format!("https://img.jd.test/sku/{}/img{j}.jpg", id.0))
+            .collect();
+        self.products.push(Product {
+            id,
+            cluster,
+            urls,
+            sales: 0,
+            price: 99 + rng.next_bounded(1_000_000),
+            praise: 0,
+        });
+        self.products.last().expect("just pushed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CatalogConfig { num_products: 100, ..Default::default() };
+        assert_eq!(Catalog::generate(&cfg), Catalog::generate(&cfg));
+    }
+
+    #[test]
+    fn product_shape_is_respected() {
+        let cfg = CatalogConfig {
+            num_products: 200,
+            max_images_per_product: 4,
+            num_clusters: 10,
+            seed: 7,
+        };
+        let cat = Catalog::generate(&cfg);
+        assert_eq!(cat.len(), 200);
+        assert!(!cat.is_empty());
+        for p in cat.products() {
+            assert!((1..=4).contains(&p.urls.len()));
+            assert!(p.cluster < 10);
+            assert!(p.price >= 99);
+        }
+        assert!(cat.num_images() >= 200);
+    }
+
+    #[test]
+    fn urls_are_unique_across_catalog() {
+        let cat = Catalog::generate(&CatalogConfig { num_products: 500, ..Default::default() });
+        let mut urls: Vec<&String> = cat.products().iter().flat_map(|p| &p.urls).collect();
+        let before = urls.len();
+        urls.sort();
+        urls.dedup();
+        assert_eq!(urls.len(), before);
+    }
+
+    #[test]
+    fn all_clusters_are_used() {
+        let cat = Catalog::generate(&CatalogConfig {
+            num_products: 500,
+            num_clusters: 10,
+            ..Default::default()
+        });
+        let clusters: std::collections::HashSet<u64> =
+            cat.products().iter().map(|p| p.cluster).collect();
+        assert_eq!(clusters.len(), 10);
+    }
+
+    #[test]
+    fn materialize_fills_image_store() {
+        let cat = Catalog::generate(&CatalogConfig { num_products: 50, ..Default::default() });
+        let store = ImageStore::with_blob_len(32);
+        cat.materialize(&store);
+        assert_eq!(store.len(), cat.num_images());
+        // Every URL resolves.
+        for p in cat.products() {
+            for u in &p.urls {
+                assert!(store.get_by_url(u).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn events_carry_full_image_sets() {
+        let cat = Catalog::generate(&CatalogConfig { num_products: 10, ..Default::default() });
+        let p = &cat.products()[0];
+        match p.add_event() {
+            ProductEvent::AddProduct { product_id, images } => {
+                assert_eq!(product_id, p.id);
+                assert_eq!(images.len(), p.urls.len());
+                assert_eq!(images[0].sales, p.sales);
+            }
+            _ => panic!("wrong event kind"),
+        }
+        match p.remove_event() {
+            ProductEvent::RemoveProduct { urls, .. } => assert_eq!(urls, p.urls),
+            _ => panic!("wrong event kind"),
+        }
+        assert_eq!(cat.bootstrap_events().len(), 10);
+    }
+
+    #[test]
+    fn push_new_product_extends_catalog() {
+        let mut cat = Catalog::generate(&CatalogConfig { num_products: 5, ..Default::default() });
+        let mut rng = Xoshiro256::seed_from(1);
+        let id = cat.push_new_product(&mut rng).id;
+        assert_eq!(id, ProductId(6));
+        assert_eq!(cat.len(), 6);
+    }
+}

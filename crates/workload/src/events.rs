@@ -1,0 +1,400 @@
+//! Daily catalog-update streams (Table 1 and Figure 11(a)).
+//!
+//! On 2018-08-04 the production system processed 977 M updates: 315 M
+//! attribute updates, 521 M image additions (of which 513 M were
+//! re-listings of previously known products) and 141 M removals, with an
+//! hourly rate peaking at ~80 M/h around 11:00. [`DailyPlan::generate`]
+//! reproduces that *mix and shape* at a configurable scale:
+//!
+//! - the event-kind mix follows Table 1's ratios;
+//! - among additions, the re-list fraction defaults to 513/521;
+//! - each event is stamped with an hour drawn from the Figure 11(a) curve;
+//! - the stream is *stateful*: deletions target currently-listed products,
+//!   re-listings target currently-delisted ones, so the reuse path really
+//!   fires at the paper's rate.
+
+use jdvs_storage::model::{EventKind, ProductEvent};
+use jdvs_storage::ImageStore;
+use jdvs_vector::rng::Xoshiro256;
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::Catalog;
+
+/// Hourly weight profile approximating Figure 11(a): quiet night hours, a
+/// morning ramp to the 11:00 peak, a sustained afternoon/evening plateau.
+pub const FIG11A_HOURLY_WEIGHTS: [f64; 24] = [
+    30.0, 22.0, 18.0, 15.0, 14.0, 16.0, // 00–05: night trough
+    24.0, 36.0, 50.0, 62.0, 74.0, 80.0, // 06–11: ramp to the peak
+    72.0, 66.0, 62.0, 60.0, 58.0, 56.0, // 12–17: afternoon plateau
+    55.0, 57.0, 60.0, 58.0, 48.0, 38.0, // 18–23: evening shoulder
+];
+
+/// Table 1 ratios.
+pub const TABLE1_UPDATE_FRAC: f64 = 315.0 / 977.0;
+/// Fraction of additions in the daily mix.
+pub const TABLE1_ADDITION_FRAC: f64 = 521.0 / 977.0;
+/// Fraction of deletions in the daily mix.
+pub const TABLE1_DELETION_FRAC: f64 = 141.0 / 977.0;
+/// Fraction of additions that are re-listings.
+pub const TABLE1_RELIST_FRAC: f64 = 513.0 / 521.0;
+
+/// Configuration of a day's event stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DailyPlanConfig {
+    /// Total events to generate (the paper's day: 977 M; default scale
+    /// 1e-4 ≈ 97.7 k).
+    pub total_events: usize,
+    /// Fraction of attribute updates.
+    pub update_frac: f64,
+    /// Fraction of additions.
+    pub addition_frac: f64,
+    /// Fraction of additions that re-list known products.
+    pub relist_frac: f64,
+    /// Fraction of the catalog that starts the day **delisted** (products
+    /// taken off the market on previous days — the inventory that feeds
+    /// re-listings; the paper's 513 M re-listed images per day far exceed
+    /// its 141 M same-day deletions, so most re-listed products were
+    /// delisted earlier).
+    pub predelisted_frac: f64,
+    /// Per-hour weights (normalized internally).
+    pub hourly_weights: [f64; 24],
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl Default for DailyPlanConfig {
+    fn default() -> Self {
+        Self {
+            total_events: 97_700,
+            update_frac: TABLE1_UPDATE_FRAC,
+            addition_frac: TABLE1_ADDITION_FRAC,
+            relist_frac: TABLE1_RELIST_FRAC,
+            predelisted_frac: 0.5,
+            hourly_weights: FIG11A_HOURLY_WEIGHTS,
+            seed: 0xDA7,
+        }
+    }
+}
+
+/// An event stamped with its simulated hour of day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Hour of day, 0–23.
+    pub hour: usize,
+    /// The catalog change.
+    pub event: ProductEvent,
+}
+
+/// Summary counts of a generated day (the reproduction of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DayCounts {
+    /// Total events.
+    pub total: u64,
+    /// Attribute updates.
+    pub updates: u64,
+    /// Additions (re-listings + new products).
+    pub additions: u64,
+    /// Additions that were re-listings.
+    pub relists: u64,
+    /// Deletions.
+    pub deletions: u64,
+}
+
+/// A generated day of catalog updates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DailyPlan {
+    events: Vec<TimedEvent>,
+    counts: DayCounts,
+    predelisted: Vec<jdvs_storage::model::ProductId>,
+}
+
+impl DailyPlan {
+    /// Generates a day of events against (and mutating the listing state
+    /// of) `catalog`. New products created for non-relist additions get
+    /// their image blobs materialized into `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.total_events == 0`, fractions are out of range, or
+    /// the catalog is empty.
+    pub fn generate(
+        catalog: &mut Catalog,
+        store: &ImageStore,
+        config: &DailyPlanConfig,
+    ) -> Self {
+        assert!(config.total_events > 0, "total_events must be positive");
+        assert!(!catalog.is_empty(), "catalog cannot be empty");
+        let frac_sum = config.update_frac + config.addition_frac;
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&config.update_frac)
+                && (0.0..=1.0 + 1e-9).contains(&config.addition_frac)
+                && frac_sum <= 1.0 + 1e-9,
+            "event fractions must be probabilities summing to at most 1"
+        );
+        assert!((0.0..=1.0).contains(&config.relist_frac), "relist_frac must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&config.predelisted_frac),
+            "predelisted_frac must be in [0,1]"
+        );
+
+        let mut rng = Xoshiro256::seed_from(config.seed);
+        let weight_total: f64 = config.hourly_weights.iter().sum();
+        assert!(weight_total > 0.0, "hourly weights must not be all zero");
+
+        // Listing state: a configurable slice of the catalog starts the
+        // day delisted (off-market inventory from previous days); the rest
+        // is listed.
+        let n_predelisted =
+            ((catalog.len() as f64) * config.predelisted_frac).round() as usize;
+        let n_predelisted = n_predelisted.min(catalog.len().saturating_sub(1));
+        let mut all: Vec<usize> = (0..catalog.len()).collect();
+        rng.shuffle(&mut all);
+        let mut delisted: Vec<usize> = all[..n_predelisted].to_vec();
+        let mut listed: Vec<usize> = all[n_predelisted..].to_vec();
+        let predelisted: Vec<jdvs_storage::model::ProductId> =
+            delisted.iter().map(|&i| catalog.products()[i].id).collect();
+
+        let mut events = Vec::with_capacity(config.total_events);
+        let mut counts = DayCounts::default();
+        let mut hour_cursor = 0.0f64;
+        let per_event = 24.0 / config.total_events as f64;
+
+        for _ in 0..config.total_events {
+            // Hour: inverse-CDF sample would shuffle hours; instead walk
+            // time forward (events are ordered within the day, like a real
+            // log) and pick the hour by scanning the weight CDF at the
+            // current "progress through the day".
+            let hour = hour_for_progress(hour_cursor / 24.0, &config.hourly_weights, weight_total);
+            hour_cursor += per_event;
+
+            let roll = rng.next_f64();
+            let event = if roll < config.update_frac && !listed.is_empty() {
+                // Attribute update of a random listed product.
+                let idx = listed[rng.next_index(listed.len())];
+                let p = &catalog.products()[idx];
+                counts.updates += 1;
+                ProductEvent::UpdateAttributes {
+                    product_id: p.id,
+                    urls: p.urls.clone(),
+                    sales: Some(rng.next_bounded(200_000)),
+                    price: if rng.next_bool(0.3) { Some(99 + rng.next_bounded(1_000_000)) } else { None },
+                    praise: if rng.next_bool(0.5) { Some(rng.next_bounded(20_000)) } else { None },
+                }
+            } else if roll < config.update_frac + config.addition_frac {
+                counts.additions += 1;
+                let relist = rng.next_bool(config.relist_frac) && !delisted.is_empty();
+                if relist {
+                    counts.relists += 1;
+                    let pos = rng.next_index(delisted.len());
+                    let idx = delisted.swap_remove(pos);
+                    listed.push(idx);
+                    catalog.products()[idx].add_event()
+                } else {
+                    // Brand-new product: extend the catalog, materialize its
+                    // blobs so extraction can run.
+                    let p = catalog.push_new_product(&mut rng).clone();
+                    for url in &p.urls {
+                        store.put_synthetic(url, p.visual_seed());
+                    }
+                    listed.push(catalog.len() - 1);
+                    p.add_event()
+                }
+            } else if !listed.is_empty() {
+                // Deletion of a random listed product.
+                counts.deletions += 1;
+                let pos = rng.next_index(listed.len());
+                let idx = listed.swap_remove(pos);
+                delisted.push(idx);
+                catalog.products()[idx].remove_event()
+            } else {
+                // Nothing listed to delete: degrade to an addition.
+                counts.additions += 1;
+                let p = catalog.push_new_product(&mut rng).clone();
+                for url in &p.urls {
+                    store.put_synthetic(url, p.visual_seed());
+                }
+                listed.push(catalog.len() - 1);
+                p.add_event()
+            };
+            counts.total += 1;
+            events.push(TimedEvent { hour, event });
+        }
+        Self { events, counts, predelisted }
+    }
+
+    /// Products that start the day delisted — callers replaying the plan
+    /// against a pre-loaded index should invalidate these first so
+    /// re-listings exercise the revalidation path.
+    pub fn predelisted(&self) -> &[jdvs_storage::model::ProductId] {
+        &self.predelisted
+    }
+
+    /// The timed events, in day order.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Table-1-style counts.
+    pub fn counts(&self) -> DayCounts {
+        self.counts
+    }
+
+    /// Per-hour event counts by kind: `[hour][kind]` with kinds ordered
+    /// update/addition/deletion — the bars of Figure 11(a).
+    pub fn hourly_counts(&self) -> [[u64; 3]; 24] {
+        let mut out = [[0u64; 3]; 24];
+        for te in &self.events {
+            let k = match te.event.kind() {
+                EventKind::Update => 0,
+                EventKind::Addition => 1,
+                EventKind::Deletion => 2,
+            };
+            out[te.hour][k] += 1;
+        }
+        out
+    }
+
+    /// The hour with the most events.
+    pub fn peak_hour(&self) -> usize {
+        let hourly = self.hourly_counts();
+        (0..24).max_by_key(|&h| hourly[h].iter().sum::<u64>()).unwrap_or(0)
+    }
+}
+
+/// Maps "fraction of the day's events emitted so far" to an hour using the
+/// weight CDF: hours with larger weights own larger CDF spans, so event
+/// density per hour follows the weights while the stream stays in
+/// chronological order.
+fn hour_for_progress(progress: f64, weights: &[f64; 24], total: f64) -> usize {
+    let target = progress.clamp(0.0, 1.0) * total;
+    let mut acc = 0.0;
+    for (h, w) in weights.iter().enumerate() {
+        acc += w;
+        if target < acc {
+            return h;
+        }
+    }
+    23
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+
+    fn setup(total: usize, seed: u64) -> (DailyPlan, Catalog) {
+        // Catalog sized so the pre-delisted pool can feed the day's
+        // re-listings (see predelisted_frac docs).
+        let mut catalog =
+            Catalog::generate(&CatalogConfig { num_products: 20_000, ..Default::default() });
+        let store = ImageStore::with_blob_len(32);
+        catalog.materialize(&store);
+        let plan = DailyPlan::generate(
+            &mut catalog,
+            &store,
+            &DailyPlanConfig { total_events: total, seed, ..Default::default() },
+        );
+        (plan, catalog)
+    }
+
+    #[test]
+    fn counts_match_table1_ratios() {
+        let (plan, _) = setup(20_000, 1);
+        let c = plan.counts();
+        assert_eq!(c.total, 20_000);
+        let update_frac = c.updates as f64 / c.total as f64;
+        let add_frac = c.additions as f64 / c.total as f64;
+        let del_frac = c.deletions as f64 / c.total as f64;
+        assert!((update_frac - TABLE1_UPDATE_FRAC).abs() < 0.02, "updates {update_frac}");
+        assert!((add_frac - TABLE1_ADDITION_FRAC).abs() < 0.02, "additions {add_frac}");
+        assert!((del_frac - TABLE1_DELETION_FRAC).abs() < 0.02, "deletions {del_frac}");
+        // Re-list share of additions ~ 98.5%; early in the day there is
+        // nothing to re-list, so allow slack.
+        let relist_frac = c.relists as f64 / c.additions as f64;
+        assert!(relist_frac > 0.9, "relist share too low: {relist_frac}");
+    }
+
+    #[test]
+    fn hours_are_chronological_and_peak_matches_curve() {
+        let (plan, _) = setup(20_000, 2);
+        let mut prev = 0;
+        for te in plan.events() {
+            assert!(te.hour >= prev, "stream must be in day order");
+            assert!(te.hour < 24);
+            prev = te.hour;
+        }
+        assert_eq!(plan.peak_hour(), 11, "Figure 11(a)'s peak is at 11:00");
+    }
+
+    #[test]
+    fn hourly_counts_sum_to_total() {
+        let (plan, _) = setup(5_000, 3);
+        let hourly = plan.hourly_counts();
+        let sum: u64 = hourly.iter().flatten().sum();
+        assert_eq!(sum, 5_000);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a, _) = setup(1_000, 7);
+        let (b, _) = setup(1_000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deletions_target_listed_products_only() {
+        let (plan, _) = setup(10_000, 4);
+        // Replay: every deletion must hit a product currently listed (the
+        // day starts with the non-predelisted catalog slice listed).
+        let predelisted: std::collections::HashSet<_> =
+            plan.predelisted().iter().copied().collect();
+        let mut listed = std::collections::HashSet::new();
+        for te in plan.events() {
+            match &te.event {
+                ProductEvent::AddProduct { product_id, .. } => {
+                    listed.insert(*product_id);
+                }
+                ProductEvent::RemoveProduct { product_id, .. } => {
+                    let was_initially_listed =
+                        product_id.0 <= 20_000 && !predelisted.contains(product_id);
+                    assert!(
+                        listed.remove(product_id) || was_initially_listed,
+                        "deleting never-listed product {product_id:?}"
+                    );
+                }
+                ProductEvent::UpdateAttributes { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn new_products_get_blobs_materialized() {
+        let mut catalog =
+            Catalog::generate(&CatalogConfig { num_products: 100, ..Default::default() });
+        // Small catalog: the relist pool drains fast, forcing new products.
+        let store = ImageStore::with_blob_len(32);
+        catalog.materialize(&store);
+        let before = store.len();
+        let plan = DailyPlan::generate(
+            &mut catalog,
+            &store,
+            &DailyPlanConfig { total_events: 5_000, seed: 5, ..Default::default() },
+        );
+        // Some additions must have been brand-new products with new blobs.
+        assert!(store.len() > before, "new products need blobs");
+        assert!(plan.counts().additions > plan.counts().relists);
+    }
+
+    #[test]
+    #[should_panic(expected = "total_events must be positive")]
+    fn zero_events_panics() {
+        let mut catalog =
+            Catalog::generate(&CatalogConfig { num_products: 10, ..Default::default() });
+        let store = ImageStore::with_blob_len(32);
+        DailyPlan::generate(
+            &mut catalog,
+            &store,
+            &DailyPlanConfig { total_events: 0, ..Default::default() },
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # jdvs-workload
+//!
+//! Workload generation and experiment drivers for the jdvs evaluation:
+//!
+//! - [`catalog`] — deterministic synthetic product catalogs with visual
+//!   cluster structure (products of a family look alike).
+//! - [`events`] — daily catalog-update streams shaped like the paper's
+//!   production day (Table 1 mix: 32% attribute updates, 53% additions of
+//!   which ~98.5% are re-listings, 14% deletions; Figure 11(a) hourly
+//!   curve peaking at 11:00).
+//! - [`queries`] — query-image generation (fresh photos from known visual
+//!   clusters, registered in the image store so blenders extract them).
+//! - [`client`] — the closed-loop multi-threaded query driver emulating
+//!   the paper's client machine (Section 3.2).
+//! - [`scenario`] — one-call experiment worlds shared by the examples,
+//!   integration tests and the `repro` benchmark harness.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+pub mod client;
+pub mod events;
+pub mod queries;
+pub mod scenario;
+
+pub use catalog::{Catalog, CatalogConfig};
+pub use client::{ClosedLoopConfig, ClosedLoopDriver, LoadReport};
+pub use events::{DailyPlan, DailyPlanConfig, TimedEvent};
+pub use queries::QueryGenerator;
+pub use scenario::{World, WorldConfig};

@@ -1,0 +1,207 @@
+//! Query-image generation.
+//!
+//! Section 3.2's client machine "emulates a different number of concurrent
+//! users by sending image query requests". A realistic query is a *fresh
+//! photo* of some product family — near an indexed cluster but not a stored
+//! image. [`QueryGenerator`] mints such photos: a new synthetic blob whose
+//! `visual_seed` is one of the catalog's clusters, registered in the image
+//! store so blenders can pull and extract it (charging the query-time
+//! extraction cost, as in production).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use jdvs_search::protocol::SearchQuery;
+use jdvs_storage::ImageStore;
+use jdvs_vector::rng::Xoshiro256;
+use parking_lot::Mutex;
+
+use crate::catalog::Catalog;
+
+/// Mints query images over a catalog's visual clusters.
+///
+/// Real query traffic is heavy-tailed: a small set of *viral* images
+/// (shared screenshots, trending products) repeats. With
+/// [`QueryGenerator::with_viral`], each draw returns one of a fixed pool
+/// of popular images with probability `p`, and a fresh unique photo
+/// otherwise — the workload the blender's query cache exists for.
+#[derive(Debug)]
+pub struct QueryGenerator {
+    clusters: Vec<u64>,
+    rng: Mutex<Xoshiro256>,
+    next_id: AtomicU64,
+    /// `(pool of viral image urls+clusters, probability of drawing one)`.
+    viral: Option<(Vec<(String, u64)>, f64)>,
+}
+
+impl QueryGenerator {
+    /// Creates a generator over the clusters present in `catalog`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog is empty.
+    pub fn new(catalog: &Catalog, seed: u64) -> Self {
+        assert!(!catalog.is_empty(), "catalog cannot be empty");
+        let mut clusters: Vec<u64> = catalog.products().iter().map(|p| p.cluster).collect();
+        clusters.sort_unstable();
+        clusters.dedup();
+        Self {
+            clusters,
+            rng: Mutex::new(Xoshiro256::seed_from(seed)),
+            next_id: AtomicU64::new(0),
+            viral: None,
+        }
+    }
+
+    /// Makes a fraction `probability` of queries re-use one of `pool_size`
+    /// fixed viral images (registered in `store` up front).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_size == 0` or `probability` is outside `[0, 1]`.
+    pub fn with_viral(
+        mut self,
+        store: &ImageStore,
+        pool_size: usize,
+        probability: f64,
+    ) -> Self {
+        assert!(pool_size > 0, "viral pool must be non-empty");
+        assert!((0.0..=1.0).contains(&probability), "probability must be in [0,1]");
+        let mut rng = self.rng.lock();
+        let pool = (0..pool_size)
+            .map(|i| {
+                let cluster = self.clusters[rng.next_index(self.clusters.len())];
+                let url = format!("https://img.jd.test/viral/{i}.jpg");
+                store.put_synthetic(&url, cluster);
+                (url, cluster)
+            })
+            .collect();
+        drop(rng);
+        self.viral = Some((pool, probability));
+        self
+    }
+
+    /// Number of distinct clusters queries can target.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Mints a query: a viral repeat (when configured and the dice say so)
+    /// or a fresh photo from a random cluster, registered in `store`.
+    /// Returns `(query, cluster)` — the cluster is the ground truth for
+    /// hit-rate checks.
+    pub fn next_query(&self, store: &ImageStore, k: usize) -> (SearchQuery, u64) {
+        if let Some((pool, p)) = &self.viral {
+            let mut rng = self.rng.lock();
+            if rng.next_bool(*p) {
+                let (url, cluster) = &pool[rng.next_index(pool.len())];
+                return (SearchQuery::by_image_url(url.clone(), k), *cluster);
+            }
+        }
+        let cluster = {
+            let mut rng = self.rng.lock();
+            self.clusters[rng.next_index(self.clusters.len())]
+        };
+        let n = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let url = format!("https://img.jd.test/query/{n}.jpg");
+        store.put_synthetic(&url, cluster);
+        (SearchQuery::by_image_url(url, k), cluster)
+    }
+
+    /// Mints a query targeting a specific cluster.
+    pub fn query_for_cluster(&self, store: &ImageStore, cluster: u64, k: usize) -> SearchQuery {
+        let n = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let url = format!("https://img.jd.test/query/{n}.jpg");
+        store.put_synthetic(&url, cluster);
+        SearchQuery::by_image_url(url, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+    use jdvs_search::protocol::QueryInput;
+
+    fn catalog() -> Catalog {
+        Catalog::generate(&CatalogConfig { num_products: 100, num_clusters: 8, ..Default::default() })
+    }
+
+    #[test]
+    fn queries_reference_registered_images() {
+        let cat = catalog();
+        let store = ImageStore::with_blob_len(32);
+        let generator = QueryGenerator::new(&cat, 1);
+        let (q, cluster) = generator.next_query(&store, 5);
+        assert_eq!(q.k, 5);
+        match &q.input {
+            QueryInput::ImageUrl(url) => {
+                let blob = store.get_by_url(url).expect("query image registered");
+                assert_eq!(blob.visual_seed, cluster);
+            }
+            _ => panic!("queries are by image URL"),
+        }
+    }
+
+    #[test]
+    fn query_urls_are_unique() {
+        let cat = catalog();
+        let store = ImageStore::with_blob_len(32);
+        let generator = QueryGenerator::new(&cat, 2);
+        let mut urls = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let (q, _) = generator.next_query(&store, 1);
+            if let QueryInput::ImageUrl(u) = q.input {
+                assert!(urls.insert(u), "duplicate query url");
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_are_covered() {
+        let cat = catalog();
+        let store = ImageStore::with_blob_len(32);
+        let generator = QueryGenerator::new(&cat, 3);
+        assert_eq!(generator.num_clusters(), 8);
+        let clusters: std::collections::HashSet<u64> =
+            (0..200).map(|_| generator.next_query(&store, 1).1).collect();
+        assert_eq!(clusters.len(), 8, "all clusters should appear in 200 draws");
+    }
+
+    #[test]
+    fn viral_queries_repeat_urls() {
+        let cat = catalog();
+        let store = ImageStore::with_blob_len(32);
+        let generator = QueryGenerator::new(&cat, 6).with_viral(&store, 3, 0.5);
+        let mut urls = std::collections::HashMap::new();
+        for _ in 0..400 {
+            let (q, cluster) = generator.next_query(&store, 1);
+            if let QueryInput::ImageUrl(u) = q.input {
+                assert_eq!(store.get_by_url(&u).unwrap().visual_seed, cluster);
+                *urls.entry(u).or_insert(0u32) += 1;
+            }
+        }
+        let repeats: u32 = urls
+            .iter()
+            .filter(|(u, _)| u.contains("viral"))
+            .map(|(_, c)| *c)
+            .sum();
+        assert!((120..280).contains(&repeats), "~50% viral expected, got {repeats}/400");
+        assert!(
+            urls.keys().filter(|u| u.contains("viral")).count() <= 3,
+            "viral pool is fixed"
+        );
+    }
+
+    #[test]
+    fn targeted_query_uses_requested_cluster() {
+        let cat = catalog();
+        let store = ImageStore::with_blob_len(32);
+        let generator = QueryGenerator::new(&cat, 4);
+        let q = generator.query_for_cluster(&store, 5, 3);
+        if let QueryInput::ImageUrl(url) = &q.input {
+            assert_eq!(store.get_by_url(url).unwrap().visual_seed, 5);
+        } else {
+            panic!("expected image url query");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Replay a (scaled) production day — the Section 3.1 operation story.
+//!
+//! ```sh
+//! cargo run --release --example ecommerce_day
+//! ```
+//!
+//! Generates a day of catalog updates with Table 1's mix (32% attribute
+//! updates, 53% additions — ~98.5% of them re-listings — 14% deletions)
+//! and Figure 11(a)'s hourly curve, replays it through the live real-time
+//! indexers while measuring per-event apply latency, and prints the
+//! Table-1 / Figure-11 analogues.
+
+use std::time::{Duration, Instant};
+
+use jdvs::metrics::HourlySeries;
+use jdvs::workload::catalog::CatalogConfig;
+use jdvs::workload::events::{DailyPlan, DailyPlanConfig};
+use jdvs::workload::scenario::{World, WorldConfig};
+
+fn main() {
+    let scale_events = 20_000usize; // 977 M × ~2e-5
+    println!("jdvs e-commerce day replay — {scale_events} events (977 M scaled)\n");
+
+    let mut world = World::build(WorldConfig {
+        catalog: CatalogConfig {
+            num_products: scale_events, // sized so re-listings never starve
+            num_clusters: 100,
+            ..Default::default()
+        },
+        ..WorldConfig::fast_test()
+    });
+
+    let store = std::sync::Arc::clone(world.images());
+    let plan = DailyPlan::generate(
+        world.catalog_mut(),
+        &store,
+        &DailyPlanConfig { total_events: scale_events, seed: 11, ..Default::default() },
+    );
+
+    // Table 1 analogue.
+    let c = plan.counts();
+    println!("Table 1 (scaled): total={} updates={} additions={} (re-listings={}) deletions={}",
+        c.total, c.updates, c.additions, c.relists, c.deletions);
+    println!(
+        "  mix: {:.1}% updates / {:.1}% additions / {:.1}% deletions; re-list share {:.1}%\n",
+        100.0 * c.updates as f64 / c.total as f64,
+        100.0 * c.additions as f64 / c.total as f64,
+        100.0 * c.deletions as f64 / c.total as f64,
+        100.0 * c.relists as f64 / c.additions as f64,
+    );
+
+    // Replay through the live queue, tracking apply latency per hour.
+    // (Publishing in order; the topology's per-partition indexers consume.)
+    let series = HourlySeries::new();
+    let reuse_before: u64 = world
+        .topology()
+        .indexes()
+        .iter()
+        .flatten()
+        .map(|i| i.stats().reuses.get())
+        .sum();
+    let t0 = Instant::now();
+    for te in plan.events() {
+        let before = world.topology().queue().len();
+        let start = Instant::now();
+        world.topology().publish(te.event.clone());
+        // Apply latency ≈ time until every indexer consumed this event.
+        while world.topology().max_indexer_lag() > 0 {
+            std::hint::spin_loop();
+        }
+        let _ = before;
+        series.record(te.hour, start.elapsed().as_micros() as u64);
+    }
+    world.topology().wait_for_freshness(Duration::from_secs(60));
+    let wall = t0.elapsed();
+    let reuse_after: u64 = world
+        .topology()
+        .indexes()
+        .iter()
+        .flatten()
+        .map(|i| i.stats().reuses.get())
+        .sum();
+
+    println!("replayed {} events in {:?} ({:.0} events/s)", c.total, wall,
+        c.total as f64 / wall.as_secs_f64());
+    println!("feature reuse events during replay: {}\n", reuse_after - reuse_before);
+
+    // Figure 11(a) analogue: hourly rates.
+    println!("Figure 11(a) (scaled): hourly real-time index updates");
+    let hourly = plan.hourly_counts();
+    let max_total: u64 = (0..24).map(|h| hourly[h].iter().sum::<u64>()).max().unwrap_or(1);
+    for (h, counts) in hourly.iter().enumerate() {
+        let total: u64 = counts.iter().sum();
+        let bar = "#".repeat((total * 40 / max_total.max(1)) as usize);
+        println!("  {h:>2}:00  upd={:>5} add={:>5} del={:>5} total={:>6} {bar}",
+            counts[0], counts[1], counts[2], total);
+    }
+    println!("  peak hour: {}:00 (paper: 11:00)\n", plan.peak_hour());
+
+    // Figure 11(b) analogue: apply latency per hour.
+    println!("Figure 11(b) (scaled): real-time index apply latency by hour");
+    for (h, (mean, p90, p99)) in series.latency_stats().iter().enumerate() {
+        if series.hour_histogram(h).count() == 0 {
+            continue;
+        }
+        println!("  {h:>2}:00  mean={:>8.1}µs p90={:>6}µs p99={:>6}µs", mean, p90, p99);
+    }
+    let day = series.day_histogram();
+    println!("  whole day: {}", day.summary());
+    println!("\nday replay OK");
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build a small visual search world and run a few queries.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a synthetic catalog (products grouped into visual families),
+//! stands up the full blender → broker → searcher topology, then searches
+//! with fresh "photos" of three product families — the runnable analogue of
+//! the paper's Figure 14 mobile-app examples.
+
+use std::time::{Duration, Instant};
+
+use jdvs::search::SearchQuery;
+use jdvs::workload::catalog::CatalogConfig;
+use jdvs::workload::queries::QueryGenerator;
+use jdvs::workload::scenario::{World, WorldConfig};
+
+fn main() {
+    println!("jdvs quickstart — building a small world...");
+    let t0 = Instant::now();
+    let world = World::build(WorldConfig {
+        catalog: CatalogConfig { num_products: 600, num_clusters: 30, ..Default::default() },
+        ..WorldConfig::fast_test()
+    });
+    println!(
+        "built: {} products / {} images indexed across {} partitions in {:?}\n",
+        world.catalog().len(),
+        world.catalog().num_images(),
+        world.topology().indexes().len(),
+        t0.elapsed()
+    );
+
+    let client = world.client(Duration::from_secs(5));
+    let generator = QueryGenerator::new(world.catalog(), 42);
+
+    // Three "photo" queries, top-6 each (like the paper's mobile examples).
+    for round in 0..3 {
+        let (query, cluster) = generator.next_query(world.images(), 6);
+        let url = match &query.input {
+            jdvs::search::QueryInput::ImageUrl(u) => u.clone(),
+            _ => unreachable!(),
+        };
+        let t = Instant::now();
+        let resp = client.search(query).expect("search failed");
+        println!("query #{round} (photo {url}, visual family {cluster}) — {:?}", t.elapsed());
+        println!("  {:<8} {:>10} {:>10} {:>8} {:>8}  url", "score", "distance", "product", "sales", "price");
+        for r in &resp.results {
+            let family = world.cluster_of(r.hit.product_id);
+            println!(
+                "  {:<8.4} {:>10.4} {:>10} {:>8} {:>8}  {} (family {:?})",
+                r.score, r.hit.distance, r.hit.product_id, r.hit.sales, r.hit.price, r.hit.url, family
+            );
+        }
+        let same = resp
+            .results
+            .iter()
+            .filter(|r| world.cluster_of(r.hit.product_id) == Some(cluster))
+            .count();
+        println!("  → {same}/{} results from the query's own product family\n", resp.results.len());
+    }
+
+    // Exact-image query: searching with an indexed image returns its product.
+    let product = &world.catalog().products()[7];
+    let resp = client
+        .search(SearchQuery::by_image_url(product.urls[0].clone(), 1))
+        .expect("search failed");
+    println!(
+        "exact-image query for {} returned {} (distance {:.6})",
+        product.id, resp.results[0].hit.product_id, resp.results[0].hit.distance
+    );
+    assert_eq!(resp.results[0].hit.product_id, product.id);
+    println!("quickstart OK");
+}

@@ -1,0 +1,119 @@
+//! Real-time freshness: the paper's headline property, demonstrated.
+//!
+//! ```sh
+//! cargo run --release --example realtime_freshness
+//! ```
+//!
+//! E-commerce visual search must reflect catalog changes at sub-second
+//! timescales (Section 1). This example publishes add / update / delete /
+//! re-list events to the live system's message queue and measures how long
+//! each change takes to become visible to searches.
+
+use std::time::{Duration, Instant};
+
+use jdvs::search::SearchQuery;
+use jdvs::storage::{ProductAttributes, ProductEvent, ProductId};
+use jdvs::workload::catalog::CatalogConfig;
+use jdvs::workload::scenario::{World, WorldConfig};
+
+/// Polls `check` until it returns true; returns the elapsed time.
+fn visible_within(deadline: Duration, mut check: impl FnMut() -> bool) -> Option<Duration> {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if check() {
+            return Some(start.elapsed());
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    None
+}
+
+fn main() {
+    println!("jdvs real-time freshness demo\n");
+    let world = World::build(WorldConfig {
+        catalog: CatalogConfig { num_products: 300, num_clusters: 20, ..Default::default() },
+        ..WorldConfig::fast_test()
+    });
+    let client = world.client(Duration::from_secs(5));
+
+    // ---- 1. Addition: a brand-new product becomes searchable. ----------
+    let url = "https://img.jd.test/sku/999901/img0.jpg".to_string();
+    world.images().put_synthetic(&url, 7);
+    let attrs = ProductAttributes::new(ProductId(999_901), 5, 12_900, 2, url.clone());
+    world.topology().publish(ProductEvent::AddProduct {
+        product_id: ProductId(999_901),
+        images: vec![attrs],
+    });
+    let latency = visible_within(Duration::from_secs(10), || {
+        // Poke expansions so migration-window inserts publish promptly.
+        for replicas in world.topology().indexes() {
+            for index in replicas {
+                index.flush();
+            }
+        }
+        let resp = client.search(SearchQuery::by_image_url(url.clone(), 1)).unwrap();
+        resp.results.first().map(|r| r.hit.product_id) == Some(ProductId(999_901))
+    })
+    .expect("addition never became visible");
+    println!("addition  → searchable after {latency:?}");
+
+    // ---- 2. Update: a price cut is visible in result attributes. -------
+    world.topology().publish(ProductEvent::UpdateAttributes {
+        product_id: ProductId(999_901),
+        urls: vec![url.clone()],
+        sales: Some(50_000),
+        price: Some(9_900),
+        praise: None,
+    });
+    let latency = visible_within(Duration::from_secs(10), || {
+        let resp = client.search(SearchQuery::by_image_url(url.clone(), 1)).unwrap();
+        resp.results.first().map(|r| r.hit.price) == Some(9_900)
+    })
+    .expect("update never became visible");
+    println!("update    → new price visible after {latency:?}");
+
+    // ---- 3. Deletion: a delisted product vanishes. ----------------------
+    world.topology().publish(ProductEvent::RemoveProduct {
+        product_id: ProductId(999_901),
+        urls: vec![url.clone()],
+    });
+    let latency = visible_within(Duration::from_secs(10), || {
+        let resp = client.search(SearchQuery::by_image_url(url.clone(), 1)).unwrap();
+        resp.results.first().map(|r| r.hit.product_id) != Some(ProductId(999_901))
+    })
+    .expect("deletion never became visible");
+    println!("deletion  → hidden from results after {latency:?}");
+
+    // ---- 4. Re-listing: back on the market via the reuse path. ---------
+    let reuse_before: u64 = world
+        .topology()
+        .indexes()
+        .iter()
+        .flatten()
+        .map(|i| i.stats().reuses.get())
+        .sum();
+    let attrs = ProductAttributes::new(ProductId(999_901), 50_000, 9_900, 2, url.clone());
+    world.topology().publish(ProductEvent::AddProduct {
+        product_id: ProductId(999_901),
+        images: vec![attrs],
+    });
+    let latency = visible_within(Duration::from_secs(10), || {
+        let resp = client.search(SearchQuery::by_image_url(url.clone(), 1)).unwrap();
+        resp.results.first().map(|r| r.hit.product_id) == Some(ProductId(999_901))
+    })
+    .expect("re-listing never became visible");
+    let reuse_after: u64 = world
+        .topology()
+        .indexes()
+        .iter()
+        .flatten()
+        .map(|i| i.stats().reuses.get())
+        .sum();
+    println!(
+        "re-listing → searchable after {latency:?} (feature reuse path: {} reuse events, no re-extraction)",
+        reuse_after - reuse_before
+    );
+    assert!(reuse_after > reuse_before, "re-listing must take the reuse path");
+
+    println!("\nall four real-time paths verified end-to-end");
+}

@@ -1,0 +1,161 @@
+//! Cross-crate integration: the distributed topology.
+//!
+//! Verifies that the 3-level hierarchy returns the same results as a
+//! single-partition oracle, that partitioning is disjoint and complete,
+//! and that replica/broker failures and recovery behave per Section 2.4.
+
+use std::time::Duration;
+
+use jdvs::search::{QueryInput, SearchQuery};
+use jdvs::storage::ImageKey;
+use jdvs::workload::catalog::CatalogConfig;
+use jdvs::workload::queries::QueryGenerator;
+use jdvs::workload::scenario::{World, WorldConfig};
+
+fn world() -> World {
+    World::build(WorldConfig {
+        catalog: CatalogConfig { num_products: 120, num_clusters: 12, ..Default::default() },
+        topology: jdvs::search::TopologyConfig {
+            num_partitions: 4,
+            replicas_per_partition: 2,
+            num_broker_groups: 2,
+            broker_replicas: 2,
+            num_blenders: 2,
+            ranking: jdvs::search::RankingPolicy::similarity_only(),
+            ..WorldConfig::fast_test().topology
+        },
+        ..WorldConfig::fast_test()
+    })
+}
+
+#[test]
+fn partitioning_is_disjoint_and_complete() {
+    let w = world();
+    let map = w.topology().partition_map();
+    let mut seen = std::collections::HashSet::new();
+    for product in w.catalog().products() {
+        for url in &product.urls {
+            let key = ImageKey::from_url(url);
+            let p = map.partition_of(key);
+            // The image exists in exactly its partition (checked across all).
+            for (q, replicas) in w.topology().indexes().iter().enumerate() {
+                let found = replicas[0].lookup(key).is_some();
+                assert_eq!(found, p == q, "{url} in partition {q}?");
+                // Replicas agree with each other.
+                assert_eq!(replicas[0].lookup(key).is_some(), replicas[1].lookup(key).is_some());
+            }
+            assert!(seen.insert(key), "image keys unique");
+        }
+    }
+}
+
+#[test]
+fn distributed_results_match_single_partition_oracle() {
+    let w = world();
+    let client = w.client(Duration::from_secs(5));
+    let generator = QueryGenerator::new(w.catalog(), 17);
+    for _ in 0..10 {
+        let (query, _) = generator.next_query(w.images(), 8);
+        let url = match &query.input {
+            QueryInput::ImageUrl(u) => u.clone(),
+            _ => unreachable!(),
+        };
+        // Oracle: brute-force over every partition merged, then the same
+        // best-image-per-product dedup the blender applies.
+        let blob = w.images().get_by_url(&url).unwrap();
+        let feats = w.extractor().extractor().extract(&blob);
+        let mut all: Vec<(jdvs::storage::ProductId, String, f32)> = Vec::new();
+        let total_images = w.catalog().num_images();
+        for replicas in w.topology().indexes() {
+            for n in replicas[0].brute_force_search(feats.as_slice(), total_images) {
+                let attrs =
+                    replicas[0].attributes(jdvs::core::ids::ImageId(n.id as u32)).unwrap();
+                all.push((attrs.product_id, attrs.url, n.distance));
+            }
+        }
+        all.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+        let mut seen = std::collections::HashSet::new();
+        all.retain(|(pid, _, _)| seen.insert(*pid));
+        all.truncate(8);
+
+        let resp = client.search(query).unwrap();
+        let got: Vec<&str> = resp.results.iter().map(|r| r.hit.url.as_str()).collect();
+        let expected: Vec<&str> = all.iter().map(|(_, u, _)| u.as_str()).collect();
+        assert_eq!(got, expected, "distributed top-8 (deduped) must match the oracle");
+    }
+}
+
+#[test]
+fn nprobe_override_reaches_searchers() {
+    let w = world();
+    let client = w.client(Duration::from_secs(5));
+    let generator = QueryGenerator::new(w.catalog(), 23);
+    let (query, _) = generator.next_query(w.images(), 5);
+    // nprobe=1 may trade recall; it must still answer without error.
+    let resp = client.search(query.clone().with_nprobe(1)).unwrap();
+    assert!(resp.partitions_answered > 0);
+    let resp_full = client.search(query.with_nprobe(8)).unwrap();
+    assert!(resp_full.results.len() >= resp.results.len());
+}
+
+#[test]
+fn replica_failover_preserves_results() {
+    let w = world();
+    let client = w.client(Duration::from_secs(5));
+    let product = &w.catalog().products()[10];
+    let query = SearchQuery::by_image_url(product.urls[0].clone(), 1);
+    let healthy = client.search(query.clone()).unwrap();
+    assert_eq!(healthy.results[0].hit.product_id, product.id);
+    // Kill replica 0 everywhere.
+    for p in 0..4 {
+        w.topology().searcher_faults(p, 0).set_down(true);
+    }
+    let degraded = client.search(query.clone()).unwrap();
+    assert_eq!(degraded.results[0].hit.product_id, product.id, "failover hides the fault");
+    // Recover.
+    for p in 0..4 {
+        w.topology().searcher_faults(p, 0).set_down(false);
+    }
+    let recovered = client.search(query).unwrap();
+    assert_eq!(recovered.results[0].hit.product_id, product.id);
+}
+
+#[test]
+fn losing_all_replicas_of_a_partition_degrades_gracefully() {
+    let w = world();
+    let client = w.client(Duration::from_secs(5));
+    let map = w.topology().partition_map();
+    let product = &w.catalog().products()[3];
+    let dead_partition = map.partition_of_url(&product.urls[0]);
+    w.topology().searcher_faults(dead_partition, 0).set_down(true);
+    w.topology().searcher_faults(dead_partition, 1).set_down(true);
+    // Queries still succeed; the dead partition's images are just absent.
+    let resp = client
+        .search(SearchQuery::by_image_url(product.urls[0].clone(), 10))
+        .unwrap();
+    assert!(
+        resp.results.iter().all(|r| map.partition_of_url(&r.hit.url) != dead_partition),
+        "no results can come from the dead partition"
+    );
+}
+
+#[test]
+fn fresh_photo_queries_have_high_intra_family_precision() {
+    let w = world();
+    let client = w.client(Duration::from_secs(5));
+    let generator = QueryGenerator::new(w.catalog(), 31);
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for _ in 0..20 {
+        let (query, cluster) = generator.next_query(w.images(), 5);
+        let resp = client.search(query).unwrap();
+        for r in &resp.results {
+            total += 1;
+            if w.cluster_of(r.hit.product_id) == Some(cluster) {
+                hits += 1;
+            }
+        }
+    }
+    let precision = hits as f64 / total as f64;
+    assert!(precision > 0.8, "intra-family precision {precision} too low");
+}

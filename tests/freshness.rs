@@ -1,0 +1,187 @@
+//! Cross-crate integration: real-time freshness through the full stack.
+//!
+//! The paper's differentiating requirement: catalog changes must be
+//! visible to searches at sub-second timescales. These tests publish
+//! events to the live topology's queue and bound the time to visibility.
+
+use std::time::{Duration, Instant};
+
+use jdvs::search::SearchQuery;
+use jdvs::storage::{ProductAttributes, ProductEvent, ProductId};
+use jdvs::workload::catalog::CatalogConfig;
+use jdvs::workload::events::{DailyPlan, DailyPlanConfig};
+use jdvs::workload::scenario::{World, WorldConfig};
+
+fn world() -> World {
+    World::build(WorldConfig {
+        catalog: CatalogConfig { num_products: 100, num_clusters: 10, ..Default::default() },
+        ..WorldConfig::fast_test()
+    })
+}
+
+fn eventually(deadline: Duration, mut check: impl FnMut() -> bool) -> Option<Duration> {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if check() {
+            return Some(start.elapsed());
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    None
+}
+
+fn flush_all(w: &World) {
+    for replicas in w.topology().indexes() {
+        for index in replicas {
+            index.flush();
+        }
+    }
+}
+
+#[test]
+fn new_product_is_searchable_subsecond() {
+    let w = world();
+    let client = w.client(Duration::from_secs(5));
+    let url = "fresh/product/img.jpg".to_string();
+    w.images().put_synthetic(&url, 3);
+    w.topology().publish(ProductEvent::AddProduct {
+        product_id: ProductId(500_000),
+        images: vec![ProductAttributes::new(ProductId(500_000), 1, 100, 1, url.clone())],
+    });
+    let latency = eventually(Duration::from_secs(5), || {
+        flush_all(&w);
+        let resp = client.search(SearchQuery::by_image_url(url.clone(), 1)).unwrap();
+        resp.results.first().map(|r| r.hit.product_id) == Some(ProductId(500_000))
+    })
+    .expect("addition must become visible");
+    assert!(latency < Duration::from_secs(1), "visibility took {latency:?}");
+}
+
+#[test]
+fn deletion_hides_subsecond_and_relist_restores() {
+    let w = world();
+    let client = w.client(Duration::from_secs(5));
+    let product = w.catalog().products()[5].clone();
+    let query = SearchQuery::by_image_url(product.urls[0].clone(), 1);
+
+    // Delete.
+    w.topology().publish(product.remove_event());
+    let latency = eventually(Duration::from_secs(5), || {
+        let resp = client.search(query.clone()).unwrap();
+        resp.results.first().map(|r| r.hit.product_id) != Some(product.id)
+    })
+    .expect("deletion must hide the product");
+    assert!(latency < Duration::from_secs(1));
+
+    // Re-list (reuse path: no extraction).
+    let misses_before = w.extractor().misses();
+    w.topology().publish(product.add_event());
+    eventually(Duration::from_secs(5), || {
+        let resp = client.search(query.clone()).unwrap();
+        resp.results.first().map(|r| r.hit.product_id) == Some(product.id)
+    })
+    .expect("re-listing must restore the product");
+    assert_eq!(w.extractor().misses(), misses_before, "re-list must not re-extract");
+}
+
+#[test]
+fn attribute_update_propagates_to_results() {
+    let w = world();
+    let client = w.client(Duration::from_secs(5));
+    let product = w.catalog().products()[8].clone();
+    w.topology().publish(ProductEvent::UpdateAttributes {
+        product_id: product.id,
+        urls: product.urls.clone(),
+        sales: Some(987_654),
+        price: Some(42),
+        praise: None,
+    });
+    eventually(Duration::from_secs(5), || {
+        let resp = client
+            .search(SearchQuery::by_image_url(product.urls[0].clone(), 1))
+            .unwrap();
+        resp.results
+            .first()
+            .map(|r| r.hit.sales == 987_654 && r.hit.price == 42)
+            .unwrap_or(false)
+    })
+    .expect("attribute update must propagate");
+}
+
+#[test]
+fn day_replay_keeps_replicas_consistent() {
+    let mut w = World::build(WorldConfig {
+        catalog: CatalogConfig { num_products: 400, num_clusters: 10, ..Default::default() },
+        topology: jdvs::search::TopologyConfig {
+            num_partitions: 2,
+            replicas_per_partition: 2,
+            num_broker_groups: 1,
+            ..WorldConfig::fast_test().topology
+        },
+        ..WorldConfig::fast_test()
+    });
+    let store = std::sync::Arc::clone(w.images());
+    let plan = DailyPlan::generate(
+        w.catalog_mut(),
+        &store,
+        &DailyPlanConfig { total_events: 1_000, seed: 13, ..Default::default() },
+    );
+    let handle = w.start_update_stream(plan.events().to_vec(), 0);
+    assert_eq!(handle.join(), 1_000);
+    w.topology().wait_for_freshness(Duration::from_secs(60));
+
+    for (p, replicas) in w.topology().indexes().iter().enumerate() {
+        assert_eq!(
+            replicas[0].num_images(),
+            replicas[1].num_images(),
+            "partition {p} record counts"
+        );
+        assert_eq!(
+            replicas[0].valid_images(),
+            replicas[1].valid_images(),
+            "partition {p} valid counts"
+        );
+        assert_eq!(
+            replicas[0].stats().total_mutations(),
+            replicas[1].stats().total_mutations(),
+            "partition {p} mutation counts"
+        );
+    }
+}
+
+#[test]
+fn concurrent_queries_during_update_storm_stay_correct() {
+    let mut w = world();
+    let client = w.client(Duration::from_secs(5));
+    let store = std::sync::Arc::clone(w.images());
+    let plan = DailyPlan::generate(
+        w.catalog_mut(),
+        &store,
+        &DailyPlanConfig { total_events: 2_000, seed: 29, ..Default::default() },
+    );
+    // Pick a product the plan never touches, as a stable query target.
+    let touched: std::collections::HashSet<ProductId> =
+        plan.events().iter().map(|te| te.event.product_id()).collect();
+    let stable = w
+        .catalog()
+        .products()
+        .iter()
+        .find(|p| !touched.contains(&p.id) && !plan.predelisted().contains(&p.id))
+        .expect("some product untouched by the plan")
+        .clone();
+
+    let stream = w.start_update_stream(plan.events().to_vec(), 0);
+    // While the storm runs, the stable product must always be findable.
+    for _ in 0..50 {
+        let resp = client
+            .search(SearchQuery::by_image_url(stable.urls[0].clone(), 1))
+            .unwrap();
+        assert_eq!(
+            resp.results.first().map(|r| r.hit.product_id),
+            Some(stable.id),
+            "stable product must stay searchable mid-storm"
+        );
+    }
+    stream.join();
+    w.topology().wait_for_freshness(Duration::from_secs(60));
+}

@@ -34,7 +34,8 @@ fn bench_forward(c: &mut Criterion) {
         let mut i = 0u32;
         b.iter(|| {
             i = (i + 1) % 10_000;
-            fwd.update_numeric(ImageId(black_box(i)), Some(123), Some(456), None).unwrap()
+            fwd.update_numeric(ImageId(black_box(i)), Some(123), Some(456), None)
+                .unwrap()
         })
     });
 
@@ -50,7 +51,8 @@ fn bench_forward(c: &mut Criterion) {
         let mut i = 0u32;
         b.iter(|| {
             i = (i + 1) % 10_000;
-            fwd.update_url(ImageId(black_box(i)), "https://img.jd.test/updated.jpg").unwrap()
+            fwd.update_url(ImageId(black_box(i)), "https://img.jd.test/updated.jpg")
+                .unwrap()
         })
     });
 
@@ -102,7 +104,8 @@ fn bench_forward(c: &mut Criterion) {
         let mut i = 0u32;
         b.iter(|| {
             i = (i + 1) % 10_000;
-            fwd.update_numeric(ImageId(black_box(i)), Some(77), None, None).unwrap()
+            fwd.update_numeric(ImageId(black_box(i)), Some(77), None, None)
+                .unwrap()
         });
         stop.store(true, Ordering::Relaxed);
         for r in readers {

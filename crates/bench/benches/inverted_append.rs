@@ -14,19 +14,27 @@ fn bench_append(c: &mut Criterion) {
     group.throughput(Throughput::Elements(10_000));
 
     for background in [true, false] {
-        let label = if background { "background_copy" } else { "inline_copy" };
-        group.bench_with_input(BenchmarkId::new("append_10k", label), &background, |b, &bg| {
-            b.iter(|| {
-                // Small initial capacity so the 10k appends cross several
-                // expansions.
-                let list = InvertedList::new(64, bg);
-                for i in 0..10_000u32 {
-                    list.append(ImageId(black_box(i)));
-                }
-                list.flush();
-                list.len()
-            })
-        });
+        let label = if background {
+            "background_copy"
+        } else {
+            "inline_copy"
+        };
+        group.bench_with_input(
+            BenchmarkId::new("append_10k", label),
+            &background,
+            |b, &bg| {
+                b.iter(|| {
+                    // Small initial capacity so the 10k appends cross several
+                    // expansions.
+                    let list = InvertedList::new(64, bg);
+                    for i in 0..10_000u32 {
+                        list.append(ImageId(black_box(i)));
+                    }
+                    list.flush();
+                    list.len()
+                })
+            },
+        );
     }
 
     // Appends racing concurrent scans: the paper's claim is that search

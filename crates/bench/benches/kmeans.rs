@@ -9,7 +9,9 @@ use jdvs_vector::Vector;
 
 fn random_data(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
     let mut rng = Xoshiro256::seed_from(seed);
-    (0..n).map(|_| (0..dim).map(|_| rng.next_gaussian() as f32).collect()).collect()
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.next_gaussian() as f32).collect())
+        .collect()
 }
 
 fn bench_kmeans(c: &mut Criterion) {
@@ -21,7 +23,11 @@ fn bench_kmeans(c: &mut Criterion) {
             b.iter(|| {
                 Kmeans::train(
                     black_box(&data),
-                    &KmeansConfig { k, max_iters: 10, ..Default::default() },
+                    &KmeansConfig {
+                        k,
+                        max_iters: 10,
+                        ..Default::default()
+                    },
                 )
             })
         });
@@ -30,7 +36,14 @@ fn bench_kmeans(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("kmeans_assign");
     let data = random_data(5_000, 64, 9);
-    let model = Kmeans::train(&data, &KmeansConfig { k: 128, max_iters: 10, ..Default::default() });
+    let model = Kmeans::train(
+        &data,
+        &KmeansConfig {
+            k: 128,
+            max_iters: 10,
+            ..Default::default()
+        },
+    );
     let query = random_data(1, 64, 11).remove(0);
     group.bench_function("assign_128x64d", |b| {
         b.iter(|| model.assign(black_box(query.as_slice())))

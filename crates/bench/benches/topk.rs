@@ -7,8 +7,9 @@ use jdvs_vector::topk::TopK;
 
 fn bench_topk(c: &mut Criterion) {
     let mut rng = Xoshiro256::seed_from(5);
-    let stream: Vec<(u64, f32)> =
-        (0..100_000u64).map(|i| (i, rng.next_f32() * 1_000.0)).collect();
+    let stream: Vec<(u64, f32)> = (0..100_000u64)
+        .map(|i| (i, rng.next_f32() * 1_000.0))
+        .collect();
 
     let mut group = c.benchmark_group("topk");
     group.throughput(Throughput::Elements(stream.len() as u64));
@@ -31,7 +32,10 @@ fn bench_topk(c: &mut Criterion) {
             for &(id, d) in stream.iter().skip(p * 20_000).take(20_000) {
                 t.push(id, d);
             }
-            t.into_sorted_vec().into_iter().map(|n| (n.id, n.distance)).collect()
+            t.into_sorted_vec()
+                .into_iter()
+                .map(|n| (n.id, n.distance))
+                .collect()
         })
         .collect();
     group.throughput(Throughput::Elements(500));

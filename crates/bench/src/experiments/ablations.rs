@@ -49,10 +49,16 @@ fn day_fixture(ctx: &Ctx, seed: u64) -> DayFixture {
     let images = Arc::new(ImageStore::with_blob_len(64));
     let feature_db = Arc::new(FeatureDb::new());
     let extractor = Arc::new(CachingExtractor::new(
-        FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+        FeatureExtractor::new(ExtractorConfig {
+            dim: DIM,
+            ..Default::default()
+        }),
         // Virtual extraction cost: the quantity the reuse ablation sums.
         CostModel::virtual_time(
-            CostDistribution::LogNormal { median: Duration::from_millis(400), sigma: 0.5 },
+            CostDistribution::LogNormal {
+                median: Duration::from_millis(400),
+                sigma: 0.5,
+            },
             seed,
         ),
     ));
@@ -71,7 +77,11 @@ fn day_fixture(ctx: &Ctx, seed: u64) -> DayFixture {
         }
     }
     let index = Arc::new(VisualIndex::bootstrap(
-        IndexConfig { dim: DIM, num_lists: 64, ..Default::default() },
+        IndexConfig {
+            dim: DIM,
+            num_lists: 64,
+            ..Default::default()
+        },
         &training,
     ));
     let indexer = RealtimeIndexer::for_index(
@@ -87,14 +97,25 @@ fn day_fixture(ctx: &Ctx, seed: u64) -> DayFixture {
     let plan = DailyPlan::generate(
         &mut catalog,
         &images,
-        &DailyPlanConfig { total_events, seed, ..Default::default() },
+        &DailyPlanConfig {
+            total_events,
+            seed,
+            ..Default::default()
+        },
     );
     for pid in plan.predelisted() {
         if let Some(product) = catalog.products().iter().find(|p| p.id == *pid) {
             indexer.apply(&product.remove_event());
         }
     }
-    DayFixture { images, feature_db, extractor, indexer, plan, catalog }
+    DayFixture {
+        images,
+        feature_db,
+        extractor,
+        indexer,
+        plan,
+        catalog,
+    }
 }
 
 /// Feature-reuse on vs off over the same day of events.
@@ -145,7 +166,13 @@ pub fn reuse(ctx: &Ctx) -> ExperimentResult {
 /// Logical (bitmap) deletion vs physical rebuild.
 pub fn bitmap(ctx: &Ctx) -> ExperimentResult {
     let n_products = ctx.scaled(8_000, 500);
-    let f = day_fixture(&Ctx { scale: n_products as f64 / 10_000.0, ..ctx.clone() }, 0xB17);
+    let f = day_fixture(
+        &Ctx {
+            scale: n_products as f64 / 10_000.0,
+            ..ctx.clone()
+        },
+        0xB17,
+    );
     let index = f.indexer.index();
     let mut rng = Xoshiro256::seed_from(5);
 
@@ -273,7 +300,11 @@ pub fn pq(ctx: &Ctx) -> ExperimentResult {
     let images = Arc::new(ImageStore::with_blob_len(64));
     let feature_db = Arc::new(FeatureDb::new());
     let extractor = Arc::new(CachingExtractor::new(
-        FeatureExtractor::new(ExtractorConfig { dim: DIM, jitter: 0.8, ..Default::default() }),
+        FeatureExtractor::new(ExtractorConfig {
+            dim: DIM,
+            jitter: 0.8,
+            ..Default::default()
+        }),
         CostModel::free(),
     ));
     let catalog = Catalog::generate(&CatalogConfig {
@@ -291,7 +322,11 @@ pub fn pq(ctx: &Ctx) -> ExperimentResult {
     }
     let quantizer = Arc::new(ProductQuantizer::train(
         &vectors[..vectors.len().min(3_000)],
-        &PqConfig { num_subspaces: 8, max_iters: 8, seed: 5 },
+        &PqConfig {
+            num_subspaces: 8,
+            max_iters: 8,
+            seed: 5,
+        },
     ));
     let store = PqStore::new(Arc::clone(&quantizer));
     for (i, v) in vectors.iter().enumerate() {
@@ -307,7 +342,10 @@ pub fn pq(ctx: &Ctx) -> ExperimentResult {
         .map(|q| {
             let mut topk = TopK::new(k);
             for (i, v) in vectors.iter().enumerate() {
-                topk.push(i as u64, jdvs_vector::distance::squared_l2(q.as_slice(), v.as_slice()));
+                topk.push(
+                    i as u64,
+                    jdvs_vector::distance::squared_l2(q.as_slice(), v.as_slice()),
+                );
             }
             topk.into_sorted_vec().into_iter().map(|n| n.id).collect()
         })
@@ -365,7 +403,11 @@ pub fn lsh(ctx: &Ctx) -> ExperimentResult {
     let images = Arc::new(ImageStore::with_blob_len(64));
     let feature_db = Arc::new(FeatureDb::new());
     let extractor = Arc::new(CachingExtractor::new(
-        FeatureExtractor::new(ExtractorConfig { dim: DIM, jitter: 1.2, ..Default::default() }),
+        FeatureExtractor::new(ExtractorConfig {
+            dim: DIM,
+            jitter: 1.2,
+            ..Default::default()
+        }),
         CostModel::free(),
     ));
     let catalog = Catalog::generate(&CatalogConfig {
@@ -385,7 +427,11 @@ pub fn lsh(ctx: &Ctx) -> ExperimentResult {
     // IVF arm: the paper's index.
     let training: Vec<_> = pairs.iter().take(4_000).map(|(v, _)| v.clone()).collect();
     let ivf = Arc::new(VisualIndex::bootstrap(
-        IndexConfig { dim: DIM, num_lists: 128, ..Default::default() },
+        IndexConfig {
+            dim: DIM,
+            num_lists: 128,
+            ..Default::default()
+        },
         &training,
     ));
     for (v, attrs) in &pairs {
@@ -394,15 +440,26 @@ pub fn lsh(ctx: &Ctx) -> ExperimentResult {
     ivf.flush();
 
     // LSH arm.
-    let lsh = LshIndex::new(LshConfig { dim: DIM, tables: 8, bits: 12, seed: 3 });
+    let lsh = LshIndex::new(LshConfig {
+        dim: DIM,
+        tables: 8,
+        bits: 12,
+        seed: 3,
+    });
     for (i, (v, _)) in pairs.iter().enumerate() {
         lsh.insert(i as u64, v);
     }
 
-    let queries: Vec<Vec<f32>> =
-        pairs.iter().step_by(97).take(60).map(|(v, _)| v.as_slice().to_vec()).collect();
-    let truths: Vec<Vec<jdvs_vector::topk::Neighbor>> =
-        queries.iter().map(|q| ivf.brute_force_search(q, 10)).collect();
+    let queries: Vec<Vec<f32>> = pairs
+        .iter()
+        .step_by(97)
+        .take(60)
+        .map(|(v, _)| v.as_slice().to_vec())
+        .collect();
+    let truths: Vec<Vec<jdvs_vector::topk::Neighbor>> = queries
+        .iter()
+        .map(|q| ivf.brute_force_search(q, 10))
+        .collect();
 
     let mut r = ExperimentResult::new(
         "ablate-lsh",
@@ -423,8 +480,8 @@ pub fn lsh(ctx: &Ctx) -> ExperimentResult {
         for (q, truth) in queries.iter().zip(&truths) {
             let got = lsh.search(q, 10, probe_setting);
             let got_ids: std::collections::HashSet<u64> = got.iter().map(|n| n.id).collect();
-            lsh_recall +=
-                truth.iter().filter(|n| got_ids.contains(&n.id)).count() as f64 / truth.len() as f64;
+            lsh_recall += truth.iter().filter(|n| got_ids.contains(&n.id)).count() as f64
+                / truth.len() as f64;
         }
         let lsh_time = t0.elapsed();
         r.push_row(row![
@@ -467,7 +524,11 @@ pub fn cache(ctx: &Ctx) -> ExperimentResult {
                 ..Default::default()
             },
             topology: TopologyConfig {
-                index: IC { dim: DIM, num_lists: 64, ..Default::default() },
+                index: IC {
+                    dim: DIM,
+                    num_lists: 64,
+                    ..Default::default()
+                },
                 num_partitions: 4,
                 num_broker_groups: 2,
                 query_cache_capacity: capacity,
@@ -478,8 +539,8 @@ pub fn cache(ctx: &Ctx) -> ExperimentResult {
             )),
             ..Default::default()
         });
-        let generator = QueryGenerator::new(world.catalog(), 0xCAC)
-            .with_viral(world.images(), 20, 0.4);
+        let generator =
+            QueryGenerator::new(world.catalog(), 0xCAC).with_viral(world.images(), 20, 0.4);
         let client = world.client(Duration::from_secs(30));
         let report = ClosedLoopDriver::run(
             &client,
@@ -519,7 +580,11 @@ pub fn nprobe(ctx: &Ctx) -> ExperimentResult {
     let images = Arc::new(ImageStore::with_blob_len(64));
     let feature_db = Arc::new(FeatureDb::new());
     let extractor = Arc::new(CachingExtractor::new(
-        FeatureExtractor::new(ExtractorConfig { dim: DIM, jitter: 1.2, ..Default::default() }),
+        FeatureExtractor::new(ExtractorConfig {
+            dim: DIM,
+            jitter: 1.2,
+            ..Default::default()
+        }),
         CostModel::free(),
     ));
     let catalog = Catalog::generate(&CatalogConfig {
@@ -537,7 +602,11 @@ pub fn nprobe(ctx: &Ctx) -> ExperimentResult {
     }
     let training: Vec<_> = vectors.iter().take(4_000).map(|(v, _)| v.clone()).collect();
     let index = Arc::new(VisualIndex::bootstrap(
-        IndexConfig { dim: DIM, num_lists: 128, ..Default::default() },
+        IndexConfig {
+            dim: DIM,
+            num_lists: 128,
+            ..Default::default()
+        },
         &training,
     ));
     for (v, attrs) in &vectors {
@@ -555,8 +624,10 @@ pub fn nprobe(ctx: &Ctx) -> ExperimentResult {
                 .into_inner()
         })
         .collect();
-    let ground_truth: Vec<_> =
-        queries.iter().map(|q| index.brute_force_search(q, 10)).collect();
+    let ground_truth: Vec<_> = queries
+        .iter()
+        .map(|q| index.brute_force_search(q, 10))
+        .collect();
 
     let mut r = ExperimentResult::new(
         "ablate-nprobe",
@@ -579,6 +650,9 @@ pub fn nprobe(ctx: &Ctx) -> ExperimentResult {
         ]);
         probe *= 2;
     }
-    r.note(format!("index: {} images across {num_lists} lists", index.num_images()));
+    r.note(format!(
+        "index: {} images across {num_lists} lists",
+        index.num_images()
+    ));
     r
 }

@@ -60,7 +60,10 @@ pub fn run_day(ctx: &Ctx) -> DayRun {
     let images = Arc::new(ImageStore::with_blob_len(64));
     let feature_db = Arc::new(FeatureDb::new());
     let extractor = Arc::new(CachingExtractor::new(
-        FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+        FeatureExtractor::new(ExtractorConfig {
+            dim: DIM,
+            ..Default::default()
+        }),
         CostModel::free(),
     ));
     let mut catalog = Catalog::generate(&CatalogConfig {
@@ -81,7 +84,12 @@ pub fn run_day(ctx: &Ctx) -> DayRun {
         }
     }
     let index = Arc::new(VisualIndex::bootstrap(
-        IndexConfig { dim: DIM, num_lists: 64, initial_list_capacity: 64, ..Default::default() },
+        IndexConfig {
+            dim: DIM,
+            num_lists: 64,
+            initial_list_capacity: 64,
+            ..Default::default()
+        },
         &training,
     ));
     let indexer = RealtimeIndexer::for_index(
@@ -98,7 +106,10 @@ pub fn run_day(ctx: &Ctx) -> DayRun {
     let plan = DailyPlan::generate(
         &mut catalog,
         &images,
-        &DailyPlanConfig { total_events, ..Default::default() },
+        &DailyPlanConfig {
+            total_events,
+            ..Default::default()
+        },
     );
     for pid in plan.predelisted() {
         if let Some(product) = catalog.products().iter().find(|p| p.id == *pid) {
@@ -146,7 +157,10 @@ pub fn run_day(ctx: &Ctx) -> DayRun {
         if peak_rng.next_bool(load * 0.25) {
             synthetic += base_cost.sample().mul_f64(load);
         }
-        latency.record(te.hour, synthetic.as_micros().min(u128::from(u64::MAX)) as u64);
+        latency.record(
+            te.hour,
+            synthetic.as_micros().min(u128::from(u64::MAX)) as u64,
+        );
     }
     index.flush();
     let wall = t0.elapsed();

@@ -40,7 +40,11 @@ pub struct Ctx {
 
 impl Default for Ctx {
     fn default() -> Self {
-        Self { scale: 1.0, quick: false, out_dir: PathBuf::from("bench_results") }
+        Self {
+            scale: 1.0,
+            quick: false,
+            out_dir: PathBuf::from("bench_results"),
+        }
     }
 }
 

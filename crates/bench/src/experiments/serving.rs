@@ -37,7 +37,11 @@ fn serving_world(ctx: &Ctx, realtime: bool) -> World {
     // ~100k images at scale 1 (paper: "a total of 100,000 images").
     let num_products = ctx.scaled(40_000, 2_000);
     World::build(WorldConfig {
-        catalog: CatalogConfig { num_products, num_clusters: 200, ..Default::default() },
+        catalog: CatalogConfig {
+            num_products,
+            num_clusters: 200,
+            ..Default::default()
+        },
         topology: TopologyConfig {
             index: IndexConfig {
                 dim: DIM,
@@ -54,7 +58,10 @@ fn serving_world(ctx: &Ctx, realtime: bool) -> World {
             searcher_workers: 4,
             broker_workers: 8,
             blender_workers: 12,
-            latency: LatencyModel::LogNormal { median: Duration::from_micros(200), sigma: 0.4 },
+            latency: LatencyModel::LogNormal {
+                median: Duration::from_micros(200),
+                sigma: 0.4,
+            },
             realtime_indexing: realtime,
             ranking: RankingPolicy::default(),
             ..Default::default()
@@ -91,11 +98,20 @@ fn measure_reps(
                 &client,
                 &generator,
                 world.images(),
-                ClosedLoopConfig { threads, duration: window, warmup: window.mul_f64(0.2), k: 6 },
+                ClosedLoopConfig {
+                    threads,
+                    duration: window,
+                    warmup: window.mul_f64(0.2),
+                    k: 6,
+                },
             )
         })
         .collect();
-    reports.sort_by(|a, b| a.qps().partial_cmp(&b.qps()).unwrap_or(std::cmp::Ordering::Equal));
+    reports.sort_by(|a, b| {
+        a.qps()
+            .partial_cmp(&b.qps())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mid = reports.len() / 2;
     reports.swap_remove(mid)
 }
@@ -133,7 +149,10 @@ pub fn fig12(ctx: &Ctx, metric: Fig12Metric) -> ExperimentResult {
     let plan = DailyPlan::generate(
         world_on.catalog_mut(),
         &store,
-        &DailyPlanConfig { total_events: 200_000, ..Default::default() },
+        &DailyPlanConfig {
+            total_events: 200_000,
+            ..Default::default()
+        },
     );
     let events = plan.events().to_vec();
 
@@ -144,8 +163,10 @@ pub fn fig12(ctx: &Ctx, metric: Fig12Metric) -> ExperimentResult {
     let mut published = 0u64;
     let mut cursor = 0usize;
     for &t in &thread_counts {
-        let mut pairs: Vec<(jdvs_workload::client::LoadReport, jdvs_workload::client::LoadReport)> =
-            Vec::with_capacity(REPS);
+        let mut pairs: Vec<(
+            jdvs_workload::client::LoadReport,
+            jdvs_workload::client::LoadReport,
+        )> = Vec::with_capacity(REPS);
         for _ in 0..REPS {
             let off_r = measure_reps(&world_off, t, window, 1);
             let chunk_len = events.len().saturating_sub(cursor).min(10_000);
@@ -157,8 +178,10 @@ pub fn fig12(ctx: &Ctx, metric: Fig12Metric) -> ExperimentResult {
             pairs.push((off_r, on_r));
         }
         // Median paired throughput ratio (with-RT / without-RT).
-        let mut pair_ratios: Vec<f64> =
-            pairs.iter().map(|(o, n)| n.qps() / o.qps().max(1e-9)).collect();
+        let mut pair_ratios: Vec<f64> = pairs
+            .iter()
+            .map(|(o, n)| n.qps() / o.qps().max(1e-9))
+            .collect();
         pair_ratios.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let median_ratio = pair_ratios[pair_ratios.len() / 2];
         // Keep the median pair (by ratio) as the representative reports.
@@ -209,7 +232,9 @@ pub fn fig12(ctx: &Ctx, metric: Fig12Metric) -> ExperimentResult {
             }
         }
     }
-    r.note(format!("background stream published {published} update events during the with-RT arm"));
+    r.note(format!(
+        "background stream published {published} update events during the with-RT arm"
+    ));
     if metric == Fig12Metric::Throughput {
         let worst = ratios.iter().map(|r| 1.0 - r).fold(f64::MIN, f64::max);
         r.note(format!(
@@ -245,7 +270,9 @@ pub fn fig13a(ctx: &Ctx) -> ExperimentResult {
             "errors" => report.errors,
         ]);
     }
-    r.note(format!("max observed throughput: {best:.0} QPS (paper: ~1800 on 28 servers)"));
+    r.note(format!(
+        "max observed throughput: {best:.0} QPS (paper: ~1800 on 28 servers)"
+    ));
     r.note("shape target: monotone rise then plateau once blender capacity saturates");
     r
 }

@@ -116,7 +116,11 @@ impl ExperimentResult {
             "data": self.data,
             "notes": self.notes,
         });
-        writeln!(f, "{}", serde_json::to_string_pretty(&json).expect("serializable"))?;
+        writeln!(
+            f,
+            "{}",
+            serde_json::to_string_pretty(&json).expect("serializable")
+        )?;
         Ok(())
     }
 }

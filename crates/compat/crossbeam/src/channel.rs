@@ -1,0 +1,334 @@
+//! MPMC channel with crossbeam-compatible semantics for the operations jdvs
+//! uses: `unbounded`, `bounded`, cloneable senders *and* receivers, blocking
+//! `send`/`recv`, `recv_timeout`, and disconnect detection when all peers on
+//! one side drop.
+
+#![allow(clippy::type_complexity)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// All senders or all receivers on the other side have disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout => f.write_str("timed out waiting on channel"),
+            Self::Disconnected => f.write_str("channel is empty and disconnected"),
+        }
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: Option<usize>,
+}
+
+impl<T> Chan<T> {
+    fn new(cap: Option<usize>) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        })
+    }
+}
+
+pub struct Sender<T>(Arc<Chan<T>>);
+pub struct Receiver<T>(Arc<Chan<T>>);
+
+/// Creates a channel with unlimited capacity.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Chan::new(None);
+    (Sender(Arc::clone(&chan)), Receiver(chan))
+}
+
+/// Creates a channel holding at most `cap` in-flight messages; `send` blocks
+/// when full. `cap == 0` is treated as capacity 1 (this shim has no
+/// rendezvous mode; jdvs never uses zero-capacity channels).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let chan = Chan::new(Some(cap.max(1)));
+    (Sender(Arc::clone(&chan)), Receiver(chan))
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut state = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match self.0.cap {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self.0.not_full.wait(state).unwrap_or_else(PoisonError::into_inner);
+                }
+                _ => {
+                    state.queue.push_back(msg);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    pub fn try_send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut state = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.receivers == 0 {
+            return Err(SendError(msg));
+        }
+        if let Some(cap) = self.0.cap {
+            if state.queue.len() >= cap {
+                return Err(SendError(msg));
+            }
+        }
+        state.queue.push_back(msg);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.state.lock().unwrap_or_else(PoisonError::into_inner).queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.state.lock().unwrap_or_else(PoisonError::into_inner).senders += 1;
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.senders -= 1;
+        if state.senders == 0 {
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.0.not_empty.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(msg) = state.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (s, _res) = self
+                .0
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = s;
+        }
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(msg) = state.queue.pop_front() {
+            self.0.not_full.notify_one();
+            return Ok(msg);
+        }
+        if state.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Blocking iterator: yields until all senders disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+
+    /// Non-blocking iterator: drains whatever is currently queued.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { rx: self }
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.state.lock().unwrap_or_else(PoisonError::into_inner).queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.state.lock().unwrap_or_else(PoisonError::into_inner).receivers += 1;
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+pub struct TryIter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disconnect_detected_on_recv() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_receivers_gone() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+    }
+
+    #[test]
+    fn bounded_blocks_then_unblocks() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2).unwrap());
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mpmc_all_messages_delivered_once() {
+        let (tx, rx) = unbounded();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.iter().count())
+            })
+            .collect();
+        drop(rx);
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+    }
+}

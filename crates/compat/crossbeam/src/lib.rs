@@ -1,0 +1,6 @@
+//! Offline shim for the subset of `crossbeam` used in this workspace:
+//! MPMC channels (`crossbeam::channel`) and scoped threads
+//! (`crossbeam::thread::scope`). Backed entirely by `std`.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,87 @@
+//! Scoped threads with the crossbeam calling convention (`spawn` closures
+//! receive a `&Scope` for nested spawns), layered over `std::thread::scope`.
+
+use std::any::Any;
+
+/// Result type matching `crossbeam::thread::scope`'s signature: the outer
+/// `Result` reports panics of spawned threads in crossbeam; with std scopes a
+/// child panic aborts the scope by re-raising on join, so in practice this is
+/// always `Ok` when it returns.
+pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+/// Wrapper over `std::thread::Scope` so spawn closures can take a scope
+/// argument (`|_| ...`), as crossbeam's do.
+#[repr(transparent)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: std::thread::Scope<'scope, 'env>,
+}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&'scope Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(self)) }
+    }
+}
+
+/// Runs `f` with a scope handle; all threads spawned through the scope are
+/// joined before `scope` returns (std guarantees this).
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| {
+        // SAFETY: `Scope` is a `#[repr(transparent)]` wrapper around
+        // `std::thread::Scope`, so the reference cast preserves layout and
+        // lifetimes exactly.
+        let wrapped: &Scope<'_, 'env> =
+            unsafe { &*(s as *const std::thread::Scope<'_, 'env> as *const Scope<'_, 'env>) };
+        Ok(f(wrapped))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawned_threads_see_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        let out = scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).count()
+        })
+        .unwrap();
+        assert_eq!(out, 8);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let total = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| total.fetch_add(1, Ordering::SeqCst)).join().unwrap();
+            })
+            .join()
+            .unwrap();
+        })
+        .unwrap();
+        assert_eq!(total.load(Ordering::SeqCst), 1);
+    }
+}

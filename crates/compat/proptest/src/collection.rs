@@ -1,0 +1,120 @@
+//! Collection strategies: `vec` and `hash_set` with a size range.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive size bounds for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.usize_inclusive(self.lo, self.hi)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { elem, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+pub struct HashSetStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+pub fn hash_set<S>(elem: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy { elem, size: size.into() }
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut out = HashSet::with_capacity(target);
+        // Duplicates shrink the set below target; bounded retries keep this
+        // total even when the element domain is smaller than the target.
+        let mut budget = target * 10 + 10;
+        while out.len() < target && budget > 0 {
+            out.insert(self.elem.generate(rng));
+            budget -= 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_within_bounds() {
+        let mut rng = TestRng::deterministic("coll");
+        let strat = vec(0u8..255, 3..7);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        let mut rng = TestRng::deterministic("coll2");
+        let strat = vec(0u8..255, 4..=4);
+        assert_eq!(strat.generate(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn hash_set_terminates_on_small_domain() {
+        let mut rng = TestRng::deterministic("coll3");
+        let strat = hash_set(0usize..3, 10..=10);
+        let s = strat.generate(&mut rng);
+        assert!(s.len() <= 3);
+    }
+}

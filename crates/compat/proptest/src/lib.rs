@@ -1,0 +1,117 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking**: a failing case panics with the generated inputs via the
+//!   normal assert message; it is not minimized.
+//! - **Deterministic seeding**: every test derives its RNG seed from its
+//!   module path + name, so failures reproduce exactly across runs.
+//! - **Regex strategies** support the `.{m,n}` / `.{n}` shapes the tests use
+//!   (arbitrary printable strings with bounded length); other patterns fall
+//!   back to printable strings of length 0..=32.
+//!
+//! Supported surface: `proptest!` (with optional `#![proptest_config(..)]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`,
+//! `prop_oneof!`, `any::<T>()`, ranges and tuples as strategies,
+//! `Strategy::{prop_map, prop_flat_map, boxed}`, `Just`,
+//! `prop::collection::{vec, hash_set}`, string-literal regex strategies, and
+//! `ProptestConfig::with_cases`.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each function runs `config.cases` times with
+/// freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    rng.reseed_case(case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    // Closure so `prop_assume!` can abandon a case early.
+                    let mut case_body = move || $body;
+                    case_body();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Abandons the current case when the assumption fails (the shim simply
+/// skips the remainder of the case body; no retry, matching the spirit but
+/// not the case-count bookkeeping of real proptest).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type. Weighted arms
+/// (`w => strat`) are accepted and the weights honoured.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}

@@ -1,0 +1,52 @@
+//! String-literal "regex" strategies. The test suite only uses the shapes
+//! `.{m,n}` and `.{n}` (arbitrary strings with bounded length); anything else
+//! falls back to a printable string of length 0..=32.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    match rest.split_once(',') {
+        Some((lo, hi)) => Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?)),
+        None => {
+            let n = rest.trim().parse().ok()?;
+            Some((n, n))
+        }
+    }
+}
+
+fn printable_char(rng: &mut TestRng) -> char {
+    (0x20u8 + (rng.next_u64() % 95) as u8) as char
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 32));
+        let len = rng.usize_inclusive(lo, hi);
+        (0..len).map(|_| printable_char(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_repeat_respects_bounds() {
+        let mut rng = TestRng::deterministic("str");
+        for _ in 0..200 {
+            let s = ".{1,40}".generate(&mut rng);
+            assert!((1..=40).contains(&s.chars().count()), "len {}", s.len());
+            let e = ".{0,64}".generate(&mut rng);
+            assert!(e.chars().count() <= 64);
+        }
+    }
+
+    #[test]
+    fn exact_repeat() {
+        let mut rng = TestRng::deterministic("str2");
+        assert_eq!(".{7}".generate(&mut rng).chars().count(), 7);
+    }
+}

@@ -1,0 +1,62 @@
+//! Offline placeholder for `rand`. Library code uses `jdvs_vector::rng`
+//! (hand-rolled deterministic generators) instead; this crate exists only so
+//! dev-dependency resolution succeeds without a registry. A tiny seeded
+//! generator is provided in case a test reaches for one.
+
+#![forbid(unsafe_code)]
+
+/// Minimal `Rng`-flavoured trait over the few methods tests might use.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        let span = range.end.saturating_sub(range.start).max(1);
+        range.start + self.next_u64() % span
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// SplitMix64: tiny, deterministic, good-enough for test seeding.
+#[derive(Debug, Clone)]
+pub struct SmallRng(u64);
+
+impl SmallRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Process-global convenience generator (deterministic, NOT thread-local
+/// entropy — fine for tests, do not use for anything security-adjacent).
+pub fn thread_rng() -> SmallRng {
+    SmallRng::seed_from_u64(0x5eed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+        for _ in 0..100 {
+            let v = a.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline shim for `serde`: marker traits with blanket impls plus no-op
+//! derive macros. jdvs derives `Serialize`/`Deserialize` for documentation
+//! and future wire-format work but never serializes through serde itself
+//! (persistence is a hand-rolled binary format; JSON goes through the
+//! `serde_json` shim's `Value` type directly).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, for completeness with real serde's API.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}

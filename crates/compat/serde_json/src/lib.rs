@@ -1,0 +1,356 @@
+//! Offline shim for the `serde_json` surface jdvs uses: the `Value` tree,
+//! `Map`, `Number`, the `json!` macro, and pretty printing. There is no
+//! generic serde integration — values are built explicitly (via `json!` or
+//! `Value` constructors), which is all the workspace needs.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// JSON number. Stored as `f64`; integers up to 2^53 round-trip exactly,
+/// which covers every counter jdvs reports.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Number(f64);
+
+impl Number {
+    pub fn from_f64(v: f64) -> Option<Number> {
+        v.is_finite().then_some(Number(v))
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(self.0)
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.fract() == 0.0 && self.0.abs() < 9.0e15 {
+            write!(f, "{}", self.0 as i64)
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// Key-ordered JSON object (real serde_json also offers a sorted map).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map(BTreeMap<String, Value>);
+
+impl Map {
+    pub fn new() -> Self {
+        Self(BTreeMap::new())
+    }
+
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.0.insert(key, value)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.0.get(key)
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.0.iter()
+    }
+}
+
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+// --- conversions used by `json!` ------------------------------------------
+
+/// Converts a Rust value into a `Value` by reference. Stands in for serde's
+/// `Serialize` in the `json!` macro.
+pub trait ToJson {
+    fn to_json(&self) -> Value;
+}
+
+pub fn to_value<T: ToJson + ?Sized>(v: &T) -> Value {
+    v.to_json()
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! impl_to_json_num {
+    ($($ty:ty),*) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Value {
+                Value::Number(Number(*self as f64))
+            }
+        }
+    )*};
+}
+
+impl_to_json_num!(f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Builds a `Value` from literal-ish syntax: objects with expression values,
+/// arrays, and bare expressions (anything implementing [`ToJson`]).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(($key).to_string(), $crate::to_value(&($value))); )*
+        $crate::Value::Object(map)
+    }};
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&($value)) ),* ])
+    };
+    ($value:expr) => { $crate::to_value(&($value)) };
+}
+
+// --- output ----------------------------------------------------------------
+
+/// Error type for signature compatibility; this shim's serializer is total.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    let pad = if pretty { "  ".repeat(indent + 1) } else { String::new() };
+    let close_pad = if pretty { "  ".repeat(indent) } else { String::new() };
+    let nl = if pretty { "\n" } else { "" };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            out.push_str(nl);
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                write_value(out, item, indent + 1, pretty);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push_str(nl);
+            }
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            out.push_str(nl);
+            let len = map.len();
+            for (i, (k, val)) in map.iter().enumerate() {
+                out.push_str(&pad);
+                out.push('"');
+                escape_into(out, k);
+                out.push_str("\": ");
+                write_value(out, val, indent + 1, pretty);
+                if i + 1 < len {
+                    out.push(',');
+                }
+                out.push_str(nl);
+            }
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-prints a `Value` with two-space indentation.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors serde_json's signature.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, true);
+    Ok(out)
+}
+
+/// Compact form.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors serde_json's signature.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, false);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let id = "t3".to_string();
+        let notes = vec!["a".to_string(), "b".to_string()];
+        let v = json!({ "id": id, "n": 5.0, "notes": notes, "none": json!(null) });
+        assert_eq!(v["id"], json!("t3"));
+        assert_eq!(v["n"], json!(5.0));
+        assert_eq!(v["notes"][1], json!("b"));
+        assert!(v["none"].is_null());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn pretty_output_has_key_colon_space() {
+        let v = json!({ "id": "t3" });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"id\": \"t3\""), "{s}");
+    }
+
+    #[test]
+    fn numbers_render_integers_cleanly() {
+        assert_eq!(to_string(&json!(5.0)).unwrap(), "5");
+        assert_eq!(to_string(&json!(5.5)).unwrap(), "5.5");
+        assert!(Number::from_f64(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = to_string(&json!("a\"b\\c\nd")).unwrap();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

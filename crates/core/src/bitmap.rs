@@ -43,7 +43,9 @@ impl AtomicBitmap {
     /// Creates a bitmap pre-sized for at least `bits` flags.
     pub fn with_capacity(bits: usize) -> Self {
         let words = bits.div_ceil(64);
-        Self { words: RwLock::new((0..words).map(|_| AtomicU64::new(0)).collect()) }
+        Self {
+            words: RwLock::new((0..words).map(|_| AtomicU64::new(0)).collect()),
+        }
     }
 
     /// Sets bit `index` to 1 (image becomes valid), growing as needed.
@@ -81,7 +83,11 @@ impl AtomicBitmap {
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
-        self.words.read().iter().map(|w| w.load(Ordering::Acquire).count_ones() as usize).sum()
+        self.words
+            .read()
+            .iter()
+            .map(|w| w.load(Ordering::Acquire).count_ones() as usize)
+            .sum()
     }
 
     /// Current capacity in bits.

@@ -82,7 +82,9 @@ impl Chunk {
     fn new(size: usize) -> Self {
         let mut v = Vec::with_capacity(size);
         v.resize_with(size, || AtomicU8::new(0));
-        Self { bytes: v.into_boxed_slice() }
+        Self {
+            bytes: v.into_boxed_slice(),
+        }
     }
 }
 
@@ -150,7 +152,10 @@ impl VarBuffer {
     pub fn append(&self, bytes: &[u8]) -> Result<PackedRef, IndexError> {
         let max = MAX_RECORD_LEN.min(self.chunk_size);
         if bytes.len() > max {
-            return Err(IndexError::AttributeTooLarge { len: bytes.len(), max });
+            return Err(IndexError::AttributeTooLarge {
+                len: bytes.len(),
+                max,
+            });
         }
         let mut pos = self.write_pos.lock();
         let chunk_size = self.chunk_size as u64;
@@ -195,10 +200,14 @@ impl VarBuffer {
         let chunk_off = (r.offset() % self.chunk_size as u64) as usize;
         let chunks = self.chunks.read();
         let chunk = Arc::clone(
-            chunks.get(chunk_idx).expect("PackedRef references an unallocated chunk"),
+            chunks
+                .get(chunk_idx)
+                .expect("PackedRef references an unallocated chunk"),
         );
         drop(chunks);
-        (0..r.len()).map(|i| chunk.bytes[chunk_off + i].load(Ordering::Relaxed)).collect()
+        (0..r.len())
+            .map(|i| chunk.bytes[chunk_off + i].load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Reads a reference as UTF-8, replacing invalid sequences.
@@ -250,7 +259,10 @@ mod tests {
     fn oversized_record_is_rejected() {
         let buf = VarBuffer::with_chunk_size(8);
         let err = buf.append(b"123456789").unwrap_err();
-        assert!(matches!(err, IndexError::AttributeTooLarge { len: 9, max: 8 }));
+        assert!(matches!(
+            err,
+            IndexError::AttributeTooLarge { len: 9, max: 8 }
+        ));
     }
 
     #[test]

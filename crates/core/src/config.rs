@@ -57,7 +57,10 @@ impl IndexConfig {
     pub fn validate(&self) {
         assert!(self.dim > 0, "dim must be positive");
         assert!(self.num_lists > 0, "num_lists must be positive");
-        assert!(self.initial_list_capacity > 0, "initial_list_capacity must be positive");
+        assert!(
+            self.initial_list_capacity > 0,
+            "initial_list_capacity must be positive"
+        );
         assert!(self.nprobe > 0, "nprobe must be positive");
         assert!(self.train_sample > 0, "train_sample must be positive");
         if let Some(m) = self.pq_subspaces {
@@ -83,29 +86,51 @@ mod tests {
     #[test]
     #[should_panic(expected = "dim must be positive")]
     fn zero_dim_rejected() {
-        IndexConfig { dim: 0, ..Default::default() }.validate();
+        IndexConfig {
+            dim: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "num_lists must be positive")]
     fn zero_lists_rejected() {
-        IndexConfig { num_lists: 0, ..Default::default() }.validate();
+        IndexConfig {
+            num_lists: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "nprobe must be positive")]
     fn zero_nprobe_rejected() {
-        IndexConfig { nprobe: 0, ..Default::default() }.validate();
+        IndexConfig {
+            nprobe: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "must divide dim")]
     fn indivisible_pq_rejected() {
-        IndexConfig { dim: 10, pq_subspaces: Some(3), ..Default::default() }.validate();
+        IndexConfig {
+            dim: 10,
+            pq_subspaces: Some(3),
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     fn valid_pq_accepted() {
-        IndexConfig { dim: 64, pq_subspaces: Some(8), ..Default::default() }.validate();
+        IndexConfig {
+            dim: 64,
+            pq_subspaces: Some(8),
+            ..Default::default()
+        }
+        .validate();
     }
 }

@@ -31,13 +31,19 @@ impl std::fmt::Display for IndexError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IndexError::DimensionMismatch { expected, actual } => {
-                write!(f, "feature dimension mismatch: index expects {expected}, got {actual}")
+                write!(
+                    f,
+                    "feature dimension mismatch: index expects {expected}, got {actual}"
+                )
             }
             IndexError::UnknownImage(id) => write!(f, "unknown image id {id}"),
             IndexError::UnknownUrl(url) => write!(f, "unknown image url {url:?}"),
             IndexError::CapacityExhausted => f.write_str("partition image capacity exhausted"),
             IndexError::AttributeTooLarge { len, max } => {
-                write!(f, "variable-length attribute of {len} bytes exceeds the {max}-byte limit")
+                write!(
+                    f,
+                    "variable-length attribute of {len} bytes exceeds the {max}-byte limit"
+                )
             }
         }
     }
@@ -51,13 +57,20 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = IndexError::DimensionMismatch { expected: 64, actual: 32 };
+        let e = IndexError::DimensionMismatch {
+            expected: 64,
+            actual: 32,
+        };
         assert!(e.to_string().contains("64"));
         assert!(e.to_string().contains("32"));
-        assert!(IndexError::UnknownImage(ImageId(5)).to_string().contains("#5"));
+        assert!(IndexError::UnknownImage(ImageId(5))
+            .to_string()
+            .contains("#5"));
         assert!(IndexError::UnknownUrl("u".into()).to_string().contains("u"));
         assert!(!IndexError::CapacityExhausted.to_string().is_empty());
-        assert!(IndexError::AttributeTooLarge { len: 10, max: 5 }.to_string().contains("10"));
+        assert!(IndexError::AttributeTooLarge { len: 10, max: 5 }
+            .to_string()
+            .contains("10"));
     }
 
     #[test]

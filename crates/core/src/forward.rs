@@ -55,7 +55,9 @@ impl Chunk {
     fn new() -> Self {
         let mut v = Vec::with_capacity(CHUNK_RECORDS);
         v.resize_with(CHUNK_RECORDS, Record::default);
-        Self { records: v.into_boxed_slice() }
+        Self {
+            records: v.into_boxed_slice(),
+        }
     }
 }
 
@@ -83,7 +85,9 @@ pub struct ForwardIndex {
 
 impl std::fmt::Debug for ForwardIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ForwardIndex").field("len", &self.len()).finish()
+        f.debug_struct("ForwardIndex")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -96,7 +100,11 @@ impl Default for ForwardIndex {
 impl ForwardIndex {
     /// Creates an empty forward index with its own attribute buffer.
     pub fn new() -> Self {
-        Self { chunks: RwLock::new(Vec::new()), len: AtomicU64::new(0), buffer: VarBuffer::new() }
+        Self {
+            chunks: RwLock::new(Vec::new()),
+            len: AtomicU64::new(0),
+            buffer: VarBuffer::new(),
+        }
     }
 
     /// Number of records (images ever appended; logical deletion does not
@@ -155,7 +163,9 @@ impl ForwardIndex {
         if id.as_usize() >= self.len() {
             return Err(IndexError::UnknownImage(id));
         }
-        Ok(Arc::clone(&self.chunks.read()[id.as_usize() / CHUNK_RECORDS]))
+        Ok(Arc::clone(
+            &self.chunks.read()[id.as_usize() / CHUNK_RECORDS],
+        ))
     }
 
     /// Reads the numeric attributes of `id`.
@@ -194,7 +204,13 @@ impl ForwardIndex {
     pub fn attributes(&self, id: ImageId) -> Result<ProductAttributes, IndexError> {
         let n = self.numeric(id)?;
         let url = self.url(id)?;
-        Ok(ProductAttributes::new(n.product_id, n.sales, n.price, n.praise, url))
+        Ok(ProductAttributes::new(
+            n.product_id,
+            n.sales,
+            n.price,
+            n.praise,
+            url,
+        ))
     }
 
     /// Atomically updates the numeric attributes present in the arguments
@@ -282,7 +298,10 @@ mod tests {
     #[test]
     fn unknown_id_errors() {
         let fwd = ForwardIndex::new();
-        assert_eq!(fwd.numeric(ImageId(0)).unwrap_err(), IndexError::UnknownImage(ImageId(0)));
+        assert_eq!(
+            fwd.numeric(ImageId(0)).unwrap_err(),
+            IndexError::UnknownImage(ImageId(0))
+        );
         fwd.append(&attrs(1, "u")).unwrap();
         assert!(fwd.numeric(ImageId(0)).is_ok());
         assert!(fwd.numeric(ImageId(1)).is_err());
@@ -322,7 +341,10 @@ mod tests {
         assert_eq!(fwd.attributes(ImageId(0)).unwrap().url, "u0");
         let last = ImageId((n - 1) as u32);
         assert_eq!(fwd.attributes(last).unwrap().url, format!("u{}", n - 1));
-        assert_eq!(fwd.numeric(last).unwrap().product_id, ProductId((n - 1) as u64));
+        assert_eq!(
+            fwd.numeric(last).unwrap().product_id,
+            ProductId((n - 1) as u64)
+        );
     }
 
     #[test]
@@ -339,7 +361,11 @@ mod tests {
                 std::thread::spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
                         let n = fwd.numeric(id).unwrap();
-                        assert!(n.sales == 100 || n.sales == 77_777, "torn sales {}", n.sales);
+                        assert!(
+                            n.sales == 100 || n.sales == 77_777,
+                            "torn sales {}",
+                            n.sales
+                        );
                         assert!(n.price == 1999 || n.price == 1, "torn price {}", n.price);
                     }
                 })

@@ -78,7 +78,13 @@ impl CatalogState {
                     }
                 }
             }
-            ProductEvent::UpdateAttributes { urls, sales, price, praise, .. } => {
+            ProductEvent::UpdateAttributes {
+                urls,
+                sales,
+                price,
+                praise,
+                ..
+            } => {
                 for url in urls {
                     if let Some(&i) = self.by_key.get(&ImageKey::from_url(url)) {
                         let attrs = &mut self.images[i].1;
@@ -118,7 +124,13 @@ impl FullIndexBuilder {
         feature_db: Arc<FeatureDb>,
     ) -> Self {
         config.validate();
-        Self { config, extractor, images, feature_db, partition: None }
+        Self {
+            config,
+            extractor,
+            images,
+            feature_db,
+            partition: None,
+        }
     }
 
     /// Restricts the build to images hashing into `partition` of
@@ -142,7 +154,10 @@ impl FullIndexBuilder {
     /// Panics if the replay yields no valid image with an available blob —
     /// an index needs at least one vector to train its quantizer.
     pub fn build(&self, log: &[ProductEvent]) -> (VisualIndex, BuildReport) {
-        let mut report = BuildReport { messages_replayed: log.len() as u64, ..Default::default() };
+        let mut report = BuildReport {
+            messages_replayed: log.len() as u64,
+            ..Default::default()
+        };
 
         // Phase 1: resolve final catalog state.
         let mut state = CatalogState::default();
@@ -166,7 +181,9 @@ impl FullIndexBuilder {
                 report.images_invalid += 1;
                 continue;
             }
-            let (features, _) = self.extractor.features_for(attrs, &self.images, &self.feature_db);
+            let (features, _) = self
+                .extractor
+                .features_for(attrs, &self.images, &self.feature_db);
             if let Some(f) = features {
                 indexable.push((f, attrs.clone()));
             }
@@ -207,7 +224,10 @@ impl FullIndexBuilder {
             return indexable.iter().map(|(v, _)| v.clone()).collect();
         }
         let mut rng = Xoshiro256::seed_from(self.config.seed ^ 0x7241_1A5E);
-        rng.sample_indices(n, cap).into_iter().map(|i| indexable[i].0.clone()).collect()
+        rng.sample_indices(n, cap)
+            .into_iter()
+            .map(|i| indexable[i].0.clone())
+            .collect()
     }
 }
 
@@ -230,28 +250,49 @@ mod tests {
         let images = Arc::new(ImageStore::with_blob_len(64));
         let feature_db = Arc::new(FeatureDb::new());
         let extractor = Arc::new(CachingExtractor::new(
-            FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+            FeatureExtractor::new(ExtractorConfig {
+                dim: DIM,
+                ..Default::default()
+            }),
             CostModel::free(),
         ));
         let builder = FullIndexBuilder::new(
-            IndexConfig { dim: DIM, num_lists: 4, initial_list_capacity: 8, ..Default::default() },
+            IndexConfig {
+                dim: DIM,
+                num_lists: 4,
+                initial_list_capacity: 8,
+                ..Default::default()
+            },
             Arc::clone(&extractor),
             Arc::clone(&images),
             feature_db,
         );
-        Fixture { builder, images, extractor }
+        Fixture {
+            builder,
+            images,
+            extractor,
+        }
     }
 
     fn add(f: &Fixture, product: u64, url: &str) -> ProductEvent {
         f.images.put_synthetic(url, product * 17);
         ProductEvent::AddProduct {
             product_id: ProductId(product),
-            images: vec![ProductAttributes::new(ProductId(product), 1, 100, 1, url.into())],
+            images: vec![ProductAttributes::new(
+                ProductId(product),
+                1,
+                100,
+                1,
+                url.into(),
+            )],
         }
     }
 
     fn remove(product: u64, url: &str) -> ProductEvent {
-        ProductEvent::RemoveProduct { product_id: ProductId(product), urls: vec![url.into()] }
+        ProductEvent::RemoveProduct {
+            product_id: ProductId(product),
+            urls: vec![url.into()],
+        }
     }
 
     #[test]
@@ -269,7 +310,10 @@ mod tests {
         assert_eq!(report.images_indexed, 2);
         assert_eq!(report.images_invalid, 1);
         assert_eq!(index.valid_images(), 2);
-        assert!(index.lookup(ImageKey::from_url("u2")).is_none(), "invalid image not indexed");
+        assert!(
+            index.lookup(ImageKey::from_url("u2")).is_none(),
+            "invalid image not indexed"
+        );
     }
 
     #[test]

@@ -83,9 +83,16 @@ impl VisualIndex {
     /// dimension.
     pub fn bootstrap(config: IndexConfig, training: &[Vector]) -> Self {
         config.validate();
-        assert!(!training.is_empty(), "quantizer training sample cannot be empty");
+        assert!(
+            !training.is_empty(),
+            "quantizer training sample cannot be empty"
+        );
         for t in training {
-            assert_eq!(t.dim(), config.dim, "training vectors must match config.dim");
+            assert_eq!(
+                t.dim(),
+                config.dim,
+                "training vectors must match config.dim"
+            );
         }
         let quantizer = Kmeans::train(
             training,
@@ -139,7 +146,11 @@ impl VisualIndex {
         pq_quantizer: Option<Arc<ProductQuantizer>>,
     ) -> Self {
         config.validate();
-        assert_eq!(quantizer.dim(), config.dim, "quantizer dimension must match config.dim");
+        assert_eq!(
+            quantizer.dim(),
+            config.dim,
+            "quantizer dimension must match config.dim"
+        );
         match (config.pq_subspaces, &pq_quantizer) {
             (None, None) => {}
             (Some(m), Some(pq)) => {
@@ -300,7 +311,10 @@ impl VisualIndex {
     ///
     /// Returns [`IndexError::UnknownUrl`] if the URL was never indexed.
     pub fn invalidate(&self, key: ImageKey, url: &str) -> Result<ImageId, IndexError> {
-        let id = self.key_map.get(&key).ok_or_else(|| IndexError::UnknownUrl(url.to_string()))?;
+        let id = self
+            .key_map
+            .get(&key)
+            .ok_or_else(|| IndexError::UnknownUrl(url.to_string()))?;
         self.bitmap.clear(id.as_usize());
         self.stats.deletions.incr();
         Ok(id)
@@ -319,7 +333,10 @@ impl VisualIndex {
         price: Option<u64>,
         praise: Option<u64>,
     ) -> Result<ImageId, IndexError> {
-        let id = self.key_map.get(&key).ok_or_else(|| IndexError::UnknownUrl(url.to_string()))?;
+        let id = self
+            .key_map
+            .get(&key)
+            .ok_or_else(|| IndexError::UnknownUrl(url.to_string()))?;
         self.forward.update_numeric(id, sales, price, praise)?;
         self.stats.updates.incr();
         Ok(id)
@@ -411,7 +428,9 @@ mod tests {
 
     fn training(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
         let mut rng = Xoshiro256::seed_from(seed);
-        (0..n).map(|_| (0..dim).map(|_| rng.next_gaussian() as f32).collect()).collect()
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.next_gaussian() as f32).collect())
+            .collect()
     }
 
     fn attrs(product: u64, url: &str) -> ProductAttributes {
@@ -450,8 +469,16 @@ mod tests {
     #[test]
     fn wrong_dimension_is_rejected() {
         let index = small_index();
-        let err = index.insert(Vector::from(vec![1.0; 4]), attrs(1, "u1")).unwrap_err();
-        assert_eq!(err, IndexError::DimensionMismatch { expected: 8, actual: 4 });
+        let err = index
+            .insert(Vector::from(vec![1.0; 4]), attrs(1, "u1"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            IndexError::DimensionMismatch {
+                expected: 8,
+                actual: 4
+            }
+        );
     }
 
     #[test]
@@ -481,7 +508,9 @@ mod tests {
         // Relist with updated attributes; closure must not be called.
         let relist = ProductAttributes::new(ProductId(1), 999, 777, 1, "u1".into());
         let second = index
-            .upsert(relist, || panic!("features must not be recomputed on reuse"))
+            .upsert(relist, || {
+                panic!("features must not be recomputed on reuse")
+            })
             .unwrap();
         assert!(second.reused());
         assert_eq!(second.id(), first.id());
@@ -506,7 +535,9 @@ mod tests {
         let a = attrs(1, "u1");
         let key = a.image_key();
         let id = index.insert(vec_of(3), a).unwrap();
-        index.update_numeric(key, "u1", Some(1_000), None, Some(42)).unwrap();
+        index
+            .update_numeric(key, "u1", Some(1_000), None, Some(42))
+            .unwrap();
         let got = index.attributes(id).unwrap();
         assert_eq!(got.sales, 1_000);
         assert_eq!(got.price, 999, "unspecified unchanged");
@@ -521,7 +552,9 @@ mod tests {
             .update_numeric(ImageKey::from_url("nope"), "nope", Some(1), None, None)
             .unwrap_err();
         assert_eq!(err, IndexError::UnknownUrl("nope".into()));
-        let err = index.invalidate(ImageKey::from_url("nope"), "nope").unwrap_err();
+        let err = index
+            .invalidate(ImageKey::from_url("nope"), "nope")
+            .unwrap_err();
         assert_eq!(err, IndexError::UnknownUrl("nope".into()));
     }
 
@@ -592,7 +625,9 @@ mod tests {
         let train = training(512, 16, 5);
         let index = VisualIndex::bootstrap(config, &train);
         for (i, v) in train.iter().enumerate() {
-            index.insert(v.clone(), attrs(i as u64, &format!("u{i}"))).unwrap();
+            index
+                .insert(v.clone(), attrs(i as u64, &format!("u{i}")))
+                .unwrap();
         }
         index.flush();
         let mut total = 0.0;
@@ -602,7 +637,11 @@ mod tests {
             total += crate::search::recall(&compressed, &exact);
         }
         let queries = train.iter().step_by(37).count() as f64;
-        assert!(total / queries > 0.8, "rerank recall too low: {}", total / queries);
+        assert!(
+            total / queries > 0.8,
+            "rerank recall too low: {}",
+            total / queries
+        );
     }
 
     #[test]
@@ -635,7 +674,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "pq mode requires a trained codebook")]
     fn with_quantizer_rejects_pq_config() {
-        let config = IndexConfig { dim: 8, pq_subspaces: Some(4), ..Default::default() };
+        let config = IndexConfig {
+            dim: 8,
+            pq_subspaces: Some(4),
+            ..Default::default()
+        };
         let q = Kmeans::from_centroids(vec![Vector::zeros(8)]);
         VisualIndex::with_quantizer(config, q);
     }
@@ -646,7 +689,9 @@ mod tests {
         let a = attrs(1, "u1");
         let key = a.image_key();
         index.insert(vec_of(1), a).unwrap();
-        index.update_numeric(key, "u1", Some(1), None, None).unwrap();
+        index
+            .update_numeric(key, "u1", Some(1), None, None)
+            .unwrap();
         index.invalidate(key, "u1").unwrap();
         index.search(vec_of(1).as_slice(), 1, 1);
         let s = index.stats();

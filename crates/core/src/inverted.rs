@@ -48,7 +48,10 @@ impl Slab {
             let raw: *mut [u64] = Box::into_raw(zeroed);
             Box::from_raw(raw as *mut [AtomicU64])
         };
-        Self { slots, len: AtomicUsize::new(0) }
+        Self {
+            slots,
+            len: AtomicUsize::new(0),
+        }
     }
 
     /// Slot capacity.
@@ -171,7 +174,12 @@ impl InvertedList {
             copy();
             None
         };
-        Migration { new_slab, next_pos: old_len, copy_done, handle }
+        Migration {
+            new_slab,
+            next_pos: old_len,
+            copy_done,
+            handle,
+        }
     }
 
     /// Publishes a finished migration: set the new slab's length to cover
@@ -384,7 +392,10 @@ mod tests {
         list.append(ImageId(1));
         list.append(ImageId(2)); // starts migration
         let seen = collect(&list);
-        assert!(seen == vec![0, 1] || seen == vec![0, 1, 2], "old prefix always visible: {seen:?}");
+        assert!(
+            seen == vec![0, 1] || seen == vec![0, 1, 2],
+            "old prefix always visible: {seen:?}"
+        );
         list.flush();
         assert_eq!(collect(&list), vec![0, 1, 2]);
     }

@@ -63,7 +63,9 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::BadMagic => f.write_str("not a jdvs index snapshot (bad magic)"),
             PersistError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
-            PersistError::Truncated { field } => write!(f, "snapshot truncated while reading {field}"),
+            PersistError::Truncated { field } => {
+                write!(f, "snapshot truncated while reading {field}")
+            }
             PersistError::InvalidUtf8 { field } => write!(f, "invalid utf-8 in {field}"),
             PersistError::Corrupt { reason } => write!(f, "corrupt snapshot: {reason}"),
         }
@@ -78,7 +80,9 @@ struct Writer {
 
 impl Writer {
     fn new() -> Self {
-        Self { buf: Vec::with_capacity(4096) }
+        Self {
+            buf: Vec::with_capacity(4096),
+        }
     }
 
     fn u8(&mut self, v: u8) {
@@ -135,12 +139,16 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self, field: &'static str) -> Result<u64, PersistError> {
         let b = self.take(8, field)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn f32s(&mut self, n: usize, field: &'static str) -> Result<Vec<f32>, PersistError> {
         let b = self.take(n * 4, field)?;
-        Ok(b.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
     }
 
     fn str(&mut self, field: &'static str) -> Result<String, PersistError> {
@@ -211,7 +219,9 @@ pub fn load(bytes: &[u8]) -> Result<VisualIndex, PersistError> {
 
     let dim = r.u32("config.dim")? as usize;
     if dim == 0 {
-        return Err(PersistError::Corrupt { reason: "zero dimension" });
+        return Err(PersistError::Corrupt {
+            reason: "zero dimension",
+        });
     }
     let config = IndexConfig {
         dim,
@@ -230,7 +240,9 @@ pub fn load(bytes: &[u8]) -> Result<VisualIndex, PersistError> {
 
     let k = r.u32("quantizer.k")? as usize;
     if k == 0 {
-        return Err(PersistError::Corrupt { reason: "zero centroids" });
+        return Err(PersistError::Corrupt {
+            reason: "zero centroids",
+        });
     }
     let centroids: Vec<Vector> = (0..k)
         .map(|_| r.f32s(dim, "quantizer.centroid").map(Vector::from))
@@ -249,7 +261,11 @@ pub fn load(bytes: &[u8]) -> Result<VisualIndex, PersistError> {
         let url = r.str("record.url")?;
         let valid = r.u8("record.valid")? != 0;
         let features = Vector::from(r.f32s(dim, "record.features")?);
-        records.push((ProductAttributes::new(product_id, sales, price, praise, url), valid, features));
+        records.push((
+            ProductAttributes::new(product_id, sales, price, praise, url),
+            valid,
+            features,
+        ));
     }
     let pq = match config.pq_subspaces {
         Some(m) if !records.is_empty() => {
@@ -258,21 +274,29 @@ pub fn load(bytes: &[u8]) -> Result<VisualIndex, PersistError> {
                 .take(config.train_sample.max(1))
                 .map(|(_, _, f)| f.clone())
                 .collect();
-            Some(std::sync::Arc::new(jdvs_vector::pq::ProductQuantizer::train(
-                &sample,
-                &jdvs_vector::pq::PqConfig {
-                    num_subspaces: m,
-                    max_iters: config.kmeans_iters,
-                    seed: config.seed ^ 0x90DE,
-                },
-            )))
+            Some(std::sync::Arc::new(
+                jdvs_vector::pq::ProductQuantizer::train(
+                    &sample,
+                    &jdvs_vector::pq::PqConfig {
+                        num_subspaces: m,
+                        max_iters: config.kmeans_iters,
+                        seed: config.seed ^ 0x90DE,
+                    },
+                ),
+            ))
         }
         Some(m) => {
             // Degenerate: no vectors to train on; a zero codebook suffices.
-            Some(std::sync::Arc::new(jdvs_vector::pq::ProductQuantizer::train(
-                &[Vector::zeros(dim)],
-                &jdvs_vector::pq::PqConfig { num_subspaces: m, max_iters: 1, seed: config.seed },
-            )))
+            Some(std::sync::Arc::new(
+                jdvs_vector::pq::ProductQuantizer::train(
+                    &[Vector::zeros(dim)],
+                    &jdvs_vector::pq::PqConfig {
+                        num_subspaces: m,
+                        max_iters: 1,
+                        seed: config.seed,
+                    },
+                ),
+            ))
         }
         None => None,
     };
@@ -284,7 +308,9 @@ pub fn load(bytes: &[u8]) -> Result<VisualIndex, PersistError> {
         let url = attrs.url.clone();
         index
             .insert(features, attrs)
-            .map_err(|_| PersistError::Corrupt { reason: "record rejected on rebuild" })?;
+            .map_err(|_| PersistError::Corrupt {
+                reason: "record rejected on rebuild",
+            })?;
         if !valid {
             invalid.push((key, url));
         }
@@ -293,7 +319,9 @@ pub fn load(bytes: &[u8]) -> Result<VisualIndex, PersistError> {
     for (key, url) in invalid {
         index
             .invalidate(key, &url)
-            .map_err(|_| PersistError::Corrupt { reason: "validity restore failed" })?;
+            .map_err(|_| PersistError::Corrupt {
+                reason: "validity restore failed",
+            })?;
     }
     index.flush();
     Ok(index)
@@ -309,10 +337,16 @@ mod tests {
 
     fn build_index(n: u64) -> VisualIndex {
         let mut rng = Xoshiro256::seed_from(21);
-        let train: Vec<Vector> =
-            (0..32).map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect()).collect();
+        let train: Vec<Vector> = (0..32)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
         let index = VisualIndex::bootstrap(
-            IndexConfig { dim: DIM, num_lists: 4, initial_list_capacity: 4, ..Default::default() },
+            IndexConfig {
+                dim: DIM,
+                num_lists: 4,
+                initial_list_capacity: 4,
+                ..Default::default()
+            },
             &train,
         );
         for i in 0..n {
@@ -326,7 +360,9 @@ mod tests {
         }
         // Delete every 4th image so validity state is non-trivial.
         for i in (0..n).step_by(4) {
-            index.invalidate(ImageKey::from_url(&format!("u{i}")), &format!("u{i}")).unwrap();
+            index
+                .invalidate(ImageKey::from_url(&format!("u{i}")), &format!("u{i}"))
+                .unwrap();
         }
         index.flush();
         index
@@ -342,7 +378,10 @@ mod tests {
         assert_eq!(loaded.config(), index.config());
         for raw in 0..100u32 {
             let id = ImageId(raw);
-            assert_eq!(loaded.attributes(id).unwrap(), index.attributes(id).unwrap());
+            assert_eq!(
+                loaded.attributes(id).unwrap(),
+                index.attributes(id).unwrap()
+            );
             assert_eq!(loaded.features(id), index.features(id));
             assert_eq!(loaded.is_valid(id), index.is_valid(id));
         }
@@ -363,10 +402,16 @@ mod tests {
     #[test]
     fn pq_index_round_trips_and_serves_compressed_search() {
         let mut rng = Xoshiro256::seed_from(77);
-        let train: Vec<Vector> =
-            (0..128).map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect()).collect();
+        let train: Vec<Vector> = (0..128)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
         let index = VisualIndex::bootstrap(
-            IndexConfig { dim: DIM, num_lists: 4, pq_subspaces: Some(4), ..Default::default() },
+            IndexConfig {
+                dim: DIM,
+                num_lists: 4,
+                pq_subspaces: Some(4),
+                ..Default::default()
+            },
             &train,
         );
         for (i, v) in train.iter().take(60).enumerate() {
@@ -404,7 +449,10 @@ mod tests {
         let index = build_index(3);
         let mut bytes = save(&index);
         bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
-        assert_eq!(load(&bytes).unwrap_err(), PersistError::UnsupportedVersion(99));
+        assert_eq!(
+            load(&bytes).unwrap_err(),
+            PersistError::UnsupportedVersion(99)
+        );
     }
 
     #[test]
@@ -421,7 +469,11 @@ mod tests {
     #[test]
     fn error_messages_are_informative() {
         assert!(PersistError::BadMagic.to_string().contains("magic"));
-        assert!(PersistError::Truncated { field: "x" }.to_string().contains('x'));
-        assert!(PersistError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(PersistError::Truncated { field: "x" }
+            .to_string()
+            .contains('x'));
+        assert!(PersistError::UnsupportedVersion(9)
+            .to_string()
+            .contains('9'));
     }
 }

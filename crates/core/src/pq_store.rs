@@ -31,7 +31,9 @@ impl Chunk {
     fn new() -> Self {
         let mut v = Vec::with_capacity(CHUNK_CODES);
         v.resize_with(CHUNK_CODES, OnceLock::new);
-        Self { slots: v.into_boxed_slice() }
+        Self {
+            slots: v.into_boxed_slice(),
+        }
     }
 }
 
@@ -53,7 +55,10 @@ impl std::fmt::Debug for PqStore {
 impl PqStore {
     /// Creates a store over a trained quantizer.
     pub fn new(quantizer: Arc<ProductQuantizer>) -> Self {
-        Self { quantizer, chunks: RwLock::new(Vec::new()) }
+        Self {
+            quantizer,
+            chunks: RwLock::new(Vec::new()),
+        }
     }
 
     /// The underlying quantizer.
@@ -105,7 +110,9 @@ impl PqStore {
         let chunks = self.chunks.read();
         let chunk = Arc::clone(chunks.get(chunk_idx)?);
         drop(chunks);
-        chunk.slots[id.as_usize() % CHUNK_CODES].get().map(|code| table.distance(code))
+        chunk.slots[id.as_usize() % CHUNK_CODES]
+            .get()
+            .map(|code| table.distance(code))
     }
 
     /// Scans every written code in id order, calling `f(id, distance)` —
@@ -116,7 +123,10 @@ impl PqStore {
         for (ci, chunk) in chunks.iter().enumerate() {
             for (si, slot) in chunk.slots.iter().enumerate() {
                 if let Some(code) = slot.get() {
-                    f(ImageId((ci * CHUNK_CODES + si) as u32), table.distance(code));
+                    f(
+                        ImageId((ci * CHUNK_CODES + si) as u32),
+                        table.distance(code),
+                    );
                 }
             }
         }
@@ -128,7 +138,9 @@ impl PqStore {
         let chunks = self.chunks.read();
         let chunk = Arc::clone(chunks.get(chunk_idx)?);
         drop(chunks);
-        chunk.slots[id.as_usize() % CHUNK_CODES].get().map(|code| self.quantizer.decode(code))
+        chunk.slots[id.as_usize() % CHUNK_CODES]
+            .get()
+            .map(|code| self.quantizer.decode(code))
     }
 
     /// Approximate heap bytes used per stored vector (codes only).
@@ -145,11 +157,16 @@ mod tests {
 
     fn trained(dim: usize, m: usize) -> (Arc<ProductQuantizer>, Vec<Vector>) {
         let mut rng = Xoshiro256::seed_from(4);
-        let data: Vec<Vector> =
-            (0..400).map(|_| (0..dim).map(|_| rng.next_gaussian() as f32).collect()).collect();
+        let data: Vec<Vector> = (0..400)
+            .map(|_| (0..dim).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
         let pq = ProductQuantizer::train(
             &data,
-            &PqConfig { num_subspaces: m, max_iters: 6, seed: 1 },
+            &PqConfig {
+                num_subspaces: m,
+                max_iters: 6,
+                seed: 1,
+            },
         );
         (Arc::new(pq), data)
     }
@@ -164,7 +181,10 @@ mod tests {
         let table = store.adc_table(data[0].as_slice());
         let d_self = store.distance(&table, ImageId(0)).unwrap();
         let d_other = store.distance(&table, ImageId(25)).unwrap();
-        assert!(d_self < d_other, "self-distance {d_self} must beat {d_other}");
+        assert!(
+            d_self < d_other,
+            "self-distance {d_self} must beat {d_other}"
+        );
         assert!(store.distance(&table, ImageId(9_999)).is_none());
     }
 

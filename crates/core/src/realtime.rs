@@ -8,10 +8,19 @@
 //! Each searcher owns one partition, so an indexer can be scoped with
 //! [`RealtimeIndexer::with_partition`] to process only the images that hash
 //! into its partition — exactly how the paper's searchers share one queue.
+//!
+//! Failed images are never silently dropped: each failure is recorded in a
+//! bounded **dead-letter buffer** (newest kept, oldest evicted) together
+//! with the error and a retryable/permanent classification, and surfaced
+//! through [`RealtimeIndexer::drain_dead_letters`] for an operator or a
+//! replay job to act on.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+use parking_lot::Mutex;
 
 use jdvs_features::cache::FetchOutcome;
 use jdvs_features::CachingExtractor;
@@ -57,6 +66,61 @@ impl ApplyReport {
     }
 }
 
+/// Default capacity of the dead-letter buffer.
+pub const DEFAULT_DEAD_LETTER_CAPACITY: usize = 256;
+
+/// One failed image operation, preserved for inspection or replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadLetter {
+    /// URL of the image that failed.
+    pub url: String,
+    /// What the event was trying to do.
+    pub operation: DeadLetterOp,
+    /// Human-readable error.
+    pub error: String,
+    /// Whether a later retry could plausibly succeed (e.g. an update that
+    /// raced ahead of its add in the stream) or the failure is permanent
+    /// (e.g. a capacity or validation error).
+    pub retryable: bool,
+}
+
+/// The operation a [`DeadLetter`] was performing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadLetterOp {
+    /// Inserting or revalidating an image.
+    Insert,
+    /// Logically deleting an image.
+    Delete,
+    /// Updating numeric attributes.
+    Update,
+}
+
+/// Counters over all failures the indexer has seen (dead-lettered or
+/// already evicted from the bounded buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeadLetterStats {
+    /// Failures a retry could plausibly fix (out-of-order stream events).
+    pub retryable: u64,
+    /// Failures retrying cannot fix (validation/capacity errors).
+    pub permanent: u64,
+    /// Dead letters evicted because the buffer was full.
+    pub evicted: u64,
+}
+
+impl DeadLetterStats {
+    /// Total failures observed.
+    pub fn total(&self) -> u64 {
+        self.retryable + self.permanent
+    }
+}
+
+/// Classifies an [`IndexError`]: unknown-URL/unknown-image failures are
+/// retryable (the add that defines them may simply not have arrived yet);
+/// everything else is a permanent property of the data or the index.
+fn is_retryable(err: &IndexError) -> bool {
+    matches!(err, IndexError::UnknownUrl(_) | IndexError::UnknownImage(_))
+}
+
 /// The per-partition real-time indexer; see the module docs.
 ///
 /// The indexer resolves its index through an [`IndexHandle`] per event,
@@ -71,6 +135,12 @@ pub struct RealtimeIndexer {
     /// `(partition, num_partitions)`: only images whose URL hashes into
     /// `partition` are processed. `None` processes everything.
     partition: Option<(usize, usize)>,
+    /// Bounded buffer of failed operations, newest kept.
+    dead_letters: Mutex<VecDeque<DeadLetter>>,
+    dead_letter_capacity: usize,
+    retryable_failures: AtomicU64,
+    permanent_failures: AtomicU64,
+    dead_letters_evicted: AtomicU64,
 }
 
 impl RealtimeIndexer {
@@ -82,7 +152,18 @@ impl RealtimeIndexer {
         images: Arc<ImageStore>,
         feature_db: Arc<FeatureDb>,
     ) -> Self {
-        Self { index: handle, extractor, images, feature_db, partition: None }
+        Self {
+            index: handle,
+            extractor,
+            images,
+            feature_db,
+            partition: None,
+            dead_letters: Mutex::new(VecDeque::new()),
+            dead_letter_capacity: DEFAULT_DEAD_LETTER_CAPACITY,
+            retryable_failures: AtomicU64::new(0),
+            permanent_failures: AtomicU64::new(0),
+            dead_letters_evicted: AtomicU64::new(0),
+        }
     }
 
     /// Convenience: wraps a fixed index in a fresh (never-swapped) handle.
@@ -92,7 +173,12 @@ impl RealtimeIndexer {
         images: Arc<ImageStore>,
         feature_db: Arc<FeatureDb>,
     ) -> Self {
-        Self::new(Arc::new(IndexHandle::new(index)), extractor, images, feature_db)
+        Self::new(
+            Arc::new(IndexHandle::new(index)),
+            extractor,
+            images,
+            feature_db,
+        )
     }
 
     /// Scopes the indexer to one partition of `num_partitions`.
@@ -105,6 +191,54 @@ impl RealtimeIndexer {
         assert!(partition < num_partitions, "partition out of range");
         self.partition = Some((partition, num_partitions));
         self
+    }
+
+    /// Overrides the dead-letter buffer capacity (`0` keeps counting
+    /// failures but retains no letters).
+    pub fn with_dead_letter_capacity(mut self, capacity: usize) -> Self {
+        self.dead_letter_capacity = capacity;
+        self
+    }
+
+    /// Takes (and clears) everything in the dead-letter buffer, oldest
+    /// first. Counters in [`RealtimeIndexer::dead_letter_stats`] are
+    /// lifetime totals and are *not* reset by draining.
+    pub fn drain_dead_letters(&self) -> Vec<DeadLetter> {
+        self.dead_letters.lock().drain(..).collect()
+    }
+
+    /// Lifetime failure counters (survive draining).
+    pub fn dead_letter_stats(&self) -> DeadLetterStats {
+        DeadLetterStats {
+            retryable: self.retryable_failures.load(Ordering::Relaxed),
+            permanent: self.permanent_failures.load(Ordering::Relaxed),
+            evicted: self.dead_letters_evicted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records one failed image operation, evicting the oldest letter if
+    /// the buffer is full.
+    fn dead_letter(&self, url: &str, operation: DeadLetterOp, err: &IndexError) {
+        let retryable = is_retryable(err);
+        if retryable {
+            self.retryable_failures.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.permanent_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.dead_letter_capacity == 0 {
+            return; // counted, nothing retained
+        }
+        let mut letters = self.dead_letters.lock();
+        if letters.len() == self.dead_letter_capacity {
+            letters.pop_front();
+            self.dead_letters_evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        letters.push_back(DeadLetter {
+            url: url.to_string(),
+            operation,
+            error: err.to_string(),
+            retryable,
+        });
     }
 
     /// Snapshot of the index this indexer currently maintains.
@@ -139,7 +273,8 @@ impl RealtimeIndexer {
                     // Figure 8: check-if-exists → reuse, else extract+insert.
                     let outcome = index.upsert(attrs.clone(), || {
                         let (features, fetch) =
-                            self.extractor.features_for(attrs, &self.images, &self.feature_db);
+                            self.extractor
+                                .features_for(attrs, &self.images, &self.feature_db);
                         debug_assert_ne!(
                             fetch,
                             FetchOutcome::Missing,
@@ -150,7 +285,10 @@ impl RealtimeIndexer {
                     match outcome {
                         Ok(o) if o.reused() => report.revalidated += 1,
                         Ok(_) => report.inserted += 1,
-                        Err(_) => report.failed += 1,
+                        Err(err) => {
+                            self.dead_letter(&attrs.url, DeadLetterOp::Insert, &err);
+                            report.failed += 1;
+                        }
                     }
                 }
             }
@@ -163,12 +301,20 @@ impl RealtimeIndexer {
                     }
                     match index.invalidate(key, url) {
                         Ok(_) => report.deleted += 1,
-                        Err(IndexError::UnknownUrl(_)) => report.failed += 1,
-                        Err(_) => report.failed += 1,
+                        Err(err) => {
+                            self.dead_letter(url, DeadLetterOp::Delete, &err);
+                            report.failed += 1;
+                        }
                     }
                 }
             }
-            ProductEvent::UpdateAttributes { urls, sales, price, praise, .. } => {
+            ProductEvent::UpdateAttributes {
+                urls,
+                sales,
+                price,
+                praise,
+                ..
+            } => {
                 for url in urls {
                     let key = ImageKey::from_url(url);
                     if !self.owns(key) {
@@ -177,7 +323,10 @@ impl RealtimeIndexer {
                     }
                     match index.update_numeric(key, url, *sales, *price, *praise) {
                         Ok(_) => report.updated += 1,
-                        Err(_) => report.failed += 1,
+                        Err(err) => {
+                            self.dead_letter(url, DeadLetterOp::Update, &err);
+                            report.failed += 1;
+                        }
                     }
                 }
             }
@@ -236,15 +385,24 @@ mod tests {
         let images = Arc::new(ImageStore::with_blob_len(64));
         let feature_db = Arc::new(FeatureDb::new());
         let extractor = Arc::new(CachingExtractor::new(
-            FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+            FeatureExtractor::new(ExtractorConfig {
+                dim: DIM,
+                ..Default::default()
+            }),
             CostModel::free(),
         ));
         // Bootstrap quantizer on generic Gaussian data.
         let mut rng = jdvs_vector::rng::Xoshiro256::seed_from(5);
-        let train: Vec<Vector> =
-            (0..64).map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect()).collect();
+        let train: Vec<Vector> = (0..64)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
         let index = Arc::new(VisualIndex::bootstrap(
-            IndexConfig { dim: DIM, num_lists: 4, initial_list_capacity: 4, ..Default::default() },
+            IndexConfig {
+                dim: DIM,
+                num_lists: 4,
+                initial_list_capacity: 4,
+                ..Default::default()
+            },
             &train,
         ));
         let mut indexer =
@@ -263,7 +421,10 @@ mod tests {
                 ProductAttributes::new(ProductId(product), 1, 100, 1, u.to_string())
             })
             .collect();
-        ProductEvent::AddProduct { product_id: ProductId(product), images }
+        ProductEvent::AddProduct {
+            product_id: ProductId(product),
+            images,
+        }
     }
 
     #[test]
@@ -286,7 +447,10 @@ mod tests {
     fn remove_then_readd_takes_reuse_path() {
         let f = fixture();
         f.indexer.apply(&add_event(&f, 1, &["u1"]));
-        let rm = ProductEvent::RemoveProduct { product_id: ProductId(1), urls: vec!["u1".into()] };
+        let rm = ProductEvent::RemoveProduct {
+            product_id: ProductId(1),
+            urls: vec!["u1".into()],
+        };
         let r = f.indexer.apply(&rm);
         assert_eq!(r.deleted, 1);
         assert_eq!(f.indexer.index().valid_images(), 0);
@@ -319,7 +483,10 @@ mod tests {
     #[test]
     fn operations_on_unknown_urls_fail_gracefully() {
         let f = fixture();
-        let rm = ProductEvent::RemoveProduct { product_id: ProductId(9), urls: vec!["x".into()] };
+        let rm = ProductEvent::RemoveProduct {
+            product_id: ProductId(9),
+            urls: vec!["x".into()],
+        };
         assert_eq!(f.indexer.apply(&rm).failed, 1);
         let up = ProductEvent::UpdateAttributes {
             product_id: ProductId(9),
@@ -358,9 +525,108 @@ mod tests {
         }
         let mut consumer = queue.consumer();
         let stop = AtomicBool::new(true); // run drains the backlog then exits
-        let report = f.indexer.run(&mut consumer, &stop, Duration::from_millis(1));
+        let report = f
+            .indexer
+            .run(&mut consumer, &stop, Duration::from_millis(1));
         assert_eq!(report.inserted, 20);
         assert_eq!(f.indexer.index().valid_images(), 20);
+    }
+
+    #[test]
+    fn failures_land_in_the_dead_letter_buffer() {
+        let f = fixture();
+        let rm = ProductEvent::RemoveProduct {
+            product_id: ProductId(9),
+            urls: vec!["x".into()],
+        };
+        assert_eq!(f.indexer.apply(&rm).failed, 1);
+        let up = ProductEvent::UpdateAttributes {
+            product_id: ProductId(9),
+            urls: vec!["y".into()],
+            sales: Some(1),
+            price: None,
+            praise: None,
+        };
+        assert_eq!(f.indexer.apply(&up).failed, 1);
+
+        let letters = f.indexer.drain_dead_letters();
+        assert_eq!(letters.len(), 2);
+        assert_eq!(letters[0].url, "x");
+        assert_eq!(letters[0].operation, DeadLetterOp::Delete);
+        assert!(
+            letters[0].retryable,
+            "unknown URL may be an out-of-order event"
+        );
+        assert!(
+            letters[0].error.contains("x"),
+            "error names the URL: {}",
+            letters[0].error
+        );
+        assert_eq!(letters[1].url, "y");
+        assert_eq!(letters[1].operation, DeadLetterOp::Update);
+
+        // Draining empties the buffer but keeps the lifetime counters.
+        assert!(f.indexer.drain_dead_letters().is_empty());
+        let stats = f.indexer.dead_letter_stats();
+        assert_eq!(stats.retryable, 2);
+        assert_eq!(stats.permanent, 0);
+        assert_eq!(stats.total(), 2);
+    }
+
+    #[test]
+    fn dead_letter_buffer_is_bounded_and_counts_evictions() {
+        let images = Arc::new(ImageStore::with_blob_len(64));
+        let feature_db = Arc::new(FeatureDb::new());
+        let extractor = Arc::new(CachingExtractor::new(
+            FeatureExtractor::new(ExtractorConfig {
+                dim: DIM,
+                ..Default::default()
+            }),
+            CostModel::free(),
+        ));
+        let mut rng = jdvs_vector::rng::Xoshiro256::seed_from(5);
+        let train: Vec<Vector> = (0..64)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let index = Arc::new(VisualIndex::bootstrap(
+            IndexConfig {
+                dim: DIM,
+                num_lists: 4,
+                ..Default::default()
+            },
+            &train,
+        ));
+        let indexer = RealtimeIndexer::for_index(index, extractor, images, feature_db)
+            .with_dead_letter_capacity(3);
+        for i in 0..5u64 {
+            let rm = ProductEvent::RemoveProduct {
+                product_id: ProductId(i),
+                urls: vec![format!("missing-{i}")],
+            };
+            indexer.apply(&rm);
+        }
+        let stats = indexer.dead_letter_stats();
+        assert_eq!(stats.total(), 5, "every failure is counted");
+        assert_eq!(stats.evicted, 2, "two oldest letters evicted");
+        let letters = indexer.drain_dead_letters();
+        assert_eq!(letters.len(), 3, "buffer keeps the newest 3");
+        assert_eq!(letters[0].url, "missing-2", "oldest retained letter");
+        assert_eq!(letters[2].url, "missing-4", "newest letter last");
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_retaining() {
+        let f = fixture();
+        // Rebuild with zero capacity via the builder.
+        let indexer = fixture().indexer.with_dead_letter_capacity(0);
+        let _ = f; // keep original fixture alive for symmetry
+        let rm = ProductEvent::RemoveProduct {
+            product_id: ProductId(1),
+            urls: vec!["z".into()],
+        };
+        indexer.apply(&rm);
+        assert_eq!(indexer.dead_letter_stats().total(), 1);
+        assert!(indexer.drain_dead_letters().is_empty());
     }
 
     #[test]
@@ -368,8 +634,10 @@ mod tests {
         let f = fixture();
         f.indexer.apply(&add_event(&f, 1, &["u1"]));
         let extractions_after_first = f.indexer.extractor.misses();
-        f.indexer
-            .apply(&ProductEvent::RemoveProduct { product_id: ProductId(1), urls: vec!["u1".into()] });
+        f.indexer.apply(&ProductEvent::RemoveProduct {
+            product_id: ProductId(1),
+            urls: vec!["u1".into()],
+        });
         f.indexer.apply(&add_event(&f, 1, &["u1"]));
         assert_eq!(
             f.indexer.extractor.misses(),

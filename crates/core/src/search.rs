@@ -84,7 +84,10 @@ pub fn compressed_search(
     let mut topk = TopK::new(k);
     for candidate in shortlist.into_sorted_vec() {
         let id = ImageId(candidate.id as u32);
-        if let Some(d) = index.vectors().with(id, |v| squared_l2(query, v.as_slice())) {
+        if let Some(d) = index
+            .vectors()
+            .with(id, |v| squared_l2(query, v.as_slice()))
+        {
             topk.push(candidate.id, d);
         }
     }
@@ -105,7 +108,10 @@ pub fn brute_force(index: &VisualIndex, query: &[f32], k: usize) -> Vec<Neighbor
         if !index.bitmap().test(raw) {
             continue;
         }
-        if let Some(d) = index.vectors().with(id, |v| squared_l2(query, v.as_slice())) {
+        if let Some(d) = index
+            .vectors()
+            .with(id, |v| squared_l2(query, v.as_slice()))
+        {
             topk.push(id.as_u64(), d);
         }
     }
@@ -133,8 +139,9 @@ mod tests {
 
     fn build_index(n: usize, num_lists: usize, seed: u64) -> (VisualIndex, Vec<Vector>) {
         let mut rng = Xoshiro256::seed_from(seed);
-        let data: Vec<Vector> =
-            (0..n).map(|_| (0..8).map(|_| rng.next_gaussian() as f32).collect()).collect();
+        let data: Vec<Vector> = (0..n)
+            .map(|_| (0..8).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
         let config = IndexConfig {
             dim: 8,
             num_lists,

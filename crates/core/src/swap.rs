@@ -23,7 +23,10 @@ pub struct IndexHandle {
 impl IndexHandle {
     /// Creates a handle over an initial index (generation 0).
     pub fn new(index: Arc<VisualIndex>) -> Self {
-        Self { current: RwLock::new(index), generation: std::sync::atomic::AtomicU64::new(0) }
+        Self {
+            current: RwLock::new(index),
+            generation: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// Snapshot of the current index. Cheap (one `Arc` clone under an
@@ -37,7 +40,8 @@ impl IndexHandle {
     pub fn swap(&self, new_index: Arc<VisualIndex>) -> Arc<VisualIndex> {
         let mut guard = self.current.write();
         let old = std::mem::replace(&mut *guard, new_index);
-        self.generation.fetch_add(1, std::sync::atomic::Ordering::Release);
+        self.generation
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
         old
     }
 
@@ -56,7 +60,11 @@ mod tests {
 
     fn tiny_index(tag: u64) -> Arc<VisualIndex> {
         let index = Arc::new(VisualIndex::bootstrap(
-            IndexConfig { dim: 2, num_lists: 1, ..Default::default() },
+            IndexConfig {
+                dim: 2,
+                num_lists: 1,
+                ..Default::default()
+            },
             &[Vector::from(vec![0.0, 0.0])],
         ));
         index
@@ -73,14 +81,23 @@ mod tests {
         let handle = IndexHandle::new(tiny_index(1));
         assert_eq!(handle.generation(), 0);
         let snapshot = handle.get();
-        assert_eq!(snapshot.attributes(crate::ids::ImageId(0)).unwrap().url, "u1");
+        assert_eq!(
+            snapshot.attributes(crate::ids::ImageId(0)).unwrap().url,
+            "u1"
+        );
 
         let old = handle.swap(tiny_index(2));
         assert_eq!(handle.generation(), 1);
         assert_eq!(old.attributes(crate::ids::ImageId(0)).unwrap().url, "u1");
-        assert_eq!(handle.get().attributes(crate::ids::ImageId(0)).unwrap().url, "u2");
+        assert_eq!(
+            handle.get().attributes(crate::ids::ImageId(0)).unwrap().url,
+            "u2"
+        );
         // The pre-swap snapshot still works (readers never break).
-        assert_eq!(snapshot.attributes(crate::ids::ImageId(0)).unwrap().url, "u1");
+        assert_eq!(
+            snapshot.attributes(crate::ids::ImageId(0)).unwrap().url,
+            "u1"
+        );
     }
 
     #[test]

@@ -25,7 +25,9 @@ impl Chunk {
     fn new() -> Self {
         let mut v = Vec::with_capacity(CHUNK_VECTORS);
         v.resize_with(CHUNK_VECTORS, OnceLock::new);
-        Self { slots: v.into_boxed_slice() }
+        Self {
+            slots: v.into_boxed_slice(),
+        }
     }
 }
 
@@ -50,7 +52,9 @@ pub struct VectorStore {
 
 impl std::fmt::Debug for VectorStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("VectorStore").field("chunks", &self.chunks.read().len()).finish()
+        f.debug_struct("VectorStore")
+            .field("chunks", &self.chunks.read().len())
+            .finish()
     }
 }
 
@@ -106,7 +110,10 @@ mod tests {
         s.put(ImageId(3), Vector::from(vec![1.0]));
         assert_eq!(s.get(ImageId(3)).unwrap().as_slice(), &[1.0]);
         assert!(s.get(ImageId(2)).is_none(), "unwritten slot is empty");
-        assert!(s.get(ImageId(100_000)).is_none(), "unallocated chunk is empty");
+        assert!(
+            s.get(ImageId(100_000)).is_none(),
+            "unallocated chunk is empty"
+        );
     }
 
     #[test]

@@ -16,8 +16,9 @@ const DIM: usize = 16;
 
 fn fresh_index() -> Arc<VisualIndex> {
     let mut rng = Xoshiro256::seed_from(77);
-    let train: Vec<Vector> =
-        (0..128).map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect()).collect();
+    let train: Vec<Vector> = (0..128)
+        .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+        .collect();
     Arc::new(VisualIndex::bootstrap(
         IndexConfig {
             dim: DIM,
@@ -80,7 +81,10 @@ fn searches_stay_consistent_while_writer_inserts_through_expansions() {
         assert!(r.join().unwrap() > 0, "readers must see results");
     }
     assert_eq!(index.num_images(), 5_000);
-    assert!(index.inverted().total_expansions() > 0, "expansions must have occurred");
+    assert!(
+        index.inverted().total_expansions() > 0,
+        "expansions must have occurred"
+    );
     // Post-quiescence: every insert is searchable.
     let hits = index.search(vec_for(4_999).as_slice(), 1, 8);
     let top = index.attributes(ImageId(hits[0].id as u32)).unwrap();
@@ -153,8 +157,16 @@ fn attribute_updates_race_searches_without_torn_reads() {
                         let a = index.attributes(ImageId(i as u32)).unwrap();
                         // The writer flips between two coherent states per
                         // field; any mix is fine, garbage is not.
-                        assert!(a.sales == i || a.sales == i + 1_000_000, "torn sales {}", a.sales);
-                        assert!(a.price == 100 + i || a.price == 42, "torn price {}", a.price);
+                        assert!(
+                            a.sales == i || a.sales == i + 1_000_000,
+                            "torn sales {}",
+                            a.sales
+                        );
+                        assert!(
+                            a.price == 100 + i || a.price == 42,
+                            "torn price {}",
+                            a.price
+                        );
                     }
                 }
             })

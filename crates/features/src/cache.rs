@@ -128,9 +128,17 @@ mod tests {
     use std::time::Duration;
 
     fn setup() -> (CachingExtractor, ImageStore, FeatureDb) {
-        let ex = FeatureExtractor::new(ExtractorConfig { dim: 16, ..Default::default() });
-        let cost = CostModel::virtual_time(CostDistribution::Constant(Duration::from_millis(100)), 1);
-        (CachingExtractor::new(ex, cost), ImageStore::with_blob_len(64), FeatureDb::new())
+        let ex = FeatureExtractor::new(ExtractorConfig {
+            dim: 16,
+            ..Default::default()
+        });
+        let cost =
+            CostModel::virtual_time(CostDistribution::Constant(Duration::from_millis(100)), 1);
+        (
+            CachingExtractor::new(ex, cost),
+            ImageStore::with_blob_len(64),
+            FeatureDb::new(),
+        )
     }
 
     fn attrs(url: &str) -> ProductAttributes {

@@ -48,7 +48,10 @@ impl CategoryDetector {
     ///
     /// Panics if `prototypes` is empty or dimensions are inconsistent.
     pub fn new(prototypes: Vec<(CategoryId, Vector)>) -> Self {
-        assert!(!prototypes.is_empty(), "at least one category prototype required");
+        assert!(
+            !prototypes.is_empty(),
+            "at least one category prototype required"
+        );
         let dim = prototypes[0].1.dim();
         for (_, p) in &prototypes {
             assert_eq!(p.dim(), dim, "prototypes must share a dimension");

@@ -102,7 +102,10 @@ impl CostModel {
     /// and returns it.
     pub fn charge(&self) -> Duration {
         let cost = self.sample();
-        self.total_ns.fetch_add(cost.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+        self.total_ns.fetch_add(
+            cost.as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
         self.charges.fetch_add(1, Ordering::Relaxed);
         if self.mode == Mode::Sleep && !cost.is_zero() {
             std::thread::sleep(cost);
@@ -119,7 +122,11 @@ impl CostModel {
                 let (lo, hi) = (min.min(max), max.max(min));
                 let span = (hi - lo).as_nanos() as u64;
                 let mut rng = self.rng.lock();
-                let off = if span == 0 { 0 } else { rng.next_bounded(span + 1) };
+                let off = if span == 0 {
+                    0
+                } else {
+                    rng.next_bounded(span + 1)
+                };
                 lo + Duration::from_nanos(off)
             }
             CostDistribution::LogNormal { median, sigma } => {
@@ -174,21 +181,33 @@ mod tests {
         );
         for _ in 0..1_000 {
             let c = m.sample();
-            assert!(c >= Duration::from_micros(10) && c <= Duration::from_micros(20), "{c:?}");
+            assert!(
+                c >= Duration::from_micros(10) && c <= Duration::from_micros(20),
+                "{c:?}"
+            );
         }
     }
 
     #[test]
     fn lognormal_median_is_plausible_and_clamped() {
         let m = CostModel::virtual_time(
-            CostDistribution::LogNormal { median: Duration::from_millis(100), sigma: 0.5 },
+            CostDistribution::LogNormal {
+                median: Duration::from_millis(100),
+                sigma: 0.5,
+            },
             3,
         );
         let mut samples: Vec<Duration> = (0..2_001).map(|_| m.sample()).collect();
         samples.sort();
         let med = samples[1000];
-        assert!(med > Duration::from_millis(70) && med < Duration::from_millis(140), "{med:?}");
-        assert!(*samples.last().unwrap() <= Duration::from_millis(1000), "clamped at 10x median");
+        assert!(
+            med > Duration::from_millis(70) && med < Duration::from_millis(140),
+            "{med:?}"
+        );
+        assert!(
+            *samples.last().unwrap() <= Duration::from_millis(1000),
+            "clamped at 10x median"
+        );
     }
 
     #[test]

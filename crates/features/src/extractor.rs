@@ -32,7 +32,12 @@ pub struct ExtractorConfig {
 
 impl Default for ExtractorConfig {
     fn default() -> Self {
-        Self { dim: 64, jitter: 0.15, model_seed: 0xFEA7, normalize: true }
+        Self {
+            dim: 64,
+            jitter: 0.15,
+            model_seed: 0xFEA7,
+            normalize: true,
+        }
     }
 }
 
@@ -128,26 +133,41 @@ mod tests {
     use jdvs_vector::distance::squared_l2;
 
     fn extractor() -> FeatureExtractor {
-        FeatureExtractor::new(ExtractorConfig { dim: 32, ..Default::default() })
+        FeatureExtractor::new(ExtractorConfig {
+            dim: 32,
+            ..Default::default()
+        })
     }
 
     #[test]
     fn identical_bytes_give_identical_features() {
         let ex = extractor();
-        let blob = ImageBlob { bytes: Bytes::from_static(b"pixels"), visual_seed: 3 };
+        let blob = ImageBlob {
+            bytes: Bytes::from_static(b"pixels"),
+            visual_seed: 3,
+        };
         assert_eq!(ex.extract(&blob), ex.extract(&blob));
     }
 
     #[test]
     fn different_bytes_same_cluster_are_near_but_not_equal() {
         let ex = extractor();
-        let a = ImageBlob { bytes: Bytes::from_static(b"pixels-a"), visual_seed: 3 };
-        let b = ImageBlob { bytes: Bytes::from_static(b"pixels-b"), visual_seed: 3 };
+        let a = ImageBlob {
+            bytes: Bytes::from_static(b"pixels-a"),
+            visual_seed: 3,
+        };
+        let b = ImageBlob {
+            bytes: Bytes::from_static(b"pixels-b"),
+            visual_seed: 3,
+        };
         let fa = ex.extract(&a);
         let fb = ex.extract(&b);
         assert_ne!(fa, fb);
         // Same cluster: should be close relative to a random other cluster.
-        let c = ImageBlob { bytes: Bytes::from_static(b"pixels-c"), visual_seed: 999 };
+        let c = ImageBlob {
+            bytes: Bytes::from_static(b"pixels-c"),
+            visual_seed: 999,
+        };
         let fc = ex.extract(&c);
         assert!(
             squared_l2(fa.as_slice(), fb.as_slice()) < squared_l2(fa.as_slice(), fc.as_slice())
@@ -185,12 +205,18 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 95, "nearest-neighbour cluster purity too low: {correct}/100");
+        assert!(
+            correct >= 95,
+            "nearest-neighbour cluster purity too low: {correct}/100"
+        );
     }
 
     #[test]
     fn normalization_flag_controls_norm() {
-        let blob = ImageBlob { bytes: Bytes::from_static(b"x"), visual_seed: 1 };
+        let blob = ImageBlob {
+            bytes: Bytes::from_static(b"x"),
+            visual_seed: 1,
+        };
         let normed = FeatureExtractor::new(ExtractorConfig {
             dim: 16,
             normalize: true,
@@ -204,23 +230,41 @@ mod tests {
             ..Default::default()
         })
         .extract(&blob);
-        assert!((raw.norm() - 1.0).abs() > 1e-3, "unnormalized norm should differ from 1");
+        assert!(
+            (raw.norm() - 1.0).abs() > 1e-3,
+            "unnormalized norm should differ from 1"
+        );
     }
 
     #[test]
     fn model_seed_changes_embedding_space() {
-        let blob = ImageBlob { bytes: Bytes::from_static(b"x"), visual_seed: 1 };
-        let a = FeatureExtractor::new(ExtractorConfig { model_seed: 1, ..Default::default() })
-            .extract(&blob);
-        let b = FeatureExtractor::new(ExtractorConfig { model_seed: 2, ..Default::default() })
-            .extract(&blob);
+        let blob = ImageBlob {
+            bytes: Bytes::from_static(b"x"),
+            visual_seed: 1,
+        };
+        let a = FeatureExtractor::new(ExtractorConfig {
+            model_seed: 1,
+            ..Default::default()
+        })
+        .extract(&blob);
+        let b = FeatureExtractor::new(ExtractorConfig {
+            model_seed: 2,
+            ..Default::default()
+        })
+        .extract(&blob);
         assert_ne!(a, b);
     }
 
     #[test]
     fn dim_is_respected() {
-        let ex = FeatureExtractor::new(ExtractorConfig { dim: 7, ..Default::default() });
-        let blob = ImageBlob { bytes: Bytes::from_static(b"x"), visual_seed: 1 };
+        let ex = FeatureExtractor::new(ExtractorConfig {
+            dim: 7,
+            ..Default::default()
+        });
+        let blob = ImageBlob {
+            bytes: Bytes::from_static(b"x"),
+            visual_seed: 1,
+        };
         assert_eq!(ex.extract(&blob).dim(), 7);
         assert_eq!(ex.dim(), 7);
     }
@@ -228,6 +272,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "feature dimension must be positive")]
     fn zero_dim_panics() {
-        FeatureExtractor::new(ExtractorConfig { dim: 0, ..Default::default() });
+        FeatureExtractor::new(ExtractorConfig {
+            dim: 0,
+            ..Default::default()
+        });
     }
 }

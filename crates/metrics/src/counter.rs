@@ -53,7 +53,9 @@ impl Counter {
 
 impl Clone for Counter {
     fn clone(&self) -> Self {
-        Self { value: AtomicU64::new(self.get()) }
+        Self {
+            value: AtomicU64::new(self.get()),
+        }
     }
 }
 

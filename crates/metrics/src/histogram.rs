@@ -323,7 +323,9 @@ mod tests {
         let mut h = Histogram::new();
         let mut x = 7u64;
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             h.record_us(x % 2_000_000);
         }
         let mut prev = 0;

@@ -27,10 +27,12 @@
 
 pub mod counter;
 pub mod histogram;
+pub mod resilience;
 pub mod stopwatch;
 pub mod timeseries;
 
 pub use counter::Counter;
 pub use histogram::{Histogram, SharedHistogram};
+pub use resilience::{ResilienceMetrics, ResilienceSnapshot};
 pub use stopwatch::Stopwatch;
 pub use timeseries::{HourlySeries, HOURS_PER_DAY};

@@ -1,0 +1,142 @@
+//! Counters for the serving path's resilience layer.
+//!
+//! One [`ResilienceMetrics`] instance is shared (via `Arc`) by every
+//! balancer, broker and blender of a serving stack, so a single snapshot
+//! answers the operational questions degraded-mode serving raises: how
+//! many queries were degraded, where the time went (timeouts vs. hard
+//! failures), and how hard the failover machinery is working (retries,
+//! hedges, breaker trips).
+
+use crate::counter::Counter;
+
+/// Shared error/degradation counters; all fields are thread-safe
+/// monotonic [`Counter`]s.
+#[derive(Debug, Default)]
+pub struct ResilienceMetrics {
+    /// User queries executed by blenders.
+    pub queries_total: Counter,
+    /// Queries whose response covered fewer partitions than the total
+    /// (`partitions_ok < partitions_total`).
+    pub queries_degraded: Counter,
+    /// Queries whose deadline budget was exhausted before fan-out.
+    pub queries_budget_exhausted: Counter,
+    /// Partition fan-out calls that timed out.
+    pub partitions_timed_out: Counter,
+    /// Partition fan-out calls that failed for a non-timeout reason.
+    pub partitions_failed: Counter,
+    /// Individual replica call failures observed by balancers.
+    pub call_failures: Counter,
+    /// Extra failover rotations taken after a fully-failed pass.
+    pub retries: Counter,
+    /// Hedged (second) attempts launched for straggling calls.
+    pub hedges_launched: Counter,
+    /// Calls won by a result arriving after the hedge was launched.
+    pub hedges_won: Counter,
+    /// Circuit-breaker closed→open transitions.
+    pub breaker_opens: Counter,
+}
+
+impl ResilienceMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plain-value snapshot of every counter.
+    pub fn snapshot(&self) -> ResilienceSnapshot {
+        ResilienceSnapshot {
+            queries_total: self.queries_total.get(),
+            queries_degraded: self.queries_degraded.get(),
+            queries_budget_exhausted: self.queries_budget_exhausted.get(),
+            partitions_timed_out: self.partitions_timed_out.get(),
+            partitions_failed: self.partitions_failed.get(),
+            call_failures: self.call_failures.get(),
+            retries: self.retries.get(),
+            hedges_launched: self.hedges_launched.get(),
+            hedges_won: self.hedges_won.get(),
+            breaker_opens: self.breaker_opens.get(),
+        }
+    }
+}
+
+/// Point-in-time values of a [`ResilienceMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceSnapshot {
+    /// See [`ResilienceMetrics::queries_total`].
+    pub queries_total: u64,
+    /// See [`ResilienceMetrics::queries_degraded`].
+    pub queries_degraded: u64,
+    /// See [`ResilienceMetrics::queries_budget_exhausted`].
+    pub queries_budget_exhausted: u64,
+    /// See [`ResilienceMetrics::partitions_timed_out`].
+    pub partitions_timed_out: u64,
+    /// See [`ResilienceMetrics::partitions_failed`].
+    pub partitions_failed: u64,
+    /// See [`ResilienceMetrics::call_failures`].
+    pub call_failures: u64,
+    /// See [`ResilienceMetrics::retries`].
+    pub retries: u64,
+    /// See [`ResilienceMetrics::hedges_launched`].
+    pub hedges_launched: u64,
+    /// See [`ResilienceMetrics::hedges_won`].
+    pub hedges_won: u64,
+    /// See [`ResilienceMetrics::breaker_opens`].
+    pub breaker_opens: u64,
+}
+
+impl ResilienceSnapshot {
+    /// Fraction of queries that were degraded (`0.0` when none ran).
+    pub fn degraded_ratio(&self) -> f64 {
+        if self.queries_total == 0 {
+            0.0
+        } else {
+            self.queries_degraded as f64 / self.queries_total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = ResilienceMetrics::new();
+        m.queries_total.add(10);
+        m.queries_degraded.add(2);
+        m.retries.incr();
+        m.breaker_opens.incr();
+        let s = m.snapshot();
+        assert_eq!(s.queries_total, 10);
+        assert_eq!(s.queries_degraded, 2);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.breaker_opens, 1);
+        assert_eq!(s.hedges_launched, 0);
+        assert!((s.degraded_ratio() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degraded_ratio_handles_zero_queries() {
+        assert_eq!(ResilienceSnapshot::default().degraded_ratio(), 0.0);
+    }
+
+    #[test]
+    fn metrics_are_shareable_across_threads() {
+        use std::sync::Arc;
+        let m = Arc::new(ResilienceMetrics::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        m.queries_total.incr();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.snapshot().queries_total, 400);
+    }
+}

@@ -24,7 +24,9 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Starts a new stopwatch.
     pub fn start() -> Self {
-        Self { started: Instant::now() }
+        Self {
+            started: Instant::now(),
+        }
     }
 
     /// Time since start (or last restart).

@@ -60,7 +60,11 @@ impl HourlySeries {
         let mut out = [(0.0, 0, 0); HOURS_PER_DAY];
         for (o, h) in out.iter_mut().zip(&self.hours) {
             let hist = h.lock();
-            *o = (hist.mean_us(), hist.percentile_us(0.90), hist.percentile_us(0.99));
+            *o = (
+                hist.mean_us(),
+                hist.percentile_us(0.90),
+                hist.percentile_us(0.99),
+            );
         }
         out
     }

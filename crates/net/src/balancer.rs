@@ -2,75 +2,337 @@
 //!
 //! Figure 1's entry point: *"a front end (i.e., load balancer) forwards the
 //! query to one of the blenders."* [`Balancer`] round-robins over a set of
-//! equivalent [`NodeHandle`]s and fails over: if the chosen node is down or
-//! the call errors, the next replica is tried, up to one full rotation —
-//! which is what makes "multiple identical instances for load balancing and
-//! fault tolerance" actually tolerate faults.
+//! equivalent [`NodeHandle`]s and fails over — which is what makes
+//! "multiple identical instances for load balancing and fault tolerance"
+//! actually tolerate faults. Beyond the plain rotation, the balancer is the
+//! serving path's resilience primitive:
+//!
+//! - **Total deadline budget** — [`Balancer::call`]'s `deadline` bounds the
+//!   *whole* call including every failover attempt and backoff pause; each
+//!   attempt only gets what is left of the budget, and an exhausted budget
+//!   returns [`RpcError::Timeout`].
+//! - **Health-aware failover** — each target has a [`HealthTracker`]
+//!   circuit breaker: replicas that keep failing are skipped (instead of
+//!   being re-tried every rotation) until a cooldown admits a half-open
+//!   probe. If *every* replica is skipped, one forced probe keeps the
+//!   balancer live.
+//! - **Jittered retry rotations** — after a fully-failed pass the balancer
+//!   sleeps a jittered exponential backoff ([`RetryPolicy`]) and makes
+//!   another pass, while the budget lasts.
+//! - **Hedged calls** — [`Balancer::call_hedged`] launches a second attempt
+//!   when the first one straggles past a threshold; the first success wins.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use jdvs_metrics::ResilienceMetrics;
+use parking_lot::Mutex;
+
+use crate::health::{CircuitState, HealthPolicy, HealthTracker};
+use crate::latency::NetRng;
 use crate::node::NodeHandle;
+use crate::retry::RetryPolicy;
 use crate::rpc::{RpcError, Service};
 
-/// Round-robin balancer with failover over identical nodes.
-pub struct Balancer<S: Service> {
+/// State shared between a balancer and its detached hedge threads.
+struct Inner<S: Service> {
     targets: Vec<NodeHandle<S>>,
+    health: Vec<HealthTracker>,
+    retry: RetryPolicy,
     next: AtomicUsize,
+    rng: Mutex<NetRng>,
+    metrics: Option<Arc<ResilienceMetrics>>,
 }
 
-impl<S: Service> std::fmt::Debug for Balancer<S> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Balancer").field("targets", &self.targets.len()).finish()
-    }
-}
-
-impl<S: Service> Balancer<S> {
-    /// Creates a balancer over `targets`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `targets` is empty.
-    pub fn new(targets: Vec<NodeHandle<S>>) -> Self {
-        assert!(!targets.is_empty(), "balancer needs at least one target");
-        Self { targets, next: AtomicUsize::new(0) }
-    }
-
-    /// Number of backend nodes.
-    pub fn num_targets(&self) -> usize {
-        self.targets.len()
-    }
-
-    /// Calls one backend, rotating through replicas on failure. Requests
-    /// are cloned per attempt, hence the `Clone` bound.
-    ///
-    /// # Errors
-    ///
-    /// Returns the **last** error if every replica fails.
-    pub fn call(&self, request: S::Request, deadline: Duration) -> Result<S::Response, RpcError>
+impl<S: Service> Inner<S> {
+    /// One budgeted, health-aware, retrying failover call; see
+    /// [`Balancer::call`].
+    fn call(&self, request: &S::Request, deadline: Duration) -> Result<S::Response, RpcError>
     where
         S::Request: Clone,
     {
+        let start = Instant::now();
         let n = self.targets.len();
-        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        let begin = self.next.fetch_add(1, Ordering::Relaxed);
         let mut last_err = RpcError::NodeDown;
-        for i in 0..n {
-            let target = &self.targets[(start + i) % n];
-            if target.is_down() {
-                last_err = RpcError::NodeDown;
-                continue;
+        let rotations = self.retry.max_rotations.max(1);
+        for rotation in 0..rotations {
+            if rotation > 0 {
+                let unit = self.rng.lock().next_f64();
+                let pause = self.retry.backoff(rotation, unit);
+                let remaining = deadline.saturating_sub(start.elapsed());
+                if remaining <= pause {
+                    // Not worth sleeping into a dead budget: report what we
+                    // know (the budget ran out retrying past `last_err`).
+                    return Err(RpcError::Timeout { deadline });
+                }
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+                if let Some(m) = &self.metrics {
+                    m.retries.incr();
+                }
             }
-            match target.call(request.clone(), deadline) {
-                Ok(resp) => return Ok(resp),
-                Err(e) => last_err = e,
+            let mut attempted = false;
+            for i in 0..n {
+                let idx = (begin + i) % n;
+                let target = &self.targets[idx];
+                if target.is_down() {
+                    last_err = RpcError::NodeDown;
+                    continue;
+                }
+                if !self.health[idx].allow() {
+                    // Breaker open: skip without spending budget.
+                    continue;
+                }
+                attempted = true;
+                match self.attempt(idx, request, start, deadline)? {
+                    Ok(resp) => return Ok(resp),
+                    Err(e) => last_err = e,
+                }
+            }
+            if !attempted {
+                // Every replica was down or breaker-open. Force one probe so
+                // a fully-tripped balancer still recovers within a call (and
+                // callers see the real error, not a stale one).
+                match self.attempt(begin % n, request, start, deadline)? {
+                    Ok(resp) => return Ok(resp),
+                    Err(e) => last_err = e,
+                }
             }
         }
         Err(last_err)
     }
 
+    /// One attempt against `targets[idx]` with the budget's remainder.
+    /// The outer `Err` is budget exhaustion (abort the whole call); the
+    /// inner `Err` is this attempt's failure (keep failing over).
+    #[allow(clippy::type_complexity)]
+    fn attempt(
+        &self,
+        idx: usize,
+        request: &S::Request,
+        start: Instant,
+        deadline: Duration,
+    ) -> Result<Result<S::Response, RpcError>, RpcError>
+    where
+        S::Request: Clone,
+    {
+        let remaining = deadline.saturating_sub(start.elapsed());
+        if remaining.is_zero() {
+            return Err(RpcError::Timeout { deadline });
+        }
+        match self.targets[idx].call(request.clone(), remaining) {
+            Ok(resp) => {
+                self.health[idx].record_success();
+                Ok(Ok(resp))
+            }
+            Err(e) => {
+                if self.health[idx].record_failure() {
+                    if let Some(m) = &self.metrics {
+                        m.breaker_opens.incr();
+                    }
+                }
+                if let Some(m) = &self.metrics {
+                    m.call_failures.incr();
+                }
+                Ok(Err(e))
+            }
+        }
+    }
+}
+
+/// Round-robin balancer with budgeted, health-aware failover.
+pub struct Balancer<S: Service> {
+    inner: Arc<Inner<S>>,
+}
+
+impl<S: Service> std::fmt::Debug for Balancer<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Balancer")
+            .field("targets", &self.inner.targets.len())
+            .finish()
+    }
+}
+
+impl<S: Service> Balancer<S> {
+    /// Creates a balancer over `targets` with the default [`HealthPolicy`]
+    /// and [`RetryPolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty.
+    pub fn new(targets: Vec<NodeHandle<S>>) -> Self {
+        Self::with_policies(
+            targets,
+            HealthPolicy::default(),
+            RetryPolicy::default(),
+            0x5EED,
+        )
+    }
+
+    /// Creates a balancer with explicit health/retry policies and a seed
+    /// for the backoff jitter stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty.
+    pub fn with_policies(
+        targets: Vec<NodeHandle<S>>,
+        health: HealthPolicy,
+        retry: RetryPolicy,
+        seed: u64,
+    ) -> Self {
+        assert!(!targets.is_empty(), "balancer needs at least one target");
+        let trackers = targets.iter().map(|_| HealthTracker::new(health)).collect();
+        Self {
+            inner: Arc::new(Inner {
+                targets,
+                health: trackers,
+                retry,
+                next: AtomicUsize::new(0),
+                rng: Mutex::new(NetRng::new(seed)),
+                metrics: None,
+            }),
+        }
+    }
+
+    /// Attaches shared resilience counters (retries, breaker opens,
+    /// hedges). Must be called before the balancer starts serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the balancer has already been shared with a hedge thread.
+    pub fn with_metrics(mut self, metrics: Arc<ResilienceMetrics>) -> Self {
+        Arc::get_mut(&mut self.inner)
+            .expect("configure the balancer before first use")
+            .metrics = Some(metrics);
+        self
+    }
+
+    /// Number of backend nodes.
+    pub fn num_targets(&self) -> usize {
+        self.inner.targets.len()
+    }
+
+    /// The breaker state of target `idx` (for tests/metrics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn health_state(&self, idx: usize) -> CircuitState {
+        self.inner.health[idx].state()
+    }
+
+    /// Calls one backend, rotating through replicas on failure. `deadline`
+    /// is the **total budget** for the call: every failover attempt and
+    /// backoff pause is deducted from it, and an exhausted budget returns
+    /// [`RpcError::Timeout`]. Requests are cloned per attempt, hence the
+    /// `Clone` bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns the **last** attempt error if every replica fails, or
+    /// [`RpcError::Timeout`] once the budget is spent.
+    pub fn call(&self, request: S::Request, deadline: Duration) -> Result<S::Response, RpcError>
+    where
+        S::Request: Clone,
+    {
+        self.inner.call(&request, deadline)
+    }
+
+    /// Like [`Balancer::call`], but if no result arrived within
+    /// `hedge_after` a second (hedged) attempt is launched against the
+    /// rotation's next replica set, and the first success wins. The
+    /// straggler keeps running on a detached thread and its late result is
+    /// discarded. Falls back to a plain call when there is only one target
+    /// or `hedge_after >= deadline`.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Timeout`] when the budget is spent, otherwise the last
+    /// error once both attempts have failed.
+    pub fn call_hedged(
+        &self,
+        request: S::Request,
+        deadline: Duration,
+        hedge_after: Duration,
+    ) -> Result<S::Response, RpcError>
+    where
+        S::Request: Clone,
+    {
+        if self.inner.targets.len() < 2 || hedge_after >= deadline {
+            return self.inner.call(&request, deadline);
+        }
+        let start = Instant::now();
+        let (tx, rx) = crossbeam::channel::bounded::<Result<S::Response, RpcError>>(2);
+        {
+            let inner = Arc::clone(&self.inner);
+            let req = request.clone();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let _ = tx.send(inner.call(&req, deadline));
+            });
+        }
+        let mut first_err = None;
+        match rx.recv_timeout(hedge_after) {
+            Ok(Ok(resp)) => return Ok(resp),
+            Ok(Err(e)) => first_err = Some(e), // primary failed fast: hedge immediately
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {} // straggling
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                return Err(RpcError::NodeDown)
+            }
+        }
+        let remaining = deadline.saturating_sub(start.elapsed());
+        if remaining.is_zero() {
+            return Err(first_err.unwrap_or(RpcError::Timeout { deadline }));
+        }
+        if let Some(m) = &self.inner.metrics {
+            m.hedges_launched.incr();
+        }
+        {
+            let inner = Arc::clone(&self.inner);
+            std::thread::spawn(move || {
+                let _ = tx.send(inner.call(&request, remaining));
+            });
+        }
+        // `tx` was moved into the hedge thread; once both threads finish the
+        // channel disconnects and we report the last error.
+        let mut errors = usize::from(first_err.is_some());
+        let mut last_err = first_err.unwrap_or(RpcError::NodeDown);
+        loop {
+            let remaining = deadline.saturating_sub(start.elapsed());
+            if remaining.is_zero() {
+                return Err(RpcError::Timeout { deadline });
+            }
+            match rx.recv_timeout(remaining) {
+                Ok(Ok(resp)) => {
+                    if let Some(m) = &self.inner.metrics {
+                        m.hedges_won.incr();
+                    }
+                    return Ok(resp);
+                }
+                Ok(Err(e)) => {
+                    errors += 1;
+                    last_err = e;
+                    if errors >= 2 {
+                        return Err(last_err);
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    return Err(RpcError::Timeout { deadline });
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(last_err);
+                }
+            }
+        }
+    }
+
     /// The backend that the next call would try first (for tests/metrics).
     pub fn peek_next(&self) -> &NodeHandle<S> {
-        &self.targets[self.next.load(Ordering::Relaxed) % self.targets.len()]
+        &self.inner.targets[self.inner.next.load(Ordering::Relaxed) % self.inner.targets.len()]
     }
 }
 
@@ -98,11 +360,33 @@ mod tests {
         }
     }
 
+    struct Sleeper(Duration);
+    impl Service for Sleeper {
+        type Request = ();
+        type Response = u64;
+        fn handle(&self, _: ()) -> u64 {
+            std::thread::sleep(self.0);
+            7
+        }
+    }
+
+    struct SlowTagged(u64, Duration);
+    impl Service for SlowTagged {
+        type Request = ();
+        type Response = u64;
+        fn handle(&self, _: ()) -> u64 {
+            std::thread::sleep(self.1);
+            self.0
+        }
+    }
+
     const DL: Duration = Duration::from_secs(5);
 
     #[test]
     fn round_robin_rotates_over_targets() {
-        let nodes: Vec<_> = (0..3).map(|i| Node::spawn(format!("n{i}"), Tagged(i), 1)).collect();
+        let nodes: Vec<_> = (0..3)
+            .map(|i| Node::spawn(format!("n{i}"), Tagged(i), 1))
+            .collect();
         let lb = Balancer::new(nodes.iter().map(Node::handle).collect());
         let got: Vec<u64> = (0..6).map(|_| lb.call((), DL).unwrap()).collect();
         assert_eq!(got, vec![0, 1, 2, 0, 1, 2]);
@@ -111,7 +395,9 @@ mod tests {
 
     #[test]
     fn failover_skips_downed_node() {
-        let nodes: Vec<_> = (0..3).map(|i| Node::spawn(format!("n{i}"), Tagged(i), 1)).collect();
+        let nodes: Vec<_> = (0..3)
+            .map(|i| Node::spawn(format!("n{i}"), Tagged(i), 1))
+            .collect();
         let lb = Balancer::new(nodes.iter().map(Node::handle).collect());
         nodes[1].faults().set_down(true);
         let got: Vec<u64> = (0..4).map(|_| lb.call((), DL).unwrap()).collect();
@@ -120,7 +406,9 @@ mod tests {
 
     #[test]
     fn all_down_returns_error() {
-        let nodes: Vec<_> = (0..2).map(|i| Node::spawn(format!("n{i}"), Tagged(i), 1)).collect();
+        let nodes: Vec<_> = (0..2)
+            .map(|i| Node::spawn(format!("n{i}"), Tagged(i), 1))
+            .collect();
         let lb = Balancer::new(nodes.iter().map(Node::handle).collect());
         for n in &nodes {
             n.faults().set_down(true);
@@ -130,7 +418,9 @@ mod tests {
 
     #[test]
     fn recovery_restores_rotation() {
-        let nodes: Vec<_> = (0..2).map(|i| Node::spawn(format!("n{i}"), Tagged(i), 1)).collect();
+        let nodes: Vec<_> = (0..2)
+            .map(|i| Node::spawn(format!("n{i}"), Tagged(i), 1))
+            .collect();
         let lb = Balancer::new(nodes.iter().map(Node::handle).collect());
         nodes[0].faults().set_down(true);
         assert_eq!(lb.call((), DL).unwrap(), 1);
@@ -155,5 +445,216 @@ mod tests {
     #[should_panic(expected = "at least one target")]
     fn empty_targets_panics() {
         Balancer::<Tagged>::new(vec![]);
+    }
+
+    #[test]
+    fn deadline_is_a_total_budget_across_attempts() {
+        // Two stragglers: the first attempt eats the whole 60 ms budget, so
+        // the balancer must NOT grant the second attempt another 60 ms
+        // (which is what the old per-attempt deadline did).
+        let a = Node::spawn("a", Sleeper(Duration::from_millis(300)), 1);
+        let b = Node::spawn("b", Sleeper(Duration::from_millis(300)), 1);
+        let lb = Balancer::with_policies(
+            vec![a.handle(), b.handle()],
+            HealthPolicy::default(),
+            RetryPolicy::no_retry(),
+            1,
+        );
+        let start = Instant::now();
+        let err = lb.call((), Duration::from_millis(60)).unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(
+            matches!(err, RpcError::Timeout { .. }),
+            "budget exhaustion is a timeout: {err}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "one budget, not one per attempt: took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn fast_failures_leave_budget_for_failover() {
+        let flaky = Node::spawn("flaky", SlowTagged(1, Duration::ZERO), 1);
+        let solid = Node::spawn("solid", SlowTagged(7, Duration::from_millis(20)), 1);
+        flaky.faults().set_drop_probability(1.0);
+        let lb = Balancer::new(vec![flaky.handle(), solid.handle()]);
+        // Drops cost ~no budget; the slow-but-healthy replica still fits.
+        assert_eq!(lb.call((), Duration::from_millis(500)), Ok(7));
+    }
+
+    #[test]
+    fn consecutive_failures_open_the_breaker() {
+        let flaky = Node::spawn("flaky", Tagged(0), 1);
+        let solid = Node::spawn("solid", Tagged(1), 1);
+        flaky.faults().set_drop_probability(1.0);
+        let lb = Balancer::with_policies(
+            vec![flaky.handle(), solid.handle()],
+            HealthPolicy {
+                failure_threshold: 3,
+                cooldown: Duration::from_secs(60),
+            },
+            RetryPolicy::no_retry(),
+            2,
+        );
+        for _ in 0..6 {
+            assert_eq!(lb.call((), DL).unwrap(), 1);
+        }
+        assert_eq!(
+            lb.health_state(0),
+            CircuitState::Open,
+            "flaky replica tripped its breaker"
+        );
+        assert_eq!(lb.health_state(1), CircuitState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_recovers_a_healed_replica() {
+        let flaky = Node::spawn("flaky", Tagged(0), 1);
+        let solid = Node::spawn("solid", Tagged(1), 1);
+        flaky.faults().set_drop_probability(1.0);
+        let lb = Balancer::with_policies(
+            vec![flaky.handle(), solid.handle()],
+            HealthPolicy {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(30),
+            },
+            RetryPolicy::no_retry(),
+            3,
+        );
+        for _ in 0..4 {
+            let _ = lb.call((), DL).unwrap();
+        }
+        assert_eq!(lb.health_state(0), CircuitState::Open);
+        flaky.faults().set_drop_probability(0.0); // heal
+        std::thread::sleep(Duration::from_millis(40)); // past the cooldown
+        let got: Vec<u64> = (0..6).map(|_| lb.call((), DL).unwrap()).collect();
+        assert!(
+            got.contains(&0),
+            "healed replica serves again after a probe: {got:?}"
+        );
+        assert_eq!(lb.health_state(0), CircuitState::Closed);
+    }
+
+    #[test]
+    fn all_breakers_open_still_forces_a_probe() {
+        let node = Node::spawn("only-flaky", Tagged(0), 1);
+        let lb = Balancer::with_policies(
+            vec![node.handle()],
+            HealthPolicy {
+                failure_threshold: 1,
+                cooldown: Duration::from_secs(60),
+            },
+            RetryPolicy::no_retry(),
+            4,
+        );
+        node.faults().set_drop_probability(1.0);
+        assert_eq!(lb.call((), DL), Err(RpcError::Dropped));
+        assert_eq!(lb.health_state(0), CircuitState::Open);
+        node.faults().set_drop_probability(0.0);
+        // Breaker is open for a minute, but the forced probe (nothing else
+        // to try) must still reach the healed node.
+        assert_eq!(lb.call((), DL), Ok(0));
+    }
+
+    #[test]
+    fn backoff_pause_respects_the_remaining_budget() {
+        // Both replicas drop everything; with generous rotations the call
+        // must still end when the budget does — never sleeping past it.
+        let a = Node::spawn("a", Tagged(0), 1);
+        let b = Node::spawn("b", Tagged(1), 1);
+        a.faults().set_drop_probability(1.0);
+        b.faults().set_drop_probability(1.0);
+        let lb = Balancer::with_policies(
+            vec![a.handle(), b.handle()],
+            HealthPolicy::disabled(),
+            RetryPolicy {
+                max_rotations: 1_000,
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(20),
+                jitter: 0.0,
+            },
+            5,
+        );
+        let start = Instant::now();
+        let err = lb.call((), Duration::from_millis(80)).unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(
+            matches!(err, RpcError::Dropped | RpcError::Timeout { .. }),
+            "got {err}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "stopped near the budget: {elapsed:?}"
+        );
+        // After healing, the same balancer serves again.
+        a.faults().set_drop_probability(0.0);
+        assert_eq!(lb.call((), Duration::from_millis(500)), Ok(0));
+    }
+
+    #[test]
+    fn hedged_call_beats_a_straggler() {
+        let slow = Node::spawn("slow", SlowTagged(7, Duration::from_millis(300)), 1);
+        let fast = Node::spawn("fast", SlowTagged(42, Duration::ZERO), 1);
+        let lb = Balancer::new(vec![slow.handle(), fast.handle()]);
+        // Rotation starts at the slow node; the hedge fires after 20 ms and
+        // lands on the fast one.
+        let start = Instant::now();
+        let got = lb
+            .call_hedged((), Duration::from_secs(2), Duration::from_millis(20))
+            .unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(got, 42);
+        assert!(
+            elapsed < Duration::from_millis(250),
+            "hedge must win: took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn hedged_call_with_single_target_falls_back() {
+        let only = Node::spawn("only", Tagged(9), 1);
+        let lb = Balancer::new(vec![only.handle()]);
+        assert_eq!(lb.call_hedged((), DL, Duration::from_millis(1)), Ok(9));
+    }
+
+    #[test]
+    fn hedged_call_reports_failure_when_everything_is_down() {
+        let nodes: Vec<_> = (0..2)
+            .map(|i| Node::spawn(format!("n{i}"), Tagged(i), 1))
+            .collect();
+        let lb = Balancer::new(nodes.iter().map(Node::handle).collect());
+        for n in &nodes {
+            n.faults().set_down(true);
+        }
+        let err = lb.call_hedged((), Duration::from_millis(500), Duration::from_millis(10));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn metrics_count_retries_and_breaker_opens() {
+        let m = Arc::new(ResilienceMetrics::new());
+        let flaky = Node::spawn("flaky", Tagged(0), 1);
+        let solid = Node::spawn("solid", Tagged(1), 1);
+        flaky.faults().set_drop_probability(1.0);
+        let lb = Balancer::with_policies(
+            vec![flaky.handle(), solid.handle()],
+            HealthPolicy {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(60),
+            },
+            RetryPolicy::no_retry(),
+            6,
+        )
+        .with_metrics(Arc::clone(&m));
+        for _ in 0..4 {
+            let _ = lb.call((), DL).unwrap();
+        }
+        let snap = m.snapshot();
+        assert!(snap.call_failures >= 2, "flaky failures counted: {snap:?}");
+        assert_eq!(
+            snap.breaker_opens, 1,
+            "one closed->open transition: {snap:?}"
+        );
     }
 }

@@ -35,7 +35,9 @@ pub struct Cluster {
 
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Cluster").field("members", &self.members.len()).finish()
+        f.debug_struct("Cluster")
+            .field("members", &self.members.len())
+            .finish()
     }
 }
 
@@ -127,7 +129,8 @@ mod tests {
         }
         impl Shutdown for Probe {
             fn shutdown(&self) {
-                self.seen.store(self.order.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+                self.seen
+                    .store(self.order.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
             }
             fn name(&self) -> &str {
                 &self.name

@@ -56,7 +56,10 @@ impl FaultInjector {
 
     /// Adds an extra per-call delay (straggler); `Duration::ZERO` clears.
     pub fn set_slowdown(&self, extra: Duration) {
-        self.slow_us.store(extra.as_micros().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+        self.slow_us.store(
+            extra.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
     }
 
     /// Consulted per call: returns the fault to apply, or the extra delay
@@ -100,9 +103,13 @@ mod tests {
     fn drop_probability_is_roughly_honored() {
         let f = FaultInjector::new(2);
         f.set_drop_probability(0.3);
-        let drops =
-            (0..10_000).filter(|_| f.check() == Err(RpcError::Dropped)).count();
-        assert!((2_500..3_500).contains(&drops), "expected ~3000 drops, got {drops}");
+        let drops = (0..10_000)
+            .filter(|_| f.check() == Err(RpcError::Dropped))
+            .count();
+        assert!(
+            (2_500..3_500).contains(&drops),
+            "expected ~3000 drops, got {drops}"
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ pub enum LatencyModel {
 impl LatencyModel {
     /// A typical intra-datacenter hop: lognormal with 200 µs median.
     pub fn datacenter() -> Self {
-        LatencyModel::LogNormal { median: Duration::from_micros(200), sigma: 0.4 }
+        LatencyModel::LogNormal {
+            median: Duration::from_micros(200),
+            sigma: 0.4,
+        }
     }
 
     pub(crate) fn sample(&self, rng: &mut NetRng) -> Duration {
@@ -108,7 +111,10 @@ pub struct LatencySampler {
 impl LatencySampler {
     /// Creates a sampler.
     pub fn new(model: LatencyModel, seed: u64) -> Self {
-        Self { model, rng: Mutex::new(NetRng::new(seed)) }
+        Self {
+            model,
+            rng: Mutex::new(NetRng::new(seed)),
+        }
     }
 
     /// Samples one call's latency.
@@ -158,14 +164,20 @@ mod tests {
     #[test]
     fn lognormal_is_heavy_tailed_but_clamped() {
         let s = LatencySampler::new(
-            LatencyModel::LogNormal { median: Duration::from_micros(100), sigma: 0.5 },
+            LatencyModel::LogNormal {
+                median: Duration::from_micros(100),
+                sigma: 0.5,
+            },
             3,
         );
         let samples: Vec<Duration> = (0..5_000).map(|_| s.sample()).collect();
         let max = samples.iter().max().unwrap();
         let min = samples.iter().min().unwrap();
         assert!(*max > Duration::from_micros(150), "tail exists");
-        assert!(*max <= Duration::from_micros(1_000), "clamped at 10x median");
+        assert!(
+            *max <= Duration::from_micros(1_000),
+            "clamped at 10x median"
+        );
         assert!(*min < Duration::from_micros(100));
     }
 
@@ -184,6 +196,9 @@ mod tests {
 
     #[test]
     fn datacenter_preset_is_lognormal() {
-        assert!(matches!(LatencyModel::datacenter(), LatencyModel::LogNormal { .. }));
+        assert!(matches!(
+            LatencyModel::datacenter(),
+            LatencyModel::LogNormal { .. }
+        ));
     }
 }

@@ -12,8 +12,10 @@
 //!   [`node::NodeHandle`]: the cloneable client stub.
 //! - [`latency`] — seeded per-hop latency distributions.
 //! - [`fault`] — drop/fail/slow injection, runtime-togglable.
-//! - [`balancer`] — round-robin load balancer with failover (the paper's
-//!   front end).
+//! - [`balancer`] — round-robin load balancer with budgeted, health-aware
+//!   failover and hedged calls (the paper's front end).
+//! - [`health`] — per-node circuit breaker consulted by the balancer.
+//! - [`retry`] — jittered exponential-backoff retry policy.
 //! - [`cluster`] — lifecycle helper that shuts a set of nodes down.
 //!
 //! ## Example
@@ -43,13 +45,17 @@
 pub mod balancer;
 pub mod cluster;
 pub mod fault;
+pub mod health;
 pub mod latency;
 pub mod node;
+pub mod retry;
 pub mod rpc;
 
 pub use balancer::Balancer;
 pub use cluster::Cluster;
 pub use fault::FaultInjector;
+pub use health::{CircuitState, HealthPolicy, HealthTracker};
 pub use latency::LatencyModel;
 pub use node::{Node, NodeHandle};
+pub use retry::RetryPolicy;
 pub use rpc::{RpcError, Service};

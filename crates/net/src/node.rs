@@ -31,8 +31,7 @@ struct Envelope<Req, Resp> {
 }
 
 /// The node's request channel sender (wrapped so shutdown can drop it).
-type EnvelopeSender<S> =
-    Sender<Envelope<<S as Service>::Request, <S as Service>::Response>>;
+type EnvelopeSender<S> = Sender<Envelope<<S as Service>::Request, <S as Service>::Response>>;
 
 struct Shared<S: Service> {
     name: String,
@@ -111,7 +110,10 @@ impl<S: Service> Node<S> {
                     .expect("spawning node worker thread")
             })
             .collect();
-        Self { shared, workers: Mutex::new(handles) }
+        Self {
+            shared,
+            workers: Mutex::new(handles),
+        }
     }
 
     /// The node's name.
@@ -121,7 +123,9 @@ impl<S: Service> Node<S> {
 
     /// Creates a client stub.
     pub fn handle(&self) -> NodeHandle<S> {
-        NodeHandle { shared: Arc::clone(&self.shared) }
+        NodeHandle {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// This node's fault controls.
@@ -159,13 +163,17 @@ pub struct NodeHandle<S: Service> {
 
 impl<S: Service> Clone for NodeHandle<S> {
     fn clone(&self) -> Self {
-        Self { shared: Arc::clone(&self.shared) }
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
 impl<S: Service> std::fmt::Debug for NodeHandle<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NodeHandle").field("node", &self.shared.name).finish()
+        f.debug_struct("NodeHandle")
+            .field("node", &self.shared.name)
+            .finish()
     }
 }
 
@@ -200,7 +208,11 @@ impl<S: Service> NodeHandle<S> {
         {
             let tx = self.shared.tx.read();
             let tx = tx.as_ref().ok_or(RpcError::NodeDown)?;
-            tx.send(Envelope { request, reply: reply_tx }).map_err(|_| RpcError::NodeDown)?;
+            tx.send(Envelope {
+                request,
+                reply: reply_tx,
+            })
+            .map_err(|_| RpcError::NodeDown)?;
         }
         match reply_rx.recv_timeout(deadline) {
             Ok(resp) => Ok(resp),
@@ -278,7 +290,10 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
-        assert!(start.elapsed() >= Duration::from_millis(40), "calls must serialize");
+        assert!(
+            start.elapsed() >= Duration::from_millis(40),
+            "calls must serialize"
+        );
     }
 
     #[test]

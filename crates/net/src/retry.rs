@@ -1,0 +1,153 @@
+//! Retry policy: bounded rotations with jittered exponential backoff.
+//!
+//! A [`RetryPolicy`] controls how a [`crate::balancer::Balancer`] spends a
+//! call's **total** deadline budget: how many passes it makes over the
+//! replica set and how long it pauses between passes. The pause grows
+//! exponentially and is randomly *shortened* by up to `jitter` of itself,
+//! so synchronized callers retrying into a recovering node fan out in time
+//! instead of stampeding it.
+//!
+//! The policy is pure configuration — it holds no clock and no RNG. The
+//! caller supplies the random unit sample, which keeps backoff math
+//! deterministic and directly testable.
+
+use std::time::Duration;
+
+/// Retry/backoff configuration for failover calls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total passes over the replica set (minimum 1 — the initial pass).
+    pub max_rotations: u32,
+    /// Backoff before the second pass; doubles every pass after that.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff pause.
+    pub max_backoff: Duration,
+    /// Fraction of the pause randomly removed, in `[0, 1]`. `0.5` means a
+    /// pause is uniformly in `[pause/2, pause]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_rotations: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// One pass over the replicas, no pauses — the pre-resilience behaviour.
+    pub fn no_retry() -> Self {
+        Self {
+            max_rotations: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The pause before pass `rotation` (1-based: `rotation == 1` is the
+    /// pause before the *second* pass). `unit` is a random sample in
+    /// `[0, 1)` supplied by the caller.
+    pub fn backoff(&self, rotation: u32, unit: f64) -> Duration {
+        if rotation == 0 || self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let doublings = rotation.saturating_sub(1).min(31);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff);
+        let jitter = self.jitter.clamp(0.0, 1.0) * unit.clamp(0.0, 1.0);
+        raw.mul_f64(1.0 - jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_allows_one_retry_rotation() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_rotations, 2);
+        assert!(p.base_backoff > Duration::ZERO);
+    }
+
+    #[test]
+    fn no_retry_is_a_single_rotation() {
+        assert_eq!(RetryPolicy::no_retry().max_rotations, 1);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_rotations: 10,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(35),
+            jitter: 0.0,
+        };
+        assert_eq!(p.backoff(1, 0.9), Duration::from_millis(10));
+        assert_eq!(p.backoff(2, 0.9), Duration::from_millis(20));
+        assert_eq!(p.backoff(3, 0.9), Duration::from_millis(35), "capped");
+        assert_eq!(p.backoff(9, 0.9), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn jitter_only_shortens() {
+        let p = RetryPolicy {
+            max_rotations: 3,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.5,
+        };
+        let full = p.backoff(1, 0.0);
+        assert_eq!(full, Duration::from_millis(100));
+        let jittered = p.backoff(1, 1.0);
+        assert!(jittered >= Duration::from_millis(49) && jittered <= full);
+        for i in 0..10 {
+            let u = i as f64 / 10.0;
+            let b = p.backoff(1, u);
+            assert!(b <= full && b >= Duration::from_millis(50) - Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn rotation_zero_and_zero_base_pause_nothing() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0, 0.5), Duration::ZERO);
+        let z = RetryPolicy {
+            base_backoff: Duration::ZERO,
+            ..p
+        };
+        assert_eq!(z.backoff(3, 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn out_of_range_inputs_are_clamped() {
+        let p = RetryPolicy {
+            max_rotations: 2,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(10),
+            jitter: 5.0, // clamped to 1.0
+        };
+        assert_eq!(
+            p.backoff(1, 2.0),
+            Duration::ZERO,
+            "full jitter removes the whole pause"
+        );
+        assert_eq!(p.backoff(1, -1.0), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn deep_rotations_do_not_overflow() {
+        let p = RetryPolicy {
+            max_rotations: u32::MAX,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.0,
+        };
+        assert_eq!(p.backoff(u32::MAX, 0.0), Duration::from_secs(1));
+    }
+}

@@ -49,9 +49,11 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(RpcError::Timeout { deadline: Duration::from_millis(5) }
-            .to_string()
-            .contains("timed out"));
+        assert!(RpcError::Timeout {
+            deadline: Duration::from_millis(5)
+        }
+        .to_string()
+        .contains("timed out"));
         assert!(RpcError::NodeDown.to_string().contains("down"));
         assert!(RpcError::Dropped.to_string().contains("dropped"));
     }

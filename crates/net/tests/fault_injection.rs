@@ -1,0 +1,122 @@
+//! Fault-injection semantics observed through a live [`NodeHandle`]:
+//! probability clamping, straggler slowdowns, and down/recover cycles.
+
+use std::time::{Duration, Instant};
+
+use jdvs_net::node::Node;
+use jdvs_net::rpc::{RpcError, Service};
+
+struct Echo;
+
+impl Service for Echo {
+    type Request = u64;
+    type Response = u64;
+    fn handle(&self, req: u64) -> u64 {
+        req
+    }
+}
+
+const DL: Duration = Duration::from_secs(5);
+
+#[test]
+fn drop_probability_above_one_clamps_to_always_drop() {
+    let node = Node::spawn("clamp-hi", Echo, 1);
+    node.faults().set_drop_probability(2.0);
+    let h = node.handle();
+    for i in 0..50 {
+        assert_eq!(h.call(i, DL), Err(RpcError::Dropped), "p=2.0 clamps to 1.0");
+    }
+    node.shutdown();
+}
+
+#[test]
+fn negative_drop_probability_clamps_to_never_drop() {
+    let node = Node::spawn("clamp-lo", Echo, 1);
+    node.faults().set_drop_probability(-3.0);
+    let h = node.handle();
+    for i in 0..50 {
+        assert_eq!(h.call(i, DL), Ok(i), "p=-3.0 clamps to 0.0");
+    }
+    node.shutdown();
+}
+
+#[test]
+fn slowdown_delays_every_call_by_at_least_the_straggler_penalty() {
+    let node = Node::spawn("straggler", Echo, 1);
+    let penalty = Duration::from_millis(40);
+    node.faults().set_slowdown(penalty);
+    let h = node.handle();
+    for i in 0..3 {
+        let start = Instant::now();
+        assert_eq!(h.call(i, DL), Ok(i));
+        assert!(
+            start.elapsed() >= penalty,
+            "straggler penalty applies: {:?} < {penalty:?}",
+            start.elapsed()
+        );
+    }
+    // Clearing the slowdown restores fast answers.
+    node.faults().set_slowdown(Duration::ZERO);
+    let start = Instant::now();
+    assert_eq!(h.call(9, DL), Ok(9));
+    assert!(
+        start.elapsed() < penalty,
+        "penalty cleared: {:?}",
+        start.elapsed()
+    );
+    node.shutdown();
+}
+
+#[test]
+fn slow_service_times_out_when_the_deadline_is_shorter_than_the_work() {
+    struct Sleepy;
+    impl Service for Sleepy {
+        type Request = u64;
+        type Response = u64;
+        fn handle(&self, req: u64) -> u64 {
+            std::thread::sleep(Duration::from_millis(200));
+            req
+        }
+    }
+    let node = Node::spawn("too-slow", Sleepy, 1);
+    let h = node.handle();
+    let deadline = Duration::from_millis(30);
+    assert_eq!(h.call(1, deadline), Err(RpcError::Timeout { deadline }));
+    node.shutdown();
+}
+
+#[test]
+fn down_then_recover_transitions_are_visible_to_callers() {
+    let node = Node::spawn("flapper", Echo, 1);
+    let h = node.handle();
+    assert_eq!(h.call(1, DL), Ok(1), "healthy before the fault");
+    assert!(!h.is_down());
+
+    node.faults().set_down(true);
+    assert!(h.is_down());
+    assert_eq!(
+        h.call(2, DL),
+        Err(RpcError::NodeDown),
+        "downed node rejects calls"
+    );
+
+    node.faults().set_down(false);
+    assert!(!h.is_down());
+    assert_eq!(h.call(3, DL), Ok(3), "recovery is immediate");
+    node.shutdown();
+}
+
+#[test]
+fn faults_compose_with_independent_handles() {
+    // Two handles to the same node observe the same injected fault state.
+    let node = Node::spawn("shared", Echo, 2);
+    let h1 = node.handle();
+    let h2 = node.handle();
+    node.faults().set_drop_probability(1.0);
+    assert_eq!(h1.call(1, DL), Err(RpcError::Dropped));
+    assert_eq!(h2.call(2, DL), Err(RpcError::Dropped));
+    node.faults().set_drop_probability(0.0);
+    assert_eq!(h1.call(3, DL), Ok(3));
+    assert_eq!(h2.call(4, DL), Ok(4));
+    node.shutdown();
+}

@@ -8,14 +8,23 @@
 //! image store when handed a URL — the expensive step, charged to the cost
 //! model), fans out to one instance of every broker group in parallel,
 //! merges the group top-k lists, and applies the [`RankingPolicy`].
+//!
+//! Resilience: when the incoming [`SearchQuery`] carries a deadline
+//! `budget`, the time spent resolving features is deducted before fan-out
+//! and each broker-group call gets `min(broker_deadline, 0.9 × remaining)`
+//! — the budget the user stamped bounds the whole hierarchy. Broker groups
+//! that fail are accounted (via [`BlenderService::with_group_partitions`])
+//! into the response's partition coverage, so a degraded result is never
+//! silently incomplete.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use jdvs_features::category::CategoryDetector;
 use jdvs_features::CachingExtractor;
+use jdvs_metrics::ResilienceMetrics;
 use jdvs_net::balancer::Balancer;
-use jdvs_net::rpc::Service;
+use jdvs_net::rpc::{RpcError, Service};
 use jdvs_storage::lru::LruCache;
 use jdvs_storage::model::ImageKey;
 use jdvs_storage::ImageStore;
@@ -23,6 +32,10 @@ use jdvs_storage::ImageStore;
 use crate::broker::BrokerService;
 use crate::protocol::{FanoutQuery, QueryInput, SearchQuery, SearchResponse};
 use crate::ranking::RankingPolicy;
+
+/// Fraction of the remaining budget granted to the next hop; the held-back
+/// margin pays for the merge, ranking, and the reply trip.
+const BUDGET_MARGIN: f64 = 0.9;
 
 /// One blender instance.
 pub struct BlenderService {
@@ -39,6 +52,13 @@ pub struct BlenderService {
     /// Optional query-category detector (Section 2.4's "the product
     /// category of the item is identified").
     category_detector: Option<Arc<CategoryDetector>>,
+    /// Partitions owned by each broker group, aligned with
+    /// `broker_groups`. Lets the blender account partitions lost when a
+    /// whole group call fails (the group can't report its own loss).
+    /// `None` = unknown; failed groups then only show in `groups_failed`.
+    group_partitions: Option<Vec<usize>>,
+    /// Shared resilience counters, when attached.
+    metrics: Option<Arc<ResilienceMetrics>>,
 }
 
 impl std::fmt::Debug for BlenderService {
@@ -62,7 +82,10 @@ impl BlenderService {
         ranking: RankingPolicy,
         broker_deadline: Duration,
     ) -> Self {
-        assert!(!broker_groups.is_empty(), "a blender needs at least one broker group");
+        assert!(
+            !broker_groups.is_empty(),
+            "a blender needs at least one broker group"
+        );
         Self {
             broker_groups,
             extractor,
@@ -71,7 +94,33 @@ impl BlenderService {
             broker_deadline,
             query_cache: None,
             category_detector: None,
+            group_partitions: None,
+            metrics: None,
         }
+    }
+
+    /// Declares how many partitions each broker group owns (aligned with
+    /// the constructor's `broker_groups`), so partitions behind a
+    /// completely-failed group call still land in the response's coverage
+    /// accounting instead of vanishing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the number of broker groups.
+    pub fn with_group_partitions(mut self, counts: Vec<usize>) -> Self {
+        assert_eq!(
+            counts.len(),
+            self.broker_groups.len(),
+            "one partition count per broker group"
+        );
+        self.group_partitions = Some(counts);
+        self
+    }
+
+    /// Attaches shared resilience counters.
+    pub fn with_metrics(mut self, metrics: Arc<ResilienceMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Attaches a category detector; responses then carry the detected
@@ -115,50 +164,123 @@ impl BlenderService {
         }
     }
 
+    /// Partitions owned by group `g`, when declared.
+    fn partitions_of_group(&self, g: usize) -> Option<usize> {
+        self.group_partitions.as_ref().map(|counts| counts[g])
+    }
+
     /// Executes one user query end-to-end.
+    ///
+    /// With a stamped `query.budget`, feature-resolution time is deducted
+    /// and each broker group is granted `min(broker_deadline, 0.9 ×
+    /// remaining)`; an already-exhausted budget skips the fan-out and
+    /// returns a fully-degraded (but fully-accounted) response.
     pub fn execute(&self, query: &SearchQuery) -> SearchResponse {
+        let start = Instant::now();
+        if let Some(m) = &self.metrics {
+            m.queries_total.incr();
+        }
         let Some(features) = self.resolve_features(&query.input) else {
             return SearchResponse::default();
         };
-        let detected_category =
-            self.category_detector.as_ref().map(|d| d.detect(&features).0);
+        let detected_category = self
+            .category_detector
+            .as_ref()
+            .map(|d| d.detect(&features).0);
+
+        // Deduct the time feature extraction just spent from the budget.
+        let remaining = query.budget.map(|b| b.saturating_sub(start.elapsed()));
+        if remaining.is_some_and(|r| r.is_zero()) {
+            if let Some(m) = &self.metrics {
+                m.queries_budget_exhausted.incr();
+                m.queries_degraded.incr();
+            }
+            let total: usize = self
+                .group_partitions
+                .as_ref()
+                .map(|counts| counts.iter().sum())
+                .unwrap_or(0);
+            return SearchResponse {
+                groups_failed: self.broker_groups.len(),
+                partitions_total: total,
+                partitions_timed_out: total,
+                detected_category,
+                ..SearchResponse::default()
+            };
+        }
+        let per_group = match remaining {
+            Some(r) => self.broker_deadline.min(r.mul_f64(BUDGET_MARGIN)),
+            None => self.broker_deadline,
+        };
         let fanout = FanoutQuery {
             features,
             k: query.k,
             nprobe: query.nprobe,
             compressed: query.compressed,
+            budget: remaining.map(|_| per_group),
         };
-        let responses: Vec<Option<crate::protocol::PartialResponse>> =
+        let responses: Vec<Result<crate::protocol::PartialResponse, RpcError>> =
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .broker_groups
                     .iter()
                     .map(|group| {
                         let q = fanout.clone();
-                        scope.spawn(move |_| group.call(q, self.broker_deadline).ok())
+                        scope.spawn(move |_| group.call(q, per_group))
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().unwrap_or(None)).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or(Err(RpcError::NodeDown)))
+                    .collect()
             })
             .expect("blender fan-out scope");
-        let mut answered = 0;
-        let mut failed = 0;
+
+        let mut out = SearchResponse {
+            detected_category,
+            ..SearchResponse::default()
+        };
         let mut all_hits = Vec::new();
-        for resp in responses {
+        for (g, resp) in responses.into_iter().enumerate() {
             match resp {
-                Some(r) => {
-                    answered += 1;
-                    all_hits.extend(r.hits);
+                Ok(partial) => {
+                    out.groups_answered += 1;
+                    out.partitions_ok += partial.partitions_ok;
+                    out.partitions_total += partial.partitions_total;
+                    out.partitions_timed_out += partial.partitions_timed_out;
+                    out.partitions_failed += partial.partitions_failed;
+                    all_hits.extend(partial.hits);
                 }
-                None => failed += 1,
+                Err(err) => {
+                    out.groups_failed += 1;
+                    // The group couldn't account for its own partitions;
+                    // do it here from the declared layout.
+                    let lost = self.partitions_of_group(g).unwrap_or(0);
+                    out.partitions_total += lost;
+                    match err {
+                        RpcError::Timeout { .. } => {
+                            out.partitions_timed_out += lost;
+                            if let Some(m) = &self.metrics {
+                                m.partitions_timed_out.add(lost as u64);
+                            }
+                        }
+                        _ => {
+                            out.partitions_failed += lost;
+                            if let Some(m) = &self.metrics {
+                                m.partitions_failed.add(lost as u64);
+                            }
+                        }
+                    }
+                }
             }
         }
-        SearchResponse {
-            results: self.ranking.rank(all_hits, query.k),
-            partitions_answered: answered,
-            partitions_failed: failed,
-            detected_category,
+        if let Some(m) = &self.metrics {
+            if !out.is_complete() {
+                m.queries_degraded.incr();
+            }
         }
+        out.results = self.ranking.rank(all_hits, query.k);
+        out
     }
 }
 
@@ -200,7 +322,10 @@ mod tests {
         let images = Arc::new(ImageStore::with_blob_len(64));
         let feature_db = Arc::new(FeatureDb::new());
         let extractor = Arc::new(CachingExtractor::new(
-            FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+            FeatureExtractor::new(ExtractorConfig {
+                dim: DIM,
+                ..Default::default()
+            }),
             CostModel::free(),
         ));
 
@@ -215,7 +340,12 @@ mod tests {
         }
         let train: Vec<Vector> = feats.iter().map(|(f, _)| f.clone()).collect();
         let index = Arc::new(VisualIndex::bootstrap(
-            IndexConfig { dim: DIM, num_lists: 3, nprobe: 3, ..Default::default() },
+            IndexConfig {
+                dim: DIM,
+                num_lists: 3,
+                nprobe: 3,
+                ..Default::default()
+            },
             &train,
         ));
         for (f, a) in feats {
@@ -223,7 +353,11 @@ mod tests {
         }
         index.flush();
 
-        let searcher = Node::spawn("s-0-0", SearcherService::for_index(0, Arc::clone(&index)), 2);
+        let searcher = Node::spawn(
+            "s-0-0",
+            SearcherService::for_index(0, Arc::clone(&index)),
+            2,
+        );
         let broker = Node::spawn(
             "b-0-0",
             BrokerService::new(0, vec![Balancer::new(vec![searcher.handle()])], DL),
@@ -249,10 +383,14 @@ mod tests {
     fn feature_query_returns_ranked_results() {
         let w = world();
         let feats = w.index.features(jdvs_core::ids::ImageId(5)).unwrap();
-        let resp = w.blender.execute(&SearchQuery::by_features(feats.into_inner(), 6));
+        let resp = w
+            .blender
+            .execute(&SearchQuery::by_features(feats.into_inner(), 6));
         assert_eq!(resp.results.len(), 6);
-        assert_eq!(resp.partitions_answered, 1);
-        assert_eq!(resp.partitions_failed, 0);
+        assert_eq!(resp.groups_answered, 1);
+        assert_eq!(resp.groups_failed, 0);
+        assert!(resp.is_complete(), "single healthy partition covered");
+        assert_eq!((resp.partitions_ok, resp.partitions_total), (1, 1));
         assert_eq!(resp.results[0].hit.local_id, 5, "self-match first");
         for w2 in resp.results.windows(2) {
             assert!(w2[0].score >= w2[1].score);
@@ -265,14 +403,19 @@ mod tests {
         // Query with a *new* image from visual cluster 0: its neighbors
         // should be indexed images of the same cluster (i % 3 == 0).
         w.images.put_synthetic("query-img", 0);
-        let resp = w.blender.execute(&SearchQuery::by_image_url("query-img", 6));
+        let resp = w
+            .blender
+            .execute(&SearchQuery::by_image_url("query-img", 6));
         assert_eq!(resp.results.len(), 6);
         let same_cluster = resp
             .results
             .iter()
             .filter(|r| r.hit.product_id.0 % 3 == 0)
             .count();
-        assert!(same_cluster >= 5, "visual cluster should dominate: {same_cluster}/6");
+        assert!(
+            same_cluster >= 5,
+            "visual cluster should dominate: {same_cluster}/6"
+        );
     }
 
     #[test]
@@ -280,14 +423,16 @@ mod tests {
         let w = world();
         let resp = w.blender.execute(&SearchQuery::by_image_url("missing", 5));
         assert!(resp.results.is_empty());
-        assert_eq!(resp.partitions_answered, 0);
+        assert_eq!(resp.groups_answered, 0);
     }
 
     #[test]
     fn results_deduplicate_products() {
         let w = world();
         let feats = w.index.features(jdvs_core::ids::ImageId(0)).unwrap();
-        let resp = w.blender.execute(&SearchQuery::by_features(feats.into_inner(), 20));
+        let resp = w
+            .blender
+            .execute(&SearchQuery::by_features(feats.into_inner(), 20));
         let mut products: Vec<u64> = resp.results.iter().map(|r| r.hit.product_id.0).collect();
         let before = products.len();
         products.dedup();
@@ -307,10 +452,100 @@ mod tests {
         let q = SearchQuery::by_image_url("viral", 3);
         let r1 = blender.execute(&q);
         let r2 = blender.execute(&q);
-        assert_eq!(r1.results, r2.results, "cached features give identical results");
+        assert_eq!(
+            r1.results, r2.results,
+            "cached features give identical results"
+        );
         let stats = blender.query_cache_stats().unwrap();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn failed_broker_group_is_accounted_not_silent() {
+        // Destructure at function scope so the nodes stay alive.
+        let World {
+            blender,
+            _nodes,
+            _broker_nodes,
+            ..
+        } = world();
+        let metrics = Arc::new(jdvs_metrics::ResilienceMetrics::new());
+        _broker_nodes[0].faults().set_down(true);
+        let blender = blender
+            .with_group_partitions(vec![1])
+            .with_metrics(Arc::clone(&metrics));
+        let resp = blender.execute(&SearchQuery::by_features(vec![0.0; DIM], 3));
+        assert!(resp.results.is_empty());
+        assert_eq!(resp.groups_failed, 1);
+        assert!(!resp.is_complete(), "lost partitions must be visible");
+        assert_eq!((resp.partitions_ok, resp.partitions_total), (0, 1));
+        assert_eq!(resp.partitions_failed, 1);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.queries_total, 1);
+        assert_eq!(snap.queries_degraded, 1);
+        assert_eq!(snap.partitions_failed, 1);
+    }
+
+    #[test]
+    fn exhausted_budget_returns_fully_accounted_degraded_response() {
+        let World {
+            blender,
+            _nodes,
+            _broker_nodes,
+            ..
+        } = world();
+        let metrics = Arc::new(jdvs_metrics::ResilienceMetrics::new());
+        let blender = blender
+            .with_group_partitions(vec![1])
+            .with_metrics(Arc::clone(&metrics));
+        let q = SearchQuery::by_features(vec![0.0; DIM], 3).with_budget(Duration::ZERO);
+        let resp = blender.execute(&q);
+        assert!(resp.results.is_empty());
+        assert!(!resp.is_complete());
+        assert_eq!((resp.partitions_ok, resp.partitions_total), (0, 1));
+        assert_eq!(resp.partitions_timed_out, 1);
+        assert_eq!(metrics.snapshot().queries_budget_exhausted, 1);
+        assert_eq!(metrics.snapshot().queries_degraded, 1);
+    }
+
+    #[test]
+    fn budget_bounds_the_broker_deadline() {
+        // A blender with a generous configured broker deadline but a tiny
+        // query budget must cut the fan-out near the budget.
+        let w = world();
+        w.images.put_synthetic("q", 0);
+        let feats = w.index.features(jdvs_core::ids::ImageId(1)).unwrap();
+        // Slow the searcher so the broker call would run long.
+        w._nodes[0]
+            .faults()
+            .set_slowdown(Duration::from_millis(500));
+        let q =
+            SearchQuery::by_features(feats.into_inner(), 3).with_budget(Duration::from_millis(60));
+        let start = std::time::Instant::now();
+        let resp = w.blender.execute(&q);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(400),
+            "budget must bound the fan-out: took {elapsed:?}"
+        );
+        // Whatever was lost is accounted, never silently missing.
+        assert_eq!(
+            resp.partitions_ok + resp.partitions_timed_out + resp.partitions_failed,
+            resp.partitions_total
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one partition count per broker group")]
+    fn mismatched_group_partition_counts_panic() {
+        let World {
+            blender,
+            _nodes,
+            _broker_nodes,
+            ..
+        } = world();
+        let _ = blender.with_group_partitions(vec![1, 2]);
     }
 
     #[test]
@@ -318,7 +553,10 @@ mod tests {
     fn empty_broker_groups_panics() {
         let images = Arc::new(ImageStore::new());
         let extractor = Arc::new(CachingExtractor::new(
-            FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+            FeatureExtractor::new(ExtractorConfig {
+                dim: DIM,
+                ..Default::default()
+            }),
             CostModel::free(),
         ));
         BlenderService::new(vec![], extractor, images, RankingPolicy::default(), DL);

@@ -6,15 +6,28 @@
 //! replica-failover [`Balancer`] over that partition's searchers. Fan-out
 //! is parallel (scoped threads — one in-flight call per partition), and the
 //! partial top-k lists are merged into the group's top-k.
+//!
+//! Resilience: when the incoming [`FanoutQuery`] carries a deadline
+//! `budget`, each searcher call gets `min(searcher_deadline, 0.9 × budget)`
+//! — a straggling blender can never grant searchers more time than the user
+//! call has left. Partitions that fail are not silently absent: the merged
+//! [`PartialResponse`] accounts for every owned partition as ok, timed out,
+//! or failed, and an optional hedged second call races stragglers.
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use jdvs_metrics::ResilienceMetrics;
 use jdvs_net::balancer::Balancer;
-use jdvs_net::rpc::Service;
+use jdvs_net::rpc::{RpcError, Service};
 use jdvs_vector::topk::TopK;
 
 use crate::protocol::{FanoutQuery, PartialHit, PartialResponse};
 use crate::searcher::SearcherService;
+
+/// Fraction of the remaining budget granted to the next hop; the held-back
+/// margin pays for the merge and the reply trip.
+const BUDGET_MARGIN: f64 = 0.9;
 
 /// One broker instance of a broker group.
 pub struct BrokerService {
@@ -22,6 +35,10 @@ pub struct BrokerService {
     /// One replica set per owned partition.
     partitions: Vec<Balancer<SearcherService>>,
     searcher_deadline: Duration,
+    /// When set, a hedged second searcher call is launched for any
+    /// partition still unanswered after this long.
+    hedge_after: Option<Duration>,
+    metrics: Option<Arc<ResilienceMetrics>>,
 }
 
 impl std::fmt::Debug for BrokerService {
@@ -45,8 +62,29 @@ impl BrokerService {
         partitions: Vec<Balancer<SearcherService>>,
         searcher_deadline: Duration,
     ) -> Self {
-        assert!(!partitions.is_empty(), "a broker group must own at least one partition");
-        Self { group, partitions, searcher_deadline }
+        assert!(
+            !partitions.is_empty(),
+            "a broker group must own at least one partition"
+        );
+        Self {
+            group,
+            partitions,
+            searcher_deadline,
+            hedge_after: None,
+            metrics: None,
+        }
+    }
+
+    /// Enables hedged searcher calls after `hedge_after` of silence.
+    pub fn with_hedging(mut self, hedge_after: Duration) -> Self {
+        self.hedge_after = Some(hedge_after);
+        self
+    }
+
+    /// Attaches shared resilience counters.
+    pub fn with_metrics(mut self, metrics: Arc<ResilienceMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// This instance's broker group.
@@ -60,41 +98,81 @@ impl BrokerService {
     }
 
     /// Fans `query` to every owned partition in parallel and merges the
-    /// partial results into this group's top-k. Failed partitions are
-    /// silently absent from the merge (availability over completeness, as
-    /// in production fan-out search).
+    /// partial results into this group's top-k. Partitions that fail or
+    /// time out are absent from the hits but **accounted for** in the
+    /// response's coverage fields — degraded never means silent.
     pub fn execute(&self, query: &FanoutQuery) -> PartialResponse {
-        let responses: Vec<Option<PartialResponse>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .partitions
-                    .iter()
-                    .map(|balancer| {
-                        let q = query.clone();
-                        scope.spawn(move |_| balancer.call(q, self.searcher_deadline).ok())
+        let per_call = match query.budget {
+            Some(budget) => self.searcher_deadline.min(budget.mul_f64(BUDGET_MARGIN)),
+            None => self.searcher_deadline,
+        };
+        let mut fan = query.clone();
+        fan.budget = Some(per_call);
+        let hedge_after = self.hedge_after;
+        let responses: Vec<Result<PartialResponse, RpcError>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .partitions
+                .iter()
+                .map(|balancer| {
+                    let q = fan.clone();
+                    scope.spawn(move |_| match hedge_after {
+                        Some(h) if h < per_call => balancer.call_hedged(q, per_call, h),
+                        _ => balancer.call(q, per_call),
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap_or(None)).collect()
-            })
-            .expect("broker fan-out scope");
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or(Err(RpcError::NodeDown)))
+                .collect()
+        })
+        .expect("broker fan-out scope");
+
         let mut topk = TopK::new(query.k.max(1));
-        let mut by_key: std::collections::HashMap<u64, PartialHit> = std::collections::HashMap::new();
-        for resp in responses.into_iter().flatten() {
-            for hit in resp.hits {
-                // Key hits by (partition, local_id) packed into a u64 so the
-                // TopK can track them.
-                let key = ((hit.partition as u64) << 32) | u64::from(hit.local_id);
-                if topk.push(key, hit.distance) {
-                    by_key.insert(key, hit);
+        let mut by_key: std::collections::HashMap<u64, PartialHit> =
+            std::collections::HashMap::new();
+        let mut out = PartialResponse::default();
+        for resp in responses {
+            match resp {
+                Ok(partial) => {
+                    out.partitions_ok += partial.partitions_ok;
+                    out.partitions_total += partial.partitions_total;
+                    out.partitions_timed_out += partial.partitions_timed_out;
+                    out.partitions_failed += partial.partitions_failed;
+                    for hit in partial.hits {
+                        // Key hits by (partition, local_id) packed into a u64
+                        // so the TopK can track them.
+                        let key = ((hit.partition as u64) << 32) | u64::from(hit.local_id);
+                        if topk.push(key, hit.distance) {
+                            by_key.insert(key, hit);
+                        }
+                    }
+                }
+                Err(err) => {
+                    out.partitions_total += 1;
+                    match err {
+                        RpcError::Timeout { .. } => {
+                            out.partitions_timed_out += 1;
+                            if let Some(m) = &self.metrics {
+                                m.partitions_timed_out.incr();
+                            }
+                        }
+                        _ => {
+                            out.partitions_failed += 1;
+                            if let Some(m) = &self.metrics {
+                                m.partitions_failed.incr();
+                            }
+                        }
+                    }
                 }
             }
         }
-        let hits = topk
+        out.hits = topk
             .into_sorted_vec()
             .into_iter()
             .filter_map(|n| by_key.remove(&n.id))
             .collect();
-        PartialResponse { hits }
+        out
     }
 }
 
@@ -115,23 +193,41 @@ mod tests {
     use jdvs_storage::model::{ProductAttributes, ProductId};
     use jdvs_vector::rng::Xoshiro256;
     use jdvs_vector::Vector;
-    use std::sync::Arc;
 
     const DIM: usize = 8;
     const DL: Duration = Duration::from_secs(5);
 
+    fn fanout(features: Vec<f32>, k: usize) -> FanoutQuery {
+        FanoutQuery {
+            features,
+            k,
+            nprobe: Some(2),
+            compressed: false,
+            budget: None,
+        }
+    }
+
     fn make_index(seed: u64, ids: std::ops::Range<u64>) -> Arc<VisualIndex> {
         let mut rng = Xoshiro256::seed_from(seed);
-        let train: Vec<Vector> =
-            (0..32).map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect()).collect();
+        let train: Vec<Vector> = (0..32)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
         let index = Arc::new(VisualIndex::bootstrap(
-            IndexConfig { dim: DIM, num_lists: 2, nprobe: 2, ..Default::default() },
+            IndexConfig {
+                dim: DIM,
+                num_lists: 2,
+                nprobe: 2,
+                ..Default::default()
+            },
             &train,
         ));
         for i in ids {
             let v: Vector = (0..DIM).map(|_| rng.next_gaussian() as f32).collect();
             index
-                .insert(v, ProductAttributes::new(ProductId(i), 0, 0, 0, format!("u{i}")))
+                .insert(
+                    v,
+                    ProductAttributes::new(ProductId(i), 0, 0, 0, format!("u{i}")),
+                )
                 .unwrap();
         }
         index.flush();
@@ -140,14 +236,22 @@ mod tests {
 
     /// Builds a 2-partition broker; returns (broker, partition indexes,
     /// searcher nodes kept alive).
-    fn make_broker() -> (BrokerService, Vec<Arc<VisualIndex>>, Vec<Node<SearcherService>>) {
+    fn make_broker() -> (
+        BrokerService,
+        Vec<Arc<VisualIndex>>,
+        Vec<Node<SearcherService>>,
+    ) {
         let mut nodes = Vec::new();
         let mut balancers = Vec::new();
         let mut indexes = Vec::new();
         for p in 0..2usize {
             let index = make_index(p as u64 + 1, (p as u64 * 100)..(p as u64 * 100 + 50));
             indexes.push(Arc::clone(&index));
-            let node = Node::spawn(format!("searcher-{p}-0"), SearcherService::for_index(p, index), 2);
+            let node = Node::spawn(
+                format!("searcher-{p}-0"),
+                SearcherService::for_index(p, index),
+                2,
+            );
             balancers.push(Balancer::new(vec![node.handle()]));
             nodes.push(node);
         }
@@ -159,44 +263,126 @@ mod tests {
         let (broker, indexes, _nodes) = make_broker();
         // Query with partition-1's image 10 → global best must come from p1.
         let feats = indexes[1].features(jdvs_core::ids::ImageId(10)).unwrap();
-        let resp = broker.execute(&FanoutQuery { features: feats.into_inner(), k: 8, nprobe: Some(2), compressed: false });
+        let resp = broker.execute(&fanout(feats.into_inner(), 8));
         assert_eq!(resp.hits.len(), 8);
         assert_eq!(resp.hits[0].partition, 1);
         assert_eq!(resp.hits[0].local_id, 10);
         // Hits from both partitions appear (both have images).
         let partitions: std::collections::HashSet<usize> =
             resp.hits.iter().map(|h| h.partition).collect();
-        assert!(partitions.len() >= 1);
+        assert!(!partitions.is_empty());
         for w in resp.hits.windows(2) {
             assert!(w[0].distance <= w[1].distance, "merged list stays sorted");
         }
+        assert!(resp.is_complete(), "both partitions answered");
+        assert_eq!((resp.partitions_ok, resp.partitions_total), (2, 2));
+        assert_eq!(resp.partitions_timed_out + resp.partitions_failed, 0);
     }
 
     #[test]
-    fn tolerates_a_dead_partition() {
+    fn tolerates_a_dead_partition_and_accounts_for_it() {
         let (broker, indexes, nodes) = make_broker();
         nodes[0].faults().set_down(true);
         let feats = indexes[1].features(jdvs_core::ids::ImageId(0)).unwrap();
-        let resp = broker.execute(&FanoutQuery { features: feats.into_inner(), k: 5, nprobe: Some(2), compressed: false });
+        let resp = broker.execute(&fanout(feats.into_inner(), 5));
         assert!(!resp.hits.is_empty(), "partition 1 still answers");
         assert!(resp.hits.iter().all(|h| h.partition == 1));
+        assert!(
+            !resp.is_complete(),
+            "the dead partition must be accounted for"
+        );
+        assert_eq!((resp.partitions_ok, resp.partitions_total), (1, 2));
+        assert_eq!(resp.partitions_failed, 1);
+        assert_eq!(resp.partitions_timed_out, 0);
+    }
+
+    #[test]
+    fn budget_bounds_the_searcher_deadline() {
+        let (broker, indexes, nodes) = make_broker();
+        // A straggling replica plus a tiny budget: the broker must cut the
+        // searcher call at ~0.9 × budget, not wait the full 5 s deadline.
+        nodes[0].faults().set_slowdown(Duration::from_millis(500));
+        let feats = indexes[1].features(jdvs_core::ids::ImageId(0)).unwrap();
+        let mut q = fanout(feats.into_inner(), 5);
+        q.budget = Some(Duration::from_millis(80));
+        let start = std::time::Instant::now();
+        let resp = broker.execute(&q);
+        let elapsed = start.elapsed();
+        // The slowdown delays delivery client-side; either way the response
+        // arrives near the budget, with the straggler partition accounted.
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "budget must bound the fan-out: took {elapsed:?}"
+        );
+        assert_eq!(resp.partitions_total, 2);
+        assert!(
+            resp.partitions_ok >= 1,
+            "healthy partition answered: {resp:?}"
+        );
+    }
+
+    #[test]
+    fn metrics_count_lost_partitions() {
+        let (broker, indexes, nodes) = make_broker();
+        let m = Arc::new(ResilienceMetrics::new());
+        let broker = broker.with_metrics(Arc::clone(&m));
+        nodes[1].faults().set_down(true);
+        let feats = indexes[0].features(jdvs_core::ids::ImageId(0)).unwrap();
+        let _ = broker.execute(&fanout(feats.into_inner(), 3));
+        assert_eq!(m.snapshot().partitions_failed, 1);
     }
 
     #[test]
     fn replica_failover_inside_a_partition() {
         // Partition with two replicas; kill one; broker still answers.
         let index = make_index(9, 0..30);
-        let n0 = Node::spawn("s-0-a", SearcherService::for_index(0, Arc::clone(&index)), 1);
-        let n1 = Node::spawn("s-0-b", SearcherService::for_index(0, Arc::clone(&index)), 1);
-        let broker = BrokerService::new(
-            0,
-            vec![Balancer::new(vec![n0.handle(), n1.handle()])],
-            DL,
+        let n0 = Node::spawn(
+            "s-0-a",
+            SearcherService::for_index(0, Arc::clone(&index)),
+            1,
         );
+        let n1 = Node::spawn(
+            "s-0-b",
+            SearcherService::for_index(0, Arc::clone(&index)),
+            1,
+        );
+        let broker = BrokerService::new(0, vec![Balancer::new(vec![n0.handle(), n1.handle()])], DL);
         n0.faults().set_down(true);
         let feats = index.features(jdvs_core::ids::ImageId(3)).unwrap();
-        let resp = broker.execute(&FanoutQuery { features: feats.into_inner(), k: 1, nprobe: Some(2), compressed: false });
+        let resp = broker.execute(&fanout(feats.into_inner(), 1));
         assert_eq!(resp.hits[0].local_id, 3);
+        assert!(resp.is_complete(), "failover kept the partition covered");
+    }
+
+    #[test]
+    fn hedging_recovers_a_straggling_replica() {
+        let index = make_index(11, 0..30);
+        let slow = Node::spawn(
+            "s-slow",
+            SearcherService::for_index(0, Arc::clone(&index)),
+            1,
+        );
+        let fast = Node::spawn(
+            "s-fast",
+            SearcherService::for_index(0, Arc::clone(&index)),
+            1,
+        );
+        slow.faults().set_slowdown(Duration::from_millis(400));
+        let broker = BrokerService::new(
+            0,
+            vec![Balancer::new(vec![slow.handle(), fast.handle()])],
+            DL,
+        )
+        .with_hedging(Duration::from_millis(25));
+        let feats = index.features(jdvs_core::ids::ImageId(3)).unwrap();
+        let start = std::time::Instant::now();
+        let resp = broker.execute(&fanout(feats.into_inner(), 1));
+        let elapsed = start.elapsed();
+        assert_eq!(resp.hits[0].local_id, 3);
+        assert!(
+            elapsed < Duration::from_millis(350),
+            "hedge must beat the straggler: took {elapsed:?}"
+        );
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub struct SearchClient {
 
 impl std::fmt::Debug for SearchClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SearchClient").field("deadline", &self.deadline).finish()
+        f.debug_struct("SearchClient")
+            .field("deadline", &self.deadline)
+            .finish()
     }
 }
 
@@ -38,12 +40,17 @@ impl SearchClient {
         self.deadline
     }
 
-    /// Executes one query.
+    /// Executes one query, stamping the client deadline as the query's
+    /// end-to-end budget (unless the caller already stamped one); every
+    /// hop below deducts its own elapsed time from that budget.
     ///
     /// # Errors
     ///
     /// Propagates the last [`RpcError`] if every blender fails.
-    pub fn search(&self, query: SearchQuery) -> Result<SearchResponse, RpcError> {
+    pub fn search(&self, mut query: SearchQuery) -> Result<SearchResponse, RpcError> {
+        if query.budget.is_none() {
+            query.budget = Some(self.deadline);
+        }
         self.frontend.call(query, self.deadline)
     }
 }
@@ -66,11 +73,18 @@ mod tests {
         use jdvs_vector::Vector;
         let images = Arc::new(ImageStore::with_blob_len(32));
         let extractor = Arc::new(CachingExtractor::new(
-            FeatureExtractor::new(ExtractorConfig { dim: 4, ..Default::default() }),
+            FeatureExtractor::new(ExtractorConfig {
+                dim: 4,
+                ..Default::default()
+            }),
             CostModel::free(),
         ));
         let index = Arc::new(VisualIndex::bootstrap(
-            IndexConfig { dim: 4, num_lists: 1, ..Default::default() },
+            IndexConfig {
+                dim: 4,
+                num_lists: 1,
+                ..Default::default()
+            },
             &[Vector::from(vec![0.0; 4])],
         ));
         let searcher = Node::spawn("s", SearcherService::for_index(0, index), 1);
@@ -106,7 +120,9 @@ mod tests {
         let (frontend, _nodes) = tiny_frontend();
         let client = SearchClient::new(frontend, Duration::from_secs(2));
         assert_eq!(client.deadline(), Duration::from_secs(2));
-        let resp = client.search(SearchQuery::by_image_url("missing", 3)).unwrap();
+        let resp = client
+            .search(SearchQuery::by_image_url("missing", 3))
+            .unwrap();
         assert!(resp.results.is_empty());
     }
 

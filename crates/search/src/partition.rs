@@ -33,7 +33,10 @@ impl PartitionMap {
             num_broker_groups <= num_partitions,
             "more broker groups ({num_broker_groups}) than partitions ({num_partitions})"
         );
-        Self { num_partitions, num_broker_groups }
+        Self {
+            num_partitions,
+            num_broker_groups,
+        }
     }
 
     /// Total partitions.
@@ -73,7 +76,9 @@ impl PartitionMap {
     /// Panics if `group` is out of range.
     pub fn partitions_of_group(&self, group: usize) -> Vec<usize> {
         assert!(group < self.num_broker_groups, "broker group out of range");
-        (group..self.num_partitions).step_by(self.num_broker_groups).collect()
+        (group..self.num_partitions)
+            .step_by(self.num_broker_groups)
+            .collect()
     }
 }
 
@@ -91,7 +96,10 @@ mod tests {
                 assert_eq!(map.broker_group_of(p), g, "assignment must be consistent");
             }
         }
-        assert!(owned.iter().all(|&c| c == 1), "each partition owned once: {owned:?}");
+        assert!(
+            owned.iter().all(|&c| c == 1),
+            "each partition owned once: {owned:?}"
+        );
     }
 
     #[test]

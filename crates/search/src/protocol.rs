@@ -1,5 +1,7 @@
 //! Wire messages of the search hierarchy.
 
+use std::time::Duration;
+
 use jdvs_storage::model::ProductId;
 use serde::{Deserialize, Serialize};
 
@@ -28,17 +30,34 @@ pub struct SearchQuery {
     /// it enabled (`IndexConfig::pq_subspaces`); searchers without PQ fall
     /// back to the raw scan.
     pub compressed: bool,
+    /// End-to-end deadline budget for the whole query. Stamped by
+    /// [`crate::client::SearchClient`] (or manually); each hop deducts its
+    /// own elapsed time and forwards only the remainder downstream. `None`
+    /// means "use the topology's configured per-hop deadlines".
+    pub budget: Option<Duration>,
 }
 
 impl SearchQuery {
     /// Query by pre-extracted features.
     pub fn by_features(features: Vec<f32>, k: usize) -> Self {
-        Self { input: QueryInput::Features(features), k, nprobe: None, compressed: false }
+        Self {
+            input: QueryInput::Features(features),
+            k,
+            nprobe: None,
+            compressed: false,
+            budget: None,
+        }
     }
 
     /// Query by image URL.
     pub fn by_image_url(url: impl Into<String>, k: usize) -> Self {
-        Self { input: QueryInput::ImageUrl(url.into()), k, nprobe: None, compressed: false }
+        Self {
+            input: QueryInput::ImageUrl(url.into()),
+            k,
+            nprobe: None,
+            compressed: false,
+            budget: None,
+        }
     }
 
     /// Overrides the per-partition probe count.
@@ -50,6 +69,12 @@ impl SearchQuery {
     /// Requests the compressed (PQ) scan path.
     pub fn with_compressed(mut self) -> Self {
         self.compressed = true;
+        self
+    }
+
+    /// Sets the end-to-end deadline budget.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
         self
     }
 }
@@ -66,6 +91,11 @@ pub struct FanoutQuery {
     pub nprobe: Option<usize>,
     /// Use the compressed scan where available.
     pub compressed: bool,
+    /// Remaining deadline budget granted by the hop above. Each hop stamps
+    /// the remainder of its own budget (minus a safety margin) before
+    /// fanning out, so a straggling upstream cannot grant downstream work
+    /// more time than the user call has left.
+    pub budget: Option<Duration>,
 }
 
 /// One partial hit, as returned by a searcher: everything the blender needs
@@ -91,11 +121,28 @@ pub struct PartialHit {
     pub url: String,
 }
 
-/// A searcher's reply: its local top-k.
+/// A searcher's (or broker's) reply: the local top-k plus partition-level
+/// coverage accounting, so every intermediate merge can say exactly how
+/// much of the index the hits represent.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct PartialResponse {
     /// Hits, nearest first.
     pub hits: Vec<PartialHit>,
+    /// Partitions that contributed hits to this reply.
+    pub partitions_ok: usize,
+    /// Partitions this reply *should* have covered.
+    pub partitions_total: usize,
+    /// Partitions lost to deadline timeouts.
+    pub partitions_timed_out: usize,
+    /// Partitions lost to non-timeout failures (node down, dropped).
+    pub partitions_failed: usize,
+}
+
+impl PartialResponse {
+    /// Whether every partition answered.
+    pub fn is_complete(&self) -> bool {
+        self.partitions_ok == self.partitions_total
+    }
 }
 
 /// A fully-ranked user-facing result.
@@ -112,14 +159,40 @@ pub struct RankedHit {
 pub struct SearchResponse {
     /// Ranked results, best first.
     pub results: Vec<RankedHit>,
-    /// Partitions that answered in time (fan-out health indicator).
-    pub partitions_answered: usize,
-    /// Partitions that failed or timed out.
+    /// Broker groups that answered in time (fan-out health indicator).
+    pub groups_answered: usize,
+    /// Broker groups that failed or timed out entirely.
+    pub groups_failed: usize,
+    /// Partitions whose local top-k made it into `results`.
+    pub partitions_ok: usize,
+    /// Partitions the query should have covered (the whole index).
+    pub partitions_total: usize,
+    /// Partitions lost to deadline timeouts.
+    pub partitions_timed_out: usize,
+    /// Partitions lost to non-timeout failures.
     pub partitions_failed: usize,
     /// Product category detected for the query image (Section 2.4: "the
     /// product category of the item is identified"); `None` when the
     /// blender has no category detector attached.
     pub detected_category: Option<u32>,
+}
+
+impl SearchResponse {
+    /// Whether the results cover every partition (nothing was silently
+    /// dropped).
+    pub fn is_complete(&self) -> bool {
+        self.partitions_ok == self.partitions_total
+    }
+
+    /// Fraction of partitions covered, in `[0, 1]` (`1.0` for an empty
+    /// topology).
+    pub fn coverage(&self) -> f64 {
+        if self.partitions_total == 0 {
+            1.0
+        } else {
+            self.partitions_ok as f64 / self.partitions_total as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -132,18 +205,38 @@ mod tests {
         assert_eq!(q.k, 5);
         assert!(matches!(q.input, QueryInput::Features(_)));
         assert_eq!(q.nprobe, None);
+        assert_eq!(q.budget, None);
 
         let q = SearchQuery::by_image_url("u1", 3).with_nprobe(7);
         assert_eq!(q.nprobe, Some(7));
         assert!(matches!(q.input, QueryInput::ImageUrl(ref u) if u == "u1"));
+
+        let q = SearchQuery::by_features(vec![], 1).with_budget(Duration::from_millis(250));
+        assert_eq!(q.budget, Some(Duration::from_millis(250)));
     }
 
     #[test]
     fn partial_response_default_is_empty() {
-        assert!(PartialResponse::default().hits.is_empty());
+        let p = PartialResponse::default();
+        assert!(p.hits.is_empty());
+        assert!(p.is_complete(), "0 of 0 partitions is complete");
         let r = SearchResponse::default();
-        assert_eq!(r.partitions_answered, 0);
+        assert_eq!(r.groups_answered, 0);
         assert!(r.results.is_empty());
+        assert!(r.is_complete());
+        assert_eq!(r.coverage(), 1.0);
+    }
+
+    #[test]
+    fn coverage_reflects_lost_partitions() {
+        let r = SearchResponse {
+            partitions_ok: 3,
+            partitions_total: 4,
+            partitions_timed_out: 1,
+            ..SearchResponse::default()
+        };
+        assert!(!r.is_complete());
+        assert!((r.coverage() - 0.75).abs() < 1e-9);
     }
 
     #[test]
@@ -159,8 +252,18 @@ mod tests {
             url: "u".into(),
         };
         assert_eq!(hit.clone(), hit);
-        let q = FanoutQuery { features: vec![0.0], k: 1, nprobe: Some(2), compressed: false };
+        let q = FanoutQuery {
+            features: vec![0.0],
+            k: 1,
+            nprobe: Some(2),
+            compressed: false,
+            budget: None,
+        };
         assert_eq!(q.clone(), q);
-        assert!(SearchQuery::by_features(vec![], 1).with_compressed().compressed);
+        assert!(
+            SearchQuery::by_features(vec![], 1)
+                .with_compressed()
+                .compressed
+        );
     }
 }

@@ -31,14 +31,24 @@ impl Default for RankingPolicy {
     /// Similarity-dominant defaults: visual match is the primary signal,
     /// attributes break near-ties, as in product visual search.
     fn default() -> Self {
-        Self { w_similarity: 1.0, w_sales: 0.02, w_praise: 0.01, w_price: 0.005 }
+        Self {
+            w_similarity: 1.0,
+            w_sales: 0.02,
+            w_praise: 0.01,
+            w_price: 0.005,
+        }
     }
 }
 
 impl RankingPolicy {
     /// Pure similarity ranking (the ablation baseline).
     pub fn similarity_only() -> Self {
-        Self { w_similarity: 1.0, w_sales: 0.0, w_praise: 0.0, w_price: 0.0 }
+        Self {
+            w_similarity: 1.0,
+            w_sales: 0.0,
+            w_praise: 0.0,
+            w_price: 0.0,
+        }
     }
 
     /// Scores one hit (higher is better).
@@ -58,8 +68,13 @@ impl RankingPolicy {
     /// several near-identical images should occupy one result slot, as in
     /// the paper's mobile UI), and truncates to `k`.
     pub fn rank(&self, hits: Vec<PartialHit>, k: usize) -> Vec<RankedHit> {
-        let mut scored: Vec<RankedHit> =
-            hits.into_iter().map(|h| RankedHit { score: self.score(&h), hit: h }).collect();
+        let mut scored: Vec<RankedHit> = hits
+            .into_iter()
+            .map(|h| RankedHit {
+                score: self.score(&h),
+                hit: h,
+            })
+            .collect();
         scored.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
@@ -133,7 +148,10 @@ mod tests {
         let ranked = p.rank(hits, 2);
         assert_eq!(ranked.len(), 2);
         assert_eq!(ranked[0].hit.product_id, ProductId(1));
-        assert!((ranked[0].hit.distance - 0.5).abs() < 1e-6, "best image of the product wins");
+        assert!(
+            (ranked[0].hit.distance - 0.5).abs() < 1e-6,
+            "best image of the product wins"
+        );
         assert_eq!(ranked[1].hit.product_id, ProductId(2));
     }
 

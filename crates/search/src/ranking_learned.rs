@@ -86,7 +86,10 @@ impl AdaptiveRanking {
             .into_iter()
             .map(|h| {
                 let z = Self::dot(&weights, &Self::features(&h));
-                RankedHit { score: 1.0 / (1.0 + (-z).exp()), hit: h }
+                RankedHit {
+                    score: 1.0 / (1.0 + (-z).exp()),
+                    hit: h,
+                }
             })
             .collect();
         scored.sort_by(|a, b| {
@@ -187,7 +190,10 @@ mod tests {
             assert!(w[0].score >= w[1].score);
         }
         assert_eq!(ranked[0].hit.product_id, ProductId(1));
-        assert!((ranked[0].hit.distance - 0.1).abs() < 1e-6, "best image per product");
+        assert!(
+            (ranked[0].hit.distance - 0.1).abs() < 1e-6,
+            "best image per product"
+        );
     }
 
     #[test]
@@ -197,7 +203,10 @@ mod tests {
         let model = AdaptiveRanking::new(0.05);
         let popular_far = hit(1, 2.0, 100_000, 100);
         let obscure_near = hit(2, 0.5, 0, 100);
-        assert!(model.score(&obscure_near) > model.score(&popular_far), "starts similarity-led");
+        assert!(
+            model.score(&obscure_near) > model.score(&popular_far),
+            "starts similarity-led"
+        );
         for _ in 0..2_000 {
             model.record_feedback(&popular_far, true);
             model.record_feedback(&obscure_near, false);

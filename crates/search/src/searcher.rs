@@ -82,7 +82,13 @@ impl SearcherService {
                 })
             })
             .collect();
-        PartialResponse { hits }
+        PartialResponse {
+            hits,
+            partitions_ok: 1,
+            partitions_total: 1,
+            partitions_timed_out: 0,
+            partitions_failed: 0,
+        }
     }
 }
 
@@ -107,10 +113,16 @@ mod tests {
 
     fn index_with(n: usize) -> Arc<VisualIndex> {
         let mut rng = Xoshiro256::seed_from(3);
-        let train: Vec<Vector> =
-            (0..32).map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect()).collect();
+        let train: Vec<Vector> = (0..32)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
         let index = Arc::new(VisualIndex::bootstrap(
-            IndexConfig { dim: DIM, num_lists: 4, nprobe: 4, ..Default::default() },
+            IndexConfig {
+                dim: DIM,
+                num_lists: 4,
+                nprobe: 4,
+                ..Default::default()
+            },
             &train,
         ));
         for i in 0..n {
@@ -137,8 +149,11 @@ mod tests {
             k: 5,
             nprobe: Some(4),
             compressed: false,
+            budget: None,
         });
         assert_eq!(resp.hits.len(), 5);
+        assert!(resp.is_complete());
+        assert_eq!((resp.partitions_ok, resp.partitions_total), (1, 1));
         let top = &resp.hits[0];
         assert_eq!(top.local_id, 7);
         assert_eq!(top.partition, 3);
@@ -152,8 +167,13 @@ mod tests {
         let index = index_with(20);
         let searcher = SearcherService::for_index(0, Arc::clone(&index));
         let feats = index.features(jdvs_core::ids::ImageId(0)).unwrap();
-        let resp =
-            searcher.execute(&FanoutQuery { features: feats.into_inner(), k: 3, nprobe: None, compressed: false });
+        let resp = searcher.execute(&FanoutQuery {
+            features: feats.into_inner(),
+            k: 3,
+            nprobe: None,
+            compressed: false,
+            budget: None,
+        });
         assert!(!resp.hits.is_empty());
     }
 
@@ -161,7 +181,13 @@ mod tests {
     fn hits_are_sorted_by_distance() {
         let index = index_with(100);
         let searcher = SearcherService::for_index(0, index);
-        let resp = searcher.execute(&FanoutQuery { features: vec![0.0; DIM], k: 10, nprobe: Some(4), compressed: false });
+        let resp = searcher.execute(&FanoutQuery {
+            features: vec![0.0; DIM],
+            k: 10,
+            nprobe: Some(4),
+            compressed: false,
+            budget: None,
+        });
         for w in resp.hits.windows(2) {
             assert!(w[0].distance <= w[1].distance);
         }
@@ -172,7 +198,13 @@ mod tests {
         let index = index_with(10);
         let searcher = SearcherService::for_index(0, Arc::clone(&index));
         let feats = index.features(jdvs_core::ids::ImageId(2)).unwrap();
-        let q = FanoutQuery { features: feats.into_inner(), k: 1, nprobe: Some(4), compressed: false };
+        let q = FanoutQuery {
+            features: feats.into_inner(),
+            k: 1,
+            nprobe: Some(4),
+            compressed: false,
+            budget: None,
+        };
         let via_service = Service::handle(&searcher, q.clone());
         let via_execute = searcher.execute(&q);
         assert_eq!(via_service, via_execute);

@@ -25,10 +25,12 @@ use jdvs_core::realtime::RealtimeIndexer;
 use jdvs_core::swap::IndexHandle;
 use jdvs_core::{persist, IndexConfig, VisualIndex};
 use jdvs_features::CachingExtractor;
+use jdvs_metrics::{ResilienceMetrics, ResilienceSnapshot};
 use jdvs_net::balancer::Balancer;
 use jdvs_net::latency::LatencyModel;
 use jdvs_net::node::Node;
 use jdvs_net::rpc::RpcError;
+use jdvs_net::{HealthPolicy, RetryPolicy};
 use jdvs_storage::model::ProductEvent;
 use jdvs_storage::{FeatureDb, ImageStore, MessageQueue};
 use jdvs_vector::kmeans::{Kmeans, KmeansConfig};
@@ -80,6 +82,12 @@ pub struct TopologyConfig {
     /// Query-category detector attached to every blender (`None` disables
     /// category detection on responses).
     pub category_detector: Option<Arc<jdvs_features::category::CategoryDetector>>,
+    /// Circuit-breaker policy applied by every balancer in the stack.
+    pub health: HealthPolicy,
+    /// Failover/backoff policy applied by every balancer in the stack.
+    pub retry: RetryPolicy,
+    /// When set, brokers hedge straggling searcher calls after this long.
+    pub hedge_after: Option<Duration>,
     /// Master seed (latency streams, fault streams).
     pub seed: u64,
 }
@@ -103,6 +111,9 @@ impl Default for TopologyConfig {
             ranking: RankingPolicy::default(),
             query_cache_capacity: None,
             category_detector: None,
+            health: HealthPolicy::default(),
+            retry: RetryPolicy::default(),
+            hedge_after: None,
             seed: 0x70B0,
         }
     }
@@ -117,10 +128,16 @@ impl TopologyConfig {
     pub fn validate(&self) {
         self.index.validate();
         assert!(self.num_partitions > 0, "num_partitions must be positive");
-        assert!(self.replicas_per_partition > 0, "replicas_per_partition must be positive");
+        assert!(
+            self.replicas_per_partition > 0,
+            "replicas_per_partition must be positive"
+        );
         assert!(self.broker_replicas > 0, "broker_replicas must be positive");
         assert!(self.num_blenders > 0, "num_blenders must be positive");
-        assert!(self.searcher_workers > 0, "searcher_workers must be positive");
+        assert!(
+            self.searcher_workers > 0,
+            "searcher_workers must be positive"
+        );
         // PartitionMap::new enforces the group/partition relationship.
         let _ = PartitionMap::new(self.num_partitions, self.num_broker_groups);
     }
@@ -186,7 +203,11 @@ impl OpsReport {
     /// Valid images across one replica of each partition (logical corpus
     /// size).
     pub fn logical_valid_images(&self) -> usize {
-        self.partitions.iter().filter(|p| p.replica == 0).map(|p| p.valid).sum()
+        self.partitions
+            .iter()
+            .filter(|p| p.replica == 0)
+            .map(|p| p.valid)
+            .sum()
     }
 }
 
@@ -210,6 +231,7 @@ pub struct SearchTopology {
     /// `processed[p][r]` = events consumed by that replica's indexer.
     indexer_processed: Vec<Vec<Arc<AtomicU64>>>,
     query_cache: Option<Arc<jdvs_storage::lru::LruCache<jdvs_storage::model::ImageKey, Vec<f32>>>>,
+    metrics: Arc<ResilienceMetrics>,
     realtime_indexing: bool,
 }
 
@@ -244,6 +266,9 @@ impl SearchTopology {
     ) -> Self {
         config.validate();
         let partition_map = PartitionMap::new(config.num_partitions, config.num_broker_groups);
+        // One metrics instance shared by every balancer/broker/blender, so
+        // a single snapshot covers the whole serving path.
+        let metrics = Arc::new(ResilienceMetrics::new());
         let quantizer = Kmeans::train(
             training,
             &KmeansConfig {
@@ -349,10 +374,24 @@ impl SearchTopology {
                     .partitions_of_group(g)
                     .into_iter()
                     .map(|p| {
-                        Balancer::new(searcher_nodes[p].iter().map(Node::handle).collect())
+                        Balancer::with_policies(
+                            searcher_nodes[p].iter().map(Node::handle).collect(),
+                            config.health,
+                            config.retry,
+                            config.seed
+                                ^ 0xBA1
+                                ^ ((g as u64) << 24)
+                                ^ ((b as u64) << 12)
+                                ^ p as u64,
+                        )
+                        .with_metrics(Arc::clone(&metrics))
                     })
                     .collect();
-                let service = BrokerService::new(g, balancers, config.searcher_deadline);
+                let mut service = BrokerService::new(g, balancers, config.searcher_deadline)
+                    .with_metrics(Arc::clone(&metrics));
+                if let Some(hedge_after) = config.hedge_after {
+                    service = service.with_hedging(hedge_after);
+                }
                 instances.push(Node::spawn_with(
                     format!("broker-{g}-{b}"),
                     service,
@@ -368,12 +407,22 @@ impl SearchTopology {
         let query_cache = config
             .query_cache_capacity
             .map(|cap| Arc::new(jdvs_storage::lru::LruCache::new(cap)));
+        let group_partitions: Vec<usize> = (0..config.num_broker_groups)
+            .map(|g| partition_map.partitions_of_group(g).len())
+            .collect();
         let blender_nodes: Vec<Node<BlenderService>> = (0..config.num_blenders)
             .map(|i| {
                 let groups: Vec<Balancer<BrokerService>> = broker_nodes
                     .iter()
-                    .map(|instances| {
-                        Balancer::new(instances.iter().map(Node::handle).collect())
+                    .enumerate()
+                    .map(|(g, instances)| {
+                        Balancer::with_policies(
+                            instances.iter().map(Node::handle).collect(),
+                            config.health,
+                            config.retry,
+                            config.seed ^ 0xB2A ^ ((i as u64) << 24) ^ g as u64,
+                        )
+                        .with_metrics(Arc::clone(&metrics))
                     })
                     .collect();
                 let mut service = BlenderService::new(
@@ -382,7 +431,9 @@ impl SearchTopology {
                     Arc::clone(&images),
                     config.ranking,
                     config.broker_deadline,
-                );
+                )
+                .with_group_partitions(group_partitions.clone())
+                .with_metrics(Arc::clone(&metrics));
                 if let Some(cache) = &query_cache {
                     service = service.with_query_cache(Arc::clone(cache));
                 }
@@ -400,8 +451,15 @@ impl SearchTopology {
             .collect();
 
         // --- Front end. ----------------------------------------------------
-        let frontend =
-            Arc::new(Balancer::new(blender_nodes.iter().map(Node::handle).collect()));
+        let frontend = Arc::new(
+            Balancer::with_policies(
+                blender_nodes.iter().map(Node::handle).collect(),
+                config.health,
+                config.retry,
+                config.seed ^ 0xF0E,
+            )
+            .with_metrics(Arc::clone(&metrics)),
+        );
 
         let realtime_indexing = config.realtime_indexing;
         Self {
@@ -421,8 +479,20 @@ impl SearchTopology {
             indexer_threads,
             indexer_processed,
             query_cache,
+            metrics,
             realtime_indexing,
         }
+    }
+
+    /// The shared resilience counters of the serving path (every balancer,
+    /// broker, and blender reports into this instance).
+    pub fn resilience_metrics(&self) -> &Arc<ResilienceMetrics> {
+        &self.metrics
+    }
+
+    /// Point-in-time snapshot of the resilience counters.
+    pub fn resilience_snapshot(&self) -> ResilienceSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Statistics of the shared blender query-feature cache, if enabled.
@@ -536,7 +606,11 @@ impl SearchTopology {
     /// Total images across partition replicas (each image counted once per
     /// replica; divide by the replica count for logical size).
     pub fn total_indexed_images(&self) -> usize {
-        self.indexes().iter().flatten().map(|i| i.num_images()).sum()
+        self.indexes()
+            .iter()
+            .flatten()
+            .map(|i| i.num_images())
+            .sum()
     }
 
     /// Number of unread events the slowest real-time indexer still has to
@@ -634,8 +708,7 @@ impl SearchTopology {
             // Ship through the on-disk format, as production distributes
             // index files to searcher nodes.
             let bytes = persist::save(&fresh);
-            let loaded =
-                Arc::new(persist::load(&bytes).expect("snapshot round-trip cannot fail"));
+            let loaded = Arc::new(persist::load(&bytes).expect("snapshot round-trip cannot fail"));
             report.messages_replayed = report.messages_replayed.max(build.messages_replayed);
             report.snapshot_bytes = bytes.len();
             report.records_after += loaded.num_images();
@@ -699,14 +772,23 @@ mod tests {
         let images = Arc::new(ImageStore::with_blob_len(64));
         let feature_db = Arc::new(FeatureDb::new());
         let extractor = Arc::new(CachingExtractor::new(
-            FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+            FeatureExtractor::new(ExtractorConfig {
+                dim: DIM,
+                ..Default::default()
+            }),
             CostModel::free(),
         ));
         let mut rng = Xoshiro256::seed_from(2);
-        let training: Vec<Vector> =
-            (0..64).map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect()).collect();
+        let training: Vec<Vector> = (0..64)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
         let config = TopologyConfig {
-            index: IndexConfig { dim: DIM, num_lists: 4, nprobe: 4, ..Default::default() },
+            index: IndexConfig {
+                dim: DIM,
+                num_lists: 4,
+                nprobe: 4,
+                ..Default::default()
+            },
             num_partitions: 4,
             replicas_per_partition: 2,
             num_broker_groups: 2,
@@ -765,7 +847,9 @@ mod tests {
             .search(SearchQuery::by_features(feats.into_inner(), 3))
             .unwrap();
         assert_eq!(resp.results[0].hit.url, "u7");
-        assert_eq!(resp.partitions_answered, 2, "both broker groups answered");
+        assert_eq!(resp.groups_answered, 2, "both broker groups answered");
+        assert!(resp.is_complete(), "all 4 partitions covered");
+        assert_eq!((resp.partitions_ok, resp.partitions_total), (4, 4));
     }
 
     #[test]
@@ -783,8 +867,14 @@ mod tests {
         let index = w.topology.index(p, 1);
         let id = index.lookup(ImageKey::from_url("u3")).unwrap();
         let feats = index.features(id).unwrap();
-        let resp = w.topology.search(SearchQuery::by_features(feats.into_inner(), 1)).unwrap();
-        assert_eq!(resp.results[0].hit.url, "u3", "replica 1 serves after replica 0 died");
+        let resp = w
+            .topology
+            .search(SearchQuery::by_features(feats.into_inner(), 1))
+            .unwrap();
+        assert_eq!(
+            resp.results[0].hit.url, "u3",
+            "replica 1 serves after replica 0 died"
+        );
     }
 
     #[test]
@@ -822,7 +912,9 @@ mod tests {
         let client = w.topology.client(Duration::from_secs(5));
         w.topology.shutdown();
         w.topology.shutdown();
-        let err = client.search(SearchQuery::by_image_url("u0", 1)).unwrap_err();
+        let err = client
+            .search(SearchQuery::by_image_url("u0", 1))
+            .unwrap_err();
         assert_eq!(err, RpcError::NodeDown);
     }
 
@@ -840,8 +932,12 @@ mod tests {
             });
         }
         w.topology.wait_for_freshness(Duration::from_secs(30));
-        let valid_before: usize =
-            w.topology.indexes().iter().map(|row| row[0].valid_images()).sum();
+        let valid_before: usize = w
+            .topology
+            .indexes()
+            .iter()
+            .map(|row| row[0].valid_images())
+            .sum();
         assert_eq!(valid_before, 20);
 
         // Rebuild every partition online.
@@ -859,16 +955,25 @@ mod tests {
         assert_eq!(records_after, 20 * 2);
 
         // Queries still answer from the fresh indexes.
-        let resp = w.topology.search(SearchQuery::by_image_url("u15", 1)).unwrap();
+        let resp = w
+            .topology
+            .search(SearchQuery::by_image_url("u15", 1))
+            .unwrap();
         assert_eq!(resp.results[0].hit.url, "u15");
         // Deleted products stay gone.
-        let resp = w.topology.search(SearchQuery::by_image_url("u3", 5)).unwrap();
+        let resp = w
+            .topology
+            .search(SearchQuery::by_image_url("u3", 5))
+            .unwrap();
         assert!(resp.results.iter().all(|h| h.hit.url != "u3"));
 
         // Real-time indexing still works after the swap.
         w.topology.publish(add_event(&w, 999));
         w.topology.wait_for_freshness(Duration::from_secs(30));
-        let resp = w.topology.search(SearchQuery::by_image_url("u999", 1)).unwrap();
+        let resp = w
+            .topology
+            .search(SearchQuery::by_image_url("u999", 1))
+            .unwrap();
         assert_eq!(resp.results[0].hit.url, "u999");
     }
 
@@ -882,7 +987,11 @@ mod tests {
         assert_eq!(w.topology.handle(0, 0).generation(), 0);
         w.topology.rebuild_partition(0);
         assert_eq!(w.topology.handle(0, 0).generation(), 1);
-        assert_eq!(w.topology.handle(1, 0).generation(), 0, "other partitions untouched");
+        assert_eq!(
+            w.topology.handle(1, 0).generation(),
+            0,
+            "other partitions untouched"
+        );
     }
 
     #[test]
@@ -897,8 +1006,12 @@ mod tests {
         assert_eq!(report.max_indexer_lag, 0);
         assert_eq!(report.partitions.len(), 8, "4 partitions x 2 replicas");
         assert_eq!(report.logical_valid_images(), 12);
-        let total_inserts: u64 =
-            report.partitions.iter().filter(|p| p.replica == 0).map(|p| p.inserts).sum();
+        let total_inserts: u64 = report
+            .partitions
+            .iter()
+            .filter(|p| p.replica == 0)
+            .map(|p| p.inserts)
+            .sum();
         assert_eq!(total_inserts, 12);
         assert!(report.partitions.iter().all(|p| p.generation == 0));
     }
@@ -908,12 +1021,16 @@ mod tests {
         let images = Arc::new(ImageStore::with_blob_len(64));
         let feature_db = Arc::new(FeatureDb::new());
         let extractor = Arc::new(CachingExtractor::new(
-            FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+            FeatureExtractor::new(ExtractorConfig {
+                dim: DIM,
+                ..Default::default()
+            }),
             CostModel::free(),
         ));
         let mut rng = Xoshiro256::seed_from(6);
-        let training: Vec<Vector> =
-            (0..128).map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect()).collect();
+        let training: Vec<Vector> = (0..128)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
         let topology = SearchTopology::build(
             TopologyConfig {
                 index: IndexConfig {
@@ -966,15 +1083,23 @@ mod tests {
         let images = Arc::new(ImageStore::with_blob_len(64));
         let feature_db = Arc::new(FeatureDb::new());
         let extractor = Arc::new(CachingExtractor::new(
-            FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+            FeatureExtractor::new(ExtractorConfig {
+                dim: DIM,
+                ..Default::default()
+            }),
             CostModel::free(),
         ));
         let mut rng = Xoshiro256::seed_from(4);
-        let training: Vec<Vector> =
-            (0..32).map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect()).collect();
+        let training: Vec<Vector> = (0..32)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
         let topology = SearchTopology::build(
             TopologyConfig {
-                index: IndexConfig { dim: DIM, num_lists: 2, ..Default::default() },
+                index: IndexConfig {
+                    dim: DIM,
+                    num_lists: 2,
+                    ..Default::default()
+                },
                 num_partitions: 2,
                 num_broker_groups: 1,
                 query_cache_capacity: Some(8),
@@ -988,7 +1113,9 @@ mod tests {
         );
         images.put_synthetic("popular", 3);
         for _ in 0..5 {
-            let _ = topology.search(SearchQuery::by_image_url("popular", 1)).unwrap();
+            let _ = topology
+                .search(SearchQuery::by_image_url("popular", 1))
+                .unwrap();
         }
         let stats = topology.query_cache_stats().expect("cache enabled");
         assert_eq!(stats.misses, 1, "first query extracts");

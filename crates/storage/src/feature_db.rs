@@ -53,7 +53,13 @@ impl FeatureDb {
     /// image key.
     pub fn insert(&self, features: Vector, attributes: ProductAttributes) -> ImageKey {
         let key = attributes.image_key();
-        self.records.put(key, FeatureRecord { features, attributes });
+        self.records.put(
+            key,
+            FeatureRecord {
+                features,
+                attributes,
+            },
+        );
         key
     }
 

@@ -51,7 +51,10 @@ pub struct ImageStore {
 impl ImageStore {
     /// Creates a store producing [`DEFAULT_BLOB_LEN`]-byte synthetic blobs.
     pub fn new() -> Self {
-        Self { blobs: KvStore::new(), blob_len: DEFAULT_BLOB_LEN }
+        Self {
+            blobs: KvStore::new(),
+            blob_len: DEFAULT_BLOB_LEN,
+        }
     }
 
     /// Creates a store with a custom synthetic blob size (tests use tiny
@@ -62,7 +65,10 @@ impl ImageStore {
     /// Panics if `blob_len == 0`.
     pub fn with_blob_len(blob_len: usize) -> Self {
         assert!(blob_len > 0, "blob length must be positive");
-        Self { blobs: KvStore::new(), blob_len }
+        Self {
+            blobs: KvStore::new(),
+            blob_len,
+        }
     }
 
     /// Generates and stores a synthetic image for `url`, belonging to the

@@ -11,7 +11,6 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
 
-
 use parking_lot::RwLock;
 
 /// FNV-1a hasher (deterministic across runs, unlike `RandomState`).
@@ -24,7 +23,11 @@ impl Hasher for FnvHasher {
     }
 
     fn write(&mut self, bytes: &[u8]) {
-        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
         for &b in bytes {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -58,7 +61,10 @@ impl<K, V> std::fmt::Debug for KvStore<K, V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KvStore")
             .field("shards", &self.shards.len())
-            .field("len", &self.shards.iter().map(|s| s.read().len()).sum::<usize>())
+            .field(
+                "len",
+                &self.shards.iter().map(|s| s.read().len()).sum::<usize>(),
+            )
             .finish()
     }
 }
@@ -87,7 +93,9 @@ impl<K: Eq + Hash, V: Clone> KvStore<K, V> {
     pub fn with_shards(shards: usize) -> Self {
         assert!(shards > 0, "shard count must be positive");
         Self {
-            shards: (0..shards).map(|_| RwLock::new(HashMap::default())).collect(),
+            shards: (0..shards)
+                .map(|_| RwLock::new(HashMap::default()))
+                .collect(),
             build: FnvBuild::default(),
         }
     }
@@ -265,6 +273,9 @@ mod tests {
             })
             .collect();
         let got: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        assert!(got.windows(2).all(|w| w[0] == w[1]), "all threads see one value: {got:?}");
+        assert!(
+            got.windows(2).all(|w| w[0] == w[1]),
+            "all threads see one value: {got:?}"
+        );
     }
 }

@@ -85,7 +85,13 @@ pub struct ProductAttributes {
 impl ProductAttributes {
     /// Convenience constructor.
     pub fn new(product_id: ProductId, sales: u64, price: u64, praise: u64, url: String) -> Self {
-        Self { product_id, sales, price, praise, url }
+        Self {
+            product_id,
+            sales,
+            price,
+            praise,
+            url,
+        }
     }
 
     /// The image key for this record's URL.
@@ -236,12 +242,18 @@ mod tests {
     #[test]
     fn event_accessors() {
         let attrs = ProductAttributes::new(ProductId(7), 10, 1999, 5, "u1".into());
-        let add = ProductEvent::AddProduct { product_id: ProductId(7), images: vec![attrs] };
+        let add = ProductEvent::AddProduct {
+            product_id: ProductId(7),
+            images: vec![attrs],
+        };
         assert_eq!(add.product_id(), ProductId(7));
         assert_eq!(add.urls(), vec!["u1"]);
         assert_eq!(add.kind(), EventKind::Addition);
 
-        let rm = ProductEvent::RemoveProduct { product_id: ProductId(8), urls: vec!["u2".into()] };
+        let rm = ProductEvent::RemoveProduct {
+            product_id: ProductId(8),
+            urls: vec!["u2".into()],
+        };
         assert_eq!(rm.kind(), EventKind::Deletion);
         assert_eq!(rm.urls(), vec!["u2"]);
 

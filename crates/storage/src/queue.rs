@@ -53,7 +53,9 @@ pub struct MessageQueue<T> {
 
 impl<T> Clone for MessageQueue<T> {
     fn clone(&self) -> Self {
-        Self { inner: Arc::clone(&self.inner) }
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -66,7 +68,12 @@ impl<T: Clone> Default for MessageQueue<T> {
 impl<T: Clone> MessageQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { inner: Arc::new(Inner { log: Mutex::new(Vec::new()), not_empty: Condvar::new() }) }
+        Self {
+            inner: Arc::new(Inner {
+                log: Mutex::new(Vec::new()),
+                not_empty: Condvar::new(),
+            }),
+        }
     }
 
     /// Appends a message, returning its offset.
@@ -115,7 +122,10 @@ impl<T: Clone> MessageQueue<T> {
 
     /// Creates a consumer starting at `offset`.
     pub fn consumer_at(&self, offset: Offset) -> Consumer<T> {
-        Consumer { queue: self.clone(), cursor: offset }
+        Consumer {
+            queue: self.clone(),
+            cursor: offset,
+        }
     }
 }
 

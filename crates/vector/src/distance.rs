@@ -55,7 +55,11 @@ impl std::fmt::Display for DistanceMetric {
 
 #[inline]
 fn assert_same_len(a: &[f32], b: &[f32]) {
-    assert_eq!(a.len(), b.len(), "distance between vectors of different dimension");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "distance between vectors of different dimension"
+    );
 }
 
 /// Squared Euclidean distance `Σ (aᵢ - bᵢ)²`.

@@ -32,14 +32,22 @@ pub struct KmeansConfig {
 
 impl Default for KmeansConfig {
     fn default() -> Self {
-        Self { k: 256, max_iters: 25, tolerance: 1e-4, seed: 0x5EED }
+        Self {
+            k: 256,
+            max_iters: 25,
+            tolerance: 1e-4,
+            seed: 0x5EED,
+        }
     }
 }
 
 impl KmeansConfig {
     /// Creates a config with `k` clusters and defaults elsewhere.
     pub fn with_k(k: usize) -> Self {
-        Self { k, ..Self::default() }
+        Self {
+            k,
+            ..Self::default()
+        }
     }
 }
 
@@ -124,7 +132,12 @@ impl Kmeans {
                 break;
             }
         }
-        Self { centroids, dim, inertia, iterations }
+        Self {
+            centroids,
+            dim,
+            inertia,
+            iterations,
+        }
     }
 
     /// Builds a model directly from pre-computed centroids (used when a
@@ -139,7 +152,12 @@ impl Kmeans {
         for c in &centroids {
             assert_eq!(c.dim(), dim, "centroids must share a dimension");
         }
-        Self { centroids, dim, inertia: f64::NAN, iterations: 0 }
+        Self {
+            centroids,
+            dim,
+            inertia: f64::NAN,
+            iterations: 0,
+        }
     }
 
     /// Number of clusters.
@@ -190,7 +208,10 @@ impl Kmeans {
         for (i, c) in self.centroids.iter().enumerate() {
             topk.push(i as u64, squared_l2(c.as_slice(), v));
         }
-        topk.into_sorted_vec().into_iter().map(|n| n.id as usize).collect()
+        topk.into_sorted_vec()
+            .into_iter()
+            .map(|n| n.id as usize)
+            .collect()
     }
 }
 
@@ -213,8 +234,10 @@ fn nearest(centroids: &[Vector], v: &[f32]) -> (usize, f32) {
 fn plus_plus_init(data: &[Vector], k: usize, rng: &mut Xoshiro256) -> Vec<Vector> {
     let mut centroids = Vec::with_capacity(k);
     centroids.push(data[rng.next_index(data.len())].clone());
-    let mut dists: Vec<f32> =
-        data.iter().map(|v| squared_l2(v.as_slice(), centroids[0].as_slice())).collect();
+    let mut dists: Vec<f32> = data
+        .iter()
+        .map(|v| squared_l2(v.as_slice(), centroids[0].as_slice()))
+        .collect();
     while centroids.len() < k {
         let total: f64 = dists.iter().map(|&d| d as f64).sum();
         let chosen = if total <= 0.0 {
@@ -292,7 +315,14 @@ mod tests {
     #[test]
     fn separates_well_separated_blobs() {
         let data = blobs(50, &[[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]], 1);
-        let model = Kmeans::train(&data, &KmeansConfig { k: 3, seed: 2, ..Default::default() });
+        let model = Kmeans::train(
+            &data,
+            &KmeansConfig {
+                k: 3,
+                seed: 2,
+                ..Default::default()
+            },
+        );
         // All members of a blob should land in the same cluster.
         for blob in 0..3 {
             let first = model.assign(data[blob * 50].as_slice());
@@ -312,7 +342,11 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let data = blobs(30, &[[0.0, 0.0], [5.0, 5.0]], 7);
-        let cfg = KmeansConfig { k: 2, seed: 11, ..Default::default() };
+        let cfg = KmeansConfig {
+            k: 2,
+            seed: 11,
+            ..Default::default()
+        };
         let m1 = Kmeans::train(&data, &cfg);
         let m2 = Kmeans::train(&data, &cfg);
         assert_eq!(m1.centroids(), m2.centroids());
@@ -321,14 +355,27 @@ mod tests {
     #[test]
     fn k_clamped_to_data_len() {
         let data = blobs(1, &[[0.0, 0.0], [1.0, 1.0]], 3);
-        let model = Kmeans::train(&data, &KmeansConfig { k: 100, ..Default::default() });
+        let model = Kmeans::train(
+            &data,
+            &KmeansConfig {
+                k: 100,
+                ..Default::default()
+            },
+        );
         assert_eq!(model.k(), 2);
     }
 
     #[test]
     fn assign_matches_brute_force_nearest() {
         let data = blobs(40, &[[0.0, 0.0], [3.0, 3.0], [6.0, 0.0]], 9);
-        let model = Kmeans::train(&data, &KmeansConfig { k: 5, seed: 4, ..Default::default() });
+        let model = Kmeans::train(
+            &data,
+            &KmeansConfig {
+                k: 5,
+                seed: 4,
+                ..Default::default()
+            },
+        );
         for v in &data {
             let assigned = model.assign(v.as_slice());
             let brute = model
@@ -349,7 +396,14 @@ mod tests {
     #[test]
     fn assign_multi_is_sorted_by_distance() {
         let data = blobs(40, &[[0.0, 0.0], [5.0, 0.0], [10.0, 0.0]], 13);
-        let model = Kmeans::train(&data, &KmeansConfig { k: 3, seed: 5, ..Default::default() });
+        let model = Kmeans::train(
+            &data,
+            &KmeansConfig {
+                k: 3,
+                seed: 5,
+                ..Default::default()
+            },
+        );
         let probes = model.assign_multi(&[0.0, 0.0], 3);
         assert_eq!(probes.len(), 3);
         let d = |i: usize| squared_l2(model.centroids()[i].as_slice(), &[0.0, 0.0]);
@@ -361,15 +415,35 @@ mod tests {
     #[test]
     fn duplicate_points_still_yield_k_centroids() {
         let data = vec![Vector::from(vec![1.0, 1.0]); 20];
-        let model = Kmeans::train(&data, &KmeansConfig { k: 4, ..Default::default() });
+        let model = Kmeans::train(
+            &data,
+            &KmeansConfig {
+                k: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(model.k(), 4);
     }
 
     #[test]
     fn inertia_decreases_with_more_clusters() {
         let data = blobs(50, &[[0.0, 0.0], [4.0, 4.0], [8.0, 0.0], [0.0, 8.0]], 21);
-        let small = Kmeans::train(&data, &KmeansConfig { k: 1, seed: 1, ..Default::default() });
-        let large = Kmeans::train(&data, &KmeansConfig { k: 4, seed: 1, ..Default::default() });
+        let small = Kmeans::train(
+            &data,
+            &KmeansConfig {
+                k: 1,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let large = Kmeans::train(
+            &data,
+            &KmeansConfig {
+                k: 4,
+                seed: 1,
+                ..Default::default()
+            },
+        );
         assert!(large.inertia() < small.inertia());
     }
 

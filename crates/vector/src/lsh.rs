@@ -36,7 +36,12 @@ pub struct LshConfig {
 
 impl Default for LshConfig {
     fn default() -> Self {
-        Self { dim: 64, tables: 8, bits: 12, seed: 0x15A4 }
+        Self {
+            dim: 64,
+            tables: 8,
+            bits: 12,
+            seed: 0x15A4,
+        }
     }
 }
 
@@ -100,7 +105,10 @@ impl LshIndex {
     pub fn new(config: LshConfig) -> Self {
         assert!(config.dim > 0, "dim must be positive");
         assert!(config.tables > 0, "tables must be positive");
-        assert!(config.bits > 0 && config.bits <= 24, "bits must be in 1..=24");
+        assert!(
+            config.bits > 0 && config.bits <= 24,
+            "bits must be in 1..=24"
+        );
         let mut rng = Xoshiro256::seed_from(config.seed);
         let tables = (0..config.tables)
             .map(|_| {
@@ -111,10 +119,17 @@ impl LshIndex {
                         Vector::from(data)
                     })
                     .collect();
-                Table { hyperplanes, buckets: RwLock::new(HashMap::new()) }
+                Table {
+                    hyperplanes,
+                    buckets: RwLock::new(HashMap::new()),
+                }
             })
             .collect();
-        Self { config, tables, vectors: RwLock::new(HashMap::new()) }
+        Self {
+            config,
+            tables,
+            vectors: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Number of stored vectors.
@@ -163,21 +178,24 @@ impl LshIndex {
             // the lowest-margin bits (most likely to hold near misses).
             let mut bit_order: Vec<usize> = (0..self.config.bits).collect();
             bit_order.sort_by(|&a, &b| {
-                margins[a].partial_cmp(&margins[b]).unwrap_or(std::cmp::Ordering::Equal)
+                margins[a]
+                    .partial_cmp(&margins[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             let buckets = table.buckets.read();
             for p in 0..probes.min(self.config.bits + 1) {
-                let probe_sig = if p == 0 { sig } else { sig ^ (1 << bit_order[p - 1]) };
+                let probe_sig = if p == 0 {
+                    sig
+                } else {
+                    sig ^ (1 << bit_order[p - 1])
+                };
                 if let Some(ids) = buckets.get(&probe_sig) {
                     for &id in ids {
                         if !seen.insert(id) {
                             continue;
                         }
                         if let Some(v) = vectors.get(&id) {
-                            topk.push(
-                                id,
-                                crate::distance::squared_l2(query, v.as_slice()),
-                            );
+                            topk.push(id, crate::distance::squared_l2(query, v.as_slice()));
                         }
                     }
                 }
@@ -204,7 +222,10 @@ impl LshIndex {
 
     /// Total bucket entries across tables (memory/selectivity diagnostic).
     pub fn total_bucket_entries(&self) -> usize {
-        self.tables.iter().map(|t| t.buckets.read().values().map(Vec::len).sum::<usize>()).sum()
+        self.tables
+            .iter()
+            .map(|t| t.buckets.read().values().map(Vec::len).sum::<usize>())
+            .sum()
     }
 }
 
@@ -234,7 +255,12 @@ mod tests {
 
     #[test]
     fn exact_duplicate_is_found() {
-        let index = LshIndex::new(LshConfig { dim: 8, tables: 4, bits: 8, seed: 1 });
+        let index = LshIndex::new(LshConfig {
+            dim: 8,
+            tables: 4,
+            bits: 8,
+            seed: 1,
+        });
         let data = clustered_data(20, 3, 8, 2);
         for (id, v) in &data {
             index.insert(*id, v);
@@ -248,7 +274,12 @@ mod tests {
 
     #[test]
     fn recall_improves_with_probes() {
-        let index = LshIndex::new(LshConfig { dim: 16, tables: 6, bits: 10, seed: 3 });
+        let index = LshIndex::new(LshConfig {
+            dim: 16,
+            tables: 6,
+            bits: 10,
+            seed: 3,
+        });
         let data = clustered_data(50, 8, 16, 4);
         for (id, v) in &data {
             index.insert(*id, v);
@@ -272,7 +303,12 @@ mod tests {
 
     #[test]
     fn results_are_sorted_and_unique() {
-        let index = LshIndex::new(LshConfig { dim: 8, tables: 8, bits: 6, seed: 5 });
+        let index = LshIndex::new(LshConfig {
+            dim: 8,
+            tables: 8,
+            bits: 6,
+            seed: 5,
+        });
         let data = clustered_data(30, 4, 8, 6);
         for (id, v) in &data {
             index.insert(*id, v);
@@ -286,7 +322,12 @@ mod tests {
 
     #[test]
     fn brute_force_is_exact_ground_truth() {
-        let index = LshIndex::new(LshConfig { dim: 4, tables: 2, bits: 4, seed: 7 });
+        let index = LshIndex::new(LshConfig {
+            dim: 4,
+            tables: 2,
+            bits: 4,
+            seed: 7,
+        });
         index.insert(1, &Vector::from(vec![0.0, 0.0, 0.0, 1.0]));
         index.insert(2, &Vector::from(vec![0.0, 0.0, 1.0, 0.0]));
         index.insert(3, &Vector::from(vec![5.0, 5.0, 5.0, 5.0]));
@@ -297,25 +338,40 @@ mod tests {
 
     #[test]
     fn len_and_bucket_accounting() {
-        let index = LshIndex::new(LshConfig { dim: 4, tables: 3, bits: 4, seed: 9 });
+        let index = LshIndex::new(LshConfig {
+            dim: 4,
+            tables: 3,
+            bits: 4,
+            seed: 9,
+        });
         assert!(index.is_empty());
         for i in 0..10u64 {
             index.insert(i, &Vector::from(vec![i as f32, 0.0, 0.0, 0.0]));
         }
         assert_eq!(index.len(), 10);
-        assert_eq!(index.total_bucket_entries(), 30, "one entry per table per vector");
+        assert_eq!(
+            index.total_bucket_entries(),
+            30,
+            "one entry per table per vector"
+        );
     }
 
     #[test]
     #[should_panic(expected = "dimension mismatch")]
     fn wrong_dim_insert_panics() {
-        let index = LshIndex::new(LshConfig { dim: 4, ..Default::default() });
+        let index = LshIndex::new(LshConfig {
+            dim: 4,
+            ..Default::default()
+        });
         index.insert(1, &Vector::from(vec![1.0, 2.0]));
     }
 
     #[test]
     #[should_panic(expected = "bits must be in 1..=24")]
     fn oversized_bits_panics() {
-        LshIndex::new(LshConfig { bits: 30, ..Default::default() });
+        LshIndex::new(LshConfig {
+            bits: 30,
+            ..Default::default()
+        });
     }
 }

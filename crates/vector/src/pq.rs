@@ -33,7 +33,11 @@ pub struct PqConfig {
 
 impl Default for PqConfig {
     fn default() -> Self {
-        Self { num_subspaces: 8, max_iters: 15, seed: 0xC0DE }
+        Self {
+            num_subspaces: 8,
+            max_iters: 15,
+            seed: 0xC0DE,
+        }
     }
 }
 
@@ -75,7 +79,11 @@ impl ProductQuantizer {
         let dim = data[0].dim();
         let m = config.num_subspaces;
         assert!(m > 0, "num_subspaces must be positive");
-        assert_eq!(dim % m, 0, "num_subspaces ({m}) must divide dimension ({dim})");
+        assert_eq!(
+            dim % m,
+            0,
+            "num_subspaces ({m}) must divide dimension ({dim})"
+        );
         let sub_dim = dim / m;
         let mut codebooks = Vec::with_capacity(m);
         for sub in 0..m {
@@ -91,7 +99,11 @@ impl ProductQuantizer {
             };
             codebooks.push(Kmeans::train(&slice_data, &cfg));
         }
-        Self { dim, sub_dim, codebooks }
+        Self {
+            dim,
+            sub_dim,
+            codebooks,
+        }
     }
 
     /// Original vector dimensionality.
@@ -124,7 +136,11 @@ impl ProductQuantizer {
     ///
     /// Panics if `code.len() != self.num_subspaces()`.
     pub fn decode(&self, code: &[u8]) -> Vector {
-        assert_eq!(code.len(), self.num_subspaces(), "decode code-length mismatch");
+        assert_eq!(
+            code.len(),
+            self.num_subspaces(),
+            "decode code-length mismatch"
+        );
         let mut out = Vec::with_capacity(self.dim);
         for (sub, &c) in code.iter().enumerate() {
             let centroid = &self.codebooks[sub].centroids()[c as usize % self.codebooks[sub].k()];
@@ -171,7 +187,10 @@ impl AdcTable {
     #[inline]
     pub fn distance(&self, code: &[u8]) -> f32 {
         assert_eq!(code.len(), self.table.len(), "code length mismatch");
-        code.iter().zip(&self.table).map(|(&c, row)| row[c as usize]).sum()
+        code.iter()
+            .zip(&self.table)
+            .map(|(&c, row)| row[c as usize])
+            .sum()
     }
 }
 
@@ -182,13 +201,21 @@ mod tests {
 
     fn random_data(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
         let mut rng = Xoshiro256::seed_from(seed);
-        (0..n).map(|_| (0..dim).map(|_| rng.next_gaussian() as f32).collect()).collect()
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.next_gaussian() as f32).collect())
+            .collect()
     }
 
     #[test]
     fn encode_decode_reduces_error_vs_random() {
         let data = random_data(400, 16, 5);
-        let pq = ProductQuantizer::train(&data, &PqConfig { num_subspaces: 4, ..Default::default() });
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqConfig {
+                num_subspaces: 4,
+                ..Default::default()
+            },
+        );
         let mut err = 0.0f64;
         let mut base = 0.0f64;
         for v in data.iter().take(100) {
@@ -196,13 +223,22 @@ mod tests {
             err += squared_l2(v.as_slice(), approx.as_slice()) as f64;
             base += v.squared_norm() as f64; // error of quantizing to origin
         }
-        assert!(err < base * 0.5, "PQ reconstruction ({err}) should beat origin baseline ({base})");
+        assert!(
+            err < base * 0.5,
+            "PQ reconstruction ({err}) should beat origin baseline ({base})"
+        );
     }
 
     #[test]
     fn adc_matches_decoded_distance() {
         let data = random_data(300, 8, 6);
-        let pq = ProductQuantizer::train(&data, &PqConfig { num_subspaces: 2, ..Default::default() });
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqConfig {
+                num_subspaces: 2,
+                ..Default::default()
+            },
+        );
         let query = &data[0];
         let table = pq.adc_table(query.as_slice());
         for v in data.iter().take(50) {
@@ -229,7 +265,13 @@ mod tests {
                 ]));
             }
         }
-        let pq = ProductQuantizer::train(&data, &PqConfig { num_subspaces: 2, ..Default::default() });
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqConfig {
+                num_subspaces: 2,
+                ..Default::default()
+            },
+        );
         let table = pq.adc_table(data[0].as_slice());
         let near = table.distance(&pq.encode(data[1].as_slice()));
         let far = table.distance(&pq.encode(data[250].as_slice()));
@@ -239,7 +281,13 @@ mod tests {
     #[test]
     fn code_length_equals_subspaces() {
         let data = random_data(300, 12, 7);
-        let pq = ProductQuantizer::train(&data, &PqConfig { num_subspaces: 3, ..Default::default() });
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqConfig {
+                num_subspaces: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(pq.encode(data[0].as_slice()).len(), 3);
         assert_eq!(pq.num_subspaces(), 3);
         assert_eq!(pq.dim(), 12);
@@ -249,21 +297,36 @@ mod tests {
     #[should_panic(expected = "must divide dimension")]
     fn indivisible_subspaces_panic() {
         let data = random_data(10, 10, 1);
-        ProductQuantizer::train(&data, &PqConfig { num_subspaces: 3, ..Default::default() });
+        ProductQuantizer::train(
+            &data,
+            &PqConfig {
+                num_subspaces: 3,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     #[should_panic(expected = "encode dimension mismatch")]
     fn encode_wrong_dim_panics() {
         let data = random_data(50, 8, 2);
-        let pq = ProductQuantizer::train(&data, &PqConfig { num_subspaces: 2, ..Default::default() });
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqConfig {
+                num_subspaces: 2,
+                ..Default::default()
+            },
+        );
         pq.encode(&[0.0; 4]);
     }
 
     #[test]
     fn training_is_deterministic() {
         let data = random_data(200, 8, 3);
-        let cfg = PqConfig { num_subspaces: 2, ..Default::default() };
+        let cfg = PqConfig {
+            num_subspaces: 2,
+            ..Default::default()
+        };
         let a = ProductQuantizer::train(&data, &cfg);
         let b = ProductQuantizer::train(&data, &cfg);
         assert_eq!(a.encode(data[5].as_slice()), b.encode(data[5].as_slice()));

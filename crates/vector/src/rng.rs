@@ -179,7 +179,10 @@ impl Xoshiro256 {
     ///
     /// Panics if `n > bound`.
     pub fn sample_indices(&mut self, bound: usize, n: usize) -> Vec<usize> {
-        assert!(n <= bound, "cannot sample {n} distinct indices from {bound}");
+        assert!(
+            n <= bound,
+            "cannot sample {n} distinct indices from {bound}"
+        );
         let mut reservoir: Vec<usize> = (0..n).collect();
         for i in n..bound {
             let j = self.next_index(i + 1);
@@ -266,7 +269,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move elements");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should move elements"
+        );
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl TopK {
     /// Panics if `k == 0`; an empty result budget is always a caller bug.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// The configured capacity `k`.
@@ -112,7 +115,10 @@ impl TopK {
     /// a pruning threshold.
     pub fn threshold(&self) -> f32 {
         if self.is_full() {
-            self.heap.peek().map(|n| n.distance).unwrap_or(f32::INFINITY)
+            self.heap
+                .peek()
+                .map(|n| n.distance)
+                .unwrap_or(f32::INFINITY)
         } else {
             f32::INFINITY
         }

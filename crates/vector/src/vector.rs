@@ -33,7 +33,9 @@ pub struct Vector {
 impl Vector {
     /// Creates a zero vector of dimension `dim`.
     pub fn zeros(dim: usize) -> Self {
-        Self { data: vec![0.0; dim] }
+        Self {
+            data: vec![0.0; dim],
+        }
     }
 
     /// Returns the dimensionality.
@@ -142,7 +144,9 @@ impl From<Vec<f32>> for Vector {
 
 impl From<&[f32]> for Vector {
     fn from(data: &[f32]) -> Self {
-        Self { data: data.to_vec() }
+        Self {
+            data: data.to_vec(),
+        }
     }
 }
 
@@ -154,7 +158,9 @@ impl AsRef<[f32]> for Vector {
 
 impl FromIterator<f32> for Vector {
     fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
-        Self { data: iter.into_iter().collect() }
+        Self {
+            data: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -28,7 +28,12 @@ pub struct CatalogConfig {
 
 impl Default for CatalogConfig {
     fn default() -> Self {
-        Self { num_products: 1_000, max_images_per_product: 3, num_clusters: 50, seed: 0x0CA7_A106 }
+        Self {
+            num_products: 1_000,
+            max_images_per_product: 3,
+            num_clusters: 50,
+            seed: 0x0CA7_A106,
+        }
     }
 }
 
@@ -54,18 +59,26 @@ impl Product {
     pub fn image_attributes(&self) -> Vec<ProductAttributes> {
         self.urls
             .iter()
-            .map(|u| ProductAttributes::new(self.id, self.sales, self.price, self.praise, u.clone()))
+            .map(|u| {
+                ProductAttributes::new(self.id, self.sales, self.price, self.praise, u.clone())
+            })
             .collect()
     }
 
     /// The `AddProduct` event (re-)listing this product.
     pub fn add_event(&self) -> ProductEvent {
-        ProductEvent::AddProduct { product_id: self.id, images: self.image_attributes() }
+        ProductEvent::AddProduct {
+            product_id: self.id,
+            images: self.image_attributes(),
+        }
     }
 
     /// The `RemoveProduct` event delisting this product.
     pub fn remove_event(&self) -> ProductEvent {
-        ProductEvent::RemoveProduct { product_id: self.id, urls: self.urls.clone() }
+        ProductEvent::RemoveProduct {
+            product_id: self.id,
+            urls: self.urls.clone(),
+        }
     }
 
     /// The visual seed all this product's images share.
@@ -90,7 +103,10 @@ impl Catalog {
     /// Panics if any count in `config` is zero.
     pub fn generate(config: &CatalogConfig) -> Self {
         assert!(config.num_products > 0, "num_products must be positive");
-        assert!(config.max_images_per_product > 0, "max_images_per_product must be positive");
+        assert!(
+            config.max_images_per_product > 0,
+            "max_images_per_product must be positive"
+        );
         assert!(config.num_clusters > 0, "num_clusters must be positive");
         let mut rng = Xoshiro256::seed_from(config.seed);
         let products = (0..config.num_products)
@@ -111,7 +127,11 @@ impl Catalog {
                 }
             })
             .collect();
-        Self { products, num_clusters: config.num_clusters, seed: config.seed }
+        Self {
+            products,
+            num_clusters: config.num_clusters,
+            seed: config.seed,
+        }
     }
 
     /// The products.
@@ -181,7 +201,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = CatalogConfig { num_products: 100, ..Default::default() };
+        let cfg = CatalogConfig {
+            num_products: 100,
+            ..Default::default()
+        };
         assert_eq!(Catalog::generate(&cfg), Catalog::generate(&cfg));
     }
 
@@ -206,7 +229,10 @@ mod tests {
 
     #[test]
     fn urls_are_unique_across_catalog() {
-        let cat = Catalog::generate(&CatalogConfig { num_products: 500, ..Default::default() });
+        let cat = Catalog::generate(&CatalogConfig {
+            num_products: 500,
+            ..Default::default()
+        });
         let mut urls: Vec<&String> = cat.products().iter().flat_map(|p| &p.urls).collect();
         let before = urls.len();
         urls.sort();
@@ -228,7 +254,10 @@ mod tests {
 
     #[test]
     fn materialize_fills_image_store() {
-        let cat = Catalog::generate(&CatalogConfig { num_products: 50, ..Default::default() });
+        let cat = Catalog::generate(&CatalogConfig {
+            num_products: 50,
+            ..Default::default()
+        });
         let store = ImageStore::with_blob_len(32);
         cat.materialize(&store);
         assert_eq!(store.len(), cat.num_images());
@@ -242,7 +271,10 @@ mod tests {
 
     #[test]
     fn events_carry_full_image_sets() {
-        let cat = Catalog::generate(&CatalogConfig { num_products: 10, ..Default::default() });
+        let cat = Catalog::generate(&CatalogConfig {
+            num_products: 10,
+            ..Default::default()
+        });
         let p = &cat.products()[0];
         match p.add_event() {
             ProductEvent::AddProduct { product_id, images } => {
@@ -261,7 +293,10 @@ mod tests {
 
     #[test]
     fn push_new_product_extends_catalog() {
-        let mut cat = Catalog::generate(&CatalogConfig { num_products: 5, ..Default::default() });
+        let mut cat = Catalog::generate(&CatalogConfig {
+            num_products: 5,
+            ..Default::default()
+        });
         let mut rng = Xoshiro256::seed_from(1);
         let id = cat.push_new_product(&mut rng).id;
         assert_eq!(id, ProductId(6));

@@ -1,0 +1,369 @@
+//! Chaos harness: drives a full [`World`] under randomized faults and
+//! checks the serving path's degraded-mode contract.
+//!
+//! The scenario is deterministic for a given seed: a fixed set of searcher
+//! replicas is killed up front, survivors get a drop probability, and a
+//! seeded schedule of *flaps* (crash/recover cycles) and *stragglers*
+//! (temporary slowdowns) perturbs the stack while queries flow. After each
+//! query the harness audits the response against the accounting contract:
+//!
+//! - **identity** — `partitions_ok + partitions_timed_out +
+//!   partitions_failed == partitions_total`;
+//! - **no silent loss** — `partitions_total` always equals the topology's
+//!   partition count, so a response can never claim completeness while
+//!   whole broker groups are missing from the audit trail.
+//!
+//! [`ChaosReport`] summarizes availability (fraction of queries answered
+//! within the end-to-end budget), degradation, and any contract
+//! violations; integration tests assert SLOs on it.
+
+use std::time::{Duration, Instant};
+
+use jdvs_metrics::ResilienceSnapshot;
+use jdvs_vector::rng::Xoshiro256;
+
+use crate::queries::QueryGenerator;
+use crate::scenario::World;
+
+/// Shape of a chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Queries to drive through the stack.
+    pub queries: usize,
+    /// Results requested per query.
+    pub k: usize,
+    /// End-to-end deadline budget per query (stamped by the client).
+    pub deadline: Duration,
+    /// Scheduling grace added to `deadline` when judging "within budget"
+    /// (the budget machinery bounds the *call*; the harness thread still
+    /// pays context-switch noise on top).
+    pub grace: Duration,
+    /// Searcher replicas taken down per partition before the run, starting
+    /// at replica 0. Must leave at least one replica up.
+    pub kill_replicas_per_partition: usize,
+    /// Drop probability injected into every surviving searcher replica.
+    pub drop_probability: f64,
+    /// Every `flap_every` queries a random surviving replica crashes and
+    /// the previously flapped one recovers (`0` disables flapping).
+    pub flap_every: usize,
+    /// Every `straggle_every` queries a random surviving replica gets a
+    /// `straggler_slowdown` penalty and the previous straggler is healed
+    /// (`0` disables stragglers).
+    pub straggle_every: usize,
+    /// Slowdown applied to the current straggler.
+    pub straggler_slowdown: Duration,
+    /// Seed for the fault schedule (queries use their own generator seed).
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            queries: 100,
+            k: 5,
+            deadline: Duration::from_secs(2),
+            grace: Duration::from_millis(250),
+            kill_replicas_per_partition: 0,
+            drop_probability: 0.0,
+            flap_every: 0,
+            straggle_every: 0,
+            straggler_slowdown: Duration::from_millis(50),
+            seed: 0xC4A05,
+        }
+    }
+}
+
+/// Outcome of a chaos run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Queries driven.
+    pub queries: usize,
+    /// Queries that returned `Ok` (possibly degraded).
+    pub ok: usize,
+    /// Queries that returned an RPC error (every blender failed).
+    pub errors: usize,
+    /// Queries answered within `deadline + grace`.
+    pub within_budget: usize,
+    /// `Ok` responses covering every partition.
+    pub complete: usize,
+    /// `Ok` responses with at least one partition lost (and accounted).
+    pub degraded: usize,
+    /// Responses violating `ok + timed_out + failed == total`.
+    pub accounting_violations: usize,
+    /// Responses whose `partitions_total` fell short of the topology's
+    /// partition count — lost work that left no audit trail.
+    pub silently_incomplete: usize,
+    /// Slowest observed query.
+    pub max_latency: Duration,
+    /// Resilience counters accumulated during the run (delta from the
+    /// run's start).
+    pub metrics: ResilienceSnapshot,
+}
+
+impl ChaosReport {
+    /// Fraction of queries answered within the end-to-end budget.
+    pub fn availability(&self) -> f64 {
+        if self.queries == 0 {
+            1.0
+        } else {
+            self.within_budget as f64 / self.queries as f64
+        }
+    }
+}
+
+/// One scheduled fault slot: partition + replica currently affected.
+#[derive(Debug, Clone, Copy)]
+struct FaultSlot {
+    partition: usize,
+    replica: usize,
+}
+
+/// Runs the chaos scenario against `world`'s topology.
+///
+/// Faults are injected into searcher replicas only (the paper's
+/// availability story: "each partition can have multiple copies"); blender
+/// and broker replicas stay healthy so every query failure observed is a
+/// partition-level event the accounting must capture. All injected faults
+/// are cleared before returning.
+///
+/// # Panics
+///
+/// Panics if the kill count would leave a partition with no replicas, or
+/// if `drop_probability` is outside `[0, 1]`.
+pub fn run_chaos(world: &World, config: &ChaosConfig) -> ChaosReport {
+    let shape = world.topology().indexes();
+    let num_partitions = shape.len();
+    let replicas = shape.first().map(Vec::len).unwrap_or(0);
+    assert!(
+        config.kill_replicas_per_partition < replicas,
+        "must leave at least one live replica per partition"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.drop_probability),
+        "drop_probability must be in [0, 1]"
+    );
+    let survivors: Vec<usize> = (config.kill_replicas_per_partition..replicas).collect();
+
+    // Static faults: dead replicas and lossy survivors.
+    for p in 0..num_partitions {
+        for r in 0..config.kill_replicas_per_partition {
+            world.topology().searcher_faults(p, r).set_down(true);
+        }
+        for &r in &survivors {
+            world
+                .topology()
+                .searcher_faults(p, r)
+                .set_drop_probability(config.drop_probability);
+        }
+    }
+
+    let mut rng = Xoshiro256::seed_from(config.seed);
+    let generator = QueryGenerator::new(world.catalog(), config.seed ^ 0x9E37);
+    let client = world.client(config.deadline);
+    let before = world.topology().resilience_snapshot();
+
+    let mut flapped: Option<FaultSlot> = None;
+    let mut straggler: Option<FaultSlot> = None;
+    let mut report = ChaosReport {
+        queries: config.queries,
+        ok: 0,
+        errors: 0,
+        within_budget: 0,
+        complete: 0,
+        degraded: 0,
+        accounting_violations: 0,
+        silently_incomplete: 0,
+        max_latency: Duration::ZERO,
+        metrics: ResilienceSnapshot::default(),
+    };
+
+    for i in 0..config.queries {
+        // Rotate the flapping crash: recover the previous victim, down a
+        // new one. Never flap while only one survivor exists.
+        if config.flap_every > 0 && i % config.flap_every == 0 && survivors.len() > 1 {
+            if let Some(slot) = flapped.take() {
+                world
+                    .topology()
+                    .searcher_faults(slot.partition, slot.replica)
+                    .set_down(false);
+            }
+            let slot = FaultSlot {
+                partition: rng.next_index(num_partitions),
+                replica: survivors[rng.next_index(survivors.len())],
+            };
+            world
+                .topology()
+                .searcher_faults(slot.partition, slot.replica)
+                .set_down(true);
+            flapped = Some(slot);
+        }
+        // Rotate the straggler slowdown.
+        if config.straggle_every > 0 && i % config.straggle_every == 0 {
+            if let Some(slot) = straggler.take() {
+                world
+                    .topology()
+                    .searcher_faults(slot.partition, slot.replica)
+                    .set_slowdown(Duration::ZERO);
+            }
+            let slot = FaultSlot {
+                partition: rng.next_index(num_partitions),
+                replica: survivors[rng.next_index(survivors.len())],
+            };
+            world
+                .topology()
+                .searcher_faults(slot.partition, slot.replica)
+                .set_slowdown(config.straggler_slowdown);
+            straggler = Some(slot);
+        }
+
+        let (query, _cluster) = generator.next_query(world.images(), config.k);
+        let start = Instant::now();
+        let outcome = client.search(query);
+        let elapsed = start.elapsed();
+        report.max_latency = report.max_latency.max(elapsed);
+        if elapsed <= config.deadline + config.grace {
+            report.within_budget += 1;
+        }
+        match outcome {
+            Ok(resp) => {
+                report.ok += 1;
+                audit(&resp, num_partitions, &mut report);
+            }
+            Err(_) => report.errors += 1,
+        }
+    }
+
+    // Heal everything the run injected.
+    for p in 0..num_partitions {
+        for r in 0..replicas {
+            let faults = world.topology().searcher_faults(p, r);
+            faults.set_down(false);
+            faults.set_drop_probability(0.0);
+            faults.set_slowdown(Duration::ZERO);
+        }
+    }
+
+    let after = world.topology().resilience_snapshot();
+    report.metrics = delta(&before, &after);
+    report
+}
+
+/// Checks one response against the degraded-mode accounting contract.
+fn audit(
+    resp: &jdvs_search::protocol::SearchResponse,
+    num_partitions: usize,
+    report: &mut ChaosReport,
+) {
+    let accounted = resp.partitions_ok + resp.partitions_timed_out + resp.partitions_failed;
+    if accounted != resp.partitions_total {
+        report.accounting_violations += 1;
+    }
+    if resp.partitions_total < num_partitions {
+        report.silently_incomplete += 1;
+    }
+    if resp.is_complete() {
+        report.complete += 1;
+    } else {
+        report.degraded += 1;
+    }
+}
+
+fn delta(before: &ResilienceSnapshot, after: &ResilienceSnapshot) -> ResilienceSnapshot {
+    ResilienceSnapshot {
+        queries_total: after.queries_total - before.queries_total,
+        queries_degraded: after.queries_degraded - before.queries_degraded,
+        queries_budget_exhausted: after.queries_budget_exhausted - before.queries_budget_exhausted,
+        partitions_timed_out: after.partitions_timed_out - before.partitions_timed_out,
+        partitions_failed: after.partitions_failed - before.partitions_failed,
+        call_failures: after.call_failures - before.call_failures,
+        retries: after.retries - before.retries,
+        hedges_launched: after.hedges_launched - before.hedges_launched,
+        hedges_won: after.hedges_won - before.hedges_won,
+        breaker_opens: after.breaker_opens - before.breaker_opens,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::WorldConfig;
+
+    fn chaos_world(replicas: usize) -> World {
+        let mut config = WorldConfig::fast_test();
+        config.topology.replicas_per_partition = replicas;
+        World::build(config)
+    }
+
+    #[test]
+    fn healthy_run_is_fully_available_and_complete() {
+        let world = chaos_world(1);
+        let report = run_chaos(
+            &world,
+            &ChaosConfig {
+                queries: 20,
+                ..ChaosConfig::default()
+            },
+        );
+        assert_eq!(report.ok, 20);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.complete, 20);
+        assert_eq!(report.degraded, 0);
+        assert_eq!(report.accounting_violations, 0);
+        assert_eq!(report.silently_incomplete, 0);
+        assert!((report.availability() - 1.0).abs() < 1e-9);
+        assert_eq!(report.metrics.queries_total, 20);
+    }
+
+    #[test]
+    fn killed_replicas_fail_over_without_degradation() {
+        let world = chaos_world(2);
+        let report = run_chaos(
+            &world,
+            &ChaosConfig {
+                queries: 20,
+                kill_replicas_per_partition: 1,
+                ..ChaosConfig::default()
+            },
+        );
+        assert_eq!(report.ok, 20, "failover keeps serving: {report:?}");
+        assert_eq!(report.accounting_violations, 0);
+        assert_eq!(report.silently_incomplete, 0);
+    }
+
+    #[test]
+    fn faults_are_cleared_after_the_run() {
+        let world = chaos_world(2);
+        let _ = run_chaos(
+            &world,
+            &ChaosConfig {
+                queries: 5,
+                kill_replicas_per_partition: 1,
+                drop_probability: 1.0,
+                ..ChaosConfig::default()
+            },
+        );
+        // After healing, a follow-up healthy run sees no faults.
+        let clean = run_chaos(
+            &world,
+            &ChaosConfig {
+                queries: 10,
+                ..ChaosConfig::default()
+            },
+        );
+        assert_eq!(clean.ok, 10);
+        assert_eq!(clean.complete, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one live replica")]
+    fn killing_every_replica_panics() {
+        let world = chaos_world(1);
+        let _ = run_chaos(
+            &world,
+            &ChaosConfig {
+                kill_replicas_per_partition: 1,
+                ..ChaosConfig::default()
+            },
+        );
+    }
+}

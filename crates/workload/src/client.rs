@@ -197,7 +197,11 @@ mod tests {
     #[test]
     fn driver_measures_a_small_world() {
         let world = World::build(WorldConfig {
-            catalog: CatalogConfig { num_products: 60, num_clusters: 6, ..Default::default() },
+            catalog: CatalogConfig {
+                num_products: 60,
+                num_clusters: 6,
+                ..Default::default()
+            },
             ..WorldConfig::fast_test()
         });
         let generator = QueryGenerator::new(world.catalog(), 9);
@@ -230,7 +234,10 @@ mod tests {
             &client,
             &generator,
             world.images(),
-            ClosedLoopConfig { threads: 0, ..Default::default() },
+            ClosedLoopConfig {
+                threads: 0,
+                ..Default::default()
+            },
         );
     }
 }

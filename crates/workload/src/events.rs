@@ -117,11 +117,7 @@ impl DailyPlan {
     ///
     /// Panics if `config.total_events == 0`, fractions are out of range, or
     /// the catalog is empty.
-    pub fn generate(
-        catalog: &mut Catalog,
-        store: &ImageStore,
-        config: &DailyPlanConfig,
-    ) -> Self {
+    pub fn generate(catalog: &mut Catalog, store: &ImageStore, config: &DailyPlanConfig) -> Self {
         assert!(config.total_events > 0, "total_events must be positive");
         assert!(!catalog.is_empty(), "catalog cannot be empty");
         let frac_sum = config.update_frac + config.addition_frac;
@@ -131,7 +127,10 @@ impl DailyPlan {
                 && frac_sum <= 1.0 + 1e-9,
             "event fractions must be probabilities summing to at most 1"
         );
-        assert!((0.0..=1.0).contains(&config.relist_frac), "relist_frac must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&config.relist_frac),
+            "relist_frac must be in [0,1]"
+        );
         assert!(
             (0.0..=1.0).contains(&config.predelisted_frac),
             "predelisted_frac must be in [0,1]"
@@ -144,8 +143,7 @@ impl DailyPlan {
         // Listing state: a configurable slice of the catalog starts the
         // day delisted (off-market inventory from previous days); the rest
         // is listed.
-        let n_predelisted =
-            ((catalog.len() as f64) * config.predelisted_frac).round() as usize;
+        let n_predelisted = ((catalog.len() as f64) * config.predelisted_frac).round() as usize;
         let n_predelisted = n_predelisted.min(catalog.len().saturating_sub(1));
         let mut all: Vec<usize> = (0..catalog.len()).collect();
         rng.shuffle(&mut all);
@@ -177,8 +175,16 @@ impl DailyPlan {
                     product_id: p.id,
                     urls: p.urls.clone(),
                     sales: Some(rng.next_bounded(200_000)),
-                    price: if rng.next_bool(0.3) { Some(99 + rng.next_bounded(1_000_000)) } else { None },
-                    praise: if rng.next_bool(0.5) { Some(rng.next_bounded(20_000)) } else { None },
+                    price: if rng.next_bool(0.3) {
+                        Some(99 + rng.next_bounded(1_000_000))
+                    } else {
+                        None
+                    },
+                    praise: if rng.next_bool(0.5) {
+                        Some(rng.next_bounded(20_000))
+                    } else {
+                        None
+                    },
                 }
             } else if roll < config.update_frac + config.addition_frac {
                 counts.additions += 1;
@@ -219,7 +225,11 @@ impl DailyPlan {
             counts.total += 1;
             events.push(TimedEvent { hour, event });
         }
-        Self { events, counts, predelisted }
+        Self {
+            events,
+            counts,
+            predelisted,
+        }
     }
 
     /// Products that start the day delisted — callers replaying the plan
@@ -257,7 +267,9 @@ impl DailyPlan {
     /// The hour with the most events.
     pub fn peak_hour(&self) -> usize {
         let hourly = self.hourly_counts();
-        (0..24).max_by_key(|&h| hourly[h].iter().sum::<u64>()).unwrap_or(0)
+        (0..24)
+            .max_by_key(|&h| hourly[h].iter().sum::<u64>())
+            .unwrap_or(0)
     }
 }
 
@@ -285,14 +297,20 @@ mod tests {
     fn setup(total: usize, seed: u64) -> (DailyPlan, Catalog) {
         // Catalog sized so the pre-delisted pool can feed the day's
         // re-listings (see predelisted_frac docs).
-        let mut catalog =
-            Catalog::generate(&CatalogConfig { num_products: 20_000, ..Default::default() });
+        let mut catalog = Catalog::generate(&CatalogConfig {
+            num_products: 20_000,
+            ..Default::default()
+        });
         let store = ImageStore::with_blob_len(32);
         catalog.materialize(&store);
         let plan = DailyPlan::generate(
             &mut catalog,
             &store,
-            &DailyPlanConfig { total_events: total, seed, ..Default::default() },
+            &DailyPlanConfig {
+                total_events: total,
+                seed,
+                ..Default::default()
+            },
         );
         (plan, catalog)
     }
@@ -305,9 +323,18 @@ mod tests {
         let update_frac = c.updates as f64 / c.total as f64;
         let add_frac = c.additions as f64 / c.total as f64;
         let del_frac = c.deletions as f64 / c.total as f64;
-        assert!((update_frac - TABLE1_UPDATE_FRAC).abs() < 0.02, "updates {update_frac}");
-        assert!((add_frac - TABLE1_ADDITION_FRAC).abs() < 0.02, "additions {add_frac}");
-        assert!((del_frac - TABLE1_DELETION_FRAC).abs() < 0.02, "deletions {del_frac}");
+        assert!(
+            (update_frac - TABLE1_UPDATE_FRAC).abs() < 0.02,
+            "updates {update_frac}"
+        );
+        assert!(
+            (add_frac - TABLE1_ADDITION_FRAC).abs() < 0.02,
+            "additions {add_frac}"
+        );
+        assert!(
+            (del_frac - TABLE1_DELETION_FRAC).abs() < 0.02,
+            "deletions {del_frac}"
+        );
         // Re-list share of additions ~ 98.5%; early in the day there is
         // nothing to re-list, so allow slack.
         let relist_frac = c.relists as f64 / c.additions as f64;
@@ -369,8 +396,10 @@ mod tests {
 
     #[test]
     fn new_products_get_blobs_materialized() {
-        let mut catalog =
-            Catalog::generate(&CatalogConfig { num_products: 100, ..Default::default() });
+        let mut catalog = Catalog::generate(&CatalogConfig {
+            num_products: 100,
+            ..Default::default()
+        });
         // Small catalog: the relist pool drains fast, forcing new products.
         let store = ImageStore::with_blob_len(32);
         catalog.materialize(&store);
@@ -378,7 +407,11 @@ mod tests {
         let plan = DailyPlan::generate(
             &mut catalog,
             &store,
-            &DailyPlanConfig { total_events: 5_000, seed: 5, ..Default::default() },
+            &DailyPlanConfig {
+                total_events: 5_000,
+                seed: 5,
+                ..Default::default()
+            },
         );
         // Some additions must have been brand-new products with new blobs.
         assert!(store.len() > before, "new products need blobs");
@@ -388,13 +421,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "total_events must be positive")]
     fn zero_events_panics() {
-        let mut catalog =
-            Catalog::generate(&CatalogConfig { num_products: 10, ..Default::default() });
+        let mut catalog = Catalog::generate(&CatalogConfig {
+            num_products: 10,
+            ..Default::default()
+        });
         let store = ImageStore::with_blob_len(32);
         DailyPlan::generate(
             &mut catalog,
             &store,
-            &DailyPlanConfig { total_events: 0, ..Default::default() },
+            &DailyPlanConfig {
+                total_events: 0,
+                ..Default::default()
+            },
         );
     }
 }

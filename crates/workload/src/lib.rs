@@ -14,17 +14,22 @@
 //!   the paper's client machine (Section 3.2).
 //! - [`scenario`] — one-call experiment worlds shared by the examples,
 //!   integration tests and the `repro` benchmark harness.
+//! - [`chaos`] — fault-schedule driver auditing the serving path's
+//!   degraded-mode accounting contract under crashes, drops and
+//!   stragglers.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod catalog;
+pub mod chaos;
 pub mod client;
 pub mod events;
 pub mod queries;
 pub mod scenario;
 
 pub use catalog::{Catalog, CatalogConfig};
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use client::{ClosedLoopConfig, ClosedLoopDriver, LoadReport};
 pub use events::{DailyPlan, DailyPlanConfig, TimedEvent};
 pub use queries::QueryGenerator;

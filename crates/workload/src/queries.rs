@@ -58,14 +58,12 @@ impl QueryGenerator {
     /// # Panics
     ///
     /// Panics if `pool_size == 0` or `probability` is outside `[0, 1]`.
-    pub fn with_viral(
-        mut self,
-        store: &ImageStore,
-        pool_size: usize,
-        probability: f64,
-    ) -> Self {
+    pub fn with_viral(mut self, store: &ImageStore, pool_size: usize, probability: f64) -> Self {
         assert!(pool_size > 0, "viral pool must be non-empty");
-        assert!((0.0..=1.0).contains(&probability), "probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability must be in [0,1]"
+        );
         let mut rng = self.rng.lock();
         let pool = (0..pool_size)
             .map(|i| {
@@ -123,7 +121,11 @@ mod tests {
     use jdvs_search::protocol::QueryInput;
 
     fn catalog() -> Catalog {
-        Catalog::generate(&CatalogConfig { num_products: 100, num_clusters: 8, ..Default::default() })
+        Catalog::generate(&CatalogConfig {
+            num_products: 100,
+            num_clusters: 8,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -162,8 +164,9 @@ mod tests {
         let store = ImageStore::with_blob_len(32);
         let generator = QueryGenerator::new(&cat, 3);
         assert_eq!(generator.num_clusters(), 8);
-        let clusters: std::collections::HashSet<u64> =
-            (0..200).map(|_| generator.next_query(&store, 1).1).collect();
+        let clusters: std::collections::HashSet<u64> = (0..200)
+            .map(|_| generator.next_query(&store, 1).1)
+            .collect();
         assert_eq!(clusters.len(), 8, "all clusters should appear in 200 draws");
     }
 
@@ -185,7 +188,10 @@ mod tests {
             .filter(|(u, _)| u.contains("viral"))
             .map(|(_, c)| *c)
             .sum();
-        assert!((120..280).contains(&repeats), "~50% viral expected, got {repeats}/400");
+        assert!(
+            (120..280).contains(&repeats),
+            "~50% viral expected, got {repeats}/400"
+        );
         assert!(
             urls.keys().filter(|u| u.contains("viral")).count() <= 3,
             "viral pool is fixed"

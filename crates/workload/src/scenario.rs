@@ -67,7 +67,11 @@ impl WorldConfig {
     /// index, 2 partitions, no latency, free extraction.
     pub fn fast_test() -> Self {
         Self {
-            catalog: CatalogConfig { num_products: 40, num_clusters: 5, ..Default::default() },
+            catalog: CatalogConfig {
+                num_products: 40,
+                num_clusters: 5,
+                ..Default::default()
+            },
             topology: TopologyConfig {
                 index: IndexConfig {
                     dim: 16,
@@ -151,8 +155,9 @@ impl World {
                 (jdvs_features::category::CategoryId(c as u32), center)
             })
             .collect();
-        config.topology.category_detector =
-            Some(Arc::new(jdvs_features::category::CategoryDetector::new(prototypes)));
+        config.topology.category_detector = Some(Arc::new(
+            jdvs_features::category::CategoryDetector::new(prototypes),
+        ));
 
         // Extract features for every catalog image once (populates the
         // feature DB — the state after the first full indexing) and use a
@@ -172,7 +177,10 @@ impl World {
                 }
             }
         }
-        assert!(!training.is_empty(), "catalog produced no trainable features");
+        assert!(
+            !training.is_empty(),
+            "catalog produced no trainable features"
+        );
 
         let topology = SearchTopology::build(
             config.topology.clone(),
@@ -213,7 +221,13 @@ impl World {
         }
         topology.wait_for_freshness(Duration::from_secs(120));
 
-        Self { catalog, images, feature_db, extractor, topology }
+        Self {
+            catalog,
+            images,
+            feature_db,
+            extractor,
+            topology,
+        }
     }
 
     /// The catalog (immutable view; event generation clones it).
@@ -258,7 +272,11 @@ impl World {
 
     /// The visual cluster of a product (ground truth for hit-rate checks).
     pub fn cluster_of(&self, product: ProductId) -> Option<u64> {
-        self.catalog.products().iter().find(|p| p.id == product).map(|p| p.cluster)
+        self.catalog
+            .products()
+            .iter()
+            .find(|p| p.id == product)
+            .map(|p| p.cluster)
     }
 
     /// Publishes catalog events at a steady rate on a background thread;
@@ -293,7 +311,10 @@ impl World {
                 published
             })
             .expect("spawning update stream");
-        UpdateStreamHandle { stop, handle: Some(handle) }
+        UpdateStreamHandle {
+            stop,
+            handle: Some(handle),
+        }
     }
 }
 
@@ -308,12 +329,18 @@ impl UpdateStreamHandle {
     /// Stops the stream and returns how many events were published.
     pub fn stop(mut self) -> u64 {
         self.stop.store(true, Ordering::SeqCst);
-        self.handle.take().map(|h| h.join().unwrap_or(0)).unwrap_or(0)
+        self.handle
+            .take()
+            .map(|h| h.join().unwrap_or(0))
+            .unwrap_or(0)
     }
 
     /// Waits for the stream to publish everything.
     pub fn join(mut self) -> u64 {
-        self.handle.take().map(|h| h.join().unwrap_or(0)).unwrap_or(0)
+        self.handle
+            .take()
+            .map(|h| h.join().unwrap_or(0))
+            .unwrap_or(0)
     }
 }
 
@@ -344,7 +371,11 @@ mod tests {
             .flatten()
             .map(|i| i.num_images())
             .sum();
-        assert_eq!(total, world.catalog().num_images(), "every image in exactly one partition");
+        assert_eq!(
+            total,
+            world.catalog().num_images(),
+            "every image in exactly one partition"
+        );
     }
 
     #[test]
@@ -376,7 +407,11 @@ mod tests {
         let plan = DailyPlan::generate(
             world.catalog_mut(),
             &store,
-            &DailyPlanConfig { total_events: 200, seed: 3, ..Default::default() },
+            &DailyPlanConfig {
+                total_events: 200,
+                seed: 3,
+                ..Default::default()
+            },
         );
         let before: u64 = world
             .topology()
@@ -410,7 +445,10 @@ mod tests {
         let handle = world.start_update_stream(events, 1_000); // 1k/s → 10s total
         std::thread::sleep(Duration::from_millis(100));
         let published = handle.stop();
-        assert!(published < 10_000, "stream should stop early, published {published}");
+        assert!(
+            published < 10_000,
+            "stream should stop early, published {published}"
+        );
     }
 
     #[test]
@@ -426,7 +464,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 9, "category detection accuracy too low: {correct}/10");
+        assert!(
+            correct >= 9,
+            "category detection accuracy too low: {correct}/10"
+        );
     }
 
     #[test]
@@ -435,8 +476,13 @@ mod tests {
         let client = world.client(Duration::from_secs(5));
         let product = &world.catalog().products()[3];
         let url = product.urls[0].clone();
-        let resp = client.search(SearchQuery::by_image_url(url.clone(), 1)).unwrap();
-        assert_eq!(resp.results[0].hit.product_id, product.id, "exact image match wins");
+        let resp = client
+            .search(SearchQuery::by_image_url(url.clone(), 1))
+            .unwrap();
+        assert_eq!(
+            resp.results[0].hit.product_id, product.id,
+            "exact image match wins"
+        );
         // Sanity: the query really went through the URL path.
         match SearchQuery::by_image_url(url, 1).input {
             QueryInput::ImageUrl(_) => {}

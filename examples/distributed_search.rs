@@ -23,9 +23,18 @@ use jdvs::workload::scenario::{World, WorldConfig};
 fn main() {
     println!("jdvs distributed search demo — building an 8-partition, 2-replica stack...");
     let world = World::build(WorldConfig {
-        catalog: CatalogConfig { num_products: 800, num_clusters: 40, ..Default::default() },
+        catalog: CatalogConfig {
+            num_products: 800,
+            num_clusters: 40,
+            ..Default::default()
+        },
         topology: TopologyConfig {
-            index: IndexConfig { dim: 32, num_lists: 16, nprobe: 8, ..Default::default() },
+            index: IndexConfig {
+                dim: 32,
+                num_lists: 16,
+                nprobe: 8,
+                ..Default::default()
+            },
             num_partitions: 8,
             replicas_per_partition: 2,
             num_broker_groups: 2,
@@ -64,13 +73,15 @@ fn main() {
             match client.search(query) {
                 Ok(resp) if !resp.results.is_empty() => {
                     ok += 1;
-                    total_answered += resp.partitions_answered;
+                    total_answered += resp.groups_answered;
                 }
                 _ => {}
             }
         }
-        println!("{label}: {ok}/20 queries succeeded (avg broker groups answering: {:.1})",
-            total_answered as f64 / 20.0);
+        println!(
+            "{label}: {ok}/20 queries succeeded (avg broker groups answering: {:.1})",
+            total_answered as f64 / 20.0
+        );
         ok
     };
 
@@ -93,7 +104,10 @@ fn main() {
     }
     world.topology().broker_faults(0, 0).set_down(false);
     world.topology().broker_faults(1, 0).set_down(false);
-    world.topology().searcher_faults(3, 0).set_slowdown(Duration::from_millis(20));
+    world
+        .topology()
+        .searcher_faults(3, 0)
+        .set_slowdown(Duration::from_millis(20));
     assert_eq!(run_queries("one straggler searcher  "), 20);
 
     println!("\nfault-tolerance walkthrough OK: no query loss through replica/broker failures");

@@ -34,13 +34,19 @@ fn main() {
     let plan = DailyPlan::generate(
         world.catalog_mut(),
         &store,
-        &DailyPlanConfig { total_events: scale_events, seed: 11, ..Default::default() },
+        &DailyPlanConfig {
+            total_events: scale_events,
+            seed: 11,
+            ..Default::default()
+        },
     );
 
     // Table 1 analogue.
     let c = plan.counts();
-    println!("Table 1 (scaled): total={} updates={} additions={} (re-listings={}) deletions={}",
-        c.total, c.updates, c.additions, c.relists, c.deletions);
+    println!(
+        "Table 1 (scaled): total={} updates={} additions={} (re-listings={}) deletions={}",
+        c.total, c.updates, c.additions, c.relists, c.deletions
+    );
     println!(
         "  mix: {:.1}% updates / {:.1}% additions / {:.1}% deletions; re-list share {:.1}%\n",
         100.0 * c.updates as f64 / c.total as f64,
@@ -81,19 +87,31 @@ fn main() {
         .map(|i| i.stats().reuses.get())
         .sum();
 
-    println!("replayed {} events in {:?} ({:.0} events/s)", c.total, wall,
-        c.total as f64 / wall.as_secs_f64());
-    println!("feature reuse events during replay: {}\n", reuse_after - reuse_before);
+    println!(
+        "replayed {} events in {:?} ({:.0} events/s)",
+        c.total,
+        wall,
+        c.total as f64 / wall.as_secs_f64()
+    );
+    println!(
+        "feature reuse events during replay: {}\n",
+        reuse_after - reuse_before
+    );
 
     // Figure 11(a) analogue: hourly rates.
     println!("Figure 11(a) (scaled): hourly real-time index updates");
     let hourly = plan.hourly_counts();
-    let max_total: u64 = (0..24).map(|h| hourly[h].iter().sum::<u64>()).max().unwrap_or(1);
+    let max_total: u64 = (0..24)
+        .map(|h| hourly[h].iter().sum::<u64>())
+        .max()
+        .unwrap_or(1);
     for (h, counts) in hourly.iter().enumerate() {
         let total: u64 = counts.iter().sum();
         let bar = "#".repeat((total * 40 / max_total.max(1)) as usize);
-        println!("  {h:>2}:00  upd={:>5} add={:>5} del={:>5} total={:>6} {bar}",
-            counts[0], counts[1], counts[2], total);
+        println!(
+            "  {h:>2}:00  upd={:>5} add={:>5} del={:>5} total={:>6} {bar}",
+            counts[0], counts[1], counts[2], total
+        );
     }
     println!("  peak hour: {}:00 (paper: 11:00)\n", plan.peak_hour());
 
@@ -103,7 +121,10 @@ fn main() {
         if series.hour_histogram(h).count() == 0 {
             continue;
         }
-        println!("  {h:>2}:00  mean={:>8.1}µs p90={:>6}µs p99={:>6}µs", mean, p90, p99);
+        println!(
+            "  {h:>2}:00  mean={:>8.1}µs p90={:>6}µs p99={:>6}µs",
+            mean, p90, p99
+        );
     }
     let day = series.day_histogram();
     println!("  whole day: {}", day.summary());

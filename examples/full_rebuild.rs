@@ -23,7 +23,11 @@ use jdvs::workload::scenario::{World, WorldConfig};
 fn main() {
     println!("jdvs online full-rebuild demo\n");
     let mut world = World::build(WorldConfig {
-        catalog: CatalogConfig { num_products: 2_000, num_clusters: 40, ..Default::default() },
+        catalog: CatalogConfig {
+            num_products: 2_000,
+            num_clusters: 40,
+            ..Default::default()
+        },
         ..WorldConfig::fast_test()
     });
 
@@ -32,7 +36,11 @@ fn main() {
     let plan = DailyPlan::generate(
         world.catalog_mut(),
         &store,
-        &DailyPlanConfig { total_events: 4_000, seed: 77, ..Default::default() },
+        &DailyPlanConfig {
+            total_events: 4_000,
+            seed: 77,
+            ..Default::default()
+        },
     );
     world.start_update_stream(plan.events().to_vec(), 0).join();
     // End of the week: a slice of the catalog is off the market for good
@@ -49,7 +57,10 @@ fn main() {
             records += row[0].num_images();
             valid += row[0].valid_images();
         }
-        println!("{label}: {records} records, {valid} valid ({} logically deleted)", records - valid);
+        println!(
+            "{label}: {records} records, {valid} valid ({} logically deleted)",
+            records - valid
+        );
         (records, valid)
     };
     let (records_before, valid_before) = report_state("before rebuild", &world);
@@ -62,8 +73,12 @@ fn main() {
     let failed = Arc::new(AtomicU64::new(0));
     let images = Arc::clone(world.images());
     let query_thread = {
-        let (stop, ok, failed, generator) =
-            (Arc::clone(&stop), Arc::clone(&ok), Arc::clone(&failed), Arc::clone(&generator));
+        let (stop, ok, failed, generator) = (
+            Arc::clone(&stop),
+            Arc::clone(&ok),
+            Arc::clone(&failed),
+            Arc::clone(&generator),
+        );
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
                 let (query, _) = generator.next_query(&images, 3);
@@ -96,9 +111,18 @@ fn main() {
         ok.load(Ordering::Relaxed),
         failed.load(Ordering::Relaxed)
     );
-    assert_eq!(valid_after, valid_before, "rebuild must not lose valid images");
-    assert!(records_after < records_before, "rebuild must reclaim deleted records");
-    assert_eq!(records_after, valid_after, "fresh index holds only valid records");
+    assert_eq!(
+        valid_after, valid_before,
+        "rebuild must not lose valid images"
+    );
+    assert!(
+        records_after < records_before,
+        "rebuild must reclaim deleted records"
+    );
+    assert_eq!(
+        records_after, valid_after,
+        "fresh index holds only valid records"
+    );
 
     // Freshness still works post-swap.
     let product = world.catalog().products()[3].clone();

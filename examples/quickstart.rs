@@ -20,7 +20,11 @@ fn main() {
     println!("jdvs quickstart — building a small world...");
     let t0 = Instant::now();
     let world = World::build(WorldConfig {
-        catalog: CatalogConfig { num_products: 600, num_clusters: 30, ..Default::default() },
+        catalog: CatalogConfig {
+            num_products: 600,
+            num_clusters: 30,
+            ..Default::default()
+        },
         ..WorldConfig::fast_test()
     });
     println!(
@@ -43,13 +47,25 @@ fn main() {
         };
         let t = Instant::now();
         let resp = client.search(query).expect("search failed");
-        println!("query #{round} (photo {url}, visual family {cluster}) — {:?}", t.elapsed());
-        println!("  {:<8} {:>10} {:>10} {:>8} {:>8}  url", "score", "distance", "product", "sales", "price");
+        println!(
+            "query #{round} (photo {url}, visual family {cluster}) — {:?}",
+            t.elapsed()
+        );
+        println!(
+            "  {:<8} {:>10} {:>10} {:>8} {:>8}  url",
+            "score", "distance", "product", "sales", "price"
+        );
         for r in &resp.results {
             let family = world.cluster_of(r.hit.product_id);
             println!(
                 "  {:<8.4} {:>10.4} {:>10} {:>8} {:>8}  {} (family {:?})",
-                r.score, r.hit.distance, r.hit.product_id, r.hit.sales, r.hit.price, r.hit.url, family
+                r.score,
+                r.hit.distance,
+                r.hit.product_id,
+                r.hit.sales,
+                r.hit.price,
+                r.hit.url,
+                family
             );
         }
         let same = resp
@@ -57,7 +73,10 @@ fn main() {
             .iter()
             .filter(|r| world.cluster_of(r.hit.product_id) == Some(cluster))
             .count();
-        println!("  → {same}/{} results from the query's own product family\n", resp.results.len());
+        println!(
+            "  → {same}/{} results from the query's own product family\n",
+            resp.results.len()
+        );
     }
 
     // Exact-image query: searching with an indexed image returns its product.

@@ -31,7 +31,11 @@ fn visible_within(deadline: Duration, mut check: impl FnMut() -> bool) -> Option
 fn main() {
     println!("jdvs real-time freshness demo\n");
     let world = World::build(WorldConfig {
-        catalog: CatalogConfig { num_products: 300, num_clusters: 20, ..Default::default() },
+        catalog: CatalogConfig {
+            num_products: 300,
+            num_clusters: 20,
+            ..Default::default()
+        },
         ..WorldConfig::fast_test()
     });
     let client = world.client(Duration::from_secs(5));
@@ -51,7 +55,9 @@ fn main() {
                 index.flush();
             }
         }
-        let resp = client.search(SearchQuery::by_image_url(url.clone(), 1)).unwrap();
+        let resp = client
+            .search(SearchQuery::by_image_url(url.clone(), 1))
+            .unwrap();
         resp.results.first().map(|r| r.hit.product_id) == Some(ProductId(999_901))
     })
     .expect("addition never became visible");
@@ -66,7 +72,9 @@ fn main() {
         praise: None,
     });
     let latency = visible_within(Duration::from_secs(10), || {
-        let resp = client.search(SearchQuery::by_image_url(url.clone(), 1)).unwrap();
+        let resp = client
+            .search(SearchQuery::by_image_url(url.clone(), 1))
+            .unwrap();
         resp.results.first().map(|r| r.hit.price) == Some(9_900)
     })
     .expect("update never became visible");
@@ -78,7 +86,9 @@ fn main() {
         urls: vec![url.clone()],
     });
     let latency = visible_within(Duration::from_secs(10), || {
-        let resp = client.search(SearchQuery::by_image_url(url.clone(), 1)).unwrap();
+        let resp = client
+            .search(SearchQuery::by_image_url(url.clone(), 1))
+            .unwrap();
         resp.results.first().map(|r| r.hit.product_id) != Some(ProductId(999_901))
     })
     .expect("deletion never became visible");
@@ -98,7 +108,9 @@ fn main() {
         images: vec![attrs],
     });
     let latency = visible_within(Duration::from_secs(10), || {
-        let resp = client.search(SearchQuery::by_image_url(url.clone(), 1)).unwrap();
+        let resp = client
+            .search(SearchQuery::by_image_url(url.clone(), 1))
+            .unwrap();
         resp.results.first().map(|r| r.hit.product_id) == Some(ProductId(999_901))
     })
     .expect("re-listing never became visible");
@@ -113,7 +125,10 @@ fn main() {
         "re-listing → searchable after {latency:?} (feature reuse path: {} reuse events, no re-extraction)",
         reuse_after - reuse_before
     );
-    assert!(reuse_after > reuse_before, "re-listing must take the reuse path");
+    assert!(
+        reuse_after > reuse_before,
+        "re-listing must take the reuse path"
+    );
 
     println!("\nall four real-time paths verified end-to-end");
 }

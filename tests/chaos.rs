@@ -1,0 +1,123 @@
+//! Chaos integration test: the full topology under the acceptance
+//! scenario — 1 of 3 searcher replicas per partition down, 10% drop rate
+//! on the survivors, plus rotating crash/recover flaps and stragglers —
+//! must keep the availability SLO and never lose a partition silently.
+
+use std::time::Duration;
+
+use jdvs_core::IndexConfig;
+use jdvs_net::{HealthPolicy, RetryPolicy};
+use jdvs_search::topology::TopologyConfig;
+use jdvs_workload::catalog::CatalogConfig;
+use jdvs_workload::{run_chaos, ChaosConfig, World, WorldConfig};
+
+fn chaos_world() -> World {
+    World::build(WorldConfig {
+        catalog: CatalogConfig {
+            num_products: 60,
+            num_clusters: 6,
+            ..Default::default()
+        },
+        topology: TopologyConfig {
+            index: IndexConfig {
+                dim: 16,
+                num_lists: 8,
+                nprobe: 8,
+                initial_list_capacity: 16,
+                ..Default::default()
+            },
+            num_partitions: 4,
+            replicas_per_partition: 3,
+            num_broker_groups: 2,
+            broker_replicas: 2,
+            num_blenders: 2,
+            // Give brokers hedging so stragglers are raced, and a breaker
+            // that trips fast and probes quickly.
+            hedge_after: Some(Duration::from_millis(100)),
+            health: HealthPolicy {
+                failure_threshold: 3,
+                cooldown: Duration::from_millis(100),
+            },
+            retry: RetryPolicy::default(),
+            ranking: jdvs_search::RankingPolicy::similarity_only(),
+            ..Default::default()
+        },
+        seed: 0xC4A05,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn degraded_cluster_meets_availability_slo_with_accurate_accounting() {
+    let world = chaos_world();
+    let config = ChaosConfig {
+        queries: 100,
+        k: 5,
+        deadline: Duration::from_secs(2),
+        grace: Duration::from_millis(500),
+        // The acceptance scenario: 1 of 3 replicas down, 10% drops.
+        kill_replicas_per_partition: 1,
+        drop_probability: 0.10,
+        // Perturbations on top: a rotating extra crash and straggler.
+        flap_every: 10,
+        straggle_every: 7,
+        straggler_slowdown: Duration::from_millis(30),
+        seed: 0xD15EA5E,
+    };
+    let report = run_chaos(&world, &config);
+
+    // Availability SLO: >= 99% of queries answer within the end-to-end
+    // budget (the failover/retry/hedging machinery absorbs the faults).
+    assert!(
+        report.availability() >= 0.99,
+        "availability SLO violated: {:.3} ({report:?})",
+        report.availability()
+    );
+    assert!(
+        report.ok >= 99,
+        "at most one hard failure in 100: {report:?}"
+    );
+
+    // Accounting contract: every response — complete or degraded — must
+    // balance its books, and none may lose a partition without a trace.
+    assert_eq!(report.accounting_violations, 0, "{report:?}");
+    assert_eq!(report.silently_incomplete, 0, "{report:?}");
+
+    // Every query was observed by the metrics layer, and any degraded
+    // response was counted there too.
+    assert_eq!(report.metrics.queries_total, 100);
+    assert_eq!(
+        report.metrics.queries_degraded as usize, report.degraded,
+        "blender-side degradation counter agrees with the audit: {report:?}"
+    );
+
+    // The chaos actually bit: balancers saw real replica failures (dead
+    // replicas + 10% drops cannot be absorbed without failover work).
+    assert!(
+        report.metrics.call_failures > 0,
+        "faults must be exercised: {report:?}"
+    );
+}
+
+#[test]
+fn chaos_run_is_deterministic_in_its_fault_schedule() {
+    // Same seeds, same world shape => identical fault schedule and query
+    // stream, so the audit counters agree run-to-run. (Latency-dependent
+    // fields like max_latency are wall-clock and excluded.)
+    let config = ChaosConfig {
+        queries: 40,
+        kill_replicas_per_partition: 1,
+        drop_probability: 0.10,
+        flap_every: 8,
+        seed: 7,
+        ..ChaosConfig::default()
+    };
+    let a = run_chaos(&chaos_world(), &config);
+    let b = run_chaos(&chaos_world(), &config);
+    assert_eq!(a.queries, b.queries);
+    assert_eq!(
+        (a.accounting_violations, a.silently_incomplete),
+        (b.accounting_violations, b.silently_incomplete)
+    );
+    assert_eq!((a.accounting_violations, a.silently_incomplete), (0, 0));
+}

@@ -14,7 +14,11 @@ use jdvs::workload::scenario::{World, WorldConfig};
 
 fn world() -> World {
     World::build(WorldConfig {
-        catalog: CatalogConfig { num_products: 120, num_clusters: 12, ..Default::default() },
+        catalog: CatalogConfig {
+            num_products: 120,
+            num_clusters: 12,
+            ..Default::default()
+        },
         topology: jdvs::search::TopologyConfig {
             num_partitions: 4,
             replicas_per_partition: 2,
@@ -42,7 +46,10 @@ fn partitioning_is_disjoint_and_complete() {
                 let found = replicas[0].lookup(key).is_some();
                 assert_eq!(found, p == q, "{url} in partition {q}?");
                 // Replicas agree with each other.
-                assert_eq!(replicas[0].lookup(key).is_some(), replicas[1].lookup(key).is_some());
+                assert_eq!(
+                    replicas[0].lookup(key).is_some(),
+                    replicas[1].lookup(key).is_some()
+                );
             }
             assert!(seen.insert(key), "image keys unique");
         }
@@ -68,8 +75,9 @@ fn distributed_results_match_single_partition_oracle() {
         let total_images = w.catalog().num_images();
         for replicas in w.topology().indexes() {
             for n in replicas[0].brute_force_search(feats.as_slice(), total_images) {
-                let attrs =
-                    replicas[0].attributes(jdvs::core::ids::ImageId(n.id as u32)).unwrap();
+                let attrs = replicas[0]
+                    .attributes(jdvs::core::ids::ImageId(n.id as u32))
+                    .unwrap();
                 all.push((attrs.product_id, attrs.url, n.distance));
             }
         }
@@ -81,7 +89,10 @@ fn distributed_results_match_single_partition_oracle() {
         let resp = client.search(query).unwrap();
         let got: Vec<&str> = resp.results.iter().map(|r| r.hit.url.as_str()).collect();
         let expected: Vec<&str> = all.iter().map(|(_, u, _)| u.as_str()).collect();
-        assert_eq!(got, expected, "distributed top-8 (deduped) must match the oracle");
+        assert_eq!(
+            got, expected,
+            "distributed top-8 (deduped) must match the oracle"
+        );
     }
 }
 
@@ -93,7 +104,8 @@ fn nprobe_override_reaches_searchers() {
     let (query, _) = generator.next_query(w.images(), 5);
     // nprobe=1 may trade recall; it must still answer without error.
     let resp = client.search(query.clone().with_nprobe(1)).unwrap();
-    assert!(resp.partitions_answered > 0);
+    assert!(resp.groups_answered > 0);
+    assert!(resp.is_complete(), "healthy stack covers every partition");
     let resp_full = client.search(query.with_nprobe(8)).unwrap();
     assert!(resp_full.results.len() >= resp.results.len());
 }
@@ -111,7 +123,10 @@ fn replica_failover_preserves_results() {
         w.topology().searcher_faults(p, 0).set_down(true);
     }
     let degraded = client.search(query.clone()).unwrap();
-    assert_eq!(degraded.results[0].hit.product_id, product.id, "failover hides the fault");
+    assert_eq!(
+        degraded.results[0].hit.product_id, product.id,
+        "failover hides the fault"
+    );
     // Recover.
     for p in 0..4 {
         w.topology().searcher_faults(p, 0).set_down(false);
@@ -127,14 +142,20 @@ fn losing_all_replicas_of_a_partition_degrades_gracefully() {
     let map = w.topology().partition_map();
     let product = &w.catalog().products()[3];
     let dead_partition = map.partition_of_url(&product.urls[0]);
-    w.topology().searcher_faults(dead_partition, 0).set_down(true);
-    w.topology().searcher_faults(dead_partition, 1).set_down(true);
+    w.topology()
+        .searcher_faults(dead_partition, 0)
+        .set_down(true);
+    w.topology()
+        .searcher_faults(dead_partition, 1)
+        .set_down(true);
     // Queries still succeed; the dead partition's images are just absent.
     let resp = client
         .search(SearchQuery::by_image_url(product.urls[0].clone(), 10))
         .unwrap();
     assert!(
-        resp.results.iter().all(|r| map.partition_of_url(&r.hit.url) != dead_partition),
+        resp.results
+            .iter()
+            .all(|r| map.partition_of_url(&r.hit.url) != dead_partition),
         "no results can come from the dead partition"
     );
 }
@@ -157,5 +178,8 @@ fn fresh_photo_queries_have_high_intra_family_precision() {
         }
     }
     let precision = hits as f64 / total as f64;
-    assert!(precision > 0.8, "intra-family precision {precision} too low");
+    assert!(
+        precision > 0.8,
+        "intra-family precision {precision} too low"
+    );
 }

@@ -29,7 +29,10 @@ fn pipeline(products: usize, seed: u64) -> Pipeline {
     let images = Arc::new(ImageStore::with_blob_len(64));
     let feature_db = Arc::new(FeatureDb::new());
     let extractor = Arc::new(CachingExtractor::new(
-        FeatureExtractor::new(ExtractorConfig { dim: DIM, ..Default::default() }),
+        FeatureExtractor::new(ExtractorConfig {
+            dim: DIM,
+            ..Default::default()
+        }),
         CostModel::free(),
     ));
     let catalog = Catalog::generate(&CatalogConfig {
@@ -39,11 +42,22 @@ fn pipeline(products: usize, seed: u64) -> Pipeline {
         ..Default::default()
     });
     catalog.materialize(&images);
-    Pipeline { images, feature_db, extractor, catalog }
+    Pipeline {
+        images,
+        feature_db,
+        extractor,
+        catalog,
+    }
 }
 
 fn index_config() -> IndexConfig {
-    IndexConfig { dim: DIM, num_lists: 8, nprobe: 8, initial_list_capacity: 8, ..Default::default() }
+    IndexConfig {
+        dim: DIM,
+        num_lists: 8,
+        nprobe: 8,
+        initial_list_capacity: 8,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -130,7 +144,11 @@ fn realtime_index_converges_to_full_index_state() {
             let rt_id = rt_index.lookup(key);
             match (full_id, rt_id) {
                 (Some(f), Some(r)) => {
-                    assert_eq!(full_index.is_valid(f), rt_index.is_valid(r), "validity for {url}");
+                    assert_eq!(
+                        full_index.is_valid(f),
+                        rt_index.is_valid(r),
+                        "validity for {url}"
+                    );
                     if full_index.is_valid(f) {
                         assert_eq!(
                             full_index.attributes(f).unwrap(),
@@ -185,11 +203,21 @@ fn searches_agree_between_full_and_realtime_indexes() {
         // so compare by URL.
         let urls_a: Vec<String> = a
             .iter()
-            .map(|n| full_index.attributes(jdvs::core::ids::ImageId(n.id as u32)).unwrap().url)
+            .map(|n| {
+                full_index
+                    .attributes(jdvs::core::ids::ImageId(n.id as u32))
+                    .unwrap()
+                    .url
+            })
             .collect();
         let urls_b: Vec<String> = b
             .iter()
-            .map(|n| rt_index.attributes(jdvs::core::ids::ImageId(n.id as u32)).unwrap().url)
+            .map(|n| {
+                rt_index
+                    .attributes(jdvs::core::ids::ImageId(n.id as u32))
+                    .unwrap()
+                    .url
+            })
             .collect();
         assert_eq!(urls_a, urls_b, "query on {:?}", product.urls[0]);
     }
@@ -224,7 +252,11 @@ fn feature_extraction_happens_exactly_once_per_image() {
     for event in &log {
         indexer.apply(event);
     }
-    assert_eq!(p.extractor.misses(), misses_before, "replay reuses every feature");
+    assert_eq!(
+        p.extractor.misses(),
+        misses_before,
+        "replay reuses every feature"
+    );
 }
 
 #[test]
@@ -239,7 +271,10 @@ fn realtime_indexer_applies_from_live_queue() {
             training.push(f.unwrap());
         }
     }
-    let index = Arc::new(jdvs::core::VisualIndex::bootstrap(index_config(), &training));
+    let index = Arc::new(jdvs::core::VisualIndex::bootstrap(
+        index_config(),
+        &training,
+    ));
     let indexer = RealtimeIndexer::for_index(
         Arc::clone(&index),
         Arc::clone(&p.extractor),

@@ -14,7 +14,11 @@ use jdvs::workload::scenario::{World, WorldConfig};
 
 fn world() -> World {
     World::build(WorldConfig {
-        catalog: CatalogConfig { num_products: 100, num_clusters: 10, ..Default::default() },
+        catalog: CatalogConfig {
+            num_products: 100,
+            num_clusters: 10,
+            ..Default::default()
+        },
         ..WorldConfig::fast_test()
     })
 }
@@ -46,15 +50,26 @@ fn new_product_is_searchable_subsecond() {
     w.images().put_synthetic(&url, 3);
     w.topology().publish(ProductEvent::AddProduct {
         product_id: ProductId(500_000),
-        images: vec![ProductAttributes::new(ProductId(500_000), 1, 100, 1, url.clone())],
+        images: vec![ProductAttributes::new(
+            ProductId(500_000),
+            1,
+            100,
+            1,
+            url.clone(),
+        )],
     });
     let latency = eventually(Duration::from_secs(5), || {
         flush_all(&w);
-        let resp = client.search(SearchQuery::by_image_url(url.clone(), 1)).unwrap();
+        let resp = client
+            .search(SearchQuery::by_image_url(url.clone(), 1))
+            .unwrap();
         resp.results.first().map(|r| r.hit.product_id) == Some(ProductId(500_000))
     })
     .expect("addition must become visible");
-    assert!(latency < Duration::from_secs(1), "visibility took {latency:?}");
+    assert!(
+        latency < Duration::from_secs(1),
+        "visibility took {latency:?}"
+    );
 }
 
 #[test]
@@ -81,7 +96,11 @@ fn deletion_hides_subsecond_and_relist_restores() {
         resp.results.first().map(|r| r.hit.product_id) == Some(product.id)
     })
     .expect("re-listing must restore the product");
-    assert_eq!(w.extractor().misses(), misses_before, "re-list must not re-extract");
+    assert_eq!(
+        w.extractor().misses(),
+        misses_before,
+        "re-list must not re-extract"
+    );
 }
 
 #[test]
@@ -111,7 +130,11 @@ fn attribute_update_propagates_to_results() {
 #[test]
 fn day_replay_keeps_replicas_consistent() {
     let mut w = World::build(WorldConfig {
-        catalog: CatalogConfig { num_products: 400, num_clusters: 10, ..Default::default() },
+        catalog: CatalogConfig {
+            num_products: 400,
+            num_clusters: 10,
+            ..Default::default()
+        },
         topology: jdvs::search::TopologyConfig {
             num_partitions: 2,
             replicas_per_partition: 2,
@@ -124,7 +147,11 @@ fn day_replay_keeps_replicas_consistent() {
     let plan = DailyPlan::generate(
         w.catalog_mut(),
         &store,
-        &DailyPlanConfig { total_events: 1_000, seed: 13, ..Default::default() },
+        &DailyPlanConfig {
+            total_events: 1_000,
+            seed: 13,
+            ..Default::default()
+        },
     );
     let handle = w.start_update_stream(plan.events().to_vec(), 0);
     assert_eq!(handle.join(), 1_000);
@@ -157,11 +184,18 @@ fn concurrent_queries_during_update_storm_stay_correct() {
     let plan = DailyPlan::generate(
         w.catalog_mut(),
         &store,
-        &DailyPlanConfig { total_events: 2_000, seed: 29, ..Default::default() },
+        &DailyPlanConfig {
+            total_events: 2_000,
+            seed: 29,
+            ..Default::default()
+        },
     );
     // Pick a product the plan never touches, as a stable query target.
-    let touched: std::collections::HashSet<ProductId> =
-        plan.events().iter().map(|te| te.event.product_id()).collect();
+    let touched: std::collections::HashSet<ProductId> = plan
+        .events()
+        .iter()
+        .map(|te| te.event.product_id())
+        .collect();
     let stable = w
         .catalog()
         .products()

@@ -14,7 +14,11 @@ use jdvs::workload::scenario::{World, WorldConfig};
 
 fn world(products: usize) -> World {
     World::build(WorldConfig {
-        catalog: CatalogConfig { num_products: products, num_clusters: 10, ..Default::default() },
+        catalog: CatalogConfig {
+            num_products: products,
+            num_clusters: 10,
+            ..Default::default()
+        },
         ..WorldConfig::fast_test()
     })
 }
@@ -24,8 +28,13 @@ fn online_rebuild_preserves_search_results_for_live_products() {
     let w = world(150);
     let client = w.client(Duration::from_secs(5));
     // Record pre-rebuild top-1 for 10 exact-image queries.
-    let queries: Vec<String> =
-        w.catalog().products().iter().take(10).map(|p| p.urls[0].clone()).collect();
+    let queries: Vec<String> = w
+        .catalog()
+        .products()
+        .iter()
+        .take(10)
+        .map(|p| p.urls[0].clone())
+        .collect();
     let before: Vec<ProductId> = queries
         .iter()
         .map(|u| {
@@ -41,7 +50,10 @@ fn online_rebuild_preserves_search_results_for_live_products() {
     for p in 0..w.topology().partition_map().num_partitions() {
         let report = w.topology().rebuild_partition(p);
         assert_eq!(report.partition, p);
-        assert!(report.messages_replayed > 0, "the bootstrap log must be replayed");
+        assert!(
+            report.messages_replayed > 0,
+            "the bootstrap log must be replayed"
+        );
     }
 
     let after: Vec<ProductId> = queries
@@ -55,7 +67,10 @@ fn online_rebuild_preserves_search_results_for_live_products() {
                 .product_id
         })
         .collect();
-    assert_eq!(before, after, "rebuild must not change results for live products");
+    assert_eq!(
+        before, after,
+        "rebuild must not change results for live products"
+    );
 }
 
 #[test]
@@ -68,20 +83,39 @@ fn rebuild_reclaims_deleted_records_and_realtime_continues() {
     }
     w.topology().wait_for_freshness(Duration::from_secs(60));
 
-    let records_before: usize =
-        w.topology().indexes().iter().map(|row| row[0].num_images()).sum();
-    let valid_before: usize =
-        w.topology().indexes().iter().map(|row| row[0].valid_images()).sum();
-    assert!(records_before > valid_before, "logical deletions must be pending");
+    let records_before: usize = w
+        .topology()
+        .indexes()
+        .iter()
+        .map(|row| row[0].num_images())
+        .sum();
+    let valid_before: usize = w
+        .topology()
+        .indexes()
+        .iter()
+        .map(|row| row[0].valid_images())
+        .sum();
+    assert!(
+        records_before > valid_before,
+        "logical deletions must be pending"
+    );
 
     for p in 0..w.topology().partition_map().num_partitions() {
         w.topology().rebuild_partition(p);
     }
 
-    let records_after: usize =
-        w.topology().indexes().iter().map(|row| row[0].num_images()).sum();
-    let valid_after: usize =
-        w.topology().indexes().iter().map(|row| row[0].valid_images()).sum();
+    let records_after: usize = w
+        .topology()
+        .indexes()
+        .iter()
+        .map(|row| row[0].num_images())
+        .sum();
+    let valid_after: usize = w
+        .topology()
+        .indexes()
+        .iter()
+        .map(|row| row[0].valid_images())
+        .sum();
     assert_eq!(valid_after, valid_before, "valid set unchanged");
     assert_eq!(records_after, valid_after, "all dead records reclaimed");
 
@@ -108,7 +142,9 @@ fn rebuild_under_concurrent_queries_never_errors() {
         let mut ok = 0u64;
         while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
             let (q, _) = generator.next_query(w2.images(), 3);
-            let resp = client.search(q).expect("queries must not error during rebuild");
+            let resp = client
+                .search(q)
+                .expect("queries must not error during rebuild");
             if !resp.results.is_empty() {
                 ok += 1;
             }
@@ -130,19 +166,34 @@ fn rebuild_after_a_day_of_churn_converges_with_the_log() {
     let plan = DailyPlan::generate(
         w.catalog_mut(),
         &store,
-        &DailyPlanConfig { total_events: 800, seed: 9, ..Default::default() },
+        &DailyPlanConfig {
+            total_events: 800,
+            seed: 9,
+            ..Default::default()
+        },
     );
     w.start_update_stream(plan.events().to_vec(), 0).join();
     w.topology().wait_for_freshness(Duration::from_secs(60));
 
-    let valid_before: usize =
-        w.topology().indexes().iter().map(|row| row[0].valid_images()).sum();
+    let valid_before: usize = w
+        .topology()
+        .indexes()
+        .iter()
+        .map(|row| row[0].valid_images())
+        .sum();
     for p in 0..w.topology().partition_map().num_partitions() {
         w.topology().rebuild_partition(p);
     }
-    let valid_after: usize =
-        w.topology().indexes().iter().map(|row| row[0].valid_images()).sum();
-    assert_eq!(valid_before, valid_after, "log replay reproduces the live valid set");
+    let valid_after: usize = w
+        .topology()
+        .indexes()
+        .iter()
+        .map(|row| row[0].valid_images())
+        .sum();
+    assert_eq!(
+        valid_before, valid_after,
+        "log replay reproduces the live valid set"
+    );
 }
 
 #[test]
@@ -225,7 +276,9 @@ fn events_between_rebuilds_are_never_lost() {
     }
     let client = w.client(Duration::from_secs(5));
     for (url, pid) in [(url_a, 900_001), (url_b, 900_002)] {
-        let resp = client.search(SearchQuery::by_image_url(url.clone(), 1)).unwrap();
+        let resp = client
+            .search(SearchQuery::by_image_url(url.clone(), 1))
+            .unwrap();
         assert_eq!(
             resp.results[0].hit.product_id,
             ProductId(pid),

@@ -4,6 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use jdvs_vector::distance::{cosine_similarity, dot, squared_l2};
 use jdvs_vector::rng::Xoshiro256;
+use jdvs_vector::simd::{self, ADC_ROW};
 
 fn random_vec(dim: usize, seed: u64) -> Vec<f32> {
     let mut rng = Xoshiro256::seed_from(seed);
@@ -24,6 +25,48 @@ fn bench_distance(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cosine", dim), &dim, |bench, _| {
             bench.iter(|| cosine_similarity(black_box(&a), black_box(&b)))
         });
+    }
+    group.finish();
+
+    // Scalar vs runtime-dispatched SIMD, kernel by kernel: the raw win of
+    // the vectorized path before any memory-layout changes.
+    let mut group = c.benchmark_group("kernels");
+    let fast = simd::detect_best();
+    let scalar = simd::scalar();
+    for dim in [64usize, 512] {
+        let a = random_vec(dim, 7);
+        let b = random_vec(dim, 8);
+        group.bench_with_input(
+            BenchmarkId::new("squared_l2_scalar", dim),
+            &dim,
+            |bench, _| bench.iter(|| scalar.squared_l2(black_box(&a), black_box(&b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("squared_l2_{}", fast.name()), dim),
+            &dim,
+            |bench, _| bench.iter(|| fast.squared_l2(black_box(&a), black_box(&b))),
+        );
+        group.bench_with_input(BenchmarkId::new("dot_scalar", dim), &dim, |bench, _| {
+            bench.iter(|| scalar.dot(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("dot_{}", fast.name()), dim),
+            &dim,
+            |bench, _| bench.iter(|| fast.dot(black_box(&a), black_box(&b))),
+        );
+    }
+    for m in [8usize, 16] {
+        let table = random_vec(m * ADC_ROW, 9);
+        let mut rng = Xoshiro256::seed_from(10);
+        let code: Vec<u8> = (0..m).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        group.bench_with_input(BenchmarkId::new("adc_scalar", m), &m, |bench, _| {
+            bench.iter(|| scalar.adc(black_box(&code), black_box(&table)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("adc_{}", fast.name()), m),
+            &m,
+            |bench, _| bench.iter(|| fast.adc(black_box(&code), black_box(&table))),
+        );
     }
     group.finish();
 

@@ -17,10 +17,12 @@
 //! | `ablate-pq` | raw vs product-quantized scan | [`ablations`] |
 //! | `ablate-lsh` | IVF vs multi-probe LSH baseline | [`ablations`] |
 //! | `ablate-cache` | blender query-feature cache on/off | [`ablations`] |
+//! | `searcher-scan` | block execution engine vs per-id scalar scan | [`scan`] |
 
 pub mod ablations;
 pub mod day;
 pub mod examples_fig;
+pub mod scan;
 pub mod serving;
 
 use std::path::PathBuf;
@@ -81,6 +83,7 @@ pub const ALL: &[&str] = &[
     "ablate-pq",
     "ablate-lsh",
     "ablate-cache",
+    "searcher-scan",
 ];
 
 /// Runs one experiment by id.
@@ -105,6 +108,7 @@ pub fn run(id: &str, ctx: &Ctx) -> Vec<ExperimentResult> {
         "ablate-pq" => vec![ablations::pq(ctx)],
         "ablate-lsh" => vec![ablations::lsh(ctx)],
         "ablate-cache" => vec![ablations::cache(ctx)],
+        "searcher-scan" => vec![scan::searcher_scan(ctx)],
         other => panic!("unknown experiment id {other:?}"),
     }
 }

@@ -81,6 +81,36 @@ impl AtomicBitmap {
         }
     }
 
+    /// Pins the word array once and returns a reader for repeated tests —
+    /// the scan hot path: one read-lock acquisition covers a whole query
+    /// instead of one per candidate. Bit flips made while the reader is
+    /// live remain visible (the words themselves are atomics); only
+    /// *growth* past the pinned capacity is missed, and fresh bits are
+    /// invalid anyway.
+    pub fn reader(&self) -> BitmapReader<'_> {
+        BitmapReader {
+            words: self.words.read(),
+        }
+    }
+
+    /// Calls `f(index)` for every set bit below `limit`, testing 64 flags
+    /// per word load and skipping all-clear words outright.
+    pub fn for_each_valid(&self, limit: usize, mut f: impl FnMut(usize)) {
+        let words = self.words.read();
+        let last_word = limit.div_ceil(64).min(words.len());
+        for (wi, word) in words[..last_word].iter().enumerate() {
+            let mut bits = word.load(Ordering::Acquire);
+            if (wi + 1) * 64 > limit {
+                bits &= (1u64 << (limit % 64)) - 1;
+            }
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                f(wi * 64 + bit);
+                bits &= bits - 1;
+            }
+        }
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words
@@ -106,6 +136,31 @@ impl AtomicBitmap {
         let target = needed.max(words.len() * 2).max(4);
         while words.len() < target {
             words.push(AtomicU64::new(0));
+        }
+    }
+}
+
+/// A pinned view of the bitmap for repeated lock-free tests; see
+/// [`AtomicBitmap::reader`].
+pub struct BitmapReader<'a> {
+    words: parking_lot::RwLockReadGuard<'a, Vec<AtomicU64>>,
+}
+
+impl std::fmt::Debug for BitmapReader<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BitmapReader")
+            .field("capacity", &(self.words.len() * 64))
+            .finish()
+    }
+}
+
+impl BitmapReader<'_> {
+    /// Tests bit `index`; bits beyond the pinned capacity read as 0.
+    #[inline]
+    pub fn test(&self, index: usize) -> bool {
+        match self.words.get(index / 64) {
+            Some(w) => w.load(Ordering::Acquire) & (1 << (index % 64)) != 0,
+            None => false,
         }
     }
 }
@@ -192,6 +247,44 @@ mod tests {
         for b in 0..8_000 {
             assert!(bm.test(b));
         }
+    }
+
+    #[test]
+    fn reader_matches_test_and_sees_live_clears() {
+        let bm = AtomicBitmap::new();
+        for i in [0usize, 5, 63, 64, 200] {
+            bm.set(i);
+        }
+        let r = bm.reader();
+        for i in 0..256 {
+            assert_eq!(r.test(i), bm.test(i), "bit {i}");
+        }
+        // A clear made while the reader is pinned must be visible: the
+        // stage-2 rerank recheck depends on this.
+        bm.clear(64);
+        assert!(!r.test(64));
+        assert!(!r.test(1 << 30), "beyond pinned capacity reads 0");
+    }
+
+    #[test]
+    fn for_each_valid_enumerates_set_bits_within_limit() {
+        let bm = AtomicBitmap::new();
+        let set = [0usize, 1, 63, 64, 65, 127, 128, 300];
+        for &i in &set {
+            bm.set(i);
+        }
+        let mut seen = Vec::new();
+        bm.for_each_valid(301, |i| seen.push(i));
+        assert_eq!(seen, set.to_vec());
+        seen.clear();
+        bm.for_each_valid(65, |i| seen.push(i));
+        assert_eq!(seen, vec![0, 1, 63, 64], "limit is exclusive");
+        seen.clear();
+        bm.for_each_valid(0, |i| seen.push(i));
+        assert!(seen.is_empty());
+        seen.clear();
+        bm.for_each_valid((1 << 20) | 7, |i| seen.push(i));
+        assert_eq!(seen, set.to_vec(), "limit beyond capacity is fine");
     }
 
     #[test]

@@ -28,6 +28,13 @@ pub struct IndexConfig {
     /// scan + raw rerank). `m` must divide `dim`. `None` scans raw
     /// vectors only — the paper's baseline behaviour.
     pub pq_subspaces: Option<usize>,
+    /// Intra-query parallelism: maximum scoped threads a single search may
+    /// fan its probed lists across. `1` (the default) scans sequentially on
+    /// the calling thread; values above 1 only engage when the probed lists
+    /// hold enough candidates to amortize thread spawn (small queries stay
+    /// sequential regardless). Results are identical either way — per-thread
+    /// top-k collectors merge under a total order on (distance, id).
+    pub intra_query_threads: usize,
     /// Master seed for quantizer training.
     pub seed: u64,
 }
@@ -43,6 +50,7 @@ impl Default for IndexConfig {
             kmeans_iters: 15,
             train_sample: 10_000,
             pq_subspaces: None,
+            intra_query_threads: 1,
             seed: 0x1D05,
         }
     }
@@ -63,6 +71,10 @@ impl IndexConfig {
         );
         assert!(self.nprobe > 0, "nprobe must be positive");
         assert!(self.train_sample > 0, "train_sample must be positive");
+        assert!(
+            self.intra_query_threads > 0,
+            "intra_query_threads must be positive"
+        );
         if let Some(m) = self.pq_subspaces {
             assert!(m > 0, "pq_subspaces must be positive");
             assert!(
@@ -119,6 +131,16 @@ mod tests {
         IndexConfig {
             dim: 10,
             pq_subspaces: Some(3),
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "intra_query_threads must be positive")]
+    fn zero_intra_query_threads_rejected() {
+        IndexConfig {
+            intra_query_threads: 0,
             ..Default::default()
         }
         .validate();

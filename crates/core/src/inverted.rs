@@ -25,6 +25,11 @@ use std::thread::JoinHandle;
 
 use crate::ids::{ImageId, ListId};
 
+/// Ids per [`InvertedList::scan_blocks`] batch. Sized so a block of ids plus
+/// the distances computed from it stay L1-resident while amortizing the
+/// per-block bookkeeping over enough candidates to be negligible.
+pub const SCAN_BLOCK: usize = 256;
+
 /// A fixed-capacity array of image-id slots with a published-length counter.
 #[derive(Debug)]
 pub struct Slab {
@@ -227,6 +232,27 @@ impl InvertedList {
         }
     }
 
+    /// Calls `f` with contiguous blocks of up to [`SCAN_BLOCK`] published
+    /// image ids, in append order — the batched form of [`Self::scan`].
+    /// Handing the execution engine a dense `&[ImageId]` lets it test the
+    /// validity bitmap, resolve vectors, and compute distances over a whole
+    /// block between branch points instead of bouncing through a callback
+    /// per id. Same snapshot semantics as `scan`.
+    pub fn scan_blocks(&self, mut f: impl FnMut(&[ImageId])) {
+        let slab = Arc::clone(&self.current.read());
+        let len = slab.len();
+        let mut block = [ImageId(0); SCAN_BLOCK];
+        let mut start = 0;
+        while start < len {
+            let n = SCAN_BLOCK.min(len - start);
+            for (dst, slot) in block[..n].iter_mut().zip(&slab.slots[start..start + n]) {
+                *dst = ImageId(slot.load(Ordering::Relaxed) as u32);
+            }
+            f(&block[..n]);
+            start += n;
+        }
+    }
+
     /// Published entry count — this list's element of the paper's auxiliary
     /// last-position array.
     pub fn len(&self) -> usize {
@@ -291,6 +317,15 @@ impl InvertedIndex {
     /// Panics if `list` is out of range.
     pub fn scan(&self, list: ListId, f: impl FnMut(ImageId)) {
         self.lists[list.as_usize()].scan(f);
+    }
+
+    /// Scans list `list` in blocks; see [`InvertedList::scan_blocks`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `list` is out of range.
+    pub fn scan_blocks(&self, list: ListId, f: impl FnMut(&[ImageId])) {
+        self.lists[list.as_usize()].scan_blocks(f);
     }
 
     /// Borrow a list.
@@ -398,6 +433,29 @@ mod tests {
         );
         list.flush();
         assert_eq!(collect(&list), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn scan_blocks_matches_scan_across_block_boundaries() {
+        // 0, 1, SCAN_BLOCK - 1, SCAN_BLOCK, exact multiples, and a ragged
+        // tail all reduce to the same id sequence as the per-id scan.
+        for n in [0usize, 1, SCAN_BLOCK - 1, SCAN_BLOCK, SCAN_BLOCK * 3, 1000] {
+            let list = InvertedList::new(8, false);
+            for i in 0..n {
+                list.append(ImageId(i as u32 * 7));
+            }
+            list.flush();
+            let per_id = collect(&list);
+            let mut blocked = Vec::new();
+            let mut max_block = 0;
+            list.scan_blocks(|ids| {
+                assert!(!ids.is_empty(), "empty blocks are never emitted");
+                max_block = max_block.max(ids.len());
+                blocked.extend(ids.iter().map(|id| id.0));
+            });
+            assert_eq!(blocked, per_id, "n = {n}");
+            assert!(max_block <= SCAN_BLOCK);
+        }
     }
 
     #[test]

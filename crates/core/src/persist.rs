@@ -235,6 +235,9 @@ pub fn load(bytes: &[u8]) -> Result<VisualIndex, PersistError> {
             0 => None,
             m => Some(m as usize),
         },
+        // Serving-time knob, not index structure: snapshots stay portable
+        // across hosts with different core counts.
+        intra_query_threads: 1,
         seed: r.u64("config.seed")?,
     };
 

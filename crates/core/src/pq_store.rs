@@ -147,6 +147,38 @@ impl PqStore {
     pub fn bytes_per_vector(&self) -> usize {
         self.code_len()
     }
+
+    /// Pins every chunk once and returns a snapshot whose `code` is a pure
+    /// pointer chase — mirrors [`crate::vectors::VectorStore::snapshot`]
+    /// for the compressed scan path.
+    pub fn snapshot(&self) -> PqSnapshot {
+        PqSnapshot {
+            chunks: self.chunks.read().iter().map(Arc::clone).collect(),
+        }
+    }
+}
+
+/// A pinned, lock-free view of a [`PqStore`]; see [`PqStore::snapshot`].
+pub struct PqSnapshot {
+    chunks: Vec<Arc<Chunk>>,
+}
+
+impl std::fmt::Debug for PqSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PqSnapshot")
+            .field("chunks", &self.chunks.len())
+            .finish()
+    }
+}
+
+impl PqSnapshot {
+    /// Borrows the PQ code in slot `id`, if written.
+    #[inline]
+    pub fn code(&self, id: ImageId) -> Option<&[u8]> {
+        self.chunks.get(id.as_usize() / CHUNK_CODES)?.slots[id.as_usize() % CHUNK_CODES]
+            .get()
+            .map(|code| &**code)
+    }
 }
 
 #[cfg(test)]
@@ -244,5 +276,24 @@ mod tests {
         let far = ImageId((CHUNK_CODES * 2 + 3) as u32);
         store.put(far, &data[0]);
         assert!(store.decode(far).is_some());
+    }
+
+    #[test]
+    fn snapshot_codes_match_store_distances() {
+        let (pq, data) = trained(8, 2);
+        let store = PqStore::new(pq);
+        for (i, v) in data.iter().take(20).enumerate() {
+            store.put(ImageId(i as u32), v);
+        }
+        let table = store.adc_table(data[0].as_slice());
+        let snap = store.snapshot();
+        for i in 0..20u32 {
+            let code = snap.code(ImageId(i)).unwrap();
+            assert_eq!(
+                Some(table.distance(code)),
+                store.distance(&table, ImageId(i))
+            );
+        }
+        assert!(snap.code(ImageId(999)).is_none());
     }
 }

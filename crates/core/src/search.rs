@@ -1,4 +1,5 @@
-//! Single-partition query evaluation (Section 2.4).
+//! Single-partition query evaluation (Section 2.4) — the block execution
+//! engine.
 //!
 //! *"Each searcher node identifies the cluster that is most similar to the
 //! queried image based on its features. It then scans the cluster's
@@ -10,19 +11,317 @@
 //! standard recall knob and the `ablate-nprobe` experiment sweeps it).
 //! Invalid images — cleared bits in the validity bitmap — are skipped
 //! during the scan, so logically deleted products never surface.
+//!
+//! ## The execution engine
+//!
+//! The serving paths share one scan core built for throughput:
+//!
+//! - **Block scan.** Inverted lists yield contiguous blocks of up to
+//!   [`crate::inverted::SCAN_BLOCK`] ids
+//!   ([`crate::inverted::InvertedList::scan_blocks`]) instead of one
+//!   callback per id.
+//! - **One lock per query.** The validity bitmap is pinned once via
+//!   [`crate::bitmap::AtomicBitmap::reader`] and the vector / PQ-code
+//!   stores via their `snapshot()`s, so the per-candidate cost is a pure
+//!   pointer chase — the pre-engine paths re-acquired a read lock for every
+//!   candidate, twice.
+//! - **SIMD kernels.** Distances dispatch through
+//!   [`jdvs_vector::simd::active`] (AVX2+FMA / NEON / unrolled scalar,
+//!   detected once at startup).
+//! - **Threshold pruning.** Once the top-k heap is full,
+//!   [`TopK::would_accept`] rejects non-improving candidates before a
+//!   [`Neighbor`] is even built.
+//! - **Intra-query parallelism.** When
+//!   [`crate::config::IndexConfig::intra_query_threads`] allows it *and*
+//!   the probed lists hold at least [`PARALLEL_MIN_CANDIDATES`] published
+//!   ids, lists fan out round-robin across scoped threads with per-thread
+//!   collectors merged at the end. Results are identical to the sequential
+//!   scan: merging is order-insensitive under the total (distance, id)
+//!   order.
+//!
+//! Every engine path keeps a sequential per-id `*_reference` twin that uses
+//! the same dispatched kernel — differential tests assert bit-identical
+//! results — plus [`ann_search_scalar_baseline`], the pre-engine scan
+//! (per-candidate locking, forced scalar kernel) kept as the benchmark
+//! baseline.
 
 use jdvs_vector::distance::squared_l2;
+use jdvs_vector::simd::{self, KernelSet};
 use jdvs_vector::topk::{Neighbor, TopK};
 
+use crate::bitmap::BitmapReader;
 use crate::ids::{ImageId, ListId};
 use crate::index::VisualIndex;
+use crate::inverted::InvertedIndex;
+use crate::vectors::VectorSnapshot;
 
-/// IVF search over one partition; see the module docs.
+/// Minimum total published ids across the probed lists before a query fans
+/// out across threads; below this, thread spawn and merge overhead dwarfs
+/// the scan itself and the query stays sequential regardless of
+/// [`crate::config::IndexConfig::intra_query_threads`].
+pub const PARALLEL_MIN_CANDIDATES: usize = 2048;
+
+/// IVF search over one partition; see the module docs. Uses the configured
+/// [`crate::config::IndexConfig::intra_query_threads`].
 ///
 /// # Panics
 ///
 /// Panics if `k == 0`, `nprobe == 0`, or `query` has the wrong dimension.
 pub fn ann_search(index: &VisualIndex, query: &[f32], k: usize, nprobe: usize) -> Vec<Neighbor> {
+    ann_search_with_threads(index, query, k, nprobe, index.config().intra_query_threads)
+}
+
+/// [`ann_search`] with an explicit thread budget (benchmarks sweep this;
+/// serving goes through the config knob).
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `nprobe == 0`, or `query` has the wrong dimension.
+pub fn ann_search_with_threads(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    threads: usize,
+) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+    assert!(nprobe > 0, "nprobe must be positive");
+    assert_eq!(query.len(), index.config().dim, "query dimension mismatch");
+    let lists = index.quantizer().assign_multi(query, nprobe);
+    let kernels = simd::active();
+    let bitmap = index.bitmap().reader();
+    let vectors = index.vectors().snapshot();
+    let eval = |id: ImageId| {
+        if !bitmap.test(id.as_usize()) {
+            return None; // logically deleted
+        }
+        // A published id whose feature vector has not landed yet is
+        // *skipped*, not ranked at infinity: a sentinel distance would
+        // surface the phantom whenever fewer than k real candidates exist.
+        let v = vectors.get(id)?;
+        Some(kernels.squared_l2(query, v.as_slice()))
+    };
+    scan_probed_lists(index.inverted_internal(), &lists, k, threads, &eval).into_sorted_vec()
+}
+
+/// Two-stage compressed (PQ) search; see
+/// [`VisualIndex::search_compressed`]. Uses the configured
+/// [`crate::config::IndexConfig::intra_query_threads`].
+///
+/// # Panics
+///
+/// Panics if PQ mode is disabled, any count is zero, or `query` has the
+/// wrong dimension.
+pub fn compressed_search(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    rerank_factor: usize,
+) -> Vec<Neighbor> {
+    compressed_search_with_threads(
+        index,
+        query,
+        k,
+        nprobe,
+        rerank_factor,
+        index.config().intra_query_threads,
+    )
+}
+
+/// [`compressed_search`] with an explicit thread budget for stage 1.
+///
+/// # Panics
+///
+/// Panics if PQ mode is disabled, any count is zero, or `query` has the
+/// wrong dimension.
+pub fn compressed_search_with_threads(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    rerank_factor: usize,
+    threads: usize,
+) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+    assert!(nprobe > 0, "nprobe must be positive");
+    assert!(rerank_factor > 0, "rerank_factor must be positive");
+    assert_eq!(query.len(), index.config().dim, "query dimension mismatch");
+    let pq = index
+        .pq_store()
+        .expect("compressed search requires config.pq_subspaces (see IndexConfig)");
+
+    // Stage 1: ADC scan of the probed lists over m-byte codes.
+    let table = pq.adc_table(query);
+    let lists = index.quantizer().assign_multi(query, nprobe);
+    let kernels = simd::active();
+    let bitmap = index.bitmap().reader();
+    let codes = pq.snapshot();
+    let eval = |id: ImageId| {
+        if !bitmap.test(id.as_usize()) {
+            return None;
+        }
+        let code = codes.code(id)?;
+        Some(table.distance(code))
+    };
+    let shortlist_k = k.saturating_mul(rerank_factor).max(k);
+    let shortlist = scan_probed_lists(
+        index.inverted_internal(),
+        &lists,
+        shortlist_k,
+        threads,
+        &eval,
+    );
+
+    // Stage 2: exact rerank of the shortlist over raw vectors.
+    let vectors = index.vectors().snapshot();
+    exact_rerank(&bitmap, &vectors, kernels, query, shortlist, k)
+}
+
+/// Stage 2 of the compressed path: exact distances over the shortlist.
+/// Split out so the between-stage deletion guard is directly testable.
+fn exact_rerank(
+    bitmap: &BitmapReader<'_>,
+    vectors: &VectorSnapshot,
+    kernels: &KernelSet,
+    query: &[f32],
+    shortlist: TopK,
+    k: usize,
+) -> Vec<Neighbor> {
+    let mut topk = TopK::new(k);
+    for candidate in shortlist.into_sorted_vec() {
+        let id = ImageId(candidate.id as u32);
+        // Re-check validity: the bitmap words are atomics behind the pinned
+        // guard, so an image deleted after the ADC scan admitted it to the
+        // shortlist is seen as invalid here and cannot be returned.
+        if !bitmap.test(id.as_usize()) {
+            continue;
+        }
+        let Some(v) = vectors.get(id) else { continue };
+        topk.push(candidate.id, kernels.squared_l2(query, v.as_slice()));
+    }
+    topk.into_sorted_vec()
+}
+
+/// Exact top-k over every valid image (ground truth; `O(n·d)`). Walks the
+/// validity bitmap a word at a time, skipping 64 deleted/unwritten images
+/// per all-zero word.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `query` has the wrong dimension.
+pub fn brute_force(index: &VisualIndex, query: &[f32], k: usize) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(query.len(), index.config().dim, "query dimension mismatch");
+    let kernels = simd::active();
+    let vectors = index.vectors().snapshot();
+    let mut topk = TopK::new(k);
+    index.bitmap().for_each_valid(index.forward().len(), |raw| {
+        let id = ImageId(raw as u32);
+        if let Some(v) = vectors.get(id) {
+            let d = kernels.squared_l2(query, v.as_slice());
+            if topk.would_accept(d) {
+                topk.push(id.as_u64(), d);
+            }
+        }
+    });
+    topk.into_sorted_vec()
+}
+
+/// Scans the probed `lists`, applying `eval` per id and collecting the best
+/// `k`. Sequential when `threads <= 1` or the lists are too small to
+/// amortize a fan-out; otherwise lists distribute round-robin over scoped
+/// threads and per-thread collectors merge. Both routes visit the same ids
+/// with the same `eval`, so under the total (distance, id) order the merged
+/// result is identical to the sequential one.
+fn scan_probed_lists<F>(
+    inverted: &InvertedIndex,
+    lists: &[usize],
+    k: usize,
+    threads: usize,
+    eval: &F,
+) -> TopK
+where
+    F: Fn(ImageId) -> Option<f32> + Sync,
+{
+    let total: usize = lists
+        .iter()
+        .map(|&l| inverted.list(ListId(l as u32)).len())
+        .sum();
+    let threads = effective_threads(threads, lists.len(), total);
+    if threads <= 1 {
+        let mut topk = TopK::new(k);
+        for &list in lists {
+            scan_one_list(inverted, list, eval, &mut topk);
+        }
+        return topk;
+    }
+    let mut merged = TopK::new(k);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move |_| {
+                    let mut topk = TopK::new(k);
+                    for &list in lists.iter().skip(t).step_by(threads) {
+                        scan_one_list(inverted, list, eval, &mut topk);
+                    }
+                    topk
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.merge(h.join().expect("scan worker panicked"));
+        }
+    })
+    .expect("scan scope");
+    merged
+}
+
+/// The thread count a query actually uses; see [`PARALLEL_MIN_CANDIDATES`].
+fn effective_threads(configured: usize, num_lists: usize, total_candidates: usize) -> usize {
+    if configured <= 1 || total_candidates < PARALLEL_MIN_CANDIDATES {
+        1
+    } else {
+        configured.min(num_lists).max(1)
+    }
+}
+
+/// Block-scans one inverted list into `topk`.
+#[inline]
+fn scan_one_list<F: Fn(ImageId) -> Option<f32>>(
+    inverted: &InvertedIndex,
+    list: usize,
+    eval: &F,
+    topk: &mut TopK,
+) {
+    inverted.scan_blocks(ListId(list as u32), |ids| {
+        for &id in ids {
+            if let Some(d) = eval(id) {
+                if topk.would_accept(d) {
+                    topk.push(id.as_u64(), d);
+                }
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Reference paths (differential-test twins) and the benchmark baseline.
+// ---------------------------------------------------------------------------
+
+/// Sequential per-id reference implementation of [`ann_search`]: one
+/// callback and two lock acquisitions per candidate, same dispatched
+/// kernel. Differential tests assert the engine matches this exactly.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `nprobe == 0`, or `query` has the wrong dimension.
+pub fn ann_search_reference(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+) -> Vec<Neighbor> {
     assert!(k > 0, "k must be positive");
     assert!(nprobe > 0, "nprobe must be positive");
     assert_eq!(query.len(), index.config().dim, "query dimension mismatch");
@@ -33,24 +332,24 @@ pub fn ann_search(index: &VisualIndex, query: &[f32], k: usize, nprobe: usize) -
             if !index.bitmap().test(id.as_usize()) {
                 return; // logically deleted
             }
-            let d = index
+            if let Some(d) = index
                 .vectors()
                 .with(id, |v| squared_l2(query, v.as_slice()))
-                .unwrap_or(f32::INFINITY);
-            topk.push(id.as_u64(), d);
+            {
+                topk.push(id.as_u64(), d);
+            }
         });
     }
     topk.into_sorted_vec()
 }
 
-/// Two-stage compressed (PQ) search; see
-/// [`VisualIndex::search_compressed`].
+/// Sequential per-id reference implementation of [`compressed_search`].
 ///
 /// # Panics
 ///
 /// Panics if PQ mode is disabled, any count is zero, or `query` has the
 /// wrong dimension.
-pub fn compressed_search(
+pub fn compressed_search_reference(
     index: &VisualIndex,
     query: &[f32],
     k: usize,
@@ -65,7 +364,6 @@ pub fn compressed_search(
         .pq_store()
         .expect("compressed search requires config.pq_subspaces (see IndexConfig)");
 
-    // Stage 1: ADC scan of the probed lists over m-byte codes.
     let table = pq.adc_table(query);
     let lists = index.quantizer().assign_multi(query, nprobe);
     let mut shortlist = TopK::new(k.saturating_mul(rerank_factor).max(k));
@@ -80,10 +378,12 @@ pub fn compressed_search(
         });
     }
 
-    // Stage 2: exact rerank of the shortlist over raw vectors.
     let mut topk = TopK::new(k);
     for candidate in shortlist.into_sorted_vec() {
         let id = ImageId(candidate.id as u32);
+        if !index.bitmap().test(id.as_usize()) {
+            continue; // deleted between stages
+        }
         if let Some(d) = index
             .vectors()
             .with(id, |v| squared_l2(query, v.as_slice()))
@@ -94,12 +394,12 @@ pub fn compressed_search(
     topk.into_sorted_vec()
 }
 
-/// Exact top-k over every valid image (ground truth; `O(n·d)`).
+/// Sequential per-id reference implementation of [`brute_force`].
 ///
 /// # Panics
 ///
 /// Panics if `k == 0` or `query` has the wrong dimension.
-pub fn brute_force(index: &VisualIndex, query: &[f32], k: usize) -> Vec<Neighbor> {
+pub fn brute_force_reference(index: &VisualIndex, query: &[f32], k: usize) -> Vec<Neighbor> {
     assert!(k > 0, "k must be positive");
     assert_eq!(query.len(), index.config().dim, "query dimension mismatch");
     let mut topk = TopK::new(k);
@@ -114,6 +414,42 @@ pub fn brute_force(index: &VisualIndex, query: &[f32], k: usize) -> Vec<Neighbor
         {
             topk.push(id.as_u64(), d);
         }
+    }
+    topk.into_sorted_vec()
+}
+
+/// The pre-engine scan kept as the benchmark baseline: per-id callbacks,
+/// two lock acquisitions per candidate, and the forced **scalar** kernel
+/// regardless of CPU features. Not a serving path — the `searcher-scan`
+/// experiment measures the engine's speedup against this.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `nprobe == 0`, or `query` has the wrong dimension.
+pub fn ann_search_scalar_baseline(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+    assert!(nprobe > 0, "nprobe must be positive");
+    assert_eq!(query.len(), index.config().dim, "query dimension mismatch");
+    let kernels = simd::scalar();
+    let lists = index.quantizer().assign_multi(query, nprobe);
+    let mut topk = TopK::new(k);
+    for list in lists {
+        index.inverted_internal().scan(ListId(list as u32), |id| {
+            if !index.bitmap().test(id.as_usize()) {
+                return;
+            }
+            if let Some(d) = index
+                .vectors()
+                .with(id, |v| kernels.squared_l2(query, v.as_slice()))
+            {
+                topk.push(id.as_u64(), d);
+            }
+        });
     }
     topk.into_sorted_vec()
 }
@@ -208,6 +544,139 @@ mod tests {
         assert!(ann.iter().all(|n| n.id != 0));
         assert!(exact.iter().all(|n| n.id != 0));
         assert_eq!(ann.len(), 49);
+    }
+
+    #[test]
+    fn engine_matches_reference_paths_exactly() {
+        let (index, data) = build_index(400, 8, 11);
+        // Delete a spread of images so validity filtering is exercised.
+        for i in (0..400).step_by(7) {
+            let key = jdvs_storage::model::ImageKey::from_url(&format!("u{i}"));
+            index.invalidate(key, &format!("u{i}")).unwrap();
+        }
+        for q in data.iter().take(25) {
+            for nprobe in [1usize, 3, 8] {
+                let engine = ann_search(&index, q.as_slice(), 10, nprobe);
+                let reference = ann_search_reference(&index, q.as_slice(), 10, nprobe);
+                assert_eq!(engine, reference, "nprobe = {nprobe}");
+            }
+            assert_eq!(
+                brute_force(&index, q.as_slice(), 10),
+                brute_force_reference(&index, q.as_slice(), 10)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_exactly() {
+        // Big enough that total probed candidates exceed
+        // PARALLEL_MIN_CANDIDATES, so threads > 1 genuinely fan out.
+        let (index, data) = build_index(3000, 4, 13);
+        assert!(index.inverted_internal().total_entries() >= PARALLEL_MIN_CANDIDATES);
+        for q in data.iter().take(10) {
+            let sequential = ann_search_with_threads(&index, q.as_slice(), 10, 4, 1);
+            for threads in [2usize, 3, 8] {
+                let parallel = ann_search_with_threads(&index, q.as_slice(), 10, 4, threads);
+                assert_eq!(sequential, parallel, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_queries_stay_sequential() {
+        assert_eq!(effective_threads(4, 8, PARALLEL_MIN_CANDIDATES - 1), 1);
+        assert_eq!(effective_threads(4, 8, PARALLEL_MIN_CANDIDATES), 4);
+        assert_eq!(effective_threads(1, 8, 1 << 20), 1, "knob off");
+        assert_eq!(effective_threads(8, 3, 1 << 20), 3, "capped by lists");
+    }
+
+    #[test]
+    fn missing_vector_is_skipped_not_ranked_at_infinity() {
+        // Regression: an id published in an inverted list whose feature
+        // vector never landed used to enter the heap at f32::INFINITY and
+        // could surface whenever fewer than k real candidates existed.
+        let (index, data) = build_index(5, 1, 17);
+        let phantom = ImageId(4000);
+        index.inverted_internal().append(ListId(0), phantom);
+        index.bitmap().set(phantom.as_usize());
+        index.inverted_internal().flush();
+        for result in [
+            ann_search(&index, data[0].as_slice(), 50, 1),
+            ann_search_reference(&index, data[0].as_slice(), 50, 1),
+        ] {
+            assert_eq!(result.len(), 5, "only real images are returned");
+            assert!(result.iter().all(|n| n.id != phantom.as_u64()));
+            assert!(result.iter().all(|n| n.distance.is_finite()));
+        }
+    }
+
+    #[test]
+    fn rerank_drops_images_deleted_between_stages() {
+        let (index, data) = build_index(30, 2, 19);
+        let kernels = simd::active();
+        let bitmap = index.bitmap().reader();
+        let vectors = index.vectors().snapshot();
+        // Stage 1 admitted ids 0 and 1 to the shortlist...
+        let mut shortlist = TopK::new(4);
+        shortlist.push(0, 0.5);
+        shortlist.push(1, 0.7);
+        // ...then image 0 is deleted before the rerank runs.
+        index.bitmap().clear(0);
+        let got = exact_rerank(&bitmap, &vectors, kernels, data[0].as_slice(), shortlist, 4);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].id, 1, "the deleted image cannot resurface");
+    }
+
+    #[test]
+    fn compressed_engine_matches_reference() {
+        let mut rng = Xoshiro256::seed_from(23);
+        let data: Vec<Vector> = (0..500)
+            .map(|_| (0..8).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let config = IndexConfig {
+            dim: 8,
+            num_lists: 4,
+            initial_list_capacity: 8,
+            pq_subspaces: Some(4),
+            ..Default::default()
+        };
+        let index = VisualIndex::bootstrap(config, &data);
+        for (i, v) in data.iter().enumerate() {
+            index
+                .insert(
+                    v.clone(),
+                    ProductAttributes::new(ProductId(i as u64), 0, 0, 0, format!("u{i}")),
+                )
+                .unwrap();
+        }
+        index.flush();
+        for i in (0..500).step_by(9) {
+            let key = jdvs_storage::model::ImageKey::from_url(&format!("u{i}"));
+            index.invalidate(key, &format!("u{i}")).unwrap();
+        }
+        for q in data.iter().take(15) {
+            let engine = compressed_search(&index, q.as_slice(), 10, 4, 3);
+            let reference = compressed_search_reference(&index, q.as_slice(), 10, 4, 3);
+            assert_eq!(engine, reference);
+        }
+    }
+
+    #[test]
+    fn scalar_baseline_agrees_on_ids_with_engine() {
+        // Distances may differ in the last ulp between kernels, but on
+        // well-separated random data the returned id set is stable.
+        let (index, data) = build_index(300, 4, 29);
+        for q in data.iter().take(10) {
+            let engine: Vec<u64> = ann_search(&index, q.as_slice(), 5, 4)
+                .into_iter()
+                .map(|n| n.id)
+                .collect();
+            let baseline: Vec<u64> = ann_search_scalar_baseline(&index, q.as_slice(), 5, 4)
+                .into_iter()
+                .map(|n| n.id)
+                .collect();
+            assert_eq!(engine, baseline);
+        }
     }
 
     #[test]

@@ -97,6 +97,39 @@ impl VectorStore {
         drop(chunks);
         chunk.slots[id.as_usize() % CHUNK_VECTORS].get().map(f)
     }
+
+    /// Pins every chunk once and returns a snapshot whose `get` is a pure
+    /// pointer chase — the block-scan hot path: one lock acquisition per
+    /// query instead of one per candidate. Vectors `put` into *existing*
+    /// chunks after the snapshot remain visible (slots are `OnceLock`s);
+    /// only chunks allocated later are missed.
+    pub fn snapshot(&self) -> VectorSnapshot {
+        VectorSnapshot {
+            chunks: self.chunks.read().iter().map(Arc::clone).collect(),
+        }
+    }
+}
+
+/// A pinned, lock-free view of a [`VectorStore`]; see
+/// [`VectorStore::snapshot`].
+pub struct VectorSnapshot {
+    chunks: Vec<Arc<Chunk>>,
+}
+
+impl std::fmt::Debug for VectorSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VectorSnapshot")
+            .field("chunks", &self.chunks.len())
+            .finish()
+    }
+}
+
+impl VectorSnapshot {
+    /// Borrows the vector in slot `id`, if written.
+    #[inline]
+    pub fn get(&self, id: ImageId) -> Option<&Vector> {
+        self.chunks.get(id.as_usize() / CHUNK_VECTORS)?.slots[id.as_usize() % CHUNK_VECTORS].get()
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +172,23 @@ mod tests {
         let far = ImageId((CHUNK_VECTORS * 3 + 7) as u32);
         s.put(far, Vector::from(vec![9.0]));
         assert_eq!(s.get(far).unwrap().as_slice(), &[9.0]);
+    }
+
+    #[test]
+    fn snapshot_borrows_and_sees_writes_to_pinned_chunks() {
+        let s = VectorStore::new();
+        s.put(ImageId(1), Vector::from(vec![3.0, 4.0]));
+        let snap = s.snapshot();
+        assert_eq!(snap.get(ImageId(1)).unwrap().as_slice(), &[3.0, 4.0]);
+        assert!(snap.get(ImageId(2)).is_none());
+        // Write into a slot of an already-pinned chunk: visible.
+        s.put(ImageId(2), Vector::from(vec![5.0]));
+        assert_eq!(snap.get(ImageId(2)).unwrap().as_slice(), &[5.0]);
+        // A chunk allocated after the snapshot is not.
+        let far = ImageId((CHUNK_VECTORS * 5) as u32);
+        s.put(far, Vector::from(vec![6.0]));
+        assert!(snap.get(far).is_none());
+        assert!(s.snapshot().get(far).is_some());
     }
 
     #[test]

@@ -7,9 +7,11 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use jdvs_core::ids::ImageId;
+use jdvs_core::search;
 use jdvs_core::swap::IndexHandle;
 use jdvs_core::{persist, IndexConfig, VisualIndex};
 use jdvs_storage::model::{ImageKey, ProductAttributes, ProductId};
+use jdvs_vector::rng::Xoshiro256;
 use jdvs_vector::Vector;
 
 const DIM: usize = 6;
@@ -181,5 +183,60 @@ proptest! {
             }
         }
         prop_assert_eq!(handle.generation(), n_swaps as u64);
+    }
+
+    /// The block/parallel execution engine returns *exactly* the reference
+    /// scan's results — same ids, same distances, same order — on random
+    /// indexes with random deletions, for every nprobe and thread budget.
+    /// Both paths use the same dispatched kernel, so equality is bit-exact
+    /// rather than within-tolerance.
+    #[test]
+    fn engine_matches_reference_on_random_indexes(
+        seed in any::<u64>(),
+        n in 50usize..400,
+        num_lists in 2usize..9,
+        nprobe in 1usize..9,
+        delete_every in 2usize..10,
+        threads in 1usize..5,
+    ) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let data: Vec<Vector> = (0..n)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let index = VisualIndex::bootstrap(
+            IndexConfig {
+                dim: DIM,
+                num_lists,
+                initial_list_capacity: 4,
+                ..Default::default()
+            },
+            &data,
+        );
+        for (i, v) in data.iter().enumerate() {
+            index
+                .insert(
+                    v.clone(),
+                    ProductAttributes::new(ProductId(i as u64), 0, 0, 0, format!("diff/u{i}")),
+                )
+                .unwrap();
+        }
+        index.flush();
+        for i in (0..n).step_by(delete_every) {
+            let url = format!("diff/u{i}");
+            index.invalidate(ImageKey::from_url(&url), &url).unwrap();
+        }
+        for q in data.iter().take(5) {
+            let engine =
+                search::ann_search_with_threads(&index, q.as_slice(), 10, nprobe, threads);
+            let reference = search::ann_search_reference(&index, q.as_slice(), 10, nprobe);
+            prop_assert_eq!(&engine, &reference, "ann nprobe={} threads={}", nprobe, threads);
+            let exhaustive = search::brute_force(&index, q.as_slice(), 10);
+            let exhaustive_ref = search::brute_force_reference(&index, q.as_slice(), 10);
+            prop_assert_eq!(&exhaustive, &exhaustive_ref);
+            // Deleted ids never appear in either path.
+            for hit in engine.iter().chain(exhaustive.iter()) {
+                prop_assert!(index.is_valid(ImageId(hit.id as u32)));
+            }
+        }
     }
 }

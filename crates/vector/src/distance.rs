@@ -2,12 +2,15 @@
 //!
 //! The paper's searchers rank candidates by **Euclidean distance** between
 //! high-dimensional feature vectors (Section 2.4); the blender's cosine mode
-//! is provided for normalized-feature deployments. The hot loop —
-//! [`squared_l2`] — is written with 4-way manual unrolling, which the
-//! compiler auto-vectorizes; the `*_sq` form avoids the square root that a
-//! pure ordering never needs.
+//! is provided for normalized-feature deployments. The hot loops —
+//! [`squared_l2`] and [`dot`] — dispatch through [`crate::simd`] to the
+//! fastest kernel the CPU supports (AVX2+FMA, NEON, or the 4-way unrolled
+//! scalar fallback), selected once at startup; the `*_sq` form avoids the
+//! square root that a pure ordering never needs.
 
 use serde::{Deserialize, Serialize};
+
+use crate::simd;
 
 /// Which distance/similarity the index and searchers use.
 ///
@@ -53,45 +56,14 @@ impl std::fmt::Display for DistanceMetric {
     }
 }
 
-#[inline]
-fn assert_same_len(a: &[f32], b: &[f32]) {
-    assert_eq!(
-        a.len(),
-        b.len(),
-        "distance between vectors of different dimension"
-    );
-}
-
-/// Squared Euclidean distance `Σ (aᵢ - bᵢ)²`.
+/// Squared Euclidean distance `Σ (aᵢ - bᵢ)²` (SIMD-dispatched).
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
-    assert_same_len(a, b);
-    let mut acc0 = 0.0f32;
-    let mut acc1 = 0.0f32;
-    let mut acc2 = 0.0f32;
-    let mut acc3 = 0.0f32;
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        let d0 = a[j] - b[j];
-        let d1 = a[j + 1] - b[j + 1];
-        let d2 = a[j + 2] - b[j + 2];
-        let d3 = a[j + 3] - b[j + 3];
-        acc0 += d0 * d0;
-        acc1 += d1 * d1;
-        acc2 += d2 * d2;
-        acc3 += d3 * d3;
-    }
-    let mut acc = acc0 + acc1 + acc2 + acc3;
-    for j in chunks * 4..a.len() {
-        let d = a[j] - b[j];
-        acc += d * d;
-    }
-    acc
+    simd::active().squared_l2(a, b)
 }
 
 /// Euclidean distance `sqrt(squared_l2(a, b))`.
@@ -104,31 +76,14 @@ pub fn l2(a: &[f32], b: &[f32]) -> f32 {
     squared_l2(a, b).sqrt()
 }
 
-/// Inner product `Σ aᵢ·bᵢ`.
+/// Inner product `Σ aᵢ·bᵢ` (SIMD-dispatched).
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_same_len(a, b);
-    let mut acc0 = 0.0f32;
-    let mut acc1 = 0.0f32;
-    let mut acc2 = 0.0f32;
-    let mut acc3 = 0.0f32;
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        acc0 += a[j] * b[j];
-        acc1 += a[j + 1] * b[j + 1];
-        acc2 += a[j + 2] * b[j + 2];
-        acc3 += a[j + 3] * b[j + 3];
-    }
-    let mut acc = acc0 + acc1 + acc2 + acc3;
-    for j in chunks * 4..a.len() {
-        acc += a[j] * b[j];
-    }
-    acc
+    simd::active().dot(a, b)
 }
 
 /// Cosine similarity in `[-1, 1]`; returns `0.0` if either vector is zero.
@@ -138,7 +93,6 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
-    assert_same_len(a, b);
     let d = dot(a, b);
     let na = dot(a, a).sqrt();
     let nb = dot(b, b).sqrt();

@@ -203,16 +203,52 @@ impl Kmeans {
     ///
     /// Panics if `nprobe == 0` or dimensions differ.
     pub fn assign_multi(&self, v: &[f32], nprobe: usize) -> Vec<usize> {
-        assert!(nprobe > 0, "nprobe must be positive");
-        let mut topk = crate::topk::TopK::new(nprobe.min(self.k()));
-        for (i, c) in self.centroids.iter().enumerate() {
-            topk.push(i as u64, squared_l2(c.as_slice(), v));
-        }
-        topk.into_sorted_vec()
-            .into_iter()
-            .map(|n| n.id as usize)
-            .collect()
+        let mut scratch = AssignScratch::default();
+        let mut out = Vec::new();
+        self.assign_multi_into(v, nprobe, &mut scratch, &mut out);
+        out
     }
+
+    /// Allocation-free [`Kmeans::assign_multi`]: writes the `nprobe` nearest
+    /// centroid indices (closest first) into `out`, reusing `scratch` across
+    /// calls. The serving hot path assigns once per query, so the per-call
+    /// `Vec` churn of `assign_multi` is measurable at high QPS; with a
+    /// warmed scratch this performs zero allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprobe == 0` or dimensions differ.
+    pub fn assign_multi_into(
+        &self,
+        v: &[f32],
+        nprobe: usize,
+        scratch: &mut AssignScratch,
+        out: &mut Vec<usize>,
+    ) {
+        assert!(nprobe > 0, "nprobe must be positive");
+        let candidates = &mut scratch.candidates;
+        candidates.clear();
+        for (i, c) in self.centroids.iter().enumerate() {
+            candidates.push(crate::topk::Neighbor::new(
+                i as u64,
+                squared_l2(c.as_slice(), v),
+            ));
+        }
+        let n = nprobe.min(candidates.len());
+        // Same total order (distance, then id) as the TopK path, so the
+        // selected cells and their order are identical.
+        candidates.select_nth_unstable(n - 1);
+        candidates.truncate(n);
+        candidates.sort_unstable();
+        out.clear();
+        out.extend(candidates.iter().map(|c| c.id as usize));
+    }
+}
+
+/// Reusable buffers for [`Kmeans::assign_multi_into`].
+#[derive(Debug, Default, Clone)]
+pub struct AssignScratch {
+    candidates: Vec<crate::topk::Neighbor>,
 }
 
 fn nearest(centroids: &[Vector], v: &[f32]) -> (usize, f32) {
@@ -410,6 +446,27 @@ mod tests {
         assert!(d(probes[0]) <= d(probes[1]));
         assert!(d(probes[1]) <= d(probes[2]));
         assert_eq!(probes[0], model.assign(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn assign_multi_into_matches_assign_multi() {
+        let data = blobs(40, &[[0.0, 0.0], [5.0, 0.0], [10.0, 0.0]], 17);
+        let model = Kmeans::train(
+            &data,
+            &KmeansConfig {
+                k: 6,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let mut scratch = AssignScratch::default();
+        let mut out = Vec::new();
+        for (i, q) in data.iter().enumerate().take(10) {
+            for nprobe in [1usize, 3, 6, 99] {
+                model.assign_multi_into(q.as_slice(), nprobe, &mut scratch, &mut out);
+                assert_eq!(out, model.assign_multi(q.as_slice(), nprobe), "query {i}");
+            }
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod kmeans;
 pub mod lsh;
 pub mod pq;
 pub mod rng;
+pub mod simd;
 pub mod topk;
 pub mod vector;
 

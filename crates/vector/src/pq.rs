@@ -149,24 +149,26 @@ impl ProductQuantizer {
         Vector::from(out)
     }
 
-    /// Builds the per-query ADC table: `table[sub][word]` is the squared
-    /// distance between the query's `sub`-th sub-vector and codeword `word`.
+    /// Builds the per-query ADC table: entry `sub * 256 + word` is the
+    /// squared distance between the query's `sub`-th sub-vector and codeword
+    /// `word`. Rows are stored **flattened and contiguous** so the SIMD
+    /// gather kernel can index the whole table from one base pointer.
     ///
     /// # Panics
     ///
     /// Panics if `query.len() != self.dim()`.
     pub fn adc_table(&self, query: &[f32]) -> AdcTable {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
-        let mut table = Vec::with_capacity(self.num_subspaces());
+        let m = self.num_subspaces();
+        let mut flat = vec![f32::INFINITY; m * CODEBOOK_SIZE];
         for (sub, cb) in self.codebooks.iter().enumerate() {
             let q = &query[sub * self.sub_dim..(sub + 1) * self.sub_dim];
-            let mut row = vec![f32::INFINITY; CODEBOOK_SIZE];
+            let row = &mut flat[sub * CODEBOOK_SIZE..(sub + 1) * CODEBOOK_SIZE];
             for (w, centroid) in cb.centroids().iter().enumerate() {
                 row[w] = squared_l2(q, centroid.as_slice());
             }
-            table.push(row);
         }
-        AdcTable { table }
+        AdcTable { flat, m }
     }
 }
 
@@ -174,23 +176,33 @@ impl ProductQuantizer {
 /// [`ProductQuantizer::adc_table`].
 #[derive(Debug, Clone)]
 pub struct AdcTable {
-    table: Vec<Vec<f32>>,
+    /// Row-major `m × 256` distance entries.
+    flat: Vec<f32>,
+    m: usize,
 }
 
 impl AdcTable {
     /// Approximate squared L2 distance between the query and the vector
-    /// encoded as `code`.
+    /// encoded as `code` (SIMD-dispatched table lookup).
     ///
     /// # Panics
     ///
     /// Panics if `code.len()` differs from the number of subspaces.
     #[inline]
     pub fn distance(&self, code: &[u8]) -> f32 {
-        assert_eq!(code.len(), self.table.len(), "code length mismatch");
-        code.iter()
-            .zip(&self.table)
-            .map(|(&c, row)| row[c as usize])
-            .sum()
+        assert_eq!(code.len(), self.m, "code length mismatch");
+        crate::simd::active().adc(code, &self.flat)
+    }
+
+    /// Number of subspaces `m`.
+    pub fn num_subspaces(&self) -> usize {
+        self.m
+    }
+
+    /// The flattened `m × 256` row-major table (for custom scan kernels and
+    /// differential tests).
+    pub fn flat(&self) -> &[f32] {
+        &self.flat
     }
 }
 

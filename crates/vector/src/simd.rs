@@ -1,0 +1,516 @@
+//! Runtime-dispatched SIMD distance kernels.
+//!
+//! The searcher's inner loop evaluates `squared_l2` (raw scans), `dot`
+//! (cosine/MIPS modes) and the PQ ADC lookup (compressed scans) millions of
+//! times per second; Section 2.4's sub-second latency target makes these the
+//! hottest instructions in the system. This module provides three
+//! implementations of each kernel behind one [`KernelSet`] of function
+//! pointers:
+//!
+//! - **scalar** — the always-correct reference: 4-way manually unrolled,
+//!   identical to the original hand-written loops. Used for differential
+//!   testing and as the fallback on hardware without SIMD.
+//! - **avx2-fma** (`x86_64`) — 8-lane `f32` FMA kernels with two
+//!   independent accumulators; the ADC kernel uses `vgatherdps` to fetch
+//!   8 codebook entries per instruction.
+//! - **neon** (`aarch64`) — 4-lane `f32` FMA kernels (NEON is part of the
+//!   baseline AArch64 ISA, so no runtime detection is needed).
+//!
+//! Selection happens **once**, on first use, via
+//! `is_x86_feature_detected!`; every later call is an indirect call through
+//! a cached function pointer. Setting the environment variable
+//! `JDVS_FORCE_SCALAR` (to anything but `0`) before first use pins the
+//! dispatcher to the scalar set — CI runs the whole test suite in that mode
+//! so both code paths stay green.
+//!
+//! Floating-point caveat: SIMD kernels associate the reduction differently
+//! from the scalar ones (and FMA skips an intermediate rounding), so results
+//! may differ in the last bits. Property tests bound the relative error at
+//! `1e-4`; orderings of well-separated candidates are unaffected.
+
+use std::sync::OnceLock;
+
+/// Codewords per PQ sub-quantizer; ADC tables are `m` rows of this many
+/// `f32` entries, flattened row-major (mirrors
+/// [`crate::pq::CODEBOOK_SIZE`], duplicated here to keep the kernel layer
+/// free of higher-level imports).
+pub const ADC_ROW: usize = 256;
+
+#[inline]
+fn assert_same_len(a: &[f32], b: &[f32]) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "distance between vectors of different dimension"
+    );
+}
+
+/// One complete set of distance kernels (see the module docs).
+#[derive(Clone, Copy)]
+pub struct KernelSet {
+    name: &'static str,
+    squared_l2: fn(&[f32], &[f32]) -> f32,
+    dot: fn(&[f32], &[f32]) -> f32,
+    adc: fn(&[u8], &[f32]) -> f32,
+}
+
+impl std::fmt::Debug for KernelSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelSet")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl KernelSet {
+    /// Kernel family name: `"scalar"`, `"avx2-fma"` or `"neon"`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Squared Euclidean distance `Σ (aᵢ - bᵢ)²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn squared_l2(&self, a: &[f32], b: &[f32]) -> f32 {
+        assert_same_len(a, b);
+        (self.squared_l2)(a, b)
+    }
+
+    /// Inner product `Σ aᵢ·bᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn dot(&self, a: &[f32], b: &[f32]) -> f32 {
+        assert_same_len(a, b);
+        (self.dot)(a, b)
+    }
+
+    /// ADC lookup: `Σ table[sub * ADC_ROW + code[sub]]` over a flattened
+    /// per-query distance table (see [`crate::pq::AdcTable`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table.len() != code.len() * ADC_ROW`.
+    #[inline]
+    pub fn adc(&self, code: &[u8], table: &[f32]) -> f32 {
+        assert_eq!(
+            table.len(),
+            code.len() * ADC_ROW,
+            "ADC table shape mismatch"
+        );
+        (self.adc)(code, table)
+    }
+}
+
+static SCALAR: KernelSet = KernelSet {
+    name: "scalar",
+    squared_l2: scalar::squared_l2,
+    dot: scalar::dot,
+    adc: scalar::adc,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2: KernelSet = KernelSet {
+    name: "avx2-fma",
+    squared_l2: x86::squared_l2,
+    dot: x86::dot,
+    adc: x86::adc,
+};
+
+#[cfg(target_arch = "aarch64")]
+static NEON: KernelSet = KernelSet {
+    name: "neon",
+    squared_l2: neon::squared_l2,
+    dot: neon::dot,
+    // Table lookups have no NEON gather; the unrolled scalar loop is
+    // already load-bound, so reuse it.
+    adc: scalar::adc,
+};
+
+/// The scalar reference kernels (always correct, never dispatched away).
+pub fn scalar() -> &'static KernelSet {
+    &SCALAR
+}
+
+/// The best kernel set this CPU supports, ignoring `JDVS_FORCE_SCALAR`.
+/// Differential tests use this to exercise the SIMD path explicitly.
+pub fn detect_best() -> &'static KernelSet {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return &AVX2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return &NEON;
+    }
+    #[allow(unreachable_code)]
+    &SCALAR
+}
+
+/// The kernel set every hot path dispatches through: [`detect_best`] unless
+/// `JDVS_FORCE_SCALAR` pins the scalar fallback. Selected once, cached for
+/// the process lifetime.
+pub fn active() -> &'static KernelSet {
+    static ACTIVE: OnceLock<&'static KernelSet> = OnceLock::new();
+    ACTIVE.get_or_init(|| {
+        if std::env::var_os("JDVS_FORCE_SCALAR").is_some_and(|v| v != "0") {
+            &SCALAR
+        } else {
+            detect_best()
+        }
+    })
+}
+
+/// The scalar reference implementations (4-way unrolled; the pre-SIMD hot
+/// loops, kept verbatim as the correctness oracle).
+pub mod scalar {
+    use super::ADC_ROW;
+
+    /// Reference `Σ (aᵢ - bᵢ)²`; caller guarantees equal lengths.
+    pub fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc0 = 0.0f32;
+        let mut acc1 = 0.0f32;
+        let mut acc2 = 0.0f32;
+        let mut acc3 = 0.0f32;
+        let chunks = a.len() / 4;
+        for i in 0..chunks {
+            let j = i * 4;
+            let d0 = a[j] - b[j];
+            let d1 = a[j + 1] - b[j + 1];
+            let d2 = a[j + 2] - b[j + 2];
+            let d3 = a[j + 3] - b[j + 3];
+            acc0 += d0 * d0;
+            acc1 += d1 * d1;
+            acc2 += d2 * d2;
+            acc3 += d3 * d3;
+        }
+        let mut acc = acc0 + acc1 + acc2 + acc3;
+        for j in chunks * 4..a.len() {
+            let d = a[j] - b[j];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Reference `Σ aᵢ·bᵢ`; caller guarantees equal lengths.
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc0 = 0.0f32;
+        let mut acc1 = 0.0f32;
+        let mut acc2 = 0.0f32;
+        let mut acc3 = 0.0f32;
+        let chunks = a.len() / 4;
+        for i in 0..chunks {
+            let j = i * 4;
+            acc0 += a[j] * b[j];
+            acc1 += a[j + 1] * b[j + 1];
+            acc2 += a[j + 2] * b[j + 2];
+            acc3 += a[j + 3] * b[j + 3];
+        }
+        let mut acc = acc0 + acc1 + acc2 + acc3;
+        for j in chunks * 4..a.len() {
+            acc += a[j] * b[j];
+        }
+        acc
+    }
+
+    /// Reference ADC lookup; caller guarantees
+    /// `table.len() == code.len() * ADC_ROW`.
+    pub fn adc(code: &[u8], table: &[f32]) -> f32 {
+        let mut acc0 = 0.0f32;
+        let mut acc1 = 0.0f32;
+        let mut acc2 = 0.0f32;
+        let mut acc3 = 0.0f32;
+        let chunks = code.len() / 4;
+        for i in 0..chunks {
+            let j = i * 4;
+            acc0 += table[j * ADC_ROW + code[j] as usize];
+            acc1 += table[(j + 1) * ADC_ROW + code[j + 1] as usize];
+            acc2 += table[(j + 2) * ADC_ROW + code[j + 2] as usize];
+            acc3 += table[(j + 3) * ADC_ROW + code[j + 3] as usize];
+        }
+        let mut acc = acc0 + acc1 + acc2 + acc3;
+        for j in chunks * 4..code.len() {
+            acc += table[j * ADC_ROW + code[j] as usize];
+        }
+        acc
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::ADC_ROW;
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of the 8 lanes of `v`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+        _mm_cvtss_f32(s)
+    }
+
+    pub(super) fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: this function is only reachable through the AVX2 kernel
+        // set, which `detect_best` installs after `is_x86_feature_detected!`
+        // confirmed avx2+fma support.
+        unsafe { squared_l2_avx2(a, b) }
+    }
+
+    pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: as above — only selected on avx2+fma hardware.
+        unsafe { dot_avx2(a, b) }
+    }
+
+    pub(super) fn adc(code: &[u8], table: &[f32]) -> f32 {
+        // SAFETY: as above — only selected on avx2+fma hardware.
+        unsafe { adc_avx2(code, table) }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn squared_l2_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let d0 = _mm256_sub_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+            let d1 = _mm256_sub_ps(
+                _mm256_loadu_ps(ap.add(i + 8)),
+                _mm256_loadu_ps(bp.add(i + 8)),
+            );
+            acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+            i += 16;
+        }
+        if i + 8 <= n {
+            let d = _mm256_sub_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+            acc0 = _mm256_fmadd_ps(d, d, acc0);
+            i += 8;
+        }
+        let mut total = hsum(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            let d = *a.get_unchecked(i) - *b.get_unchecked(i);
+            total += d * d;
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 8)),
+                _mm256_loadu_ps(bp.add(i + 8)),
+                acc1,
+            );
+            i += 16;
+        }
+        if i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            i += 8;
+        }
+        let mut total = hsum(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            total += *a.get_unchecked(i) * *b.get_unchecked(i);
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn adc_avx2(code: &[u8], table: &[f32]) -> f32 {
+        let m = code.len();
+        let tp = table.as_ptr();
+        // Row offsets of 8 consecutive subspaces: 0, 256, 512, ...
+        let rows = _mm256_setr_epi32(
+            0,
+            ADC_ROW as i32,
+            2 * ADC_ROW as i32,
+            3 * ADC_ROW as i32,
+            4 * ADC_ROW as i32,
+            5 * ADC_ROW as i32,
+            6 * ADC_ROW as i32,
+            7 * ADC_ROW as i32,
+        );
+        let mut acc = _mm256_setzero_ps();
+        let mut sub = 0usize;
+        while sub + 8 <= m {
+            // 8 one-byte codes → 8 i32 lanes → absolute table indices.
+            let codes8 = _mm_loadl_epi64(code.as_ptr().add(sub) as *const __m128i);
+            let idx = _mm256_add_epi32(
+                _mm256_add_epi32(_mm256_cvtepu8_epi32(codes8), rows),
+                _mm256_set1_epi32((sub * ADC_ROW) as i32),
+            );
+            acc = _mm256_add_ps(acc, _mm256_i32gather_ps::<4>(tp, idx));
+            sub += 8;
+        }
+        let mut total = hsum(acc);
+        while sub < m {
+            total += *table.get_unchecked(sub * ADC_ROW + *code.get_unchecked(sub) as usize);
+            sub += 1;
+        }
+        total
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use std::arch::aarch64::*;
+
+    pub(super) fn squared_l2(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: NEON is part of the baseline AArch64 ISA; the loads stay
+        // inside the slices (equal lengths checked by the caller).
+        unsafe {
+            let n = a.len();
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let mut acc0 = vdupq_n_f32(0.0);
+            let mut acc1 = vdupq_n_f32(0.0);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let d0 = vsubq_f32(vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+                acc0 = vfmaq_f32(acc0, d0, d0);
+                let d1 = vsubq_f32(vld1q_f32(ap.add(i + 4)), vld1q_f32(bp.add(i + 4)));
+                acc1 = vfmaq_f32(acc1, d1, d1);
+                i += 8;
+            }
+            if i + 4 <= n {
+                let d = vsubq_f32(vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+                acc0 = vfmaq_f32(acc0, d, d);
+                i += 4;
+            }
+            let mut total = vaddvq_f32(vaddq_f32(acc0, acc1));
+            while i < n {
+                let d = a[i] - b[i];
+                total += d * d;
+                i += 1;
+            }
+            total
+        }
+    }
+
+    pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
+        // SAFETY: as above.
+        unsafe {
+            let n = a.len();
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let mut acc0 = vdupq_n_f32(0.0);
+            let mut acc1 = vdupq_n_f32(0.0);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                acc0 = vfmaq_f32(acc0, vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+                acc1 = vfmaq_f32(acc1, vld1q_f32(ap.add(i + 4)), vld1q_f32(bp.add(i + 4)));
+                i += 8;
+            }
+            if i + 4 <= n {
+                acc0 = vfmaq_f32(acc0, vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+                i += 4;
+            }
+            let mut total = vaddvq_f32(vaddq_f32(acc0, acc1));
+            while i < n {
+                total += a[i] * b[i];
+                i += 1;
+            }
+            total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn random_vec(dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Xoshiro256::seed_from(seed);
+        (0..dim).map(|_| rng.next_gaussian() as f32).collect()
+    }
+
+    fn close(a: f32, b: f32) -> bool {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        (a - b).abs() / scale < 1e-4
+    }
+
+    #[test]
+    fn active_is_cached_and_named() {
+        let k = active();
+        assert_eq!(k.name(), active().name(), "selection is stable");
+        assert!(["scalar", "avx2-fma", "neon"].contains(&k.name()));
+    }
+
+    #[test]
+    fn best_matches_scalar_on_awkward_dims() {
+        let best = detect_best();
+        for dim in [
+            1usize, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 63, 64, 100, 255, 1024,
+        ] {
+            let a = random_vec(dim, dim as u64);
+            let b = random_vec(dim, dim as u64 + 1000);
+            assert!(
+                close(best.squared_l2(&a, &b), scalar().squared_l2(&a, &b)),
+                "squared_l2 dim {dim}"
+            );
+            assert!(
+                close(best.dot(&a, &b), scalar().dot(&a, &b)),
+                "dot dim {dim}"
+            );
+        }
+    }
+
+    #[test]
+    fn adc_matches_scalar_on_awkward_widths() {
+        let best = detect_best();
+        let mut rng = Xoshiro256::seed_from(7);
+        for m in [1usize, 2, 3, 7, 8, 9, 15, 16, 17, 32] {
+            let table: Vec<f32> = (0..m * ADC_ROW)
+                .map(|_| rng.next_gaussian().abs() as f32)
+                .collect();
+            let code: Vec<u8> = (0..m).map(|_| (rng.next_index(ADC_ROW)) as u8).collect();
+            assert!(
+                close(best.adc(&code, &table), scalar().adc(&code, &table)),
+                "adc m {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(active().squared_l2(&[], &[]), 0.0);
+        assert_eq!(active().dot(&[], &[]), 0.0);
+        assert_eq!(active().adc(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimension")]
+    fn kernel_length_mismatch_panics() {
+        active().squared_l2(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ADC table shape mismatch")]
+    fn adc_shape_mismatch_panics() {
+        active().adc(&[0, 1], &[0.0; ADC_ROW]);
+    }
+}

@@ -124,6 +124,20 @@ impl TopK {
         }
     }
 
+    /// Returns `true` if a candidate at `distance` *could* be retained —
+    /// the block-scan pruning test: when it returns `false` the caller can
+    /// skip building the [`Neighbor`] and touching the heap entirely. A
+    /// `true` answer is conservative (an equal-distance candidate may still
+    /// lose the id tie-break inside [`TopK::push`]).
+    #[inline]
+    pub fn would_accept(&self, distance: f32) -> bool {
+        self.heap.len() < self.k
+            || self
+                .heap
+                .peek()
+                .is_none_or(|worst| distance <= worst.distance)
+    }
+
     /// Offers a candidate; returns `true` if it was retained.
     pub fn push(&mut self, id: u64, distance: f32) -> bool {
         self.push_neighbor(Neighbor::new(id, distance))
@@ -238,6 +252,24 @@ mod tests {
         a.merge(b);
         let ids: Vec<u64> = a.into_sorted_vec().into_iter().map(|n| n.id).collect();
         assert_eq!(ids, vec![4, 2, 6]);
+    }
+
+    #[test]
+    fn would_accept_agrees_with_push_when_strict() {
+        let mut topk = TopK::new(2);
+        assert!(
+            topk.would_accept(f32::INFINITY),
+            "not full: accept anything"
+        );
+        topk.push(1, 1.0);
+        topk.push(2, 3.0);
+        assert!(topk.would_accept(2.0));
+        assert!(!topk.would_accept(4.0));
+        // Equal distance: conservative `true`; push decides by id tie-break.
+        assert!(topk.would_accept(3.0));
+        assert!(topk.push(0, 3.0), "smaller id wins the tie");
+        assert!(!topk.push(9, 3.0), "larger id loses the tie");
+        assert!(!topk.would_accept(f32::NAN), "NaN never beats a full heap");
     }
 
     #[test]

@@ -6,8 +6,24 @@ use jdvs_vector::distance::{cosine_similarity, dot, l2, squared_l2};
 use jdvs_vector::kmeans::{Kmeans, KmeansConfig};
 use jdvs_vector::pq::{PqConfig, ProductQuantizer};
 use jdvs_vector::rng::Xoshiro256;
+use jdvs_vector::simd::{self, ADC_ROW};
 use jdvs_vector::topk::TopK;
 use jdvs_vector::Vector;
+
+/// `dim` seeded values in roughly [-100, 100] — big enough to stress
+/// accumulation order, fast to generate at dim 1024 (a proptest-generated
+/// `Vec<f32>` of that length would dominate case time in the shim).
+fn seeded(dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Xoshiro256::seed_from(seed);
+    (0..dim)
+        .map(|_| (rng.next_gaussian() as f32) * 50.0)
+        .collect()
+}
+
+fn close(a: f32, b: f32) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= scale * 1e-4
+}
 
 fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-1e3f32..1e3, len..=len)
@@ -117,6 +133,36 @@ proptest! {
             let exact = squared_l2(data[0].as_slice(), pq.decode(&code).as_slice());
             prop_assert!((adc - exact).abs() < 1e-2, "{adc} vs {exact}");
         }
+    }
+
+    /// The active (possibly SIMD) kernels agree with the scalar reference
+    /// within 1e-4 relative tolerance on every dimension 1..=1024,
+    /// including non-multiples of the vector lane width. Under
+    /// `JDVS_FORCE_SCALAR` this still passes (scalar vs scalar is exact),
+    /// so the force-disabled CI job runs the same test meaningfully.
+    #[test]
+    fn simd_l2_and_dot_match_scalar(dim in 1usize..=1024, seed in any::<u64>()) {
+        let a = seeded(dim, seed);
+        let b = seeded(dim, seed ^ 0xDEAD_BEEF);
+        let fast = simd::active();
+        let scalar = simd::scalar();
+        let (l2_fast, l2_ref) = (fast.squared_l2(&a, &b), scalar.squared_l2(&a, &b));
+        prop_assert!(close(l2_fast, l2_ref), "squared_l2 dim {dim}: {l2_fast} vs {l2_ref}");
+        let (dot_fast, dot_ref) = (fast.dot(&a, &b), scalar.dot(&a, &b));
+        prop_assert!(close(dot_fast, dot_ref), "dot dim {dim}: {dot_fast} vs {dot_ref}");
+    }
+
+    /// The ADC gather kernel agrees with the scalar table walk for every
+    /// subspace count the PQ mode can produce (including odd ones and
+    /// non-multiples of the gather width).
+    #[test]
+    fn simd_adc_matches_scalar(m in 1usize..=64, seed in any::<u64>()) {
+        let table = seeded(m * ADC_ROW, seed);
+        let mut rng = Xoshiro256::seed_from(seed ^ 0xC0DE);
+        let code: Vec<u8> = (0..m).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        let fast = simd::active().adc(&code, &table);
+        let reference = simd::scalar().adc(&code, &table);
+        prop_assert!(close(fast, reference), "adc m {m}: {fast} vs {reference}");
     }
 
     /// TopK's threshold never decreases acceptance wrongly: any candidate

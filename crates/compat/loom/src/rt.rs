@@ -1,0 +1,278 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! One logical thread runs at a time; every instrumented operation calls
+//! [`schedule_point`], which picks the next runnable thread with the
+//! iteration's seeded RNG and parks the current one until it is picked
+//! again. Serializing execution this way makes every explored execution
+//! sequentially consistent while still covering the interleavings that
+//! publication-protocol bugs depend on.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Thread id of the model's main thread.
+pub(crate) const MAIN_TID: usize = 0;
+
+/// Per-iteration step budget: a model exceeding it is livelocked (e.g. two
+/// threads spinning on each other's locks) or far too large to model.
+const MAX_STEPS: u64 = 1_000_000;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    /// Runnable: may be picked at any scheduling point.
+    Ready,
+    /// Parked until the target thread finishes.
+    JoinWait(usize),
+    Finished,
+}
+
+struct State {
+    /// The only thread allowed to make progress right now.
+    current: usize,
+    threads: Vec<TState>,
+    rng: u64,
+    steps: u64,
+    /// Set when the model iteration is being torn down after a failure so
+    /// parked threads stop waiting and unwind instead.
+    abandoned: bool,
+    any_panicked: bool,
+}
+
+pub(crate) struct Exec {
+    state: Mutex<State>,
+    cv: Condvar,
+    real_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Exec>, usize)>> = const { RefCell::new(None) };
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Exec {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self {
+            state: Mutex::new(State {
+                current: MAIN_TID,
+                threads: vec![TState::Ready],
+                rng: seed.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0xA076_1D64_78BD_642F,
+                steps: 0,
+                abandoned: false,
+                any_panicked: false,
+            }),
+            cv: Condvar::new(),
+            real_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Picks the next runnable thread and stores it in `current`. Panics on
+    /// an all-threads-blocked deadlock.
+    fn pick_next(&self, st: &mut State) {
+        let ready: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == TState::Ready)
+            .map(|(i, _)| i)
+            .collect();
+        if ready.is_empty() {
+            if st.threads.iter().any(|s| *s != TState::Finished) {
+                st.abandoned = true;
+                self.cv.notify_all();
+                panic!("loom-shim: deadlock — every unfinished thread is blocked on a join");
+            }
+            return; // everything finished; nothing to schedule
+        }
+        let pick = ready[(splitmix64(&mut st.rng) as usize) % ready.len()];
+        st.current = pick;
+        self.cv.notify_all();
+    }
+
+    /// Parks the calling thread until the scheduler picks it again.
+    fn wait_until_current<'a>(
+        &'a self,
+        me: usize,
+        mut st: MutexGuard<'a, State>,
+    ) -> MutexGuard<'a, State> {
+        while st.current != me {
+            if st.abandoned {
+                drop(st);
+                panic!("loom-shim: model abandoned");
+            }
+            st = self.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st
+    }
+
+    pub(crate) fn abandon(&self) {
+        let mut st = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.abandoned = true;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn any_thread_panicked(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .any_panicked
+    }
+
+    pub(crate) fn join_real_threads(&self) {
+        let handles: Vec<_> = self
+            .real_handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Installs `exec` as the calling thread's scheduler context.
+pub(crate) fn enter(exec: &Arc<Exec>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(exec), tid)));
+}
+
+/// Removes the calling thread's scheduler context.
+pub(crate) fn leave() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+pub(crate) fn current() -> Option<(Arc<Exec>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// The instrumentation hook: a point where the scheduler may hand control
+/// to another thread. No-op outside a model run, so instrumented types
+/// behave like their std equivalents in ordinary code.
+pub(crate) fn schedule_point() {
+    let Some((exec, me)) = current() else { return };
+    let mut st = exec.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if st.abandoned {
+        drop(st);
+        panic!("loom-shim: model abandoned");
+    }
+    st.steps += 1;
+    if st.steps > MAX_STEPS {
+        st.abandoned = true;
+        exec.cv.notify_all();
+        drop(st);
+        panic!(
+            "loom-shim: step budget ({MAX_STEPS}) exceeded — livelock/deadlock suspected \
+             (e.g. a lock spin whose holder never runs to release)"
+        );
+    }
+    exec.pick_next(&mut st);
+    let st = exec.wait_until_current(me, st);
+    drop(st);
+}
+
+/// Registers a new logical thread and spawns its OS carrier. The carrier
+/// parks until first scheduled, runs `f`, records the outcome, and hands
+/// control onward.
+pub(crate) fn spawn_thread(
+    exec: &Arc<Exec>,
+    f: impl FnOnce() + Send + 'static,
+) -> usize {
+    let tid = {
+        let mut st = exec.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.threads.push(TState::Ready);
+        st.threads.len() - 1
+    };
+    let e = Arc::clone(exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("loom-shim-{tid}"))
+        .spawn(move || {
+            enter(&e, tid);
+            {
+                let st = e.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        drop(e.wait_until_current(tid, st));
+                    }));
+                if outcome.is_err() {
+                    // Abandoned while parked: exit without running `f`.
+                    leave();
+                    finish(&e, tid, false);
+                    return;
+                }
+            }
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            leave();
+            finish(&e, tid, outcome.is_err());
+        })
+        .expect("failed to spawn model thread");
+    exec.real_handles
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(handle);
+    tid
+}
+
+/// Marks `me` finished, wakes joiners, and schedules a successor.
+fn finish(exec: &Arc<Exec>, me: usize, panicked: bool) {
+    let mut st = exec.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    st.threads[me] = TState::Finished;
+    st.any_panicked |= panicked;
+    for s in st.threads.iter_mut() {
+        if *s == TState::JoinWait(me) {
+            *s = TState::Ready;
+        }
+    }
+    if st.abandoned {
+        exec.cv.notify_all();
+        return;
+    }
+    exec.pick_next(&mut st);
+}
+
+/// Parks the calling thread until `target` finishes (a scheduling point).
+pub(crate) fn join_thread(target: usize) {
+    let Some((exec, me)) = current() else { return };
+    let mut st = exec.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if st.abandoned {
+        drop(st);
+        panic!("loom-shim: model abandoned");
+    }
+    if st.threads[target] != TState::Finished {
+        st.threads[me] = TState::JoinWait(target);
+        exec.pick_next(&mut st);
+        while st.threads[me] != TState::Ready || st.current != me {
+            if st.abandoned {
+                drop(st);
+                panic!("loom-shim: model abandoned");
+            }
+            st = exec.cv.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+    drop(st);
+    // Joining is itself an interleaving point.
+    schedule_point();
+}
+
+/// Returns `true` if every spawned thread has finished.
+fn all_finished(exec: &Arc<Exec>) -> bool {
+    let st = exec.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    st.threads
+        .iter()
+        .enumerate()
+        .all(|(i, s)| i == MAIN_TID || *s == TState::Finished)
+}
+
+/// Runs remaining threads to completion (called by the model driver after
+/// the test body returns, so unjoined threads still execute fully).
+pub(crate) fn drain() {
+    let Some((exec, _)) = current() else { return };
+    while !all_finished(&exec) {
+        schedule_point();
+    }
+}

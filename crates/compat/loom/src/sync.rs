@@ -1,0 +1,346 @@
+//! Scheduler-instrumented synchronization primitives.
+//!
+//! Every operation on these types is a scheduling point, so a model run
+//! interleaves threads at exactly the places where real hardware could.
+//! Outside a model run the instrumentation is a no-op and the types behave
+//! like their std equivalents.
+//!
+//! The lock types expose the `parking_lot`-style non-poisoning API
+//! (`lock()`/`read()`/`write()` return guards directly) because that is
+//! the surface `jdvs-core`'s `sync` facade presents in both cfg modes.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+use crate::rt;
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Instrumented atomics. Orderings are accepted for API compatibility
+    //! and recorded intent; the shim's scheduler serializes execution, so
+    //! every explored execution is sequentially consistent regardless (see
+    //! the crate docs for what that does and does not check).
+
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt;
+
+    macro_rules! instrumented_atomic {
+        ($name:ident, $std:ty, $prim:ty) => {
+            /// Instrumented atomic; see the module docs.
+            #[derive(Debug, Default)]
+            pub struct $name($std);
+
+            impl $name {
+                /// Creates a new atomic with `value`.
+                pub fn new(value: $prim) -> Self {
+                    Self(<$std>::new(value))
+                }
+
+                /// Instrumented load.
+                pub fn load(&self, _order: Ordering) -> $prim {
+                    rt::schedule_point();
+                    self.0.load(Ordering::SeqCst)
+                }
+
+                /// Instrumented store.
+                pub fn store(&self, value: $prim, _order: Ordering) {
+                    rt::schedule_point();
+                    self.0.store(value, Ordering::SeqCst)
+                }
+
+                /// Instrumented swap.
+                pub fn swap(&self, value: $prim, _order: Ordering) -> $prim {
+                    rt::schedule_point();
+                    self.0.swap(value, Ordering::SeqCst)
+                }
+
+                /// Instrumented compare-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    rt::schedule_point();
+                    self.0
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                /// Unsynchronized read for exclusive contexts.
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.0.get_mut()
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $prim {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! instrumented_fetch_arith {
+        ($name:ident, $prim:ty) => {
+            impl $name {
+                /// Instrumented fetch-add.
+                pub fn fetch_add(&self, value: $prim, _order: Ordering) -> $prim {
+                    rt::schedule_point();
+                    self.0.fetch_add(value, Ordering::SeqCst)
+                }
+
+                /// Instrumented fetch-sub.
+                pub fn fetch_sub(&self, value: $prim, _order: Ordering) -> $prim {
+                    rt::schedule_point();
+                    self.0.fetch_sub(value, Ordering::SeqCst)
+                }
+
+                /// Instrumented fetch-or.
+                pub fn fetch_or(&self, value: $prim, _order: Ordering) -> $prim {
+                    rt::schedule_point();
+                    self.0.fetch_or(value, Ordering::SeqCst)
+                }
+
+                /// Instrumented fetch-and.
+                pub fn fetch_and(&self, value: $prim, _order: Ordering) -> $prim {
+                    rt::schedule_point();
+                    self.0.fetch_and(value, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    instrumented_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    instrumented_atomic!(AtomicU8, std::sync::atomic::AtomicU8, u8);
+    instrumented_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    instrumented_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    instrumented_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    instrumented_fetch_arith!(AtomicU8, u8);
+    instrumented_fetch_arith!(AtomicU32, u32);
+    instrumented_fetch_arith!(AtomicU64, u64);
+    instrumented_fetch_arith!(AtomicUsize, usize);
+
+    impl AtomicBool {
+        /// Instrumented fetch-or.
+        pub fn fetch_or(&self, value: bool, _order: Ordering) -> bool {
+            rt::schedule_point();
+            self.0.fetch_or(value, Ordering::SeqCst)
+        }
+
+        /// Instrumented fetch-and.
+        pub fn fetch_and(&self, value: bool, _order: Ordering) -> bool {
+            rt::schedule_point();
+            self.0.fetch_and(value, Ordering::SeqCst)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Instrumented mutex with the parking_lot-style API.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// Guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, parking at scheduling points while contended.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        loop {
+            rt::schedule_point();
+            match self.0.try_lock() {
+                Ok(g) => return MutexGuard(g),
+                Err(std::sync::TryLockError::Poisoned(p)) => return MutexGuard(p.into_inner()),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    // Contended: loop through scheduling points until the
+                    // holder runs to release. The scheduler's step budget
+                    // converts a true deadlock into a diagnostic panic.
+                    if rt::current().is_none() {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attempts the lock without blocking (still a scheduling point).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        rt::schedule_point();
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(p.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Unsynchronized access for exclusive contexts.
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Uninstrumented peek: formatting must not perturb the schedule.
+        match self.0.try_lock() {
+            Ok(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+            Err(_) => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Instrumented reader-writer lock with the parking_lot-style API.
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared guard, parking at scheduling points meanwhile.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        loop {
+            rt::schedule_point();
+            match self.0.try_read() {
+                Ok(g) => return RwLockReadGuard(g),
+                Err(std::sync::TryLockError::Poisoned(p)) => {
+                    return RwLockReadGuard(p.into_inner())
+                }
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    if rt::current().is_none() {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Acquires the exclusive guard, parking at scheduling points meanwhile.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        loop {
+            rt::schedule_point();
+            match self.0.try_write() {
+                Ok(g) => return RwLockWriteGuard(g),
+                Err(std::sync::TryLockError::Poisoned(p)) => {
+                    return RwLockWriteGuard(p.into_inner())
+                }
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    if rt::current().is_none() {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attempts a shared guard without blocking (still a scheduling point).
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        rt::schedule_point();
+        match self.0.try_read() {
+            Ok(g) => Some(RwLockReadGuard(g)),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard(p.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Unsynchronized access for exclusive contexts.
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Uninstrumented peek: formatting must not perturb the schedule.
+        match self.0.try_read() {
+            Ok(g) => f.debug_tuple("RwLock").field(&&*g).finish(),
+            Err(_) => f.write_str("RwLock(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}

@@ -1,0 +1,88 @@
+//! Scheduler-aware threads, API-compatible with `std::thread` for the
+//! operations this workspace uses (`spawn`, `yield_now`, `JoinHandle`).
+//!
+//! Outside a [`crate::model`] run the shim degrades to plain std threads,
+//! so code instrumented with these types keeps working in ordinary tests
+//! and binaries compiled with `--cfg loom`.
+
+use std::sync::{Arc, Mutex};
+
+use crate::rt;
+
+enum Inner<T> {
+    /// Spawned inside a model: identified by its logical thread id, with
+    /// the closure's outcome parked where the carrier thread left it.
+    Model {
+        tid: usize,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+    /// Spawned outside any model: a real std thread.
+    Std(std::thread::JoinHandle<T>),
+}
+
+/// Owned permission to join a spawned thread; see [`spawn`].
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JoinHandle(..)")
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, yielding control to the scheduler,
+    /// and returns the closure's result (`Err` if it panicked).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Model { tid, result } => {
+                rt::join_thread(tid);
+                result
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("loom-shim: thread result already taken")
+            }
+            Inner::Std(h) => h.join(),
+        }
+    }
+}
+
+/// Spawns a scheduler-controlled thread (or a std thread when no model is
+/// running).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        Some((exec, _)) => {
+            let result = Arc::new(Mutex::new(None));
+            let slot = Arc::clone(&result);
+            let tid = rt::spawn_thread(&exec, move || {
+                // Capture the payload for `join` exactly like std does,
+                // then re-raise so the scheduler's carrier still records
+                // the thread as panicked (an unjoined panicking thread
+                // must fail the whole model, as in real loom).
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                let panicked = out.is_err();
+                *slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+                if panicked {
+                    panic!("loom-shim: model thread panicked");
+                }
+            });
+            // Spawning is an interleaving point: the child may run first.
+            rt::schedule_point();
+            JoinHandle(Inner::Model { tid, result })
+        }
+        None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+    }
+}
+
+/// Offers the scheduler a chance to run another thread.
+pub fn yield_now() {
+    if rt::current().is_some() {
+        rt::schedule_point();
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -2,11 +2,26 @@
 //!
 //! Backed by `std::sync`; lock poisoning is ignored (a panicking holder does
 //! not poison the lock for everyone else, matching parking_lot semantics).
+//!
+//! # ThreadSanitizer visibility
+//!
+//! Each lock carries an extra `AtomicUsize` (`hb`) that every unlock bumps
+//! with a release RMW and every lock acquisition reads with an acquire
+//! load. The std locks on Linux are futex-based and live in the
+//! *uninstrumented* standard library, so a ThreadSanitizer build that
+//! cannot rebuild std (`-Zbuild-std` needs a registry) cannot see the
+//! happens-before edges they create and reports every lock-protected
+//! access as a race. The `hb` counter lives in instrumented code, and RMWs
+//! extend release sequences, so the edge `unlock → next lock` becomes
+//! visible to TSan — false positives vanish while genuinely unprotected
+//! accesses are still caught. Cost is one uncontended atomic op per lock
+//! transition, noise for a compat shim.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::PoisonError;
 use std::time::Duration;
 
@@ -14,37 +29,59 @@ use std::time::Duration;
 // Mutex
 // ---------------------------------------------------------------------------
 
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    hb: AtomicUsize,
+    inner: std::sync::Mutex<T>,
+}
 
 /// Guard wraps an `Option` so `Condvar::wait*` can temporarily take the inner
 /// std guard by value (std's condvar consumes and returns guards).
-pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+pub struct MutexGuard<'a, T: ?Sized> {
+    hb: &'a AtomicUsize,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Self(std::sync::Mutex::new(value))
+        Self {
+            hb: AtomicUsize::new(0),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
-    }
-
-    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard(Some(g))),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(Some(p.into_inner()))),
-            Err(std::sync::TryLockError::WouldBlock) => None,
+        let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        // Pairs with the release RMW in MutexGuard::drop; see module docs.
+        self.hb.load(Ordering::Acquire);
+        MutexGuard {
+            hb: &self.hb,
+            inner: Some(g),
         }
     }
 
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let g = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        self.hb.load(Ordering::Acquire);
+        Some(MutexGuard {
+            hb: &self.hb,
+            inner: Some(g),
+        })
+    }
+
     pub fn get_mut(&mut self) -> &mut T {
-        match self.0.get_mut() {
+        match self.inner.get_mut() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -69,13 +106,23 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.0.as_ref().expect("guard present")
+        self.inner.as_ref().expect("guard present")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.0.as_mut().expect("guard present")
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Runs just before the std guard's own drop releases the real lock;
+        // the RMW is therefore still inside the critical section, so the
+        // next locker's acquire load always reads it (or a later one in the
+        // same release sequence).
+        self.hb.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -83,48 +130,83 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 // RwLock
 // ---------------------------------------------------------------------------
 
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    hb: AtomicUsize,
+    inner: std::sync::RwLock<T>,
+}
 
-pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
-pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    hb: &'a AtomicUsize,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    hb: &'a AtomicUsize,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
-        Self(std::sync::RwLock::new(value))
+        Self {
+            hb: AtomicUsize::new(0),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard(self.0.read().unwrap_or_else(PoisonError::into_inner))
+        let g = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        self.hb.load(Ordering::Acquire);
+        RwLockReadGuard {
+            hb: &self.hb,
+            inner: g,
+        }
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
+        let g = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        self.hb.load(Ordering::Acquire);
+        RwLockWriteGuard {
+            hb: &self.hb,
+            inner: g,
+        }
     }
 
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.0.try_read() {
-            Ok(g) => Some(RwLockReadGuard(g)),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard(p.into_inner())),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let g = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        self.hb.load(Ordering::Acquire);
+        Some(RwLockReadGuard {
+            hb: &self.hb,
+            inner: g,
+        })
     }
 
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.0.try_write() {
-            Ok(g) => Some(RwLockWriteGuard(g)),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard(p.into_inner())),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let g = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        self.hb.load(Ordering::Acquire);
+        Some(RwLockWriteGuard {
+            hb: &self.hb,
+            inner: g,
+        })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        match self.0.get_mut() {
+        match self.inner.get_mut() {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
@@ -149,20 +231,36 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        // Readers bump too: a writer's later acquire load must synchronize
+        // with every reader that could have observed prior state. This
+        // over-synchronizes reader→reader (harmless — it only makes TSan
+        // conservative, never blind to writer-side races).
+        self.hb.fetch_add(1, Ordering::Release);
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.hb.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -196,8 +294,13 @@ impl Condvar {
     }
 
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        let inner = guard.0.take().expect("guard present");
-        guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+        let inner = guard.inner.take().expect("guard present");
+        // The wait releases and re-acquires the real lock; mirror the
+        // TSan-visible edge on both sides (see module docs).
+        guard.hb.fetch_add(1, Ordering::Release);
+        let inner = self.0.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        guard.hb.load(Ordering::Acquire);
+        guard.inner = Some(inner);
     }
 
     pub fn wait_for<T>(
@@ -205,12 +308,14 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
-        let inner = guard.0.take().expect("guard present");
+        let inner = guard.inner.take().expect("guard present");
+        guard.hb.fetch_add(1, Ordering::Release);
         let (inner, res) = match self.0.wait_timeout(inner, timeout) {
             Ok((g, r)) => (g, r),
             Err(p) => p.into_inner(),
         };
-        guard.0 = Some(inner);
+        guard.hb.load(Ordering::Acquire);
+        guard.inner = Some(inner);
         WaitTimeoutResult(res.timed_out())
     }
 }
@@ -238,6 +343,21 @@ mod tests {
         }
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_variants_refuse_contended_locks() {
+        let m = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+        let l = RwLock::new(0);
+        let r = l.read();
+        assert!(l.try_write().is_none());
+        assert!(l.try_read().is_some());
+        drop(r);
+        assert!(l.try_write().is_some());
     }
 
     #[test]

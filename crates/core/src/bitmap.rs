@@ -12,8 +12,7 @@
 //! spine — readers pay one uncontended read-lock acquisition, writers only
 //! take the write lock on (rare) growth.
 
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering, RwLock, RwLockReadGuard};
 
 /// A growable, thread-safe bitmap.
 ///
@@ -52,6 +51,9 @@ impl AtomicBitmap {
     pub fn set(&self, index: usize) {
         self.ensure(index);
         let words = self.words.read();
+        // Release: pairs with the Acquire loads in `test`/`for_each_valid`
+        // so a scan that sees the bit flip also sees whatever the flipper
+        // wrote before it (e.g. the forward-index record for a re-listing).
         words[index / 64].fetch_or(1 << (index % 64), Ordering::Release);
     }
 
@@ -59,6 +61,7 @@ impl AtomicBitmap {
     pub fn clear(&self, index: usize) {
         self.ensure(index);
         let words = self.words.read();
+        // Release: see `set`.
         words[index / 64].fetch_and(!(1 << (index % 64)), Ordering::Release);
     }
 
@@ -76,6 +79,7 @@ impl AtomicBitmap {
     pub fn test(&self, index: usize) -> bool {
         let words = self.words.read();
         match words.get(index / 64) {
+            // Acquire: pairs with the Release RMWs in `set`/`clear`.
             Some(w) => w.load(Ordering::Acquire) & (1 << (index % 64)) != 0,
             None => false,
         }
@@ -143,7 +147,7 @@ impl AtomicBitmap {
 /// A pinned view of the bitmap for repeated lock-free tests; see
 /// [`AtomicBitmap::reader`].
 pub struct BitmapReader<'a> {
-    words: parking_lot::RwLockReadGuard<'a, Vec<AtomicU64>>,
+    words: RwLockReadGuard<'a, Vec<AtomicU64>>,
 }
 
 impl std::fmt::Debug for BitmapReader<'_> {
@@ -159,13 +163,15 @@ impl BitmapReader<'_> {
     #[inline]
     pub fn test(&self, index: usize) -> bool {
         match self.words.get(index / 64) {
+            // Acquire: pairs with the Release RMWs in set/clear — a block
+            // scan sees flips made after the reader was pinned.
             Some(w) => w.load(Ordering::Acquire) & (1 << (index % 64)) != 0,
             None => false,
         }
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::Arc;

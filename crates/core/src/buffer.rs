@@ -20,9 +20,7 @@
 //! A record never straddles a chunk boundary (appends skip to the next
 //! chunk instead), so every read is a single contiguous copy.
 
-use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Arc;
+use crate::sync::{Arc, AtomicU8, Mutex, Ordering, RwLock};
 
 use crate::error::IndexError;
 
@@ -97,7 +95,7 @@ impl Chunk {
 ///
 /// let buf = VarBuffer::new();
 /// let r = buf.append(b"https://img.jd.com/sku/1.jpg").unwrap();
-/// assert_eq!(buf.read(r), b"https://img.jd.com/sku/1.jpg");
+/// assert_eq!(buf.read(r).unwrap(), b"https://img.jd.com/sku/1.jpg");
 /// ```
 pub struct VarBuffer {
     chunks: RwLock<Vec<Arc<Chunk>>>,
@@ -188,31 +186,50 @@ impl VarBuffer {
 
     /// Reads the bytes behind a reference.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `r` does not reference bytes this buffer has allocated
-    /// (references must come from [`VarBuffer::append`] on this buffer).
-    pub fn read(&self, r: PackedRef) -> Vec<u8> {
+    /// Returns [`IndexError::CorruptReference`] if `r` does not reference
+    /// bytes this buffer has allocated — the referenced chunk does not
+    /// exist, or the record would run past a chunk boundary (valid
+    /// references never straddle chunks). A forward-index word can only
+    /// decode to such a reference through corruption or cross-buffer
+    /// mixing, so the serving path reports it instead of panicking the
+    /// searcher (previously this method panicked).
+    pub fn read(&self, r: PackedRef) -> Result<Vec<u8>, IndexError> {
         if r.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
+        let corrupt = || IndexError::CorruptReference {
+            offset: r.offset(),
+            len: r.len(),
+        };
         let chunk_idx = (r.offset() / self.chunk_size as u64) as usize;
         let chunk_off = (r.offset() % self.chunk_size as u64) as usize;
+        // Both checks matter: the chunk must exist, and the record must fit
+        // inside it — a huge `len` with a small in-range offset would
+        // otherwise index past the chunk.
+        if chunk_off + r.len() > self.chunk_size {
+            return Err(corrupt());
+        }
         let chunks = self.chunks.read();
-        let chunk = Arc::clone(
-            chunks
-                .get(chunk_idx)
-                .expect("PackedRef references an unallocated chunk"),
-        );
+        let chunk = Arc::clone(chunks.get(chunk_idx).ok_or_else(corrupt)?);
         drop(chunks);
-        (0..r.len())
+        Ok((0..r.len())
+            // Relaxed: the caller obtained `r` from an Acquire load of the
+            // forward-index reference word, which pairs with the Release
+            // store publishing it; the byte stores in `append` are ordered
+            // before that publication.
             .map(|i| chunk.bytes[chunk_off + i].load(Ordering::Relaxed))
-            .collect()
+            .collect())
     }
 
     /// Reads a reference as UTF-8, replacing invalid sequences.
-    pub fn read_string(&self, r: PackedRef) -> String {
-        String::from_utf8_lossy(&self.read(r)).into_owned()
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IndexError::CorruptReference`] from [`Self::read`].
+    pub fn read_string(&self, r: PackedRef) -> Result<String, IndexError> {
+        Ok(String::from_utf8_lossy(&self.read(r)?).into_owned())
     }
 
     /// Total bytes appended (including boundary padding skips).
@@ -221,7 +238,7 @@ impl VarBuffer {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::Arc as StdArc;
@@ -231,9 +248,9 @@ mod tests {
         let buf = VarBuffer::new();
         let r1 = buf.append(b"hello").unwrap();
         let r2 = buf.append(b"world!").unwrap();
-        assert_eq!(buf.read(r1), b"hello");
-        assert_eq!(buf.read(r2), b"world!");
-        assert_eq!(buf.read_string(r1), "hello");
+        assert_eq!(buf.read(r1).unwrap(), b"hello");
+        assert_eq!(buf.read(r2).unwrap(), b"world!");
+        assert_eq!(buf.read_string(r1).unwrap(), "hello");
     }
 
     #[test]
@@ -241,8 +258,8 @@ mod tests {
         let buf = VarBuffer::new();
         let r = buf.append(b"").unwrap();
         assert!(r.is_empty());
-        assert!(buf.read(r).is_empty());
-        assert!(buf.read(PackedRef::EMPTY).is_empty());
+        assert!(buf.read(r).unwrap().is_empty());
+        assert!(buf.read(PackedRef::EMPTY).unwrap().is_empty());
     }
 
     #[test]
@@ -250,8 +267,8 @@ mod tests {
         let buf = VarBuffer::with_chunk_size(16);
         let r1 = buf.append(b"0123456789").unwrap(); // 10 bytes in chunk 0
         let r2 = buf.append(b"abcdefghij").unwrap(); // won't fit: starts chunk 1
-        assert_eq!(buf.read(r1), b"0123456789");
-        assert_eq!(buf.read(r2), b"abcdefghij");
+        assert_eq!(buf.read(r1).unwrap(), b"0123456789");
+        assert_eq!(buf.read(r2).unwrap(), b"abcdefghij");
         assert_eq!(r2.offset(), 16, "second record skips to the chunk boundary");
     }
 
@@ -281,8 +298,8 @@ mod tests {
         let buf = VarBuffer::new();
         let old = buf.append(b"price-9.99").unwrap();
         let new = buf.append(b"price-4.99").unwrap();
-        assert_eq!(buf.read(old), b"price-9.99");
-        assert_eq!(buf.read(new), b"price-4.99");
+        assert_eq!(buf.read(old).unwrap(), b"price-9.99");
+        assert_eq!(buf.read(new).unwrap(), b"price-4.99");
     }
 
     #[test]
@@ -295,7 +312,7 @@ mod tests {
             })
             .collect();
         for (r, expect) in refs {
-            assert_eq!(buf.read_string(r), expect);
+            assert_eq!(buf.read_string(r).unwrap(), expect);
         }
         assert!(buf.bytes_used() > 0);
     }
@@ -311,7 +328,7 @@ mod tests {
                 let stop = StdArc::clone(&stop);
                 std::thread::spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
-                        assert_eq!(buf.read(r0), b"stable-record");
+                        assert_eq!(buf.read(r0).unwrap(), b"stable-record");
                     }
                 })
             })
@@ -319,7 +336,7 @@ mod tests {
         for i in 0..5_000 {
             let s = format!("r{i}");
             let r = buf.append(s.as_bytes()).unwrap();
-            assert_eq!(buf.read(r), s.as_bytes());
+            assert_eq!(buf.read(r).unwrap(), s.as_bytes());
         }
         stop.store(true, Ordering::Relaxed);
         for h in readers {
@@ -328,9 +345,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unallocated chunk")]
-    fn bogus_ref_panics() {
+    fn bogus_ref_reports_corrupt_reference() {
+        // Regression: a reference into an unallocated chunk used to panic
+        // the reading thread; it must surface as CorruptReference.
         let buf = VarBuffer::new();
-        buf.read(PackedRef::new(10 * CHUNK_SIZE as u64, 4));
+        let r = PackedRef::new(10 * CHUNK_SIZE as u64, 4);
+        assert_eq!(
+            buf.read(r).unwrap_err(),
+            IndexError::CorruptReference {
+                offset: 10 * CHUNK_SIZE as u64,
+                len: 4
+            }
+        );
+        assert!(buf.read_string(r).is_err());
+    }
+
+    #[test]
+    fn overlong_ref_reports_corrupt_reference() {
+        // An in-range offset with a length running past the chunk boundary
+        // must also be rejected, not read out of bounds.
+        let buf = VarBuffer::with_chunk_size(16);
+        buf.append(b"abcd").unwrap();
+        let r = PackedRef::new(2, 15); // 2 + 15 > 16
+        assert!(matches!(
+            buf.read(r),
+            Err(IndexError::CorruptReference { offset: 2, len: 15 })
+        ));
     }
 }

@@ -25,6 +25,15 @@ pub enum IndexError {
         /// Maximum supported record size.
         max: usize,
     },
+    /// A packed buffer reference points outside the bytes the attribute
+    /// buffer has allocated — it was corrupted, fabricated, or belongs to a
+    /// different buffer.
+    CorruptReference {
+        /// Global byte offset the reference claimed.
+        offset: u64,
+        /// Record length the reference claimed.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for IndexError {
@@ -43,6 +52,13 @@ impl std::fmt::Display for IndexError {
                 write!(
                     f,
                     "variable-length attribute of {len} bytes exceeds the {max}-byte limit"
+                )
+            }
+            IndexError::CorruptReference { offset, len } => {
+                write!(
+                    f,
+                    "corrupt buffer reference: offset {offset}, length {len} \
+                     is outside the allocated attribute buffer"
                 )
             }
         }
@@ -71,6 +87,12 @@ mod tests {
         assert!(IndexError::AttributeTooLarge { len: 10, max: 5 }
             .to_string()
             .contains("10"));
+        let corrupt = IndexError::CorruptReference {
+            offset: 4096,
+            len: 17,
+        };
+        assert!(corrupt.to_string().contains("4096"));
+        assert!(corrupt.to_string().contains("17"));
     }
 
     #[test]

@@ -23,9 +23,7 @@
 //! - appended records become visible when the global `len` counter is
 //!   bumped with release ordering (single appender per partition).
 
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use crate::sync::{Arc, AtomicU64, Ordering, RwLock};
 
 use jdvs_storage::model::{ProductAttributes, ProductId};
 
@@ -110,6 +108,9 @@ impl ForwardIndex {
     /// Number of records (images ever appended; logical deletion does not
     /// shrink the forward index — the bitmap handles liveness).
     pub fn len(&self) -> usize {
+        // Acquire: pairs with the Release store in `append`, so a reader
+        // that observes `len > id` also observes record `id`'s field
+        // stores (and the buffer bytes behind its url_ref).
         self.len.load(Ordering::Acquire) as usize
     }
 
@@ -129,6 +130,8 @@ impl ForwardIndex {
     /// full, or [`IndexError::AttributeTooLarge`] if the URL exceeds the
     /// buffer record limit.
     pub fn append(&self, attrs: &ProductAttributes) -> Result<ImageId, IndexError> {
+        // Relaxed: `len` is only advanced by the single appender (this
+        // thread), so the latest value is always visible to it.
         let id = self.len.load(Ordering::Relaxed);
         if id > u64::from(u32::MAX) {
             return Err(IndexError::CapacityExhausted);
@@ -148,13 +151,16 @@ impl ForwardIndex {
         }
         let chunks = self.chunks.read();
         let rec = &chunks[chunk_idx].records[rec_idx];
+        // Relaxed field stores: record `id` is unreachable until the
+        // Release `len` store below publishes it, which orders all five.
         rec.product_id.store(attrs.product_id.0, Ordering::Relaxed);
         rec.sales.store(attrs.sales, Ordering::Relaxed);
         rec.price.store(attrs.price, Ordering::Relaxed);
         rec.praise.store(attrs.praise, Ordering::Relaxed);
         rec.url_ref.store(url_ref.as_raw(), Ordering::Relaxed);
         drop(chunks);
-        // Publish: readers that observe len > id see fully-written fields.
+        // Release: pairs with the Acquire in `len()`; readers that observe
+        // len > id see fully-written fields.
         self.len.store(id + 1, Ordering::Release);
         Ok(ImageId(id as u32))
     }
@@ -176,6 +182,9 @@ impl ForwardIndex {
     pub fn numeric(&self, id: ImageId) -> Result<NumericAttributes, IndexError> {
         let chunk = self.record(id)?;
         let rec = &chunk.records[id.as_usize() % CHUNK_RECORDS];
+        // Relaxed loads: the record was published by the Acquire `len`
+        // check in `record()`, and later in-place updates are single-word
+        // stores with no cross-field ordering promise (module docs).
         Ok(NumericAttributes {
             product_id: ProductId(rec.product_id.load(Ordering::Relaxed)),
             sales: rec.sales.load(Ordering::Relaxed),
@@ -188,19 +197,24 @@ impl ForwardIndex {
     ///
     /// # Errors
     ///
-    /// Returns [`IndexError::UnknownImage`] for out-of-range ids.
+    /// Returns [`IndexError::UnknownImage`] for out-of-range ids, or
+    /// [`IndexError::CorruptReference`] if the stored reference word does
+    /// not decode to bytes the attribute buffer allocated.
     pub fn url(&self, id: ImageId) -> Result<String, IndexError> {
         let chunk = self.record(id)?;
         let rec = &chunk.records[id.as_usize() % CHUNK_RECORDS];
+        // Acquire: pairs with the Release store in `update_url`, making
+        // the appended URL bytes visible before the reference is decoded.
         let r = PackedRef::from_raw(rec.url_ref.load(Ordering::Acquire));
-        Ok(self.buffer.read_string(r))
+        self.buffer.read_string(r)
     }
 
     /// Reads the full attribute record of `id`.
     ///
     /// # Errors
     ///
-    /// Returns [`IndexError::UnknownImage`] for out-of-range ids.
+    /// Returns [`IndexError::UnknownImage`] for out-of-range ids, or
+    /// [`IndexError::CorruptReference`] for a corrupt stored URL reference.
     pub fn attributes(&self, id: ImageId) -> Result<ProductAttributes, IndexError> {
         let n = self.numeric(id)?;
         let url = self.url(id)?;
@@ -253,6 +267,8 @@ impl ForwardIndex {
         let chunk = self.record(id)?;
         let new_ref = self.buffer.append(url.as_bytes())?;
         let rec = &chunk.records[id.as_usize() % CHUNK_RECORDS];
+        // Release: pairs with the Acquire load in `url`; a reader that
+        // decodes the new reference also sees the bytes appended above.
         rec.url_ref.store(new_ref.as_raw(), Ordering::Release);
         Ok(())
     }
@@ -263,7 +279,7 @@ impl ForwardIndex {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::Arc as StdArc;

@@ -17,11 +17,29 @@
 //! protocol is implemented here: searches keep reading the old slab during
 //! the copy; entries appended during the window become visible at the atomic
 //! swap. `background_copy: false` gives the inline-copy ablation baseline.
+//!
+//! **Publication liveness.** Ids appended into a migration's tail are not
+//! in the served slab until the swap, so the swap must not wait for an
+//! arbitrarily-later event. Three paths publish a finished copy, and each
+//! lands whichever runs first:
+//!
+//! 1. the **copy thread itself**, right after setting `copy_done` (it
+//!    re-acquires the writer lock with `try_lock`, so it can never deadlock
+//!    against a writer that is simultaneously publishing);
+//! 2. any **append** that observes `copy_done` — checked both before *and
+//!    after* writing its tail slot, so the id just appended is published
+//!    immediately when the copy raced it;
+//! 3. an explicit [`InvertedList::flush`] (the real-time indexer calls it
+//!    when the message queue idles).
+//!
+//! Without path 1, a quiet queue left tail inserts unsearchable until the
+//! next append — the unbounded-staleness bug the loom/stress harness locks
+//! in a regression test for (`tail_insert_publishes_without_further_help`).
+//!
+//! The full memory-model write-up for this structure lives in DESIGN.md
+//! ("Memory model of the mutation path").
 
-use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use crate::sync::{thread, Arc, AtomicBool, AtomicU64, AtomicUsize, Mutex, Ordering, RwLock};
 
 use crate::ids::{ImageId, ListId};
 
@@ -38,6 +56,7 @@ pub struct Slab {
 }
 
 impl Slab {
+    #[cfg(not(loom))]
     fn new(capacity: usize) -> Self {
         // `vec![0u64; n]` allocates through calloc, which hands back
         // lazily-zeroed pages in O(1); element-wise `AtomicU64::new(0)`
@@ -48,13 +67,26 @@ impl Slab {
         // SAFETY: `AtomicU64` is `repr(C)` with the same size and alignment
         // as `u64` (guaranteed by std), and the all-zero bit pattern is a
         // valid `AtomicU64`. Ownership transfers through the raw pointer
-        // without aliasing.
+        // without aliasing. `unsafe_slab_cast_round_trips` in
+        // tests/concurrency.rs exercises this cast under the interpreter
+        // (`cargo miri test -p jdvs-core --test concurrency unsafe_slab`).
         let slots = unsafe {
             let raw: *mut [u64] = Box::into_raw(zeroed);
             Box::from_raw(raw as *mut [AtomicU64])
         };
         Self {
             slots,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    #[cfg(loom)]
+    fn new(capacity: usize) -> Self {
+        // The loom shim's instrumented atomics are not layout-compatible
+        // with `u64`, so model builds construct element-wise. Model slabs
+        // are tiny; the O(n) cost is irrelevant there.
+        Self {
+            slots: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
             len: AtomicUsize::new(0),
         }
     }
@@ -66,6 +98,10 @@ impl Slab {
 
     /// Published entries.
     pub fn len(&self) -> usize {
+        // Acquire: pairs with the Release stores of `len` in
+        // `InvertedList::append` (same-slab publish) and
+        // `ListShared::publish` (migration publish), making every slot
+        // write below the loaded length visible to this thread.
         self.len.load(Ordering::Acquire)
     }
 
@@ -81,21 +117,86 @@ struct Migration {
     /// Next free position in the new slab (old contents occupy `[0, base)`;
     /// the copier fills that prefix while we append at `base..`).
     next_pos: usize,
+    /// Set (release) by the copier when the prefix copy is complete; also
+    /// the identity token the copier uses to recognize its own migration.
     copy_done: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    /// Set (release) after the new slab is swapped in, so the copy thread's
+    /// opportunistic-publish loop terminates even when it loses every
+    /// `try_lock` race to a publishing writer.
+    published: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Drop for Migration {
+    /// Joins the background copy thread. Dropping a [`crate::VisualIndex`]
+    /// (e.g. on an `IndexHandle` swap after a full rebuild) mid-expansion
+    /// previously detached the thread; now the drop blocks — briefly, the
+    /// copier's work is bounded and it never block-waits on a lock — until
+    /// the thread exits. The copier's own self-publish path clears
+    /// `handle` first, so a migration consumed by its copier never
+    /// self-joins.
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// State shared between an [`InvertedList`] and its in-flight copy thread,
+/// so the copier can publish a finished migration itself instead of
+/// parking it until the next append.
+struct ListShared {
+    current: RwLock<Arc<Slab>>,
+    writer: Mutex<Option<Migration>>,
+}
+
+impl ListShared {
+    /// Publishes a finished migration: set the new slab's length to cover
+    /// both the copied prefix and the appended tail, then atomically make
+    /// it current. The old slab is dropped when its last reader releases
+    /// its `Arc` — "the old one is deleted", without blocking anyone.
+    ///
+    /// Callers must hold (or be single-threaded owners of) the writer
+    /// lock's migration slot; the migration is consumed.
+    fn publish(&self, m: Migration) {
+        debug_assert!(m.copy_done.load(Ordering::Acquire));
+        // Release: pairs with the Acquire in `Slab::len`. Tail-slot stores
+        // (relaxed, made by appenders) happened-before this store via the
+        // writer-mutex hand-off; prefix-slot stores via the copy thread's
+        // Release store of `copy_done` and our Acquire load of it.
+        m.new_slab.len.store(m.next_pos, Ordering::Release);
+        *self.current.write() = Arc::clone(&m.new_slab);
+        // Release the copier's exit latch last: once observed, the copier
+        // stops retrying `try_lock` and terminates, letting the `Drop`
+        // join below (and any index teardown) complete promptly.
+        m.published.store(true, Ordering::Release);
+        // `m` drops here: joins the copy thread unless the copier itself
+        // is publishing (it clears `handle` first).
+    }
+
+    /// Waits for the copy to complete (spinning through scheduler yields —
+    /// never joining, which could deadlock against a copier blocked on the
+    /// writer lock we hold), then publishes.
+    fn wait_and_publish(&self, m: Migration) {
+        // Acquire: pairs with the copier's Release store of `copy_done`;
+        // after it reads true, the copied prefix is visible.
+        while !m.copy_done.load(Ordering::Acquire) {
+            thread::yield_now();
+        }
+        self.publish(m);
+    }
 }
 
 /// One inverted list; see the module docs.
 pub struct InvertedList {
-    current: RwLock<Arc<Slab>>,
-    writer: Mutex<Option<Migration>>,
+    shared: Arc<ListShared>,
     background_copy: bool,
     expansions: AtomicU64,
 }
 
 impl std::fmt::Debug for InvertedList {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let slab = self.current.read();
+        let slab = self.shared.current.read();
         f.debug_struct("InvertedList")
             .field("len", &slab.len())
             .field("capacity", &slab.capacity())
@@ -113,8 +214,10 @@ impl InvertedList {
     pub fn new(initial_capacity: usize, background_copy: bool) -> Self {
         assert!(initial_capacity > 0, "initial capacity must be positive");
         Self {
-            current: RwLock::new(Arc::new(Slab::new(initial_capacity))),
-            writer: Mutex::new(None),
+            shared: Arc::new(ListShared {
+                current: RwLock::new(Arc::new(Slab::new(initial_capacity))),
+                writer: Mutex::new(None),
+            }),
             background_copy,
             expansions: AtomicU64::new(0),
         }
@@ -123,31 +226,51 @@ impl InvertedList {
     /// Appends an image id. Safe to call from one writer at a time per
     /// list (the owning searcher); concurrent with any number of scans.
     pub fn append(&self, id: ImageId) {
-        let mut writer = self.writer.lock();
+        let mut writer = self.shared.writer.lock();
         loop {
             // Finish a completed migration first so appends land normally.
             if let Some(m) = writer.as_mut() {
+                // Acquire: pairs with the copier's Release of `copy_done`,
+                // so publishing here sees the fully-copied prefix.
                 if m.copy_done.load(Ordering::Acquire) {
-                    Self::finish_migration(&self.current, writer.take().expect("checked above"));
+                    self.shared.publish(writer.take().expect("checked above"));
                     continue;
                 }
                 // Migration still copying: append into the new slab's tail.
                 if m.next_pos < m.new_slab.capacity() {
+                    // Relaxed: this tail slot is published by the `len`
+                    // Release store in `ListShared::publish`, ordered
+                    // after this store by the writer-mutex hand-off (or by
+                    // program order when this thread publishes below).
                     m.new_slab.slots[m.next_pos].store(id.as_u64(), Ordering::Relaxed);
                     m.next_pos += 1;
+                    // Re-check after the tail write: if the copy finished
+                    // while we appended, the copier's try_lock lost to our
+                    // lock — publish now so this id (and the migration)
+                    // never waits for a later append or flush.
+                    if m.copy_done.load(Ordering::Acquire) {
+                        self.shared.publish(writer.take().expect("checked above"));
+                    }
                     return;
                 }
                 // New slab filled before the copy finished (pathological:
                 // capacity doubled, so the writer outran a whole copy).
                 // Wait for the copy, publish, and retry.
                 let m = writer.take().expect("checked above");
-                Self::wait_and_finish(&self.current, m);
+                self.shared.wait_and_publish(m);
                 continue;
             }
-            let slab = Arc::clone(&self.current.read());
+            let slab = Arc::clone(&self.shared.current.read());
+            // Relaxed: `len` is only stored by the single writer this
+            // mutex serializes; the previous writer's Release store (and
+            // the mutex hand-off) make the value current.
             let len = slab.len.load(Ordering::Relaxed);
             if len < slab.capacity() {
+                // Relaxed slot store, published by the Release below —
+                // the paper's "write the slot, then bump the position".
                 slab.slots[len].store(id.as_u64(), Ordering::Relaxed);
+                // Release: pairs with the Acquire in `Slab::len`; a scan
+                // that observes `len + 1` also observes the slot write.
                 slab.len.store(len + 1, Ordering::Release);
                 return;
             }
@@ -157,24 +280,74 @@ impl InvertedList {
     }
 
     fn start_migration(&self, old: &Arc<Slab>) -> Migration {
+        // Relaxed: statistics counter, no ordering required.
         self.expansions.fetch_add(1, Ordering::Relaxed);
         let old_len = old.len();
         let new_slab = Arc::new(Slab::new((old.capacity() * 2).max(1)));
         let copy_done = Arc::new(AtomicBool::new(false));
+        let published = Arc::new(AtomicBool::new(false));
         let copy = {
             let old = Arc::clone(old);
             let new_slab = Arc::clone(&new_slab);
             let copy_done = Arc::clone(&copy_done);
             move || {
                 for i in 0..old_len {
+                    // Relaxed on both sides: the source slots are ordered
+                    // before `old_len` by the Acquire in `old.len()` above
+                    // (observed before this closure was created, and the
+                    // spawn edge carries it into the thread); the
+                    // destination slots are published by the Release store
+                    // of `copy_done` below plus the publisher's Acquire.
                     new_slab.slots[i]
                         .store(old.slots[i].load(Ordering::Relaxed), Ordering::Relaxed);
                 }
+                // Release: pairs with every `copy_done` Acquire load in
+                // append/publish/wait_and_publish.
                 copy_done.store(true, Ordering::Release);
             }
         };
         let handle = if self.background_copy {
-            Some(std::thread::spawn(copy))
+            let shared = Arc::clone(&self.shared);
+            let copy_done = Arc::clone(&copy_done);
+            let published = Arc::clone(&published);
+            Some(thread::spawn(move || {
+                copy();
+                // Opportunistic publish (liveness path 1 in the module
+                // docs): without it, a tail insert stays unsearchable
+                // until the *next* append or an explicit flush — forever,
+                // on a quiet queue. `try_lock` (never `lock`) so a writer
+                // publishing concurrently — which then joins this thread
+                // via `Migration::drop` — can never deadlock against us.
+                loop {
+                    // Acquire: pairs with the Release in `publish`; once
+                    // true, someone else swapped the slab in and we exit.
+                    if published.load(Ordering::Acquire) {
+                        return;
+                    }
+                    match shared.writer.try_lock() {
+                        Some(mut w) => {
+                            let ours = w
+                                .as_ref()
+                                .is_some_and(|m| Arc::ptr_eq(&m.copy_done, &copy_done));
+                            if ours {
+                                let mut m = w.take().expect("checked above");
+                                // Our own carrier: clear the handle so
+                                // publish's drop doesn't self-join.
+                                m.handle = None;
+                                shared.publish(m);
+                            }
+                            // Not ours: the migration was already
+                            // published (and possibly superseded by a
+                            // newer expansion). Either way, done.
+                            return;
+                        }
+                        // A writer holds the lock. Every writer path that
+                        // holds it re-checks `copy_done` before releasing,
+                        // so we only spin for one short critical section.
+                        None => thread::yield_now(),
+                    }
+                }
+            }))
         } else {
             copy();
             None
@@ -183,51 +356,31 @@ impl InvertedList {
             new_slab,
             next_pos: old_len,
             copy_done,
+            published,
             handle,
         }
-    }
-
-    /// Publishes a finished migration: set the new slab's length to cover
-    /// both the copied prefix and the appended tail, then atomically make
-    /// it current. The old slab is dropped when its last reader releases
-    /// its `Arc` — "the old one is deleted", without blocking anyone.
-    fn finish_migration(current: &RwLock<Arc<Slab>>, mut m: Migration) {
-        debug_assert!(m.copy_done.load(Ordering::Acquire));
-        if let Some(h) = m.handle.take() {
-            let _ = h.join();
-        }
-        m.new_slab.len.store(m.next_pos, Ordering::Release);
-        *current.write() = m.new_slab;
-    }
-
-    fn wait_and_finish(current: &RwLock<Arc<Slab>>, mut m: Migration) {
-        if let Some(h) = m.handle.take() {
-            let _ = h.join();
-        } else {
-            while !m.copy_done.load(Ordering::Acquire) {
-                std::thread::yield_now();
-            }
-        }
-        Self::finish_migration(current, m);
     }
 
     /// Completes any in-flight expansion, waiting for the background copy.
     /// The real-time indexer calls this when the message queue goes idle so
     /// recently appended ids become searchable without waiting for the next
-    /// append.
+    /// append. (The copy thread also publishes on its own once the copy
+    /// completes, so flush is a determinism backstop, not the only path.)
     pub fn flush(&self) {
-        let mut writer = self.writer.lock();
+        let mut writer = self.shared.writer.lock();
         if let Some(m) = writer.take() {
-            Self::wait_and_finish(&self.current, m);
+            self.shared.wait_and_publish(m);
         }
     }
 
     /// Calls `f` with every published image id (a lock-free snapshot scan:
     /// entries appended after the scan starts may or may not be seen).
     pub fn scan(&self, mut f: impl FnMut(ImageId)) {
-        let slab = Arc::clone(&self.current.read());
+        let slab = Arc::clone(&self.shared.current.read());
         let len = slab.len();
         for slot in &slab.slots[..len] {
+            // Relaxed: the slot writes below `len` happened-before the
+            // Acquire load in `slab.len()` above.
             f(ImageId(slot.load(Ordering::Relaxed) as u32));
         }
     }
@@ -239,13 +392,15 @@ impl InvertedList {
     /// block between branch points instead of bouncing through a callback
     /// per id. Same snapshot semantics as `scan`.
     pub fn scan_blocks(&self, mut f: impl FnMut(&[ImageId])) {
-        let slab = Arc::clone(&self.current.read());
+        let slab = Arc::clone(&self.shared.current.read());
         let len = slab.len();
         let mut block = [ImageId(0); SCAN_BLOCK];
         let mut start = 0;
         while start < len {
             let n = SCAN_BLOCK.min(len - start);
             for (dst, slot) in block[..n].iter_mut().zip(&slab.slots[start..start + n]) {
+                // Relaxed: ordered behind the Acquire `len` load, as in
+                // `scan`.
                 *dst = ImageId(slot.load(Ordering::Relaxed) as u32);
             }
             f(&block[..n]);
@@ -256,7 +411,7 @@ impl InvertedList {
     /// Published entry count — this list's element of the paper's auxiliary
     /// last-position array.
     pub fn len(&self) -> usize {
-        self.current.read().len()
+        self.shared.current.read().len()
     }
 
     /// Returns `true` if no entry is published.
@@ -266,11 +421,12 @@ impl InvertedList {
 
     /// Current slab capacity.
     pub fn capacity(&self) -> usize {
-        self.current.read().capacity()
+        self.shared.current.read().capacity()
     }
 
     /// Number of expansions performed.
     pub fn expansions(&self) -> u64 {
+        // Relaxed: statistics counter.
         self.expansions.load(Ordering::Relaxed)
     }
 }
@@ -360,11 +516,13 @@ impl InvertedIndex {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::collections::HashSet;
+    use std::sync::atomic::{AtomicBool as StdAtomicBool, Ordering as StdOrdering};
     use std::sync::Arc as StdArc;
+    use std::time::{Duration, Instant};
 
     fn collect(list: &InvertedList) -> Vec<u32> {
         let mut out = Vec::new();
@@ -419,6 +577,32 @@ mod tests {
     }
 
     #[test]
+    fn tail_insert_publishes_without_further_help() {
+        // The staleness regression test: an id appended into a migration's
+        // tail must become scannable through the copier's own publish path
+        // — with NO subsequent append and NO flush.
+        for _ in 0..50 {
+            let list = InvertedList::new(2, true);
+            list.append(ImageId(0));
+            list.append(ImageId(1));
+            list.append(ImageId(2)); // starts the expansion, lands in the tail
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                if collect(&list) == vec![0, 1, 2] {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "tail insert never became searchable without an append/flush; \
+                     published view: {:?}",
+                    collect(&list)
+                );
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    #[test]
     fn old_slab_serves_reads_during_migration() {
         // With background copy, immediately after the expansion-triggering
         // append the *published* view must still contain the old prefix.
@@ -433,6 +617,20 @@ mod tests {
         );
         list.flush();
         assert_eq!(collect(&list), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn drop_mid_migration_joins_the_copy_thread() {
+        // Dropping the list right after triggering an expansion must join
+        // the in-flight copy thread (Migration::drop), not detach it. The
+        // loop makes the race window land on both sides of copy_done.
+        for i in 0..200u32 {
+            let list = InvertedList::new(2, true);
+            list.append(ImageId(i));
+            list.append(ImageId(i + 1));
+            list.append(ImageId(i + 2)); // starts the background copy
+            drop(list); // must not hang, leak, or panic
+        }
     }
 
     #[test]
@@ -469,14 +667,14 @@ mod tests {
     #[test]
     fn concurrent_scans_during_appends_see_consistent_prefixes() {
         let list = StdArc::new(InvertedList::new(8, true));
-        let stop = StdArc::new(AtomicBool::new(false));
+        let stop = StdArc::new(StdAtomicBool::new(false));
         let readers: Vec<_> = (0..4)
             .map(|_| {
                 let list = StdArc::clone(&list);
                 let stop = StdArc::clone(&stop);
                 std::thread::spawn(move || {
                     let mut max_seen = 0usize;
-                    while !stop.load(Ordering::Relaxed) {
+                    while !stop.load(StdOrdering::Relaxed) {
                         let ids = {
                             let mut v = Vec::new();
                             list.scan(|id| v.push(id.0));
@@ -499,7 +697,7 @@ mod tests {
             list.append(ImageId(i));
         }
         list.flush();
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, StdOrdering::Relaxed);
         for h in readers {
             h.join().unwrap();
         }

@@ -66,6 +66,7 @@ pub mod realtime;
 pub mod search;
 pub mod stats;
 pub mod swap;
+pub(crate) mod sync;
 pub mod vectors;
 
 pub use config::IndexConfig;

@@ -8,50 +8,56 @@
 //! In-flight searches keep their `Arc` to the old index and finish
 //! normally; the old index is freed when its last reader drops it.
 
-use parking_lot::RwLock;
-use std::sync::Arc;
+use crate::sync::{Arc, AtomicU64, Ordering, RwLock};
 
 use crate::index::VisualIndex;
 
 /// A shared, swappable reference to a partition's current index.
+///
+/// Generic over the payload so the concurrency model suite can exercise
+/// the swap protocol with a cheap payload; production code always uses the
+/// [`VisualIndex`] default.
 #[derive(Debug)]
-pub struct IndexHandle {
-    current: RwLock<Arc<VisualIndex>>,
-    generation: std::sync::atomic::AtomicU64,
+pub struct IndexHandle<T = VisualIndex> {
+    current: RwLock<Arc<T>>,
+    generation: AtomicU64,
 }
 
-impl IndexHandle {
+impl<T> IndexHandle<T> {
     /// Creates a handle over an initial index (generation 0).
-    pub fn new(index: Arc<VisualIndex>) -> Self {
+    pub fn new(index: Arc<T>) -> Self {
         Self {
             current: RwLock::new(index),
-            generation: std::sync::atomic::AtomicU64::new(0),
+            generation: AtomicU64::new(0),
         }
     }
 
     /// Snapshot of the current index. Cheap (one `Arc` clone under an
     /// uncontended read lock); the snapshot stays valid across swaps.
-    pub fn get(&self) -> Arc<VisualIndex> {
+    pub fn get(&self) -> Arc<T> {
         Arc::clone(&self.current.read())
     }
 
     /// Publishes `new_index`, returning the replaced one. Bumps the
     /// generation counter (observable by monitoring).
-    pub fn swap(&self, new_index: Arc<VisualIndex>) -> Arc<VisualIndex> {
+    pub fn swap(&self, new_index: Arc<T>) -> Arc<T> {
         let mut guard = self.current.write();
         let old = std::mem::replace(&mut *guard, new_index);
-        self.generation
-            .fetch_add(1, std::sync::atomic::Ordering::Release);
+        // Release: pairs with the Acquire in `generation`, so monitoring
+        // that observes generation N can read index N through `get` (the
+        // write-lock release also orders the swap itself).
+        self.generation.fetch_add(1, Ordering::Release);
         old
     }
 
     /// How many swaps have been published.
     pub fn generation(&self) -> u64 {
-        self.generation.load(std::sync::atomic::Ordering::Acquire)
+        // Acquire: pairs with the Release RMW in `swap`.
+        self.generation.load(Ordering::Acquire)
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use crate::config::IndexConfig;

@@ -2,6 +2,10 @@
 //! store, the swap handle and whole-index invariants under random event
 //! sequences.
 
+// These tests drive real OS threads; skip them under `--cfg loom`
+// model builds (crates/core/tests/loom.rs owns that configuration).
+#![cfg(not(loom))]
+
 use std::sync::Arc;
 
 use proptest::prelude::*;

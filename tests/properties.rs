@@ -53,7 +53,7 @@ proptest! {
         let buf = VarBuffer::with_chunk_size(chunk);
         let refs: Vec<_> = records.iter().map(|r| buf.append(r).unwrap()).collect();
         for (r, expected) in refs.iter().zip(&records) {
-            prop_assert_eq!(&buf.read(*r), expected);
+            prop_assert_eq!(&buf.read(*r).unwrap(), expected);
         }
     }
 

@@ -18,10 +18,12 @@
 //! | `ablate-lsh` | IVF vs multi-probe LSH baseline | [`ablations`] |
 //! | `ablate-cache` | blender query-feature cache on/off | [`ablations`] |
 //! | `searcher-scan` | block execution engine vs per-id scalar scan | [`scan`] |
+//! | `recovery` | durable-log append throughput + crash-recovery time | [`recovery`] |
 
 pub mod ablations;
 pub mod day;
 pub mod examples_fig;
+pub mod recovery;
 pub mod scan;
 pub mod serving;
 
@@ -84,6 +86,7 @@ pub const ALL: &[&str] = &[
     "ablate-lsh",
     "ablate-cache",
     "searcher-scan",
+    "recovery",
 ];
 
 /// Runs one experiment by id.
@@ -109,6 +112,7 @@ pub fn run(id: &str, ctx: &Ctx) -> Vec<ExperimentResult> {
         "ablate-lsh" => vec![ablations::lsh(ctx)],
         "ablate-cache" => vec![ablations::cache(ctx)],
         "searcher-scan" => vec![scan::searcher_scan(ctx)],
+        "recovery" => vec![recovery::recovery(ctx)],
         other => panic!("unknown experiment id {other:?}"),
     }
 }

@@ -14,13 +14,20 @@
 //! ```text
 //! magic "JDVS" | u32 version | config (incl. pq_subspaces, 0 = none) |
 //! quantizer (k × dim f32) | u64 n_images |
-//! n × { attrs, valid u8, features dim × f32 }
+//! n × { attrs, valid u8, features dim × f32 } | u32 crc32c (v2)
 //! ```
+//!
+//! **Version 2** appends a CRC32C trailer computed over every preceding
+//! byte. [`load`] verifies the trailer *before* decoding, so a corrupt
+//! snapshot (bit rot, short write, bad shipping) fails with
+//! [`PersistError::ChecksumMismatch`] instead of decoding garbage.
+//! Version-1 snapshots (no trailer) still load.
 //!
 //! PQ codebooks are *derived* data (trained deterministically from the
 //! stored vectors and the config seed), so snapshots carry raw vectors
 //! only; [`load`] retrains the codebook when `pq_subspaces` is set.
 
+use jdvs_storage::checksum::crc32c;
 use jdvs_storage::model::{ProductAttributes, ProductId};
 use jdvs_vector::kmeans::Kmeans;
 use jdvs_vector::Vector;
@@ -31,8 +38,10 @@ use crate::index::VisualIndex;
 
 /// Format magic.
 const MAGIC: &[u8; 4] = b"JDVS";
-/// Current format version.
-const VERSION: u32 = 1;
+/// Current format version (v2 = v1 payload + CRC32C trailer).
+const VERSION: u32 = 2;
+/// Oldest version [`load`] still accepts.
+const MIN_VERSION: u32 = 1;
 
 /// Errors from snapshot encode/decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +65,13 @@ pub enum PersistError {
         /// Human-readable description.
         reason: &'static str,
     },
+    /// The CRC32C trailer does not match the snapshot payload (v2+).
+    ChecksumMismatch {
+        /// Checksum the trailer recorded.
+        expected: u32,
+        /// Checksum of the bytes actually read.
+        actual: u32,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -68,6 +84,11 @@ impl std::fmt::Display for PersistError {
             }
             PersistError::InvalidUtf8 { field } => write!(f, "invalid utf-8 in {field}"),
             PersistError::Corrupt { reason } => write!(f, "corrupt snapshot: {reason}"),
+            PersistError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: trailer says {expected:#010x}, \
+                 payload hashes to {actual:#010x}"
+            ),
         }
     }
 }
@@ -195,6 +216,11 @@ pub fn save(index: &VisualIndex) -> Vec<u8> {
         w.u8(u8::from(index.is_valid(id)));
         w.f32s(features.as_slice());
     }
+    // v2 trailer: CRC32C over everything written so far. The checksum is
+    // verified before any field is decoded, so shipping corruption is an
+    // explicit error, never silently-decoded garbage.
+    let crc = crc32c(&w.buf);
+    w.u32(crc);
     w.buf
 }
 
@@ -213,8 +239,22 @@ pub fn load(bytes: &[u8]) -> Result<VisualIndex, PersistError> {
         return Err(PersistError::BadMagic);
     }
     let version = r.u32("version")?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(PersistError::UnsupportedVersion(version));
+    }
+    if version >= 2 {
+        // Verify the trailer before decoding anything else; the payload
+        // the reader may consume ends where the trailer begins.
+        if bytes.len() < 12 {
+            return Err(PersistError::Truncated { field: "checksum" });
+        }
+        let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+        let expected = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        let actual = crc32c(payload);
+        if expected != actual {
+            return Err(PersistError::ChecksumMismatch { expected, actual });
+        }
+        r.buf = payload;
     }
 
     let dim = r.u32("config.dim")? as usize;
@@ -478,5 +518,81 @@ mod tests {
         assert!(PersistError::UnsupportedVersion(9)
             .to_string()
             .contains('9'));
+        let mismatch = PersistError::ChecksumMismatch {
+            expected: 0xDEAD_BEEF,
+            actual: 0x0BAD_F00D,
+        };
+        assert!(mismatch.to_string().contains("0xdeadbeef"));
+        assert!(mismatch.to_string().contains("0x0badf00d"));
+    }
+
+    #[test]
+    fn v1_snapshots_without_trailer_still_load() {
+        let index = build_index(20);
+        let mut bytes = save(&index);
+        // Reconstruct a v1 snapshot: drop the trailer, rewrite the version.
+        bytes.truncate(bytes.len() - 4);
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let loaded = load(&bytes).expect("v1 must stay loadable");
+        assert_eq!(loaded.num_images(), index.num_images());
+        assert_eq!(loaded.valid_images(), index.valid_images());
+    }
+
+    #[test]
+    fn payload_bit_flip_fails_with_checksum_mismatch() {
+        let index = build_index(10);
+        let bytes = save(&index);
+        // Any flip strictly inside the payload (past magic + version, before
+        // the trailer) must surface as a checksum mismatch: the CRC runs
+        // before field decoding.
+        for pos in [8usize, 9, 40, bytes.len() / 2, bytes.len() - 5] {
+            let mut corrupted = bytes.clone();
+            corrupted[pos] ^= 0x10;
+            match load(&corrupted) {
+                Err(PersistError::ChecksumMismatch { .. }) => {}
+                other => panic!("flip at {pos}: expected checksum mismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fuzzed_mutations_never_decode_garbage() {
+        let index = build_index(30);
+        let bytes = save(&index);
+        let mut rng = Xoshiro256::seed_from(0xF022);
+        for round in 0..300 {
+            let mut mutated = bytes.clone();
+            match rng.next_u64() % 3 {
+                0 => {
+                    // Single bit flip anywhere.
+                    let pos = (rng.next_u64() as usize) % mutated.len();
+                    let bit = rng.next_u64() % 8;
+                    mutated[pos] ^= 1 << bit;
+                }
+                1 => {
+                    // Truncation to a random strict prefix.
+                    let cut = (rng.next_u64() as usize) % mutated.len();
+                    mutated.truncate(cut);
+                }
+                _ => {
+                    // Overwrite a random run with random bytes.
+                    let start = (rng.next_u64() as usize) % mutated.len();
+                    let len = 1 + (rng.next_u64() as usize) % 16;
+                    for b in mutated.iter_mut().skip(start).take(len) {
+                        *b = rng.next_u64() as u8;
+                    }
+                }
+            }
+            if mutated == bytes {
+                continue; // overwrite happened to reproduce the original
+            }
+            // Must error (never panic, never silently decode a different
+            // index). The specific error kind depends on where the damage
+            // landed; what matters is that nothing corrupt decodes.
+            assert!(
+                load(&mutated).is_err(),
+                "round {round}: mutated snapshot must not decode"
+            );
+        }
     }
 }

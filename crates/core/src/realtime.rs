@@ -25,8 +25,8 @@ use parking_lot::Mutex;
 use jdvs_features::cache::FetchOutcome;
 use jdvs_features::CachingExtractor;
 use jdvs_storage::model::{ImageKey, ProductEvent};
-use jdvs_storage::queue::Consumer;
-use jdvs_storage::{FeatureDb, ImageStore};
+use jdvs_storage::queue::{Consumer, Offset};
+use jdvs_storage::{FeatureDb, ImageStore, MessageQueue};
 
 use crate::error::IndexError;
 use crate::index::VisualIndex;
@@ -48,6 +48,10 @@ pub struct ApplyReport {
     pub skipped: u64,
     /// Images that could not be processed (e.g. blob missing, URL unknown).
     pub failed: u64,
+    /// Applied-offset watermark: the queue offset *after* the newest event
+    /// covered by this report (`None` when events were applied without a
+    /// source offset, e.g. direct [`RealtimeIndexer::apply`] calls).
+    pub watermark: Option<Offset>,
 }
 
 impl ApplyReport {
@@ -56,13 +60,15 @@ impl ApplyReport {
         self.inserted + self.revalidated + self.updated + self.deleted
     }
 
-    fn merge(&mut self, other: ApplyReport) {
+    /// Accumulates another report into this one (watermark keeps the max).
+    pub fn merge(&mut self, other: ApplyReport) {
         self.inserted += other.inserted;
         self.revalidated += other.revalidated;
         self.updated += other.updated;
         self.deleted += other.deleted;
         self.skipped += other.skipped;
         self.failed += other.failed;
+        self.watermark = self.watermark.max(other.watermark);
     }
 }
 
@@ -82,6 +88,12 @@ pub struct DeadLetter {
     /// raced ahead of its add in the stream) or the failure is permanent
     /// (e.g. a capacity or validation error).
     pub retryable: bool,
+    /// Offset of the source event in the message queue, when the event was
+    /// applied through [`RealtimeIndexer::apply_at`] or
+    /// [`RealtimeIndexer::run`]. With a durable log behind the queue this
+    /// makes every dead letter re-drivable: the original event can be
+    /// re-read from the log ([`RealtimeIndexer::redrive`]).
+    pub offset: Option<Offset>,
 }
 
 /// The operation a [`DeadLetter`] was performing.
@@ -218,7 +230,13 @@ impl RealtimeIndexer {
 
     /// Records one failed image operation, evicting the oldest letter if
     /// the buffer is full.
-    fn dead_letter(&self, url: &str, operation: DeadLetterOp, err: &IndexError) {
+    fn dead_letter(
+        &self,
+        url: &str,
+        operation: DeadLetterOp,
+        err: &IndexError,
+        offset: Option<Offset>,
+    ) {
         let retryable = is_retryable(err);
         if retryable {
             self.retryable_failures.fetch_add(1, Ordering::Relaxed);
@@ -228,17 +246,27 @@ impl RealtimeIndexer {
         if self.dead_letter_capacity == 0 {
             return; // counted, nothing retained
         }
+        self.requeue_dead_letter(DeadLetter {
+            url: url.to_string(),
+            operation,
+            error: err.to_string(),
+            retryable,
+            offset,
+        });
+    }
+
+    /// Puts a letter (back) into the bounded buffer without touching the
+    /// failure counters.
+    fn requeue_dead_letter(&self, letter: DeadLetter) {
+        if self.dead_letter_capacity == 0 {
+            return;
+        }
         let mut letters = self.dead_letters.lock();
         if letters.len() == self.dead_letter_capacity {
             letters.pop_front();
             self.dead_letters_evicted.fetch_add(1, Ordering::Relaxed);
         }
-        letters.push_back(DeadLetter {
-            url: url.to_string(),
-            operation,
-            error: err.to_string(),
-            retryable,
-        });
+        letters.push_back(letter);
     }
 
     /// Snapshot of the index this indexer currently maintains.
@@ -258,8 +286,26 @@ impl RealtimeIndexer {
         }
     }
 
-    /// Applies one event (Figure 6's dispatch).
+    /// Applies one event (Figure 6's dispatch) without a source offset.
+    /// Dead letters it produces cannot be re-driven from the durable log;
+    /// prefer [`RealtimeIndexer::apply_at`] when the offset is known.
     pub fn apply(&self, event: &ProductEvent) -> ApplyReport {
+        self.apply_inner(event, None)
+    }
+
+    /// Applies one event read from queue offset `offset`, advancing the
+    /// index's applied-offset watermark
+    /// ([`IndexStats::applied_offset`](crate::stats::IndexStats)) to
+    /// `offset + 1` and stamping the offset on any dead letters.
+    pub fn apply_at(&self, offset: Offset, event: &ProductEvent) -> ApplyReport {
+        let mut report = self.apply_inner(event, Some(offset));
+        let watermark = offset + 1;
+        self.index.get().stats().applied_offset.set_max(watermark);
+        report.watermark = Some(watermark);
+        report
+    }
+
+    fn apply_inner(&self, event: &ProductEvent, offset: Option<Offset>) -> ApplyReport {
         let index = self.index.get();
         let mut report = ApplyReport::default();
         match event {
@@ -286,7 +332,7 @@ impl RealtimeIndexer {
                         Ok(o) if o.reused() => report.revalidated += 1,
                         Ok(_) => report.inserted += 1,
                         Err(err) => {
-                            self.dead_letter(&attrs.url, DeadLetterOp::Insert, &err);
+                            self.dead_letter(&attrs.url, DeadLetterOp::Insert, &err, offset);
                             report.failed += 1;
                         }
                     }
@@ -302,7 +348,7 @@ impl RealtimeIndexer {
                     match index.invalidate(key, url) {
                         Ok(_) => report.deleted += 1,
                         Err(err) => {
-                            self.dead_letter(url, DeadLetterOp::Delete, &err);
+                            self.dead_letter(url, DeadLetterOp::Delete, &err, offset);
                             report.failed += 1;
                         }
                     }
@@ -324,7 +370,7 @@ impl RealtimeIndexer {
                     match index.update_numeric(key, url, *sales, *price, *praise) {
                         Ok(_) => report.updated += 1,
                         Err(err) => {
-                            self.dead_letter(url, DeadLetterOp::Update, &err);
+                            self.dead_letter(url, DeadLetterOp::Update, &err, offset);
                             report.failed += 1;
                         }
                     }
@@ -338,6 +384,10 @@ impl RealtimeIndexer {
     /// instantly. When the queue idles for `idle` the in-flight inverted-
     /// list expansions are flushed (migration-window inserts become
     /// searchable) and the loop re-polls. Returns the cumulative report.
+    ///
+    /// Every event is applied through [`RealtimeIndexer::apply_at`] with its
+    /// queue offset, so the index's applied-offset watermark advances and
+    /// dead letters stay re-drivable.
     pub fn run(
         &self,
         consumer: &mut Consumer<ProductEvent>,
@@ -346,17 +396,94 @@ impl RealtimeIndexer {
     ) -> ApplyReport {
         let mut total = ApplyReport::default();
         while !stop.load(Ordering::Relaxed) {
+            let offset = consumer.position();
             match consumer.poll(idle) {
-                Some(event) => total.merge(self.apply(&event)),
+                Some(event) => total.merge(self.apply_at(offset, &event)),
                 None => self.index.get().flush(),
             }
         }
         // Drain whatever is left so shutdown is deterministic.
-        while let Some(event) = consumer.poll_now() {
-            total.merge(self.apply(&event));
+        loop {
+            let offset = consumer.position();
+            match consumer.poll_now() {
+                Some(event) => total.merge(self.apply_at(offset, &event)),
+                None => break,
+            }
         }
         self.index.get().flush();
         total
+    }
+
+    /// Re-applies retryable dead letters from their source events.
+    ///
+    /// Each drained letter that is retryable and carries a queue [`Offset`]
+    /// has its original event re-read from `queue`, narrowed to the one URL
+    /// that failed, and re-applied via [`RealtimeIndexer::apply_at`]. This
+    /// is how an out-of-order stream (update racing ahead of its add) heals
+    /// once the missing add has landed. Letters that are permanent, carry
+    /// no offset, or whose event has been pruned from the queue are put
+    /// back into the buffer untouched (without re-counting the failure).
+    pub fn redrive(&self, queue: &MessageQueue<ProductEvent>) -> ApplyReport {
+        let mut total = ApplyReport::default();
+        for letter in self.drain_dead_letters() {
+            let offset = match letter.offset {
+                Some(off) if letter.retryable && off >= queue.base() && off < queue.len() => off,
+                _ => {
+                    self.requeue_dead_letter(letter);
+                    continue;
+                }
+            };
+            let Some(event) = queue.read_range(offset, 1).into_iter().next() else {
+                self.requeue_dead_letter(letter);
+                continue;
+            };
+            let Some(narrowed) = narrow_event_to_url(&event, &letter.url) else {
+                self.requeue_dead_letter(letter);
+                continue;
+            };
+            total.merge(self.apply_at(offset, &narrowed));
+        }
+        total
+    }
+}
+
+/// Restricts `event` to the single image `url`, for targeted re-application
+/// of a dead-lettered operation. Returns `None` when the event no longer
+/// mentions the URL (e.g. the letter's offset points at a different event
+/// after queue compaction).
+fn narrow_event_to_url(event: &ProductEvent, url: &str) -> Option<ProductEvent> {
+    match event {
+        ProductEvent::AddProduct { product_id, images } => {
+            let image = images.iter().find(|a| a.url == url)?.clone();
+            Some(ProductEvent::AddProduct {
+                product_id: *product_id,
+                images: vec![image],
+            })
+        }
+        ProductEvent::RemoveProduct { product_id, urls } => {
+            urls.iter()
+                .any(|u| u == url)
+                .then(|| ProductEvent::RemoveProduct {
+                    product_id: *product_id,
+                    urls: vec![url.to_string()],
+                })
+        }
+        ProductEvent::UpdateAttributes {
+            product_id,
+            urls,
+            sales,
+            price,
+            praise,
+        } => urls
+            .iter()
+            .any(|u| u == url)
+            .then(|| ProductEvent::UpdateAttributes {
+                product_id: *product_id,
+                urls: vec![url.to_string()],
+                sales: *sales,
+                price: *price,
+                praise: *praise,
+            }),
     }
 }
 
@@ -627,6 +754,122 @@ mod tests {
         indexer.apply(&rm);
         assert_eq!(indexer.dead_letter_stats().total(), 1);
         assert!(indexer.drain_dead_letters().is_empty());
+    }
+
+    #[test]
+    fn apply_at_advances_watermark_and_stamps_dead_letters() {
+        let f = fixture();
+        let up = ProductEvent::UpdateAttributes {
+            product_id: ProductId(9),
+            urls: vec!["ghost".into()],
+            sales: Some(1),
+            price: None,
+            praise: None,
+        };
+        let r = f.indexer.apply_at(7, &up);
+        assert_eq!(r.failed, 1);
+        assert_eq!(r.watermark, Some(8));
+        assert_eq!(f.indexer.index().stats().applied_offset.get(), 8);
+        let letters = f.indexer.drain_dead_letters();
+        assert_eq!(
+            letters[0].offset,
+            Some(7),
+            "letter records its source offset"
+        );
+
+        // Plain apply leaves no offset and does not move the watermark.
+        let r = f.indexer.apply(&up);
+        assert_eq!(r.watermark, None);
+        assert_eq!(f.indexer.index().stats().applied_offset.get(), 8);
+        assert_eq!(f.indexer.drain_dead_letters()[0].offset, None);
+    }
+
+    #[test]
+    fn run_loop_stamps_queue_offsets() {
+        let f = fixture();
+        let queue: MessageQueue<ProductEvent> = MessageQueue::new();
+        queue.publish(add_event(&f, 1, &["u1"]));
+        queue.publish(ProductEvent::UpdateAttributes {
+            product_id: ProductId(2),
+            urls: vec!["not-yet-added".into()],
+            sales: Some(1),
+            price: None,
+            praise: None,
+        });
+        let mut consumer = queue.consumer();
+        let stop = AtomicBool::new(true);
+        let report = f
+            .indexer
+            .run(&mut consumer, &stop, Duration::from_millis(1));
+        assert_eq!(report.watermark, Some(2), "both offsets applied");
+        assert_eq!(f.indexer.index().stats().applied_offset.get(), 2);
+        let letters = f.indexer.drain_dead_letters();
+        assert_eq!(letters.len(), 1);
+        assert_eq!(letters[0].offset, Some(1), "failure at queue offset 1");
+    }
+
+    #[test]
+    fn redrive_heals_update_that_raced_ahead_of_its_add() {
+        let f = fixture();
+        let queue: MessageQueue<ProductEvent> = MessageQueue::new();
+        // Out-of-order stream: the update arrives before the add exists.
+        let off = queue.publish(ProductEvent::UpdateAttributes {
+            product_id: ProductId(1),
+            urls: vec!["u1".into()],
+            sales: Some(777),
+            price: None,
+            praise: None,
+        });
+        let event = queue.read_range(off, 1).remove(0);
+        assert_eq!(f.indexer.apply_at(off, &event).failed, 1);
+
+        // The add lands; redrive re-reads the update from the queue.
+        f.indexer.apply(&add_event(&f, 1, &["u1"]));
+        let r = f.indexer.redrive(&queue);
+        assert_eq!(r.updated, 1);
+        assert!(f.indexer.drain_dead_letters().is_empty());
+        let index = f.indexer.index();
+        let id = index.lookup(ImageKey::from_url("u1")).unwrap();
+        assert_eq!(index.attributes(id).unwrap().sales, 777);
+    }
+
+    #[test]
+    fn redrive_requeues_offsetless_and_unavailable_letters() {
+        let f = fixture();
+        let queue: MessageQueue<ProductEvent> = MessageQueue::new();
+        // Offsetless letter: applied outside the queue path.
+        f.indexer.apply(&ProductEvent::RemoveProduct {
+            product_id: ProductId(1),
+            urls: vec!["never-added".into()],
+        });
+        // Offset below the queue base: the source event has been pruned.
+        let pruned: MessageQueue<ProductEvent> = MessageQueue::with_base(10);
+        f.indexer.apply_at(
+            3,
+            &ProductEvent::RemoveProduct {
+                product_id: ProductId(2),
+                urls: vec!["pruned-away".into()],
+            },
+        );
+        assert_eq!(f.indexer.redrive(&queue).touched(), 0);
+        assert_eq!(f.indexer.redrive(&pruned).touched(), 0);
+        let letters = f.indexer.drain_dead_letters();
+        assert_eq!(letters.len(), 2, "both letters survive for later");
+        let stats = f.indexer.dead_letter_stats();
+        assert_eq!(stats.total(), 2, "requeue does not double-count");
+    }
+
+    #[test]
+    fn narrow_event_keeps_only_the_failed_url() {
+        let ev = ProductEvent::RemoveProduct {
+            product_id: ProductId(1),
+            urls: vec!["a".into(), "b".into()],
+        };
+        match narrow_event_to_url(&ev, "b") {
+            Some(ProductEvent::RemoveProduct { urls, .. }) => assert_eq!(urls, vec!["b"]),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(narrow_event_to_url(&ev, "c").is_none());
     }
 
     #[test]

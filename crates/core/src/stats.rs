@@ -1,6 +1,6 @@
 //! Index operation statistics.
 
-use jdvs_metrics::Counter;
+use jdvs_metrics::{Counter, Gauge};
 
 /// Counters describing an index partition's lifetime activity.
 #[derive(Debug, Default)]
@@ -16,6 +16,10 @@ pub struct IndexStats {
     pub deletions: Counter,
     /// Queries served.
     pub searches: Counter,
+    /// Applied-offset watermark: the queue offset *after* the newest event
+    /// applied to this index (`RealtimeIndexer::apply_at` maintains it).
+    /// Checkpoints record this value; recovery replays the log from it.
+    pub applied_offset: Gauge,
 }
 
 impl IndexStats {

@@ -1,0 +1,324 @@
+//! Binary codec for [`ProductEvent`] log records.
+//!
+//! The durable log stores each ingestion event as one framed record; this
+//! module defines the payload encoding. It is a fixed little-endian layout
+//! (not serde) so the on-disk format is explicit, versionable and
+//! independent of any serialization shim:
+//!
+//! ```text
+//! event      := tag:u8 body
+//! tag        := 0 (AddProduct) | 1 (RemoveProduct) | 2 (UpdateAttributes)
+//! AddProduct := product_id:u64 count:u32 attrs*
+//! attrs      := product_id:u64 sales:u64 price:u64 praise:u64 url
+//! Remove     := product_id:u64 count:u32 url*
+//! Update     := product_id:u64 count:u32 url* opt(sales) opt(price) opt(praise)
+//! url        := len:u32 bytes (UTF-8)
+//! opt(x)     := 0:u8 | 1:u8 x:u64
+//! ```
+//!
+//! Integrity is the log framing's job (CRC32C per record); the decoder here
+//! still refuses structurally invalid input — truncated bodies, bad UTF-8,
+//! unknown tags, trailing bytes — returning [`CodecError`] instead of
+//! panicking, so a log record that passes its CRC but was written by a
+//! newer/older encoder degrades into a clean error.
+
+use jdvs_storage::model::{ProductAttributes, ProductEvent, ProductId};
+
+/// Decoding failure: the payload is not a well-formed event record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the field being read.
+    Truncated {
+        /// Field being decoded when the payload ran out.
+        field: &'static str,
+    },
+    /// Unknown event tag byte.
+    UnknownTag(u8),
+    /// A URL field was not valid UTF-8.
+    InvalidUtf8,
+    /// Bytes remained after a complete event was decoded.
+    TrailingBytes(usize),
+    /// A length prefix was implausibly large for the remaining payload.
+    LengthOverflow,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { field } => write!(f, "payload truncated reading {field}"),
+            CodecError::UnknownTag(t) => write!(f, "unknown event tag {t}"),
+            CodecError::InvalidUtf8 => write!(f, "url is not valid UTF-8"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after event"),
+            CodecError::LengthOverflow => write!(f, "length prefix exceeds payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TAG_ADD: u8 = 0;
+const TAG_REMOVE: u8 = 1;
+const TAG_UPDATE: u8 = 2;
+
+/// Encodes one event into its log payload.
+pub fn encode_event(event: &ProductEvent) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match event {
+        ProductEvent::AddProduct { product_id, images } => {
+            buf.push(TAG_ADD);
+            put_u64(&mut buf, product_id.0);
+            put_u32(&mut buf, images.len() as u32);
+            for a in images {
+                put_u64(&mut buf, a.product_id.0);
+                put_u64(&mut buf, a.sales);
+                put_u64(&mut buf, a.price);
+                put_u64(&mut buf, a.praise);
+                put_str(&mut buf, &a.url);
+            }
+        }
+        ProductEvent::RemoveProduct { product_id, urls } => {
+            buf.push(TAG_REMOVE);
+            put_u64(&mut buf, product_id.0);
+            put_u32(&mut buf, urls.len() as u32);
+            for u in urls {
+                put_str(&mut buf, u);
+            }
+        }
+        ProductEvent::UpdateAttributes {
+            product_id,
+            urls,
+            sales,
+            price,
+            praise,
+        } => {
+            buf.push(TAG_UPDATE);
+            put_u64(&mut buf, product_id.0);
+            put_u32(&mut buf, urls.len() as u32);
+            for u in urls {
+                put_str(&mut buf, u);
+            }
+            put_opt(&mut buf, *sales);
+            put_opt(&mut buf, *price);
+            put_opt(&mut buf, *praise);
+        }
+    }
+    buf
+}
+
+/// Decodes one event from a log payload.
+pub fn decode_event(bytes: &[u8]) -> Result<ProductEvent, CodecError> {
+    let mut r = Cursor { buf: bytes, pos: 0 };
+    let tag = r.u8("tag")?;
+    let event = match tag {
+        TAG_ADD => {
+            let product_id = ProductId(r.u64("product_id")?);
+            let count = r.count("image count")?;
+            let mut images = Vec::with_capacity(count);
+            for _ in 0..count {
+                let owner = ProductId(r.u64("attr product_id")?);
+                let sales = r.u64("sales")?;
+                let price = r.u64("price")?;
+                let praise = r.u64("praise")?;
+                let url = r.string("url")?;
+                images.push(ProductAttributes::new(owner, sales, price, praise, url));
+            }
+            ProductEvent::AddProduct { product_id, images }
+        }
+        TAG_REMOVE => {
+            let product_id = ProductId(r.u64("product_id")?);
+            let count = r.count("url count")?;
+            let mut urls = Vec::with_capacity(count);
+            for _ in 0..count {
+                urls.push(r.string("url")?);
+            }
+            ProductEvent::RemoveProduct { product_id, urls }
+        }
+        TAG_UPDATE => {
+            let product_id = ProductId(r.u64("product_id")?);
+            let count = r.count("url count")?;
+            let mut urls = Vec::with_capacity(count);
+            for _ in 0..count {
+                urls.push(r.string("url")?);
+            }
+            let sales = r.opt("sales")?;
+            let price = r.opt("price")?;
+            let praise = r.opt("praise")?;
+            ProductEvent::UpdateAttributes {
+                product_id,
+                urls,
+                sales,
+                price,
+                praise,
+            }
+        }
+        other => return Err(CodecError::UnknownTag(other)),
+    };
+    if r.pos != bytes.len() {
+        return Err(CodecError::TrailingBytes(bytes.len() - r.pos));
+    }
+    Ok(event)
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => buf.push(0),
+        Some(x) => {
+            buf.push(1);
+            put_u64(buf, x);
+        }
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CodecError::Truncated { field });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    fn u32(&mut self, field: &'static str) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4, field)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8, field)?.try_into().unwrap()))
+    }
+
+    /// A count prefix, sanity-bounded by the bytes actually remaining (every
+    /// counted element is at least one byte) so corrupt counts fail fast
+    /// instead of attempting a giant allocation.
+    fn count(&mut self, field: &'static str) -> Result<usize, CodecError> {
+        let n = self.u32(field)? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(CodecError::LengthOverflow);
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self, field: &'static str) -> Result<String, CodecError> {
+        let len = self.u32(field)? as usize;
+        if len > self.buf.len() - self.pos {
+            return Err(CodecError::LengthOverflow);
+        }
+        let bytes = self.take(len, field)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::InvalidUtf8)
+    }
+
+    fn opt(&mut self, field: &'static str) -> Result<Option<u64>, CodecError> {
+        match self.u8(field)? {
+            0 => Ok(None),
+            _ => Ok(Some(self.u64(field)?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(product: u64, url: &str) -> ProductAttributes {
+        ProductAttributes::new(ProductId(product), 3, 1999, 42, url.to_string())
+    }
+
+    fn sample_events() -> Vec<ProductEvent> {
+        vec![
+            ProductEvent::AddProduct {
+                product_id: ProductId(7),
+                images: vec![attrs(7, "img/a.jpg"), attrs(7, "img/b.jpg")],
+            },
+            ProductEvent::AddProduct {
+                product_id: ProductId(8),
+                images: vec![],
+            },
+            ProductEvent::RemoveProduct {
+                product_id: ProductId(9),
+                urls: vec!["x".into(), "".into(), "日本語/url.png".into()],
+            },
+            ProductEvent::UpdateAttributes {
+                product_id: ProductId(10),
+                urls: vec!["u".into()],
+                sales: Some(u64::MAX),
+                price: None,
+                praise: Some(0),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_variant() {
+        for event in sample_events() {
+            let bytes = encode_event(&event);
+            assert_eq!(decode_event(&bytes).unwrap(), event);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_tag_and_trailing_bytes() {
+        let mut bytes = encode_event(&sample_events()[0]);
+        bytes[0] = 9;
+        assert_eq!(decode_event(&bytes), Err(CodecError::UnknownTag(9)));
+
+        let mut bytes = encode_event(&sample_events()[1]);
+        bytes.push(0);
+        assert_eq!(decode_event(&bytes), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_a_clean_error() {
+        for event in sample_events() {
+            let bytes = encode_event(&event);
+            for len in 0..bytes.len() {
+                assert!(
+                    decode_event(&bytes[..len]).is_err(),
+                    "prefix of length {len} must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_counts_do_not_allocate_garbage() {
+        let mut bytes = encode_event(&ProductEvent::RemoveProduct {
+            product_id: ProductId(1),
+            urls: vec!["abc".into()],
+        });
+        // Count lives after tag(1) + product_id(8); blow it up.
+        bytes[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_event(&bytes), Err(CodecError::LengthOverflow));
+    }
+
+    #[test]
+    fn random_bytes_never_panic() {
+        let mut rng = jdvs_vector::rng::Xoshiro256::seed_from(0xC0DEC);
+        for _ in 0..500 {
+            let len = (rng.next_u64() % 64) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let _ = decode_event(&bytes); // must not panic
+        }
+    }
+}

@@ -1,0 +1,653 @@
+//! Segmented append-only ingestion log with per-record CRC32C framing.
+//!
+//! The log is the durable twin of the in-memory
+//! [`MessageQueue`](jdvs_storage::MessageQueue): record *N* of the log is
+//! queue offset *N*. It is written as a sequence of segment files
+//! (`wal-{first_offset:020}.seg`), each a run of frames:
+//!
+//! ```text
+//! frame := len:u32le crc:u32le payload[len]      crc = crc32c(payload)
+//! ```
+//!
+//! **Torn tails.** A crash mid-write leaves a partial frame (or a frame
+//! whose payload bytes never all reached the platter). On open the log
+//! scans every segment and truncates at the first frame that is incomplete
+//! or fails its CRC — everything after an invalid frame has ambiguous
+//! framing, so later bytes *and later segments* are discarded. The log is
+//! therefore always a valid prefix of what was appended; with
+//! [`FsyncPolicy::Always`] that prefix provably includes every
+//! acknowledged append.
+//!
+//! **Fsync policy.** [`FsyncPolicy`] trades durability for append
+//! throughput: `Always` fdatasyncs every record, `EveryN(n)` amortises one
+//! sync over `n` appends, `Os` leaves flushing to the page cache.
+//!
+//! **Retention.** Segments roll at a size threshold; whole segments whose
+//! records all lie below the checkpoint watermark are deleted by
+//! [`SegmentedLog::retain_from`] — the log only needs to cover what a
+//! recovery would replay.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use jdvs_metrics::DurabilityMetrics;
+use jdvs_storage::checksum::crc32c;
+use jdvs_storage::queue::Offset;
+
+/// Bytes of frame header (`len` + `crc`).
+pub const FRAME_HEADER: usize = 8;
+
+/// When the log writer calls `fdatasync`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every append: an acknowledged record survives any crash.
+    Always,
+    /// Sync after every `n` appends (and on rotation/explicit sync): bounds
+    /// loss to the last `n - 1` acknowledged records.
+    EveryN(u64),
+    /// Never sync explicitly; the OS flushes the page cache at its leisure.
+    /// A process crash loses nothing, a machine crash may lose the tail.
+    Os,
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::EveryN(64)
+    }
+}
+
+/// Configuration of a [`SegmentedLog`].
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Directory holding the segment files (created if absent).
+    pub dir: PathBuf,
+    /// Roll to a new segment once the current one reaches this many bytes.
+    pub segment_max_bytes: u64,
+    /// Durability/throughput trade-off for appends.
+    pub fsync: FsyncPolicy,
+}
+
+impl LogConfig {
+    /// Defaults: 8 MiB segments, `FsyncPolicy::EveryN(64)`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            segment_max_bytes: 8 * 1024 * 1024,
+            fsync: FsyncPolicy::default(),
+        }
+    }
+}
+
+/// One segment file's bookkeeping.
+#[derive(Debug)]
+struct Segment {
+    /// Offset of the segment's first record.
+    first_offset: Offset,
+    /// Records currently in the segment.
+    records: u64,
+    /// Valid bytes (frames only; this is also the append position).
+    bytes: u64,
+}
+
+impl Segment {
+    fn path(&self, dir: &Path) -> PathBuf {
+        segment_path(dir, self.first_offset)
+    }
+}
+
+fn segment_path(dir: &Path, first_offset: Offset) -> PathBuf {
+    dir.join(format!("wal-{first_offset:020}.seg"))
+}
+
+/// What [`SegmentedLog::open`] had to repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpenReport {
+    /// Bytes discarded (partial/corrupt frames and any segments after them).
+    pub torn_bytes: u64,
+    /// Whole frames discarded because their CRC32C failed.
+    pub corrupt_records: u64,
+    /// Segment files deleted because they followed an invalid frame.
+    pub segments_dropped: u64,
+}
+
+/// The segmented, CRC32C-framed, fsync-policied ingestion log.
+#[derive(Debug)]
+pub struct SegmentedLog {
+    config: LogConfig,
+    metrics: Arc<DurabilityMetrics>,
+    /// All live segments, oldest first; never empty after `open`.
+    segments: Vec<Segment>,
+    /// Append handle on the last segment.
+    writer: File,
+    /// Offset the next append will get.
+    next_offset: Offset,
+    /// Appends since the last explicit sync (for `EveryN`).
+    unsynced: u64,
+    /// What `open` repaired (kept for callers that open then ask).
+    open_report: OpenReport,
+}
+
+impl SegmentedLog {
+    /// Opens (or creates) the log in `config.dir`, scanning every segment,
+    /// truncating the torn/corrupt tail and deleting unreachable segments.
+    pub fn open(config: LogConfig, metrics: Arc<DurabilityMetrics>) -> io::Result<Self> {
+        fs::create_dir_all(&config.dir)?;
+        let mut firsts = list_segments(&config.dir)?;
+        firsts.sort_unstable();
+
+        let mut report = OpenReport::default();
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut expected_first: Option<Offset> = None;
+        let mut valid_prefix_ended = false;
+        for (i, first) in firsts.iter().copied().enumerate() {
+            let path = segment_path(&config.dir, first);
+            // Once the valid prefix has ended (invalid frame, or a gap in
+            // the offset sequence), every later segment is unreachable.
+            let gap = expected_first.is_some_and(|e| e != first);
+            if valid_prefix_ended || gap {
+                report.torn_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                report.segments_dropped += 1;
+                fs::remove_file(&path)?;
+                valid_prefix_ended = true;
+                continue;
+            }
+            let scan = scan_segment(&path)?;
+            if scan.invalid_bytes > 0 {
+                // Truncate the file back to its valid prefix.
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(scan.valid_bytes)?;
+                f.sync_all()?;
+                report.torn_bytes += scan.invalid_bytes;
+                report.corrupt_records += scan.corrupt_records;
+                valid_prefix_ended = true;
+            }
+            let is_last_listed = i == firsts.len() - 1;
+            if scan.records == 0 && !is_last_listed && !valid_prefix_ended {
+                // A fully-empty middle segment would break continuity.
+                valid_prefix_ended = true;
+            }
+            segments.push(Segment {
+                first_offset: first,
+                records: scan.records,
+                bytes: scan.valid_bytes,
+            });
+            expected_first = Some(first + scan.records);
+        }
+        if segments.is_empty() {
+            segments.push(Segment {
+                first_offset: 0,
+                records: 0,
+                bytes: 0,
+            });
+            // Touch the initial segment so recovery sees a consistent dir.
+            File::create(segments[0].path(&config.dir))?;
+            metrics.segments_created.incr();
+        }
+
+        let last = segments.last().expect("at least one segment");
+        let next_offset = last.first_offset + last.records;
+        let mut writer = OpenOptions::new()
+            .append(true)
+            .open(last.path(&config.dir))?;
+        writer.seek(SeekFrom::End(0))?;
+
+        metrics.torn_bytes_truncated.add(report.torn_bytes);
+        metrics.corrupt_records_dropped.add(report.corrupt_records);
+        metrics.durable_offset.set_max(next_offset);
+
+        Ok(Self {
+            config,
+            metrics,
+            segments,
+            writer,
+            next_offset,
+            unsynced: 0,
+            open_report: report,
+        })
+    }
+
+    /// What the most recent [`SegmentedLog::open`] repaired.
+    pub fn open_report(&self) -> OpenReport {
+        self.open_report
+    }
+
+    /// Offset of the oldest record still in the log.
+    pub fn first_offset(&self) -> Offset {
+        self.segments[0].first_offset
+    }
+
+    /// Offset the next append will receive (== records ever appended,
+    /// including pruned ones).
+    pub fn next_offset(&self) -> Offset {
+        self.next_offset
+    }
+
+    /// Live segment count.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Appends one record, returning its offset. Honors the fsync policy.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<Offset> {
+        let last = self.segments.last().expect("at least one segment");
+        if last.bytes >= self.config.segment_max_bytes && last.records > 0 {
+            self.rotate()?;
+        }
+
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32c(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.writer.write_all(&frame)?;
+
+        let offset = self.next_offset;
+        self.next_offset += 1;
+        let last = self.segments.last_mut().expect("at least one segment");
+        last.records += 1;
+        last.bytes += frame.len() as u64;
+
+        self.metrics.log_appends.incr();
+        self.metrics.log_bytes.add(payload.len() as u64);
+
+        self.unsynced += 1;
+        match self.config.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Os => {
+                // Acknowledged into the page cache only; still report the
+                // append so replay_exposure tracks log growth.
+                self.metrics.durable_offset.set_max(self.next_offset);
+            }
+        }
+        Ok(offset)
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.writer.sync_data()?;
+        self.unsynced = 0;
+        self.metrics.log_syncs.incr();
+        self.metrics.durable_offset.set_max(self.next_offset);
+        Ok(())
+    }
+
+    /// Rolls to a fresh segment starting at `next_offset`. The finished
+    /// segment is synced first so retention/recovery never race a dirty
+    /// tail.
+    fn rotate(&mut self) -> io::Result<()> {
+        self.sync()?;
+        let path = segment_path(&self.config.dir, self.next_offset);
+        self.writer = OpenOptions::new().append(true).create(true).open(&path)?;
+        self.segments.push(Segment {
+            first_offset: self.next_offset,
+            records: 0,
+            bytes: 0,
+        });
+        self.metrics.segments_created.incr();
+        sync_dir(&self.config.dir)?;
+        Ok(())
+    }
+
+    /// Deletes every segment whose records *all* lie below `watermark`
+    /// (the checkpoint's applied offset). The active segment is never
+    /// deleted. Returns the number of segments pruned.
+    pub fn retain_from(&mut self, watermark: Offset) -> io::Result<u64> {
+        let mut pruned = 0;
+        while self.segments.len() > 1 {
+            // Safe to drop segment 0 iff segment 1 starts at or below the
+            // watermark: every record of segment 0 is then < watermark.
+            if self.segments[1].first_offset <= watermark {
+                let seg = self.segments.remove(0);
+                fs::remove_file(seg.path(&self.config.dir))?;
+                pruned += 1;
+            } else {
+                break;
+            }
+        }
+        if pruned > 0 {
+            self.metrics.segments_pruned.add(pruned);
+            sync_dir(&self.config.dir)?;
+        }
+        Ok(pruned)
+    }
+
+    /// Reads every record with offset `>= from`, oldest first.
+    ///
+    /// `open` already sanitized the files, so an invalid frame here means
+    /// the disk changed underneath us — reported as `InvalidData`, never a
+    /// panic or garbage payload (every returned record passed its CRC).
+    pub fn replay(&self, from: Offset) -> io::Result<Vec<(Offset, Vec<u8>)>> {
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            let seg_end = seg.first_offset + seg.records;
+            if seg_end <= from {
+                continue;
+            }
+            let bytes = fs::read(seg.path(&self.config.dir))?;
+            let mut pos = 0usize;
+            let mut offset = seg.first_offset;
+            while offset < seg_end {
+                let (payload, next) = read_frame(&bytes, pos).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("log record {offset} failed validation on replay"),
+                    )
+                })?;
+                if offset >= from {
+                    out.push((offset, payload.to_vec()));
+                }
+                pos = next;
+                offset += 1;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Parses the frame at `pos`; `None` if incomplete or CRC-invalid.
+/// Returns the payload slice and the position of the next frame.
+fn read_frame(bytes: &[u8], pos: usize) -> Option<(&[u8], usize)> {
+    let header = bytes.get(pos..pos + FRAME_HEADER)?;
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let payload = bytes.get(pos + FRAME_HEADER..pos + FRAME_HEADER + len)?;
+    if crc32c(payload) != crc {
+        return None;
+    }
+    Some((payload, pos + FRAME_HEADER + len))
+}
+
+#[derive(Debug)]
+struct SegmentScan {
+    /// Whole valid frames found before the first invalid byte.
+    records: u64,
+    /// Bytes those frames occupy.
+    valid_bytes: u64,
+    /// Bytes past the valid prefix (torn or corrupt).
+    invalid_bytes: u64,
+    /// Frames within the invalid region that were complete but failed CRC.
+    corrupt_records: u64,
+}
+
+/// Scans a segment file, finding its valid frame prefix.
+fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let mut pos = 0usize;
+    let mut records = 0u64;
+    while let Some((_, next)) = read_frame(&bytes, pos) {
+        pos = next;
+        records += 1;
+    }
+    let mut corrupt_records = 0u64;
+    if pos < bytes.len() {
+        // Distinguish "complete frame, bad CRC" (corruption) from "frame
+        // runs past EOF" (torn write) — both end the valid prefix, but the
+        // metrics story differs.
+        if let Some(header) = bytes.get(pos..pos + FRAME_HEADER) {
+            let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+            if bytes.len() - pos - FRAME_HEADER >= len {
+                corrupt_records = 1;
+            }
+        }
+    }
+    Ok(SegmentScan {
+        records,
+        valid_bytes: pos as u64,
+        invalid_bytes: (bytes.len() - pos) as u64,
+        corrupt_records,
+    })
+}
+
+/// Lists segment first-offsets present in `dir`.
+fn list_segments(dir: &Path) -> io::Result<Vec<Offset>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(digits) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".seg"))
+        {
+            if let Ok(first) = digits.parse::<Offset>() {
+                out.push(first);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Fsyncs a directory so renames/creates/deletes within it are durable.
+/// Windows cannot open directories as files; there this is a no-op.
+pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("jdvs-log-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: &Path, fsync: FsyncPolicy, max: u64) -> SegmentedLog {
+        let config = LogConfig {
+            dir: dir.to_path_buf(),
+            segment_max_bytes: max,
+            fsync,
+        };
+        SegmentedLog::open(config, Arc::new(DurabilityMetrics::new())).unwrap()
+    }
+
+    fn payload(i: u64) -> Vec<u8> {
+        format!("record-{i}-{}", "x".repeat((i % 7) as usize)).into_bytes()
+    }
+
+    #[test]
+    fn appends_replay_in_order_across_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let mut log = open(&dir, FsyncPolicy::Always, 1 << 20);
+            for i in 0..50 {
+                assert_eq!(log.append(&payload(i)).unwrap(), i);
+            }
+        }
+        let log = open(&dir, FsyncPolicy::Always, 1 << 20);
+        assert_eq!(log.next_offset(), 50);
+        let records = log.replay(0).unwrap();
+        assert_eq!(records.len(), 50);
+        for (i, (off, bytes)) in records.iter().enumerate() {
+            assert_eq!(*off, i as u64);
+            assert_eq!(*bytes, payload(i as u64));
+        }
+        // Suffix replay.
+        let tail = log.replay(47).unwrap();
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].0, 47);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replay_spans_them() {
+        let dir = temp_dir("rotate");
+        let mut log = open(&dir, FsyncPolicy::Os, 64);
+        for i in 0..40 {
+            log.append(&payload(i)).unwrap();
+        }
+        assert!(log.num_segments() > 2, "tiny segments must rotate");
+        assert_eq!(log.replay(0).unwrap().len(), 40);
+        drop(log);
+        // Reopen sees the same shape.
+        let log = open(&dir, FsyncPolicy::Os, 64);
+        assert_eq!(log.next_offset(), 40);
+        assert_eq!(log.replay(17).unwrap().len(), 23);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = temp_dir("torn");
+        {
+            let mut log = open(&dir, FsyncPolicy::Always, 1 << 20);
+            for i in 0..10 {
+                log.append(&payload(i)).unwrap();
+            }
+        }
+        // Simulate a crash mid-append: chop bytes off the segment file.
+        let seg = segment_path(&dir, 0);
+        let len = fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 3).unwrap(); // partial final frame
+        drop(f);
+
+        let log = open(&dir, FsyncPolicy::Always, 1 << 20);
+        assert_eq!(log.next_offset(), 9, "final record dropped");
+        assert!(log.open_report().torn_bytes > 0);
+        assert_eq!(log.replay(0).unwrap().len(), 9);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_ends_the_valid_prefix() {
+        let dir = temp_dir("corrupt");
+        {
+            let mut log = open(&dir, FsyncPolicy::Always, 1 << 20);
+            for i in 0..10 {
+                log.append(&payload(i)).unwrap();
+            }
+        }
+        // Flip the last payload byte: the final frame is complete but its
+        // CRC no longer matches.
+        let seg = segment_path(&dir, 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        *bytes.last_mut().unwrap() ^= 0x40;
+        fs::write(&seg, &bytes).unwrap();
+
+        let log = open(&dir, FsyncPolicy::Always, 1 << 20);
+        assert_eq!(log.next_offset(), 9, "the flipped record is gone");
+        let report = log.open_report();
+        assert!(report.torn_bytes > 0);
+        assert_eq!(report.corrupt_records, 1);
+        // Every surviving record is intact.
+        for (off, bytes) in log.replay(0).unwrap() {
+            assert_eq!(bytes, payload(off));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_in_early_segment_drops_later_segments() {
+        let dir = temp_dir("cascade");
+        {
+            let mut log = open(&dir, FsyncPolicy::Os, 64);
+            for i in 0..40 {
+                log.append(&payload(i)).unwrap();
+            }
+            assert!(log.num_segments() >= 3);
+        }
+        // Corrupt the very first segment's first record.
+        let seg = segment_path(&dir, 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes[FRAME_HEADER] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+
+        let log = open(&dir, FsyncPolicy::Os, 64);
+        assert_eq!(log.next_offset(), 0, "nothing survives a headshot");
+        assert!(log.open_report().segments_dropped >= 2);
+        assert!(log.replay(0).unwrap().is_empty());
+        // And the log still appends fine afterwards.
+        let mut log = log;
+        assert_eq!(log.append(b"fresh").unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_prunes_only_below_watermark() {
+        let dir = temp_dir("retain");
+        let mut log = open(&dir, FsyncPolicy::Os, 64);
+        for i in 0..40 {
+            log.append(&payload(i)).unwrap();
+        }
+        let before = log.num_segments();
+        assert!(before >= 3);
+        // Watermark 0: nothing prunable.
+        assert_eq!(log.retain_from(0).unwrap(), 0);
+        // Watermark past the second segment's start: first is prunable.
+        let pruned = log.retain_from(log.next_offset()).unwrap();
+        assert!(pruned >= 1);
+        assert_eq!(log.num_segments(), 1, "only the active segment remains");
+        assert!(log.first_offset() > 0);
+        // Replay from the new first offset still works.
+        let records = log.replay(log.first_offset()).unwrap();
+        assert_eq!(records.len() as u64, log.next_offset() - log.first_offset());
+        // Reopen after pruning: offsets are preserved.
+        drop(log);
+        let log = open(&dir, FsyncPolicy::Os, 64);
+        assert_eq!(log.next_offset(), 40);
+        assert!(log.first_offset() > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_n_policy_counts_syncs() {
+        let dir = temp_dir("everyn");
+        let metrics = Arc::new(DurabilityMetrics::new());
+        let config = LogConfig {
+            dir: dir.clone(),
+            segment_max_bytes: 1 << 20,
+            fsync: FsyncPolicy::EveryN(10),
+        };
+        let mut log = SegmentedLog::open(config, Arc::clone(&metrics)).unwrap();
+        for i in 0..25 {
+            log.append(&payload(i)).unwrap();
+        }
+        assert_eq!(metrics.log_syncs.get(), 2, "25 appends, sync every 10");
+        assert_eq!(metrics.durable_offset.get(), 20, "durable through sync");
+        log.sync().unwrap();
+        assert_eq!(metrics.durable_offset.get(), 25);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_at_every_byte_boundary_never_panics() {
+        let dir = temp_dir("fuzztrunc");
+        {
+            let mut log = open(&dir, FsyncPolicy::Always, 1 << 20);
+            for i in 0..6 {
+                log.append(&payload(i)).unwrap();
+            }
+        }
+        let seg = segment_path(&dir, 0);
+        let pristine = fs::read(&seg).unwrap();
+        for cut in (0..pristine.len()).rev() {
+            fs::write(&seg, &pristine[..cut]).unwrap();
+            let log = open(&dir, FsyncPolicy::Always, 1 << 20);
+            // Valid prefix only, and all of it checks out.
+            for (off, bytes) in log.replay(0).unwrap() {
+                assert_eq!(bytes, payload(off));
+            }
+            assert!(log.next_offset() <= 6);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,110 @@
+//! Last-value gauges (watermarks, lag, sizes).
+//!
+//! A [`Counter`](crate::Counter) only goes up; a [`Gauge`] records the
+//! *current* value of something — an applied-offset watermark, a queue
+//! depth, a segment count. `set_max` supports high-watermark semantics
+//! where concurrent writers may report out of order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A thread-safe last-value gauge.
+///
+/// # Example
+///
+/// ```
+/// use jdvs_metrics::Gauge;
+///
+/// let g = Gauge::new();
+/// g.set(7);
+/// g.set_max(3); // lower values do not regress a high watermark
+/// assert_eq!(g.get(), 7);
+/// g.set_max(11);
+/// assert_eq!(g.get(), 11);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the current value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-watermark update;
+    /// safe under concurrent out-of-order reporters).
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Clone for Gauge {
+    fn clone(&self) -> Self {
+        let g = Gauge::new();
+        g.set(self.get());
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.set(42);
+        assert_eq!(g.get(), 42);
+        g.set(7);
+        assert_eq!(g.get(), 7, "plain set may go down");
+    }
+
+    #[test]
+    fn set_max_is_monotonic() {
+        let g = Gauge::new();
+        g.set_max(10);
+        g.set_max(5);
+        assert_eq!(g.get(), 10);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn concurrent_set_max_keeps_the_maximum() {
+        use std::sync::Arc;
+        let g = Arc::new(Gauge::new());
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        g.set_max(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(g.get(), 3_999);
+    }
+
+    #[test]
+    fn clone_copies_value() {
+        let g = Gauge::new();
+        g.set(9);
+        assert_eq!(g.clone().get(), 9);
+    }
+}

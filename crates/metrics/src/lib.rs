@@ -26,12 +26,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod counter;
+pub mod durability;
+pub mod gauge;
 pub mod histogram;
 pub mod resilience;
 pub mod stopwatch;
 pub mod timeseries;
 
 pub use counter::Counter;
+pub use durability::{DurabilityMetrics, DurabilitySnapshot};
+pub use gauge::Gauge;
 pub use histogram::{Histogram, SharedHistogram};
 pub use resilience::{ResilienceMetrics, ResilienceSnapshot};
 pub use stopwatch::Stopwatch;

@@ -37,4 +37,4 @@ pub use client::SearchClient;
 pub use protocol::{QueryInput, RankedHit, SearchQuery};
 pub use ranking::RankingPolicy;
 pub use ranking_learned::AdaptiveRanking;
-pub use topology::{SearchTopology, TopologyConfig};
+pub use topology::{CheckpointReport, DurabilityOptions, SearchTopology, TopologyConfig};

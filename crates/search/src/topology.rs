@@ -15,6 +15,8 @@
 //! searcher nodes), and hot-swaps each replica while searches keep
 //! flowing.
 
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -24,8 +26,12 @@ use jdvs_core::full::FullIndexBuilder;
 use jdvs_core::realtime::RealtimeIndexer;
 use jdvs_core::swap::IndexHandle;
 use jdvs_core::{persist, IndexConfig, VisualIndex};
+use jdvs_durability::checkpoint::{CheckpointConfig, CheckpointStore};
+use jdvs_durability::log::{FsyncPolicy, LogConfig};
+use jdvs_durability::queue::DurableQueue;
+use jdvs_durability::recovery::{recover_partition, RecoveryReport};
 use jdvs_features::CachingExtractor;
-use jdvs_metrics::{ResilienceMetrics, ResilienceSnapshot};
+use jdvs_metrics::{DurabilityMetrics, DurabilitySnapshot, ResilienceMetrics, ResilienceSnapshot};
 use jdvs_net::balancer::Balancer;
 use jdvs_net::latency::LatencyModel;
 use jdvs_net::node::Node;
@@ -143,6 +149,59 @@ impl TopologyConfig {
     }
 }
 
+/// Where and how a durable topology persists its ingestion stream.
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Root data directory: the event log lives in `<dir>/wal`, partition
+    /// `p`'s checkpoints in `<dir>/ckpt-p{p}`.
+    pub dir: PathBuf,
+    /// Fsync policy of the ingestion log.
+    pub fsync: FsyncPolicy,
+    /// Log segment roll size in bytes.
+    pub segment_max_bytes: u64,
+    /// Checkpoint snapshots retained per partition.
+    pub snapshots_keep: usize,
+}
+
+impl DurabilityOptions {
+    /// Defaults: `FsyncPolicy::Always`, 8 MiB segments, 2 snapshots kept.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            segment_max_bytes: 8 * 1024 * 1024,
+            snapshots_keep: 2,
+        }
+    }
+}
+
+/// The durable machinery of a topology built with
+/// [`SearchTopology::build_durable`].
+#[derive(Debug)]
+struct DurableParts {
+    /// Owns the log and the publish tee on the shared queue.
+    queue: DurableQueue,
+    /// One checkpoint store per partition.
+    checkpoints: Vec<CheckpointStore>,
+    metrics: Arc<DurabilityMetrics>,
+    /// What startup recovery did, one entry per (partition, replica) in
+    /// partition-major order.
+    recovery: Vec<RecoveryReport>,
+}
+
+/// Outcome of [`SearchTopology::checkpoint_partition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Partition checkpointed.
+    pub partition: usize,
+    /// Applied-offset watermark the snapshot covers.
+    pub applied_offset: u64,
+    /// Snapshot bytes written.
+    pub snapshot_bytes: u64,
+    /// Log segments reclaimed by retention after this checkpoint.
+    pub segments_pruned: u64,
+}
+
 /// Outcome of one partition's online full rebuild.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RebuildReport {
@@ -184,6 +243,9 @@ pub struct PartitionOps {
     pub searches: u64,
     /// Inverted-list expansions performed.
     pub expansions: u64,
+    /// Applied-offset watermark: queue offset after the newest event this
+    /// replica's index has applied (0 when no event carried an offset).
+    pub applied_offset: u64,
 }
 
 /// Point-in-time operational snapshot of the stack.
@@ -195,6 +257,8 @@ pub struct OpsReport {
     pub max_indexer_lag: u64,
     /// Blender query-cache statistics, when enabled.
     pub query_cache: Option<jdvs_storage::lru::LruStats>,
+    /// Durability counters, when the topology was built durable.
+    pub durability: Option<DurabilitySnapshot>,
     /// One entry per (partition, replica).
     pub partitions: Vec<PartitionOps>,
 }
@@ -233,6 +297,8 @@ pub struct SearchTopology {
     query_cache: Option<Arc<jdvs_storage::lru::LruCache<jdvs_storage::model::ImageKey, Vec<f32>>>>,
     metrics: Arc<ResilienceMetrics>,
     realtime_indexing: bool,
+    /// Durable log + checkpoints, when built with `build_durable`.
+    durable: Option<DurableParts>,
 }
 
 impl std::fmt::Debug for SearchTopology {
@@ -263,6 +329,85 @@ impl SearchTopology {
         feature_db: Arc<FeatureDb>,
         training: &[Vector],
         queue: MessageQueue<ProductEvent>,
+    ) -> Self {
+        Self::assemble(config, extractor, images, feature_db, training, queue, None)
+    }
+
+    /// Builds the full stack on top of a durable ingestion log with
+    /// checkpoint recovery (the crash-safe variant of
+    /// [`SearchTopology::build`]).
+    ///
+    /// The update queue is rebuilt from the event log in
+    /// `options.dir/wal` (torn or corrupt tails are truncated, CRC-checked
+    /// records replayed), every publish is teed back into the log under
+    /// the configured [`FsyncPolicy`], and **before any searcher serves**,
+    /// each partition replica is recovered: the newest valid checkpoint
+    /// snapshot is hot-swapped in and the log suffix past its applied
+    /// offset is replayed through the real-time indexing path. See
+    /// [`SearchTopology::recovery_reports`] for what startup recovery did
+    /// and [`SearchTopology::checkpoint_partition`] for producing new
+    /// checkpoints while serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from opening the log or checkpoint stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid or `training` is empty.
+    pub fn build_durable(
+        config: TopologyConfig,
+        extractor: Arc<CachingExtractor>,
+        images: Arc<ImageStore>,
+        feature_db: Arc<FeatureDb>,
+        training: &[Vector],
+        options: DurabilityOptions,
+    ) -> io::Result<Self> {
+        config.validate();
+        let metrics = Arc::new(DurabilityMetrics::new());
+        let durable_queue = DurableQueue::open(
+            LogConfig {
+                dir: options.dir.join("wal"),
+                segment_max_bytes: options.segment_max_bytes,
+                fsync: options.fsync,
+            },
+            Arc::clone(&metrics),
+        )?;
+        let mut checkpoints = Vec::with_capacity(config.num_partitions);
+        for p in 0..config.num_partitions {
+            checkpoints.push(CheckpointStore::open(
+                CheckpointConfig {
+                    dir: options.dir.join(format!("ckpt-p{p}")),
+                    keep: options.snapshots_keep.max(1),
+                },
+                Arc::clone(&metrics),
+            )?);
+        }
+        let queue = (**durable_queue.queue()).clone();
+        Ok(Self::assemble(
+            config,
+            extractor,
+            images,
+            feature_db,
+            training,
+            queue,
+            Some(DurableParts {
+                queue: durable_queue,
+                checkpoints,
+                metrics,
+                recovery: Vec::new(),
+            }),
+        ))
+    }
+
+    fn assemble(
+        config: TopologyConfig,
+        extractor: Arc<CachingExtractor>,
+        images: Arc<ImageStore>,
+        feature_db: Arc<FeatureDb>,
+        training: &[Vector],
+        queue: MessageQueue<ProductEvent>,
+        mut durable: Option<DurableParts>,
     ) -> Self {
         config.validate();
         let partition_map = PartitionMap::new(config.num_partitions, config.num_broker_groups);
@@ -318,18 +463,29 @@ impl SearchTopology {
                     config.seed ^ ((p as u64) << 16) ^ r as u64,
                 );
                 nodes.push(node);
+                let indexer = RealtimeIndexer::new(
+                    handle,
+                    Arc::clone(&extractor),
+                    Arc::clone(&images),
+                    Arc::clone(&feature_db),
+                )
+                .with_partition(p, config.num_partitions);
+                // Durable startup: recover this replica *before* any query
+                // is served — newest valid checkpoint swapped in, then the
+                // log suffix replayed through the live indexing path.
+                let mut start = queue.base();
+                if let Some(d) = durable.as_mut() {
+                    let report = recover_partition(&indexer, &d.checkpoints[p], &queue, &d.metrics);
+                    start = report.start_offset + report.replayed;
+                    d.recovery.push(report);
+                }
                 if config.realtime_indexing {
-                    let indexer = RealtimeIndexer::new(
-                        handle,
-                        Arc::clone(&extractor),
-                        Arc::clone(&images),
-                        Arc::clone(&feature_db),
-                    )
-                    .with_partition(p, config.num_partitions);
-                    let mut consumer = queue.consumer();
+                    let mut consumer = queue.consumer_at(start);
                     let stop = Arc::clone(&indexer_stop);
                     let pause = Arc::clone(&indexer_pause);
-                    let processed = Arc::new(AtomicU64::new(0));
+                    // Absolute queue position this replica has consumed
+                    // through (== its applied-offset watermark).
+                    let processed = Arc::new(AtomicU64::new(start));
                     processed_row.push(Arc::clone(&processed));
                     indexer_threads.push(
                         std::thread::Builder::new()
@@ -340,19 +496,26 @@ impl SearchTopology {
                                         std::thread::sleep(Duration::from_millis(1));
                                         continue;
                                     }
+                                    let offset = consumer.position();
                                     match consumer.poll(Duration::from_millis(10)) {
                                         Some(event) => {
-                                            indexer.apply(&event);
-                                            processed.fetch_add(1, Ordering::Release);
+                                            indexer.apply_at(offset, &event);
+                                            processed.store(consumer.position(), Ordering::Release);
                                         }
                                         None => indexer.index().flush(),
                                     }
                                 }
                                 // Drain the backlog for deterministic
                                 // shutdown (ignoring pause: we are exiting).
-                                while let Some(event) = consumer.poll_now() {
-                                    indexer.apply(&event);
-                                    processed.fetch_add(1, Ordering::Release);
+                                loop {
+                                    let offset = consumer.position();
+                                    match consumer.poll_now() {
+                                        Some(event) => {
+                                            indexer.apply_at(offset, &event);
+                                            processed.store(consumer.position(), Ordering::Release);
+                                        }
+                                        None => break,
+                                    }
                                 }
                                 indexer.index().flush();
                             })
@@ -481,6 +644,7 @@ impl SearchTopology {
             query_cache,
             metrics,
             realtime_indexing,
+            durable,
         }
     }
 
@@ -519,6 +683,7 @@ impl SearchTopology {
                     deletions: index.stats().deletions.get(),
                     searches: index.stats().searches.get(),
                     expansions: index.inverted().total_expansions(),
+                    applied_offset: index.stats().applied_offset.get(),
                 });
             }
         }
@@ -526,8 +691,99 @@ impl SearchTopology {
             queue_length: self.queue.len(),
             max_indexer_lag: self.max_indexer_lag(),
             query_cache: self.query_cache_stats(),
+            durability: self.durability_snapshot(),
             partitions,
         }
+    }
+
+    /// The durability counters, when built with
+    /// [`SearchTopology::build_durable`].
+    pub fn durability_metrics(&self) -> Option<&Arc<DurabilityMetrics>> {
+        self.durable.as_ref().map(|d| &d.metrics)
+    }
+
+    /// Point-in-time durability snapshot, when built durable.
+    pub fn durability_snapshot(&self) -> Option<DurabilitySnapshot> {
+        self.durable.as_ref().map(|d| d.metrics.snapshot())
+    }
+
+    /// What startup recovery did, one report per (partition, replica) in
+    /// partition-major order; `None` when not built durable.
+    pub fn recovery_reports(&self) -> Option<&[RecoveryReport]> {
+        self.durable.as_ref().map(|d| d.recovery.as_slice())
+    }
+
+    /// The durable queue (log handle), when built durable. Useful for
+    /// forcing a [`DurableQueue::sync`] in tests and operational tooling.
+    pub fn durable_queue(&self) -> Option<&DurableQueue> {
+        self.durable.as_ref().map(|d| &d.queue)
+    }
+
+    /// Checkpoints one partition **online**: real-time consumption is
+    /// briefly paused at a quiesced cut, replica 0's index is snapshotted
+    /// atomically (temp file + rename + manifest) at its applied-offset
+    /// watermark, indexing resumes, and log segments wholly below the
+    /// *minimum* checkpoint watermark across all partitions are reclaimed
+    /// (every partition replays from the shared log, so retention must
+    /// respect the laggiest checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the snapshot or retention path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not built durable, real-time indexing is disabled, or
+    /// `partition` is out of range.
+    pub fn checkpoint_partition(&self, partition: usize) -> io::Result<CheckpointReport> {
+        assert!(partition < self.handles.len(), "partition out of range");
+        assert!(
+            self.realtime_indexing,
+            "checkpointing needs the real-time indexers' watermarks"
+        );
+        let durable = self
+            .durable
+            .as_ref()
+            .expect("checkpoint_partition requires build_durable");
+
+        // Quiesce: pause consumption, wait for in-flight applies to settle.
+        self.indexer_pause.store(true, Ordering::Release);
+        let snapshot_counts = |row: &[Arc<AtomicU64>]| -> Vec<u64> {
+            row.iter().map(|c| c.load(Ordering::Acquire)).collect()
+        };
+        loop {
+            let before = snapshot_counts(&self.indexer_processed[partition]);
+            std::thread::sleep(Duration::from_millis(15));
+            let after = snapshot_counts(&self.indexer_processed[partition]);
+            if before == after {
+                break;
+            }
+        }
+
+        let index = self.handles[partition][0].get();
+        index.flush();
+        let applied_offset = index.stats().applied_offset.get();
+        let bytes_before = durable.metrics.checkpoint_bytes.get();
+        let result = durable.checkpoints[partition].save(&index, applied_offset);
+        self.indexer_pause.store(false, Ordering::Release);
+        result?;
+
+        // Retention: the log is shared by every partition, so only the
+        // prefix below the laggiest partition's checkpoint is garbage.
+        let min_watermark = durable
+            .checkpoints
+            .iter()
+            .map(|c| c.manifest().map_or(0, |m| m.applied_offset))
+            .min()
+            .unwrap_or(0);
+        let segments_pruned = durable.queue.prune_to(min_watermark)?;
+
+        Ok(CheckpointReport {
+            partition,
+            applied_offset,
+            snapshot_bytes: durable.metrics.checkpoint_bytes.get() - bytes_before,
+            segments_pruned,
+        })
     }
 
     /// The partition layout.
@@ -670,6 +926,13 @@ impl SearchTopology {
             self.realtime_indexing,
             "online rebuild requires real-time indexing (otherwise just build a world)"
         );
+        assert_eq!(
+            self.queue.base(),
+            0,
+            "online full rebuild replays the complete log; checkpoint \
+             retention has already reclaimed its prefix (recover from \
+             checkpoints instead)"
+        );
         // 1. Pause consumption and wait for in-flight applies to settle:
         //    processed counters stable across two samples.
         self.indexer_pause.store(true, Ordering::Release);
@@ -730,6 +993,11 @@ impl SearchTopology {
         self.indexer_pause.store(false, Ordering::SeqCst);
         for t in self.indexer_threads.drain(..) {
             let _ = t.join();
+        }
+        // Push any unsynced log tail to stable storage before the nodes
+        // go away (clean shutdowns lose nothing even under FsyncPolicy::Os).
+        if let Some(d) = &self.durable {
+            let _ = d.queue.sync();
         }
         for b in &self.blender_nodes {
             b.shutdown();
@@ -1120,6 +1388,134 @@ mod tests {
         let stats = topology.query_cache_stats().expect("cache enabled");
         assert_eq!(stats.misses, 1, "first query extracts");
         assert_eq!(stats.hits, 4, "repeats hit the cache");
+    }
+
+    fn durable_world(dir: &std::path::Path, images: &Arc<ImageStore>) -> SearchTopology {
+        let feature_db = Arc::new(FeatureDb::new());
+        let extractor = Arc::new(CachingExtractor::new(
+            FeatureExtractor::new(ExtractorConfig {
+                dim: DIM,
+                ..Default::default()
+            }),
+            CostModel::free(),
+        ));
+        let mut rng = Xoshiro256::seed_from(2);
+        let training: Vec<Vector> = (0..64)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let config = TopologyConfig {
+            index: IndexConfig {
+                dim: DIM,
+                num_lists: 4,
+                nprobe: 4,
+                ..Default::default()
+            },
+            num_partitions: 2,
+            replicas_per_partition: 1,
+            num_broker_groups: 1,
+            ranking: RankingPolicy::similarity_only(),
+            ..Default::default()
+        };
+        let mut options = DurabilityOptions::new(dir);
+        options.segment_max_bytes = 512; // force rotations in tests
+        SearchTopology::build_durable(
+            config,
+            extractor,
+            Arc::clone(images),
+            feature_db,
+            &training,
+            options,
+        )
+        .unwrap()
+    }
+
+    fn durable_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("jdvs-topo-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_topology_survives_restart_without_checkpoint() {
+        let dir = durable_dir("restart");
+        let images = Arc::new(ImageStore::with_blob_len(64));
+        {
+            let mut t = durable_world(&dir, &images);
+            for i in 0..25u64 {
+                t.publish(add_event_for(&images, i));
+            }
+            t.wait_for_freshness(Duration::from_secs(30));
+            assert_eq!(t.ops_report().logical_valid_images(), 25);
+            t.shutdown();
+        }
+        // Second life: cold recovery replays the whole log.
+        let mut t = durable_world(&dir, &images);
+        let reports = t.recovery_reports().unwrap();
+        assert_eq!(reports.len(), 2, "one per partition replica");
+        assert!(reports.iter().all(|r| !r.from_snapshot));
+        assert_eq!(
+            reports.iter().map(|r| r.replayed).sum::<u64>(),
+            50,
+            "each replica replays all 25 events (partition filter applies)"
+        );
+        assert_eq!(t.ops_report().logical_valid_images(), 25);
+        let resp = t.search(SearchQuery::by_image_url("u7", 1)).unwrap();
+        assert_eq!(resp.results[0].hit.url, "u7");
+        t.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_recovery_replays_only_the_suffix_and_prunes() {
+        let dir = durable_dir("ckpt");
+        let images = Arc::new(ImageStore::with_blob_len(64));
+        {
+            let mut t = durable_world(&dir, &images);
+            for i in 0..30u64 {
+                t.publish(add_event_for(&images, i));
+            }
+            t.wait_for_freshness(Duration::from_secs(30));
+            let r0 = t.checkpoint_partition(0).unwrap();
+            let r1 = t.checkpoint_partition(1).unwrap();
+            assert_eq!(r0.applied_offset, 30);
+            assert_eq!(r1.applied_offset, 30);
+            assert!(r1.snapshot_bytes > 0);
+            assert!(
+                r1.segments_pruned > 0,
+                "both partitions checkpointed at 30; prefix reclaimable"
+            );
+            // 10 more events after the checkpoints.
+            for i in 30..40u64 {
+                t.publish(add_event_for(&images, i));
+            }
+            t.wait_for_freshness(Duration::from_secs(30));
+            t.shutdown();
+        }
+        let mut t = durable_world(&dir, &images);
+        let reports = t.recovery_reports().unwrap().to_vec();
+        assert!(reports.iter().all(|r| r.from_snapshot));
+        for r in &reports {
+            assert_eq!(r.start_offset, 30, "replay starts at the watermark");
+            assert_eq!(r.replayed, 10, "only the suffix replays");
+        }
+        assert_eq!(t.ops_report().logical_valid_images(), 40);
+        let resp = t.search(SearchQuery::by_image_url("u35", 1)).unwrap();
+        assert_eq!(resp.results[0].hit.url, "u35");
+        // Watermarks surface in the ops report.
+        let ops = t.ops_report();
+        assert!(ops.partitions.iter().all(|p| p.applied_offset == 40));
+        assert!(ops.durability.is_some());
+        t.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn add_event_for(images: &Arc<ImageStore>, product: u64) -> ProductEvent {
+        let url = format!("u{product}");
+        images.put_synthetic(&url, product % 5);
+        ProductEvent::AddProduct {
+            product_id: ProductId(product),
+            images: vec![ProductAttributes::new(ProductId(product), 1, 100, 1, url)],
+        }
     }
 
     #[test]

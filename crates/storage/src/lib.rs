@@ -16,6 +16,8 @@
 //!   image URL.
 //! - [`feature_db`] — the feature database: extracted feature vectors plus
 //!   the owning product's attributes, keyed by image URL hash.
+//! - [`checksum`] — CRC32C, the checksum guarding every durable byte
+//!   (snapshot trailers, ingestion-log frames, checkpoint manifests).
 //!
 //! ## Example
 //!
@@ -34,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checksum;
 pub mod feature_db;
 pub mod image_store;
 pub mod kv;

@@ -14,6 +14,16 @@
 //! reads (`read_range`) serve replay. Blocking polls park on a condvar so
 //! tail-followers wake within microseconds of a publish — the foundation of
 //! the sub-second freshness the paper measures.
+//!
+//! Two extensions support the durable ingestion log built on top (the
+//! `jdvs-durability` crate):
+//!
+//! - a **base offset** ([`MessageQueue::with_base`]): a queue recovered
+//!   from a pruned on-disk log keeps the original absolute offsets, so
+//!   checkpoint watermarks recorded before a restart stay meaningful;
+//! - a **publish tee** ([`MessageQueue::set_tee`]): a hook invoked for
+//!   every published message *in offset order*, under the publish lock —
+//!   exactly the ordering guarantee an append-only write-ahead log needs.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -23,10 +33,28 @@ use parking_lot::{Condvar, Mutex};
 /// Position of a message in the log (0-based, dense).
 pub type Offset = u64;
 
-#[derive(Debug)]
+/// The publish tee: observes `(offset, message)` in strict offset order.
+type Tee<T> = Box<dyn Fn(Offset, &T) + Send + Sync>;
+
 struct Inner<T> {
     log: Mutex<Vec<T>>,
     not_empty: Condvar,
+    /// Offset of the first retained message (0 for a fresh queue; the
+    /// checkpoint watermark for a queue recovered from a pruned log).
+    base: Offset,
+    /// Durable tee, called under the `log` lock so durable order always
+    /// equals offset order. Locked *after* `log` — never the other way.
+    tee: Mutex<Option<Tee<T>>>,
+}
+
+impl<T> std::fmt::Debug for Inner<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("base", &self.base)
+            .field("len", &self.log.lock().len())
+            .field("tee", &self.tee.lock().is_some())
+            .finish()
+    }
 }
 
 /// An in-process, ordered, multi-consumer message log.
@@ -66,21 +94,53 @@ impl<T: Clone> Default for MessageQueue<T> {
 }
 
 impl<T: Clone> MessageQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty queue starting at offset 0.
     pub fn new() -> Self {
+        Self::with_base(0)
+    }
+
+    /// Creates an empty queue whose first message will take offset `base`.
+    ///
+    /// Recovery uses this: when the durable log has been pruned up to a
+    /// checkpoint watermark, the replayed queue keeps absolute offsets, so
+    /// consumers seeked to pre-restart watermarks resume correctly.
+    pub fn with_base(base: Offset) -> Self {
         Self {
             inner: Arc::new(Inner {
                 log: Mutex::new(Vec::new()),
                 not_empty: Condvar::new(),
+                base,
+                tee: Mutex::new(None),
             }),
         }
+    }
+
+    /// Offset of the first retained message (0 unless recovered from a
+    /// pruned log).
+    pub fn base(&self) -> Offset {
+        self.inner.base
+    }
+
+    /// Installs the publish tee, replacing any previous one. The tee runs
+    /// under the publish lock and observes every message in offset order;
+    /// keep it fast (an `fsync`-per-message tee serializes publishers).
+    pub fn set_tee(&self, tee: impl Fn(Offset, &T) + Send + Sync + 'static) {
+        *self.inner.tee.lock() = Some(Box::new(tee));
+    }
+
+    /// Removes the publish tee.
+    pub fn clear_tee(&self) {
+        *self.inner.tee.lock() = None;
     }
 
     /// Appends a message, returning its offset.
     pub fn publish(&self, msg: T) -> Offset {
         let mut log = self.inner.log.lock();
+        let off = self.inner.base + log.len() as Offset;
+        if let Some(tee) = self.inner.tee.lock().as_ref() {
+            tee(off, &msg);
+        }
         log.push(msg);
-        let off = (log.len() - 1) as Offset;
         drop(log);
         self.inner.not_empty.notify_all();
         off
@@ -89,42 +149,53 @@ impl<T: Clone> MessageQueue<T> {
     /// Appends a batch, returning the offset of the first message.
     pub fn publish_batch(&self, msgs: impl IntoIterator<Item = T>) -> Offset {
         let mut log = self.inner.log.lock();
-        let first = log.len() as Offset;
-        log.extend(msgs);
+        let first = self.inner.base + log.len() as Offset;
+        let tee = self.inner.tee.lock();
+        for msg in msgs {
+            if let Some(tee) = tee.as_ref() {
+                tee(self.inner.base + log.len() as Offset, &msg);
+            }
+            log.push(msg);
+        }
+        drop(tee);
         drop(log);
         self.inner.not_empty.notify_all();
         first
     }
 
     /// Number of messages ever published (the next offset to be assigned).
+    /// Includes messages below the base that were pruned before recovery.
     pub fn len(&self) -> u64 {
-        self.inner.log.lock().len() as u64
+        self.inner.base + self.inner.log.lock().len() as u64
     }
 
-    /// Returns `true` if nothing has been published.
+    /// Returns `true` if no message is retained.
     pub fn is_empty(&self) -> bool {
         self.inner.log.lock().is_empty()
     }
 
-    /// Copies up to `max` messages starting at `from` (bounded replay; the
-    /// full indexer's read path). Returns fewer than `max` at the tail.
+    /// Copies up to `max` messages starting at absolute offset `from`
+    /// (bounded replay; the full indexer's read path). Returns fewer than
+    /// `max` at the tail; offsets below the base yield the retained suffix.
     pub fn read_range(&self, from: Offset, max: usize) -> Vec<T> {
         let log = self.inner.log.lock();
-        let start = (from as usize).min(log.len());
+        let start = (from.saturating_sub(self.inner.base) as usize).min(log.len());
         let end = start.saturating_add(max).min(log.len());
         log[start..end].to_vec()
     }
 
-    /// Creates a tail-following consumer starting at offset 0.
+    /// Creates a tail-following consumer starting at the first retained
+    /// message.
     pub fn consumer(&self) -> Consumer<T> {
-        self.consumer_at(0)
+        self.consumer_at(self.inner.base)
     }
 
-    /// Creates a consumer starting at `offset`.
+    /// Creates a consumer starting at absolute `offset` (clamped up to the
+    /// base if the requested offset was pruned).
     pub fn consumer_at(&self, offset: Offset) -> Consumer<T> {
         Consumer {
             queue: self.clone(),
-            cursor: offset,
+            cursor: offset.max(self.inner.base),
         }
     }
 }
@@ -141,7 +212,8 @@ pub struct Consumer<T> {
 }
 
 impl<T: Clone> Consumer<T> {
-    /// Current cursor position (offset of the next message to read).
+    /// Current cursor position (absolute offset of the next message to
+    /// read).
     pub fn position(&self) -> Offset {
         self.cursor
     }
@@ -151,10 +223,14 @@ impl<T: Clone> Consumer<T> {
         self.queue.len().saturating_sub(self.cursor)
     }
 
+    fn index(&self) -> usize {
+        self.cursor.saturating_sub(self.queue.inner.base) as usize
+    }
+
     /// Non-blocking poll: returns the next message if one is available.
     pub fn poll_now(&mut self) -> Option<T> {
         let log = self.queue.inner.log.lock();
-        let msg = log.get(self.cursor as usize).cloned();
+        let msg = log.get(self.index()).cloned();
         drop(log);
         if msg.is_some() {
             self.cursor += 1;
@@ -165,10 +241,10 @@ impl<T: Clone> Consumer<T> {
     /// Blocking poll: waits up to `timeout` for the next message.
     pub fn poll(&mut self, timeout: Duration) -> Option<T> {
         let mut log = self.queue.inner.log.lock();
-        if (self.cursor as usize) >= log.len() {
+        if self.index() >= log.len() {
             self.queue.inner.not_empty.wait_for(&mut log, timeout);
         }
-        let msg = log.get(self.cursor as usize).cloned();
+        let msg = log.get(self.index()).cloned();
         drop(log);
         if msg.is_some() {
             self.cursor += 1;
@@ -179,17 +255,18 @@ impl<T: Clone> Consumer<T> {
     /// Non-blocking batch poll: drains up to `max` available messages.
     pub fn poll_batch(&mut self, max: usize) -> Vec<T> {
         let log = self.queue.inner.log.lock();
-        let start = (self.cursor as usize).min(log.len());
+        let start = self.index().min(log.len());
         let end = start.saturating_add(max).min(log.len());
         let out = log[start..end].to_vec();
         drop(log);
-        self.cursor = end as Offset;
+        self.cursor = self.queue.inner.base + end as Offset;
         out
     }
 
-    /// Moves the cursor to an absolute offset (replay / skip-ahead).
+    /// Moves the cursor to an absolute offset (replay / skip-ahead),
+    /// clamped up to the queue's base.
     pub fn seek(&mut self, offset: Offset) {
-        self.cursor = offset;
+        self.cursor = offset.max(self.queue.inner.base);
     }
 }
 
@@ -332,5 +409,71 @@ mod tests {
         }
         publisher.join().unwrap();
         assert_eq!(got, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn based_queue_keeps_absolute_offsets() {
+        let q = MessageQueue::with_base(100);
+        assert_eq!(q.base(), 100);
+        assert_eq!(q.len(), 100, "pruned prefix counts toward len");
+        assert_eq!(q.publish("a"), 100);
+        assert_eq!(q.publish("b"), 101);
+        assert_eq!(q.len(), 102);
+        // Range reads clamp to the retained suffix.
+        assert_eq!(q.read_range(0, 10), vec!["a", "b"]);
+        assert_eq!(q.read_range(101, 10), vec!["b"]);
+        // Consumers start at the base and report absolute positions.
+        let mut c = q.consumer();
+        assert_eq!(c.position(), 100);
+        assert_eq!(c.poll_now(), Some("a"));
+        assert_eq!(c.position(), 101);
+        // Seeking below the base clamps (those messages are gone).
+        c.seek(0);
+        assert_eq!(c.position(), 100);
+        // consumer_at a pre-prune watermark also clamps.
+        let mut old = q.consumer_at(40);
+        assert_eq!(old.poll_now(), Some("a"));
+    }
+
+    #[test]
+    fn tee_observes_every_publish_in_offset_order() {
+        use std::sync::Mutex as StdMutex;
+        let q = MessageQueue::new();
+        let seen: Arc<StdMutex<Vec<(Offset, u32)>>> = Arc::new(StdMutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        q.set_tee(move |off, msg: &u32| sink.lock().unwrap().push((off, *msg)));
+        q.publish(10);
+        q.publish_batch([11, 12]);
+        q.publish(13);
+        let got = seen.lock().unwrap().clone();
+        assert_eq!(got, vec![(0, 10), (1, 11), (2, 12), (3, 13)]);
+        // Clearing the tee stops observation.
+        q.clear_tee();
+        q.publish(14);
+        assert_eq!(seen.lock().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn tee_order_matches_offsets_under_concurrency() {
+        use std::sync::Mutex as StdMutex;
+        let q = MessageQueue::new();
+        let seen: Arc<StdMutex<Vec<Offset>>> = Arc::new(StdMutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        q.set_tee(move |off, _msg: &u64| sink.lock().unwrap().push(off));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for i in 0..500u64 {
+                        q.publish(t * 500 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let got = seen.lock().unwrap().clone();
+        assert_eq!(got, (0..2_000).collect::<Vec<_>>(), "tee sees offset order");
     }
 }

@@ -26,6 +26,7 @@ pub mod chaos;
 pub mod client;
 pub mod events;
 pub mod queries;
+pub mod recovery;
 pub mod scenario;
 
 pub use catalog::{Catalog, CatalogConfig};
@@ -33,4 +34,7 @@ pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use client::{ClosedLoopConfig, ClosedLoopDriver, LoadReport};
 pub use events::{DailyPlan, DailyPlanConfig, TimedEvent};
 pub use queries::QueryGenerator;
+pub use recovery::{
+    run_crash_cycle, CrashCycleConfig, CrashCycleOutcome, RecoveryConfig, RecoveryHarness,
+};
 pub use scenario::{World, WorldConfig};

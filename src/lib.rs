@@ -36,6 +36,7 @@
 //! | Path | Contents |
 //! |---|---|
 //! | [`core`] | the paper's contribution: forward index, validity bitmap, IVF inverted lists with lock-free expansion, real-time + full indexers |
+//! | [`durability`] | segmented CRC-framed ingestion log, atomic checkpoints, crash recovery |
 //! | [`search`] | blender / broker / searcher topology, partitioning, ranking |
 //! | [`storage`] | KV store, message queue, image store, feature database |
 //! | [`features`] | deterministic synthetic feature extraction + cost model |
@@ -47,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub use jdvs_core as core;
+pub use jdvs_durability as durability;
 pub use jdvs_features as features;
 pub use jdvs_metrics as metrics;
 pub use jdvs_net as net;

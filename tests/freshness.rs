@@ -219,3 +219,71 @@ fn concurrent_queries_during_update_storm_stay_correct() {
     stream.join();
     w.topology().wait_for_freshness(Duration::from_secs(60));
 }
+
+/// Durability satellite: a partition killed mid-stream and rebooted over
+/// its ingestion log must replay the backlog **before serving** and then
+/// still meet the sub-second visibility bound for post-restart publishes.
+#[test]
+fn restart_mid_stream_still_meets_subsecond_visibility_after_replay() {
+    use jdvs::workload::recovery::{RecoveryConfig, RecoveryHarness};
+    let dir = std::env::temp_dir().join(format!("jdvs-freshness-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let harness = RecoveryHarness::new(RecoveryConfig::fast(&dir));
+    let mid = harness.events().len() / 2;
+
+    // First life: ingest half the stream, then die without checkpointing.
+    let topology = harness.boot().expect("first boot");
+    harness.publish(&topology, 0..mid);
+    harness.halt(topology);
+
+    // Second life: startup recovery replays the whole backlog...
+    let topology = harness.boot().expect("reboot");
+    let replayed: u64 = topology
+        .recovery_reports()
+        .expect("durable topology")
+        .iter()
+        .map(|r| r.replayed)
+        .sum();
+    assert_eq!(
+        replayed,
+        2 * mid as u64,
+        "both partitions replay the backlog"
+    );
+
+    // ...and a brand-new publish right after the restart is visible
+    // sub-second, same bound as an uninterrupted stream.
+    let client = topology.client(Duration::from_secs(5));
+    let url = "restart/fresh-product.jpg".to_string();
+    harness.images().put_synthetic(&url, 3);
+    topology.publish(ProductEvent::AddProduct {
+        product_id: ProductId(700_000),
+        images: vec![ProductAttributes::new(
+            ProductId(700_000),
+            1,
+            100,
+            1,
+            url.clone(),
+        )],
+    });
+    let latency = eventually(Duration::from_secs(5), || {
+        for replicas in topology.indexes() {
+            for index in replicas {
+                index.flush();
+            }
+        }
+        let resp = client
+            .search(SearchQuery::by_image_url(url.clone(), 1))
+            .unwrap();
+        resp.results.first().map(|r| r.hit.product_id) == Some(ProductId(700_000))
+    })
+    .expect("post-restart addition must become visible");
+    assert!(
+        latency < Duration::from_secs(1),
+        "post-restart visibility took {latency:?}"
+    );
+
+    // The remainder of the planned stream still flows normally.
+    harness.publish(&topology, mid..harness.events().len());
+    harness.halt(topology);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -4,15 +4,16 @@
 //! [`VisualIndex`] plus the queue offset it covers. Writes are atomic in
 //! the classic temp-file + rename way:
 //!
-//! 1. snapshot bytes → `snap-{offset:020}.ckpt.tmp`, `fsync`
-//! 2. rename to `snap-{offset:020}.ckpt`
-//! 3. manifest bytes → `MANIFEST.tmp`, `fsync`, rename to `MANIFEST`
-//! 4. `fsync` the directory
+//! 1. snapshot bytes → `snap-{offset:020}.ckpt.tmp`, `fsync`, rename to
+//!    `snap-{offset:020}.ckpt`, `fsync` the directory
+//! 2. manifest bytes → `MANIFEST.tmp`, `fsync`, rename to `MANIFEST`,
+//!    `fsync` the directory
 //!
 //! A crash between any two steps leaves either the old manifest (pointing
 //! at the old snapshot, still present — retention keeps every snapshot the
 //! manifest might name plus the newest) or the new one; never a manifest
-//! naming a half-written snapshot.
+//! naming a half-written snapshot. A crash *before* a rename can strand a
+//! `*.tmp` file; [`CheckpointStore::open`] sweeps those away.
 //!
 //! Recovery trusts nothing: the manifest carries its own CRC32C, the
 //! snapshot carries the format-v2 trailer checked by [`persist::load`],
@@ -86,9 +87,16 @@ pub struct CheckpointStore {
 }
 
 impl CheckpointStore {
-    /// Opens (or creates) the store in `config.dir`.
+    /// Opens (or creates) the store in `config.dir`, sweeping any `*.tmp`
+    /// file stranded by a crash between a temp write and its rename.
     pub fn open(config: CheckpointConfig, metrics: Arc<DurabilityMetrics>) -> io::Result<Self> {
         fs::create_dir_all(&config.dir)?;
+        for entry in fs::read_dir(&config.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                fs::remove_file(&path)?;
+            }
+        }
         Ok(Self { config, metrics })
     }
 
@@ -109,7 +117,6 @@ impl CheckpointStore {
             applied_offset,
         };
         write_atomic(&self.config.dir, MANIFEST, &encode_manifest(&manifest))?;
-        sync_dir(&self.config.dir)?;
 
         self.metrics.checkpoints_written.incr();
         self.metrics.checkpoint_bytes.add(bytes.len() as u64);
@@ -129,18 +136,34 @@ impl CheckpointStore {
     /// validates, else newest-first over the remaining snapshot files.
     /// `None` means cold recovery (replay the whole log).
     pub fn recover(&self) -> Option<RecoveredCheckpoint> {
+        self.recover_within(Offset::MAX)
+    }
+
+    /// Like [`CheckpointStore::recover`], but rejects any snapshot whose
+    /// applied offset exceeds `max_applied`. Recovery passes the durable
+    /// log's end here: a checkpoint watermark past the log end means the
+    /// log was truncated (or lost an un-fsynced tail) *after* the snapshot
+    /// was taken — seeding from it would pin the consumer past events the
+    /// log will re-assign those offsets to, silently skipping them forever.
+    /// Such snapshots are skipped in favour of an older in-bounds one (or
+    /// cold replay).
+    pub fn recover_within(&self, max_applied: Offset) -> Option<RecoveredCheckpoint> {
         if let Some(manifest) = self.manifest() {
-            let path = self.config.dir.join(&manifest.snapshot);
-            match fs::read(&path).ok().and_then(|b| persist::load(&b).ok()) {
-                Some(index) => {
-                    return Some(RecoveredCheckpoint {
-                        index,
-                        applied_offset: manifest.applied_offset,
-                        from_manifest: true,
-                    });
-                }
-                None => {
-                    self.metrics.snapshots_rejected.incr();
+            if manifest.applied_offset > max_applied {
+                self.metrics.snapshots_rejected.incr();
+            } else {
+                let path = self.config.dir.join(&manifest.snapshot);
+                match fs::read(&path).ok().and_then(|b| persist::load(&b).ok()) {
+                    Some(index) => {
+                        return Some(RecoveredCheckpoint {
+                            index,
+                            applied_offset: manifest.applied_offset,
+                            from_manifest: true,
+                        });
+                    }
+                    None => {
+                        self.metrics.snapshots_rejected.incr();
+                    }
                 }
             }
         }
@@ -148,6 +171,9 @@ impl CheckpointStore {
         let mut candidates = self.snapshot_files().ok()?;
         candidates.sort_unstable_by_key(|c| std::cmp::Reverse(c.0));
         for (offset, name) in candidates {
+            if offset > max_applied {
+                continue;
+            }
             let path = self.config.dir.join(&name);
             match fs::read(&path).ok().and_then(|b| persist::load(&b).ok()) {
                 Some(index) => {
@@ -237,7 +263,8 @@ fn decode_manifest(bytes: &[u8]) -> Option<Manifest> {
     })
 }
 
-/// Temp-file + fsync + rename write of `name` in `dir`.
+/// Temp-file + fsync + rename + directory-fsync write of `name` in `dir`
+/// — the rename itself is made durable here, not left to a later caller.
 fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<()> {
     let tmp = dir.join(format!("{name}.tmp"));
     let target = dir.join(name);
@@ -246,6 +273,7 @@ fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<()> {
     f.sync_all()?;
     drop(f);
     fs::rename(&tmp, &target)?;
+    sync_dir(dir)?;
     Ok(())
 }
 
@@ -388,6 +416,55 @@ mod tests {
             ],
             "keep=2 retains the two newest"
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_sweeps_stranded_tmp_files() {
+        let dir = temp_dir("tmpsweep");
+        let (first, _) = store(&dir, 2);
+        first.save(&sample_index(2), 5).unwrap();
+        // A crash between fsync and rename strands temp files.
+        fs::write(dir.join("snap-00000000000000000009.ckpt.tmp"), b"half").unwrap();
+        fs::write(dir.join("MANIFEST.tmp"), b"half").unwrap();
+        drop(first);
+
+        let (reopened, _) = store(&dir, 2);
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files must be swept: {leftovers:?}");
+        // The real snapshot and manifest survive the sweep.
+        let rec = reopened.recover().unwrap();
+        assert!(rec.from_manifest);
+        assert_eq!(rec.applied_offset, 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_within_skips_snapshots_past_the_log_end() {
+        let dir = temp_dir("within");
+        let (store, metrics) = store(&dir, 3);
+        store.save(&sample_index(3), 10).unwrap();
+        store.save(&sample_index(6), 20).unwrap();
+
+        // Log end 20: the manifest snapshot is in bounds.
+        let rec = store.recover_within(20).unwrap();
+        assert!(rec.from_manifest);
+        assert_eq!(rec.applied_offset, 20);
+
+        // Log end 15: the manifest's watermark (20) outruns the log —
+        // the older snapshot must win.
+        let rec = store.recover_within(15).unwrap();
+        assert!(!rec.from_manifest);
+        assert_eq!(rec.applied_offset, 10);
+        assert_eq!(rec.index.valid_images(), 3);
+        assert!(metrics.snapshots_rejected.get() >= 1);
+
+        // Log end 5: nothing usable; cold recovery.
+        assert!(store.recover_within(5).is_none());
         fs::remove_dir_all(&dir).unwrap();
     }
 

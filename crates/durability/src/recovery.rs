@@ -12,7 +12,10 @@
 //!    live ingestion uses, so recovery and steady state cannot diverge.
 //!
 //! With no usable snapshot the replay starts at the queue base (a cold
-//! replay of the whole retained log). Either way the recovered index's
+//! replay of the whole retained log). Snapshots whose watermark exceeds
+//! the queue head are rejected outright — they cover events the durable
+//! log no longer holds, so seeding from one would skip whatever events
+//! are published at those offsets next. Either way the recovered index's
 //! applied-offset watermark ends exactly at the queue head.
 
 use std::sync::Arc;
@@ -59,7 +62,12 @@ pub fn recover_partition(
         start_offset: queue.base(),
         ..Default::default()
     };
-    if let Some(rec) = checkpoints.recover() {
+    // Never seed from a snapshot whose watermark outruns the rebuilt
+    // queue's head: the log lost (or was truncated below) events the
+    // snapshot claims to cover, and new publishes will re-assign those
+    // offsets — a consumer pinned past the head would skip them forever.
+    // `recover_within` falls back to an older snapshot or cold replay.
+    if let Some(rec) = checkpoints.recover_within(queue.len()) {
         // Retention never prunes the log past the checkpoint watermark, so
         // the max() is defensive: a manually-truncated log still recovers,
         // replaying from whatever survives.
@@ -221,6 +229,69 @@ mod tests {
         assert_eq!(f2.indexer.index().valid_images(), 15);
         assert_eq!(f2.indexer.index().stats().applied_offset.get(), 15);
         assert_eq!(metrics.recoveries_from_snapshot.get(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn watermark_past_the_log_end_falls_back_to_an_older_snapshot() {
+        let dir = temp_dir("outrun");
+        let metrics = Arc::new(DurabilityMetrics::new());
+        let checkpoints = CheckpointStore::open(
+            CheckpointConfig {
+                dir: dir.clone(),
+                keep: 3,
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+
+        // First life: 10 events applied; an early checkpoint at 5 and a
+        // newer one at 10.
+        let f = fixture();
+        let queue: MessageQueue<ProductEvent> = MessageQueue::new();
+        for i in 0..10 {
+            let off = queue.publish(add(&f, i));
+            f.indexer.apply_at(off, &queue.read_range(off, 1).remove(0));
+            if off + 1 == 5 {
+                f.indexer.index().flush();
+                checkpoints.save(&f.indexer.index(), 5).unwrap();
+            }
+        }
+        f.indexer.index().flush();
+        checkpoints.save(&f.indexer.index(), 10).unwrap();
+
+        // Second life, but the crash truncated the un-fsynced log tail:
+        // only 7 of the 10 events survive, so the newest checkpoint's
+        // watermark (10) outruns the rebuilt queue head (7).
+        let survived: MessageQueue<ProductEvent> = MessageQueue::new();
+        for i in 0..7 {
+            survived.publish(add(&f, i));
+        }
+        let f2 = Fixture {
+            indexer: RealtimeIndexer::for_index(
+                f.indexer.index(), // placeholder; swap() replaces it
+                Arc::new(CachingExtractor::new(
+                    FeatureExtractor::new(ExtractorConfig {
+                        dim: DIM,
+                        ..Default::default()
+                    }),
+                    CostModel::free(),
+                )),
+                Arc::clone(&f.images),
+                Arc::new(FeatureDb::new()),
+            ),
+            images: Arc::clone(&f.images),
+        };
+        let report = recover_partition(&f2.indexer, &checkpoints, &survived, &metrics);
+        assert!(report.from_snapshot, "the offset-5 snapshot is usable");
+        assert_eq!(report.start_offset, 5, "watermark-10 snapshot rejected");
+        assert_eq!(report.replayed, 2, "replays 5..7");
+        assert_eq!(f2.indexer.index().valid_images(), 7);
+        assert_eq!(
+            f2.indexer.index().stats().applied_offset.get(),
+            7,
+            "watermark ends at the surviving log head, never past it"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -22,6 +22,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use parking_lot::Mutex;
+
 use jdvs_core::full::FullIndexBuilder;
 use jdvs_core::realtime::RealtimeIndexer;
 use jdvs_core::swap::IndexHandle;
@@ -291,6 +293,15 @@ pub struct SearchTopology {
     feature_db: Arc<FeatureDb>,
     indexer_stop: Arc<AtomicBool>,
     indexer_pause: Arc<AtomicBool>,
+    /// Bumped (under `maintenance`) each time a quiesce begins; indexer
+    /// threads echo it into their parked slot once at rest.
+    pause_epoch: Arc<AtomicU64>,
+    /// `parked[p][r]` = newest pause epoch that replica's indexer has
+    /// positively acknowledged (it is parked, no apply in flight).
+    indexer_parked: Vec<Vec<Arc<AtomicU64>>>,
+    /// Serializes checkpoint/rebuild: both share the global pause flag, so
+    /// one finishing must not resume indexing under the other's snapshot.
+    maintenance: Mutex<()>,
     indexer_threads: Vec<JoinHandle<()>>,
     /// `processed[p][r]` = events consumed by that replica's indexer.
     indexer_processed: Vec<Vec<Arc<AtomicU64>>>,
@@ -439,14 +450,17 @@ impl SearchTopology {
         // --- Searchers: one node per (partition, replica). --------------
         let indexer_stop = Arc::new(AtomicBool::new(false));
         let indexer_pause = Arc::new(AtomicBool::new(false));
+        let pause_epoch = Arc::new(AtomicU64::new(0));
         let mut handles: Vec<Vec<Arc<IndexHandle>>> = Vec::with_capacity(config.num_partitions);
         let mut searcher_nodes = Vec::with_capacity(config.num_partitions);
         let mut indexer_threads = Vec::new();
         let mut indexer_processed: Vec<Vec<Arc<AtomicU64>>> = Vec::new();
+        let mut indexer_parked: Vec<Vec<Arc<AtomicU64>>> = Vec::new();
         for p in 0..config.num_partitions {
             let mut replica_handles = Vec::new();
             let mut nodes = Vec::new();
             let mut processed_row = Vec::new();
+            let mut parked_row = Vec::new();
             for r in 0..config.replicas_per_partition {
                 let index = Arc::new(VisualIndex::with_quantizers(
                     config.index.clone(),
@@ -483,17 +497,34 @@ impl SearchTopology {
                     let mut consumer = queue.consumer_at(start);
                     let stop = Arc::clone(&indexer_stop);
                     let pause = Arc::clone(&indexer_pause);
+                    let epoch = Arc::clone(&pause_epoch);
                     // Absolute queue position this replica has consumed
                     // through (== its applied-offset watermark).
                     let processed = Arc::new(AtomicU64::new(start));
                     processed_row.push(Arc::clone(&processed));
+                    let parked = Arc::new(AtomicU64::new(0));
+                    parked_row.push(Arc::clone(&parked));
                     indexer_threads.push(
                         std::thread::Builder::new()
                             .name(format!("rtidx-{p}-{r}"))
                             .spawn(move || {
                                 while !stop.load(Ordering::Relaxed) {
                                     if pause.load(Ordering::Acquire) {
-                                        std::thread::sleep(Duration::from_millis(1));
+                                        // Positive quiesce handshake: echo
+                                        // the pause epoch only here, after
+                                        // any in-flight apply completed —
+                                        // the coordinator waits for *its*
+                                        // epoch, so a stale park from an
+                                        // earlier pause can't satisfy it.
+                                        while pause.load(Ordering::Acquire)
+                                            && !stop.load(Ordering::Relaxed)
+                                        {
+                                            parked.store(
+                                                epoch.load(Ordering::Acquire),
+                                                Ordering::Release,
+                                            );
+                                            std::thread::sleep(Duration::from_millis(1));
+                                        }
                                         continue;
                                     }
                                     let offset = consumer.position();
@@ -526,6 +557,7 @@ impl SearchTopology {
             handles.push(replica_handles);
             searcher_nodes.push(nodes);
             indexer_processed.push(processed_row);
+            indexer_parked.push(parked_row);
         }
 
         // --- Brokers: G groups × broker_replicas instances. --------------
@@ -639,6 +671,9 @@ impl SearchTopology {
             feature_db,
             indexer_stop,
             indexer_pause,
+            pause_epoch,
+            indexer_parked,
+            maintenance: Mutex::new(()),
             indexer_threads,
             indexer_processed,
             query_cache,
@@ -719,17 +754,46 @@ impl SearchTopology {
         self.durable.as_ref().map(|d| &d.queue)
     }
 
+    /// Pauses real-time consumption and blocks until every indexer thread
+    /// of `partition` has positively acknowledged the pause (echoed the
+    /// current pause epoch after finishing its in-flight apply). Callers
+    /// must hold `self.maintenance` and resume via
+    /// [`SearchTopology::resume_indexers`]. Bails early on shutdown so a
+    /// maintenance call racing teardown cannot hang.
+    fn quiesce_partition(&self, partition: usize) {
+        let epoch = self.pause_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        self.indexer_pause.store(true, Ordering::Release);
+        for parked in &self.indexer_parked[partition] {
+            while parked.load(Ordering::Acquire) < epoch
+                && !self.indexer_stop.load(Ordering::Relaxed)
+            {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+
+    /// Resumes real-time consumption after [`SearchTopology::quiesce_partition`].
+    fn resume_indexers(&self) {
+        self.indexer_pause.store(false, Ordering::Release);
+    }
+
     /// Checkpoints one partition **online**: real-time consumption is
-    /// briefly paused at a quiesced cut, replica 0's index is snapshotted
-    /// atomically (temp file + rename + manifest) at its applied-offset
-    /// watermark, indexing resumes, and log segments wholly below the
-    /// *minimum* checkpoint watermark across all partitions are reclaimed
-    /// (every partition replays from the shared log, so retention must
-    /// respect the laggiest checkpoint).
+    /// briefly paused at a quiesced cut (each indexer thread positively
+    /// acknowledges the pause before the snapshot is cut), the log is
+    /// synced so the watermark never exceeds the durable log end, replica
+    /// 0's index is snapshotted atomically (temp file + rename + manifest)
+    /// at its applied-offset watermark, indexing resumes, and log segments
+    /// wholly below the *minimum* checkpoint watermark across all
+    /// partitions are reclaimed (every partition replays from the shared
+    /// log, so retention must respect the laggiest checkpoint).
+    ///
+    /// Concurrent maintenance calls (checkpoint or rebuild) serialize on
+    /// an internal mutex — the pause flag is global, so one caller's
+    /// resume must not unpause indexing under another's snapshot.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the snapshot or retention path.
+    /// Propagates I/O errors from the log sync, snapshot or retention path.
     ///
     /// # Panics
     ///
@@ -746,27 +810,23 @@ impl SearchTopology {
             .as_ref()
             .expect("checkpoint_partition requires build_durable");
 
-        // Quiesce: pause consumption, wait for in-flight applies to settle.
-        self.indexer_pause.store(true, Ordering::Release);
-        let snapshot_counts = |row: &[Arc<AtomicU64>]| -> Vec<u64> {
-            row.iter().map(|c| c.load(Ordering::Acquire)).collect()
-        };
-        loop {
-            let before = snapshot_counts(&self.indexer_processed[partition]);
-            std::thread::sleep(Duration::from_millis(15));
-            let after = snapshot_counts(&self.indexer_processed[partition]);
-            if before == after {
-                break;
-            }
-        }
-
-        let index = self.handles[partition][0].get();
-        index.flush();
-        let applied_offset = index.stats().applied_offset.get();
-        let bytes_before = durable.metrics.checkpoint_bytes.get();
-        let result = durable.checkpoints[partition].save(&index, applied_offset);
-        self.indexer_pause.store(false, Ordering::Release);
-        result?;
+        let _maintenance = self.maintenance.lock();
+        self.quiesce_partition(partition);
+        let result: io::Result<(u64, u64)> = (|| {
+            let index = self.handles[partition][0].get();
+            index.flush();
+            let applied_offset = index.stats().applied_offset.get();
+            // Sync the log through the watermark first: under EveryN/Os a
+            // crash right after this checkpoint could otherwise truncate
+            // the log below the watermark, and recovery seeded at it would
+            // skip the events re-published at those offsets forever.
+            durable.queue.sync()?;
+            let bytes_before = durable.metrics.checkpoint_bytes.get();
+            durable.checkpoints[partition].save(&index, applied_offset)?;
+            Ok((applied_offset, bytes_before))
+        })();
+        self.resume_indexers();
+        let (applied_offset, bytes_before) = result?;
 
         // Retention: the log is shared by every partition, so only the
         // prefix below the laggiest partition's checkpoint is garbage.
@@ -933,20 +993,11 @@ impl SearchTopology {
              retention has already reclaimed its prefix (recover from \
              checkpoints instead)"
         );
-        // 1. Pause consumption and wait for in-flight applies to settle:
-        //    processed counters stable across two samples.
-        self.indexer_pause.store(true, Ordering::Release);
-        let snapshot_counts = |row: &[Arc<AtomicU64>]| -> Vec<u64> {
-            row.iter().map(|c| c.load(Ordering::Acquire)).collect()
-        };
-        loop {
-            let before = snapshot_counts(&self.indexer_processed[partition]);
-            std::thread::sleep(Duration::from_millis(15));
-            let after = snapshot_counts(&self.indexer_processed[partition]);
-            if before == after {
-                break;
-            }
-        }
+        // 1. One maintenance op at a time (the pause flag is global), then
+        //    pause consumption and wait for every indexer thread of this
+        //    partition to positively acknowledge the pause.
+        let _maintenance = self.maintenance.lock();
+        self.quiesce_partition(partition);
 
         // 2. Per replica: replay [0, cut) into a fresh index, ship it as a
         //    snapshot, swap it in.
@@ -981,7 +1032,7 @@ impl SearchTopology {
 
         // 3. Resume real-time indexing; events after each cut apply to the
         //    fresh index through the handle.
-        self.indexer_pause.store(false, Ordering::Release);
+        self.resume_indexers();
         report
     }
 
@@ -1505,6 +1556,47 @@ mod tests {
         let ops = t.ops_report();
         assert!(ops.partitions.iter().all(|p| p.applied_offset == 40));
         assert!(ops.durability.is_some());
+        t.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_checkpoints_under_load_stay_consistent() {
+        let dir = durable_dir("conc");
+        let images = Arc::new(ImageStore::with_blob_len(64));
+        {
+            let mut t = durable_world(&dir, &images);
+            for i in 0..10u64 {
+                t.publish(add_event_for(&images, i));
+            }
+            t.wait_for_freshness(Duration::from_secs(30));
+            // Checkpoint both partitions from racing threads while a third
+            // keeps publishing: the maintenance mutex must serialize them,
+            // so neither resumes indexing under the other's snapshot.
+            std::thread::scope(|s| {
+                let topo = &t;
+                let imgs = &images;
+                s.spawn(move || {
+                    for i in 10..40u64 {
+                        topo.publish(add_event_for(imgs, i));
+                    }
+                });
+                let c0 = s.spawn(move || topo.checkpoint_partition(0).unwrap());
+                let c1 = s.spawn(move || topo.checkpoint_partition(1).unwrap());
+                let r0 = c0.join().unwrap();
+                let r1 = c1.join().unwrap();
+                assert!(r0.applied_offset >= 10);
+                assert!(r1.applied_offset >= 10);
+            });
+            t.wait_for_freshness(Duration::from_secs(30));
+            t.shutdown();
+        }
+        // Restart: recovery from the racing checkpoints must reproduce the
+        // full 40-event corpus exactly.
+        let mut t = durable_world(&dir, &images);
+        assert_eq!(t.ops_report().logical_valid_images(), 40);
+        let resp = t.search(SearchQuery::by_image_url("u33", 1)).unwrap();
+        assert_eq!(resp.results[0].hit.url, "u33");
         t.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -326,11 +326,12 @@ pub fn pq(ctx: &Ctx) -> ExperimentResult {
             num_subspaces: 8,
             max_iters: 8,
             seed: 5,
+            bits: 8,
         },
     ));
-    let store = PqStore::new(Arc::clone(&quantizer));
+    let store = PqStore::new(Arc::clone(&quantizer), 1);
     for (i, v) in vectors.iter().enumerate() {
-        store.put(ImageId(i as u32), v);
+        store.put(ImageId(i as u32), jdvs_core::ids::ListId(0), i, v);
     }
 
     let queries: Vec<&jdvs_vector::Vector> = vectors.iter().step_by(101).take(50).collect();

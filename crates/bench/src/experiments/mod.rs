@@ -18,11 +18,13 @@
 //! | `ablate-lsh` | IVF vs multi-probe LSH baseline | [`ablations`] |
 //! | `ablate-cache` | blender query-feature cache on/off | [`ablations`] |
 //! | `searcher-scan` | block execution engine vs per-id scalar scan | [`scan`] |
+//! | `pq-fastscan` | 4-bit fast-scan blocks vs 8-bit ADC scan | [`pq_fastscan`] |
 //! | `recovery` | durable-log append throughput + crash-recovery time | [`recovery`] |
 
 pub mod ablations;
 pub mod day;
 pub mod examples_fig;
+pub mod pq_fastscan;
 pub mod recovery;
 pub mod scan;
 pub mod serving;
@@ -86,6 +88,7 @@ pub const ALL: &[&str] = &[
     "ablate-lsh",
     "ablate-cache",
     "searcher-scan",
+    "pq-fastscan",
     "recovery",
 ];
 
@@ -112,6 +115,7 @@ pub fn run(id: &str, ctx: &Ctx) -> Vec<ExperimentResult> {
         "ablate-lsh" => vec![ablations::lsh(ctx)],
         "ablate-cache" => vec![ablations::cache(ctx)],
         "searcher-scan" => vec![scan::searcher_scan(ctx)],
+        "pq-fastscan" => vec![pq_fastscan::pq_fastscan(ctx)],
         "recovery" => vec![recovery::recovery(ctx)],
         other => panic!("unknown experiment id {other:?}"),
     }

@@ -97,6 +97,52 @@ pub fn recovery(ctx: &Ctx) -> ExperimentResult {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    // Part 1b: group commit under concurrent publishers. `Always` with one
+    // writer pays one fdatasync per event no matter what; the win shows up
+    // when several ingestion threads publish at once and a single leader
+    // sync retires the whole burst. Same loss bound in both rows.
+    let writers = 4usize;
+    let per_writer = n / writers;
+    let mut sync_counts = Vec::new();
+    for (name, group_commit) in [("always-4w", false), ("always-4w-group", true)] {
+        let dir = scratch(name);
+        let mut config = LogConfig::new(dir.join("wal"));
+        config.fsync = FsyncPolicy::Always;
+        config.group_commit = group_commit;
+        let metrics = Arc::new(DurabilityMetrics::new());
+        let dq = DurableQueue::open(config, Arc::clone(&metrics)).expect("open log");
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let queue = Arc::clone(dq.queue());
+                s.spawn(move || {
+                    for i in 0..per_writer {
+                        queue.publish(synthetic_event((w * per_writer + i) as u64));
+                    }
+                });
+            }
+        });
+        dq.sync().expect("final sync");
+        let secs = t0.elapsed().as_secs_f64();
+        let events = writers * per_writer;
+        let mb = dir_bytes(&dir.join("wal")) as f64 / (1024.0 * 1024.0);
+        result.push_row(row![
+            "phase" => "append",
+            "detail" => format!("fsync-{name}"),
+            "events" => events,
+            "wall_ms" => format!("{:.1}", secs * 1e3),
+            "rate_per_sec" => format!("{:.0}", events as f64 / secs),
+            "mb_per_sec" => format!("{:.1}", mb / secs),
+        ]);
+        sync_counts.push(format!("{name}: {} syncs", metrics.log_syncs.get()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    result.note(format!(
+        "group commit, {} events over {writers} writers — {}",
+        writers * per_writer,
+        sync_counts.join("; ")
+    ));
+
     // Part 2: restart wall time over a real topology — fresh boot (no
     // state, the baseline the other rows pay on top of), cold replay of
     // the whole log, and snapshot + empty suffix after a checkpoint.

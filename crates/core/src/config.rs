@@ -28,6 +28,15 @@ pub struct IndexConfig {
     /// scan + raw rerank). `m` must divide `dim`. `None` scans raw
     /// vectors only — the paper's baseline behaviour.
     pub pq_subspaces: Option<usize>,
+    /// Bits per PQ code: `8` (classic per-byte ADC scan) or `4` (fast-scan:
+    /// 16-centroid sub-codebooks packed two codes per byte, scanned with
+    /// register-resident SIMD lookup tables and re-ranked exactly).
+    /// Ignored when `pq_subspaces` is `None`.
+    pub pq_bits: u8,
+    /// Two-stage compressed search over-fetch: stage 1 shortlists
+    /// `k · rerank_factor` candidates by (quantized) ADC distance, stage 2
+    /// re-ranks them with exact f32 distances. Must be positive.
+    pub rerank_factor: usize,
     /// Intra-query parallelism: maximum scoped threads a single search may
     /// fan its probed lists across. `1` (the default) scans sequentially on
     /// the calling thread; values above 1 only engage when the probed lists
@@ -50,6 +59,8 @@ impl Default for IndexConfig {
             kmeans_iters: 15,
             train_sample: 10_000,
             pq_subspaces: None,
+            pq_bits: 8,
+            rerank_factor: 4,
             intra_query_threads: 1,
             seed: 0x1D05,
         }
@@ -75,6 +86,11 @@ impl IndexConfig {
             self.intra_query_threads > 0,
             "intra_query_threads must be positive"
         );
+        assert!(
+            self.pq_bits == 4 || self.pq_bits == 8,
+            "pq_bits must be 4 or 8"
+        );
+        assert!(self.rerank_factor > 0, "rerank_factor must be positive");
         if let Some(m) = self.pq_subspaces {
             assert!(m > 0, "pq_subspaces must be positive");
             assert!(
@@ -141,6 +157,37 @@ mod tests {
     fn zero_intra_query_threads_rejected() {
         IndexConfig {
             intra_query_threads: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "pq_bits must be 4 or 8")]
+    fn odd_pq_bits_rejected() {
+        IndexConfig {
+            pq_bits: 6,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rerank_factor must be positive")]
+    fn zero_rerank_factor_rejected() {
+        IndexConfig {
+            rerank_factor: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn four_bit_pq_accepted() {
+        IndexConfig {
+            dim: 64,
+            pq_subspaces: Some(16),
+            pq_bits: 4,
             ..Default::default()
         }
         .validate();

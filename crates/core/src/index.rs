@@ -110,6 +110,7 @@ impl VisualIndex {
                     num_subspaces: m,
                     max_iters: config.kmeans_iters,
                     seed: config.seed ^ 0x90DE,
+                    bits: config.pq_bits,
                 },
             ))
         });
@@ -156,12 +157,14 @@ impl VisualIndex {
             (Some(m), Some(pq)) => {
                 assert_eq!(pq.dim(), config.dim, "pq dimension must match config.dim");
                 assert_eq!(pq.num_subspaces(), m, "pq subspaces must match config");
+                assert_eq!(pq.bits(), config.pq_bits, "pq bits must match config");
             }
             (Some(_), None) => panic!("config.pq_subspaces set but no codebook supplied"),
             (None, Some(_)) => panic!("codebook supplied but config.pq_subspaces unset"),
         }
+        let num_lists = quantizer.k();
         let inverted = InvertedIndex::new(
-            quantizer.k(),
+            num_lists,
             config.initial_list_capacity,
             config.background_expansion,
         );
@@ -174,7 +177,7 @@ impl VisualIndex {
             inverted,
             key_map: KvStore::new(),
             stats: IndexStats::new(),
-            pq: pq_quantizer.map(PqStore::new),
+            pq: pq_quantizer.map(|q| PqStore::new(q, num_lists)),
         }
     }
 
@@ -260,11 +263,15 @@ impl VisualIndex {
         let key = attrs.image_key();
         let list = ListId(self.quantizer.assign(features.as_slice()) as u32);
         let id = self.forward.append(&attrs)?;
+        // The list position is the PQ code's storage key, so the inverted
+        // append happens first; the id stays invisible to searches (and the
+        // code tile's lane stays masked) until the bitmap bit below — which
+        // is Release-ordered after both — flips on.
+        let pos = self.inverted.append(list, id);
         if let Some(pq) = &self.pq {
-            pq.put(id, &features);
+            pq.put(id, list, pos, &features);
         }
         self.vectors.put(id, features);
-        self.inverted.append(list, id);
         self.bitmap.set(id.as_usize());
         self.key_map.put(key, id);
         self.stats.inserts.incr();

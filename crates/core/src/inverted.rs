@@ -223,9 +223,15 @@ impl InvertedList {
         }
     }
 
-    /// Appends an image id. Safe to call from one writer at a time per
-    /// list (the owning searcher); concurrent with any number of scans.
-    pub fn append(&self, id: ImageId) {
+    /// Appends an image id and returns its position in the list. Safe to
+    /// call from one writer at a time per list (the owning searcher);
+    /// concurrent with any number of scans.
+    ///
+    /// Positions are stable for the lifetime of the list: expansions copy
+    /// the prefix in place (`[0, old_len)` keeps its indices) and tail
+    /// appends continue from `old_len`, so the returned position keys
+    /// position-indexed sidecars like the interleaved PQ store.
+    pub fn append(&self, id: ImageId) -> usize {
         let mut writer = self.shared.writer.lock();
         loop {
             // Finish a completed migration first so appends land normally.
@@ -242,7 +248,8 @@ impl InvertedList {
                     // Release store in `ListShared::publish`, ordered
                     // after this store by the writer-mutex hand-off (or by
                     // program order when this thread publishes below).
-                    m.new_slab.slots[m.next_pos].store(id.as_u64(), Ordering::Relaxed);
+                    let pos = m.next_pos;
+                    m.new_slab.slots[pos].store(id.as_u64(), Ordering::Relaxed);
                     m.next_pos += 1;
                     // Re-check after the tail write: if the copy finished
                     // while we appended, the copier's try_lock lost to our
@@ -251,7 +258,7 @@ impl InvertedList {
                     if m.copy_done.load(Ordering::Acquire) {
                         self.shared.publish(writer.take().expect("checked above"));
                     }
-                    return;
+                    return pos;
                 }
                 // New slab filled before the copy finished (pathological:
                 // capacity doubled, so the writer outran a whole copy).
@@ -272,7 +279,7 @@ impl InvertedList {
                 // Release: pairs with the Acquire in `Slab::len`; a scan
                 // that observes `len + 1` also observes the slot write.
                 slab.len.store(len + 1, Ordering::Release);
-                return;
+                return len;
             }
             // Full: start an expansion, then loop to append via migration.
             *writer = Some(self.start_migration(&slab));
@@ -457,13 +464,14 @@ impl InvertedIndex {
         self.lists.len()
     }
 
-    /// Appends `id` to list `list`.
+    /// Appends `id` to list `list`, returning its stable position in the
+    /// list (see [`InvertedList::append`]).
     ///
     /// # Panics
     ///
     /// Panics if `list` is out of range.
-    pub fn append(&self, list: ListId, id: ImageId) {
-        self.lists[list.as_usize()].append(id);
+    pub fn append(&self, list: ListId, id: ImageId) -> usize {
+        self.lists[list.as_usize()].append(id)
     }
 
     /// Scans list `list`.

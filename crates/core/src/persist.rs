@@ -21,7 +21,9 @@
 //! byte. [`load`] verifies the trailer *before* decoding, so a corrupt
 //! snapshot (bit rot, short write, bad shipping) fails with
 //! [`PersistError::ChecksumMismatch`] instead of decoding garbage.
-//! Version-1 snapshots (no trailer) still load.
+//! **Version 3** adds the `pq_bits` and `rerank_factor` config fields
+//! (fast-scan PQ). Version-1 (no trailer) and version-2 snapshots still
+//! load, with the pre-fast-scan defaults (8-bit codes, 4x over-fetch).
 //!
 //! PQ codebooks are *derived* data (trained deterministically from the
 //! stored vectors and the config seed), so snapshots carry raw vectors
@@ -38,8 +40,9 @@ use crate::index::VisualIndex;
 
 /// Format magic.
 const MAGIC: &[u8; 4] = b"JDVS";
-/// Current format version (v2 = v1 payload + CRC32C trailer).
-const VERSION: u32 = 2;
+/// Current format version (v2 = v1 payload + CRC32C trailer; v3 adds the
+/// `pq_bits` / `rerank_factor` config fields for the fast-scan PQ mode).
+const VERSION: u32 = 3;
 /// Oldest version [`load`] still accepts.
 const MIN_VERSION: u32 = 1;
 
@@ -195,6 +198,10 @@ pub fn save(index: &VisualIndex) -> Vec<u8> {
     w.u64(c.train_sample as u64);
     w.u32(c.pq_subspaces.unwrap_or(0) as u32);
     w.u64(c.seed);
+    // v3 fields; v1/v2 readers never see them, older snapshots load with
+    // the pre-fast-scan defaults (8-bit codes, 4x over-fetch).
+    w.u8(c.pq_bits);
+    w.u32(c.rerank_factor as u32);
 
     let q = index.quantizer();
     w.u32(q.k() as u32);
@@ -279,6 +286,19 @@ pub fn load(bytes: &[u8]) -> Result<VisualIndex, PersistError> {
         // across hosts with different core counts.
         intra_query_threads: 1,
         seed: r.u64("config.seed")?,
+        // Struct-literal fields evaluate in textual order, so these v3
+        // reads consume the bytes directly after `seed`; pre-v3 snapshots
+        // get the defaults their builds used.
+        pq_bits: if version >= 3 {
+            r.u8("config.pq_bits")?
+        } else {
+            8
+        },
+        rerank_factor: if version >= 3 {
+            r.u32("config.rerank_factor")? as usize
+        } else {
+            4
+        },
     };
 
     let k = r.u32("quantizer.k")? as usize;
@@ -324,6 +344,7 @@ pub fn load(bytes: &[u8]) -> Result<VisualIndex, PersistError> {
                         num_subspaces: m,
                         max_iters: config.kmeans_iters,
                         seed: config.seed ^ 0x90DE,
+                        bits: config.pq_bits,
                     },
                 ),
             ))
@@ -337,6 +358,7 @@ pub fn load(bytes: &[u8]) -> Result<VisualIndex, PersistError> {
                         num_subspaces: m,
                         max_iters: 1,
                         seed: config.seed,
+                        bits: config.pq_bits,
                     },
                 ),
             ))
@@ -526,16 +548,81 @@ mod tests {
         assert!(mismatch.to_string().contains("0x0badf00d"));
     }
 
+    /// Byte offset of the v3-only config fields (`pq_bits` +
+    /// `rerank_factor`, 5 bytes) inside a saved snapshot: magic + version
+    /// + the fixed-width config fields up to and including `seed`.
+    const V3_FIELDS_AT: usize = 4 + 4 + 4 + 4 + 4 + 4 + 1 + 4 + 8 + 4 + 8;
+
+    /// Rewrites a freshly-saved (v3) snapshot into the older `version`
+    /// layout: splices out the v3 config fields, drops or recomputes the
+    /// trailer.
+    fn downgrade(mut bytes: Vec<u8>, version: u32) -> Vec<u8> {
+        bytes.drain(V3_FIELDS_AT..V3_FIELDS_AT + 5);
+        bytes[4..8].copy_from_slice(&version.to_le_bytes());
+        let len = bytes.len();
+        if version >= 2 {
+            let crc = crc32c(&bytes[..len - 4]);
+            bytes[len - 4..].copy_from_slice(&crc.to_le_bytes());
+        } else {
+            bytes.truncate(len - 4);
+        }
+        bytes
+    }
+
     #[test]
     fn v1_snapshots_without_trailer_still_load() {
         let index = build_index(20);
-        let mut bytes = save(&index);
-        // Reconstruct a v1 snapshot: drop the trailer, rewrite the version.
-        bytes.truncate(bytes.len() - 4);
-        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
-        let loaded = load(&bytes).expect("v1 must stay loadable");
+        let loaded = load(&downgrade(save(&index), 1)).expect("v1 must stay loadable");
         assert_eq!(loaded.num_images(), index.num_images());
         assert_eq!(loaded.valid_images(), index.valid_images());
+    }
+
+    #[test]
+    fn v2_snapshots_load_with_fastscan_defaults() {
+        let index = build_index(20);
+        let loaded = load(&downgrade(save(&index), 2)).expect("v2 must stay loadable");
+        assert_eq!(loaded.num_images(), index.num_images());
+        assert_eq!(loaded.valid_images(), index.valid_images());
+        // Pre-fast-scan snapshots behave as the builds that wrote them did.
+        assert_eq!(loaded.config().pq_bits, 8);
+        assert_eq!(loaded.config().rerank_factor, 4);
+    }
+
+    #[test]
+    fn four_bit_pq_config_round_trips() {
+        let mut rng = Xoshiro256::seed_from(99);
+        let train: Vec<Vector> = (0..128)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let index = VisualIndex::bootstrap(
+            IndexConfig {
+                dim: DIM,
+                num_lists: 4,
+                pq_subspaces: Some(8),
+                pq_bits: 4,
+                rerank_factor: 6,
+                ..Default::default()
+            },
+            &train,
+        );
+        for (i, v) in train.iter().take(60).enumerate() {
+            index
+                .insert(
+                    v.clone(),
+                    ProductAttributes::new(ProductId(i as u64), 0, 0, 0, format!("u{i}")),
+                )
+                .unwrap();
+        }
+        index.flush();
+        let restored = load(&save(&index)).expect("round trip");
+        assert_eq!(restored.config().pq_bits, 4);
+        assert_eq!(restored.config().rerank_factor, 6);
+        // The retrained 4-bit codebook serves fast-scan searches.
+        for i in (0..60u32).step_by(13) {
+            let q = index.features(ImageId(i)).unwrap();
+            let hits = restored.search_compressed(q.as_slice(), 1, 4, 8);
+            assert_eq!(hits[0].id, u64::from(i));
+        }
     }
 
     #[test]

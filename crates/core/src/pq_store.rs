@@ -1,63 +1,145 @@
-//! Compressed-vector scan mode (product quantization).
+//! Compressed-vector scan mode (product quantization) — interleaved
+//! fast-scan layout.
 //!
 //! The paper's searchers scan raw feature vectors; its related work cites
 //! product quantization (Jégou et al., ref \[19\]) as the standard way to
-//! shrink the scan-side memory footprint at 100 B-image scale: a `d`-dim
-//! `f32` vector (4·d bytes) becomes `m` one-byte codes. [`PqStore`] is the
-//! drop-in compressed companion of [`crate::vectors::VectorStore`]: slot
-//! `i` holds image `i`'s PQ code, written once and scanned lock-free via
-//! per-query ADC tables.
+//! shrink the scan-side memory footprint at 100 B-image scale. [`PqStore`]
+//! holds every image's PQ code in the layout the scan wants:
+//!
+//! - Codes live **per inverted list**, keyed by the position
+//!   [`crate::inverted::InvertedList::append`] assigned, so a probed list's
+//!   codes are one contiguous streak of cache lines instead of a pointer
+//!   chase through per-id boxes.
+//! - In 4-bit mode, positions are grouped into blocks of
+//!   [`FASTSCAN_BLOCK`] codes, **subspace-major within the block**: byte
+//!   `t` of subspace `s`'s 16-byte row packs the sub-`s` code of block
+//!   lane `t` (low nibble) and lane `t + 16` (high nibble) — exactly the
+//!   operand shape of [`jdvs_vector::simd::KernelSet::fastscan16`], so one
+//!   `pshufb`/`tbl` scores 32 candidates per subspace.
+//! - In 8-bit mode, codes are position-major (`pos · m .. pos · m + m`),
+//!   the classic contiguous ADC layout.
+//!
+//! ## Concurrency
+//!
+//! Blocks are shared by up to 32 concurrently-inserting writers (and, in
+//! 4-bit mode, two *lanes* share each byte), so code bytes live in
+//! `AtomicU64` words written with `fetch_or`: every lane's bits start
+//! zero and are written exactly once, so OR-merging concurrent writers is
+//! exact. Publication follows the repo's standard protocol: the writer
+//! ORs the code bits (Relaxed), then sets the position's flag
+//! (**Release**); readers load the flag (**Acquire**) before copying
+//! words (Relaxed), so an observed flag implies the full code is visible.
+//! Unpublished lanes are masked out of scans — they are also never
+//! bitmap-visible, because [`crate::index::VisualIndex::insert`] sets the
+//! validity bit after `put` returns.
 //!
 //! The `ablate-pq` experiment quantifies the trade: memory shrinks by
-//! `4·d/m`, distances become approximate (recall dips), scan gets
-//! cheaper per candidate for large `d`.
+//! `4·d·8/(m·bits)`, distances become approximate (recall dips), and the
+//! 4-bit fast-scan path trades a bounded quantization error for the
+//! register-resident kernel — which is why compressed search re-ranks.
 
-use parking_lot::RwLock;
-use std::sync::{Arc, OnceLock};
+use crate::sync::{Arc, AtomicU64, AtomicU8, Ordering, RwLock};
 
-use jdvs_vector::pq::{AdcTable, ProductQuantizer};
+use jdvs_vector::pq::{AdcTable, ProductQuantizer, QuantizedAdcTable};
 use jdvs_vector::Vector;
 
-use crate::ids::ImageId;
+use crate::ids::{ImageId, ListId};
 
-/// Codes per chunk.
-const CHUNK_CODES: usize = 4096;
+/// Codes per 4-bit fast-scan block (one kernel call's worth).
+pub const FASTSCAN_BLOCK: usize = jdvs_vector::pq::FASTSCAN_BLOCK;
 
-struct Chunk {
-    slots: Box<[OnceLock<Box<[u8]>>]>,
+/// Positions per code segment (8 fast-scan blocks); segment allocation is
+/// the only locking writers and readers ever do.
+pub const SEGMENT_CODES: usize = 256;
+
+/// Ids per id-map chunk.
+const ID_CHUNK: usize = 4096;
+
+/// One segment of a list's code area: flat atomic words holding packed
+/// code bytes, plus one publication flag per position.
+struct CodeSegment {
+    /// Packed code bytes, 8 per word, little-endian byte order (byte `b`
+    /// of the segment lives in word `b / 8` at bit `8 · (b % 8)`).
+    words: Box<[AtomicU64]>,
+    /// 1 once the position's full code is stored; the Release/Acquire
+    /// publication point for the bits in `words`.
+    flags: Box<[AtomicU8]>,
 }
 
-impl Chunk {
-    fn new() -> Self {
-        let mut v = Vec::with_capacity(CHUNK_CODES);
-        v.resize_with(CHUNK_CODES, OnceLock::new);
+impl CodeSegment {
+    fn new(num_words: usize) -> Self {
         Self {
-            slots: v.into_boxed_slice(),
+            words: (0..num_words).map(|_| AtomicU64::new(0)).collect(),
+            flags: (0..SEGMENT_CODES).map(|_| AtomicU8::new(0)).collect(),
         }
     }
 }
 
-/// Append-only store of PQ codes aligned with forward-index ids.
+/// One inverted list's code area.
+struct PqList {
+    segments: RwLock<Vec<Arc<CodeSegment>>>,
+}
+
+/// A chunk of the id → (list, position) map.
+struct IdChunk {
+    /// Packed entries: bit 63 = present, bits 32..63 = list, bits 0..32 =
+    /// position. Written once per id (Release), read with Acquire.
+    slots: Box<[AtomicU64]>,
+}
+
+impl IdChunk {
+    fn new() -> Self {
+        Self {
+            slots: (0..ID_CHUNK).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+const ID_PRESENT: u64 = 1 << 63;
+
+/// Append-only store of PQ codes in the interleaved fast-scan layout; see
+/// the module docs.
 pub struct PqStore {
-    quantizer: Arc<ProductQuantizer>,
-    chunks: RwLock<Vec<Arc<Chunk>>>,
+    quantizer: std::sync::Arc<ProductQuantizer>,
+    /// Cached `quantizer.num_subspaces()`.
+    m: usize,
+    /// Cached `quantizer.bits() == 4`.
+    four_bit: bool,
+    lists: Box<[PqList]>,
+    id_chunks: RwLock<Vec<Arc<IdChunk>>>,
 }
 
 impl std::fmt::Debug for PqStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PqStore")
-            .field("subspaces", &self.quantizer.num_subspaces())
-            .field("chunks", &self.chunks.read().len())
+            .field("subspaces", &self.m)
+            .field("bits", &self.quantizer.bits())
+            .field("lists", &self.lists.len())
             .finish()
     }
 }
 
 impl PqStore {
-    /// Creates a store over a trained quantizer.
-    pub fn new(quantizer: Arc<ProductQuantizer>) -> Self {
+    /// Creates a store over a trained quantizer, with one code area per
+    /// inverted list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_lists == 0`.
+    pub fn new(quantizer: std::sync::Arc<ProductQuantizer>, num_lists: usize) -> Self {
+        assert!(num_lists > 0, "num_lists must be positive");
+        let m = quantizer.num_subspaces();
+        let four_bit = quantizer.bits() == 4;
         Self {
             quantizer,
-            chunks: RwLock::new(Vec::new()),
+            m,
+            four_bit,
+            lists: (0..num_lists)
+                .map(|_| PqList {
+                    segments: RwLock::new(Vec::new()),
+                })
+                .collect(),
+            id_chunks: RwLock::new(Vec::new()),
         }
     }
 
@@ -66,35 +148,147 @@ impl PqStore {
         &self.quantizer
     }
 
-    /// Bytes per stored vector.
+    /// Unpacked bytes per code (`m`).
     pub fn code_len(&self) -> usize {
-        self.quantizer.num_subspaces()
+        self.m
     }
 
-    /// Encodes and stores `vector` in slot `id` (write-once; later writes
-    /// to the same slot are ignored, mirroring the vector store).
+    /// Whether the 4-bit fast-scan layout is active.
+    pub fn is_four_bit(&self) -> bool {
+        self.four_bit
+    }
+
+    /// Packed storage bytes per vector (`m·bits/8`, rounded up).
+    pub fn bytes_per_vector(&self) -> usize {
+        (self.m * usize::from(self.quantizer.bits())).div_ceil(8)
+    }
+
+    /// Atomic words per segment: `SEGMENT_CODES` positions of
+    /// `m·bits` bits each, 64 bits per word.
+    fn words_per_segment(&self) -> usize {
+        SEGMENT_CODES * self.m * usize::from(self.quantizer.bits()) / 64
+    }
+
+    /// Byte offset (within a segment) of subspace `sub` of position `off`,
+    /// plus the in-byte nibble shift (always 0 in 8-bit mode).
+    #[inline]
+    fn byte_of(&self, off: usize, sub: usize) -> (usize, u32) {
+        if self.four_bit {
+            let block = off / FASTSCAN_BLOCK;
+            let lane = off % FASTSCAN_BLOCK;
+            let byte = block * self.m * 16 + sub * 16 + lane % 16;
+            (byte, if lane < 16 { 0 } else { 4 })
+        } else {
+            (off * self.m + sub, 0)
+        }
+    }
+
+    /// The segment holding `seg_idx`, allocating it (and any gap) if
+    /// needed.
+    fn segment(&self, list: ListId, seg_idx: usize) -> Arc<CodeSegment> {
+        let list = &self.lists[list.as_usize()];
+        {
+            let segs = list.segments.read();
+            if let Some(s) = segs.get(seg_idx) {
+                return Arc::clone(s);
+            }
+        }
+        let mut segs = list.segments.write();
+        while segs.len() <= seg_idx {
+            segs.push(Arc::new(CodeSegment::new(self.words_per_segment())));
+        }
+        Arc::clone(&segs[seg_idx])
+    }
+
+    /// Encodes and stores `vector` as the code of position `pos` of `list`
+    /// (the position [`crate::inverted::InvertedIndex::append`] returned
+    /// for `id`), then registers `id → (list, pos)`. Write-once: a
+    /// position whose flag is already set is left untouched.
     ///
     /// # Panics
     ///
-    /// Panics if `vector`'s dimension differs from the quantizer's.
-    pub fn put(&self, id: ImageId, vector: &Vector) {
-        let code = self.quantizer.encode(vector.as_slice()).into_boxed_slice();
-        let chunk_idx = id.as_usize() / CHUNK_CODES;
+    /// Panics if `vector`'s dimension differs from the quantizer's or
+    /// `list` is out of range.
+    pub fn put(&self, id: ImageId, list: ListId, pos: usize, vector: &Vector) {
+        let code = self.quantizer.encode(vector.as_slice());
+        let seg = self.segment(list, pos / SEGMENT_CODES);
+        let off = pos % SEGMENT_CODES;
+        // Relaxed: a set flag only tells us some complete code already
+        // occupies the position (write-once guard against API misuse);
+        // nothing is read from the words on this path.
+        if seg.flags[off].load(Ordering::Relaxed) != 0 {
+            return;
+        }
+        for (sub, &c) in code.iter().enumerate() {
+            let (byte, nibble_shift) = self.byte_of(off, sub);
+            debug_assert!(!self.four_bit || c < 16, "4-bit code out of range");
+            let bits = u64::from(c) << nibble_shift << ((byte % 8) * 8);
+            // Relaxed RMW: each lane's bits are zero until its single
+            // writer ORs them in, so concurrent writers to the shared
+            // word (other lanes of the block) merge exactly. The bits
+            // are published by the flag store below.
+            seg.words[byte / 8].fetch_or(bits, Ordering::Relaxed);
+        }
+        // Release: pairs with the Acquire flag loads in
+        // `PqListReader::{load_group, read_code}` and `PqStore::locate`
+        // readers — a reader that observes the flag observes every
+        // `fetch_or` above.
+        seg.flags[off].store(1, Ordering::Release);
+
+        let chunk_idx = id.as_usize() / ID_CHUNK;
         {
-            let chunks = self.chunks.read();
+            let chunks = self.id_chunks.read();
             if chunks.len() <= chunk_idx {
                 drop(chunks);
-                let mut chunks = self.chunks.write();
+                let mut chunks = self.id_chunks.write();
                 while chunks.len() <= chunk_idx {
-                    chunks.push(Arc::new(Chunk::new()));
+                    chunks.push(Arc::new(IdChunk::new()));
                 }
             }
         }
-        let chunks = self.chunks.read();
-        let _ = chunks[chunk_idx].slots[id.as_usize() % CHUNK_CODES].set(code);
+        let entry = ID_PRESENT | (list.as_usize() as u64) << 32 | pos as u64;
+        // Release: pairs with the Acquire load in `locate`, so an id-keyed
+        // reader that finds the entry also finds the flag (stored above in
+        // program order) and therefore the code bits.
+        self.id_chunks.read()[chunk_idx].slots[id.as_usize() % ID_CHUNK]
+            .store(entry, Ordering::Release);
     }
 
-    /// Builds the per-query ADC table.
+    /// The (list, position) a code was stored under, if `id` was put.
+    pub fn locate(&self, id: ImageId) -> Option<(ListId, usize)> {
+        let chunks = self.id_chunks.read();
+        let chunk = chunks.get(id.as_usize() / ID_CHUNK)?;
+        // Acquire: pairs with the Release store in `put`; see there.
+        let entry = chunk.slots[id.as_usize() % ID_CHUNK].load(Ordering::Acquire);
+        if entry & ID_PRESENT == 0 {
+            return None;
+        }
+        Some((
+            ListId(((entry >> 32) & 0x7fff_ffff) as u32),
+            (entry & 0xffff_ffff) as usize,
+        ))
+    }
+
+    /// A pinned, lock-free reader over one list's codes — the scan path's
+    /// view: pins the list's segments once per query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `list` is out of range.
+    pub fn list_reader(&self, list: ListId) -> PqListReader {
+        PqListReader {
+            segments: self.lists[list.as_usize()]
+                .segments
+                .read()
+                .iter()
+                .map(Arc::clone)
+                .collect(),
+            m: self.m,
+            four_bit: self.four_bit,
+        }
+    }
+
+    /// Builds the per-query f32 ADC table.
     ///
     /// # Panics
     ///
@@ -103,81 +297,185 @@ impl PqStore {
         self.quantizer.adc_table(query)
     }
 
-    /// Approximate squared distance from the tabled query to slot `id`
-    /// (`None` if the slot was never written).
-    pub fn distance(&self, table: &AdcTable, id: ImageId) -> Option<f32> {
-        let chunk_idx = id.as_usize() / CHUNK_CODES;
-        let chunks = self.chunks.read();
-        let chunk = Arc::clone(chunks.get(chunk_idx)?);
-        drop(chunks);
-        chunk.slots[id.as_usize() % CHUNK_CODES]
-            .get()
-            .map(|code| table.distance(code))
+    /// Builds the per-query quantized u8 LUTs for the fast-scan kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is not in 4-bit mode or `query`'s dimension
+    /// differs from the quantizer's.
+    pub fn quantized_adc_table(&self, query: &[f32]) -> QuantizedAdcTable {
+        self.quantizer.quantized_adc_table(query)
     }
 
-    /// Scans every written code in id order, calling `f(id, distance)` —
-    /// the bulk path: chunks are pinned once per 4096 candidates instead
-    /// of per candidate.
+    /// Reads `id`'s unpacked code into `code`; `false` if never written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code.len() != self.code_len()`.
+    pub fn code_into(&self, id: ImageId, code: &mut [u8]) -> bool {
+        let Some((list, pos)) = self.locate(id) else {
+            return false;
+        };
+        self.list_reader(list).read_code(pos, code)
+    }
+
+    /// Approximate squared distance from the tabled query to `id` (`None`
+    /// if the id was never written).
+    pub fn distance(&self, table: &AdcTable, id: ImageId) -> Option<f32> {
+        let mut code = vec![0u8; self.m];
+        self.code_into(id, &mut code).then(|| table.distance(&code))
+    }
+
+    /// Quantized fast-scan distance of `id` — the per-id twin of the block
+    /// kernels, bit-identical to a masked
+    /// [`jdvs_vector::simd::KernelSet::fastscan16`] lane (`None` if the id
+    /// was never written).
+    pub fn quantized_distance(&self, table: &QuantizedAdcTable, id: ImageId) -> Option<f32> {
+        let mut code = vec![0u8; self.m];
+        self.code_into(id, &mut code).then(|| table.distance(&code))
+    }
+
+    /// Scans every written code in **id order**, calling `f(id, distance)`
+    /// — the ablation-bench bulk path. Pins every list's segments once.
     pub fn scan(&self, table: &AdcTable, mut f: impl FnMut(ImageId, f32)) {
-        let chunks: Vec<Arc<Chunk>> = self.chunks.read().iter().map(Arc::clone).collect();
+        let readers: Vec<PqListReader> = (0..self.lists.len())
+            .map(|l| self.list_reader(ListId(l as u32)))
+            .collect();
+        let chunks: Vec<Arc<IdChunk>> = self.id_chunks.read().iter().map(Arc::clone).collect();
+        let mut code = vec![0u8; self.m];
         for (ci, chunk) in chunks.iter().enumerate() {
             for (si, slot) in chunk.slots.iter().enumerate() {
-                if let Some(code) = slot.get() {
-                    f(
-                        ImageId((ci * CHUNK_CODES + si) as u32),
-                        table.distance(code),
-                    );
+                // Acquire: pairs with the Release store in `put`.
+                let entry = slot.load(Ordering::Acquire);
+                if entry & ID_PRESENT == 0 {
+                    continue;
+                }
+                let list = ((entry >> 32) & 0x7fff_ffff) as usize;
+                let pos = (entry & 0xffff_ffff) as usize;
+                if readers[list].read_code(pos, &mut code) {
+                    f(ImageId((ci * ID_CHUNK + si) as u32), table.distance(&code));
                 }
             }
         }
     }
 
-    /// Reconstructs the approximate vector stored at `id`.
+    /// Reconstructs the approximate vector stored for `id`.
     pub fn decode(&self, id: ImageId) -> Option<Vector> {
-        let chunk_idx = id.as_usize() / CHUNK_CODES;
-        let chunks = self.chunks.read();
-        let chunk = Arc::clone(chunks.get(chunk_idx)?);
-        drop(chunks);
-        chunk.slots[id.as_usize() % CHUNK_CODES]
-            .get()
-            .map(|code| self.quantizer.decode(code))
-    }
-
-    /// Approximate heap bytes used per stored vector (codes only).
-    pub fn bytes_per_vector(&self) -> usize {
-        self.code_len()
-    }
-
-    /// Pins every chunk once and returns a snapshot whose `code` is a pure
-    /// pointer chase — mirrors [`crate::vectors::VectorStore::snapshot`]
-    /// for the compressed scan path.
-    pub fn snapshot(&self) -> PqSnapshot {
-        PqSnapshot {
-            chunks: self.chunks.read().iter().map(Arc::clone).collect(),
-        }
+        let mut code = vec![0u8; self.m];
+        self.code_into(id, &mut code)
+            .then(|| self.quantizer.decode(&code))
     }
 }
 
-/// A pinned, lock-free view of a [`PqStore`]; see [`PqStore::snapshot`].
-pub struct PqSnapshot {
-    chunks: Vec<Arc<Chunk>>,
+/// A pinned, lock-free view of one list's codes; see
+/// [`PqStore::list_reader`].
+pub struct PqListReader {
+    segments: Vec<Arc<CodeSegment>>,
+    m: usize,
+    four_bit: bool,
 }
 
-impl std::fmt::Debug for PqSnapshot {
+impl std::fmt::Debug for PqListReader {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PqSnapshot")
-            .field("chunks", &self.chunks.len())
+        f.debug_struct("PqListReader")
+            .field("segments", &self.segments.len())
             .finish()
     }
 }
 
-impl PqSnapshot {
-    /// Borrows the PQ code in slot `id`, if written.
-    #[inline]
-    pub fn code(&self, id: ImageId) -> Option<&[u8]> {
-        self.chunks.get(id.as_usize() / CHUNK_CODES)?.slots[id.as_usize() % CHUNK_CODES]
-            .get()
-            .map(|code| &**code)
+impl PqListReader {
+    /// Bytes of one fast-scan tile (`m × 16`, the `load_group` buffer).
+    pub fn tile_len(&self) -> usize {
+        self.m * 16
+    }
+
+    /// Copies the interleaved block starting at position `base` into
+    /// `tile` (kernel operand order) and returns the mask of **published**
+    /// lanes: bit `i` set means position `base + i`'s code is complete.
+    /// Unpublished lanes' bytes are unspecified — kernel sums for them
+    /// must be discarded via the mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the store is 4-bit, `base` is block-aligned, and
+    /// `tile.len() == self.tile_len()`.
+    pub fn load_group(&self, base: usize, tile: &mut [u8]) -> u32 {
+        assert!(self.four_bit, "fast-scan groups require the 4-bit layout");
+        assert_eq!(base % FASTSCAN_BLOCK, 0, "group base must be block-aligned");
+        assert_eq!(tile.len(), self.tile_len(), "tile length mismatch");
+        let Some(seg) = self.segments.get(base / SEGMENT_CODES) else {
+            return 0;
+        };
+        let off = base % SEGMENT_CODES;
+        let mut mask = 0u32;
+        for i in 0..FASTSCAN_BLOCK {
+            // Acquire: pairs with the Release flag store in
+            // `PqStore::put` — once observed, the word loads below see
+            // every code bit of lane `i`.
+            if seg.flags[off + i].load(Ordering::Acquire) != 0 {
+                mask |= 1 << i;
+            }
+        }
+        if mask == 0 {
+            return 0;
+        }
+        let words_per_block = self.m * 16 / 8;
+        let word_base = (off / FASTSCAN_BLOCK) * words_per_block;
+        for (w, chunk) in tile.chunks_exact_mut(8).enumerate() {
+            // Relaxed: ordered by the Acquire flag loads above for every
+            // lane the mask admits; bits of unpublished lanes may be
+            // mid-write but are never interpreted.
+            chunk.copy_from_slice(
+                &seg.words[word_base + w]
+                    .load(Ordering::Relaxed)
+                    .to_le_bytes(),
+            );
+        }
+        mask
+    }
+
+    /// Reads the unpacked code at `pos` into `code`; `false` if the
+    /// position is unwritten (or beyond the allocated segments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code.len()` differs from the number of subspaces.
+    pub fn read_code(&self, pos: usize, code: &mut [u8]) -> bool {
+        assert_eq!(code.len(), self.m, "code length mismatch");
+        let Some(seg) = self.segments.get(pos / SEGMENT_CODES) else {
+            return false;
+        };
+        let off = pos % SEGMENT_CODES;
+        // Acquire: pairs with the Release flag store in `PqStore::put`.
+        if seg.flags[off].load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        for (sub, out) in code.iter_mut().enumerate() {
+            let (byte, nibble_shift) = byte_of(self.four_bit, self.m, off, sub);
+            // Relaxed: ordered by the Acquire flag load above.
+            let word = seg.words[byte / 8].load(Ordering::Relaxed);
+            let b = (word >> ((byte % 8) * 8)) as u8;
+            *out = if self.four_bit {
+                (b >> nibble_shift) & 0x0f
+            } else {
+                b
+            };
+        }
+        true
+    }
+}
+
+/// Free-function twin of [`PqStore::byte_of`] for the reader (which does
+/// not hold the store).
+#[inline]
+fn byte_of(four_bit: bool, m: usize, off: usize, sub: usize) -> (usize, u32) {
+    if four_bit {
+        let block = off / FASTSCAN_BLOCK;
+        let lane = off % FASTSCAN_BLOCK;
+        let byte = block * m * 16 + sub * 16 + lane % 16;
+        (byte, if lane < 16 { 0 } else { 4 })
+    } else {
+        (off * m + sub, 0)
     }
 }
 
@@ -187,7 +485,7 @@ mod tests {
     use jdvs_vector::pq::PqConfig;
     use jdvs_vector::rng::Xoshiro256;
 
-    fn trained(dim: usize, m: usize) -> (Arc<ProductQuantizer>, Vec<Vector>) {
+    fn trained(dim: usize, m: usize, bits: u8) -> (std::sync::Arc<ProductQuantizer>, Vec<Vector>) {
         let mut rng = Xoshiro256::seed_from(4);
         let data: Vec<Vector> = (0..400)
             .map(|_| (0..dim).map(|_| rng.next_gaussian() as f32).collect())
@@ -198,17 +496,18 @@ mod tests {
                 num_subspaces: m,
                 max_iters: 6,
                 seed: 1,
+                bits,
             },
         );
-        (Arc::new(pq), data)
+        (std::sync::Arc::new(pq), data)
     }
 
     #[test]
     fn put_then_distance_round_trip() {
-        let (pq, data) = trained(16, 4);
-        let store = PqStore::new(pq);
+        let (pq, data) = trained(16, 4, 8);
+        let store = PqStore::new(pq, 2);
         for (i, v) in data.iter().take(50).enumerate() {
-            store.put(ImageId(i as u32), v);
+            store.put(ImageId(i as u32), ListId(0), i, v);
         }
         let table = store.adc_table(data[0].as_slice());
         let d_self = store.distance(&table, ImageId(0)).unwrap();
@@ -221,10 +520,61 @@ mod tests {
     }
 
     #[test]
+    fn four_bit_codes_round_trip_through_nibble_packing() {
+        let (pq, data) = trained(16, 8, 4);
+        let store = PqStore::new(std::sync::Arc::clone(&pq), 2);
+        // Spread across both lists and past one segment so hi/lo nibbles,
+        // partial tail blocks and the segment boundary are all exercised.
+        for (i, v) in data.iter().enumerate() {
+            let list = ListId((i % 2) as u32);
+            store.put(ImageId(i as u32), list, i / 2 + 200, v);
+        }
+        let mut code = vec![0u8; 8];
+        for (i, v) in data.iter().enumerate() {
+            assert!(store.code_into(ImageId(i as u32), &mut code));
+            assert_eq!(code, pq.encode(v.as_slice()), "id {i}");
+        }
+    }
+
+    #[test]
+    fn load_group_matches_per_id_distances_bit_exactly() {
+        let (pq, data) = trained(16, 8, 4);
+        let store = PqStore::new(std::sync::Arc::clone(&pq), 1);
+        // 77 codes: two full blocks plus a partial tail block.
+        for (i, v) in data.iter().take(77).enumerate() {
+            store.put(ImageId(i as u32), ListId(0), i, v);
+        }
+        let table = store.quantized_adc_table(data[5].as_slice());
+        let reader = store.list_reader(ListId(0));
+        let mut tile = vec![0u8; reader.tile_len()];
+        let mut acc = [0u16; FASTSCAN_BLOCK];
+        for base in (0..96).step_by(FASTSCAN_BLOCK) {
+            let mask = reader.load_group(base, &mut tile);
+            jdvs_vector::simd::active().fastscan16(&tile, table.luts(), &mut acc);
+            for (lane, &lane_acc) in acc.iter().enumerate() {
+                let pos = base + lane;
+                let published = mask & (1 << lane) != 0;
+                assert_eq!(published, pos < 77, "lane publication at pos {pos}");
+                if published {
+                    let per_id = store
+                        .quantized_distance(&table, ImageId(pos as u32))
+                        .unwrap();
+                    assert_eq!(
+                        table.to_f32(lane_acc).to_bits(),
+                        per_id.to_bits(),
+                        "pos {pos}"
+                    );
+                }
+            }
+        }
+        assert_eq!(reader.load_group(SEGMENT_CODES * 4, &mut tile), 0);
+    }
+
+    #[test]
     fn decode_approximates_original() {
-        let (pq, data) = trained(16, 8);
-        let store = PqStore::new(pq);
-        store.put(ImageId(0), &data[0]);
+        let (pq, data) = trained(16, 8, 8);
+        let store = PqStore::new(pq, 1);
+        store.put(ImageId(0), ListId(0), 0, &data[0]);
         let approx = store.decode(ImageId(0)).unwrap();
         let err = jdvs_vector::distance::squared_l2(approx.as_slice(), data[0].as_slice());
         let base = data[0].squared_norm();
@@ -233,11 +583,11 @@ mod tests {
     }
 
     #[test]
-    fn slots_are_write_once() {
-        let (pq, data) = trained(8, 2);
-        let store = PqStore::new(pq);
-        store.put(ImageId(0), &data[0]);
-        store.put(ImageId(0), &data[1]);
+    fn positions_are_write_once() {
+        let (pq, data) = trained(8, 2, 8);
+        let store = PqStore::new(pq, 1);
+        store.put(ImageId(0), ListId(0), 0, &data[0]);
+        store.put(ImageId(0), ListId(0), 0, &data[1]);
         let decoded = store.decode(ImageId(0)).unwrap();
         let d0 = jdvs_vector::distance::squared_l2(decoded.as_slice(), data[0].as_slice());
         let d1 = jdvs_vector::distance::squared_l2(decoded.as_slice(), data[1].as_slice());
@@ -246,19 +596,22 @@ mod tests {
 
     #[test]
     fn compression_ratio_is_as_advertised() {
-        let (pq, _) = trained(32, 8);
-        let store = PqStore::new(pq);
+        let (pq, _) = trained(32, 8, 8);
+        let store = PqStore::new(pq, 1);
         assert_eq!(store.bytes_per_vector(), 8);
         assert_eq!(store.code_len(), 8);
         // Raw storage would be 32 * 4 = 128 bytes: 16x compression.
+        let (pq4, _) = trained(32, 8, 4);
+        assert_eq!(PqStore::new(pq4, 1).bytes_per_vector(), 4); // 32x
     }
 
     #[test]
-    fn scan_visits_every_written_slot() {
-        let (pq, data) = trained(8, 2);
-        let store = PqStore::new(pq);
+    fn scan_visits_every_written_id_in_id_order() {
+        let (pq, data) = trained(8, 2, 8);
+        let store = PqStore::new(pq, 3);
         for (i, v) in data.iter().take(40).enumerate() {
-            store.put(ImageId(i as u32 * 3), v); // sparse ids
+            // Sparse ids, positions independent of ids.
+            store.put(ImageId(i as u32 * 3), ListId((i % 3) as u32), i / 3, v);
         }
         let table = store.adc_table(data[0].as_slice());
         let mut seen = Vec::new();
@@ -270,30 +623,75 @@ mod tests {
     }
 
     #[test]
-    fn spans_chunks() {
-        let (pq, data) = trained(8, 2);
-        let store = PqStore::new(pq);
-        let far = ImageId((CHUNK_CODES * 2 + 3) as u32);
-        store.put(far, &data[0]);
-        assert!(store.decode(far).is_some());
+    fn spans_segments() {
+        let (pq, data) = trained(8, 2, 8);
+        let store = PqStore::new(pq, 1);
+        let pos = SEGMENT_CODES * 2 + 3;
+        store.put(ImageId(7), ListId(0), pos, &data[0]);
+        assert_eq!(store.locate(ImageId(7)), Some((ListId(0), pos)));
+        assert!(store.decode(ImageId(7)).is_some());
+        // Gap segments exist but hold nothing.
+        let reader = store.list_reader(ListId(0));
+        let mut code = vec![0u8; 2];
+        assert!(!reader.read_code(3, &mut code));
+        assert!(reader.read_code(pos, &mut code));
     }
 
+    /// Satellite coverage: concurrent inserters share tail blocks (and, in
+    /// 4-bit mode, nibble bytes) while readers scan mid-write; every
+    /// published lane must already read back its exact final code.
     #[test]
-    fn snapshot_codes_match_store_distances() {
-        let (pq, data) = trained(8, 2);
-        let store = PqStore::new(pq);
-        for (i, v) in data.iter().take(20).enumerate() {
-            store.put(ImageId(i as u32), v);
+    fn concurrent_inserts_into_shared_tail_blocks_are_exact() {
+        let (pq, data) = trained(16, 8, 4);
+        let store = std::sync::Arc::new(PqStore::new(std::sync::Arc::clone(&pq), 1));
+        let n = 320usize; // 10 blocks
+        let writers = 8usize;
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(writers + 1));
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let store = std::sync::Arc::clone(&store);
+                let data = &data;
+                let barrier = std::sync::Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    // Interleaved positions: every writer hits every block,
+                    // and adjacent writers share nibble bytes.
+                    for pos in (w..n).step_by(writers) {
+                        store.put(ImageId(pos as u32), ListId(0), pos, &data[pos]);
+                    }
+                });
+            }
+            let store = std::sync::Arc::clone(&store);
+            let barrier = std::sync::Arc::clone(&barrier);
+            let pq = std::sync::Arc::clone(&pq);
+            let data = &data;
+            s.spawn(move || {
+                barrier.wait();
+                // Race reads against the writers: any published lane must
+                // already hold its final, exact code.
+                let mut tile = vec![0u8; 8 * 16];
+                let mut code = vec![0u8; 8];
+                for _ in 0..50 {
+                    let reader = store.list_reader(ListId(0));
+                    for base in (0..n).step_by(FASTSCAN_BLOCK) {
+                        let mask = reader.load_group(base, &mut tile);
+                        for lane in 0..FASTSCAN_BLOCK {
+                            if mask & (1 << lane) == 0 {
+                                continue;
+                            }
+                            let pos = base + lane;
+                            assert!(reader.read_code(pos, &mut code));
+                            assert_eq!(code, pq.encode(data[pos].as_slice()), "pos {pos}");
+                        }
+                    }
+                }
+            });
+        });
+        // After the race: everything published and exact.
+        let mut code = vec![0u8; 8];
+        for (pos, v) in data.iter().enumerate().take(n) {
+            assert!(store.code_into(ImageId(pos as u32), &mut code));
+            assert_eq!(code, pq.encode(v.as_slice()), "pos {pos}");
         }
-        let table = store.adc_table(data[0].as_slice());
-        let snap = store.snapshot();
-        for i in 0..20u32 {
-            let code = snap.code(ImageId(i)).unwrap();
-            assert_eq!(
-                Some(table.distance(code)),
-                store.distance(&table, ImageId(i))
-            );
-        }
-        assert!(snap.code(ImageId(999)).is_none());
     }
 }

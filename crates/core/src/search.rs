@@ -22,22 +22,32 @@
 //!   callback per id.
 //! - **One lock per query.** The validity bitmap is pinned once via
 //!   [`crate::bitmap::AtomicBitmap::reader`] and the vector / PQ-code
-//!   stores via their `snapshot()`s, so the per-candidate cost is a pure
-//!   pointer chase — the pre-engine paths re-acquired a read lock for every
-//!   candidate, twice.
+//!   stores via their snapshot/reader handles, so the per-candidate cost
+//!   is a pure pointer chase — the pre-engine paths re-acquired a read
+//!   lock for every candidate, twice.
 //! - **SIMD kernels.** Distances dispatch through
 //!   [`jdvs_vector::simd::active`] (AVX2+FMA / NEON / unrolled scalar,
 //!   detected once at startup).
+//! - **Fast-scan PQ.** In 4-bit PQ mode, stage 1 of
+//!   [`compressed_search`] scores 32 candidates per
+//!   [`jdvs_vector::simd::KernelSet::fastscan16`] call straight out of
+//!   [`crate::pq_store::PqStore`]'s interleaved blocks, using a
+//!   register-resident quantized LUT
+//!   ([`jdvs_vector::pq::QuantizedAdcTable`]) instead of `m` scattered
+//!   f32 table loads per candidate. Stage 2 re-ranks the quantized
+//!   shortlist with exact f32 distances, so the over-fetch
+//!   (`k · rerank_factor`) — not the u8 rounding — decides final quality.
 //! - **Threshold pruning.** Once the top-k heap is full,
 //!   [`TopK::would_accept`] rejects non-improving candidates before a
 //!   [`Neighbor`] is even built.
 //! - **Intra-query parallelism.** When
 //!   [`crate::config::IndexConfig::intra_query_threads`] allows it *and*
 //!   the probed lists hold at least [`PARALLEL_MIN_CANDIDATES`] published
-//!   ids, lists fan out round-robin across scoped threads with per-thread
-//!   collectors merged at the end. Results are identical to the sequential
-//!   scan: merging is order-insensitive under the total (distance, id)
-//!   order.
+//!   ids — with at least [`PARALLEL_MIN_PER_THREAD`] of them per spawned
+//!   thread — lists fan out round-robin across scoped threads with
+//!   per-thread collectors merged at the end. Results are identical to
+//!   the sequential scan: merging is order-insensitive under the total
+//!   (distance, id) order.
 //!
 //! Every engine path keeps a sequential per-id `*_reference` twin that uses
 //! the same dispatched kernel — differential tests assert bit-identical
@@ -53,6 +63,7 @@ use crate::bitmap::BitmapReader;
 use crate::ids::{ImageId, ListId};
 use crate::index::VisualIndex;
 use crate::inverted::InvertedIndex;
+use crate::pq_store::{PqStore, FASTSCAN_BLOCK};
 use crate::vectors::VectorSnapshot;
 
 /// Minimum total published ids across the probed lists before a query fans
@@ -60,6 +71,15 @@ use crate::vectors::VectorSnapshot;
 /// the scan itself and the query stays sequential regardless of
 /// [`crate::config::IndexConfig::intra_query_threads`].
 pub const PARALLEL_MIN_CANDIDATES: usize = 2048;
+
+/// Minimum published ids **per spawned thread**: a query only fans out to
+/// as many threads as leave each at least this much work. Spawning a
+/// scoped thread costs tens of microseconds; a thread handed fewer than
+/// ~8k candidates (~100 µs of kernel work at d = 64) spends comparable
+/// time being spawned and merged as scanning, which is how the 30k-image
+/// bench regressed to *slower* with 4 threads under the old
+/// total-count-only gate.
+pub const PARALLEL_MIN_PER_THREAD: usize = 8192;
 
 /// IVF search over one partition; see the module docs. Uses the configured
 /// [`crate::config::IndexConfig::intra_query_threads`].
@@ -101,7 +121,9 @@ pub fn ann_search_with_threads(
         let v = vectors.get(id)?;
         Some(kernels.squared_l2(query, v.as_slice()))
     };
-    scan_probed_lists(index.inverted_internal(), &lists, k, threads, &eval).into_sorted_vec()
+    let inverted = index.inverted_internal();
+    let scan = |list: usize, topk: &mut TopK| scan_one_list(inverted, list, &eval, topk);
+    scan_probed_lists(inverted, &lists, k, threads, &scan).into_sorted_vec()
 }
 
 /// Two-stage compressed (PQ) search; see
@@ -151,31 +173,95 @@ pub fn compressed_search_with_threads(
         .pq_store()
         .expect("compressed search requires config.pq_subspaces (see IndexConfig)");
 
-    // Stage 1: ADC scan of the probed lists over m-byte codes.
-    let table = pq.adc_table(query);
+    // Stage 1: quantized scan of the probed lists' PQ codes, shortlisting
+    // k · rerank_factor candidates.
     let lists = index.quantizer().assign_multi(query, nprobe);
     let kernels = simd::active();
     let bitmap = index.bitmap().reader();
-    let codes = pq.snapshot();
-    let eval = |id: ImageId| {
-        if !bitmap.test(id.as_usize()) {
-            return None;
-        }
-        let code = codes.code(id)?;
-        Some(table.distance(code))
-    };
+    let inverted = index.inverted_internal();
     let shortlist_k = k.saturating_mul(rerank_factor).max(k);
-    let shortlist = scan_probed_lists(
-        index.inverted_internal(),
-        &lists,
-        shortlist_k,
-        threads,
-        &eval,
-    );
+    let shortlist = if pq.is_four_bit() {
+        // Fast-scan: one kernel call scores a whole interleaved block of
+        // 32 codes against the register-resident quantized LUTs.
+        let qt = pq.quantized_adc_table(query);
+        let scan = |list: usize, topk: &mut TopK| {
+            fastscan_one_list(inverted, pq, &bitmap, kernels, &qt, list, topk);
+        };
+        scan_probed_lists(inverted, &lists, shortlist_k, threads, &scan)
+    } else {
+        // Classic 8-bit ADC: m table lookups per candidate, codes read
+        // by list position from the contiguous code area.
+        let table = pq.adc_table(query);
+        let scan = |list: usize, topk: &mut TopK| {
+            let reader = pq.list_reader(ListId(list as u32));
+            let mut code = vec![0u8; pq.code_len()];
+            let mut base = 0usize;
+            inverted.scan_blocks(ListId(list as u32), |ids| {
+                for (i, &id) in ids.iter().enumerate() {
+                    if bitmap.test(id.as_usize()) && reader.read_code(base + i, &mut code) {
+                        let d = table.distance(&code);
+                        if topk.would_accept(d) {
+                            topk.push(id.as_u64(), d);
+                        }
+                    }
+                }
+                base += ids.len();
+            });
+        };
+        scan_probed_lists(inverted, &lists, shortlist_k, threads, &scan)
+    };
 
     // Stage 2: exact rerank of the shortlist over raw vectors.
     let vectors = index.vectors().snapshot();
     exact_rerank(&bitmap, &vectors, kernels, query, shortlist, k)
+}
+
+/// Stage 1 of the 4-bit compressed path over one list: loads each
+/// 32-code interleaved block (partial tail lanes masked), scores it with
+/// one [`jdvs_vector::simd::KernelSet::fastscan16`] call, and feeds the
+/// published + valid lanes to `topk` in list order — the exact candidate
+/// set and f32 distances of the per-id reference twin
+/// ([`jdvs_vector::pq::QuantizedAdcTable::distance`] is bit-exact with a
+/// kernel lane).
+fn fastscan_one_list(
+    inverted: &InvertedIndex,
+    pq: &PqStore,
+    bitmap: &BitmapReader<'_>,
+    kernels: &KernelSet,
+    qt: &jdvs_vector::pq::QuantizedAdcTable,
+    list: usize,
+    topk: &mut TopK,
+) {
+    let reader = pq.list_reader(ListId(list as u32));
+    let mut tile = vec![0u8; reader.tile_len()];
+    let mut acc = [0u16; FASTSCAN_BLOCK];
+    // scan_blocks emits full SCAN_BLOCK-sized blocks (a multiple of
+    // FASTSCAN_BLOCK) with one ragged tail, so every group base below is
+    // block-aligned.
+    let mut base = 0usize;
+    inverted.scan_blocks(ListId(list as u32), |ids| {
+        let mut g = 0usize;
+        while g < ids.len() {
+            let lanes = (ids.len() - g).min(FASTSCAN_BLOCK);
+            let mask = reader.load_group(base + g, &mut tile);
+            if mask != 0 {
+                kernels.fastscan16(&tile, qt.luts(), &mut acc);
+                for (lane, &id) in ids[g..g + lanes].iter().enumerate() {
+                    // An unpublished lane's code is still mid-insert (its
+                    // bitmap bit is not set yet either); a published one
+                    // scores from the kernel accumulator.
+                    if mask & (1 << lane) != 0 && bitmap.test(id.as_usize()) {
+                        let d = qt.to_f32(acc[lane]);
+                        if topk.would_accept(d) {
+                            topk.push(id.as_u64(), d);
+                        }
+                    }
+                }
+            }
+            g += lanes;
+        }
+        base += ids.len();
+    });
 }
 
 /// Stage 2 of the compressed path: exact distances over the shortlist.
@@ -228,21 +314,22 @@ pub fn brute_force(index: &VisualIndex, query: &[f32], k: usize) -> Vec<Neighbor
     topk.into_sorted_vec()
 }
 
-/// Scans the probed `lists`, applying `eval` per id and collecting the best
-/// `k`. Sequential when `threads <= 1` or the lists are too small to
-/// amortize a fan-out; otherwise lists distribute round-robin over scoped
-/// threads and per-thread collectors merge. Both routes visit the same ids
-/// with the same `eval`, so under the total (distance, id) order the merged
-/// result is identical to the sequential one.
-fn scan_probed_lists<F>(
+/// Scans the probed `lists` with the per-list `scan` closure (which feeds
+/// a [`TopK`] of capacity `k`). Sequential when `threads <= 1` or the
+/// lists are too small to amortize a fan-out; otherwise lists distribute
+/// round-robin over scoped threads and per-thread collectors merge. Both
+/// routes visit the same ids with the same scoring, so under the total
+/// (distance, id) order the merged result is identical to the sequential
+/// one.
+fn scan_probed_lists<S>(
     inverted: &InvertedIndex,
     lists: &[usize],
     k: usize,
     threads: usize,
-    eval: &F,
+    scan: &S,
 ) -> TopK
 where
-    F: Fn(ImageId) -> Option<f32> + Sync,
+    S: Fn(usize, &mut TopK) + Sync,
 {
     let total: usize = lists
         .iter()
@@ -252,7 +339,7 @@ where
     if threads <= 1 {
         let mut topk = TopK::new(k);
         for &list in lists {
-            scan_one_list(inverted, list, eval, &mut topk);
+            scan(list, &mut topk);
         }
         return topk;
     }
@@ -263,7 +350,7 @@ where
                 s.spawn(move |_| {
                     let mut topk = TopK::new(k);
                     for &list in lists.iter().skip(t).step_by(threads) {
-                        scan_one_list(inverted, list, eval, &mut topk);
+                        scan(list, &mut topk);
                     }
                     topk
                 })
@@ -277,12 +364,18 @@ where
     merged
 }
 
-/// The thread count a query actually uses; see [`PARALLEL_MIN_CANDIDATES`].
+/// The thread count a query actually uses: capped so each spawned thread
+/// gets at least [`PARALLEL_MIN_PER_THREAD`] candidates (and by the list
+/// count — distribution is per-list); see also
+/// [`PARALLEL_MIN_CANDIDATES`].
 fn effective_threads(configured: usize, num_lists: usize, total_candidates: usize) -> usize {
     if configured <= 1 || total_candidates < PARALLEL_MIN_CANDIDATES {
         1
     } else {
-        configured.min(num_lists).max(1)
+        configured
+            .min(num_lists)
+            .min(total_candidates / PARALLEL_MIN_PER_THREAD)
+            .max(1)
     }
 }
 
@@ -364,18 +457,36 @@ pub fn compressed_search_reference(
         .pq_store()
         .expect("compressed search requires config.pq_subspaces (see IndexConfig)");
 
-    let table = pq.adc_table(query);
+    // Per-id scoring twin of stage 1: in 4-bit mode the quantized per-id
+    // distance is bit-exact with a fast-scan kernel lane, so the engine
+    // and this loop push identical (id, f32) sequences in identical
+    // order.
     let lists = index.quantizer().assign_multi(query, nprobe);
     let mut shortlist = TopK::new(k.saturating_mul(rerank_factor).max(k));
-    for list in lists {
-        index.inverted_internal().scan(ListId(list as u32), |id| {
-            if !index.bitmap().test(id.as_usize()) {
-                return;
-            }
-            if let Some(d) = pq.distance(&table, id) {
-                shortlist.push(id.as_u64(), d);
-            }
-        });
+    if pq.is_four_bit() {
+        let qt = pq.quantized_adc_table(query);
+        for list in lists {
+            index.inverted_internal().scan(ListId(list as u32), |id| {
+                if !index.bitmap().test(id.as_usize()) {
+                    return;
+                }
+                if let Some(d) = pq.quantized_distance(&qt, id) {
+                    shortlist.push(id.as_u64(), d);
+                }
+            });
+        }
+    } else {
+        let table = pq.adc_table(query);
+        for list in lists {
+            index.inverted_internal().scan(ListId(list as u32), |id| {
+                if !index.bitmap().test(id.as_usize()) {
+                    return;
+                }
+                if let Some(d) = pq.distance(&table, id) {
+                    shortlist.push(id.as_u64(), d);
+                }
+            });
+        }
     }
 
     let mut topk = TopK::new(k);
@@ -569,11 +680,15 @@ mod tests {
 
     #[test]
     fn parallel_scan_matches_sequential_exactly() {
-        // Big enough that total probed candidates exceed
-        // PARALLEL_MIN_CANDIDATES, so threads > 1 genuinely fan out.
-        let (index, data) = build_index(3000, 4, 13);
-        assert!(index.inverted_internal().total_entries() >= PARALLEL_MIN_CANDIDATES);
-        for q in data.iter().take(10) {
+        // Big enough that the per-thread work gate admits a real fan-out
+        // (>= 2 * PARALLEL_MIN_PER_THREAD probed candidates).
+        let (index, data) = build_index(2 * PARALLEL_MIN_PER_THREAD + 500, 4, 13);
+        let total = index.inverted_internal().total_entries();
+        assert!(
+            effective_threads(4, 4, total) >= 2,
+            "test must exercise a genuine fan-out (total = {total})"
+        );
+        for q in data.iter().take(5) {
             let sequential = ann_search_with_threads(&index, q.as_slice(), 10, 4, 1);
             for threads in [2usize, 3, 8] {
                 let parallel = ann_search_with_threads(&index, q.as_slice(), 10, 4, threads);
@@ -585,7 +700,17 @@ mod tests {
     #[test]
     fn small_queries_stay_sequential() {
         assert_eq!(effective_threads(4, 8, PARALLEL_MIN_CANDIDATES - 1), 1);
-        assert_eq!(effective_threads(4, 8, PARALLEL_MIN_CANDIDATES), 4);
+        // Regression guard (searcher-scan bench, 30k images): above the
+        // absolute floor but with too little work to pay for even a second
+        // thread, the query must stay sequential.
+        assert_eq!(effective_threads(4, 8, PARALLEL_MIN_CANDIDATES), 1);
+        assert_eq!(effective_threads(4, 8, 3750), 1, "bench-scale probe");
+        assert_eq!(effective_threads(4, 8, 2 * PARALLEL_MIN_PER_THREAD), 2);
+        assert_eq!(
+            effective_threads(4, 8, 1 << 20),
+            4,
+            "ample work: full fan-out"
+        );
         assert_eq!(effective_threads(1, 8, 1 << 20), 1, "knob off");
         assert_eq!(effective_threads(8, 3, 1 << 20), 3, "capped by lists");
     }
@@ -658,6 +783,79 @@ mod tests {
             let engine = compressed_search(&index, q.as_slice(), 10, 4, 3);
             let reference = compressed_search_reference(&index, q.as_slice(), 10, 4, 3);
             assert_eq!(engine, reference);
+        }
+    }
+
+    /// Satellite differential: the two-stage 4-bit fast-scan engine must
+    /// return top-k identical to the per-id reference at the default
+    /// `rerank_factor`, deletions included.
+    #[test]
+    fn compressed_engine_matches_reference_four_bit() {
+        let mut rng = Xoshiro256::seed_from(31);
+        let data: Vec<Vector> = (0..600)
+            .map(|_| (0..8).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let config = IndexConfig {
+            dim: 8,
+            num_lists: 4,
+            initial_list_capacity: 8,
+            pq_subspaces: Some(8),
+            pq_bits: 4,
+            ..Default::default()
+        };
+        let rerank = config.rerank_factor;
+        let index = VisualIndex::bootstrap(config, &data);
+        for (i, v) in data.iter().enumerate() {
+            index
+                .insert(
+                    v.clone(),
+                    ProductAttributes::new(ProductId(i as u64), 0, 0, 0, format!("u{i}")),
+                )
+                .unwrap();
+        }
+        index.flush();
+        for i in (0..600).step_by(9) {
+            let key = jdvs_storage::model::ImageKey::from_url(&format!("u{i}"));
+            index.invalidate(key, &format!("u{i}")).unwrap();
+        }
+        for q in data.iter().take(15) {
+            let engine = compressed_search(&index, q.as_slice(), 10, 4, rerank);
+            let reference = compressed_search_reference(&index, q.as_slice(), 10, 4, rerank);
+            assert_eq!(engine, reference);
+        }
+    }
+
+    /// The re-rank contract: with full probing and a shortlist that covers
+    /// everything, the 4-bit path's final top-k is *exact* — quantization
+    /// error lives only in the shortlist ordering.
+    #[test]
+    fn four_bit_full_overfetch_is_exact() {
+        let mut rng = Xoshiro256::seed_from(37);
+        let data: Vec<Vector> = (0..200)
+            .map(|_| (0..8).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let config = IndexConfig {
+            dim: 8,
+            num_lists: 2,
+            initial_list_capacity: 8,
+            pq_subspaces: Some(8),
+            pq_bits: 4,
+            ..Default::default()
+        };
+        let index = VisualIndex::bootstrap(config, &data);
+        for (i, v) in data.iter().enumerate() {
+            index
+                .insert(
+                    v.clone(),
+                    ProductAttributes::new(ProductId(i as u64), 0, 0, 0, format!("u{i}")),
+                )
+                .unwrap();
+        }
+        index.flush();
+        for q in data.iter().take(10) {
+            let compressed = compressed_search(&index, q.as_slice(), 5, 2, 200);
+            let exact = brute_force(&index, q.as_slice(), 5);
+            assert_eq!(recall(&compressed, &exact), 1.0);
         }
     }
 

@@ -435,7 +435,10 @@ mod tests {
             .map(|e| e.unwrap().file_name().into_string().unwrap())
             .filter(|n| n.ends_with(".tmp"))
             .collect();
-        assert!(leftovers.is_empty(), "tmp files must be swept: {leftovers:?}");
+        assert!(
+            leftovers.is_empty(),
+            "tmp files must be swept: {leftovers:?}"
+        );
         // The real snapshot and manifest survive the sweep.
         let rec = reopened.recover().unwrap();
         assert!(rec.from_manifest);

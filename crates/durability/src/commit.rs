@@ -1,0 +1,205 @@
+//! Group commit: batch concurrent publishers into one `fdatasync`.
+//!
+//! Under [`FsyncPolicy::Always`](crate::log::FsyncPolicy::Always) every
+//! append syncs inline, so *n* concurrent publishers pay *n* serialized
+//! `fdatasync`s even though a single sync issued after all *n* appends
+//! would make every one of them durable. [`CommitQueue`] recovers that
+//! batching with the classic leader/follower protocol (the design behind
+//! group commit in InnoDB, Postgres and etcd's WAL):
+//!
+//! 1. A publisher appends its record (no inline sync — the log runs with
+//!    [`LogConfig::group_commit`](crate::log::LogConfig::group_commit)),
+//!    then calls [`CommitQueue::commit_wait`] with its offset.
+//! 2. If no sync is in flight, the caller becomes the **leader**: it
+//!    reads the log's current end as the commit watermark, issues one
+//!    `fdatasync`, publishes the new durable offset, and wakes everyone.
+//! 3. Otherwise the caller is a **follower**: it parks on the condvar.
+//!    Appends that landed before the leader's sync are covered by that
+//!    sync; later arrivals find the durable watermark still short and the
+//!    first of them becomes the next leader.
+//!
+//! The loss bound of `Always` is *unchanged*: `commit_wait(off)` returns
+//! only once a sync with watermark `> off` has completed, and the
+//! publisher's acknowledgement happens after `commit_wait` — so every
+//! acknowledged publish is still on the platter. What changes is the
+//! sync count: one `fdatasync` retires a whole burst of publishers.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use jdvs_storage::queue::Offset;
+
+use crate::log::SegmentedLog;
+
+/// Leader/follower state; see the module docs.
+#[derive(Debug)]
+struct CommitState {
+    /// Records `0..durable` are known synced (a `next_offset` watermark).
+    durable: Offset,
+    /// Whether a leader currently holds the sync.
+    leader_active: bool,
+}
+
+/// The group-commit coordinator for one [`SegmentedLog`].
+#[derive(Debug)]
+pub struct CommitQueue {
+    log: Arc<Mutex<SegmentedLog>>,
+    state: Mutex<CommitState>,
+    durable_changed: Condvar,
+}
+
+impl CommitQueue {
+    /// Creates a coordinator over `log` (the same handle the publish tee
+    /// appends through).
+    pub fn new(log: Arc<Mutex<SegmentedLog>>) -> Self {
+        Self {
+            log,
+            state: Mutex::new(CommitState {
+                durable: 0,
+                leader_active: false,
+            }),
+            durable_changed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a completed sync covers the record at `offset`;
+    /// becomes the sync leader if none is in flight. Call *after* the
+    /// record's append returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sync fails — same write-ahead-log contract as the
+    /// durable publish tee: acknowledging a publish whose durability is
+    /// unknown would silently break recovery.
+    pub fn commit_wait(&self, offset: Offset) {
+        let mut state = self.state.lock();
+        loop {
+            if state.durable > offset {
+                return;
+            }
+            if state.leader_active {
+                // Follower: a leader is syncing. Its watermark may or may
+                // not cover us; re-check when it publishes.
+                self.durable_changed.wait(&mut state);
+                continue;
+            }
+            state.leader_active = true;
+            drop(state);
+            // Leader, outside the state lock so followers can queue up.
+            // The watermark is read under the log lock, so it covers every
+            // append that completed before this sync — ours included
+            // (append happened-before commit_wait on this thread).
+            let mut log = self.log.lock();
+            let watermark = log.next_offset();
+            let result = log.sync();
+            drop(log);
+            state = self.state.lock();
+            state.leader_active = false;
+            if let Err(e) = result {
+                // Wake followers before dying so they retry (and hit the
+                // same error) instead of parking forever.
+                self.durable_changed.notify_all();
+                panic!("group commit sync failed at watermark {watermark}: {e}");
+            }
+            state.durable = state.durable.max(watermark);
+            self.durable_changed.notify_all();
+            // Loop: watermark > offset always holds here, so this returns.
+        }
+    }
+
+    /// The highest completed sync watermark (records `0..` this are
+    /// durable).
+    pub fn durable(&self) -> Offset {
+        self.state.lock().durable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{FsyncPolicy, LogConfig};
+    use jdvs_metrics::DurabilityMetrics;
+    use std::fs;
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("jdvs-gc-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open_grouped(dir: &Path, metrics: &Arc<DurabilityMetrics>) -> SegmentedLog {
+        SegmentedLog::open(
+            LogConfig {
+                dir: dir.to_path_buf(),
+                segment_max_bytes: 1 << 20,
+                fsync: FsyncPolicy::Always,
+                group_commit: true,
+            },
+            Arc::clone(metrics),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn commit_wait_returns_only_after_a_covering_sync() {
+        let dir = temp_dir("cover");
+        let metrics = Arc::new(DurabilityMetrics::new());
+        let log = Arc::new(Mutex::new(open_grouped(&dir, &metrics)));
+        let commit = CommitQueue::new(Arc::clone(&log));
+        for i in 0..10u64 {
+            let off = log.lock().append(format!("r{i}").as_bytes()).unwrap();
+            assert_eq!(off, i);
+            // group_commit defers the inline sync...
+            commit.commit_wait(off);
+            // ...but commit_wait may not return before a sync covers off.
+            assert!(commit.durable() > off);
+            assert!(metrics.durable_offset.get() > off);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_commits_share_syncs_without_weakening_the_loss_bound() {
+        let dir = temp_dir("share");
+        let metrics = Arc::new(DurabilityMetrics::new());
+        let log = Arc::new(Mutex::new(open_grouped(&dir, &metrics)));
+        let commit = Arc::new(CommitQueue::new(Arc::clone(&log)));
+        let writers = 8usize;
+        let per_writer = 50u64;
+        let barrier = Arc::new(Barrier::new(writers));
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let log = Arc::clone(&log);
+                let commit = Arc::clone(&commit);
+                let metrics = Arc::clone(&metrics);
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..per_writer {
+                        let off = log.lock().append(format!("w{w}-{i}").as_bytes()).unwrap();
+                        commit.commit_wait(off);
+                        // The Always loss bound, per acknowledged append.
+                        assert!(
+                            metrics.durable_offset.get() > off,
+                            "acknowledged record {off} must already be durable"
+                        );
+                    }
+                });
+            }
+        });
+        let appends = writers as u64 * per_writer;
+        assert_eq!(log.lock().next_offset(), appends);
+        assert!(
+            metrics.log_syncs.get() < appends,
+            "group commit must batch: {} syncs for {appends} appends",
+            metrics.log_syncs.get()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -12,7 +12,9 @@
 //!   with a length and a CRC32C; a configurable [`FsyncPolicy`] trades
 //!   append throughput for loss bound; opening the log truncates torn or
 //!   corrupt tails back to the last valid frame, so the log is always a
-//!   verified prefix of what was acknowledged.
+//!   verified prefix of what was acknowledged. Under
+//!   [`FsyncPolicy::Always`], [`commit`] can batch concurrent publishers
+//!   into shared group-commit syncs without weakening the loss bound.
 //! - [`checkpoint`] — atomic index snapshots (temp file + `fsync` +
 //!   rename) with a CRC-protected manifest recording `{snapshot file,
 //!   applied offset}`. Recovery loads the newest snapshot that validates
@@ -59,12 +61,14 @@
 
 pub mod checkpoint;
 pub mod codec;
+pub mod commit;
 pub mod log;
 pub mod queue;
 pub mod recovery;
 
 pub use checkpoint::{CheckpointConfig, CheckpointStore, Manifest, RecoveredCheckpoint};
 pub use codec::{decode_event, encode_event, CodecError};
+pub use commit::CommitQueue;
 pub use log::{FsyncPolicy, LogConfig, OpenReport, SegmentedLog};
 pub use queue::DurableQueue;
 pub use recovery::{recover_partition, RecoveryReport};

@@ -67,15 +67,24 @@ pub struct LogConfig {
     pub segment_max_bytes: u64,
     /// Durability/throughput trade-off for appends.
     pub fsync: FsyncPolicy,
+    /// Under [`FsyncPolicy::Always`], skip the *inline* per-append sync so
+    /// an external commit queue (see `jdvs-durability`'s `CommitQueue`)
+    /// can batch concurrent publishers into one `fdatasync`. The caller
+    /// takes over the "acknowledged ⇒ durable" obligation: it must not
+    /// acknowledge an append before a sync covering it completes. No
+    /// effect under the other policies.
+    pub group_commit: bool,
 }
 
 impl LogConfig {
-    /// Defaults: 8 MiB segments, `FsyncPolicy::EveryN(64)`.
+    /// Defaults: 8 MiB segments, `FsyncPolicy::EveryN(64)`, no group
+    /// commit.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Self {
             dir: dir.into(),
             segment_max_bytes: 8 * 1024 * 1024,
             fsync: FsyncPolicy::default(),
+            group_commit: false,
         }
     }
 }
@@ -253,7 +262,13 @@ impl SegmentedLog {
 
         self.unsynced += 1;
         match self.config.fsync {
-            FsyncPolicy::Always => self.sync()?,
+            // With group commit, the sync is deferred to the commit queue
+            // leader; `durable_offset` advances only when it runs.
+            FsyncPolicy::Always => {
+                if !self.config.group_commit {
+                    self.sync()?;
+                }
+            }
             FsyncPolicy::EveryN(n) => {
                 if self.unsynced >= n.max(1) {
                     self.sync()?;
@@ -455,6 +470,7 @@ mod tests {
             dir: dir.to_path_buf(),
             segment_max_bytes: max,
             fsync,
+            group_commit: false,
         };
         SegmentedLog::open(config, Arc::new(DurabilityMetrics::new())).unwrap()
     }
@@ -616,6 +632,7 @@ mod tests {
             dir: dir.clone(),
             segment_max_bytes: 1 << 20,
             fsync: FsyncPolicy::EveryN(10),
+            group_commit: false,
         };
         let mut log = SegmentedLog::open(config, Arc::clone(&metrics)).unwrap();
         for i in 0..25 {

@@ -23,7 +23,8 @@ use jdvs_storage::queue::Offset;
 use jdvs_storage::MessageQueue;
 
 use crate::codec::{decode_event, encode_event};
-use crate::log::{LogConfig, OpenReport, SegmentedLog};
+use crate::commit::CommitQueue;
+use crate::log::{FsyncPolicy, LogConfig, OpenReport, SegmentedLog};
 
 /// The durable ingestion queue for one serving stack.
 #[derive(Debug)]
@@ -42,6 +43,7 @@ impl DurableQueue {
     /// the log's open; a record that passes CRC but does not decode means
     /// a format mismatch and fails the open (never indexed as garbage).
     pub fn open(config: LogConfig, metrics: Arc<DurabilityMetrics>) -> io::Result<Self> {
+        let group_commit = config.fsync == FsyncPolicy::Always && config.group_commit;
         let log = SegmentedLog::open(config, Arc::clone(&metrics))?;
         let open_report = log.open_report();
         let base = log.first_offset();
@@ -74,6 +76,15 @@ impl DurableQueue {
                 .unwrap_or_else(|e| panic!("durable log append failed at offset {offset}: {e}"));
             debug_assert_eq!(appended, offset, "log and queue offsets diverged");
         });
+
+        if group_commit {
+            // Under Always + group_commit the tee no longer syncs inline;
+            // instead every publish blocks (after the queue lock drops) in
+            // commit_wait until a shared leader sync covers its offset.
+            // Same loss bound, one fdatasync per burst of publishers.
+            let commit = CommitQueue::new(Arc::clone(&log));
+            queue.set_after_publish(move |last: Offset| commit.commit_wait(last));
+        }
 
         Ok(Self {
             queue,
@@ -143,6 +154,7 @@ mod tests {
             dir: dir.to_path_buf(),
             segment_max_bytes: 256,
             fsync: FsyncPolicy::Always,
+            group_commit: false,
         }
     }
 
@@ -200,6 +212,44 @@ mod tests {
         let tail = dq.queue().read_range(base, usize::MAX);
         assert_eq!(tail[0], add(base), "offset identity survives");
         assert_eq!(dq.queue().publish(add(40)), 40);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_publishes_are_durable_on_ack_and_survive_reopen() {
+        let dir = temp_dir("group");
+        let mut cfg = config(&dir);
+        cfg.group_commit = true;
+        let metrics = Arc::new(DurabilityMetrics::new());
+        let dq = DurableQueue::open(cfg.clone(), Arc::clone(&metrics)).unwrap();
+        let writers = 4u64;
+        let per_writer = 25u64;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let queue = Arc::clone(dq.queue());
+                let metrics = Arc::clone(&metrics);
+                s.spawn(move || {
+                    for i in 0..per_writer {
+                        let off = queue.publish(add(w * per_writer + i));
+                        // The Always loss bound must hold per acknowledged
+                        // publish even though syncs are shared.
+                        assert!(
+                            metrics.durable_offset.get() > off,
+                            "publish {off} acknowledged before it was durable"
+                        );
+                    }
+                });
+            }
+        });
+        let total = writers * per_writer;
+        assert_eq!(dq.queue().len(), total);
+        assert!(
+            metrics.log_syncs.get() <= metrics.log_appends.get(),
+            "group commit never syncs more than once per append"
+        );
+        drop(dq); // crash: group commit already made everything durable
+        let dq = DurableQueue::open(cfg, Arc::new(DurabilityMetrics::new())).unwrap();
+        assert_eq!(dq.recovered_events(), total);
         fs::remove_dir_all(&dir).unwrap();
     }
 

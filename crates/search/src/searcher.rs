@@ -58,8 +58,10 @@ impl SearcherService {
         let index = self.handle.get();
         let nprobe = query.nprobe.unwrap_or(index.config().nprobe);
         let neighbors = if query.compressed && index.has_pq() {
-            // Two-stage PQ scan with a 4x rerank shortlist (standard ratio).
-            index.search_compressed(&query.features, query.k.max(1), nprobe, 4)
+            // Two-stage PQ scan; the over-fetch ratio is the index's
+            // configured rerank_factor knob.
+            let rerank = index.config().rerank_factor;
+            index.search_compressed(&query.features, query.k.max(1), nprobe, rerank)
         } else {
             index.search(&query.features, query.k.max(1), nprobe)
         };

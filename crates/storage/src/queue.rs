@@ -23,18 +23,27 @@
 //!   checkpoint watermarks recorded before a restart stay meaningful;
 //! - a **publish tee** ([`MessageQueue::set_tee`]): a hook invoked for
 //!   every published message *in offset order*, under the publish lock —
-//!   exactly the ordering guarantee an append-only write-ahead log needs.
+//!   exactly the ordering guarantee an append-only write-ahead log needs;
+//! - an **after-publish hook** ([`MessageQueue::set_after_publish`]): a
+//!   hook invoked once per publish call *after* the publish lock is
+//!   released, with the offset of the last message published. Because it
+//!   runs outside the lock, it may block (e.g. waiting for a group
+//!   `fdatasync`) without serializing other publishers.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 /// Position of a message in the log (0-based, dense).
 pub type Offset = u64;
 
 /// The publish tee: observes `(offset, message)` in strict offset order.
 type Tee<T> = Box<dyn Fn(Offset, &T) + Send + Sync>;
+
+/// The after-publish hook: observes the last offset of each publish call,
+/// outside the publish lock.
+type AfterPublish = Box<dyn Fn(Offset) + Send + Sync>;
 
 struct Inner<T> {
     log: Mutex<Vec<T>>,
@@ -45,6 +54,10 @@ struct Inner<T> {
     /// Durable tee, called under the `log` lock so durable order always
     /// equals offset order. Locked *after* `log` — never the other way.
     tee: Mutex<Option<Tee<T>>>,
+    /// After-publish hook, called with the publish lock *released*. An
+    /// RwLock so concurrent publishers can run (and block in) the hook
+    /// simultaneously; installation takes the write lock.
+    after_publish: RwLock<Option<AfterPublish>>,
 }
 
 impl<T> std::fmt::Debug for Inner<T> {
@@ -111,6 +124,7 @@ impl<T: Clone> MessageQueue<T> {
                 not_empty: Condvar::new(),
                 base,
                 tee: Mutex::new(None),
+                after_publish: RwLock::new(None),
             }),
         }
     }
@@ -133,6 +147,28 @@ impl<T: Clone> MessageQueue<T> {
         *self.inner.tee.lock() = None;
     }
 
+    /// Installs the after-publish hook, replacing any previous one. The
+    /// hook runs once per `publish`/`publish_batch` call, *after* the
+    /// publish lock is released, with the offset of the last message that
+    /// call published. It may block (group commit waits here) without
+    /// holding up other publishers — they run the hook concurrently.
+    pub fn set_after_publish(&self, hook: impl Fn(Offset) + Send + Sync + 'static) {
+        *self.inner.after_publish.write() = Some(Box::new(hook));
+    }
+
+    /// Removes the after-publish hook.
+    pub fn clear_after_publish(&self) {
+        *self.inner.after_publish.write() = None;
+    }
+
+    /// Runs the after-publish hook (if any) for `last` — the final offset
+    /// of a publish call that has already released the log lock.
+    fn after_publish(&self, last: Offset) {
+        if let Some(hook) = self.inner.after_publish.read().as_ref() {
+            hook(last);
+        }
+    }
+
     /// Appends a message, returning its offset.
     pub fn publish(&self, msg: T) -> Offset {
         let mut log = self.inner.log.lock();
@@ -143,6 +179,7 @@ impl<T: Clone> MessageQueue<T> {
         log.push(msg);
         drop(log);
         self.inner.not_empty.notify_all();
+        self.after_publish(off);
         off
     }
 
@@ -151,15 +188,20 @@ impl<T: Clone> MessageQueue<T> {
         let mut log = self.inner.log.lock();
         let first = self.inner.base + log.len() as Offset;
         let tee = self.inner.tee.lock();
+        let mut published = 0u64;
         for msg in msgs {
             if let Some(tee) = tee.as_ref() {
                 tee(self.inner.base + log.len() as Offset, &msg);
             }
             log.push(msg);
+            published += 1;
         }
         drop(tee);
         drop(log);
         self.inner.not_empty.notify_all();
+        if published > 0 {
+            self.after_publish(first + published - 1);
+        }
         first
     }
 
@@ -282,6 +324,26 @@ mod tests {
         assert_eq!(q.publish("b"), 1);
         assert_eq!(q.publish_batch(["c", "d"]), 2);
         assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn after_publish_hook_runs_outside_the_lock_with_last_offset() {
+        let q = Arc::new(MessageQueue::new());
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let hook_q = Arc::clone(&q);
+        let hook_seen = Arc::clone(&seen);
+        q.set_after_publish(move |last| {
+            // len() takes the publish lock: if the hook ran under it this
+            // would deadlock, so completing at all proves it runs outside.
+            hook_seen.lock().push((last, hook_q.len()));
+        });
+        assert_eq!(q.publish("a"), 0);
+        assert_eq!(q.publish_batch(["b", "c", "d"]), 1);
+        q.publish_batch(Vec::<&str>::new()); // empty batch: no hook call
+        assert_eq!(*seen.lock(), vec![(0, 1), (3, 4)]);
+        q.clear_after_publish();
+        q.publish("e");
+        assert_eq!(seen.lock().len(), 2, "cleared hook no longer fires");
     }
 
     #[test]

@@ -17,8 +17,18 @@ use crate::distance::squared_l2;
 use crate::kmeans::{Kmeans, KmeansConfig};
 use crate::vector::Vector;
 
-/// Number of codewords per sub-quantizer (one byte per sub-code).
+/// Number of codewords per 8-bit sub-quantizer (one byte per sub-code).
 pub const CODEBOOK_SIZE: usize = 256;
+
+/// Number of codewords per 4-bit sub-quantizer (one nibble per sub-code —
+/// the fast-scan mode, where a whole 16-entry LUT fits in one SIMD
+/// register).
+pub const CODEBOOK_SIZE_4BIT: usize = 16;
+
+/// Codes per fast-scan block (mirrors
+/// [`crate::simd::FASTSCAN_LANES`]): one AVX2/NEON table-lookup pass
+/// computes this many quantized distances.
+pub const FASTSCAN_BLOCK: usize = crate::simd::FASTSCAN_LANES;
 
 /// Configuration for [`ProductQuantizer::train`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,6 +39,10 @@ pub struct PqConfig {
     pub max_iters: usize,
     /// Training seed.
     pub seed: u64,
+    /// Bits per sub-code: `8` (256-word codebooks, one byte per sub) or
+    /// `4` (16-word codebooks, one nibble per sub — enables the fast-scan
+    /// kernels).
+    pub bits: u8,
 }
 
 impl Default for PqConfig {
@@ -37,6 +51,7 @@ impl Default for PqConfig {
             num_subspaces: 8,
             max_iters: 15,
             seed: 0xC0DE,
+            bits: 8,
         }
     }
 }
@@ -63,22 +78,30 @@ impl Default for PqConfig {
 pub struct ProductQuantizer {
     dim: usize,
     sub_dim: usize,
+    /// Bits per sub-code (4 or 8); decides the codebook size `2^bits`.
+    bits: u8,
     // One k-means model per subspace, each over `sub_dim`-dimensional data.
     codebooks: Vec<Kmeans>,
 }
 
 impl ProductQuantizer {
-    /// Trains one 256-word codebook per subspace on `data`.
+    /// Trains one `2^bits`-word codebook per subspace on `data`.
     ///
     /// # Panics
     ///
     /// Panics if `data` is empty, `config.num_subspaces` is zero or does not
-    /// divide the vector dimension, or vectors have inconsistent dimensions.
+    /// divide the vector dimension, `config.bits` is neither 4 nor 8, or
+    /// vectors have inconsistent dimensions.
     pub fn train(data: &[Vector], config: &PqConfig) -> Self {
         assert!(!data.is_empty(), "cannot train PQ on empty data");
         let dim = data[0].dim();
         let m = config.num_subspaces;
         assert!(m > 0, "num_subspaces must be positive");
+        assert!(
+            config.bits == 4 || config.bits == 8,
+            "pq bits must be 4 or 8, got {}",
+            config.bits
+        );
         assert_eq!(
             dim % m,
             0,
@@ -92,7 +115,7 @@ impl ProductQuantizer {
                 .map(|v| Vector::from(&v.as_slice()[sub * sub_dim..(sub + 1) * sub_dim]))
                 .collect();
             let cfg = KmeansConfig {
-                k: CODEBOOK_SIZE,
+                k: 1usize << config.bits,
                 max_iters: config.max_iters,
                 tolerance: 1e-4,
                 seed: config.seed.wrapping_add(sub as u64),
@@ -102,6 +125,7 @@ impl ProductQuantizer {
         Self {
             dim,
             sub_dim,
+            bits: config.bits,
             codebooks,
         }
     }
@@ -111,9 +135,19 @@ impl ProductQuantizer {
         self.dim
     }
 
-    /// Number of subspaces `m` (= bytes per encoded vector).
+    /// Number of subspaces `m` (= sub-codes per encoded vector).
     pub fn num_subspaces(&self) -> usize {
         self.codebooks.len()
+    }
+
+    /// Bits per sub-code: 8 (classic ADC) or 4 (fast-scan).
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Codewords per sub-quantizer (`2^bits`).
+    pub fn ksub(&self) -> usize {
+        1usize << self.bits
     }
 
     /// Encodes `v` into `m` one-byte codes.
@@ -170,6 +204,17 @@ impl ProductQuantizer {
         }
         AdcTable { flat, m }
     }
+
+    /// Builds the quantized u8 ADC table for the fast-scan kernels; see
+    /// [`QuantizedAdcTable`]. Only meaningful in 4-bit mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.bits() != 4` or `query.len() != self.dim()`.
+    pub fn quantized_adc_table(&self, query: &[f32]) -> QuantizedAdcTable {
+        assert_eq!(self.bits, 4, "fast-scan LUTs require 4-bit codes");
+        QuantizedAdcTable::from_table(&self.adc_table(query))
+    }
 }
 
 /// Asymmetric-distance lookup table for one query; see
@@ -203,6 +248,133 @@ impl AdcTable {
     /// differential tests).
     pub fn flat(&self) -> &[f32] {
         &self.flat
+    }
+}
+
+/// Per-query u8 lookup tables for the 4-bit fast-scan kernels.
+///
+/// The f32 ADC rows are affinely rescaled so every entry fits a byte and a
+/// whole distance fits a u16 accumulator:
+///
+/// - per subspace `s`, the finite row minimum `min_s` is subtracted and
+///   folded into one query-global `bias = Σ_s min_s`;
+/// - one global step `delta = max_s (max_s - min_s) / 255` scales every
+///   row, so `lut[s][w] = round((t[s][w] - min_s) / delta)` is in
+///   `0..=255` and `Σ_s lut[s][code_s] ≤ m · 255 ≤ 65535` for `m ≤ 257`
+///   (no u16 saturation in practice; the kernels still saturate
+///   defensively).
+///
+/// A quantized distance `q` maps back as `bias + delta · q`; the rounding
+/// error is at most `delta / 2` per subspace, i.e. [`Self::error_bound`]
+/// overall — which is why fast-scan results are re-ranked before serving.
+#[derive(Debug, Clone)]
+pub struct QuantizedAdcTable {
+    /// Row-major `m × 16` u8 entries (row `s` is subspace `s`'s LUT).
+    luts: Vec<u8>,
+    bias: f32,
+    delta: f32,
+    m: usize,
+}
+
+impl QuantizedAdcTable {
+    /// Quantizes the first [`CODEBOOK_SIZE_4BIT`] entries of each f32 row.
+    ///
+    /// Entries that are `INFINITY` (codewords beyond the trained codebook)
+    /// clamp to 255; codes never reference them.
+    pub fn from_table(table: &AdcTable) -> Self {
+        let m = table.num_subspaces();
+        let flat = table.flat();
+        let mut mins = Vec::with_capacity(m);
+        let mut max_range = 0.0f32;
+        for sub in 0..m {
+            let row = &flat[sub * CODEBOOK_SIZE..sub * CODEBOOK_SIZE + CODEBOOK_SIZE_4BIT];
+            let mut min = f32::INFINITY;
+            let mut max = f32::NEG_INFINITY;
+            for &t in row {
+                if t.is_finite() {
+                    min = min.min(t);
+                    max = max.max(t);
+                }
+            }
+            // A row with no finite entry cannot be produced by a trained
+            // quantizer (k-means always emits ≥ 1 centroid); guard anyway.
+            if !min.is_finite() {
+                min = 0.0;
+                max = 0.0;
+            }
+            max_range = max_range.max(max - min);
+            mins.push(min);
+        }
+        // delta == 0 means every LUT entry quantizes to 0 and distances
+        // collapse to `bias` exactly; keep it positive so `to_f32` stays
+        // finite and the error bound is 0-ish rather than NaN.
+        let delta = if max_range > 0.0 {
+            max_range / 255.0
+        } else {
+            1.0
+        };
+        let mut luts = vec![0u8; m * CODEBOOK_SIZE_4BIT];
+        for sub in 0..m {
+            let row = &flat[sub * CODEBOOK_SIZE..sub * CODEBOOK_SIZE + CODEBOOK_SIZE_4BIT];
+            let out = &mut luts[sub * CODEBOOK_SIZE_4BIT..(sub + 1) * CODEBOOK_SIZE_4BIT];
+            for (o, &t) in out.iter_mut().zip(row) {
+                *o = if t.is_finite() {
+                    (((t - mins[sub]) / delta).round()).clamp(0.0, 255.0) as u8
+                } else {
+                    255
+                };
+            }
+        }
+        Self {
+            luts,
+            bias: mins.iter().sum(),
+            delta,
+            m,
+        }
+    }
+
+    /// The flattened `m × 16` u8 LUTs (kernel input).
+    pub fn luts(&self) -> &[u8] {
+        &self.luts
+    }
+
+    /// Number of subspaces `m`.
+    pub fn num_subspaces(&self) -> usize {
+        self.m
+    }
+
+    /// Maps a kernel's u16 accumulator back to an approximate squared
+    /// distance.
+    #[inline]
+    pub fn to_f32(&self, q: u16) -> f32 {
+        self.bias + self.delta * f32::from(q)
+    }
+
+    /// Quantized distance of one unpacked code (sub-code values `0..16`) —
+    /// the per-id scalar twin of the block kernels. Accumulates with
+    /// saturating u16 adds in subspace order, exactly like
+    /// [`crate::simd::KernelSet::fastscan16`], so per-id and block paths
+    /// are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code.len() != self.num_subspaces()`.
+    #[inline]
+    pub fn distance(&self, code: &[u8]) -> f32 {
+        assert_eq!(code.len(), self.m, "code length mismatch");
+        let mut acc = 0u16;
+        for (sub, &c) in code.iter().enumerate() {
+            acc = acc.saturating_add(u16::from(
+                self.luts[sub * CODEBOOK_SIZE_4BIT + (c & 0x0f) as usize],
+            ));
+        }
+        self.to_f32(acc)
+    }
+
+    /// Worst-case absolute error of a quantized distance vs the f32 ADC
+    /// table it came from (`m · delta / 2` rounding slack).
+    pub fn error_bound(&self) -> f32 {
+        0.5 * self.m as f32 * self.delta
     }
 }
 
@@ -330,6 +502,121 @@ mod tests {
             },
         );
         pq.encode(&[0.0; 4]);
+    }
+
+    #[test]
+    fn four_bit_codes_stay_in_nibble_range() {
+        let data = random_data(300, 16, 11);
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqConfig {
+                num_subspaces: 4,
+                bits: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(pq.bits(), 4);
+        assert_eq!(pq.ksub(), 16);
+        for v in data.iter().take(50) {
+            assert!(pq.encode(v.as_slice()).iter().all(|&c| c < 16));
+        }
+    }
+
+    #[test]
+    fn quantized_table_tracks_f32_table_within_bound() {
+        let data = random_data(400, 16, 12);
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqConfig {
+                num_subspaces: 8,
+                bits: 4,
+                ..Default::default()
+            },
+        );
+        let query = &data[3];
+        let exact = pq.adc_table(query.as_slice());
+        let quant = pq.quantized_adc_table(query.as_slice());
+        let bound = quant.error_bound() + 1e-3;
+        for v in data.iter().take(100) {
+            let code = pq.encode(v.as_slice());
+            let d_exact = exact.distance(&code);
+            let d_quant = quant.distance(&code);
+            assert!(
+                (d_exact - d_quant).abs() <= bound,
+                "quantized {d_quant} vs exact {d_exact}, bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_table_matches_block_kernel_bit_exactly() {
+        // Pack 32 codes the fast-scan way and check the per-id scalar twin
+        // against the dispatched block kernel.
+        let data = random_data(300, 8, 13);
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqConfig {
+                num_subspaces: 4,
+                bits: 4,
+                ..Default::default()
+            },
+        );
+        let quant = pq.quantized_adc_table(data[0].as_slice());
+        let m = pq.num_subspaces();
+        let codes: Vec<Vec<u8>> = data
+            .iter()
+            .take(FASTSCAN_BLOCK)
+            .map(|v| pq.encode(v.as_slice()))
+            .collect();
+        let mut block = vec![0u8; m * CODEBOOK_SIZE_4BIT];
+        for (lane, code) in codes.iter().enumerate() {
+            for (sub, &c) in code.iter().enumerate() {
+                let byte = &mut block[sub * CODEBOOK_SIZE_4BIT + lane % CODEBOOK_SIZE_4BIT];
+                *byte |= if lane < CODEBOOK_SIZE_4BIT { c } else { c << 4 };
+            }
+        }
+        let mut acc = [0u16; FASTSCAN_BLOCK];
+        crate::simd::active().fastscan16(&block, quant.luts(), &mut acc);
+        for (lane, code) in codes.iter().enumerate() {
+            assert_eq!(
+                quant.to_f32(acc[lane]).to_bits(),
+                quant.distance(code).to_bits(),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_identical_rows_quantize_to_bias() {
+        // All codewords equidistant → delta clamps to 1.0 and every
+        // quantized distance equals the bias exactly.
+        let data: Vec<Vector> = (0..100).map(|_| Vector::from(vec![0.0f32; 8])).collect();
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqConfig {
+                num_subspaces: 2,
+                bits: 4,
+                ..Default::default()
+            },
+        );
+        let quant = pq.quantized_adc_table(&[1.0f32; 8]);
+        let code = pq.encode(&[0.5f32; 8]);
+        let exact = pq.adc_table(&[1.0f32; 8]).distance(&code);
+        assert!((quant.distance(&code) - exact).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "fast-scan LUTs require 4-bit codes")]
+    fn quantized_table_requires_4bit_mode() {
+        let data = random_data(300, 8, 14);
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqConfig {
+                num_subspaces: 2,
+                ..Default::default()
+            },
+        );
+        pq.quantized_adc_table(data[0].as_slice());
     }
 
     #[test]

@@ -36,6 +36,14 @@ use std::sync::OnceLock;
 /// free of higher-level imports).
 pub const ADC_ROW: usize = 256;
 
+/// Codes per fast-scan block: one 4-bit fast-scan kernel call scores this
+/// many candidates at once (mirrors `jdvs_core`'s interleaved block size).
+pub const FASTSCAN_LANES: usize = 32;
+
+/// Bytes per subspace row in a fast-scan block / quantized LUT: 16 packed
+/// byte slots (two 4-bit codes each) and 16 u8 LUT entries respectively.
+const FASTSCAN_ROW: usize = 16;
+
 #[inline]
 fn assert_same_len(a: &[f32], b: &[f32]) {
     assert_eq!(
@@ -52,6 +60,7 @@ pub struct KernelSet {
     squared_l2: fn(&[f32], &[f32]) -> f32,
     dot: fn(&[f32], &[f32]) -> f32,
     adc: fn(&[u8], &[f32]) -> f32,
+    fastscan16: fn(&[u8], &[u8], &mut [u16; FASTSCAN_LANES]),
 }
 
 impl std::fmt::Debug for KernelSet {
@@ -105,6 +114,36 @@ impl KernelSet {
         );
         (self.adc)(code, table)
     }
+
+    /// 4-bit fast-scan over one interleaved 32-code block.
+    ///
+    /// `block` and `luts` are both `m` rows of 16 bytes, row `s` belonging
+    /// to subspace `s`. In `block`, byte `t` of a row packs the sub-code of
+    /// block lane `t` in its low nibble and of lane `t + 16` in its high
+    /// nibble; in `luts`, byte `w` of a row is the quantized distance of
+    /// codeword `w` (see [`crate::pq::QuantizedAdcTable`]). Writes the 32
+    /// per-lane sums into `out` using **saturating** u16 adds in subspace
+    /// order `0..m` — every implementation accumulates in this exact order,
+    /// so scalar and SIMD results are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` and `luts` differ in length or are not a whole
+    /// number of 16-byte rows.
+    #[inline]
+    pub fn fastscan16(&self, block: &[u8], luts: &[u8], out: &mut [u16; FASTSCAN_LANES]) {
+        assert_eq!(
+            block.len(),
+            luts.len(),
+            "fast-scan block/LUT shape mismatch"
+        );
+        assert_eq!(
+            block.len() % FASTSCAN_ROW,
+            0,
+            "fast-scan rows must be 16 bytes"
+        );
+        (self.fastscan16)(block, luts, out)
+    }
 }
 
 static SCALAR: KernelSet = KernelSet {
@@ -112,6 +151,7 @@ static SCALAR: KernelSet = KernelSet {
     squared_l2: scalar::squared_l2,
     dot: scalar::dot,
     adc: scalar::adc,
+    fastscan16: scalar::fastscan16,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -120,6 +160,7 @@ static AVX2: KernelSet = KernelSet {
     squared_l2: x86::squared_l2,
     dot: x86::dot,
     adc: x86::adc,
+    fastscan16: x86::fastscan16,
 };
 
 #[cfg(target_arch = "aarch64")]
@@ -130,6 +171,8 @@ static NEON: KernelSet = KernelSet {
     // Table lookups have no NEON gather; the unrolled scalar loop is
     // already load-bound, so reuse it.
     adc: scalar::adc,
+    // 16-entry LUTs do have a NEON home: `vqtbl1q_u8`.
+    fastscan16: neon::fastscan16,
 };
 
 /// The scalar reference kernels (always correct, never dispatched away).
@@ -241,6 +284,26 @@ pub mod scalar {
         }
         acc
     }
+
+    /// Reference fast-scan (see [`super::KernelSet::fastscan16`]); caller
+    /// guarantees `block.len() == luts.len()` and 16-byte rows. Lane `t`
+    /// reads the low nibble of byte `t % 16`, lane `t + 16` the high
+    /// nibble; saturating adds run in subspace order so this is the
+    /// bit-exact oracle for the SIMD kernels.
+    pub fn fastscan16(block: &[u8], luts: &[u8], out: &mut [u16; super::FASTSCAN_LANES]) {
+        let m = block.len() / super::FASTSCAN_ROW;
+        for (lane, slot) in out.iter_mut().enumerate() {
+            let byte = lane % super::FASTSCAN_ROW;
+            let shift = if lane < super::FASTSCAN_ROW { 0 } else { 4 };
+            let mut acc = 0u16;
+            for sub in 0..m {
+                let code = (block[sub * super::FASTSCAN_ROW + byte] >> shift) & 0x0f;
+                acc =
+                    acc.saturating_add(u16::from(luts[sub * super::FASTSCAN_ROW + code as usize]));
+            }
+            *slot = acc;
+        }
+    }
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -336,6 +399,48 @@ mod x86 {
             i += 1;
         }
         total
+    }
+
+    pub(super) fn fastscan16(block: &[u8], luts: &[u8], out: &mut [u16; super::FASTSCAN_LANES]) {
+        // SAFETY: as above — only selected on avx2+fma hardware.
+        unsafe { fastscan16_avx2(block, luts, out) }
+    }
+
+    /// 4-bit fast-scan: per subspace, one `_mm256_shuffle_epi8` performs
+    /// all 32 LUT lookups with the 16-entry LUT broadcast into both
+    /// register halves — the table never leaves registers. Accumulation is
+    /// `_mm256_adds_epu16` (saturating), one subspace per iteration, which
+    /// matches the scalar oracle's per-lane add order exactly.
+    #[target_feature(enable = "avx2")]
+    unsafe fn fastscan16_avx2(block: &[u8], luts: &[u8], out: &mut [u16; super::FASTSCAN_LANES]) {
+        let m = block.len() / super::FASTSCAN_ROW;
+        let zero = _mm256_setzero_si256();
+        let nib = _mm256_set1_epi8(0x0f);
+        // acc_lo: u16 lanes for block lanes 0..8 (128-half 0) and 16..24
+        // (128-half 1); acc_hi: lanes 8..16 and 24..32.
+        let mut acc_lo = zero;
+        let mut acc_hi = zero;
+        for sub in 0..m {
+            let row = sub * super::FASTSCAN_ROW;
+            let codes = _mm_loadu_si128(block.as_ptr().add(row) as *const __m128i);
+            let lut = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                luts.as_ptr().add(row) as *const __m128i
+            ));
+            // Half 0 indexes with the low nibbles (lanes 0..16), half 1
+            // with the high nibbles (lanes 16..32).
+            let idx = _mm256_and_si256(_mm256_set_m128i(_mm_srli_epi16::<4>(codes), codes), nib);
+            let vals = _mm256_shuffle_epi8(lut, idx);
+            acc_lo = _mm256_adds_epu16(acc_lo, _mm256_unpacklo_epi8(vals, zero));
+            acc_hi = _mm256_adds_epu16(acc_hi, _mm256_unpackhi_epi8(vals, zero));
+        }
+        // unpacklo/hi interleave within each 128-bit half, so the lane map
+        // is: acc_lo half 0 → out[0..8], acc_hi half 0 → out[8..16],
+        // acc_lo half 1 → out[16..24], acc_hi half 1 → out[24..32].
+        let op = out.as_mut_ptr() as *mut __m128i;
+        _mm_storeu_si128(op, _mm256_castsi256_si128(acc_lo));
+        _mm_storeu_si128(op.add(1), _mm256_castsi256_si128(acc_hi));
+        _mm_storeu_si128(op.add(2), _mm256_extracti128_si256::<1>(acc_lo));
+        _mm_storeu_si128(op.add(3), _mm256_extracti128_si256::<1>(acc_hi));
     }
 
     #[target_feature(enable = "avx2")]
@@ -436,6 +541,42 @@ mod neon {
             total
         }
     }
+
+    /// 4-bit fast-scan: `vqtbl1q_u8` does all 16 LUT lookups of one nibble
+    /// set in a single instruction with the LUT register-resident;
+    /// accumulation is `vqaddq_u16` (saturating) one subspace at a time,
+    /// matching the scalar oracle's per-lane add order exactly.
+    pub(super) fn fastscan16(block: &[u8], luts: &[u8], out: &mut [u16; super::FASTSCAN_LANES]) {
+        // SAFETY: NEON is baseline AArch64; loads/stores stay inside the
+        // slices (lengths validated by the `KernelSet` wrapper).
+        unsafe {
+            let m = block.len() / super::FASTSCAN_ROW;
+            let nib = vdupq_n_u8(0x0f);
+            // acc0..acc3 hold u16 sums for block lanes 0..8, 8..16,
+            // 16..24 and 24..32 respectively.
+            let mut acc0 = vdupq_n_u16(0);
+            let mut acc1 = vdupq_n_u16(0);
+            let mut acc2 = vdupq_n_u16(0);
+            let mut acc3 = vdupq_n_u16(0);
+            for sub in 0..m {
+                let row = sub * super::FASTSCAN_ROW;
+                let codes = vld1q_u8(block.as_ptr().add(row));
+                let lut = vld1q_u8(luts.as_ptr().add(row));
+                // Low nibbles → lanes 0..16, high nibbles → lanes 16..32.
+                let vals_lo = vqtbl1q_u8(lut, vandq_u8(codes, nib));
+                let vals_hi = vqtbl1q_u8(lut, vshrq_n_u8::<4>(codes));
+                acc0 = vqaddq_u16(acc0, vmovl_u8(vget_low_u8(vals_lo)));
+                acc1 = vqaddq_u16(acc1, vmovl_u8(vget_high_u8(vals_lo)));
+                acc2 = vqaddq_u16(acc2, vmovl_u8(vget_low_u8(vals_hi)));
+                acc3 = vqaddq_u16(acc3, vmovl_u8(vget_high_u8(vals_hi)));
+            }
+            let op = out.as_mut_ptr();
+            vst1q_u16(op, acc0);
+            vst1q_u16(op.add(8), acc1);
+            vst1q_u16(op.add(16), acc2);
+            vst1q_u16(op.add(24), acc3);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -493,6 +634,71 @@ mod tests {
                 "adc m {m}"
             );
         }
+    }
+
+    /// A pseudo-random fast-scan block + LUT pair for `m` subspaces.
+    fn random_fastscan(m: usize, seed: u64, lut_max: u8) -> (Vec<u8>, Vec<u8>) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let block: Vec<u8> = (0..m * 16).map(|_| rng.next_index(256) as u8).collect();
+        let luts: Vec<u8> = (0..m * 16)
+            .map(|_| rng.next_index(lut_max as usize + 1) as u8)
+            .collect();
+        (block, luts)
+    }
+
+    #[test]
+    fn fastscan_best_is_bit_exact_with_scalar() {
+        let best = detect_best();
+        for m in [1usize, 2, 3, 5, 8, 13, 16, 17, 32, 64] {
+            let (block, luts) = random_fastscan(m, m as u64 * 31 + 5, 255);
+            let mut want = [0u16; FASTSCAN_LANES];
+            let mut got = [1u16; FASTSCAN_LANES];
+            scalar().fastscan16(&block, &luts, &mut want);
+            best.fastscan16(&block, &luts, &mut got);
+            assert_eq!(want, got, "fastscan m {m}");
+        }
+    }
+
+    #[test]
+    fn fastscan_saturates_identically() {
+        // m·255 > u16::MAX for m ≥ 258: every lane must clamp to 65535 in
+        // both implementations rather than wrap.
+        let best = detect_best();
+        for m in [258usize, 300] {
+            let (block, _) = random_fastscan(m, 99, 255);
+            let luts = vec![255u8; m * 16];
+            let mut want = [0u16; FASTSCAN_LANES];
+            let mut got = [0u16; FASTSCAN_LANES];
+            scalar().fastscan16(&block, &luts, &mut want);
+            best.fastscan16(&block, &luts, &mut got);
+            assert_eq!(want, got, "saturating fastscan m {m}");
+            assert!(want.iter().all(|&v| v == u16::MAX));
+        }
+    }
+
+    #[test]
+    fn fastscan_matches_per_lane_recomputation() {
+        // Independent oracle: unpack each lane's nibbles and sum by hand.
+        let m = 12usize;
+        let (block, luts) = random_fastscan(m, 4242, 200);
+        let mut out = [0u16; FASTSCAN_LANES];
+        active().fastscan16(&block, &luts, &mut out);
+        for (lane, &got) in out.iter().enumerate() {
+            let mut want = 0u16;
+            for sub in 0..m {
+                let byte = block[sub * 16 + lane % 16];
+                let code = if lane < 16 { byte & 0x0f } else { byte >> 4 };
+                want = want.saturating_add(u16::from(luts[sub * 16 + code as usize]));
+            }
+            assert_eq!(want, got, "lane {lane}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block/LUT shape mismatch")]
+    fn fastscan_shape_mismatch_panics() {
+        let mut out = [0u16; FASTSCAN_LANES];
+        active().fastscan16(&[0u8; 16], &[0u8; 32], &mut out);
     }
 
     #[test]

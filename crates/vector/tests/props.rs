@@ -124,7 +124,7 @@ proptest! {
             .collect();
         let pq = ProductQuantizer::train(
             &data,
-            &PqConfig { num_subspaces: 2, max_iters: 4, seed },
+            &PqConfig { num_subspaces: 2, max_iters: 4, seed, bits: 8 },
         );
         let table = pq.adc_table(data[0].as_slice());
         for v in data.iter().take(10) {
@@ -132,6 +132,46 @@ proptest! {
             let adc = table.distance(&code);
             let exact = squared_l2(data[0].as_slice(), pq.decode(&code).as_slice());
             prop_assert!((adc - exact).abs() < 1e-2, "{adc} vs {exact}");
+        }
+    }
+
+    /// 4-bit PQ: the u8-quantized ADC distance stays within the table's
+    /// advertised `error_bound` of the exact f32 ADC distance, for every
+    /// trained quantizer shape and query the strategy produces. The bound
+    /// is what makes the two-stage re-rank contract safe: stage 1's
+    /// shortlist ranks by quantized distance, stage 2 re-scores exactly.
+    #[test]
+    fn quantized_adc_error_is_bounded(
+        seed in any::<u64>(),
+        m_pow in 1usize..=4, // 2, 4, 8, 16 subspaces
+        scale in 0.01f32..100.0,
+    ) {
+        let m = 1usize << m_pow;
+        let dim = m * 2;
+        let mut rng = Xoshiro256::seed_from(seed ^ 0x4B17);
+        let data: Vec<Vector> = (0..200)
+            .map(|_| (0..dim).map(|_| rng.next_gaussian() as f32 * scale).collect())
+            .collect();
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqConfig { num_subspaces: m, max_iters: 4, seed, bits: 4 },
+        );
+        let query: Vec<f32> = (0..dim).map(|_| rng.next_gaussian() as f32 * scale).collect();
+        let exact = pq.adc_table(&query);
+        let quantized = pq.quantized_adc_table(&query);
+        let bound = quantized.error_bound();
+        prop_assert!(bound.is_finite() && bound >= 0.0);
+        for v in data.iter().take(20) {
+            let code = pq.encode(v.as_slice());
+            let q = quantized.distance(&code);
+            let e = exact.distance(&code);
+            // One ulp-ish slack on top: bound is exact in real arithmetic,
+            // the comparison happens in f32.
+            let slack = bound + e.abs().max(1.0) * 1e-5;
+            prop_assert!(
+                (q - e).abs() <= slack,
+                "m {m} scale {scale}: quantized {q} vs exact {e}, bound {bound}"
+            );
         }
     }
 

@@ -20,10 +20,12 @@
 //! | `searcher-scan` | block execution engine vs per-id scalar scan | [`scan`] |
 //! | `pq-fastscan` | 4-bit fast-scan blocks vs 8-bit ADC scan | [`pq_fastscan`] |
 //! | `recovery` | durable-log append throughput + crash-recovery time | [`recovery`] |
+//! | `serving` | goodput under ~3x overload through the TCP tiers | [`overload`] |
 
 pub mod ablations;
 pub mod day;
 pub mod examples_fig;
+pub mod overload;
 pub mod pq_fastscan;
 pub mod recovery;
 pub mod scan;
@@ -90,6 +92,7 @@ pub const ALL: &[&str] = &[
     "searcher-scan",
     "pq-fastscan",
     "recovery",
+    "serving",
 ];
 
 /// Runs one experiment by id.
@@ -117,6 +120,7 @@ pub fn run(id: &str, ctx: &Ctx) -> Vec<ExperimentResult> {
         "searcher-scan" => vec![scan::searcher_scan(ctx)],
         "pq-fastscan" => vec![pq_fastscan::pq_fastscan(ctx)],
         "recovery" => vec![recovery::recovery(ctx)],
+        "serving" => vec![overload::serving_overload(ctx)],
         other => panic!("unknown experiment id {other:?}"),
     }
 }

@@ -30,6 +30,7 @@ pub mod durability;
 pub mod gauge;
 pub mod histogram;
 pub mod resilience;
+pub mod serving;
 pub mod stopwatch;
 pub mod timeseries;
 
@@ -38,5 +39,6 @@ pub use durability::{DurabilityMetrics, DurabilitySnapshot};
 pub use gauge::Gauge;
 pub use histogram::{Histogram, SharedHistogram};
 pub use resilience::{ResilienceMetrics, ResilienceSnapshot};
+pub use serving::{ServingMetrics, ServingSnapshot};
 pub use stopwatch::Stopwatch;
 pub use timeseries::{HourlySeries, HOURS_PER_DAY};

@@ -24,6 +24,14 @@ pub struct ResilienceMetrics {
     pub partitions_timed_out: Counter,
     /// Partition fan-out calls that failed for a non-timeout reason.
     pub partitions_failed: Counter,
+    /// Partition fan-out calls rejected by a downstream admission
+    /// controller (`Overloaded`) — deliberate load shedding, counted
+    /// apart from failures so availability math never conflates "we chose
+    /// to reject fast" with "a partition died".
+    pub partitions_shed: Counter,
+    /// Individual replica calls rejected with `Overloaded` as observed by
+    /// balancers (also included in `call_failures`).
+    pub calls_overloaded: Counter,
     /// Individual replica call failures observed by balancers.
     pub call_failures: Counter,
     /// Extra failover rotations taken after a fully-failed pass.
@@ -50,6 +58,8 @@ impl ResilienceMetrics {
             queries_budget_exhausted: self.queries_budget_exhausted.get(),
             partitions_timed_out: self.partitions_timed_out.get(),
             partitions_failed: self.partitions_failed.get(),
+            partitions_shed: self.partitions_shed.get(),
+            calls_overloaded: self.calls_overloaded.get(),
             call_failures: self.call_failures.get(),
             retries: self.retries.get(),
             hedges_launched: self.hedges_launched.get(),
@@ -72,6 +82,10 @@ pub struct ResilienceSnapshot {
     pub partitions_timed_out: u64,
     /// See [`ResilienceMetrics::partitions_failed`].
     pub partitions_failed: u64,
+    /// See [`ResilienceMetrics::partitions_shed`].
+    pub partitions_shed: u64,
+    /// See [`ResilienceMetrics::calls_overloaded`].
+    pub calls_overloaded: u64,
     /// See [`ResilienceMetrics::call_failures`].
     pub call_failures: u64,
     /// See [`ResilienceMetrics::retries`].

@@ -31,13 +31,12 @@ use parking_lot::Mutex;
 
 use crate::health::{CircuitState, HealthPolicy, HealthTracker};
 use crate::latency::NetRng;
-use crate::node::NodeHandle;
 use crate::retry::RetryPolicy;
-use crate::rpc::{RpcError, Service};
+use crate::rpc::{CallTarget, RpcError};
 
 /// State shared between a balancer and its detached hedge threads.
-struct Inner<S: Service> {
-    targets: Vec<NodeHandle<S>>,
+struct Inner<T: CallTarget> {
+    targets: Vec<T>,
     health: Vec<HealthTracker>,
     retry: RetryPolicy,
     next: AtomicUsize,
@@ -45,12 +44,12 @@ struct Inner<S: Service> {
     metrics: Option<Arc<ResilienceMetrics>>,
 }
 
-impl<S: Service> Inner<S> {
+impl<T: CallTarget> Inner<T> {
     /// One budgeted, health-aware, retrying failover call; see
     /// [`Balancer::call`].
-    fn call(&self, request: &S::Request, deadline: Duration) -> Result<S::Response, RpcError>
+    fn call(&self, request: &T::Request, deadline: Duration) -> Result<T::Response, RpcError>
     where
-        S::Request: Clone,
+        T::Request: Clone,
     {
         let start = Instant::now();
         let n = self.targets.len();
@@ -101,6 +100,14 @@ impl<S: Service> Inner<S> {
                     Err(e) => last_err = e,
                 }
             }
+            if last_err == RpcError::Overloaded {
+                // Every reachable replica shed this request. Shedding is a
+                // deliberate, authoritative answer from a healthy node —
+                // backoff-retrying into a system that just asked for less
+                // load amplifies the overload and burns the caller's
+                // budget. Propagate the shed fast instead.
+                return Err(last_err);
+            }
         }
         Err(last_err)
     }
@@ -112,12 +119,12 @@ impl<S: Service> Inner<S> {
     fn attempt(
         &self,
         idx: usize,
-        request: &S::Request,
+        request: &T::Request,
         start: Instant,
         deadline: Duration,
-    ) -> Result<Result<S::Response, RpcError>, RpcError>
+    ) -> Result<Result<T::Response, RpcError>, RpcError>
     where
-        S::Request: Clone,
+        T::Request: Clone,
     {
         let remaining = deadline.saturating_sub(start.elapsed());
         if remaining.is_zero() {
@@ -127,6 +134,16 @@ impl<S: Service> Inner<S> {
             Ok(resp) => {
                 self.health[idx].record_success();
                 Ok(Ok(resp))
+            }
+            Err(RpcError::Overloaded) => {
+                // A shed is the admission controller doing its job, not a
+                // fault: it must not push the breaker toward open (that
+                // would mark a healthy-but-busy node down and concentrate
+                // load on its siblings). Counted apart from failures.
+                if let Some(m) = &self.metrics {
+                    m.calls_overloaded.incr();
+                }
+                Ok(Err(RpcError::Overloaded))
             }
             Err(e) => {
                 if self.health[idx].record_failure() {
@@ -143,12 +160,13 @@ impl<S: Service> Inner<S> {
     }
 }
 
-/// Round-robin balancer with budgeted, health-aware failover.
-pub struct Balancer<S: Service> {
-    inner: Arc<Inner<S>>,
+/// Round-robin balancer with budgeted, health-aware failover over any
+/// [`CallTarget`] — in-process node handles or TCP channels.
+pub struct Balancer<T: CallTarget> {
+    inner: Arc<Inner<T>>,
 }
 
-impl<S: Service> std::fmt::Debug for Balancer<S> {
+impl<T: CallTarget> std::fmt::Debug for Balancer<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Balancer")
             .field("targets", &self.inner.targets.len())
@@ -156,14 +174,14 @@ impl<S: Service> std::fmt::Debug for Balancer<S> {
     }
 }
 
-impl<S: Service> Balancer<S> {
+impl<T: CallTarget> Balancer<T> {
     /// Creates a balancer over `targets` with the default [`HealthPolicy`]
     /// and [`RetryPolicy`].
     ///
     /// # Panics
     ///
     /// Panics if `targets` is empty.
-    pub fn new(targets: Vec<NodeHandle<S>>) -> Self {
+    pub fn new(targets: Vec<T>) -> Self {
         Self::with_policies(
             targets,
             HealthPolicy::default(),
@@ -179,7 +197,7 @@ impl<S: Service> Balancer<S> {
     ///
     /// Panics if `targets` is empty.
     pub fn with_policies(
-        targets: Vec<NodeHandle<S>>,
+        targets: Vec<T>,
         health: HealthPolicy,
         retry: RetryPolicy,
         seed: u64,
@@ -235,9 +253,9 @@ impl<S: Service> Balancer<S> {
     ///
     /// Returns the **last** attempt error if every replica fails, or
     /// [`RpcError::Timeout`] once the budget is spent.
-    pub fn call(&self, request: S::Request, deadline: Duration) -> Result<S::Response, RpcError>
+    pub fn call(&self, request: T::Request, deadline: Duration) -> Result<T::Response, RpcError>
     where
-        S::Request: Clone,
+        T::Request: Clone,
     {
         self.inner.call(&request, deadline)
     }
@@ -255,18 +273,18 @@ impl<S: Service> Balancer<S> {
     /// error once both attempts have failed.
     pub fn call_hedged(
         &self,
-        request: S::Request,
+        request: T::Request,
         deadline: Duration,
         hedge_after: Duration,
-    ) -> Result<S::Response, RpcError>
+    ) -> Result<T::Response, RpcError>
     where
-        S::Request: Clone,
+        T::Request: Clone,
     {
         if self.inner.targets.len() < 2 || hedge_after >= deadline {
             return self.inner.call(&request, deadline);
         }
         let start = Instant::now();
-        let (tx, rx) = crossbeam::channel::bounded::<Result<S::Response, RpcError>>(2);
+        let (tx, rx) = crossbeam::channel::bounded::<Result<T::Response, RpcError>>(2);
         {
             let inner = Arc::clone(&self.inner);
             let req = request.clone();
@@ -331,7 +349,7 @@ impl<S: Service> Balancer<S> {
     }
 
     /// The backend that the next call would try first (for tests/metrics).
-    pub fn peek_next(&self) -> &NodeHandle<S> {
+    pub fn peek_next(&self) -> &T {
         &self.inner.targets[self.inner.next.load(Ordering::Relaxed) % self.inner.targets.len()]
     }
 }
@@ -339,7 +357,8 @@ impl<S: Service> Balancer<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::Node;
+    use crate::node::{Node, NodeHandle};
+    use crate::rpc::Service;
     use std::sync::atomic::AtomicU64;
 
     struct Tagged(u64);
@@ -444,7 +463,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one target")]
     fn empty_targets_panics() {
-        Balancer::<Tagged>::new(vec![]);
+        Balancer::<NodeHandle<Tagged>>::new(vec![]);
     }
 
     #[test]

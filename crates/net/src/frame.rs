@@ -1,0 +1,370 @@
+//! Length-prefixed, CRC-checked wire frames and the RPC envelopes they
+//! carry.
+//!
+//! Every message between tiers travels as one frame:
+//!
+//! ```text
+//! [len: u32 LE] [crc32c(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! `len` is bounded by [`MAX_FRAME_BYTES`] so a corrupt or hostile length
+//! prefix cannot make the reader allocate gigabytes, and the CRC32C (the
+//! same checksum guarding the durable log) rejects bit-flipped payloads at
+//! read time instead of decoding them into garbage messages.
+//!
+//! Inside the payload, two fixed envelopes carry the RPC semantics the
+//! serving tier needs *without decoding the body*:
+//!
+//! - **request** — `[budget_us: u64 LE] [body]`: the remaining deadline
+//!   budget granted by the caller, so a listener can make its admission
+//!   decision (shed or queue) before paying for body decode;
+//! - **response** — `[status: u8] [body]`: `0` = success (body is the
+//!   encoded response), `1` = overloaded (body is one [`ShedReason`]
+//!   byte), `2` = error (the handler could not decode or serve the
+//!   request).
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use jdvs_storage::checksum::crc32c;
+
+/// Upper bound on one frame's payload (16 MiB). A search response carrying
+/// a few thousand ranked hits is well under 1 MiB; anything larger is a
+/// corrupt length prefix, not a message.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Why an admission controller rejected a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The token-bucket rate limiter had no token.
+    RateLimited,
+    /// The bounded admission queue was full.
+    QueueFull,
+    /// The request's remaining budget could not cover the estimated queue
+    /// wait (or expired while queued) — rejecting now beats timing out
+    /// downstream.
+    DeadlineHopeless,
+    /// The tier is draining for shutdown.
+    Draining,
+}
+
+impl ShedReason {
+    fn to_byte(self) -> u8 {
+        match self {
+            ShedReason::RateLimited => 0,
+            ShedReason::QueueFull => 1,
+            ShedReason::DeadlineHopeless => 2,
+            ShedReason::Draining => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(ShedReason::RateLimited),
+            1 => Some(ShedReason::QueueFull),
+            2 => Some(ShedReason::DeadlineHopeless),
+            3 => Some(ShedReason::Draining),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::RateLimited => f.write_str("rate limited"),
+            ShedReason::QueueFull => f.write_str("admission queue full"),
+            ShedReason::DeadlineHopeless => f.write_str("remaining budget below queue wait"),
+            ShedReason::Draining => f.write_str("tier draining"),
+        }
+    }
+}
+
+/// Errors reading or parsing a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// An I/O error (including read timeouts) mid-frame.
+    Io(io::Error),
+    /// The length prefix exceeded [`MAX_FRAME_BYTES`].
+    TooLarge(usize),
+    /// The payload's CRC32C did not match the header.
+    Corrupt {
+        /// Checksum stated in the header.
+        expected: u32,
+        /// Checksum of the bytes actually read.
+        actual: u32,
+    },
+    /// The payload was shorter than the envelope it should carry, or the
+    /// envelope's fields were malformed.
+    Malformed,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => f.write_str("connection closed"),
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge(len) => {
+                write!(f, "frame length {len} exceeds cap {MAX_FRAME_BYTES}")
+            }
+            FrameError::Corrupt { expected, actual } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: header {expected:#010x}, payload {actual:#010x}"
+                )
+            }
+            FrameError::Malformed => f.write_str("malformed rpc envelope"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl FrameError {
+    /// Whether the error was a socket read/write timing out (mapped from
+    /// the platform's `WouldBlock`/`TimedOut` kinds).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_BYTES`] — the sender controls
+/// its own payload sizes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    assert!(
+        payload.len() <= MAX_FRAME_BYTES,
+        "frame payload exceeds MAX_FRAME_BYTES"
+    );
+    let mut header = [0u8; 8];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&crc32c(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload, verifying length bound and checksum.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on clean EOF before the first header byte;
+/// [`FrameError::Io`] on I/O errors (including timeouts) anywhere else;
+/// [`FrameError::TooLarge`]/[`FrameError::Corrupt`] on malformed frames.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 8];
+    // Distinguish clean EOF (peer closed between frames) from a torn read.
+    match r.read(&mut header) {
+        Ok(0) => return Err(FrameError::Closed),
+        Ok(n) => {
+            if n < header.len() {
+                r.read_exact(&mut header[n..]).map_err(map_eof)?;
+            }
+        }
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    let expected = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(map_eof)?;
+    let actual = crc32c(&payload);
+    if actual != expected {
+        return Err(FrameError::Corrupt { expected, actual });
+    }
+    Ok(payload)
+}
+
+/// EOF mid-frame is an I/O error (torn frame), not a clean close.
+fn map_eof(e: io::Error) -> FrameError {
+    FrameError::Io(e)
+}
+
+/// A decoded request envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestEnvelope {
+    /// Remaining deadline budget granted by the caller.
+    pub budget: Duration,
+    /// Encoded request body (the tier-specific wire message).
+    pub body: Vec<u8>,
+}
+
+/// Encodes a request envelope (`[budget_us][body]`) into a frame payload.
+pub fn encode_request(budget: Duration, body: &[u8]) -> Vec<u8> {
+    let budget_us = u64::try_from(budget.as_micros()).unwrap_or(u64::MAX);
+    let mut payload = Vec::with_capacity(8 + body.len());
+    payload.extend_from_slice(&budget_us.to_le_bytes());
+    payload.extend_from_slice(body);
+    payload
+}
+
+/// Decodes a request envelope.
+///
+/// # Errors
+///
+/// [`FrameError::Malformed`] if the payload is shorter than the header.
+pub fn decode_request(payload: &[u8]) -> Result<RequestEnvelope, FrameError> {
+    if payload.len() < 8 {
+        return Err(FrameError::Malformed);
+    }
+    let budget_us = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    Ok(RequestEnvelope {
+        budget: Duration::from_micros(budget_us),
+        body: payload[8..].to_vec(),
+    })
+}
+
+/// A decoded response envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseEnvelope {
+    /// Success; the body is the encoded response message.
+    Ok(Vec<u8>),
+    /// The admission controller shed the request.
+    Overloaded(ShedReason),
+    /// The handler failed (e.g. the request body did not decode).
+    Error,
+}
+
+/// Encodes a response envelope into a frame payload.
+pub fn encode_response(resp: &ResponseEnvelope) -> Vec<u8> {
+    match resp {
+        ResponseEnvelope::Ok(body) => {
+            let mut payload = Vec::with_capacity(1 + body.len());
+            payload.push(0);
+            payload.extend_from_slice(body);
+            payload
+        }
+        ResponseEnvelope::Overloaded(reason) => vec![1, reason.to_byte()],
+        ResponseEnvelope::Error => vec![2],
+    }
+}
+
+/// Decodes a response envelope.
+///
+/// # Errors
+///
+/// [`FrameError::Malformed`] on an empty payload, unknown status byte, or
+/// a malformed overload reason.
+pub fn decode_response(payload: &[u8]) -> Result<ResponseEnvelope, FrameError> {
+    match payload.split_first() {
+        Some((0, body)) => Ok(ResponseEnvelope::Ok(body.to_vec())),
+        Some((1, [b])) => ShedReason::from_byte(*b)
+            .map(ResponseEnvelope::Overloaded)
+            .ok_or(FrameError::Malformed),
+        Some((2, [])) => Ok(ResponseEnvelope::Error),
+        _ => Err(FrameError::Malformed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frames").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello frames");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(FrameError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_length_is_bounded() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        buf[3] = 0xFF; // blow up the length prefix
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn torn_frame_is_an_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"truncated-in-flight").unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(FrameError::Io(_))
+        ));
+        // Torn header too.
+        assert!(matches!(
+            read_frame(&mut Cursor::new(vec![1u8, 2, 3])),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn request_envelope_round_trip() {
+        let payload = encode_request(Duration::from_micros(12_345), b"body-bytes");
+        let env = decode_request(&payload).unwrap();
+        assert_eq!(env.budget, Duration::from_micros(12_345));
+        assert_eq!(env.body, b"body-bytes");
+        assert!(matches!(
+            decode_request(&payload[..7]),
+            Err(FrameError::Malformed)
+        ));
+    }
+
+    #[test]
+    fn response_envelope_round_trip() {
+        for env in [
+            ResponseEnvelope::Ok(b"resp".to_vec()),
+            ResponseEnvelope::Ok(Vec::new()),
+            ResponseEnvelope::Overloaded(ShedReason::RateLimited),
+            ResponseEnvelope::Overloaded(ShedReason::QueueFull),
+            ResponseEnvelope::Overloaded(ShedReason::DeadlineHopeless),
+            ResponseEnvelope::Overloaded(ShedReason::Draining),
+            ResponseEnvelope::Error,
+        ] {
+            assert_eq!(decode_response(&encode_response(&env)).unwrap(), env);
+        }
+        assert!(decode_response(&[]).is_err());
+        assert!(decode_response(&[9]).is_err());
+        assert!(decode_response(&[1, 77]).is_err());
+        assert!(decode_response(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn timeout_kinds_are_recognized() {
+        let e = FrameError::Io(io::Error::new(io::ErrorKind::WouldBlock, "t"));
+        assert!(e.is_timeout());
+        let e = FrameError::Io(io::Error::new(io::ErrorKind::TimedOut, "t"));
+        assert!(e.is_timeout());
+        assert!(!FrameError::Closed.is_timeout());
+    }
+}

@@ -13,10 +13,23 @@
 //! - [`latency`] — seeded per-hop latency distributions.
 //! - [`fault`] — drop/fail/slow injection, runtime-togglable.
 //! - [`balancer`] — round-robin load balancer with budgeted, health-aware
-//!   failover and hedged calls (the paper's front end).
+//!   failover and hedged calls (the paper's front end), generic over any
+//!   [`rpc::CallTarget`] (in-process handles or TCP channels).
 //! - [`health`] — per-node circuit breaker consulted by the balancer.
 //! - [`retry`] — jittered exponential-backoff retry policy.
 //! - [`cluster`] — lifecycle helper that shuts a set of nodes down.
+//!
+//! The network-native serving tier layers on top:
+//!
+//! - [`frame`] — length-prefixed, CRC32C-checked wire frames plus the
+//!   request/response envelopes carrying deadline budgets and overload
+//!   status.
+//! - [`admission`] — per-tier admission control: token-bucket rate
+//!   limiting, a bounded queue with deadline-aware shedding, and a
+//!   concurrency limit.
+//! - [`tcp`] — [`tcp::TcpTier`], a framed TCP listener serving any
+//!   [`rpc::Service`] behind admission control, and [`tcp::TcpChannel`],
+//!   the pooled client stub implementing [`rpc::CallTarget`].
 //!
 //! ## Example
 //!
@@ -42,20 +55,26 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
 pub mod balancer;
 pub mod cluster;
 pub mod fault;
+pub mod frame;
 pub mod health;
 pub mod latency;
 pub mod node;
 pub mod retry;
 pub mod rpc;
+pub mod tcp;
 
+pub use admission::{AdmissionConfig, AdmissionController};
 pub use balancer::Balancer;
 pub use cluster::Cluster;
 pub use fault::FaultInjector;
+pub use frame::ShedReason;
 pub use health::{CircuitState, HealthPolicy, HealthTracker};
 pub use latency::LatencyModel;
 pub use node::{Node, NodeHandle};
 pub use retry::RetryPolicy;
-pub use rpc::{RpcError, Service};
+pub use rpc::{CallTarget, RpcError, Service};
+pub use tcp::{TcpChannel, TcpTier};

@@ -23,7 +23,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::fault::FaultInjector;
 use crate::latency::{LatencyModel, LatencySampler};
-use crate::rpc::{RpcError, Service};
+use crate::rpc::{CallTarget, RpcError, Service};
 
 struct Envelope<Req, Resp> {
     request: Req,
@@ -219,6 +219,23 @@ impl<S: Service> NodeHandle<S> {
             Err(RecvTimeoutError::Timeout) => Err(RpcError::Timeout { deadline }),
             Err(RecvTimeoutError::Disconnected) => Err(RpcError::NodeDown),
         }
+    }
+}
+
+impl<S: Service> CallTarget for NodeHandle<S> {
+    type Request = S::Request;
+    type Response = S::Response;
+
+    fn call(&self, request: S::Request, deadline: Duration) -> Result<S::Response, RpcError> {
+        NodeHandle::call(self, request, deadline)
+    }
+
+    fn is_down(&self) -> bool {
+        NodeHandle::is_down(self)
+    }
+
+    fn target_name(&self) -> &str {
+        self.node_name()
     }
 }
 

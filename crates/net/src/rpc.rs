@@ -1,4 +1,4 @@
-//! RPC contract: the service trait and call errors.
+//! RPC contract: the service trait, call targets, and call errors.
 
 use std::time::Duration;
 
@@ -17,6 +17,32 @@ pub trait Service: Send + Sync + 'static {
     fn handle(&self, req: Self::Request) -> Self::Response;
 }
 
+/// Something a [`crate::balancer::Balancer`] can route requests to: an
+/// in-process [`crate::node::NodeHandle`] or a [`crate::tcp::TcpChannel`]
+/// to a remote tier. The balancer's resilience machinery (budgeted
+/// failover, circuit breakers, hedging) is written against this trait, so
+/// the same policies run unchanged over channels and over real sockets.
+pub trait CallTarget: Send + Sync + 'static {
+    /// Request message type.
+    type Request: Send + 'static;
+    /// Response message type.
+    type Response: Send + 'static;
+
+    /// Performs one call with a deadline.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RpcError`]; see the implementor for the exact mapping.
+    fn call(&self, request: Self::Request, deadline: Duration) -> Result<Self::Response, RpcError>;
+
+    /// Whether the target is known-dead without spending a call on it
+    /// (best-effort; network targets may only learn from a failed call).
+    fn is_down(&self) -> bool;
+
+    /// Human-readable target name for diagnostics.
+    fn target_name(&self) -> &str;
+}
+
 /// Errors a remote call can produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RpcError {
@@ -29,6 +55,11 @@ pub enum RpcError {
     NodeDown,
     /// The fault injector dropped the request.
     Dropped,
+    /// The target's admission controller rejected the request (rate limit,
+    /// full queue, hopeless deadline, or drain). Deliberate fast rejection
+    /// under overload — the service is alive, and retrying elsewhere (or
+    /// later) is the right reaction, unlike [`RpcError::NodeDown`].
+    Overloaded,
 }
 
 impl std::fmt::Display for RpcError {
@@ -37,6 +68,7 @@ impl std::fmt::Display for RpcError {
             RpcError::Timeout { deadline } => write!(f, "rpc timed out after {deadline:?}"),
             RpcError::NodeDown => f.write_str("target node is down"),
             RpcError::Dropped => f.write_str("request dropped by fault injection"),
+            RpcError::Overloaded => f.write_str("request shed by target admission control"),
         }
     }
 }
@@ -56,6 +88,7 @@ mod tests {
         .contains("timed out"));
         assert!(RpcError::NodeDown.to_string().contains("down"));
         assert!(RpcError::Dropped.to_string().contains("dropped"));
+        assert!(RpcError::Overloaded.to_string().contains("shed"));
     }
 
     #[test]

@@ -1,0 +1,674 @@
+//! Socket-backed serving: a framed TCP listener wrapping a [`Service`]
+//! behind an [`AdmissionController`], and the matching pooled client
+//! channel implementing [`CallTarget`].
+//!
+//! This is the network-native counterpart of [`crate::node::Node`]: the
+//! same `Service` implementations (searchers, brokers, blenders) serve
+//! unmodified, but requests arrive as CRC-checked frames over real
+//! loopback sockets, pass through the tier's admission front door
+//! *before* body decode, and tiers can be drained or crashed
+//! independently.
+//!
+//! ## Offline substitution
+//!
+//! The design brief calls for a tokio-based transport; this build runs in
+//! an offline environment where tokio is not vendored, so the transport
+//! uses `std::net` blocking sockets with dedicated threads — a
+//! thread-per-connection accept loop, read-timeout polling for shutdown
+//! signals, and condvar-based admission queues. The wire format, the
+//! admission state machine and the drain/crash semantics are transport
+//! agnostic.
+
+use std::io;
+use std::marker::PhantomData;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use jdvs_metrics::ServingMetrics;
+
+use crate::admission::{AdmissionConfig, AdmissionController};
+use crate::frame::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    FrameError, ResponseEnvelope,
+};
+use crate::rpc::{CallTarget, RpcError, Service};
+
+/// How often a connection thread wakes from a blocked read to check the
+/// stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// How often the accept loop polls its non-blocking listener.
+const ACCEPT_INTERVAL: Duration = Duration::from_millis(2);
+
+/// Idle connections kept per client channel.
+const POOL_CAP: usize = 8;
+
+/// Floor for socket timeouts (`set_read_timeout(Some(0))` is an error).
+const MIN_SOCKET_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// One tier of the serving stack listening on a real TCP socket.
+///
+/// Accepts framed requests, runs them through admission control, and
+/// serves admitted ones on per-connection threads. Supports a graceful
+/// [`TcpTier::drain`] (answer in-flight work, shed new arrivals, then
+/// stop) and an abrupt [`TcpTier::crash`] (sever everything mid-flight,
+/// refuse new connections) for fault-injection tests.
+pub struct TcpTier<S: Service> {
+    name: String,
+    local_addr: SocketAddr,
+    admission: Arc<AdmissionController>,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    streams: Arc<Mutex<Vec<TcpStream>>>,
+    stopped: bool,
+    _service: PhantomData<fn() -> S>,
+}
+
+impl<S: Service> std::fmt::Debug for TcpTier<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTier")
+            .field("name", &self.name)
+            .field("local_addr", &self.local_addr)
+            .field("stopped", &self.stopped)
+            .finish()
+    }
+}
+
+impl<S: Service> TcpTier<S> {
+    /// Binds a listener on an OS-assigned loopback port and starts serving
+    /// `service` behind admission control.
+    ///
+    /// `decode_request_body` / `encode_response_body` bridge the wire to
+    /// the service's message types; a body that fails to decode is
+    /// answered with an error envelope (never a crash).
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener bind errors.
+    pub fn spawn(
+        name: &str,
+        service: S,
+        decode_request_body: fn(&[u8]) -> Option<S::Request>,
+        encode_response_body: fn(&S::Response) -> Vec<u8>,
+        config: AdmissionConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let metrics = Arc::new(ServingMetrics::new());
+        let admission = Arc::new(AdmissionController::new(config, metrics));
+        let service = Arc::new(service);
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_handle = {
+            let admission = Arc::clone(&admission);
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let workers = Arc::clone(&workers);
+            let streams = Arc::clone(&streams);
+            let name = name.to_string();
+            thread::Builder::new()
+                .name(format!("{name}-accept"))
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if stream.set_nonblocking(false).is_err() {
+                                    continue;
+                                }
+                                let _ = stream.set_nodelay(true);
+                                let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+                                if let Ok(clone) = stream.try_clone() {
+                                    streams.lock().push(clone);
+                                }
+                                let admission = Arc::clone(&admission);
+                                let service = Arc::clone(&service);
+                                let stop = Arc::clone(&stop);
+                                let handle = thread::Builder::new()
+                                    .name(format!("{name}-conn"))
+                                    .spawn(move || {
+                                        serve_connection(
+                                            stream,
+                                            &service,
+                                            &admission,
+                                            decode_request_body,
+                                            encode_response_body,
+                                            &stop,
+                                        );
+                                    })
+                                    .expect("spawn connection thread");
+                                workers.lock().push(handle);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                thread::sleep(ACCEPT_INTERVAL);
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    // Listener drops here: further connects are refused.
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Self {
+            name: name.to_string(),
+            local_addr,
+            admission,
+            stop,
+            accept_handle: Some(accept_handle),
+            workers,
+            streams,
+            stopped: false,
+            _service: PhantomData,
+        })
+    }
+
+    /// The loopback address the tier listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Tier name (used in thread names and diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Serving metrics for this tier (admissions, sheds, concurrency
+    /// high-water marks).
+    pub fn metrics(&self) -> &Arc<ServingMetrics> {
+        self.admission.metrics()
+    }
+
+    /// The tier's admission controller (for drain checks in tests).
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
+    }
+
+    /// Gracefully drains the tier: new requests are shed with a fast
+    /// `Draining` rejection, in-flight requests are answered, and once the
+    /// tier is idle (or `timeout` elapses) all threads are stopped and the
+    /// listener is closed.
+    ///
+    /// Returns `true` if the tier went idle before the timeout.
+    pub fn drain(&mut self, timeout: Duration) -> bool {
+        self.admission.start_draining();
+        let deadline = Instant::now() + timeout;
+        let mut idle = false;
+        while Instant::now() < deadline {
+            if self.admission.in_flight() == 0 {
+                idle = true;
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        self.stop_threads(true);
+        idle
+    }
+
+    /// Simulates a process crash: the listener closes (subsequent connects
+    /// are refused), every open connection is severed mid-whatever, and no
+    /// in-flight request receives a response.
+    ///
+    /// Connection threads still inside a handler are detached rather than
+    /// joined (their response write fails and they exit on their own) — a
+    /// crash must not wait for in-flight work.
+    pub fn crash(&mut self) {
+        self.stop_threads(false);
+    }
+
+    fn stop_threads(&mut self, join_workers: bool) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        self.stop.store(true, Ordering::SeqCst);
+        self.admission.start_draining();
+        // Sever tracked connections so blocked reads/writes fail now.
+        for s in self.streams.lock().drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        let workers = std::mem::take(&mut *self.workers.lock());
+        if join_workers {
+            for h in workers {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl<S: Service> Drop for TcpTier<S> {
+    fn drop(&mut self) {
+        // Detach any worker still inside a handler; it exits once its
+        // response write fails against the severed socket.
+        self.stop_threads(false);
+    }
+}
+
+/// Serves one connection until the peer closes, the stream breaks, or the
+/// tier stops.
+///
+/// A read timeout with no bytes consumed just re-polls the stop flag; a
+/// timeout *mid-frame* desynchronizes the stream, which the CRC check
+/// catches on the next frame — the connection is then dropped rather than
+/// risk misparsing.
+fn serve_connection<S: Service>(
+    mut stream: TcpStream,
+    service: &Arc<S>,
+    admission: &Arc<AdmissionController>,
+    decode_request_body: fn(&[u8]) -> Option<S::Request>,
+    encode_response_body: fn(&S::Response) -> Vec<u8>,
+    stop: &AtomicBool,
+) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(e) if e.is_timeout() => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return, // closed, torn or corrupt: drop the connection
+        };
+        let metrics = admission.metrics();
+        let envelope = match decode_request(&payload) {
+            Ok(env) => env,
+            Err(_) => {
+                metrics.decode_errors.incr();
+                if respond(&mut stream, &ResponseEnvelope::Error).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let reply = match admission.admit(envelope.budget) {
+            Err(reason) => ResponseEnvelope::Overloaded(reason),
+            Ok(permit) => {
+                let reply = match decode_request_body(&envelope.body) {
+                    Some(request) => {
+                        let response = service.handle(request);
+                        ResponseEnvelope::Ok(encode_response_body(&response))
+                    }
+                    None => {
+                        metrics.decode_errors.incr();
+                        ResponseEnvelope::Error
+                    }
+                };
+                drop(permit);
+                reply
+            }
+        };
+        if respond(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, envelope: &ResponseEnvelope) -> io::Result<()> {
+    write_frame(stream, &encode_response(envelope))
+}
+
+/// A pooled client channel to one remote tier, implementing
+/// [`CallTarget`] so a [`crate::balancer::Balancer`] can spread calls,
+/// trip breakers and hedge across network replicas exactly as it does
+/// across in-process nodes.
+pub struct TcpChannel<Req, Resp> {
+    name: String,
+    addr: SocketAddr,
+    encode_request_body: fn(&Req) -> Vec<u8>,
+    decode_response_body: fn(&[u8]) -> Option<Resp>,
+    pool: Mutex<Vec<TcpStream>>,
+}
+
+impl<Req, Resp> std::fmt::Debug for TcpChannel<Req, Resp> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpChannel")
+            .field("name", &self.name)
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+enum CallFail {
+    /// A pooled connection went stale (peer closed it between calls);
+    /// worth one retry on a fresh connection.
+    Stale,
+    Rpc(RpcError),
+}
+
+impl<Req, Resp> TcpChannel<Req, Resp> {
+    /// Creates a channel to `addr`. Connections are opened lazily on first
+    /// call and reused afterwards.
+    pub fn new(
+        name: impl Into<String>,
+        addr: SocketAddr,
+        encode_request_body: fn(&Req) -> Vec<u8>,
+        decode_response_body: fn(&[u8]) -> Option<Resp>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            addr,
+            encode_request_body,
+            decode_response_body,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The remote address this channel dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn exchange(
+        &self,
+        stream: &mut TcpStream,
+        body: &[u8],
+        deadline_at: Instant,
+        total_deadline: Duration,
+    ) -> Result<Resp, CallFail> {
+        let remaining = deadline_at.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(CallFail::Rpc(RpcError::Timeout {
+                deadline: total_deadline,
+            }));
+        }
+        let socket_timeout = remaining.max(MIN_SOCKET_TIMEOUT);
+        let _ = stream.set_write_timeout(Some(socket_timeout));
+        let _ = stream.set_read_timeout(Some(socket_timeout));
+
+        let payload = encode_request(remaining, body);
+        if let Err(e) = write_frame(stream, &payload) {
+            return Err(
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) {
+                    CallFail::Rpc(RpcError::Timeout {
+                        deadline: total_deadline,
+                    })
+                } else {
+                    CallFail::Stale
+                },
+            );
+        }
+        let response = match read_frame(stream) {
+            Ok(p) => p,
+            Err(e) if e.is_timeout() => {
+                return Err(CallFail::Rpc(RpcError::Timeout {
+                    deadline: total_deadline,
+                }))
+            }
+            Err(FrameError::Closed) => return Err(CallFail::Stale),
+            Err(_) => return Err(CallFail::Rpc(RpcError::NodeDown)),
+        };
+        match decode_response(&response) {
+            Ok(ResponseEnvelope::Ok(body)) => {
+                (self.decode_response_body)(&body).ok_or(CallFail::Rpc(RpcError::NodeDown))
+            }
+            Ok(ResponseEnvelope::Overloaded(_)) => Err(CallFail::Rpc(RpcError::Overloaded)),
+            Ok(ResponseEnvelope::Error) | Err(_) => Err(CallFail::Rpc(RpcError::NodeDown)),
+        }
+    }
+}
+
+impl<Req, Resp> CallTarget for TcpChannel<Req, Resp>
+where
+    Req: Send + Sync + 'static,
+    Resp: Send + Sync + 'static,
+{
+    type Request = Req;
+    type Response = Resp;
+
+    fn call(&self, request: Req, deadline: Duration) -> Result<Resp, RpcError> {
+        let deadline_at = Instant::now() + deadline;
+        let body = (self.encode_request_body)(&request);
+
+        // Queries are idempotent, so a stale pooled connection (or one the
+        // peer closed mid-call) is worth exactly one retry on a fresh
+        // socket before reporting the node down.
+        for _attempt in 0..2 {
+            let pooled = self.pool.lock().pop();
+            let mut stream = match pooled {
+                Some(s) => s,
+                None => {
+                    let remaining = deadline_at.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Err(RpcError::Timeout { deadline });
+                    }
+                    match TcpStream::connect_timeout(&self.addr, remaining.max(MIN_SOCKET_TIMEOUT))
+                    {
+                        Ok(s) => {
+                            let _ = s.set_nodelay(true);
+                            s
+                        }
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                            ) =>
+                        {
+                            return Err(RpcError::Timeout { deadline })
+                        }
+                        Err(_) => return Err(RpcError::NodeDown),
+                    }
+                }
+            };
+            match self.exchange(&mut stream, &body, deadline_at, deadline) {
+                Ok(resp) => {
+                    let mut pool = self.pool.lock();
+                    if pool.len() < POOL_CAP {
+                        pool.push(stream);
+                    }
+                    return Ok(resp);
+                }
+                Err(CallFail::Stale) => continue, // fresh socket next round
+                Err(CallFail::Rpc(e)) => return Err(e),
+            }
+        }
+        Err(RpcError::NodeDown)
+    }
+
+    fn is_down(&self) -> bool {
+        false // a network target only learns from failed calls
+    }
+
+    fn target_name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionConfig;
+
+    struct Echo;
+    impl Service for Echo {
+        type Request = Vec<u8>;
+        type Response = Vec<u8>;
+        fn handle(&self, req: Vec<u8>) -> Vec<u8> {
+            req
+        }
+    }
+
+    struct Sleeper(Duration);
+    impl Service for Sleeper {
+        type Request = Vec<u8>;
+        type Response = Vec<u8>;
+        fn handle(&self, req: Vec<u8>) -> Vec<u8> {
+            thread::sleep(self.0);
+            req
+        }
+    }
+
+    fn bytes_decode(b: &[u8]) -> Option<Vec<u8>> {
+        Some(b.to_vec())
+    }
+    #[allow(clippy::ptr_arg)] // must match the fn(&Req) -> Vec<u8> pointer shape
+    fn bytes_encode(b: &Vec<u8>) -> Vec<u8> {
+        b.clone()
+    }
+
+    fn channel_to<S: Service>(tier: &TcpTier<S>) -> TcpChannel<Vec<u8>, Vec<u8>> {
+        TcpChannel::new("chan", tier.local_addr(), bytes_encode, bytes_decode)
+    }
+
+    #[test]
+    fn echo_round_trip_over_tcp() {
+        let tier = TcpTier::spawn(
+            "echo",
+            Echo,
+            bytes_decode,
+            bytes_encode,
+            AdmissionConfig::default(),
+        )
+        .unwrap();
+        let chan = channel_to(&tier);
+        for i in 0..20u8 {
+            let resp = chan.call(vec![i, i + 1], Duration::from_secs(2)).unwrap();
+            assert_eq!(resp, vec![i, i + 1]);
+        }
+        assert_eq!(tier.metrics().admitted.get(), 20);
+        assert_eq!(tier.metrics().completed.get(), 20);
+    }
+
+    #[test]
+    fn overload_sheds_fast() {
+        let tier = TcpTier::spawn(
+            "slow",
+            Sleeper(Duration::from_millis(300)),
+            bytes_decode,
+            bytes_encode,
+            AdmissionConfig {
+                max_concurrency: 1,
+                queue_capacity: 0,
+                ..AdmissionConfig::default()
+            },
+        )
+        .unwrap();
+        let chan = Arc::new(channel_to(&tier));
+        let c2 = Arc::clone(&chan);
+        let busy = thread::spawn(move || c2.call(vec![1], Duration::from_secs(3)));
+        thread::sleep(Duration::from_millis(100)); // let the first call occupy the slot
+        let start = Instant::now();
+        let shed = chan.call(vec![2], Duration::from_secs(3));
+        let shed_latency = start.elapsed();
+        assert_eq!(shed.unwrap_err(), RpcError::Overloaded);
+        assert!(
+            shed_latency < Duration::from_millis(150),
+            "shed took {shed_latency:?}, expected a fast rejection"
+        );
+        busy.join().unwrap().unwrap();
+        assert_eq!(tier.metrics().shed_queue_full.get(), 1);
+    }
+
+    #[test]
+    fn drain_answers_in_flight_then_refuses_connections() {
+        let mut tier = TcpTier::spawn(
+            "drainable",
+            Sleeper(Duration::from_millis(150)),
+            bytes_decode,
+            bytes_encode,
+            AdmissionConfig::default(),
+        )
+        .unwrap();
+        let addr = tier.local_addr();
+        let chan = Arc::new(channel_to(&tier));
+        let c2 = Arc::clone(&chan);
+        let inflight = thread::spawn(move || c2.call(vec![7], Duration::from_secs(3)));
+        // Positive handshake: wait until the request is actually admitted
+        // before draining — a fixed sleep races the connect under load.
+        let t0 = Instant::now();
+        while tier.metrics().admitted.get() == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(2), "call never admitted");
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert!(tier.drain(Duration::from_secs(3)), "tier should go idle");
+        // The in-flight request was answered, not severed.
+        assert_eq!(inflight.join().unwrap().unwrap(), vec![7]);
+        // New connections are refused now.
+        let fresh = TcpChannel::new("late", addr, bytes_encode, bytes_decode);
+        assert_eq!(
+            fresh.call(vec![9], Duration::from_millis(500)).unwrap_err(),
+            RpcError::NodeDown
+        );
+    }
+
+    #[test]
+    fn draining_tier_sheds_new_requests() {
+        let tier = TcpTier::spawn(
+            "shedding",
+            Echo,
+            bytes_decode,
+            bytes_encode,
+            AdmissionConfig::default(),
+        )
+        .unwrap();
+        let chan = channel_to(&tier);
+        chan.call(vec![1], Duration::from_secs(1)).unwrap();
+        tier.admission().start_draining();
+        assert_eq!(
+            chan.call(vec![2], Duration::from_secs(1)).unwrap_err(),
+            RpcError::Overloaded
+        );
+        assert_eq!(tier.metrics().shed_draining.get(), 1);
+    }
+
+    #[test]
+    fn crash_severs_in_flight_and_refuses_new() {
+        let mut tier = TcpTier::spawn(
+            "crashy",
+            Sleeper(Duration::from_secs(5)),
+            bytes_decode,
+            bytes_encode,
+            AdmissionConfig::default(),
+        )
+        .unwrap();
+        let addr = tier.local_addr();
+        let chan = Arc::new(channel_to(&tier));
+        let c2 = Arc::clone(&chan);
+        let doomed = thread::spawn(move || c2.call(vec![1], Duration::from_millis(400)));
+        thread::sleep(Duration::from_millis(50));
+        tier.crash();
+        // The in-flight call fails (severed or timed out), never succeeds.
+        assert!(doomed.join().unwrap().is_err());
+        let fresh = TcpChannel::new("late", addr, bytes_encode, bytes_decode);
+        assert_eq!(
+            fresh.call(vec![2], Duration::from_millis(300)).unwrap_err(),
+            RpcError::NodeDown
+        );
+    }
+
+    #[test]
+    fn tiny_budget_is_shed_as_hopeless() {
+        let tier = TcpTier::spawn(
+            "strict",
+            Echo,
+            bytes_decode,
+            bytes_encode,
+            AdmissionConfig {
+                min_budget: Duration::from_millis(50),
+                ..AdmissionConfig::default()
+            },
+        )
+        .unwrap();
+        let chan = channel_to(&tier);
+        assert_eq!(
+            chan.call(vec![1], Duration::from_millis(10)).unwrap_err(),
+            RpcError::Overloaded
+        );
+        assert_eq!(tier.metrics().shed_deadline.get(), 1);
+    }
+}

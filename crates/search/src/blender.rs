@@ -24,23 +24,29 @@ use jdvs_features::category::CategoryDetector;
 use jdvs_features::CachingExtractor;
 use jdvs_metrics::ResilienceMetrics;
 use jdvs_net::balancer::Balancer;
-use jdvs_net::rpc::{RpcError, Service};
+use jdvs_net::node::NodeHandle;
+use jdvs_net::rpc::{CallTarget, RpcError, Service};
 use jdvs_storage::lru::LruCache;
 use jdvs_storage::model::ImageKey;
 use jdvs_storage::ImageStore;
 
 use crate::broker::BrokerService;
-use crate::protocol::{FanoutQuery, QueryInput, SearchQuery, SearchResponse};
+use crate::protocol::{FanoutQuery, PartialResponse, QueryInput, SearchQuery, SearchResponse};
 use crate::ranking::RankingPolicy;
 
 /// Fraction of the remaining budget granted to the next hop; the held-back
 /// margin pays for the merge, ranking, and the reply trip.
 const BUDGET_MARGIN: f64 = 0.9;
 
-/// One blender instance.
-pub struct BlenderService {
+/// One blender instance, generic over the transport to its broker groups:
+/// in-process [`NodeHandle`]s (the default) or
+/// [`jdvs_net::tcp::TcpChannel`]s when the tiers run over real sockets.
+pub struct BlenderService<B = NodeHandle<BrokerService>>
+where
+    B: CallTarget<Request = FanoutQuery, Response = PartialResponse>,
+{
     /// One balancer per broker group (instances of a group are identical).
-    broker_groups: Vec<Balancer<BrokerService>>,
+    broker_groups: Vec<Balancer<B>>,
     extractor: Arc<CachingExtractor>,
     images: Arc<ImageStore>,
     ranking: RankingPolicy,
@@ -61,7 +67,10 @@ pub struct BlenderService {
     metrics: Option<Arc<ResilienceMetrics>>,
 }
 
-impl std::fmt::Debug for BlenderService {
+impl<B> std::fmt::Debug for BlenderService<B>
+where
+    B: CallTarget<Request = FanoutQuery, Response = PartialResponse>,
+{
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BlenderService")
             .field("broker_groups", &self.broker_groups.len())
@@ -69,14 +78,17 @@ impl std::fmt::Debug for BlenderService {
     }
 }
 
-impl BlenderService {
+impl<B> BlenderService<B>
+where
+    B: CallTarget<Request = FanoutQuery, Response = PartialResponse>,
+{
     /// Creates a blender over its broker-group balancers.
     ///
     /// # Panics
     ///
     /// Panics if `broker_groups` is empty.
     pub fn new(
-        broker_groups: Vec<Balancer<BrokerService>>,
+        broker_groups: Vec<Balancer<B>>,
         extractor: Arc<CachingExtractor>,
         images: Arc<ImageStore>,
         ranking: RankingPolicy,
@@ -219,22 +231,21 @@ impl BlenderService {
             compressed: query.compressed,
             budget: remaining.map(|_| per_group),
         };
-        let responses: Vec<Result<crate::protocol::PartialResponse, RpcError>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .broker_groups
-                    .iter()
-                    .map(|group| {
-                        let q = fanout.clone();
-                        scope.spawn(move |_| group.call(q, per_group))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().unwrap_or(Err(RpcError::NodeDown)))
-                    .collect()
-            })
-            .expect("blender fan-out scope");
+        let responses: Vec<Result<PartialResponse, RpcError>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .broker_groups
+                .iter()
+                .map(|group| {
+                    let q = fanout.clone();
+                    scope.spawn(move |_| group.call(q, per_group))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or(Err(RpcError::NodeDown)))
+                .collect()
+        })
+        .expect("blender fan-out scope");
 
         let mut out = SearchResponse {
             detected_category,
@@ -249,6 +260,7 @@ impl BlenderService {
                     out.partitions_total += partial.partitions_total;
                     out.partitions_timed_out += partial.partitions_timed_out;
                     out.partitions_failed += partial.partitions_failed;
+                    out.partitions_shed += partial.partitions_shed;
                     all_hits.extend(partial.hits);
                 }
                 Err(err) => {
@@ -262,6 +274,12 @@ impl BlenderService {
                             out.partitions_timed_out += lost;
                             if let Some(m) = &self.metrics {
                                 m.partitions_timed_out.add(lost as u64);
+                            }
+                        }
+                        RpcError::Overloaded => {
+                            out.partitions_shed += lost;
+                            if let Some(m) = &self.metrics {
+                                m.partitions_shed.add(lost as u64);
                             }
                         }
                         _ => {
@@ -284,7 +302,10 @@ impl BlenderService {
     }
 }
 
-impl Service for BlenderService {
+impl<B> Service for BlenderService<B>
+where
+    B: CallTarget<Request = FanoutQuery, Response = PartialResponse>,
+{
     type Request = SearchQuery;
     type Response = SearchResponse;
 
@@ -559,6 +580,12 @@ mod tests {
             }),
             CostModel::free(),
         ));
-        BlenderService::new(vec![], extractor, images, RankingPolicy::default(), DL);
+        BlenderService::<NodeHandle<BrokerService>>::new(
+            vec![],
+            extractor,
+            images,
+            RankingPolicy::default(),
+            DL,
+        );
     }
 }

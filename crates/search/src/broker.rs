@@ -19,7 +19,8 @@ use std::time::Duration;
 
 use jdvs_metrics::ResilienceMetrics;
 use jdvs_net::balancer::Balancer;
-use jdvs_net::rpc::{RpcError, Service};
+use jdvs_net::node::NodeHandle;
+use jdvs_net::rpc::{CallTarget, RpcError, Service};
 use jdvs_vector::topk::TopK;
 
 use crate::protocol::{FanoutQuery, PartialHit, PartialResponse};
@@ -29,11 +30,16 @@ use crate::searcher::SearcherService;
 /// margin pays for the merge and the reply trip.
 const BUDGET_MARGIN: f64 = 0.9;
 
-/// One broker instance of a broker group.
-pub struct BrokerService {
+/// One broker instance of a broker group, generic over the transport to
+/// its searchers: in-process [`NodeHandle`]s (the default) or
+/// [`jdvs_net::tcp::TcpChannel`]s when the tiers run over real sockets.
+pub struct BrokerService<T = NodeHandle<SearcherService>>
+where
+    T: CallTarget<Request = FanoutQuery, Response = PartialResponse>,
+{
     group: usize,
     /// One replica set per owned partition.
-    partitions: Vec<Balancer<SearcherService>>,
+    partitions: Vec<Balancer<T>>,
     searcher_deadline: Duration,
     /// When set, a hedged second searcher call is launched for any
     /// partition still unanswered after this long.
@@ -41,7 +47,10 @@ pub struct BrokerService {
     metrics: Option<Arc<ResilienceMetrics>>,
 }
 
-impl std::fmt::Debug for BrokerService {
+impl<T> std::fmt::Debug for BrokerService<T>
+where
+    T: CallTarget<Request = FanoutQuery, Response = PartialResponse>,
+{
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BrokerService")
             .field("group", &self.group)
@@ -50,18 +59,17 @@ impl std::fmt::Debug for BrokerService {
     }
 }
 
-impl BrokerService {
+impl<T> BrokerService<T>
+where
+    T: CallTarget<Request = FanoutQuery, Response = PartialResponse>,
+{
     /// Creates a broker instance for `group` over its partitions' replica
     /// balancers.
     ///
     /// # Panics
     ///
     /// Panics if `partitions` is empty.
-    pub fn new(
-        group: usize,
-        partitions: Vec<Balancer<SearcherService>>,
-        searcher_deadline: Duration,
-    ) -> Self {
+    pub fn new(group: usize, partitions: Vec<Balancer<T>>, searcher_deadline: Duration) -> Self {
         assert!(
             !partitions.is_empty(),
             "a broker group must own at least one partition"
@@ -139,6 +147,7 @@ impl BrokerService {
                     out.partitions_total += partial.partitions_total;
                     out.partitions_timed_out += partial.partitions_timed_out;
                     out.partitions_failed += partial.partitions_failed;
+                    out.partitions_shed += partial.partitions_shed;
                     for hit in partial.hits {
                         // Key hits by (partition, local_id) packed into a u64
                         // so the TopK can track them.
@@ -155,6 +164,12 @@ impl BrokerService {
                             out.partitions_timed_out += 1;
                             if let Some(m) = &self.metrics {
                                 m.partitions_timed_out.incr();
+                            }
+                        }
+                        RpcError::Overloaded => {
+                            out.partitions_shed += 1;
+                            if let Some(m) = &self.metrics {
+                                m.partitions_shed.incr();
                             }
                         }
                         _ => {
@@ -176,7 +191,10 @@ impl BrokerService {
     }
 }
 
-impl Service for BrokerService {
+impl<T> Service for BrokerService<T>
+where
+    T: CallTarget<Request = FanoutQuery, Response = PartialResponse>,
+{
     type Request = FanoutQuery;
     type Response = PartialResponse;
 
@@ -388,6 +406,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one partition")]
     fn empty_partitions_panics() {
-        BrokerService::new(0, vec![], DL);
+        BrokerService::<NodeHandle<SearcherService>>::new(0, vec![], DL);
     }
 }

@@ -8,19 +8,40 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use jdvs_net::balancer::Balancer;
-use jdvs_net::rpc::RpcError;
+use jdvs_net::node::NodeHandle;
+use jdvs_net::rpc::{CallTarget, RpcError};
 
 use crate::blender::BlenderService;
 use crate::protocol::{SearchQuery, SearchResponse};
 
-/// A cloneable user handle through the front end.
-#[derive(Clone)]
-pub struct SearchClient {
-    frontend: Arc<Balancer<BlenderService>>,
+/// A cloneable user handle through the front end, generic over the
+/// transport to the blender tier: in-process [`NodeHandle`]s (the default)
+/// or [`jdvs_net::tcp::TcpChannel`]s when the front end listens on a
+/// socket.
+pub struct SearchClient<T = NodeHandle<BlenderService>>
+where
+    T: CallTarget<Request = SearchQuery, Response = SearchResponse>,
+{
+    frontend: Arc<Balancer<T>>,
     deadline: Duration,
 }
 
-impl std::fmt::Debug for SearchClient {
+impl<T> Clone for SearchClient<T>
+where
+    T: CallTarget<Request = SearchQuery, Response = SearchResponse>,
+{
+    fn clone(&self) -> Self {
+        Self {
+            frontend: Arc::clone(&self.frontend),
+            deadline: self.deadline,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for SearchClient<T>
+where
+    T: CallTarget<Request = SearchQuery, Response = SearchResponse>,
+{
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SearchClient")
             .field("deadline", &self.deadline)
@@ -28,10 +49,13 @@ impl std::fmt::Debug for SearchClient {
     }
 }
 
-impl SearchClient {
+impl<T> SearchClient<T>
+where
+    T: CallTarget<Request = SearchQuery, Response = SearchResponse>,
+{
     /// Creates a client (usually via
     /// [`crate::topology::SearchTopology::client`]).
-    pub fn new(frontend: Arc<Balancer<BlenderService>>, deadline: Duration) -> Self {
+    pub fn new(frontend: Arc<Balancer<T>>, deadline: Duration) -> Self {
         Self { frontend, deadline }
     }
 
@@ -66,7 +90,10 @@ mod tests {
 
     // A minimal single-blender stack that always answers empty (blender
     // with an unknown-image query path); enough to exercise the client.
-    fn tiny_frontend() -> (Arc<Balancer<BlenderService>>, Vec<Node<BlenderService>>) {
+    fn tiny_frontend() -> (
+        Arc<Balancer<NodeHandle<BlenderService>>>,
+        Vec<Node<BlenderService>>,
+    ) {
         use crate::broker::BrokerService;
         use crate::searcher::SearcherService;
         use jdvs_core::{IndexConfig, VisualIndex};

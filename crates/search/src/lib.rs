@@ -19,6 +19,11 @@
 //! P partitions × R searcher replicas, plus one real-time indexing thread
 //! per searcher — on the [`jdvs_net`] cluster runtime.
 //! [`client::SearchClient`] is the user-facing handle.
+//!
+//! [`serving::NetServing`] re-exposes the same three tiers as independent
+//! TCP services ([`wire`] defines the message encoding), each behind its
+//! own admission controller — the network-native deployment shape with
+//! overload shedding and graceful drain.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -31,10 +36,13 @@ pub mod protocol;
 pub mod ranking;
 pub mod ranking_learned;
 pub mod searcher;
+pub mod serving;
 pub mod topology;
+pub mod wire;
 
 pub use client::SearchClient;
 pub use protocol::{QueryInput, RankedHit, SearchQuery};
 pub use ranking::RankingPolicy;
 pub use ranking_learned::AdaptiveRanking;
+pub use serving::{NetServing, NetServingConfig};
 pub use topology::{CheckpointReport, DurabilityOptions, SearchTopology, TopologyConfig};

@@ -136,6 +136,12 @@ pub struct PartialResponse {
     pub partitions_timed_out: usize,
     /// Partitions lost to non-timeout failures (node down, dropped).
     pub partitions_failed: usize,
+    /// Partitions deliberately shed by a downstream admission controller
+    /// (`Overloaded` rejections). Counted apart from failures: shedding is
+    /// the system protecting itself, not a fault, and the distinction
+    /// matters when reading overload experiments. The coverage identity is
+    /// `ok + timed_out + failed + shed == total`.
+    pub partitions_shed: usize,
 }
 
 impl PartialResponse {
@@ -171,6 +177,9 @@ pub struct SearchResponse {
     pub partitions_timed_out: usize,
     /// Partitions lost to non-timeout failures.
     pub partitions_failed: usize,
+    /// Partitions deliberately shed by admission control (see
+    /// [`PartialResponse::partitions_shed`]).
+    pub partitions_shed: usize,
     /// Product category detected for the query image (Section 2.4: "the
     /// product category of the item is identified"); `None` when the
     /// blender has no category detector attached.

@@ -90,6 +90,7 @@ impl SearcherService {
             partitions_total: 1,
             partitions_timed_out: 0,
             partitions_failed: 0,
+            partitions_shed: 0,
         }
     }
 }

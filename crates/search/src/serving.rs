@@ -1,0 +1,403 @@
+//! Network-native serving: the three tiers as independent TCP services.
+//!
+//! [`NetServing::over`] stands the Blender → Broker → Searcher hierarchy
+//! up as real socket listeners ([`jdvs_net::tcp::TcpTier`]) sharing an
+//! existing [`SearchTopology`]'s hot-swappable partition indexes, image
+//! store and extractor — so real-time indexing, checkpointing and rebuild
+//! keep operating on the same data the network tiers serve.
+//!
+//! Every tier sits behind its own admission controller (token-bucket rate
+//! limit, bounded queue with deadline-aware shedding, concurrency cap):
+//! under overload the tier answers a fast `Overloaded` rejection instead
+//! of queueing into collapse, and the PR 1 resilience machinery — retries
+//! with jittered backoff, per-target circuit breakers, hedged broker
+//! calls, degraded-result accounting — runs unchanged over the sockets
+//! because [`jdvs_net::tcp::TcpChannel`] implements the same
+//! [`jdvs_net::rpc::CallTarget`] contract as in-process node handles.
+//!
+//! Tiers are independent: each can be drained (graceful: in-flight work
+//! answered, new work shed, then the listener closes) or crashed
+//! (connections severed mid-frame, connects refused) without touching the
+//! others — the integration tests drive exactly those scenarios.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use jdvs_metrics::{ResilienceMetrics, ServingSnapshot};
+use jdvs_net::admission::AdmissionConfig;
+use jdvs_net::balancer::Balancer;
+use jdvs_net::tcp::{TcpChannel, TcpTier};
+
+use crate::blender::BlenderService;
+use crate::broker::BrokerService;
+use crate::client::SearchClient;
+use crate::protocol::{FanoutQuery, PartialResponse, SearchQuery, SearchResponse};
+use crate::searcher::SearcherService;
+use crate::topology::SearchTopology;
+use crate::wire;
+
+/// A broker whose searcher calls travel over TCP.
+pub type NetBroker = BrokerService<TcpChannel<FanoutQuery, PartialResponse>>;
+/// A blender whose broker calls travel over TCP.
+pub type NetBlender = BlenderService<TcpChannel<FanoutQuery, PartialResponse>>;
+/// A user client whose blender calls travel over TCP.
+pub type NetClient = SearchClient<TcpChannel<SearchQuery, SearchResponse>>;
+
+/// Admission tuning for the three tiers plus the client deadline.
+#[derive(Debug, Clone)]
+pub struct NetServingConfig {
+    /// Front door of every blender listener (the user-facing tier — this
+    /// is where offered load first meets admission control).
+    pub blender_admission: AdmissionConfig,
+    /// Front door of every broker listener.
+    pub broker_admission: AdmissionConfig,
+    /// Front door of every searcher listener.
+    pub searcher_admission: AdmissionConfig,
+    /// End-to-end deadline stamped by [`NetServing::client`].
+    pub client_deadline: Duration,
+}
+
+impl Default for NetServingConfig {
+    fn default() -> Self {
+        Self {
+            blender_admission: AdmissionConfig {
+                max_concurrency: 8,
+                queue_capacity: 64,
+                ..AdmissionConfig::default()
+            },
+            broker_admission: AdmissionConfig {
+                max_concurrency: 16,
+                queue_capacity: 128,
+                ..AdmissionConfig::default()
+            },
+            searcher_admission: AdmissionConfig {
+                max_concurrency: 16,
+                queue_capacity: 128,
+                ..AdmissionConfig::default()
+            },
+            client_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+// Wire-codec adapters with the exact fn-pointer shapes the TCP layer
+// takes. Decode failures surface as `None` → an error envelope (server) or
+// a failed call (client), never a panic.
+
+fn decode_fanout(b: &[u8]) -> Option<FanoutQuery> {
+    wire::decode_fanout_query(b).ok()
+}
+fn encode_fanout(q: &FanoutQuery) -> Vec<u8> {
+    wire::encode_fanout_query(q)
+}
+fn decode_partial(b: &[u8]) -> Option<PartialResponse> {
+    wire::decode_partial_response(b).ok()
+}
+fn encode_partial(p: &PartialResponse) -> Vec<u8> {
+    wire::encode_partial_response(p)
+}
+fn decode_query(b: &[u8]) -> Option<SearchQuery> {
+    wire::decode_search_query(b).ok()
+}
+fn encode_query(q: &SearchQuery) -> Vec<u8> {
+    wire::encode_search_query(q)
+}
+fn decode_search_resp(b: &[u8]) -> Option<SearchResponse> {
+    wire::decode_search_response(b).ok()
+}
+fn encode_search_resp(s: &SearchResponse) -> Vec<u8> {
+    wire::encode_search_response(s)
+}
+
+/// The three tiers running as TCP services over a topology's indexes.
+pub struct NetServing {
+    /// `[partition][replica]` searcher listeners.
+    searchers: Vec<Vec<TcpTier<SearcherService>>>,
+    /// `[group][instance]` broker listeners.
+    brokers: Vec<Vec<TcpTier<NetBroker>>>,
+    /// Blender listeners.
+    blenders: Vec<TcpTier<NetBlender>>,
+    /// Resilience counters shared by every balancer in the network stack
+    /// (separate from the wrapped topology's in-process counters).
+    resilience: Arc<ResilienceMetrics>,
+    client_deadline: Duration,
+}
+
+impl std::fmt::Debug for NetServing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServing")
+            .field("searcher_tiers", &self.searchers.len())
+            .field("broker_tiers", &self.brokers.len())
+            .field("blender_tiers", &self.blenders.len())
+            .finish()
+    }
+}
+
+impl NetServing {
+    /// Stands the three TCP tiers up over `topology`'s partition indexes.
+    ///
+    /// The topology keeps running as built (its own in-process nodes,
+    /// real-time indexers, durability); the network tiers serve the *same*
+    /// hot-swappable index handles, so events published to the topology's
+    /// queue become visible to network queries at indexing speed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener bind errors.
+    pub fn over(topology: &SearchTopology, config: NetServingConfig) -> io::Result<Self> {
+        let tc = topology.config();
+        let pmap = topology.partition_map();
+        let resilience = Arc::new(ResilienceMetrics::new());
+
+        // --- Searcher tier: one listener per (partition, replica). ------
+        let mut searchers: Vec<Vec<TcpTier<SearcherService>>> = Vec::new();
+        for p in 0..tc.num_partitions {
+            let mut row = Vec::new();
+            for r in 0..tc.replicas_per_partition {
+                row.push(TcpTier::spawn(
+                    &format!("net-searcher-{p}-{r}"),
+                    SearcherService::new(p, Arc::clone(topology.handle(p, r))),
+                    decode_fanout,
+                    encode_partial,
+                    config.searcher_admission.clone(),
+                )?);
+            }
+            searchers.push(row);
+        }
+
+        // --- Broker tier: instances fan out to searchers over TCP. ------
+        let mut brokers: Vec<Vec<TcpTier<NetBroker>>> = Vec::new();
+        for g in 0..tc.num_broker_groups {
+            let mut instances = Vec::new();
+            for b in 0..tc.broker_replicas {
+                let balancers: Vec<Balancer<TcpChannel<FanoutQuery, PartialResponse>>> = pmap
+                    .partitions_of_group(g)
+                    .into_iter()
+                    .map(|p| {
+                        let channels = searchers[p]
+                            .iter()
+                            .map(|tier| {
+                                TcpChannel::new(
+                                    format!("{}-ch", tier.name()),
+                                    tier.local_addr(),
+                                    encode_fanout,
+                                    decode_partial,
+                                )
+                            })
+                            .collect();
+                        Balancer::with_policies(
+                            channels,
+                            tc.health,
+                            tc.retry,
+                            tc.seed ^ 0x7C9 ^ ((g as u64) << 24) ^ ((b as u64) << 12) ^ p as u64,
+                        )
+                        .with_metrics(Arc::clone(&resilience))
+                    })
+                    .collect();
+                let mut service = BrokerService::new(g, balancers, tc.searcher_deadline)
+                    .with_metrics(Arc::clone(&resilience));
+                if let Some(hedge_after) = tc.hedge_after {
+                    service = service.with_hedging(hedge_after);
+                }
+                instances.push(TcpTier::spawn(
+                    &format!("net-broker-{g}-{b}"),
+                    service,
+                    decode_fanout,
+                    encode_partial,
+                    config.broker_admission.clone(),
+                )?);
+            }
+            brokers.push(instances);
+        }
+
+        // --- Blender tier. ----------------------------------------------
+        let group_partitions: Vec<usize> = (0..tc.num_broker_groups)
+            .map(|g| pmap.partitions_of_group(g).len())
+            .collect();
+        let mut blenders = Vec::new();
+        for i in 0..tc.num_blenders {
+            let groups: Vec<Balancer<TcpChannel<FanoutQuery, PartialResponse>>> = brokers
+                .iter()
+                .enumerate()
+                .map(|(g, instances)| {
+                    let channels = instances
+                        .iter()
+                        .map(|tier| {
+                            TcpChannel::new(
+                                format!("{}-ch", tier.name()),
+                                tier.local_addr(),
+                                encode_fanout,
+                                decode_partial,
+                            )
+                        })
+                        .collect();
+                    Balancer::with_policies(
+                        channels,
+                        tc.health,
+                        tc.retry,
+                        tc.seed ^ 0x7CA ^ ((i as u64) << 24) ^ g as u64,
+                    )
+                    .with_metrics(Arc::clone(&resilience))
+                })
+                .collect();
+            let service = BlenderService::new(
+                groups,
+                Arc::clone(topology.extractor()),
+                Arc::clone(topology.images()),
+                tc.ranking,
+                tc.broker_deadline,
+            )
+            .with_group_partitions(group_partitions.clone())
+            .with_metrics(Arc::clone(&resilience));
+            blenders.push(TcpTier::spawn(
+                &format!("net-blender-{i}"),
+                service,
+                decode_query,
+                encode_search_resp,
+                config.blender_admission.clone(),
+            )?);
+        }
+
+        Ok(Self {
+            searchers,
+            brokers,
+            blenders,
+            resilience,
+            client_deadline: config.client_deadline,
+        })
+    }
+
+    /// A user client dialing the blender tier over TCP, with the same
+    /// balancer policies (failover, breakers) the in-process front end
+    /// uses.
+    pub fn client(&self) -> NetClient {
+        let channels = self
+            .blenders
+            .iter()
+            .map(|tier| {
+                TcpChannel::new(
+                    format!("{}-ch", tier.name()),
+                    tier.local_addr(),
+                    encode_query,
+                    decode_search_resp,
+                )
+            })
+            .collect();
+        let frontend = Arc::new(Balancer::new(channels).with_metrics(Arc::clone(&self.resilience)));
+        SearchClient::new(frontend, self.client_deadline)
+    }
+
+    /// Resilience counters of the network serving path (balancer retries,
+    /// breaker opens, shed/failed partition accounting).
+    pub fn resilience_metrics(&self) -> &Arc<ResilienceMetrics> {
+        &self.resilience
+    }
+
+    /// Addresses of the blender listeners (e.g. to aim a fault proxy at).
+    pub fn blender_addrs(&self) -> Vec<SocketAddr> {
+        self.blenders.iter().map(TcpTier::local_addr).collect()
+    }
+
+    /// Addresses of broker group `g`'s instances.
+    pub fn broker_addrs(&self, g: usize) -> Vec<SocketAddr> {
+        self.brokers[g].iter().map(TcpTier::local_addr).collect()
+    }
+
+    /// Addresses of partition `p`'s searcher replicas.
+    pub fn searcher_addrs(&self, p: usize) -> Vec<SocketAddr> {
+        self.searchers[p].iter().map(TcpTier::local_addr).collect()
+    }
+
+    /// Aggregated serving snapshot of the blender tier (admissions, sheds,
+    /// queue/concurrency high-water marks summed over listeners).
+    pub fn blender_serving(&self) -> ServingSnapshot {
+        sum_snapshots(self.blenders.iter().map(|t| t.metrics().snapshot()))
+    }
+
+    /// Aggregated serving snapshot of the broker tier.
+    pub fn broker_serving(&self) -> ServingSnapshot {
+        sum_snapshots(
+            self.brokers
+                .iter()
+                .flatten()
+                .map(|t| t.metrics().snapshot()),
+        )
+    }
+
+    /// Aggregated serving snapshot of the searcher tier.
+    pub fn searcher_serving(&self) -> ServingSnapshot {
+        sum_snapshots(
+            self.searchers
+                .iter()
+                .flatten()
+                .map(|t| t.metrics().snapshot()),
+        )
+    }
+
+    /// Crashes one searcher replica's listener: connections severed, new
+    /// connects refused. The wrapped topology (and its indexers) keep
+    /// running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn crash_searcher(&mut self, partition: usize, replica: usize) {
+        self.searchers[partition][replica].crash();
+    }
+
+    /// Crashes one broker instance's listener.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn crash_broker(&mut self, group: usize, instance: usize) {
+        self.brokers[group][instance].crash();
+    }
+
+    /// Gracefully drains one blender listener (in-flight answered, new
+    /// requests shed with `Draining`, then the listener closes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn drain_blender(&mut self, i: usize, timeout: Duration) -> bool {
+        self.blenders[i].drain(timeout)
+    }
+
+    /// Gracefully drains the whole stack top-down: blenders first (user
+    /// traffic stops being admitted), then brokers, then searchers — so a
+    /// lower tier never disappears under an upper tier's in-flight work.
+    ///
+    /// Returns `true` if every tier went idle within its `timeout`.
+    pub fn drain(&mut self, timeout: Duration) -> bool {
+        let mut idle = true;
+        for tier in &mut self.blenders {
+            idle &= tier.drain(timeout);
+        }
+        for tier in self.brokers.iter_mut().flatten() {
+            idle &= tier.drain(timeout);
+        }
+        for tier in self.searchers.iter_mut().flatten() {
+            idle &= tier.drain(timeout);
+        }
+        idle
+    }
+}
+
+fn sum_snapshots(parts: impl Iterator<Item = ServingSnapshot>) -> ServingSnapshot {
+    let mut out = ServingSnapshot::default();
+    for s in parts {
+        out.admitted += s.admitted;
+        out.completed += s.completed;
+        out.shed_rate_limited += s.shed_rate_limited;
+        out.shed_queue_full += s.shed_queue_full;
+        out.shed_deadline += s.shed_deadline;
+        out.shed_draining += s.shed_draining;
+        out.decode_errors += s.decode_errors;
+        out.max_in_flight = out.max_in_flight.max(s.max_in_flight);
+        out.max_queue_depth = out.max_queue_depth.max(s.max_queue_depth);
+    }
+    out
+}

@@ -36,7 +36,7 @@ use jdvs_features::CachingExtractor;
 use jdvs_metrics::{DurabilityMetrics, DurabilitySnapshot, ResilienceMetrics, ResilienceSnapshot};
 use jdvs_net::balancer::Balancer;
 use jdvs_net::latency::LatencyModel;
-use jdvs_net::node::Node;
+use jdvs_net::node::{Node, NodeHandle};
 use jdvs_net::rpc::RpcError;
 use jdvs_net::{HealthPolicy, RetryPolicy};
 use jdvs_storage::model::ProductEvent;
@@ -167,11 +167,19 @@ pub struct DurabilityOptions {
     pub segment_max_bytes: u64,
     /// Checkpoint snapshots retained per partition.
     pub snapshots_keep: usize,
+    /// When set (and real-time indexing is on), a background scheduler
+    /// thread watches every partition's **replay exposure** — events its
+    /// live index has applied beyond its newest checkpoint watermark, i.e.
+    /// the replay a crash would have to redo — and checkpoints any
+    /// partition whose exposure exceeds this bound, without an operator
+    /// calling [`SearchTopology::checkpoint_partition`]. `None` (the
+    /// default) disables the scheduler; checkpoints are manual-only.
+    pub checkpoint_exposure: Option<u64>,
 }
 
 impl DurabilityOptions {
     /// Defaults: `FsyncPolicy::Always`, no group commit, 8 MiB segments,
-    /// 2 snapshots kept.
+    /// 2 snapshots kept, no background checkpoint scheduler.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Self {
             dir: dir.into(),
@@ -179,7 +187,15 @@ impl DurabilityOptions {
             group_commit: false,
             segment_max_bytes: 8 * 1024 * 1024,
             snapshots_keep: 2,
+            checkpoint_exposure: None,
         }
+    }
+
+    /// Enables the background checkpoint scheduler with the given replay
+    /// exposure bound (see [`DurabilityOptions::checkpoint_exposure`]).
+    pub fn with_checkpoint_exposure(mut self, events: u64) -> Self {
+        self.checkpoint_exposure = Some(events);
+        self
     }
 }
 
@@ -285,7 +301,7 @@ impl OpsReport {
 
 /// The assembled serving system.
 pub struct SearchTopology {
-    frontend: Arc<Balancer<BlenderService>>,
+    frontend: Arc<Balancer<NodeHandle<BlenderService>>>,
     partition_map: PartitionMap,
     config: TopologyConfig,
     /// `handles[p][r]` = hot-swappable index of partition `p`, replica `r`.
@@ -307,15 +323,124 @@ pub struct SearchTopology {
     indexer_parked: Vec<Vec<Arc<AtomicU64>>>,
     /// Serializes checkpoint/rebuild: both share the global pause flag, so
     /// one finishing must not resume indexing under the other's snapshot.
-    maintenance: Mutex<()>,
+    /// Shared (`Arc`) with the background checkpoint scheduler, which runs
+    /// the same maintenance path from its own thread.
+    maintenance: Arc<Mutex<()>>,
     indexer_threads: Vec<JoinHandle<()>>,
+    /// Background checkpoint scheduler
+    /// ([`DurabilityOptions::checkpoint_exposure`]), joined in shutdown.
+    checkpoint_scheduler: Option<JoinHandle<()>>,
     /// `processed[p][r]` = events consumed by that replica's indexer.
     indexer_processed: Vec<Vec<Arc<AtomicU64>>>,
     query_cache: Option<Arc<jdvs_storage::lru::LruCache<jdvs_storage::model::ImageKey, Vec<f32>>>>,
     metrics: Arc<ResilienceMetrics>,
     realtime_indexing: bool,
-    /// Durable log + checkpoints, when built with `build_durable`.
-    durable: Option<DurableParts>,
+    /// Durable log + checkpoints, when built with `build_durable`. Shared
+    /// (`Arc`) with the background checkpoint scheduler.
+    durable: Option<Arc<DurableParts>>,
+}
+
+/// The subset of topology state the checkpoint path touches, cloneable
+/// (`Arc`s all the way down) so the background scheduler thread can run
+/// [`CheckpointCore::checkpoint_partition`] without borrowing the
+/// [`SearchTopology`] that owns it. [`SearchTopology::checkpoint_partition`]
+/// delegates here too — operator-initiated and scheduled checkpoints are
+/// the same code path, serialized by the same maintenance mutex.
+struct CheckpointCore {
+    /// `handles[p][0]` is the replica whose index gets snapshotted.
+    handles: Vec<Vec<Arc<IndexHandle>>>,
+    maintenance: Arc<Mutex<()>>,
+    indexer_pause: Arc<AtomicBool>,
+    pause_epoch: Arc<AtomicU64>,
+    indexer_parked: Vec<Vec<Arc<AtomicU64>>>,
+    indexer_stop: Arc<AtomicBool>,
+    durable: Arc<DurableParts>,
+}
+
+/// Pauses real-time consumption and blocks until every indexer thread in
+/// `parked_row` has positively acknowledged the pause (echoed the new pause
+/// epoch after finishing its in-flight apply). Bails early on `stop` so a
+/// maintenance call racing teardown cannot hang. Callers must hold the
+/// maintenance mutex and resume by clearing `pause`.
+fn quiesce_row(
+    pause_epoch: &AtomicU64,
+    pause: &AtomicBool,
+    parked_row: &[Arc<AtomicU64>],
+    stop: &AtomicBool,
+) {
+    let epoch = pause_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+    pause.store(true, Ordering::Release);
+    for parked in parked_row {
+        while parked.load(Ordering::Acquire) < epoch && !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+impl CheckpointCore {
+    /// The full online-checkpoint sequence; see
+    /// [`SearchTopology::checkpoint_partition`] for the contract.
+    fn checkpoint_partition(&self, partition: usize) -> io::Result<CheckpointReport> {
+        let durable = &self.durable;
+        let _maintenance = self.maintenance.lock();
+        quiesce_row(
+            &self.pause_epoch,
+            &self.indexer_pause,
+            &self.indexer_parked[partition],
+            &self.indexer_stop,
+        );
+        let result: io::Result<(u64, u64)> = (|| {
+            let index = self.handles[partition][0].get();
+            index.flush();
+            let applied_offset = index.stats().applied_offset.get();
+            // Sync the log through the watermark first: under EveryN/Os a
+            // crash right after this checkpoint could otherwise truncate
+            // the log below the watermark, and recovery seeded at it would
+            // skip the events re-published at those offsets forever.
+            durable.queue.sync()?;
+            let bytes_before = durable.metrics.checkpoint_bytes.get();
+            durable.checkpoints[partition].save(&index, applied_offset)?;
+            Ok((applied_offset, bytes_before))
+        })();
+        self.indexer_pause.store(false, Ordering::Release);
+        let (applied_offset, bytes_before) = result?;
+
+        // Retention: the log is shared by every partition, so only the
+        // prefix below the laggiest partition's checkpoint is garbage.
+        let min_watermark = durable
+            .checkpoints
+            .iter()
+            .map(|c| c.manifest().map_or(0, |m| m.applied_offset))
+            .min()
+            .unwrap_or(0);
+        let segments_pruned = durable.queue.prune_to(min_watermark)?;
+
+        Ok(CheckpointReport {
+            partition,
+            applied_offset,
+            snapshot_bytes: durable.metrics.checkpoint_bytes.get() - bytes_before,
+            segments_pruned,
+        })
+    }
+
+    /// One scheduler pass: checkpoint every partition whose replay
+    /// exposure (applied watermark minus newest checkpoint watermark)
+    /// exceeds `bound`. Errors are left for the next pass to retry — the
+    /// log itself is unaffected by a failed snapshot.
+    fn run_exposure_pass(&self, bound: u64) {
+        for p in 0..self.handles.len() {
+            if self.indexer_stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let watermark = self.durable.checkpoints[p]
+                .manifest()
+                .map_or(0, |m| m.applied_offset);
+            let applied = self.handles[p][0].get().stats().applied_offset.get();
+            if applied.saturating_sub(watermark) > bound {
+                let _ = self.checkpoint_partition(p);
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for SearchTopology {
@@ -347,7 +472,9 @@ impl SearchTopology {
         training: &[Vector],
         queue: MessageQueue<ProductEvent>,
     ) -> Self {
-        Self::assemble(config, extractor, images, feature_db, training, queue, None)
+        Self::assemble(
+            config, extractor, images, feature_db, training, queue, None, None,
+        )
     }
 
     /// Builds the full stack on top of a durable ingestion log with
@@ -415,9 +542,11 @@ impl SearchTopology {
                 metrics,
                 recovery: Vec::new(),
             }),
+            options.checkpoint_exposure,
         ))
     }
 
+    #[allow(clippy::too_many_arguments)] // private assembly step shared by build/build_durable
     fn assemble(
         config: TopologyConfig,
         extractor: Arc<CachingExtractor>,
@@ -426,6 +555,7 @@ impl SearchTopology {
         training: &[Vector],
         queue: MessageQueue<ProductEvent>,
         mut durable: Option<DurableParts>,
+        checkpoint_exposure: Option<u64>,
     ) -> Self {
         config.validate();
         let partition_map = PartitionMap::new(config.num_partitions, config.num_broker_groups);
@@ -573,7 +703,7 @@ impl SearchTopology {
         for g in 0..config.num_broker_groups {
             let mut instances = Vec::new();
             for b in 0..config.broker_replicas {
-                let balancers: Vec<Balancer<SearcherService>> = partition_map
+                let balancers: Vec<Balancer<NodeHandle<SearcherService>>> = partition_map
                     .partitions_of_group(g)
                     .into_iter()
                     .map(|p| {
@@ -615,7 +745,7 @@ impl SearchTopology {
             .collect();
         let blender_nodes: Vec<Node<BlenderService>> = (0..config.num_blenders)
             .map(|i| {
-                let groups: Vec<Balancer<BrokerService>> = broker_nodes
+                let groups: Vec<Balancer<NodeHandle<BrokerService>>> = broker_nodes
                     .iter()
                     .enumerate()
                     .map(|(g, instances)| {
@@ -665,6 +795,35 @@ impl SearchTopology {
         );
 
         let realtime_indexing = config.realtime_indexing;
+        let durable = durable.map(Arc::new);
+        let maintenance = Arc::new(Mutex::new(()));
+
+        // --- Background checkpoint scheduler (durable + knob set). --------
+        let mut checkpoint_scheduler = None;
+        if let (Some(bound), Some(d), true) = (checkpoint_exposure, &durable, realtime_indexing) {
+            let core = CheckpointCore {
+                handles: handles.clone(),
+                maintenance: Arc::clone(&maintenance),
+                indexer_pause: Arc::clone(&indexer_pause),
+                pause_epoch: Arc::clone(&pause_epoch),
+                indexer_parked: indexer_parked.clone(),
+                indexer_stop: Arc::clone(&indexer_stop),
+                durable: Arc::clone(d),
+            };
+            let stop = Arc::clone(&indexer_stop);
+            checkpoint_scheduler = Some(
+                std::thread::Builder::new()
+                    .name("ckpt-sched".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            core.run_exposure_pass(bound);
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                    })
+                    .expect("spawning checkpoint scheduler thread"),
+            );
+        }
+
         Self {
             frontend,
             partition_map,
@@ -681,8 +840,9 @@ impl SearchTopology {
             indexer_pause,
             pause_epoch,
             indexer_parked,
-            maintenance: Mutex::new(()),
+            maintenance,
             indexer_threads,
+            checkpoint_scheduler,
             indexer_processed,
             query_cache,
             metrics,
@@ -769,15 +929,12 @@ impl SearchTopology {
     /// [`SearchTopology::resume_indexers`]. Bails early on shutdown so a
     /// maintenance call racing teardown cannot hang.
     fn quiesce_partition(&self, partition: usize) {
-        let epoch = self.pause_epoch.fetch_add(1, Ordering::SeqCst) + 1;
-        self.indexer_pause.store(true, Ordering::Release);
-        for parked in &self.indexer_parked[partition] {
-            while parked.load(Ordering::Acquire) < epoch
-                && !self.indexer_stop.load(Ordering::Relaxed)
-            {
-                std::thread::sleep(Duration::from_micros(200));
-            }
-        }
+        quiesce_row(
+            &self.pause_epoch,
+            &self.indexer_pause,
+            &self.indexer_parked[partition],
+            &self.indexer_stop,
+        );
     }
 
     /// Resumes real-time consumption after [`SearchTopology::quiesce_partition`].
@@ -817,46 +974,51 @@ impl SearchTopology {
             .durable
             .as_ref()
             .expect("checkpoint_partition requires build_durable");
+        let core = CheckpointCore {
+            handles: self.handles.clone(),
+            maintenance: Arc::clone(&self.maintenance),
+            indexer_pause: Arc::clone(&self.indexer_pause),
+            pause_epoch: Arc::clone(&self.pause_epoch),
+            indexer_parked: self.indexer_parked.clone(),
+            indexer_stop: Arc::clone(&self.indexer_stop),
+            durable: Arc::clone(durable),
+        };
+        core.checkpoint_partition(partition)
+    }
 
-        let _maintenance = self.maintenance.lock();
-        self.quiesce_partition(partition);
-        let result: io::Result<(u64, u64)> = (|| {
-            let index = self.handles[partition][0].get();
-            index.flush();
-            let applied_offset = index.stats().applied_offset.get();
-            // Sync the log through the watermark first: under EveryN/Os a
-            // crash right after this checkpoint could otherwise truncate
-            // the log below the watermark, and recovery seeded at it would
-            // skip the events re-published at those offsets forever.
-            durable.queue.sync()?;
-            let bytes_before = durable.metrics.checkpoint_bytes.get();
-            durable.checkpoints[partition].save(&index, applied_offset)?;
-            Ok((applied_offset, bytes_before))
-        })();
-        self.resume_indexers();
-        let (applied_offset, bytes_before) = result?;
-
-        // Retention: the log is shared by every partition, so only the
-        // prefix below the laggiest partition's checkpoint is garbage.
-        let min_watermark = durable
-            .checkpoints
-            .iter()
-            .map(|c| c.manifest().map_or(0, |m| m.applied_offset))
-            .min()
-            .unwrap_or(0);
-        let segments_pruned = durable.queue.prune_to(min_watermark)?;
-
-        Ok(CheckpointReport {
-            partition,
-            applied_offset,
-            snapshot_bytes: durable.metrics.checkpoint_bytes.get() - bytes_before,
-            segments_pruned,
+    /// The applied-offset watermark of `partition`'s newest checkpoint
+    /// manifest — `None` when not built durable or never checkpointed.
+    /// What the background scheduler measures replay exposure against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range on a durable topology.
+    pub fn checkpoint_watermark(&self, partition: usize) -> Option<u64> {
+        self.durable.as_ref().and_then(|d| {
+            d.checkpoints[partition]
+                .manifest()
+                .map(|m| m.applied_offset)
         })
     }
 
     /// The partition layout.
     pub fn partition_map(&self) -> PartitionMap {
         self.partition_map
+    }
+
+    /// The stack's configuration (shape, deadlines, policies).
+    pub fn config(&self) -> &TopologyConfig {
+        &self.config
+    }
+
+    /// The shared feature extractor.
+    pub fn extractor(&self) -> &Arc<CachingExtractor> {
+        &self.extractor
+    }
+
+    /// The shared image store.
+    pub fn images(&self) -> &Arc<ImageStore> {
+        &self.images
     }
 
     /// The catalog update queue (publish events here).
@@ -1048,6 +1210,12 @@ impl SearchTopology {
     /// down, top of the stack first. Idempotent.
     pub fn shutdown(&mut self) {
         self.indexer_stop.store(true, Ordering::SeqCst);
+        // Stop the checkpoint scheduler before the indexers: a checkpoint
+        // cut mid-teardown would race the drain below (quiesce bails on
+        // the stop flag, so this join is prompt).
+        if let Some(t) = self.checkpoint_scheduler.take() {
+            let _ = t.join();
+        }
         // A paused indexer would never reach the drain loop.
         self.indexer_pause.store(false, Ordering::SeqCst);
         for t in self.indexer_threads.drain(..) {
@@ -1450,6 +1618,14 @@ mod tests {
     }
 
     fn durable_world(dir: &std::path::Path, images: &Arc<ImageStore>) -> SearchTopology {
+        durable_world_with(dir, images, |_| {})
+    }
+
+    fn durable_world_with(
+        dir: &std::path::Path,
+        images: &Arc<ImageStore>,
+        tweak: impl FnOnce(&mut DurabilityOptions),
+    ) -> SearchTopology {
         let feature_db = Arc::new(FeatureDb::new());
         let extractor = Arc::new(CachingExtractor::new(
             FeatureExtractor::new(ExtractorConfig {
@@ -1477,6 +1653,7 @@ mod tests {
         };
         let mut options = DurabilityOptions::new(dir);
         options.segment_max_bytes = 512; // force rotations in tests
+        tweak(&mut options);
         SearchTopology::build_durable(
             config,
             extractor,
@@ -1564,6 +1741,48 @@ mod tests {
         let ops = t.ops_report();
         assert!(ops.partitions.iter().all(|p| p.applied_offset == 40));
         assert!(ops.durability.is_some());
+        t.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_scheduler_checkpoints_on_exposure() {
+        let dir = durable_dir("sched");
+        let images = Arc::new(ImageStore::with_blob_len(64));
+        {
+            let mut t = durable_world_with(&dir, &images, |o| {
+                *o = o.clone().with_checkpoint_exposure(5);
+            });
+            assert_eq!(t.checkpoint_watermark(0), None, "no checkpoint yet");
+            for i in 0..30u64 {
+                t.publish(add_event_for(&images, i));
+            }
+            t.wait_for_freshness(Duration::from_secs(30));
+            // Both partitions' applied watermarks are at 30 with no
+            // checkpoint — replay exposure 30 > 5 — so the scheduler must
+            // checkpoint each down to exposure ≤ 5 without any
+            // checkpoint_partition call from us.
+            let deadline = std::time::Instant::now() + Duration::from_secs(20);
+            loop {
+                let caught_up = (0..2).all(|p| t.checkpoint_watermark(p).is_some_and(|w| w >= 25));
+                if caught_up {
+                    break;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "scheduler never brought exposure under the bound: {:?}",
+                    (t.checkpoint_watermark(0), t.checkpoint_watermark(1))
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            t.shutdown();
+        }
+        // Recovery starts from the scheduled checkpoints, not offset 0.
+        let mut t = durable_world(&dir, &images);
+        let reports = t.recovery_reports().unwrap();
+        assert!(reports.iter().all(|r| r.from_snapshot));
+        assert!(reports.iter().all(|r| r.start_offset >= 25));
+        assert_eq!(t.ops_report().logical_valid_images(), 30);
         t.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -1,0 +1,716 @@
+//! Binary wire codec for the search hierarchy's protocol messages.
+//!
+//! The TCP serving tier carries [`crate::protocol`] messages as frame
+//! payloads; this module defines their encoding. Like the durable log's
+//! event codec it is a fixed little-endian layout (not serde), and the
+//! decoder refuses structurally invalid input — truncated bodies, unknown
+//! tags, bad UTF-8, implausible counts, trailing bytes — returning
+//! [`WireError`] instead of panicking or misparsing:
+//!
+//! ```text
+//! search_query    := input k:u64 opt(nprobe:u64) bool(compressed) opt(budget)
+//! input           := 0 features | 1 url
+//! fanout_query    := features k:u64 opt(nprobe:u64) bool(compressed) opt(budget)
+//! partial_resp    := count hit* ok:u64 total:u64 timed_out:u64 failed:u64 shed:u64
+//! hit             := partition:u64 local_id:u32 distance:f32 product_id:u64
+//!                    sales:u64 price:u64 praise:u64 url
+//! search_resp     := count ranked* answered:u64 failed:u64 ok:u64 total:u64
+//!                    timed_out:u64 p_failed:u64 shed:u64 opt(category:u32)
+//! ranked          := hit score:f64
+//! features        := count f32*
+//! f32/f64         := IEEE-754 bits, little-endian
+//! budget          := nanos:u64
+//! url             := len:u32 bytes (UTF-8)
+//! opt(x)          := 0:u8 | 1:u8 x
+//! bool            := 0:u8 | 1:u8
+//! ```
+//!
+//! Bit-level integrity is the frame layer's job
+//! ([`jdvs_net::frame`]'s CRC32C); this decoder's strictness is the second
+//! line of defense, so a payload that survives the CRC but was produced by
+//! a different encoder version degrades into a clean error.
+
+use std::time::Duration;
+
+use jdvs_storage::model::ProductId;
+
+use crate::protocol::{
+    FanoutQuery, PartialHit, PartialResponse, QueryInput, RankedHit, SearchQuery, SearchResponse,
+};
+
+/// Decoding failure: the payload is not a well-formed protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the field being read.
+    Truncated {
+        /// Field being decoded when the payload ran out.
+        field: &'static str,
+    },
+    /// Unknown tag, option or boolean byte.
+    UnknownTag(u8),
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
+    /// Bytes remained after a complete message was decoded.
+    TrailingBytes(usize),
+    /// A length or count prefix was implausibly large for the remaining
+    /// payload.
+    LengthOverflow,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { field } => write!(f, "payload truncated reading {field}"),
+            WireError::UnknownTag(t) => write!(f, "unknown tag byte {t}"),
+            WireError::InvalidUtf8 => f.write_str("string is not valid UTF-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::LengthOverflow => f.write_str("length prefix exceeds payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const TAG_FEATURES: u8 = 0;
+const TAG_IMAGE_URL: u8 = 1;
+
+/// Encodes a [`SearchQuery`].
+pub fn encode_search_query(q: &SearchQuery) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    match &q.input {
+        QueryInput::Features(f) => {
+            buf.push(TAG_FEATURES);
+            put_features(&mut buf, f);
+        }
+        QueryInput::ImageUrl(u) => {
+            buf.push(TAG_IMAGE_URL);
+            put_str(&mut buf, u);
+        }
+    }
+    put_u64(&mut buf, q.k as u64);
+    put_opt_u64(&mut buf, q.nprobe.map(|n| n as u64));
+    put_bool(&mut buf, q.compressed);
+    put_opt_duration(&mut buf, q.budget);
+    buf
+}
+
+/// Decodes a [`SearchQuery`].
+///
+/// # Errors
+///
+/// Any [`WireError`] on malformed input.
+pub fn decode_search_query(bytes: &[u8]) -> Result<SearchQuery, WireError> {
+    let mut r = Cursor { buf: bytes, pos: 0 };
+    let input = match r.u8("input tag")? {
+        TAG_FEATURES => QueryInput::Features(r.features()?),
+        TAG_IMAGE_URL => QueryInput::ImageUrl(r.string("image url")?),
+        other => return Err(WireError::UnknownTag(other)),
+    };
+    let q = SearchQuery {
+        input,
+        k: r.u64("k")? as usize,
+        nprobe: r.opt_u64("nprobe")?.map(|n| n as usize),
+        compressed: r.bool("compressed")?,
+        budget: r.opt_duration("budget")?,
+    };
+    r.finish()?;
+    Ok(q)
+}
+
+/// Encodes a [`FanoutQuery`].
+pub fn encode_fanout_query(q: &FanoutQuery) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32 + 4 * q.features.len());
+    put_features(&mut buf, &q.features);
+    put_u64(&mut buf, q.k as u64);
+    put_opt_u64(&mut buf, q.nprobe.map(|n| n as u64));
+    put_bool(&mut buf, q.compressed);
+    put_opt_duration(&mut buf, q.budget);
+    buf
+}
+
+/// Decodes a [`FanoutQuery`].
+///
+/// # Errors
+///
+/// Any [`WireError`] on malformed input.
+pub fn decode_fanout_query(bytes: &[u8]) -> Result<FanoutQuery, WireError> {
+    let mut r = Cursor { buf: bytes, pos: 0 };
+    let q = FanoutQuery {
+        features: r.features()?,
+        k: r.u64("k")? as usize,
+        nprobe: r.opt_u64("nprobe")?.map(|n| n as usize),
+        compressed: r.bool("compressed")?,
+        budget: r.opt_duration("budget")?,
+    };
+    r.finish()?;
+    Ok(q)
+}
+
+/// Encodes a [`PartialResponse`].
+pub fn encode_partial_response(p: &PartialResponse) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + 64 * p.hits.len());
+    put_u32(&mut buf, p.hits.len() as u32);
+    for hit in &p.hits {
+        put_hit(&mut buf, hit);
+    }
+    put_u64(&mut buf, p.partitions_ok as u64);
+    put_u64(&mut buf, p.partitions_total as u64);
+    put_u64(&mut buf, p.partitions_timed_out as u64);
+    put_u64(&mut buf, p.partitions_failed as u64);
+    put_u64(&mut buf, p.partitions_shed as u64);
+    buf
+}
+
+/// Decodes a [`PartialResponse`].
+///
+/// # Errors
+///
+/// Any [`WireError`] on malformed input.
+pub fn decode_partial_response(bytes: &[u8]) -> Result<PartialResponse, WireError> {
+    let mut r = Cursor { buf: bytes, pos: 0 };
+    let count = r.count("hit count")?;
+    let mut hits = Vec::with_capacity(count);
+    for _ in 0..count {
+        hits.push(r.hit()?);
+    }
+    let p = PartialResponse {
+        hits,
+        partitions_ok: r.u64("partitions_ok")? as usize,
+        partitions_total: r.u64("partitions_total")? as usize,
+        partitions_timed_out: r.u64("partitions_timed_out")? as usize,
+        partitions_failed: r.u64("partitions_failed")? as usize,
+        partitions_shed: r.u64("partitions_shed")? as usize,
+    };
+    r.finish()?;
+    Ok(p)
+}
+
+/// Encodes a [`SearchResponse`].
+pub fn encode_search_response(s: &SearchResponse) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + 72 * s.results.len());
+    put_u32(&mut buf, s.results.len() as u32);
+    for ranked in &s.results {
+        put_hit(&mut buf, &ranked.hit);
+        put_u64(&mut buf, ranked.score.to_bits());
+    }
+    put_u64(&mut buf, s.groups_answered as u64);
+    put_u64(&mut buf, s.groups_failed as u64);
+    put_u64(&mut buf, s.partitions_ok as u64);
+    put_u64(&mut buf, s.partitions_total as u64);
+    put_u64(&mut buf, s.partitions_timed_out as u64);
+    put_u64(&mut buf, s.partitions_failed as u64);
+    put_u64(&mut buf, s.partitions_shed as u64);
+    match s.detected_category {
+        None => buf.push(0),
+        Some(c) => {
+            buf.push(1);
+            put_u32(&mut buf, c);
+        }
+    }
+    buf
+}
+
+/// Decodes a [`SearchResponse`].
+///
+/// # Errors
+///
+/// Any [`WireError`] on malformed input.
+pub fn decode_search_response(bytes: &[u8]) -> Result<SearchResponse, WireError> {
+    let mut r = Cursor { buf: bytes, pos: 0 };
+    let count = r.count("result count")?;
+    let mut results = Vec::with_capacity(count);
+    for _ in 0..count {
+        let hit = r.hit()?;
+        let score = f64::from_bits(r.u64("score")?);
+        results.push(RankedHit { hit, score });
+    }
+    let s = SearchResponse {
+        results,
+        groups_answered: r.u64("groups_answered")? as usize,
+        groups_failed: r.u64("groups_failed")? as usize,
+        partitions_ok: r.u64("partitions_ok")? as usize,
+        partitions_total: r.u64("partitions_total")? as usize,
+        partitions_timed_out: r.u64("partitions_timed_out")? as usize,
+        partitions_failed: r.u64("partitions_failed")? as usize,
+        partitions_shed: r.u64("partitions_shed")? as usize,
+        detected_category: match r.u8("category option")? {
+            0 => None,
+            1 => Some(r.u32("category")?),
+            other => return Err(WireError::UnknownTag(other)),
+        },
+    };
+    r.finish()?;
+    Ok(s)
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(u8::from(v));
+}
+
+fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => buf.push(0),
+        Some(x) => {
+            buf.push(1);
+            put_u64(buf, x);
+        }
+    }
+}
+
+fn put_opt_duration(buf: &mut Vec<u8>, v: Option<Duration>) {
+    put_opt_u64(
+        buf,
+        v.map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)),
+    );
+}
+
+fn put_features(buf: &mut Vec<u8>, features: &[f32]) {
+    put_u32(buf, features.len() as u32);
+    for f in features {
+        put_u32(buf, f.to_bits());
+    }
+}
+
+fn put_hit(buf: &mut Vec<u8>, hit: &PartialHit) {
+    put_u64(buf, hit.partition as u64);
+    put_u32(buf, hit.local_id);
+    put_u32(buf, hit.distance.to_bits());
+    put_u64(buf, hit.product_id.0);
+    put_u64(buf, hit.sales);
+    put_u64(buf, hit.price);
+    put_u64(buf, hit.praise);
+    put_str(buf, &hit.url);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Truncated { field });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    fn u32(&mut self, field: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, field)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, field)?.try_into().unwrap()))
+    }
+
+    fn bool(&mut self, field: &'static str) -> Result<bool, WireError> {
+        match self.u8(field)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::UnknownTag(other)),
+        }
+    }
+
+    /// A count prefix, sanity-bounded by the bytes actually remaining
+    /// (every counted element is at least one byte) so corrupt counts fail
+    /// fast instead of attempting a giant allocation.
+    fn count(&mut self, field: &'static str) -> Result<usize, WireError> {
+        let n = self.u32(field)? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(WireError::LengthOverflow);
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self, field: &'static str) -> Result<String, WireError> {
+        let len = self.u32(field)? as usize;
+        if len > self.buf.len() - self.pos {
+            return Err(WireError::LengthOverflow);
+        }
+        let bytes = self.take(len, field)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    fn opt_u64(&mut self, field: &'static str) -> Result<Option<u64>, WireError> {
+        match self.u8(field)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64(field)?)),
+            other => Err(WireError::UnknownTag(other)),
+        }
+    }
+
+    fn opt_duration(&mut self, field: &'static str) -> Result<Option<Duration>, WireError> {
+        Ok(self.opt_u64(field)?.map(Duration::from_nanos))
+    }
+
+    fn features(&mut self) -> Result<Vec<f32>, WireError> {
+        let n = self.u32("feature count")? as usize;
+        if n.saturating_mul(4) > self.buf.len() - self.pos {
+            return Err(WireError::LengthOverflow);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(f32::from_bits(self.u32("feature")?));
+        }
+        Ok(out)
+    }
+
+    fn hit(&mut self) -> Result<PartialHit, WireError> {
+        Ok(PartialHit {
+            partition: self.u64("partition")? as usize,
+            local_id: self.u32("local_id")?,
+            distance: f32::from_bits(self.u32("distance")?),
+            product_id: ProductId(self.u64("product_id")?),
+            sales: self.u64("sales")?,
+            price: self.u64("price")?,
+            praise: self.u64("praise")?,
+            url: self.string("url")?,
+        })
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::TrailingBytes(self.buf.len() - self.pos));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_hit(partition: usize, id: u32) -> PartialHit {
+        PartialHit {
+            partition,
+            local_id: id,
+            distance: 0.25 + id as f32,
+            product_id: ProductId(u64::from(id) * 3),
+            sales: 7,
+            price: 1999,
+            praise: 42,
+            url: format!("img/{id}.jpg"),
+        }
+    }
+
+    #[test]
+    fn search_query_round_trips() {
+        let queries = [
+            SearchQuery::by_features(vec![0.0, -1.5, f32::MAX], 10),
+            SearchQuery::by_image_url("日本語/url.png", 3)
+                .with_nprobe(8)
+                .with_compressed()
+                .with_budget(Duration::from_millis(450)),
+            SearchQuery::by_features(vec![], 0),
+        ];
+        for q in queries {
+            let bytes = encode_search_query(&q);
+            assert_eq!(decode_search_query(&bytes).unwrap(), q);
+        }
+    }
+
+    #[test]
+    fn fanout_query_round_trips() {
+        let q = FanoutQuery {
+            features: vec![1.0, 2.0, 3.5],
+            k: 20,
+            nprobe: None,
+            compressed: true,
+            budget: Some(Duration::from_nanos(123_456_789)),
+        };
+        let bytes = encode_fanout_query(&q);
+        assert_eq!(decode_fanout_query(&bytes).unwrap(), q);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let p = PartialResponse {
+            hits: vec![sample_hit(0, 1), sample_hit(3, 9)],
+            partitions_ok: 3,
+            partitions_total: 6,
+            partitions_timed_out: 1,
+            partitions_failed: 1,
+            partitions_shed: 1,
+        };
+        assert_eq!(
+            decode_partial_response(&encode_partial_response(&p)).unwrap(),
+            p
+        );
+
+        let s = SearchResponse {
+            results: vec![RankedHit {
+                hit: sample_hit(1, 5),
+                score: 0.875,
+            }],
+            groups_answered: 2,
+            groups_failed: 1,
+            partitions_ok: 4,
+            partitions_total: 8,
+            partitions_timed_out: 2,
+            partitions_failed: 1,
+            partitions_shed: 1,
+            detected_category: Some(17),
+        };
+        assert_eq!(
+            decode_search_response(&encode_search_response(&s)).unwrap(),
+            s
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_tags_and_trailing_bytes() {
+        let mut bytes = encode_search_query(&SearchQuery::by_image_url("u", 1));
+        bytes[0] = 7;
+        assert_eq!(decode_search_query(&bytes), Err(WireError::UnknownTag(7)));
+
+        let mut bytes = encode_partial_response(&PartialResponse::default());
+        bytes.push(0);
+        assert_eq!(
+            decode_partial_response(&bytes),
+            Err(WireError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn corrupt_counts_do_not_allocate_garbage() {
+        let p = PartialResponse {
+            hits: vec![sample_hit(0, 1)],
+            ..PartialResponse::default()
+        };
+        let mut bytes = encode_partial_response(&p);
+        bytes[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_partial_response(&bytes),
+            Err(WireError::LengthOverflow)
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_a_clean_error() {
+        let q = SearchQuery::by_image_url("img/q.png", 5)
+            .with_nprobe(4)
+            .with_budget(Duration::from_millis(80));
+        let bytes = encode_search_query(&q);
+        for len in 0..bytes.len() {
+            assert!(
+                decode_search_query(&bytes[..len]).is_err(),
+                "prefix of length {len} must not decode"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_string() -> impl Strategy<Value = String> {
+        prop::collection::vec(any::<char>(), 0..12).prop_map(|cs| cs.into_iter().collect())
+    }
+
+    fn arb_budget() -> impl Strategy<Value = Option<Duration>> {
+        prop_oneof![
+            Just(None),
+            any::<u64>().prop_map(|n| Some(Duration::from_nanos(n))),
+        ]
+    }
+
+    fn arb_input() -> impl Strategy<Value = QueryInput> {
+        prop_oneof![
+            prop::collection::vec(any::<f32>(), 0..16).prop_map(QueryInput::Features),
+            arb_string().prop_map(QueryInput::ImageUrl),
+        ]
+    }
+
+    fn arb_search_query() -> impl Strategy<Value = SearchQuery> {
+        (
+            arb_input(),
+            0usize..10_000,
+            prop_oneof![Just(None), (1usize..64).prop_map(Some)],
+            any::<bool>(),
+            arb_budget(),
+        )
+            .prop_map(|(input, k, nprobe, compressed, budget)| SearchQuery {
+                input,
+                k,
+                nprobe,
+                compressed,
+                budget,
+            })
+    }
+
+    fn arb_fanout_query() -> impl Strategy<Value = FanoutQuery> {
+        (
+            prop::collection::vec(any::<f32>(), 0..16),
+            0usize..10_000,
+            prop_oneof![Just(None), (1usize..64).prop_map(Some)],
+            any::<bool>(),
+            arb_budget(),
+        )
+            .prop_map(|(features, k, nprobe, compressed, budget)| FanoutQuery {
+                features,
+                k,
+                nprobe,
+                compressed,
+                budget,
+            })
+    }
+
+    fn arb_hit() -> impl Strategy<Value = PartialHit> {
+        (
+            0usize..64,
+            any::<u32>(),
+            any::<f32>(),
+            any::<u64>(),
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            arb_string(),
+        )
+            .prop_map(
+                |(partition, local_id, distance, product, (sales, price, praise), url)| {
+                    PartialHit {
+                        partition,
+                        local_id,
+                        distance,
+                        product_id: jdvs_storage::model::ProductId(product),
+                        sales,
+                        price,
+                        praise,
+                        url,
+                    }
+                },
+            )
+    }
+
+    fn arb_partial_response() -> impl Strategy<Value = PartialResponse> {
+        (
+            prop::collection::vec(arb_hit(), 0..6),
+            (0usize..100, 0usize..100, 0usize..100),
+            (0usize..100, 0usize..100),
+        )
+            .prop_map(
+                |(hits, (ok, total, timed_out), (failed, shed))| PartialResponse {
+                    hits,
+                    partitions_ok: ok,
+                    partitions_total: total,
+                    partitions_timed_out: timed_out,
+                    partitions_failed: failed,
+                    partitions_shed: shed,
+                },
+            )
+    }
+
+    fn arb_search_response() -> impl Strategy<Value = SearchResponse> {
+        (
+            prop::collection::vec(
+                (arb_hit(), any::<f64>()).prop_map(|(hit, score)| RankedHit { hit, score }),
+                0..6,
+            ),
+            (0usize..10, 0usize..10),
+            (0usize..100, 0usize..100, 0usize..100),
+            (0usize..100, 0usize..100),
+            prop_oneof![Just(None), any::<u32>().prop_map(Some)],
+        )
+            .prop_map(
+                |(results, (answered, failed), (ok, total, timed_out), (p_failed, shed), cat)| {
+                    SearchResponse {
+                        results,
+                        groups_answered: answered,
+                        groups_failed: failed,
+                        partitions_ok: ok,
+                        partitions_total: total,
+                        partitions_timed_out: timed_out,
+                        partitions_failed: p_failed,
+                        partitions_shed: shed,
+                        detected_category: cat,
+                    }
+                },
+            )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn search_query_round_trip(q in arb_search_query()) {
+            let bytes = encode_search_query(&q);
+            prop_assert_eq!(decode_search_query(&bytes).unwrap(), q);
+        }
+
+        #[test]
+        fn fanout_query_round_trip(q in arb_fanout_query()) {
+            let bytes = encode_fanout_query(&q);
+            prop_assert_eq!(decode_fanout_query(&bytes).unwrap(), q);
+        }
+
+        #[test]
+        fn partial_response_round_trip(p in arb_partial_response()) {
+            let bytes = encode_partial_response(&p);
+            prop_assert_eq!(decode_partial_response(&bytes).unwrap(), p);
+        }
+
+        #[test]
+        fn search_response_round_trip(s in arb_search_response()) {
+            let bytes = encode_search_response(&s);
+            prop_assert_eq!(decode_search_response(&bytes).unwrap(), s);
+        }
+
+        #[test]
+        fn truncation_never_panics_never_misparses(
+            q in arb_search_query(),
+            cut in any::<u16>(),
+        ) {
+            let bytes = encode_search_query(&q);
+            let len = (cut as usize) % (bytes.len() + 1);
+            if len < bytes.len() {
+                // A strict prefix must fail cleanly: fixed field order
+                // means missing bytes are always detectable.
+                prop_assert!(decode_search_query(&bytes[..len]).is_err());
+            }
+        }
+
+        #[test]
+        fn bit_flips_never_panic(
+            p in arb_partial_response(),
+            flip in (any::<u16>(), 0u8..8),
+        ) {
+            let mut bytes = encode_partial_response(&p);
+            if !bytes.is_empty() {
+                let (pos, bit) = flip;
+                let idx = (pos as usize) % bytes.len();
+                bytes[idx] ^= 1 << bit;
+                // Either a clean error or a structurally valid message —
+                // never a panic. (The frame CRC catches flips in
+                // transit; this guards the decoder itself.)
+                let _ = decode_partial_response(&bytes);
+            }
+        }
+
+        #[test]
+        fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+            let _ = decode_search_query(&bytes);
+            let _ = decode_fanout_query(&bytes);
+            let _ = decode_partial_response(&bytes);
+            let _ = decode_search_response(&bytes);
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! query the harness audits the response against the accounting contract:
 //!
 //! - **identity** — `partitions_ok + partitions_timed_out +
-//!   partitions_failed == partitions_total`;
+//!   partitions_failed + partitions_shed == partitions_total`;
 //! - **no silent loss** — `partitions_total` always equals the topology's
 //!   partition count, so a response can never claim completeness while
 //!   whole broker groups are missing from the audit trail.
@@ -254,7 +254,10 @@ fn audit(
     num_partitions: usize,
     report: &mut ChaosReport,
 ) {
-    let accounted = resp.partitions_ok + resp.partitions_timed_out + resp.partitions_failed;
+    let accounted = resp.partitions_ok
+        + resp.partitions_timed_out
+        + resp.partitions_failed
+        + resp.partitions_shed;
     if accounted != resp.partitions_total {
         report.accounting_violations += 1;
     }
@@ -275,7 +278,9 @@ fn delta(before: &ResilienceSnapshot, after: &ResilienceSnapshot) -> ResilienceS
         queries_budget_exhausted: after.queries_budget_exhausted - before.queries_budget_exhausted,
         partitions_timed_out: after.partitions_timed_out - before.partitions_timed_out,
         partitions_failed: after.partitions_failed - before.partitions_failed,
+        partitions_shed: after.partitions_shed - before.partitions_shed,
         call_failures: after.call_failures - before.call_failures,
+        calls_overloaded: after.calls_overloaded - before.calls_overloaded,
         retries: after.retries - before.retries,
         hedges_launched: after.hedges_launched - before.hedges_launched,
         hedges_won: after.hedges_won - before.hedges_won,

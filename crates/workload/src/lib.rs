@@ -17,6 +17,11 @@
 //! - [`chaos`] — fault-schedule driver auditing the serving path's
 //!   degraded-mode accounting contract under crashes, drops and
 //!   stragglers.
+//! - [`openloop`] — fixed-rate open-loop driver for overload experiments
+//!   (arrivals don't wait for responses, so offered load can exceed
+//!   capacity).
+//! - [`netfault`] — fault-injecting TCP proxy (refusal, stalls, mid-frame
+//!   cuts) for the network serving tier.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -25,6 +30,8 @@ pub mod catalog;
 pub mod chaos;
 pub mod client;
 pub mod events;
+pub mod netfault;
+pub mod openloop;
 pub mod queries;
 pub mod recovery;
 pub mod scenario;
@@ -33,6 +40,8 @@ pub use catalog::{Catalog, CatalogConfig};
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use client::{ClosedLoopConfig, ClosedLoopDriver, LoadReport};
 pub use events::{DailyPlan, DailyPlanConfig, TimedEvent};
+pub use netfault::FaultProxy;
+pub use openloop::{OpenLoopConfig, OpenLoopDriver, OpenLoopOutcome, OpenLoopReport};
 pub use queries::QueryGenerator;
 pub use recovery::{
     run_crash_cycle, CrashCycleConfig, CrashCycleOutcome, RecoveryConfig, RecoveryHarness,

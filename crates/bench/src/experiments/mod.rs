@@ -19,10 +19,12 @@
 //! | `ablate-cache` | blender query-feature cache on/off | [`ablations`] |
 //! | `searcher-scan` | block execution engine vs per-id scalar scan | [`scan`] |
 //! | `pq-fastscan` | 4-bit fast-scan blocks vs 8-bit ADC scan | [`pq_fastscan`] |
+//! | `batch` | batched multi-query QPS/p99 frontier vs batch size | [`batch`] |
 //! | `recovery` | durable-log append throughput + crash-recovery time | [`recovery`] |
 //! | `serving` | goodput under ~3x overload through the TCP tiers | [`overload`] |
 
 pub mod ablations;
+pub mod batch;
 pub mod day;
 pub mod examples_fig;
 pub mod overload;
@@ -91,6 +93,7 @@ pub const ALL: &[&str] = &[
     "ablate-cache",
     "searcher-scan",
     "pq-fastscan",
+    "batch",
     "recovery",
     "serving",
 ];
@@ -119,6 +122,7 @@ pub fn run(id: &str, ctx: &Ctx) -> Vec<ExperimentResult> {
         "ablate-cache" => vec![ablations::cache(ctx)],
         "searcher-scan" => vec![scan::searcher_scan(ctx)],
         "pq-fastscan" => vec![pq_fastscan::pq_fastscan(ctx)],
+        "batch" => vec![batch::multi_query(ctx)],
         "recovery" => vec![recovery::recovery(ctx)],
         "serving" => vec![overload::serving_overload(ctx)],
         other => panic!("unknown experiment id {other:?}"),

@@ -24,7 +24,9 @@ use std::time::Duration;
 use jdvs_net::admission::AdmissionConfig;
 use jdvs_net::rpc::RpcError;
 use jdvs_search::{NetServing, NetServingConfig};
-use jdvs_workload::openloop::{OpenLoopConfig, OpenLoopDriver, OpenLoopOutcome, OpenLoopReport};
+use jdvs_workload::openloop::{
+    OpenLoopConfig, OpenLoopDriver, OpenLoopOutcome, OpenLoopReport, RateSweepPoint,
+};
 use jdvs_workload::queries::QueryGenerator;
 use jdvs_workload::scenario::{World, WorldConfig};
 
@@ -148,6 +150,54 @@ pub fn serving_overload(ctx: &Ctx) -> ExperimentResult {
     let capacity = probe.goodput();
     push_phase(&mut result, "capacity-probe", &probe);
 
+    // Phase 1b: goodput-vs-offered curve. Sweep the offered rate from
+    // well under capacity to deep overload; the curve should track the
+    // offered rate up to capacity and plateau there while the shed ratio
+    // climbs — the signature of graceful (not collapsing) degradation.
+    let sweep_rates: Vec<f64> = [0.5, 0.8, 1.0, 1.5, 2.0, 3.0]
+        .iter()
+        .map(|f| (capacity * f).max(10.0))
+        .collect();
+    let sweep_client = serving.client();
+    let sweep: Vec<RateSweepPoint> = OpenLoopDriver::sweep(
+        &sweep_rates,
+        OpenLoopConfig {
+            rate: 1.0, // overridden per point
+            duration: ctx.window(Duration::from_millis(1500)),
+            workers: 24,
+        },
+        || {
+            let (query, _) = generator.next_query(world.images(), 5);
+            match sweep_client.search(query) {
+                Ok(resp) => {
+                    if resp.partitions_ok
+                        + resp.partitions_timed_out
+                        + resp.partitions_failed
+                        + resp.partitions_shed
+                        != resp.partitions_total
+                    {
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    OpenLoopOutcome::Accepted
+                }
+                Err(RpcError::Overloaded) => OpenLoopOutcome::Shed,
+                Err(_) => OpenLoopOutcome::Failed,
+            }
+        },
+    );
+    for point in &sweep {
+        result.push_row(row![
+            "phase" => "rate-sweep",
+            "offered_per_sec" => format!("{:.0}", point.report.offered_rate()),
+            "offered_over_capacity" => format!("{:.2}", point.rate / capacity.max(1e-9)),
+            "goodput_per_sec" => format!("{:.0}", point.report.goodput()),
+            "shed_ratio" => format!("{:.2}", point.report.shed_ratio()),
+            "failed" => point.report.failed,
+            "accepted_p50_ms" => format!("{:.1}", point.report.accepted_latency.percentile(0.50).as_secs_f64() * 1e3),
+            "accepted_p99_ms" => format!("{:.1}", point.report.accepted_latency.percentile(0.99).as_secs_f64() * 1e3),
+        ]);
+    }
+
     // Phase 2: sustained ~3x overload.
     let overload = drive(
         &serving,
@@ -175,7 +225,8 @@ pub fn serving_overload(ctx: &Ctx) -> ExperimentResult {
     ]);
     result.note(format!(
         "capacity probed at 2x the {BLENDER_RATE:.0}/s token rate (admission clips, so accepted \
-         rate = sustained capacity); overload phase offers 3x capacity open-loop. Goodput held \
+         rate = sustained capacity); the rate-sweep rows trace the goodput-vs-offered curve from \
+         0.5x to 3x capacity; the overload phase offers 3x capacity open-loop. Goodput held \
          {:.0}% of capacity; every shed was answered at admission (p99 {:.1} ms) and {} accepted \
          responses violated the coverage identity.",
         ratio * 100.0,

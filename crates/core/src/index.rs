@@ -396,6 +396,38 @@ impl VisualIndex {
         search::compressed_search(self, query, k, nprobe, rerank_factor)
     }
 
+    /// Batched ANN search: executes co-arriving queries in one pass over
+    /// the union of their probed lists (see
+    /// [`search::multi_ann_search`]). Per-member results are bit-identical
+    /// to [`VisualIndex::search`] with a single-threaded scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member has `k == 0`, `nprobe == 0`, or the wrong
+    /// dimension.
+    pub fn search_multi(&self, queries: &[search::MultiQuery<'_>]) -> Vec<Vec<Neighbor>> {
+        self.stats.searches.add(queries.len() as u64);
+        search::multi_ann_search(self, queries)
+    }
+
+    /// Batched two-stage compressed search (see
+    /// [`search::multi_compressed_search`]): one fast-scan pass per probed
+    /// list scores every subscribed member. Per-member results are
+    /// bit-identical to [`VisualIndex::search_compressed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if PQ mode is disabled, `rerank_factor == 0`, or any member
+    /// has `k == 0`, `nprobe == 0`, or the wrong dimension.
+    pub fn search_compressed_multi(
+        &self,
+        queries: &[search::MultiQuery<'_>],
+        rerank_factor: usize,
+    ) -> Vec<Vec<Neighbor>> {
+        self.stats.searches.add(queries.len() as u64);
+        search::multi_compressed_search(self, queries, rerank_factor)
+    }
+
     /// Exhaustive exact search over all valid images (ground truth for
     /// recall measurement; not a serving path).
     ///

@@ -48,6 +48,16 @@
 //!   per-thread collectors merged at the end. Results are identical to
 //!   the sequential scan: merging is order-insensitive under the total
 //!   (distance, id) order.
+//! - **Multi-query batching.** Co-arriving queries execute as one
+//!   [`MultiQuery`] batch ([`multi_ann_search`] /
+//!   [`multi_compressed_search`]): the batch probes the **union** of its
+//!   members' nprobe lists and walks each list's blocks once, scoring
+//!   every subscribed query against the single block load (one
+//!   [`jdvs_vector::simd::KernelSet::fastscan16_multi`] call per
+//!   interleaved PQ block, one vector fetch per raw candidate). Per-query
+//!   results are bit-identical to the sequential path — same candidate
+//!   sets, same kernel lanes, and [`TopK`]'s total (distance, id) order
+//!   makes the outcome independent of list visit order.
 //!
 //! Every engine path keeps a sequential per-id `*_reference` twin that uses
 //! the same dispatched kernel — differential tests assert bit-identical
@@ -124,6 +134,118 @@ pub fn ann_search_with_threads(
     let inverted = index.inverted_internal();
     let scan = |list: usize, topk: &mut TopK| scan_one_list(inverted, list, &eval, topk);
     scan_probed_lists(inverted, &lists, k, threads, &scan).into_sorted_vec()
+}
+
+/// One member of a co-executed query batch; see [`multi_ann_search`] and
+/// [`multi_compressed_search`]. Each member carries its own result budget
+/// and probe width, so a batch may mix queries with different `k` /
+/// `nprobe` (as a serving-tier micro-batcher delivers them).
+#[derive(Debug, Clone, Copy)]
+pub struct MultiQuery<'a> {
+    /// Feature vector; must match the index dimension.
+    pub features: &'a [f32],
+    /// Result count for this query.
+    pub k: usize,
+    /// Number of lists this query probes.
+    pub nprobe: usize,
+}
+
+/// Maps each inverted list to the batch members whose probe set includes
+/// it — the union probe. Each list appears once, paired with its
+/// subscriber set; each query still scores exactly the candidates of its
+/// own probed lists.
+///
+/// Visit order is rank-interleaved nearest-first: every member's rank-0
+/// (nearest-centroid) list comes before any rank-1 list, and so on, with
+/// a list emitted at the first rank any member probes it. Results are
+/// order-independent ([`TopK`]'s total order), but the scan's top-k prune
+/// bound tightens fastest when the closest lists are seen first — and for
+/// a batch of one this is exactly the sequential path's probe order.
+fn probe_union(index: &VisualIndex, queries: &[MultiQuery<'_>]) -> Vec<(usize, Vec<usize>)> {
+    let num_lists = index.config().num_lists;
+    let probes: Vec<Vec<usize>> = queries
+        .iter()
+        .map(|q| index.quantizer().assign_multi(q.features, q.nprobe))
+        .collect();
+    let mut subscribers: Vec<Vec<usize>> = vec![Vec::new(); num_lists];
+    for (qi, probe) in probes.iter().enumerate() {
+        for &list in probe {
+            subscribers[list].push(qi);
+        }
+    }
+    let mut seen = vec![false; num_lists];
+    let mut union = Vec::new();
+    let max_rank = probes.iter().map(Vec::len).max().unwrap_or(0);
+    for rank in 0..max_rank {
+        for probe in &probes {
+            if let Some(&list) = probe.get(rank) {
+                if !seen[list] {
+                    seen[list] = true;
+                    union.push((list, std::mem::take(&mut subscribers[list])));
+                }
+            }
+        }
+    }
+    union
+}
+
+fn assert_multi_query(index: &VisualIndex, queries: &[MultiQuery<'_>]) {
+    for q in queries {
+        assert!(q.k > 0, "k must be positive");
+        assert!(q.nprobe > 0, "nprobe must be positive");
+        assert_eq!(
+            q.features.len(),
+            index.config().dim,
+            "query dimension mismatch"
+        );
+    }
+}
+
+/// Batched IVF search: executes every member of `queries` in one pass
+/// over the union of their probed lists. A candidate's validity check and
+/// vector fetch happen once per list block and are shared by every
+/// subscribed query, instead of once per query. Results are bit-identical
+/// per member to [`ann_search_with_threads`] with `threads = 1` (same
+/// kernels, same candidate sets; [`TopK`] is insensitive to visit order).
+///
+/// The batch itself is the parallelism — members run sequentially within
+/// the calling thread, so a serving micro-batcher can invoke this from
+/// one connection thread without nested fan-out.
+///
+/// # Panics
+///
+/// Panics if any member has `k == 0`, `nprobe == 0`, or the wrong
+/// dimension.
+pub fn multi_ann_search(index: &VisualIndex, queries: &[MultiQuery<'_>]) -> Vec<Vec<Neighbor>> {
+    assert_multi_query(index, queries);
+    if queries.is_empty() {
+        return Vec::new();
+    }
+    let subscribers = probe_union(index, queries);
+    let kernels = simd::active();
+    let bitmap = index.bitmap().reader();
+    let vectors = index.vectors().snapshot();
+    let inverted = index.inverted_internal();
+    let mut topks: Vec<TopK> = queries.iter().map(|q| TopK::new(q.k)).collect();
+    for &(list, ref subs) in &subscribers {
+        inverted.scan_blocks(ListId(list as u32), |ids| {
+            for &id in ids {
+                if !bitmap.test(id.as_usize()) {
+                    continue; // logically deleted
+                }
+                // Fetched once, scored by every subscriber (see
+                // `ann_search_with_threads` for the missing-vector rule).
+                let Some(v) = vectors.get(id) else { continue };
+                for &qi in subs {
+                    let d = kernels.squared_l2(queries[qi].features, v.as_slice());
+                    if topks[qi].would_accept(d) {
+                        topks[qi].push(id.as_u64(), d);
+                    }
+                }
+            }
+        });
+    }
+    topks.into_iter().map(TopK::into_sorted_vec).collect()
 }
 
 /// Two-stage compressed (PQ) search; see
@@ -216,6 +338,104 @@ pub fn compressed_search_with_threads(
     exact_rerank(&bitmap, &vectors, kernels, query, shortlist, k)
 }
 
+/// Batched two-stage compressed (PQ) search — the `MultiQuery` engine
+/// entry point the serving micro-batcher feeds. Stage 1 probes the union
+/// of the batch's nprobe lists once: every interleaved 4-bit block is
+/// loaded (and its validity lanes resolved) a single time and scored for
+/// all subscribed queries with one
+/// [`jdvs_vector::simd::KernelSet::fastscan16_multi`] call, each query
+/// keeping its own register-resident [`jdvs_vector::pq::QuantizedAdcTable`]
+/// LUTs and its own [`TopK`] with [`TopK::would_accept`] pruning. Stage 2
+/// re-ranks each member's shortlist exactly as the sequential path does.
+///
+/// Per-member results are **bit-identical** to
+/// [`compressed_search_with_threads`] (and hence to
+/// [`compressed_search_reference`]): the batched kernel's lanes equal the
+/// single-query kernel's, and [`TopK`]'s total (distance, id) order makes
+/// results independent of list visit order. Differential tests pin this
+/// on both the native and forced-scalar kernel sets.
+///
+/// # Panics
+///
+/// Panics if PQ mode is disabled, `rerank_factor == 0`, or any member has
+/// `k == 0`, `nprobe == 0`, or the wrong dimension.
+pub fn multi_compressed_search(
+    index: &VisualIndex,
+    queries: &[MultiQuery<'_>],
+    rerank_factor: usize,
+) -> Vec<Vec<Neighbor>> {
+    assert!(rerank_factor > 0, "rerank_factor must be positive");
+    assert_multi_query(index, queries);
+    if queries.is_empty() {
+        return Vec::new();
+    }
+    let pq = index
+        .pq_store()
+        .expect("compressed search requires config.pq_subspaces (see IndexConfig)");
+    let subscribers = probe_union(index, queries);
+    let kernels = simd::active();
+    let bitmap = index.bitmap().reader();
+    let inverted = index.inverted_internal();
+    let mut shortlists: Vec<TopK> = queries
+        .iter()
+        .map(|q| TopK::new(q.k.saturating_mul(rerank_factor).max(q.k)))
+        .collect();
+
+    if pq.is_four_bit() {
+        let qts: Vec<_> = queries
+            .iter()
+            .map(|q| pq.quantized_adc_table(q.features))
+            .collect();
+        // Scratch reused across lists: one code tile per block load, one
+        // accumulator row per batch member.
+        let mut tile = Vec::new();
+        let mut accs = vec![[0u16; FASTSCAN_BLOCK]; queries.len()];
+        for &(list, ref subs) in &subscribers {
+            fastscan_one_list_multi(
+                inverted,
+                pq,
+                &bitmap,
+                kernels,
+                &qts,
+                subs,
+                list,
+                &mut shortlists,
+                &mut tile,
+                &mut accs,
+            );
+        }
+    } else {
+        // Classic 8-bit ADC: the code read is shared; each subscriber
+        // pays only its own m table lookups.
+        let tables: Vec<_> = queries.iter().map(|q| pq.adc_table(q.features)).collect();
+        let mut code = vec![0u8; pq.code_len()];
+        for &(list, ref subs) in &subscribers {
+            let reader = pq.list_reader(ListId(list as u32));
+            let mut base = 0usize;
+            inverted.scan_blocks(ListId(list as u32), |ids| {
+                for (i, &id) in ids.iter().enumerate() {
+                    if bitmap.test(id.as_usize()) && reader.read_code(base + i, &mut code) {
+                        for &qi in subs {
+                            let d = tables[qi].distance(&code);
+                            if shortlists[qi].would_accept(d) {
+                                shortlists[qi].push(id.as_u64(), d);
+                            }
+                        }
+                    }
+                }
+                base += ids.len();
+            });
+        }
+    }
+
+    let vectors = index.vectors().snapshot();
+    queries
+        .iter()
+        .zip(shortlists)
+        .map(|(q, shortlist)| exact_rerank(&bitmap, &vectors, kernels, q.features, shortlist, q.k))
+        .collect()
+}
+
 /// Stage 1 of the 4-bit compressed path over one list: loads each
 /// 32-code interleaved block (partial tail lanes masked), scores it with
 /// one [`jdvs_vector::simd::KernelSet::fastscan16`] call, and feeds the
@@ -235,6 +455,11 @@ fn fastscan_one_list(
     let reader = pq.list_reader(ListId(list as u32));
     let mut tile = vec![0u8; reader.tile_len()];
     let mut acc = [0u16; FASTSCAN_BLOCK];
+    // Quantized top-k prune bound, recomputed only when the k-th distance
+    // moves (`prune_bound` is the exact `would_accept` edge, so skipped
+    // lanes provably change nothing).
+    let mut bound = Some(u16::MAX);
+    let mut bound_thr = f32::INFINITY;
     // scan_blocks emits full SCAN_BLOCK-sized blocks (a multiple of
     // FASTSCAN_BLOCK) with one ragged tail, so every group base below is
     // block-aligned.
@@ -245,15 +470,115 @@ fn fastscan_one_list(
             let lanes = (ids.len() - g).min(FASTSCAN_BLOCK);
             let mask = reader.load_group(base + g, &mut tile);
             if mask != 0 {
-                kernels.fastscan16(&tile, qt.luts(), &mut acc);
-                for (lane, &id) in ids[g..g + lanes].iter().enumerate() {
+                let thr = topk.threshold();
+                if thr.to_bits() != bound_thr.to_bits() {
+                    bound = qt.prune_bound(thr);
+                    bound_thr = thr;
+                }
+                if let Some(b) = bound {
+                    kernels.fastscan16(&tile, qt.luts(), &mut acc);
                     // An unpublished lane's code is still mid-insert (its
-                    // bitmap bit is not set yet either); a published one
-                    // scores from the kernel accumulator.
-                    if mask & (1 << lane) != 0 && bitmap.test(id.as_usize()) {
-                        let d = qt.to_f32(acc[lane]);
-                        if topk.would_accept(d) {
-                            topk.push(id.as_u64(), d);
+                    // bitmap bit is not set yet either); a published lane
+                    // under the prune bound scores from the accumulator.
+                    let mut hits = kernels.lanes_le16(&acc, b) & mask;
+                    while hits != 0 {
+                        let lane = hits.trailing_zeros() as usize;
+                        hits &= hits - 1;
+                        let id = ids[g + lane];
+                        if bitmap.test(id.as_usize()) {
+                            let d = qt.to_f32(acc[lane]);
+                            if topk.would_accept(d) {
+                                topk.push(id.as_u64(), d);
+                            }
+                        }
+                    }
+                }
+            }
+            g += lanes;
+        }
+        base += ids.len();
+    });
+}
+
+/// Stage 1 of the batched 4-bit path over one list: each 32-code
+/// interleaved block is loaded with a single
+/// [`crate::pq_store::PqListReader::load_group`], its published lanes are
+/// filtered through the validity bitmap **once**, and one batched kernel
+/// call scores the block for every subscriber — per query, the exact
+/// (id, f32) candidates of [`fastscan_one_list`].
+#[allow(clippy::too_many_arguments)]
+fn fastscan_one_list_multi(
+    inverted: &InvertedIndex,
+    pq: &PqStore,
+    bitmap: &BitmapReader<'_>,
+    kernels: &KernelSet,
+    qts: &[jdvs_vector::pq::QuantizedAdcTable],
+    subs: &[usize],
+    list: usize,
+    shortlists: &mut [TopK],
+    tile: &mut Vec<u8>,
+    accs: &mut [[u16; FASTSCAN_BLOCK]],
+) {
+    let reader = pq.list_reader(ListId(list as u32));
+    tile.clear();
+    tile.resize(reader.tile_len(), 0);
+    let luts: Vec<&[u8]> = subs.iter().map(|&qi| qts[qi].luts()).collect();
+    // Per-subscriber quantized prune bounds, recomputed only when that
+    // query's k-th distance moves (same exact-edge contract as the
+    // sequential path), plus a per-subscriber hit mask for the block in
+    // flight.
+    let mut bounds: Vec<Option<u16>> = vec![Some(u16::MAX); subs.len()];
+    let mut bound_thrs: Vec<f32> = vec![f32::INFINITY; subs.len()];
+    let mut hit_masks: Vec<u32> = vec![0; subs.len()];
+    let mut base = 0usize;
+    inverted.scan_blocks(ListId(list as u32), |ids| {
+        let mut g = 0usize;
+        while g < ids.len() {
+            let lanes = (ids.len() - g).min(FASTSCAN_BLOCK);
+            let mask = reader.load_group(base + g, tile);
+            if mask != 0 {
+                kernels.fastscan16_multi(tile, &luts, &mut accs[..subs.len()]);
+                // Prune each subscriber to its published survivors, then
+                // resolve the validity bitmap once, only for lanes some
+                // subscriber still wants — after the top-k bounds warm up
+                // that union is almost always empty.
+                let mut union_hits = 0u32;
+                for (si, &qi) in subs.iter().enumerate() {
+                    let topk = &shortlists[qi];
+                    let thr = topk.threshold();
+                    if thr.to_bits() != bound_thrs[si].to_bits() {
+                        bounds[si] = qts[qi].prune_bound(thr);
+                        bound_thrs[si] = thr;
+                    }
+                    hit_masks[si] = match bounds[si] {
+                        Some(b) => kernels.lanes_le16(&accs[si], b) & mask,
+                        None => 0,
+                    };
+                    union_hits |= hit_masks[si];
+                }
+                // Validity is a property of the candidate, not the query:
+                // resolve published ∩ valid once and share it.
+                let mut valid = 0u32;
+                let mut probe = union_hits;
+                while probe != 0 {
+                    let lane = probe.trailing_zeros() as usize;
+                    probe &= probe - 1;
+                    if bitmap.test(ids[g + lane].as_usize()) {
+                        valid |= 1 << lane;
+                    }
+                }
+                if valid != 0 {
+                    for (si, &qi) in subs.iter().enumerate() {
+                        let qt = &qts[qi];
+                        let topk = &mut shortlists[qi];
+                        let mut hits = hit_masks[si] & valid;
+                        while hits != 0 {
+                            let lane = hits.trailing_zeros() as usize;
+                            hits &= hits - 1;
+                            let d = qt.to_f32(accs[si][lane]);
+                            if topk.would_accept(d) {
+                                topk.push(ids[g + lane].as_u64(), d);
+                            }
                         }
                     }
                 }
@@ -857,6 +1182,152 @@ mod tests {
             let exact = brute_force(&index, q.as_slice(), 5);
             assert_eq!(recall(&compressed, &exact), 1.0);
         }
+    }
+
+    fn build_pq_index(n: usize, seed: u64, pq_bits: u8) -> (VisualIndex, Vec<Vector>) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let data: Vec<Vector> = (0..n)
+            .map(|_| (0..8).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let config = IndexConfig {
+            dim: 8,
+            num_lists: 4,
+            initial_list_capacity: 8,
+            pq_subspaces: Some(8),
+            pq_bits,
+            ..Default::default()
+        };
+        let index = VisualIndex::bootstrap(config, &data);
+        for (i, v) in data.iter().enumerate() {
+            index
+                .insert(
+                    v.clone(),
+                    ProductAttributes::new(ProductId(i as u64), 0, 0, 0, format!("u{i}")),
+                )
+                .unwrap();
+        }
+        index.flush();
+        for i in (0..n).step_by(9) {
+            let key = jdvs_storage::model::ImageKey::from_url(&format!("u{i}"));
+            index.invalidate(key, &format!("u{i}")).unwrap();
+        }
+        (index, data)
+    }
+
+    /// The batched 4-bit engine must return, for every batch member, the
+    /// exact result of the sequential per-id reference — across batch
+    /// sizes and mixed per-member k/nprobe.
+    #[test]
+    fn multi_compressed_matches_reference_per_query() {
+        let (index, data) = build_pq_index(600, 41, 4);
+        for batch_size in [1usize, 2, 3, 5, 8, 12] {
+            let queries: Vec<MultiQuery<'_>> = data
+                .iter()
+                .take(batch_size)
+                .enumerate()
+                .map(|(i, q)| MultiQuery {
+                    features: q.as_slice(),
+                    k: 3 + i % 5,
+                    nprobe: 1 + i % 4,
+                })
+                .collect();
+            let batched = multi_compressed_search(&index, &queries, 3);
+            assert_eq!(batched.len(), batch_size);
+            for (q, got) in queries.iter().zip(&batched) {
+                let reference = compressed_search_reference(&index, q.features, q.k, q.nprobe, 3);
+                assert_eq!(got, &reference, "batch_size = {batch_size}");
+            }
+        }
+    }
+
+    /// Same contract for the classic 8-bit ADC path.
+    #[test]
+    fn multi_compressed_matches_reference_eight_bit() {
+        let (index, data) = build_pq_index(500, 43, 8);
+        let queries: Vec<MultiQuery<'_>> = data
+            .iter()
+            .take(6)
+            .map(|q| MultiQuery {
+                features: q.as_slice(),
+                k: 10,
+                nprobe: 3,
+            })
+            .collect();
+        for (q, got) in queries
+            .iter()
+            .zip(multi_compressed_search(&index, &queries, 4))
+        {
+            let reference = compressed_search_reference(&index, q.features, q.k, q.nprobe, 4);
+            assert_eq!(got, reference);
+        }
+    }
+
+    /// The batched raw path against the per-id reference.
+    #[test]
+    fn multi_ann_matches_reference_per_query() {
+        let (index, data) = build_index(400, 8, 47);
+        for i in (0..400).step_by(7) {
+            let key = jdvs_storage::model::ImageKey::from_url(&format!("u{i}"));
+            index.invalidate(key, &format!("u{i}")).unwrap();
+        }
+        for batch_size in [1usize, 4, 9] {
+            let queries: Vec<MultiQuery<'_>> = data
+                .iter()
+                .take(batch_size)
+                .enumerate()
+                .map(|(i, q)| MultiQuery {
+                    features: q.as_slice(),
+                    k: 5 + i % 6,
+                    nprobe: 1 + i % 8,
+                })
+                .collect();
+            for (q, got) in queries.iter().zip(multi_ann_search(&index, &queries)) {
+                let reference = ann_search_reference(&index, q.features, q.k, q.nprobe);
+                assert_eq!(got, reference, "batch_size = {batch_size}");
+            }
+        }
+    }
+
+    /// A batch of one is exactly the single-query engine call.
+    #[test]
+    fn multi_of_one_equals_single_query_paths() {
+        let (index, data) = build_pq_index(300, 53, 4);
+        let q = MultiQuery {
+            features: data[0].as_slice(),
+            k: 10,
+            nprobe: 3,
+        };
+        assert_eq!(
+            multi_compressed_search(&index, &[q], 3),
+            vec![compressed_search_with_threads(
+                &index, q.features, 10, 3, 3, 1
+            )]
+        );
+        assert_eq!(
+            multi_ann_search(&index, &[q]),
+            vec![ann_search_with_threads(&index, q.features, 10, 3, 1)]
+        );
+    }
+
+    #[test]
+    fn multi_empty_batch_is_empty() {
+        let (index, _) = build_pq_index(100, 59, 4);
+        assert!(multi_compressed_search(&index, &[], 3).is_empty());
+        assert!(multi_ann_search(&index, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimension mismatch")]
+    fn multi_wrong_dim_panics() {
+        let (index, _) = build_index(10, 2, 1);
+        multi_ann_search(
+            &index,
+            &[MultiQuery {
+                features: &[0.0; 4],
+                k: 1,
+                nprobe: 1,
+            }],
+        );
     }
 
     #[test]

@@ -243,4 +243,66 @@ proptest! {
             }
         }
     }
+
+    /// The batched `MultiQuery` engine returns, for every member of a
+    /// random batch (random sizes, mixed per-member k/nprobe, random
+    /// deletions), the *exact* result of the sequential per-id reference —
+    /// on both the 4-bit fast-scan and the raw path. Runs on the native
+    /// and (in CI) the forced-scalar kernel set.
+    #[test]
+    fn multi_query_batch_matches_reference_per_member(
+        seed in any::<u64>(),
+        n in 80usize..400,
+        num_lists in 2usize..9,
+        batch in 1usize..13,
+        delete_every in 2usize..10,
+    ) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let data: Vec<Vector> = (0..n)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let index = VisualIndex::bootstrap(
+            IndexConfig {
+                dim: DIM,
+                num_lists,
+                initial_list_capacity: 4,
+                pq_subspaces: Some(DIM),
+                pq_bits: 4,
+                ..Default::default()
+            },
+            &data,
+        );
+        for (i, v) in data.iter().enumerate() {
+            index
+                .insert(
+                    v.clone(),
+                    ProductAttributes::new(ProductId(i as u64), 0, 0, 0, format!("mq/u{i}")),
+                )
+                .unwrap();
+        }
+        index.flush();
+        for i in (0..n).step_by(delete_every) {
+            let url = format!("mq/u{i}");
+            index.invalidate(ImageKey::from_url(&url), &url).unwrap();
+        }
+        let queries: Vec<search::MultiQuery<'_>> = data
+            .iter()
+            .take(batch)
+            .enumerate()
+            .map(|(i, q)| search::MultiQuery {
+                features: q.as_slice(),
+                k: 1 + i % 10,
+                nprobe: 1 + (seed as usize + i) % num_lists,
+            })
+            .collect();
+        let compressed = search::multi_compressed_search(&index, &queries, 3);
+        let raw = search::multi_ann_search(&index, &queries);
+        for (q, (got_c, got_r)) in queries.iter().zip(compressed.iter().zip(raw.iter())) {
+            let want_c =
+                search::compressed_search_reference(&index, q.features, q.k, q.nprobe, 3);
+            prop_assert_eq!(got_c, &want_c, "compressed k={} nprobe={}", q.k, q.nprobe);
+            let want_r = search::ann_search_reference(&index, q.features, q.k, q.nprobe);
+            prop_assert_eq!(got_r, &want_r, "raw k={} nprobe={}", q.k, q.nprobe);
+        }
+    }
 }

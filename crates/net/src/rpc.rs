@@ -17,6 +17,17 @@ pub trait Service: Send + Sync + 'static {
     fn handle(&self, req: Self::Request) -> Self::Response;
 }
 
+/// A shared service serves too — lets a caller keep a handle to the same
+/// instance a tier runs (e.g. to drain a stateful wrapper at shutdown).
+impl<S: Service> Service for std::sync::Arc<S> {
+    type Request = S::Request;
+    type Response = S::Response;
+
+    fn handle(&self, req: Self::Request) -> Self::Response {
+        (**self).handle(req)
+    }
+}
+
 /// Something a [`crate::balancer::Balancer`] can route requests to: an
 /// in-process [`crate::node::NodeHandle`] or a [`crate::tcp::TcpChannel`]
 /// to a remote tier. The balancer's resilience machinery (budgeted

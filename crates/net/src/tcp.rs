@@ -98,11 +98,36 @@ impl<S: Service> TcpTier<S> {
         encode_response_body: fn(&S::Response) -> Vec<u8>,
         config: AdmissionConfig,
     ) -> io::Result<Self> {
+        Self::spawn_with_metrics(
+            name,
+            service,
+            decode_request_body,
+            encode_response_body,
+            config,
+            Arc::new(ServingMetrics::new()),
+        )
+    }
+
+    /// Like [`TcpTier::spawn`], but shares a caller-provided
+    /// [`ServingMetrics`] instance instead of creating a private one — so
+    /// a service that records its own metrics (e.g. a micro-batcher) and
+    /// the tier's admission front door report into one snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener bind errors.
+    pub fn spawn_with_metrics(
+        name: &str,
+        service: S,
+        decode_request_body: fn(&[u8]) -> Option<S::Request>,
+        encode_response_body: fn(&S::Response) -> Vec<u8>,
+        config: AdmissionConfig,
+        metrics: Arc<ServingMetrics>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
-        let metrics = Arc::new(ServingMetrics::new());
         let admission = Arc::new(AdmissionController::new(config, metrics));
         let service = Arc::new(service);
         let stop = Arc::new(AtomicBool::new(false));

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod blender;
 pub mod broker;
 pub mod client;
@@ -40,6 +41,7 @@ pub mod serving;
 pub mod topology;
 pub mod wire;
 
+pub use batch::{BatchConfig, BatchingSearcher};
 pub use client::SearchClient;
 pub use protocol::{QueryInput, RankedHit, SearchQuery};
 pub use ranking::RankingPolicy;

@@ -9,9 +9,11 @@
 use std::sync::Arc;
 
 use jdvs_core::ids::ImageId;
+use jdvs_core::search::MultiQuery;
 use jdvs_core::swap::IndexHandle;
 use jdvs_core::VisualIndex;
 use jdvs_net::rpc::Service;
+use jdvs_vector::Neighbor;
 
 use crate::protocol::{FanoutQuery, PartialHit, PartialResponse};
 
@@ -65,12 +67,63 @@ impl SearcherService {
         } else {
             index.search(&query.features, query.k.max(1), nprobe)
         };
+        // The records are guaranteed present (ids come from the same index
+        // snapshot held across the whole query).
+        self.partial_response(&index, neighbors)
+    }
+
+    /// Executes a batch of co-arriving queries against **one** index
+    /// snapshot, amortizing the fast-scan block passes across the batch
+    /// (see [`jdvs_core::search::multi_compressed_search`]).
+    ///
+    /// Results are positionally aligned with `queries` and bit-identical
+    /// to calling [`SearcherService::execute`] per member on the same
+    /// snapshot: the batch engine scores every query with its own LUTs and
+    /// its own top-k, so coverage accounting and hit contents are
+    /// unchanged — only the block walks are shared.
+    pub fn execute_batch(&self, queries: &[FanoutQuery]) -> Vec<PartialResponse> {
+        let index = self.handle.get();
+        let default_nprobe = index.config().nprobe;
+        // Split by engine path, remembering each member's slot so the
+        // responses come back positionally aligned.
+        let mut compressed: Vec<(usize, MultiQuery<'_>)> = Vec::new();
+        let mut raw: Vec<(usize, MultiQuery<'_>)> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            let mq = MultiQuery {
+                features: &q.features,
+                k: q.k.max(1),
+                nprobe: q.nprobe.unwrap_or(default_nprobe),
+            };
+            if q.compressed && index.has_pq() {
+                compressed.push((i, mq));
+            } else {
+                raw.push((i, mq));
+            }
+        }
+        let mut out: Vec<PartialResponse> = vec![PartialResponse::default(); queries.len()];
+        let rerank = index.config().rerank_factor;
+        for (group, neighbors) in [
+            {
+                let members: Vec<MultiQuery<'_>> = compressed.iter().map(|(_, m)| *m).collect();
+                (&compressed, index.search_compressed_multi(&members, rerank))
+            },
+            {
+                let members: Vec<MultiQuery<'_>> = raw.iter().map(|(_, m)| *m).collect();
+                (&raw, index.search_multi(&members))
+            },
+        ] {
+            for ((slot, _), hits) in group.iter().zip(neighbors) {
+                out[*slot] = self.partial_response(&index, hits);
+            }
+        }
+        out
+    }
+
+    fn partial_response(&self, index: &VisualIndex, neighbors: Vec<Neighbor>) -> PartialResponse {
         let hits = neighbors
             .into_iter()
             .filter_map(|n| {
                 let id = ImageId(n.id as u32);
-                // The record is guaranteed present (ids come from the same
-                // index snapshot held across the whole query).
                 let attrs = index.attributes(id).ok()?;
                 Some(PartialHit {
                     partition: self.partition,
@@ -194,6 +247,66 @@ mod tests {
         for w in resp.hits.windows(2) {
             assert!(w[0].distance <= w[1].distance);
         }
+    }
+
+    #[test]
+    fn execute_batch_matches_execute_per_member() {
+        let mut rng = Xoshiro256::seed_from(17);
+        let data: Vec<Vector> = (0..120)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let index = Arc::new(VisualIndex::bootstrap(
+            IndexConfig {
+                dim: DIM,
+                num_lists: 4,
+                nprobe: 4,
+                pq_subspaces: Some(DIM / 2),
+                pq_bits: 4,
+                ..Default::default()
+            },
+            &data,
+        ));
+        for (i, v) in data.iter().enumerate() {
+            index
+                .insert(
+                    v.clone(),
+                    ProductAttributes::new(ProductId(i as u64), i as u64, 9, 1, format!("eb/u{i}")),
+                )
+                .unwrap();
+        }
+        index.flush();
+        let searcher = SearcherService::for_index(2, Arc::clone(&index));
+        // A mixed batch: compressed and raw members, varying k and nprobe,
+        // must come back positionally aligned and bit-identical to solo
+        // execution.
+        let queries: Vec<FanoutQuery> = (0..7u32)
+            .map(|i| FanoutQuery {
+                features: index
+                    .features(jdvs_core::ids::ImageId(i * 3))
+                    .unwrap()
+                    .into_inner(),
+                k: 1 + i as usize % 5,
+                nprobe: if i % 2 == 0 {
+                    Some(1 + i as usize % 4)
+                } else {
+                    None
+                },
+                compressed: i % 3 != 0,
+                budget: None,
+            })
+            .collect();
+        let batched = searcher.execute_batch(&queries);
+        assert_eq!(batched.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batched) {
+            assert_eq!(
+                got,
+                &searcher.execute(q),
+                "k={} compressed={}",
+                q.k,
+                q.compressed
+            );
+        }
+        assert!(searcher.execute_batch(&[]).is_empty());
     }
 
     #[test]

@@ -25,11 +25,12 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
-use jdvs_metrics::{ResilienceMetrics, ServingSnapshot};
+use jdvs_metrics::{ResilienceMetrics, ServingMetrics, ServingSnapshot};
 use jdvs_net::admission::AdmissionConfig;
 use jdvs_net::balancer::Balancer;
 use jdvs_net::tcp::{TcpChannel, TcpTier};
 
+use crate::batch::{BatchConfig, BatchingSearcher};
 use crate::blender::BlenderService;
 use crate::broker::BrokerService;
 use crate::client::SearchClient;
@@ -55,6 +56,10 @@ pub struct NetServingConfig {
     pub broker_admission: AdmissionConfig,
     /// Front door of every searcher listener.
     pub searcher_admission: AdmissionConfig,
+    /// Micro-batching policy at the searcher input (behind admission, in
+    /// front of the engine). Disabled by default — see
+    /// [`BatchConfig::disabled`].
+    pub searcher_batch: BatchConfig,
     /// End-to-end deadline stamped by [`NetServing::client`].
     pub client_deadline: Duration,
 }
@@ -77,6 +82,7 @@ impl Default for NetServingConfig {
                 queue_capacity: 128,
                 ..AdmissionConfig::default()
             },
+            searcher_batch: BatchConfig::disabled(),
             client_deadline: Duration::from_secs(5),
         }
     }
@@ -113,8 +119,12 @@ fn encode_search_resp(s: &SearchResponse) -> Vec<u8> {
 
 /// The three tiers running as TCP services over a topology's indexes.
 pub struct NetServing {
-    /// `[partition][replica]` searcher listeners.
-    searchers: Vec<Vec<TcpTier<SearcherService>>>,
+    /// `[partition][replica]` searcher listeners (micro-batching front
+    /// included — a no-op pass-through when batching is disabled).
+    searchers: Vec<Vec<TcpTier<Arc<BatchingSearcher>>>>,
+    /// `[partition][replica]` handles to the batchers behind the searcher
+    /// listeners, kept so a drain can flush forming batches immediately.
+    batchers: Vec<Vec<Arc<BatchingSearcher>>>,
     /// `[group][instance]` broker listeners.
     brokers: Vec<Vec<TcpTier<NetBroker>>>,
     /// Blender listeners.
@@ -151,20 +161,33 @@ impl NetServing {
         let pmap = topology.partition_map();
         let resilience = Arc::new(ResilienceMetrics::new());
 
-        // --- Searcher tier: one listener per (partition, replica). ------
-        let mut searchers: Vec<Vec<TcpTier<SearcherService>>> = Vec::new();
+        // --- Searcher tier: one listener per (partition, replica), each
+        // fronted by a micro-batcher sharing the tier's metrics so batch
+        // depth/wait histograms land in the serving snapshot. ------------
+        let mut searchers: Vec<Vec<TcpTier<Arc<BatchingSearcher>>>> = Vec::new();
+        let mut batchers: Vec<Vec<Arc<BatchingSearcher>>> = Vec::new();
         for p in 0..tc.num_partitions {
             let mut row = Vec::new();
+            let mut batcher_row = Vec::new();
             for r in 0..tc.replicas_per_partition {
-                row.push(TcpTier::spawn(
-                    &format!("net-searcher-{p}-{r}"),
+                let metrics = Arc::new(ServingMetrics::new());
+                let batcher = Arc::new(BatchingSearcher::new(
                     SearcherService::new(p, Arc::clone(topology.handle(p, r))),
+                    config.searcher_batch,
+                    Arc::clone(&metrics),
+                ));
+                row.push(TcpTier::spawn_with_metrics(
+                    &format!("net-searcher-{p}-{r}"),
+                    Arc::clone(&batcher),
                     decode_fanout,
                     encode_partial,
                     config.searcher_admission.clone(),
+                    metrics,
                 )?);
+                batcher_row.push(batcher);
             }
             searchers.push(row);
+            batchers.push(batcher_row);
         }
 
         // --- Broker tier: instances fan out to searchers over TCP. ------
@@ -262,6 +285,7 @@ impl NetServing {
 
         Ok(Self {
             searchers,
+            batchers,
             brokers,
             blenders,
             resilience,
@@ -379,6 +403,11 @@ impl NetServing {
         for tier in self.brokers.iter_mut().flatten() {
             idle &= tier.drain(timeout);
         }
+        // Flush forming batches before draining the listeners, so a drain
+        // never waits out a batch window.
+        for batcher in self.batchers.iter().flatten() {
+            batcher.drain();
+        }
         for tier in self.searchers.iter_mut().flatten() {
             idle &= tier.drain(timeout);
         }
@@ -398,6 +427,8 @@ fn sum_snapshots(parts: impl Iterator<Item = ServingSnapshot>) -> ServingSnapsho
         out.decode_errors += s.decode_errors;
         out.max_in_flight = out.max_in_flight.max(s.max_in_flight);
         out.max_queue_depth = out.max_queue_depth.max(s.max_queue_depth);
+        out.batch_depth.merge(&s.batch_depth);
+        out.batch_wait.merge(&s.batch_wait);
     }
     out
 }

@@ -350,6 +350,39 @@ impl QuantizedAdcTable {
         self.bias + self.delta * f32::from(q)
     }
 
+    /// Largest accumulator value whose [`Self::to_f32`] distance is still
+    /// `<= threshold` — i.e. could pass a [`crate::topk::TopK::would_accept`]
+    /// test — or `None` if no accumulator can. `to_f32` is monotone
+    /// nondecreasing in the accumulator (`delta` is always positive), so a
+    /// block scan may skip every lane above the bound without changing its
+    /// candidate set: those lanes provably fail `would_accept`. Lanes at or
+    /// below the bound still go through the exact `to_f32`/`would_accept`
+    /// path, so pruning being conservative costs nothing but a compare.
+    ///
+    /// The closed-form estimate is corrected against `to_f32`'s actual f32
+    /// rounding by walking to the exact edge (at most a couple of steps).
+    pub fn prune_bound(&self, threshold: f32) -> Option<u16> {
+        if threshold == f32::INFINITY {
+            return Some(u16::MAX);
+        }
+        if threshold.is_nan() {
+            // A NaN k-th distance rejects everything (`d <= NaN` is false).
+            return None;
+        }
+        let est = (f64::from(threshold) - f64::from(self.bias)) / f64::from(self.delta);
+        let mut q = est.clamp(0.0, f64::from(u16::MAX)) as u16;
+        while q < u16::MAX && self.to_f32(q + 1) <= threshold {
+            q += 1;
+        }
+        while self.to_f32(q) > threshold {
+            if q == 0 {
+                return None;
+            }
+            q -= 1;
+        }
+        Some(q)
+    }
+
     /// Quantized distance of one unpacked code (sub-code values `0..16`) —
     /// the per-id scalar twin of the block kernels. Accumulates with
     /// saturating u16 adds in subspace order, exactly like
@@ -584,6 +617,48 @@ mod tests {
                 "lane {lane}"
             );
         }
+    }
+
+    #[test]
+    fn prune_bound_is_the_exact_would_accept_edge() {
+        // The contract the block-scan prune relies on: for every possible
+        // accumulator q, `to_f32(q) <= threshold` ⇔ `q <= prune_bound`.
+        let data = random_data(400, 16, 21);
+        let pq = ProductQuantizer::train(
+            &data,
+            &PqConfig {
+                num_subspaces: 8,
+                bits: 4,
+                ..Default::default()
+            },
+        );
+        let quant = pq.quantized_adc_table(data[7].as_slice());
+        let mut thresholds: Vec<f32> = (0..40).map(|i| quant.to_f32((i * 1637) as u16)).collect();
+        // Off-edge thresholds, the edges themselves, and the extremes.
+        thresholds.extend((0..40).map(|i| quant.to_f32((i * 1637) as u16) + 1e-3));
+        thresholds.extend([0.0, quant.to_f32(0), quant.to_f32(u16::MAX) + 1.0]);
+        for thr in thresholds {
+            let bound = quant.prune_bound(thr);
+            // The edge itself: the bound passes, the next value fails.
+            match bound {
+                Some(b) => {
+                    assert!(quant.to_f32(b) <= thr, "bound {b} fails at thr {thr}");
+                    if b < u16::MAX {
+                        assert!(quant.to_f32(b + 1) > thr, "bound {b} not maximal at {thr}");
+                    }
+                }
+                None => assert!(quant.to_f32(0) > thr, "None but q=0 passes at {thr}"),
+            }
+            // Spot-check the equivalence across the whole range.
+            for q in (0..=u16::MAX).step_by(251).chain([u16::MAX]) {
+                let passes = quant.to_f32(q) <= thr;
+                let kept = bound.is_some_and(|b| q <= b);
+                assert_eq!(passes, kept, "thr {thr} q {q} bound {bound:?}");
+            }
+        }
+        assert_eq!(quant.prune_bound(f32::INFINITY), Some(u16::MAX));
+        assert_eq!(quant.prune_bound(f32::NAN), None);
+        assert_eq!(quant.prune_bound(f32::NEG_INFINITY), None);
     }
 
     #[test]

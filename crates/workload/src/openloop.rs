@@ -125,6 +125,16 @@ impl OpenLoopReport {
     }
 }
 
+/// One point of an offered-load sweep: the rate that was offered and what
+/// the system under test did with it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateSweepPoint {
+    /// Offered arrival rate of this point (requests per second).
+    pub rate: f64,
+    /// The full open-loop report measured at that rate.
+    pub report: OpenLoopReport,
+}
+
 /// Runs open-loop load; see the module docs.
 #[derive(Debug)]
 pub struct OpenLoopDriver;
@@ -213,6 +223,32 @@ impl OpenLoopDriver {
             shed_latency: shed_latency.snapshot(),
         }
     }
+
+    /// Sweeps the offered rate across `rates`, running one open-loop pass
+    /// per point with `base`'s duration and worker pool. The resulting
+    /// goodput-vs-offered curve is the standard overload picture: goodput
+    /// tracks the offered rate up to capacity, then plateaus while
+    /// admission control sheds the excess.
+    ///
+    /// Points run in ascending-rate order exactly as given; the system
+    /// under test keeps its state (warmed caches, pools) across points,
+    /// matching how a real load test is driven.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is not positive-finite or `base.workers == 0`.
+    pub fn sweep<F>(rates: &[f64], base: OpenLoopConfig, op: F) -> Vec<RateSweepPoint>
+    where
+        F: Fn() -> OpenLoopOutcome + Sync,
+    {
+        rates
+            .iter()
+            .map(|&rate| RateSweepPoint {
+                rate,
+                report: Self::run(OpenLoopConfig { rate, ..base }, &op),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +307,29 @@ mod tests {
         assert!(report.shed >= 30, "roughly a third shed: {}", report.shed);
         assert_eq!(report.shed_latency.count(), report.shed);
         assert!(report.shed_ratio() > 0.25);
+    }
+
+    #[test]
+    fn sweep_runs_every_rate_in_order() {
+        let calls = Calls::new(0);
+        let points = OpenLoopDriver::sweep(
+            &[100.0, 300.0],
+            OpenLoopConfig {
+                duration: Duration::from_millis(100),
+                workers: 4,
+                ..Default::default()
+            },
+            || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                OpenLoopOutcome::Accepted
+            },
+        );
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].rate, 100.0);
+        assert_eq!(points[1].rate, 300.0);
+        assert_eq!(points[0].report.offered, 10);
+        assert_eq!(points[1].report.offered, 30);
+        assert_eq!(calls.load(Ordering::Relaxed), 40);
     }
 
     #[test]

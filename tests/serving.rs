@@ -13,17 +13,22 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use jdvs::core::IndexConfig;
+use jdvs::core::{IndexConfig, VisualIndex};
+use jdvs::metrics::ResilienceMetrics;
 use jdvs::net::admission::AdmissionConfig;
 use jdvs::net::balancer::Balancer;
 use jdvs::net::rpc::RpcError;
-use jdvs::net::tcp::TcpChannel;
-use jdvs::search::protocol::{SearchQuery, SearchResponse};
+use jdvs::net::tcp::{TcpChannel, TcpTier};
+use jdvs::search::broker::BrokerService;
+use jdvs::search::protocol::{FanoutQuery, PartialResponse, SearchQuery, SearchResponse};
+use jdvs::search::searcher::SearcherService;
 use jdvs::search::topology::TopologyConfig;
-use jdvs::search::{wire, NetServing, NetServingConfig, SearchClient};
+use jdvs::search::{wire, BatchConfig, NetServing, NetServingConfig, SearchClient};
 use jdvs::storage::{ProductAttributes, ProductEvent, ProductId};
+use jdvs::vector::rng::Xoshiro256;
+use jdvs::vector::Vector;
 use jdvs::workload::catalog::CatalogConfig;
 use jdvs::workload::openloop::{OpenLoopConfig, OpenLoopDriver, OpenLoopOutcome};
 use jdvs::workload::queries::QueryGenerator;
@@ -339,6 +344,175 @@ fn socket_faults_never_violate_accounting() {
     assert!(recovers(), "pooled connection survives a refusal fault");
     proxy.clear();
     assert!(recovers(), "recovery after refusal");
+}
+
+#[test]
+fn batched_searcher_tier_is_transparent_and_observable() {
+    let _serial = timing_sensitive();
+    let world = serving_world();
+    // Batching on: co-arriving fan-outs at each searcher coalesce into one
+    // engine call. Responses must be indistinguishable from the unbatched
+    // stack; only the tier's histograms show the coalescing.
+    let serving = NetServing::over(
+        world.topology(),
+        NetServingConfig {
+            searcher_batch: BatchConfig {
+                window: Duration::from_millis(40),
+                max_batch: 8,
+                min_hold_budget: Duration::ZERO,
+            },
+            ..NetServingConfig::default()
+        },
+    )
+    .unwrap();
+    let client = serving.client();
+    let generator = QueryGenerator::new(world.catalog(), 29);
+
+    for _round in 0..3 {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let client = client.clone();
+                let (q, _) = generator.next_query(world.images(), 5);
+                std::thread::spawn(move || (q.clone(), client.search(q)))
+            })
+            .collect();
+        for h in handles {
+            let (q, resp) = h.join().unwrap();
+            let resp = resp.expect("healthy batched stack must answer");
+            assert_identity(&resp);
+            assert!(resp.is_complete(), "batching must not cost coverage");
+            assert!(!resp.results.is_empty());
+            // Demux check: each connection got *its own* query's answer,
+            // identical to the unbatched in-process stack.
+            let local = world.topology().search(q).unwrap();
+            assert_eq!(
+                resp.results[0].hit.product_id, local.results[0].hit.product_id,
+                "batched tier must rank the same top hit"
+            );
+        }
+    }
+
+    let snap = serving.searcher_serving();
+    assert!(
+        snap.batch_depth.count() > 0,
+        "engine calls must be recorded"
+    );
+    // 24 client queries fan out to all 4 partitions = 96 searcher requests;
+    // each must be accounted in exactly one engine call (retries on
+    // transient timeouts can only add).
+    let members = (snap.batch_depth.mean_us() * snap.batch_depth.count() as f64).round() as u64;
+    assert!(members >= 96, "only {members} batch members recorded");
+    assert!(
+        snap.batch_depth.max_us() >= 2,
+        "8 co-arriving queries inside a 40ms window must coalesce"
+    );
+    assert!(snap.batch_wait.count() > 0, "held members must record wait");
+    assert!(
+        snap.batch_wait.max_us() < 200_000,
+        "no member may be held far past the window"
+    );
+}
+
+#[test]
+fn hedged_broker_over_tcp_beats_stalled_searcher() {
+    let _serial = timing_sensitive();
+    // One partition, two searcher replicas over the same index; replica 0
+    // sits behind a fault proxy. A fresh balancer tries target 0 first, so
+    // stalling the proxy forces the broker's hedge to win via replica 1.
+    const DIM: usize = 8;
+    let mut rng = Xoshiro256::seed_from(41);
+    let data: Vec<Vector> = (0..80)
+        .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+        .collect();
+    let index = Arc::new(VisualIndex::bootstrap(
+        IndexConfig {
+            dim: DIM,
+            num_lists: 4,
+            nprobe: 4,
+            ..Default::default()
+        },
+        &data,
+    ));
+    for (i, v) in data.iter().enumerate() {
+        index
+            .insert(
+                v.clone(),
+                ProductAttributes::new(ProductId(i as u64), 1, 1, 1, format!("hedge/u{i}")),
+            )
+            .unwrap();
+    }
+    index.flush();
+
+    fn enc(q: &FanoutQuery) -> Vec<u8> {
+        wire::encode_fanout_query(q)
+    }
+    fn dec(b: &[u8]) -> Option<PartialResponse> {
+        wire::decode_partial_response(b).ok()
+    }
+    let replica0 = TcpTier::spawn(
+        "hedge-s0",
+        SearcherService::for_index(0, Arc::clone(&index)),
+        |b| wire::decode_fanout_query(b).ok(),
+        wire::encode_partial_response,
+        AdmissionConfig::default(),
+    )
+    .unwrap();
+    let replica1 = TcpTier::spawn(
+        "hedge-s1",
+        SearcherService::for_index(0, Arc::clone(&index)),
+        |b| wire::decode_fanout_query(b).ok(),
+        wire::encode_partial_response,
+        AdmissionConfig::default(),
+    )
+    .unwrap();
+    let proxy = FaultProxy::spawn(replica0.local_addr()).unwrap();
+
+    let resilience = Arc::new(ResilienceMetrics::new());
+    let balancer = Balancer::new(vec![
+        TcpChannel::new("proxied-r0", proxy.addr(), enc, dec),
+        TcpChannel::new("healthy-r1", replica1.local_addr(), enc, dec),
+    ])
+    .with_metrics(Arc::clone(&resilience));
+    let broker = BrokerService::new(0, vec![balancer], Duration::from_secs(3))
+        .with_metrics(Arc::clone(&resilience))
+        .with_hedging(Duration::from_millis(100));
+
+    let query = FanoutQuery {
+        features: data[5].as_slice().to_vec(),
+        k: 5,
+        nprobe: Some(4),
+        compressed: false,
+        budget: None,
+    };
+
+    // Stall the proxy: bytes are read but never answered, so the primary
+    // call hangs against its full 3s deadline while the hedge completes.
+    proxy.set_stall(true);
+    let start = Instant::now();
+    let resp = broker.execute(&query);
+    let elapsed = start.elapsed();
+
+    assert_eq!(
+        resp.partitions_ok
+            + resp.partitions_timed_out
+            + resp.partitions_failed
+            + resp.partitions_shed,
+        resp.partitions_total,
+        "accounting identity violated: {resp:?}"
+    );
+    assert!(
+        resp.is_complete(),
+        "the hedge must deliver full coverage around the stalled replica: {resp:?}"
+    );
+    assert_eq!(resp.hits.len(), 5);
+    assert!(
+        elapsed < Duration::from_millis(2500),
+        "hedged call took {elapsed:?}; it must not ride out the primary's 3s deadline"
+    );
+    let r = resilience.snapshot();
+    assert!(r.hedges_launched >= 1, "no hedge launched: {r:?}");
+    assert!(r.hedges_won >= 1, "the hedge must have won: {r:?}");
+    proxy.clear();
 }
 
 #[test]

@@ -1,0 +1,110 @@
+//! The partition-lifecycle experiment: what the mobility operations cost.
+//!
+//! Not a paper figure: the paper's partitions are static (Section 2.4
+//! fixes the layout at deployment). This experiment prices the lifecycle
+//! operations the reproduction adds on top — how long a replica bootstrap
+//! takes as a function of the log suffix it must tail past its checkpoint
+//! seed, and what one online split costs at full log length.
+//!
+//! The bootstrap protocol seeds from the partition's newest checkpoint and
+//! tails the live log until it converges within the configured lag bound,
+//! so its wall time should be dominated by (and roughly linear in) the
+//! suffix length; the rows trace that curve with the seed held fixed.
+
+use std::time::Instant;
+
+use jdvs_workload::recovery::{RecoveryConfig, RecoveryHarness};
+
+use crate::report::ExperimentResult;
+use crate::row;
+
+use super::Ctx;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("jdvs-bench-lifecycle-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `lifecycle`: replica bootstrap time vs log-suffix length + one split.
+pub fn lifecycle(ctx: &Ctx) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "lifecycle",
+        "Partition lifecycle: bootstrap time vs log-suffix length, online split cost",
+        "not in paper — prices the partition mobility the reproduction adds over Section 2.4",
+    );
+
+    let products = {
+        let base = ctx.scaled(1_500, 150);
+        if ctx.quick {
+            base / 2
+        } else {
+            base
+        }
+    };
+    let dir = scratch("suffix");
+    let mut config = RecoveryConfig::fast(&dir);
+    config.num_products = products;
+    config.probes = 4;
+    config.options.segment_max_bytes = 256 * 1024;
+    let harness = RecoveryHarness::new(config);
+    let total = harness.events().len();
+    let seed_at = total / 6;
+
+    let mut topology = harness.boot().expect("boot durable topology");
+    harness.publish(&topology, 0..seed_at);
+    topology.checkpoint_partition(0).expect("checkpoint p0");
+    topology.checkpoint_partition(1).expect("checkpoint p1");
+
+    // Grow the log past the fixed checkpoint seed and bootstrap a fresh
+    // replica at each point: the seed is constant, the tail is the
+    // variable. Each bootstrap joins the serving set for good, so later
+    // points also measure under a larger replica row — the realistic case.
+    let mut published = seed_at;
+    for fraction in [0.0, 0.25, 0.5, 1.0] {
+        let target = seed_at + ((total - seed_at) as f64 * fraction) as usize;
+        if target > published {
+            harness.publish(&topology, published..target);
+            published = target;
+        }
+        let suffix = (published - seed_at) as u64;
+        let t0 = Instant::now();
+        let report = topology.bootstrap_replica(0);
+        let secs = t0.elapsed().as_secs_f64();
+        result.push_row(row![
+            "phase" => "bootstrap",
+            "suffix_events" => suffix,
+            "tailed" => report.tailed,
+            "from_snapshot" => report.from_snapshot.to_string(),
+            "replica" => report.replica,
+            "wall_ms" => format!("{:.2}", secs * 1e3),
+            "tail_rate_per_sec" => format!("{:.0}", if secs > 0.0 { report.tailed as f64 / secs } else { 0.0 }),
+        ]);
+    }
+
+    // One online split at full log length for scale context: both halves
+    // rebuild from the checkpoint seed plus the whole surviving suffix.
+    let t0 = Instant::now();
+    let split = topology.split_partition(0).expect("online split");
+    let secs = t0.elapsed().as_secs_f64();
+    result.push_row(row![
+        "phase" => "split",
+        "suffix_events" => split.messages_replayed,
+        "tailed" => 0,
+        "from_snapshot" => split.from_snapshot.to_string(),
+        "replica" => split.sibling,
+        "wall_ms" => format!("{:.2}", secs * 1e3),
+        "tail_rate_per_sec" => 0,
+    ]);
+    harness.halt(topology);
+
+    result.note(format!(
+        "one partition of 2, seed checkpoint fixed at event {seed_at} of {total}; each bootstrap \
+         row forks the same snapshot and tails the suffix shown, so wall time vs suffix_events \
+         traces the tail cost; the split row rebuilds both halves from the same seed at full \
+         log length"
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}

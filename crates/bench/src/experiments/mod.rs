@@ -22,11 +22,13 @@
 //! | `batch` | batched multi-query QPS/p99 frontier vs batch size | [`batch`] |
 //! | `recovery` | durable-log append throughput + crash-recovery time | [`recovery`] |
 //! | `serving` | goodput under ~3x overload through the TCP tiers | [`overload`] |
+//! | `lifecycle` | replica bootstrap time vs log-suffix length + split cost | [`lifecycle`] |
 
 pub mod ablations;
 pub mod batch;
 pub mod day;
 pub mod examples_fig;
+pub mod lifecycle;
 pub mod overload;
 pub mod pq_fastscan;
 pub mod recovery;
@@ -96,6 +98,7 @@ pub const ALL: &[&str] = &[
     "batch",
     "recovery",
     "serving",
+    "lifecycle",
 ];
 
 /// Runs one experiment by id.
@@ -125,6 +128,7 @@ pub fn run(id: &str, ctx: &Ctx) -> Vec<ExperimentResult> {
         "batch" => vec![batch::multi_query(ctx)],
         "recovery" => vec![recovery::recovery(ctx)],
         "serving" => vec![overload::serving_overload(ctx)],
+        "lifecycle" => vec![lifecycle::lifecycle(ctx)],
         other => panic!("unknown experiment id {other:?}"),
     }
 }

@@ -130,6 +130,10 @@ pub fn serving_overload(ctx: &Ctx) -> ExperimentResult {
                 queue_capacity: 64,
                 ..AdmissionConfig::default()
             },
+            // Hedging on (the documented default): under overload, hedged
+            // broker calls must not double-count partitions — the verdict
+            // row asserts the coverage identity held on every response.
+            hedge_after: Some(Duration::from_millis(150)),
             ..NetServingConfig::default()
         },
     )
@@ -209,6 +213,15 @@ pub fn serving_overload(ctx: &Ctx) -> ExperimentResult {
         &violations,
     );
     push_phase(&mut result, "overload-3x", &overload);
+
+    // With hedging enabled, a late primary racing its hedge must still
+    // account each partition exactly once. This is a correctness property,
+    // not a measurement — fail loudly rather than record a bad row.
+    assert_eq!(
+        violations.load(Ordering::Relaxed),
+        0,
+        "hedged serving violated partitions_ok + timed_out + failed + shed == total"
+    );
 
     let ratio = if capacity > 0.0 {
         overload.goodput() / capacity

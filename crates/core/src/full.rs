@@ -104,15 +104,28 @@ impl CatalogState {
     }
 }
 
+/// Image-ownership predicate: which keys a scoped build keeps. `Arc`'d so
+/// one routing closure (e.g. over a live, splittable partition map) can be
+/// shared by builders and real-time indexers.
+pub type KeyFilter = Arc<dyn Fn(ImageKey) -> bool + Send + Sync>;
+
 /// The full indexer; see the module docs.
-#[derive(Debug)]
 pub struct FullIndexBuilder {
     config: IndexConfig,
     extractor: Arc<CachingExtractor>,
     images: Arc<ImageStore>,
     feature_db: Arc<FeatureDb>,
-    /// `(partition, num_partitions)`: restrict the build to one partition.
-    partition: Option<(usize, usize)>,
+    /// Ownership predicate: restrict the build to images it accepts.
+    filter: Option<KeyFilter>,
+}
+
+impl std::fmt::Debug for FullIndexBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FullIndexBuilder")
+            .field("config", &self.config)
+            .field("filtered", &self.filter.is_some())
+            .finish()
+    }
 }
 
 impl FullIndexBuilder {
@@ -129,7 +142,7 @@ impl FullIndexBuilder {
             extractor,
             images,
             feature_db,
-            partition: None,
+            filter: None,
         }
     }
 
@@ -139,10 +152,19 @@ impl FullIndexBuilder {
     /// # Panics
     ///
     /// Panics if `partition >= num_partitions` or `num_partitions == 0`.
-    pub fn with_partition(mut self, partition: usize, num_partitions: usize) -> Self {
+    pub fn with_partition(self, partition: usize, num_partitions: usize) -> Self {
         assert!(num_partitions > 0, "num_partitions must be positive");
         assert!(partition < num_partitions, "partition out of range");
-        self.partition = Some((partition, num_partitions));
+        self.with_filter(Arc::new(move |key: ImageKey| {
+            key.partition(num_partitions) == partition
+        }))
+    }
+
+    /// Restricts the build to images accepted by an arbitrary ownership
+    /// predicate (e.g. "routes to partition `p` under the live, possibly
+    /// split, partition map").
+    pub fn with_filter(mut self, filter: KeyFilter) -> Self {
+        self.filter = Some(filter);
         self
     }
 
@@ -151,28 +173,75 @@ impl FullIndexBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if the replay yields no valid image with an available blob —
-    /// an index needs at least one vector to train its quantizer.
+    /// Panics if an **unscoped** replay yields no valid image with an
+    /// available blob — an index needs at least one vector to train its
+    /// quantizer. A partition/filter-scoped build may legitimately own zero
+    /// images and yields an empty (degenerate-quantizer) index instead.
     pub fn build(&self, log: &[ProductEvent]) -> (VisualIndex, BuildReport) {
-        let mut report = BuildReport {
-            messages_replayed: log.len() as u64,
-            ..Default::default()
-        };
-
         // Phase 1: resolve final catalog state.
         let mut state = CatalogState::default();
         for event in log {
             state.apply(event);
         }
-        report.images_seen = state.images.len() as u64;
+        self.build_from_state(state, log.len() as u64)
+    }
+
+    /// Like [`FullIndexBuilder::build`], but seeds the catalog state from an
+    /// existing index (a decoded checkpoint snapshot) and replays only the
+    /// log **suffix** past the seed's watermark. Because a seed index
+    /// records images in first-seen order with their final attributes and
+    /// validity, reconstructing catalog state from it and applying the
+    /// surviving suffix is equivalent to replaying the full log — which is
+    /// what makes rebuilds work after checkpoint retention pruned the log
+    /// prefix.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`FullIndexBuilder::build`].
+    pub fn build_seeded(
+        &self,
+        seed: &VisualIndex,
+        suffix: &[ProductEvent],
+    ) -> (VisualIndex, BuildReport) {
+        let mut state = CatalogState::default();
+        // Seed indexes number images sequentially in first-seen order, so
+        // iterating ids reproduces the order a full replay would have seen
+        // them in.
+        for raw in 0..seed.num_images() {
+            let id = crate::ids::ImageId(raw as u32);
+            let attrs = seed
+                .attributes(id)
+                .expect("seed index ids are dense; attributes cannot be missing");
+            let key = attrs.image_key();
+            state.by_key.insert(key, state.images.len());
+            state.images.push((key, attrs, seed.is_valid(id)));
+        }
+        for event in suffix {
+            state.apply(event);
+        }
+        self.build_from_state(state, suffix.len() as u64)
+    }
+
+    /// Phases 2–4 shared by [`build`](FullIndexBuilder::build) and
+    /// [`build_seeded`](FullIndexBuilder::build_seeded).
+    fn build_from_state(
+        &self,
+        state: CatalogState,
+        messages_replayed: u64,
+    ) -> (VisualIndex, BuildReport) {
+        let mut report = BuildReport {
+            messages_replayed,
+            images_seen: state.images.len() as u64,
+            ..Default::default()
+        };
 
         // Phase 2: obtain features for valid images (reuse-first).
         let extractions_before = self.extractor.misses();
         let reuses_before = self.extractor.hits();
         let mut indexable: Vec<(Vector, ProductAttributes)> = Vec::new();
         for (key, attrs, valid) in &state.images {
-            if let Some((p, n)) = self.partition {
-                if key.partition(n) != p {
+            if let Some(filter) = &self.filter {
+                if !filter(*key) {
                     report.images_foreign += 1;
                     continue;
                 }
@@ -191,7 +260,7 @@ impl FullIndexBuilder {
         report.extractions = self.extractor.misses() - extractions_before;
         report.reuses = self.extractor.hits() - reuses_before;
         assert!(
-            !indexable.is_empty() || self.partition.is_some(),
+            !indexable.is_empty() || self.filter.is_some(),
             "full index build requires at least one valid image with features"
         );
 
@@ -375,6 +444,69 @@ mod tests {
     fn empty_log_panics() {
         let f = fixture();
         f.builder.build(&[]);
+    }
+
+    #[test]
+    fn seeded_build_matches_cold_build_bit_for_bit() {
+        let f = fixture();
+        let prefix: Vec<ProductEvent> = (0..12)
+            .map(|i| add(&f, i, &format!("u{i}")))
+            .chain([remove(3, "u3"), remove(7, "u7")])
+            .collect();
+        let suffix: Vec<ProductEvent> = (12..20)
+            .map(|i| add(&f, i, &format!("u{i}")))
+            .chain([
+                remove(1, "u1"),
+                add(&f, 7, "u7"), // relist a prefix-deleted image
+                ProductEvent::UpdateAttributes {
+                    product_id: ProductId(5),
+                    urls: vec!["u5".into()],
+                    sales: Some(9_000),
+                    price: None,
+                    praise: Some(77),
+                },
+            ])
+            .collect();
+        let full: Vec<ProductEvent> = prefix.iter().chain(&suffix).cloned().collect();
+
+        // The seed is what a checkpoint snapshots: a realtime-maintained
+        // index, which keeps tombstoned records in first-seen order.
+        let seed = {
+            let (cold_prefix, _) = f.builder.build(&prefix[..12]); // adds only
+            let live = crate::realtime::RealtimeIndexer::for_index(
+                Arc::new(cold_prefix),
+                Arc::clone(&f.extractor),
+                Arc::clone(&f.images),
+                Arc::new(FeatureDb::new()),
+            );
+            for ev in &prefix[12..] {
+                live.apply(ev);
+            }
+            live.index()
+        };
+
+        let (seeded, seeded_report) = f.builder.build_seeded(&seed, &suffix);
+        let (cold, _) = f.builder.build(&full);
+
+        assert_eq!(seeded_report.messages_replayed, suffix.len() as u64);
+        assert_eq!(
+            crate::persist::save(&seeded),
+            crate::persist::save(&cold),
+            "checkpoint-seeded build must be bit-identical to a cold full replay"
+        );
+    }
+
+    #[test]
+    fn filter_scoped_build_may_own_zero_images() {
+        let f = fixture();
+        let log = vec![add(&f, 1, "u1"), add(&f, 2, "u2")];
+        let (index, report) = f
+            .builder
+            .with_filter(Arc::new(|_key: ImageKey| false))
+            .build(&log);
+        assert_eq!(report.images_indexed, 0);
+        assert_eq!(report.images_foreign, 2);
+        assert_eq!(index.valid_images(), 0, "empty index, not a panic");
     }
 
     #[test]

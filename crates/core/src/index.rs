@@ -196,6 +196,12 @@ impl VisualIndex {
         &self.quantizer
     }
 
+    /// The shared PQ codebook, when compressed mode is enabled — for
+    /// constructing sibling indexes with identical quantizers.
+    pub fn pq_quantizer(&self) -> Option<Arc<ProductQuantizer>> {
+        self.pq.as_ref().map(|s| s.quantizer_arc())
+    }
+
     /// Operation statistics.
     pub fn stats(&self) -> &IndexStats {
         &self.stats

@@ -148,6 +148,12 @@ impl PqStore {
         &self.quantizer
     }
 
+    /// The shared codebook handle (for seeding sibling indexes with the
+    /// same quantizers).
+    pub fn quantizer_arc(&self) -> std::sync::Arc<ProductQuantizer> {
+        std::sync::Arc::clone(&self.quantizer)
+    }
+
     /// Unpacked bytes per code (`m`).
     pub fn code_len(&self) -> usize {
         self.m

@@ -29,6 +29,7 @@ use jdvs_storage::queue::{Consumer, Offset};
 use jdvs_storage::{FeatureDb, ImageStore, MessageQueue};
 
 use crate::error::IndexError;
+use crate::full::KeyFilter;
 use crate::index::VisualIndex;
 use crate::swap::IndexHandle;
 
@@ -138,21 +139,29 @@ fn is_retryable(err: &IndexError) -> bool {
 /// The indexer resolves its index through an [`IndexHandle`] per event,
 /// so a weekly full-index hot swap (Figure 2) redirects subsequent events
 /// to the fresh index without restarting the indexer.
-#[derive(Debug)]
 pub struct RealtimeIndexer {
     index: Arc<IndexHandle>,
     extractor: Arc<CachingExtractor>,
     images: Arc<ImageStore>,
     feature_db: Arc<FeatureDb>,
-    /// `(partition, num_partitions)`: only images whose URL hashes into
-    /// `partition` are processed. `None` processes everything.
-    partition: Option<(usize, usize)>,
+    /// Ownership predicate: only images it accepts are processed. `None`
+    /// processes everything.
+    filter: Option<KeyFilter>,
     /// Bounded buffer of failed operations, newest kept.
     dead_letters: Mutex<VecDeque<DeadLetter>>,
     dead_letter_capacity: usize,
     retryable_failures: AtomicU64,
     permanent_failures: AtomicU64,
     dead_letters_evicted: AtomicU64,
+}
+
+impl std::fmt::Debug for RealtimeIndexer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RealtimeIndexer")
+            .field("filtered", &self.filter.is_some())
+            .field("dead_letter_capacity", &self.dead_letter_capacity)
+            .finish()
+    }
 }
 
 impl RealtimeIndexer {
@@ -169,7 +178,7 @@ impl RealtimeIndexer {
             extractor,
             images,
             feature_db,
-            partition: None,
+            filter: None,
             dead_letters: Mutex::new(VecDeque::new()),
             dead_letter_capacity: DEFAULT_DEAD_LETTER_CAPACITY,
             retryable_failures: AtomicU64::new(0),
@@ -198,10 +207,18 @@ impl RealtimeIndexer {
     /// # Panics
     ///
     /// Panics if `partition >= num_partitions` or `num_partitions == 0`.
-    pub fn with_partition(mut self, partition: usize, num_partitions: usize) -> Self {
+    pub fn with_partition(self, partition: usize, num_partitions: usize) -> Self {
         assert!(num_partitions > 0, "num_partitions must be positive");
         assert!(partition < num_partitions, "partition out of range");
-        self.partition = Some((partition, num_partitions));
+        self.with_filter(Arc::new(move |key: ImageKey| {
+            key.partition(num_partitions) == partition
+        }))
+    }
+
+    /// Scopes the indexer by an arbitrary ownership predicate (e.g. "routes
+    /// to partition `p` under the live, possibly split, partition map").
+    pub fn with_filter(mut self, filter: KeyFilter) -> Self {
+        self.filter = Some(filter);
         self
     }
 
@@ -280,8 +297,8 @@ impl RealtimeIndexer {
     }
 
     fn owns(&self, key: ImageKey) -> bool {
-        match self.partition {
-            Some((p, n)) => key.partition(n) == p,
+        match &self.filter {
+            Some(filter) => filter(key),
             None => true,
         }
     }

@@ -79,6 +79,37 @@ pub struct RecoveredCheckpoint {
     pub from_manifest: bool,
 }
 
+/// A checkpoint recovered once and fanned out across a partition's
+/// replicas: the snapshot is read from disk and validated a single time,
+/// the raw bytes are kept behind an `Arc`, and every additional replica
+/// decodes its own index from memory via [`SharedCheckpoint::fork`] —
+/// no per-replica disk read, no per-replica validation failure path.
+#[derive(Debug)]
+pub struct SharedCheckpoint {
+    /// The index decoded during validation; the first consumer takes it.
+    pub index: VisualIndex,
+    /// The validated snapshot bytes, shared by all forks.
+    bytes: Arc<Vec<u8>>,
+    /// Offset recovery must replay the log from.
+    pub applied_offset: Offset,
+    /// Whether the manifest's snapshot was used (see
+    /// [`RecoveredCheckpoint::from_manifest`]).
+    pub from_manifest: bool,
+}
+
+impl SharedCheckpoint {
+    /// Decodes a fresh index from the already-validated in-memory snapshot
+    /// bytes, for an additional replica of the same partition.
+    pub fn fork(&self) -> VisualIndex {
+        persist::load(&self.bytes).expect("snapshot bytes were validated at recovery time")
+    }
+
+    /// Size of the shared snapshot, in bytes.
+    pub fn snapshot_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
 /// Atomic snapshot + manifest storage for one partition.
 #[derive(Debug)]
 pub struct CheckpointStore {
@@ -148,22 +179,40 @@ impl CheckpointStore {
     /// Such snapshots are skipped in favour of an older in-bounds one (or
     /// cold replay).
     pub fn recover_within(&self, max_applied: Offset) -> Option<RecoveredCheckpoint> {
+        let shared = self.recover_shared_within(max_applied)?;
+        Some(RecoveredCheckpoint {
+            index: shared.index,
+            applied_offset: shared.applied_offset,
+            from_manifest: shared.from_manifest,
+        })
+    }
+
+    /// Like [`CheckpointStore::recover_within`], but keeps the validated
+    /// snapshot bytes so one recovered checkpoint can seed **all** of a
+    /// partition's replicas ([`SharedCheckpoint::fork`]) instead of each
+    /// replica re-reading and re-validating the file.
+    pub fn recover_shared_within(&self, max_applied: Offset) -> Option<SharedCheckpoint> {
         if let Some(manifest) = self.manifest() {
             if manifest.applied_offset > max_applied {
                 self.metrics.snapshots_rejected.incr();
             } else {
                 let path = self.config.dir.join(&manifest.snapshot);
-                match fs::read(&path).ok().and_then(|b| persist::load(&b).ok()) {
-                    Some(index) => {
-                        return Some(RecoveredCheckpoint {
-                            index,
-                            applied_offset: manifest.applied_offset,
-                            from_manifest: true,
-                        });
+                if let Ok(bytes) = fs::read(&path) {
+                    match persist::load(&bytes) {
+                        Ok(index) => {
+                            return Some(SharedCheckpoint {
+                                index,
+                                bytes: Arc::new(bytes),
+                                applied_offset: manifest.applied_offset,
+                                from_manifest: true,
+                            });
+                        }
+                        Err(_) => {
+                            self.metrics.snapshots_rejected.incr();
+                        }
                     }
-                    None => {
-                        self.metrics.snapshots_rejected.incr();
-                    }
+                } else {
+                    self.metrics.snapshots_rejected.incr();
                 }
             }
         }
@@ -175,15 +224,20 @@ impl CheckpointStore {
                 continue;
             }
             let path = self.config.dir.join(&name);
-            match fs::read(&path).ok().and_then(|b| persist::load(&b).ok()) {
-                Some(index) => {
-                    return Some(RecoveredCheckpoint {
+            let Some(bytes) = fs::read(&path).ok() else {
+                self.metrics.snapshots_rejected.incr();
+                continue;
+            };
+            match persist::load(&bytes) {
+                Ok(index) => {
+                    return Some(SharedCheckpoint {
                         index,
+                        bytes: Arc::new(bytes),
                         applied_offset: offset,
                         from_manifest: false,
                     });
                 }
-                None => {
+                Err(_) => {
                     self.metrics.snapshots_rejected.incr();
                 }
             }
@@ -469,6 +523,28 @@ mod tests {
         // Log end 5: nothing usable; cold recovery.
         assert!(store.recover_within(5).is_none());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_recovery_forks_bit_identical_replicas() {
+        let dir = temp_dir("shared");
+        let (store, _) = store(&dir, 2);
+        let index = sample_index(7);
+        store.save(&index, 42).unwrap();
+
+        let shared = store.recover_shared_within(Offset::MAX).unwrap();
+        assert!(shared.from_manifest);
+        assert_eq!(shared.applied_offset, 42);
+        assert!(shared.snapshot_len() > 0);
+
+        // Delete the files: forks must come from memory, not disk.
+        fs::remove_dir_all(&dir).unwrap();
+        let fork_a = shared.fork();
+        let fork_b = shared.fork();
+        let original = persist::save(&shared.index);
+        assert_eq!(persist::save(&fork_a), original);
+        assert_eq!(persist::save(&fork_b), original);
+        assert_eq!(fork_a.valid_images(), 7);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use jdvs_storage::model::ProductEvent;
 use jdvs_storage::queue::Offset;
 use jdvs_storage::MessageQueue;
 
-use crate::checkpoint::CheckpointStore;
+use crate::checkpoint::{CheckpointStore, SharedCheckpoint};
 
 /// Replay batch size (bounds peak memory of a recovery).
 const REPLAY_BATCH: usize = 1024;
@@ -56,27 +56,44 @@ pub fn recover_partition(
     queue: &MessageQueue<ProductEvent>,
     metrics: &DurabilityMetrics,
 ) -> RecoveryReport {
+    // Never seed from a snapshot whose watermark outruns the rebuilt
+    // queue's head: the log lost (or was truncated below) events the
+    // snapshot claims to cover, and new publishes will re-assign those
+    // offsets — a consumer pinned past the head would skip them forever.
+    // `recover_shared_within` falls back to an older snapshot or cold
+    // replay.
+    let shared = checkpoints.recover_shared_within(queue.len());
+    recover_partition_seeded(indexer, shared.as_ref(), queue, metrics)
+}
+
+/// [`recover_partition`] with the snapshot decode hoisted out: `seed` is
+/// a checkpoint the caller already recovered (and bounded by the queue
+/// head), so a partition's replicas share one disk read and one
+/// validating decode — each replica forks its own copy from the cached
+/// bytes. `None` means cold replay from the queue base.
+pub fn recover_partition_seeded(
+    indexer: &RealtimeIndexer,
+    seed: Option<&SharedCheckpoint>,
+    queue: &MessageQueue<ProductEvent>,
+    metrics: &DurabilityMetrics,
+) -> RecoveryReport {
     metrics.recoveries.incr();
 
     let mut report = RecoveryReport {
         start_offset: queue.base(),
         ..Default::default()
     };
-    // Never seed from a snapshot whose watermark outruns the rebuilt
-    // queue's head: the log lost (or was truncated below) events the
-    // snapshot claims to cover, and new publishes will re-assign those
-    // offsets — a consumer pinned past the head would skip them forever.
-    // `recover_within` falls back to an older snapshot or cold replay.
-    if let Some(rec) = checkpoints.recover_within(queue.len()) {
+    if let Some(shared) = seed {
         // Retention never prunes the log past the checkpoint watermark, so
         // the max() is defensive: a manually-truncated log still recovers,
         // replaying from whatever survives.
+        let index = shared.fork();
         report.from_snapshot = true;
-        report.start_offset = rec.applied_offset.max(queue.base());
-        rec.index.stats().applied_offset.set_max(rec.applied_offset);
+        report.start_offset = shared.applied_offset.max(queue.base());
+        index.stats().applied_offset.set_max(shared.applied_offset);
         metrics.recoveries_from_snapshot.incr();
-        metrics.checkpoint_offset.set_max(rec.applied_offset);
-        indexer.handle().swap(Arc::new(rec.index));
+        metrics.checkpoint_offset.set_max(shared.applied_offset);
+        indexer.handle().swap(Arc::new(index));
     }
 
     let mut offset = report.start_offset;

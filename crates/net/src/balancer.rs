@@ -27,17 +27,29 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use jdvs_metrics::ResilienceMetrics;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::health::{CircuitState, HealthPolicy, HealthTracker};
 use crate::latency::NetRng;
 use crate::retry::RetryPolicy;
 use crate::rpc::{CallTarget, RpcError};
 
+/// One backend with its circuit breaker; `Arc`-shared so a call can keep
+/// operating on a consistent snapshot of the target set while a lifecycle
+/// operation ([`Balancer::push_target`]) grows it.
+struct TargetEntry<T> {
+    target: T,
+    health: HealthTracker,
+}
+
 /// State shared between a balancer and its detached hedge threads.
 struct Inner<T: CallTarget> {
-    targets: Vec<T>,
-    health: Vec<HealthTracker>,
+    /// The live target set. Growable: [`Balancer::push_target`] appends
+    /// under the write lock while calls work off a cheap read-locked
+    /// snapshot — no lock is ever held across an RPC.
+    targets: RwLock<Vec<Arc<TargetEntry<T>>>>,
+    /// Policy used to build breakers for targets pushed after construction.
+    health_policy: HealthPolicy,
     retry: RetryPolicy,
     next: AtomicUsize,
     rng: Mutex<NetRng>,
@@ -45,6 +57,11 @@ struct Inner<T: CallTarget> {
 }
 
 impl<T: CallTarget> Inner<T> {
+    /// A consistent snapshot of the target set for one call.
+    fn snapshot(&self) -> Vec<Arc<TargetEntry<T>>> {
+        self.targets.read().clone()
+    }
+
     /// One budgeted, health-aware, retrying failover call; see
     /// [`Balancer::call`].
     fn call(&self, request: &T::Request, deadline: Duration) -> Result<T::Response, RpcError>
@@ -52,7 +69,8 @@ impl<T: CallTarget> Inner<T> {
         T::Request: Clone,
     {
         let start = Instant::now();
-        let n = self.targets.len();
+        let entries = self.snapshot();
+        let n = entries.len();
         let begin = self.next.fetch_add(1, Ordering::Relaxed);
         let mut last_err = RpcError::NodeDown;
         let rotations = self.retry.max_rotations.max(1);
@@ -75,18 +93,17 @@ impl<T: CallTarget> Inner<T> {
             }
             let mut attempted = false;
             for i in 0..n {
-                let idx = (begin + i) % n;
-                let target = &self.targets[idx];
-                if target.is_down() {
+                let entry = &entries[(begin + i) % n];
+                if entry.target.is_down() {
                     last_err = RpcError::NodeDown;
                     continue;
                 }
-                if !self.health[idx].allow() {
+                if !entry.health.allow() {
                     // Breaker open: skip without spending budget.
                     continue;
                 }
                 attempted = true;
-                match self.attempt(idx, request, start, deadline)? {
+                match self.attempt(entry, request, start, deadline)? {
                     Ok(resp) => return Ok(resp),
                     Err(e) => last_err = e,
                 }
@@ -95,7 +112,7 @@ impl<T: CallTarget> Inner<T> {
                 // Every replica was down or breaker-open. Force one probe so
                 // a fully-tripped balancer still recovers within a call (and
                 // callers see the real error, not a stale one).
-                match self.attempt(begin % n, request, start, deadline)? {
+                match self.attempt(&entries[begin % n], request, start, deadline)? {
                     Ok(resp) => return Ok(resp),
                     Err(e) => last_err = e,
                 }
@@ -112,13 +129,13 @@ impl<T: CallTarget> Inner<T> {
         Err(last_err)
     }
 
-    /// One attempt against `targets[idx]` with the budget's remainder.
+    /// One attempt against `entry` with the budget's remainder.
     /// The outer `Err` is budget exhaustion (abort the whole call); the
     /// inner `Err` is this attempt's failure (keep failing over).
     #[allow(clippy::type_complexity)]
     fn attempt(
         &self,
-        idx: usize,
+        entry: &TargetEntry<T>,
         request: &T::Request,
         start: Instant,
         deadline: Duration,
@@ -130,9 +147,9 @@ impl<T: CallTarget> Inner<T> {
         if remaining.is_zero() {
             return Err(RpcError::Timeout { deadline });
         }
-        match self.targets[idx].call(request.clone(), remaining) {
+        match entry.target.call(request.clone(), remaining) {
             Ok(resp) => {
-                self.health[idx].record_success();
+                entry.health.record_success();
                 Ok(Ok(resp))
             }
             Err(RpcError::Overloaded) => {
@@ -146,7 +163,7 @@ impl<T: CallTarget> Inner<T> {
                 Ok(Err(RpcError::Overloaded))
             }
             Err(e) => {
-                if self.health[idx].record_failure() {
+                if entry.health.record_failure() {
                     if let Some(m) = &self.metrics {
                         m.breaker_opens.incr();
                     }
@@ -166,10 +183,18 @@ pub struct Balancer<T: CallTarget> {
     inner: Arc<Inner<T>>,
 }
 
+impl<T: CallTarget> Clone for Balancer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
 impl<T: CallTarget> std::fmt::Debug for Balancer<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Balancer")
-            .field("targets", &self.inner.targets.len())
+            .field("targets", &self.inner.targets.read().len())
             .finish()
     }
 }
@@ -203,11 +228,19 @@ impl<T: CallTarget> Balancer<T> {
         seed: u64,
     ) -> Self {
         assert!(!targets.is_empty(), "balancer needs at least one target");
-        let trackers = targets.iter().map(|_| HealthTracker::new(health)).collect();
+        let entries = targets
+            .into_iter()
+            .map(|target| {
+                Arc::new(TargetEntry {
+                    target,
+                    health: HealthTracker::new(health),
+                })
+            })
+            .collect();
         Self {
             inner: Arc::new(Inner {
-                targets,
-                health: trackers,
+                targets: RwLock::new(entries),
+                health_policy: health,
                 retry,
                 next: AtomicUsize::new(0),
                 rng: Mutex::new(NetRng::new(seed)),
@@ -231,7 +264,18 @@ impl<T: CallTarget> Balancer<T> {
 
     /// Number of backend nodes.
     pub fn num_targets(&self) -> usize {
-        self.inner.targets.len()
+        self.inner.targets.read().len()
+    }
+
+    /// Appends a new backend to the rotation with a fresh (closed)
+    /// breaker. In-flight calls finish on the snapshot they started with;
+    /// every call that begins afterwards sees the new target. This is how
+    /// a bootstrapped replica atomically joins the serving set.
+    pub fn push_target(&self, target: T) {
+        self.inner.targets.write().push(Arc::new(TargetEntry {
+            target,
+            health: HealthTracker::new(self.inner.health_policy),
+        }));
     }
 
     /// The breaker state of target `idx` (for tests/metrics).
@@ -240,7 +284,7 @@ impl<T: CallTarget> Balancer<T> {
     ///
     /// Panics if `idx` is out of range.
     pub fn health_state(&self, idx: usize) -> CircuitState {
-        self.inner.health[idx].state()
+        self.inner.targets.read()[idx].health.state()
     }
 
     /// Calls one backend, rotating through replicas on failure. `deadline`
@@ -280,7 +324,7 @@ impl<T: CallTarget> Balancer<T> {
     where
         T::Request: Clone,
     {
-        if self.inner.targets.len() < 2 || hedge_after >= deadline {
+        if self.num_targets() < 2 || hedge_after >= deadline {
             return self.inner.call(&request, deadline);
         }
         let start = Instant::now();
@@ -346,11 +390,6 @@ impl<T: CallTarget> Balancer<T> {
                 }
             }
         }
-    }
-
-    /// The backend that the next call would try first (for tests/metrics).
-    pub fn peek_next(&self) -> &T {
-        &self.inner.targets[self.inner.next.load(Ordering::Relaxed) % self.inner.targets.len()]
     }
 }
 
@@ -648,6 +687,25 @@ mod tests {
         }
         let err = lb.call_hedged((), Duration::from_millis(500), Duration::from_millis(10));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn pushed_target_joins_the_rotation_with_a_fresh_breaker() {
+        let a = Node::spawn("a", Tagged(0), 1);
+        let lb = Balancer::new(vec![a.handle()]);
+        assert_eq!(lb.num_targets(), 1);
+        let b = Node::spawn("b", Tagged(1), 1);
+        lb.push_target(b.handle());
+        assert_eq!(lb.num_targets(), 2);
+        assert_eq!(lb.health_state(1), CircuitState::Closed);
+        let got: Vec<u64> = (0..6).map(|_| lb.call((), DL).unwrap()).collect();
+        assert!(
+            got.contains(&0) && got.contains(&1),
+            "both targets serve after the push: {got:?}"
+        );
+        // Shared handles see the same (grown) target set.
+        let shared = lb.clone();
+        assert_eq!(shared.num_targets(), 2);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! into the response's partition coverage, so a degraded result is never
 //! silently incomplete.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -62,7 +63,9 @@ where
     /// `broker_groups`. Lets the blender account partitions lost when a
     /// whole group call fails (the group can't report its own loss).
     /// `None` = unknown; failed groups then only show in `groups_failed`.
-    group_partitions: Option<Vec<usize>>,
+    /// Shared and atomically updatable: an online partition split bumps
+    /// the owning group's count so coverage accounting stays exact.
+    group_partitions: Option<Arc<Vec<AtomicUsize>>>,
     /// Shared resilience counters, when attached.
     metrics: Option<Arc<ResilienceMetrics>>,
 }
@@ -119,7 +122,21 @@ where
     /// # Panics
     ///
     /// Panics if the length differs from the number of broker groups.
-    pub fn with_group_partitions(mut self, counts: Vec<usize>) -> Self {
+    pub fn with_group_partitions(self, counts: Vec<usize>) -> Self {
+        self.with_shared_group_partitions(Arc::new(
+            counts.into_iter().map(AtomicUsize::new).collect(),
+        ))
+    }
+
+    /// Like [`BlenderService::with_group_partitions`], but over counters
+    /// the caller keeps a handle to — a partition split bumps the owning
+    /// group's counter and every blender sharing the `Arc` accounts for
+    /// the new partition from then on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the number of broker groups.
+    pub fn with_shared_group_partitions(mut self, counts: Arc<Vec<AtomicUsize>>) -> Self {
         assert_eq!(
             counts.len(),
             self.broker_groups.len(),
@@ -178,7 +195,9 @@ where
 
     /// Partitions owned by group `g`, when declared.
     fn partitions_of_group(&self, g: usize) -> Option<usize> {
-        self.group_partitions.as_ref().map(|counts| counts[g])
+        self.group_partitions
+            .as_ref()
+            .map(|counts| counts[g].load(Ordering::Acquire))
     }
 
     /// Executes one user query end-to-end.
@@ -210,7 +229,7 @@ where
             let total: usize = self
                 .group_partitions
                 .as_ref()
-                .map(|counts| counts.iter().sum())
+                .map(|counts| counts.iter().map(|c| c.load(Ordering::Acquire)).sum())
                 .unwrap_or(0);
             return SearchResponse {
                 groups_failed: self.broker_groups.len(),

@@ -17,6 +17,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::RwLock;
+
 use jdvs_metrics::ResilienceMetrics;
 use jdvs_net::balancer::Balancer;
 use jdvs_net::node::NodeHandle;
@@ -38,8 +40,10 @@ where
     T: CallTarget<Request = FanoutQuery, Response = PartialResponse>,
 {
     group: usize,
-    /// One replica set per owned partition.
-    partitions: Vec<Balancer<T>>,
+    /// One replica set per owned partition. Growable and shared: an online
+    /// partition split appends the new half's balancer here and every
+    /// instance of the group picks it up on its next fan-out.
+    partitions: Arc<RwLock<Vec<Balancer<T>>>>,
     searcher_deadline: Duration,
     /// When set, a hedged second searcher call is launched for any
     /// partition still unanswered after this long.
@@ -54,7 +58,7 @@ where
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BrokerService")
             .field("group", &self.group)
-            .field("partitions", &self.partitions.len())
+            .field("partitions", &self.partitions.read().len())
             .finish()
     }
 }
@@ -70,8 +74,24 @@ where
     ///
     /// Panics if `partitions` is empty.
     pub fn new(group: usize, partitions: Vec<Balancer<T>>, searcher_deadline: Duration) -> Self {
+        Self::over(group, Arc::new(RwLock::new(partitions)), searcher_deadline)
+    }
+
+    /// Like [`BrokerService::new`], but over an externally-held partition
+    /// list. The caller keeps the `Arc` and may push new balancers into it
+    /// (replica bootstrap, partition split); fan-outs that start afterwards
+    /// cover the new entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is empty.
+    pub fn over(
+        group: usize,
+        partitions: Arc<RwLock<Vec<Balancer<T>>>>,
+        searcher_deadline: Duration,
+    ) -> Self {
         assert!(
-            !partitions.is_empty(),
+            !partitions.read().is_empty(),
             "a broker group must own at least one partition"
         );
         Self {
@@ -102,7 +122,7 @@ where
 
     /// Partitions owned.
     pub fn num_partitions(&self) -> usize {
-        self.partitions.len()
+        self.partitions.read().len()
     }
 
     /// Fans `query` to every owned partition in parallel and merges the
@@ -117,9 +137,11 @@ where
         let mut fan = query.clone();
         fan.budget = Some(per_call);
         let hedge_after = self.hedge_after;
+        // Snapshot the partition list: a concurrent split's new balancer is
+        // either fully in this fan-out or fully in the next one.
+        let partitions = self.partitions.read().clone();
         let responses: Vec<Result<PartialResponse, RpcError>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .partitions
+            let handles: Vec<_> = partitions
                 .iter()
                 .map(|balancer| {
                     let q = fan.clone();
@@ -370,6 +392,33 @@ mod tests {
         let resp = broker.execute(&fanout(feats.into_inner(), 1));
         assert_eq!(resp.hits[0].local_id, 3);
         assert!(resp.is_complete(), "failover kept the partition covered");
+    }
+
+    #[test]
+    fn pushed_partition_joins_the_next_fanout() {
+        let index0 = make_index(21, 0..20);
+        let n0 = Node::spawn(
+            "grow-0",
+            SearcherService::for_index(0, Arc::clone(&index0)),
+            1,
+        );
+        let shared = Arc::new(RwLock::new(vec![Balancer::new(vec![n0.handle()])]));
+        let broker = BrokerService::over(0, Arc::clone(&shared), DL);
+        let feats = index0.features(jdvs_core::ids::ImageId(1)).unwrap();
+        let resp = broker.execute(&fanout(feats.clone().into_inner(), 4));
+        assert_eq!(resp.partitions_total, 1);
+
+        // A split lands: the new half's balancer is pushed in from outside.
+        let index1 = make_index(22, 100..120);
+        let n1 = Node::spawn(
+            "grow-1",
+            SearcherService::for_index(1, Arc::clone(&index1)),
+            1,
+        );
+        shared.write().push(Balancer::new(vec![n1.handle()]));
+        let resp = broker.execute(&fanout(feats.into_inner(), 4));
+        assert_eq!(resp.partitions_total, 2, "new partition covered");
+        assert_eq!(resp.partitions_ok, 2);
     }
 
     #[test]

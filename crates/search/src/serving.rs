@@ -62,6 +62,18 @@ pub struct NetServingConfig {
     pub searcher_batch: BatchConfig,
     /// End-to-end deadline stamped by [`NetServing::client`].
     pub client_deadline: Duration,
+    /// Hedge brokers' slow searcher calls: when a partition's first call
+    /// has not answered after this long, a second call races it on
+    /// another replica and the first answer wins. `None` disables
+    /// hedging. Falls back to the wrapped topology's
+    /// [`TopologyConfig::hedge_after`](crate::topology::TopologyConfig)
+    /// when unset there too.
+    ///
+    /// Defaults to 150ms — comfortably above the healthy searcher tail in
+    /// the simulated latency model, so hedges fire only on genuine
+    /// stragglers and the duplicate-call rate stays near zero in the
+    /// steady state.
+    pub hedge_after: Option<Duration>,
 }
 
 impl Default for NetServingConfig {
@@ -84,6 +96,7 @@ impl Default for NetServingConfig {
             },
             searcher_batch: BatchConfig::disabled(),
             client_deadline: Duration::from_secs(5),
+            hedge_after: Some(Duration::from_millis(150)),
         }
     }
 }
@@ -221,7 +234,10 @@ impl NetServing {
                     .collect();
                 let mut service = BrokerService::new(g, balancers, tc.searcher_deadline)
                     .with_metrics(Arc::clone(&resilience));
-                if let Some(hedge_after) = tc.hedge_after {
+                // The serving config's knob wins; the topology's is the
+                // fallback (it defaults to `None`, which used to leave
+                // hedging silently off for every NetServing user).
+                if let Some(hedge_after) = config.hedge_after.or(tc.hedge_after) {
                     service = service.with_hedging(hedge_after);
                 }
                 instances.push(TcpTier::spawn(

@@ -16,22 +16,22 @@
 //! flowing.
 
 use std::io;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-use jdvs_core::full::FullIndexBuilder;
+use jdvs_core::full::{FullIndexBuilder, KeyFilter};
 use jdvs_core::realtime::RealtimeIndexer;
 use jdvs_core::swap::IndexHandle;
 use jdvs_core::{persist, IndexConfig, VisualIndex};
-use jdvs_durability::checkpoint::{CheckpointConfig, CheckpointStore};
+use jdvs_durability::checkpoint::{CheckpointConfig, CheckpointStore, SharedCheckpoint};
 use jdvs_durability::log::{FsyncPolicy, LogConfig};
 use jdvs_durability::queue::DurableQueue;
-use jdvs_durability::recovery::{recover_partition, RecoveryReport};
+use jdvs_durability::recovery::{recover_partition_seeded, RecoveryReport};
 use jdvs_features::CachingExtractor;
 use jdvs_metrics::{DurabilityMetrics, DurabilitySnapshot, ResilienceMetrics, ResilienceSnapshot};
 use jdvs_net::balancer::Balancer;
@@ -40,6 +40,7 @@ use jdvs_net::node::{Node, NodeHandle};
 use jdvs_net::rpc::RpcError;
 use jdvs_net::{HealthPolicy, RetryPolicy};
 use jdvs_storage::model::ProductEvent;
+use jdvs_storage::queue::Consumer;
 use jdvs_storage::{FeatureDb, ImageStore, MessageQueue};
 use jdvs_vector::kmeans::{Kmeans, KmeansConfig};
 use jdvs_vector::Vector;
@@ -96,6 +97,11 @@ pub struct TopologyConfig {
     pub retry: RetryPolicy,
     /// When set, brokers hedge straggling searcher calls after this long.
     pub hedge_after: Option<Duration>,
+    /// [`SearchTopology::bootstrap_replica`] tails the live log without
+    /// pausing ingestion until the new replica is within this many events
+    /// of the queue head; only the final gap is drained under the quiesce.
+    /// Bounds the stop-the-partition window of a bootstrap.
+    pub bootstrap_lag_bound: u64,
     /// Master seed (latency streams, fault streams).
     pub seed: u64,
 }
@@ -122,6 +128,7 @@ impl Default for TopologyConfig {
             health: HealthPolicy::default(),
             retry: RetryPolicy::default(),
             hedge_after: None,
+            bootstrap_lag_bound: 64,
             seed: 0x70B0,
         }
     }
@@ -205,12 +212,74 @@ impl DurabilityOptions {
 struct DurableParts {
     /// Owns the log and the publish tee on the shared queue.
     queue: DurableQueue,
-    /// One checkpoint store per partition.
-    checkpoints: Vec<CheckpointStore>,
+    /// One checkpoint store per partition. Behind a lock because an online
+    /// split appends the sibling's store while checkpoints may be reading.
+    checkpoints: RwLock<Vec<CheckpointStore>>,
     metrics: Arc<DurabilityMetrics>,
     /// What startup recovery did, one entry per (partition, replica) in
     /// partition-major order.
     recovery: Vec<RecoveryReport>,
+    /// Root data directory: sibling checkpoint stores open under it on
+    /// split, and the partition-map file lives beside the WAL.
+    dir: PathBuf,
+    /// Snapshots retained per partition (applies to sibling stores too).
+    snapshots_keep: usize,
+}
+
+/// The durable partition-map file (`<dir>/partition-map`): a split changes
+/// the routing table at runtime, and any checkpoint taken afterwards covers
+/// only the split partition's *narrowed* key set — so a restart must
+/// reconstruct the split layout or moved keys checkpointed by the sibling
+/// would silently vanish. The file is written atomically (tmp + rename)
+/// before a split resumes ingestion, which is also before any post-split
+/// checkpoint can exist (both serialize on the maintenance mutex).
+const PARTITION_MAP_FILE: &str = "partition-map";
+const PARTITION_MAP_MAGIC: &str = "jdvs-partition-map v1";
+
+fn save_partition_map(dir: &Path, map: &PartitionMap) -> io::Result<()> {
+    let join = |row: &[usize]| {
+        row.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let body = format!(
+        "{PARTITION_MAP_MAGIC}\ngroups {}\nassign {}\ntable {}\n",
+        map.num_broker_groups(),
+        join(map.groups()),
+        join(map.table()),
+    );
+    let tmp = dir.join(format!("{PARTITION_MAP_FILE}.tmp"));
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, dir.join(PARTITION_MAP_FILE))
+}
+
+/// Loads the persisted layout, if one exists. A corrupt file is an error,
+/// not a fallback: silently reverting to the config-derived layout after a
+/// split could drop every key the sibling's checkpoints own.
+fn load_partition_map(dir: &Path) -> io::Result<Option<PartitionMap>> {
+    let path = dir.join(PARTITION_MAP_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let corrupt = || io::Error::new(io::ErrorKind::InvalidData, "corrupt partition-map file");
+    let mut lines = text.lines();
+    if lines.next() != Some(PARTITION_MAP_MAGIC) {
+        return Err(corrupt());
+    }
+    let mut field = |name: &str| -> io::Result<Vec<usize>> {
+        let line = lines.next().ok_or_else(corrupt)?;
+        let rest = line.strip_prefix(name).ok_or_else(corrupt)?;
+        rest.split_whitespace()
+            .map(|v| v.parse::<usize>().map_err(|_| corrupt()))
+            .collect()
+    };
+    let groups_count = *field("groups ")?.first().ok_or_else(corrupt)?;
+    let assign = field("assign ")?;
+    let table = field("table ")?;
+    Ok(Some(PartitionMap::from_parts(groups_count, assign, table)))
 }
 
 /// Outcome of [`SearchTopology::checkpoint_partition`].
@@ -240,6 +309,41 @@ pub struct RebuildReport {
     pub records_after: usize,
     /// Snapshot bytes shipped per replica (last replica's size).
     pub snapshot_bytes: usize,
+}
+
+/// Outcome of [`SearchTopology::bootstrap_replica`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BootstrapReport {
+    /// Partition the replica joined.
+    pub partition: usize,
+    /// Index of the new replica within the partition's row.
+    pub replica: usize,
+    /// Whether a checkpoint snapshot seeded the replica (`false` = cold
+    /// replay of the whole retained log through the live indexing path).
+    pub from_snapshot: bool,
+    /// First log offset tailed (the seed watermark, or the queue base).
+    pub seed_offset: u64,
+    /// Events applied before joining the serving set (both the unpaused
+    /// tail and the final quiesced drain).
+    pub tailed: u64,
+}
+
+/// Outcome of [`SearchTopology::split_partition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitReport {
+    /// Partition that was split (keeps the lower half of its key space).
+    pub partition: usize,
+    /// New partition id owning the upper half.
+    pub sibling: usize,
+    /// Messages replayed building the halves (checkpoint seeding makes
+    /// this the surviving suffix, not the whole log).
+    pub messages_replayed: u64,
+    /// Records in the parent's fresh half, summed over replicas.
+    pub parent_records: usize,
+    /// Records in the sibling's fresh half, summed over replicas.
+    pub sibling_records: usize,
+    /// Whether a checkpoint snapshot seeded both halves.
+    pub from_snapshot: bool,
 }
 
 /// Per-replica slice of an [`OpsReport`].
@@ -299,15 +403,31 @@ impl OpsReport {
     }
 }
 
+/// The balancer list a single broker instance fans out over — one
+/// balancer per partition its group owns, shared with the running
+/// [`BrokerService`] so lifecycle operations can grow it in place.
+type BrokerFanout = Arc<RwLock<Vec<Balancer<NodeHandle<SearcherService>>>>>;
+
 /// The assembled serving system.
 pub struct SearchTopology {
     frontend: Arc<Balancer<NodeHandle<BlenderService>>>,
-    partition_map: PartitionMap,
+    /// The live partition layout, shared with every partition filter
+    /// closure: an online split rewrites it in place and the parent's
+    /// indexers immediately stop owning the moved keys.
+    partition_map: Arc<RwLock<PartitionMap>>,
     config: TopologyConfig,
     /// `handles[p][r]` = hot-swappable index of partition `p`, replica `r`.
     handles: Vec<Vec<Arc<IndexHandle>>>,
     searcher_nodes: Vec<Vec<Node<SearcherService>>>,
     broker_nodes: Vec<Vec<Node<BrokerService>>>,
+    /// `broker_partitions[g][b]` = the balancer list broker instance `b`
+    /// of group `g` fans out over, shared with the running
+    /// [`BrokerService`]; replica bootstrap pushes targets into existing
+    /// balancers, splits push whole new balancers.
+    broker_partitions: Vec<Vec<BrokerFanout>>,
+    /// Live per-group partition counts, shared with every blender's
+    /// coverage accounting; a split bumps the parent's group.
+    group_partition_counts: Arc<Vec<AtomicUsize>>,
     blender_nodes: Vec<Node<BlenderService>>,
     queue: MessageQueue<ProductEvent>,
     extractor: Arc<CachingExtractor>,
@@ -377,6 +497,69 @@ fn quiesce_row(
     }
 }
 
+/// An ownership predicate over the **live** partition layout: when a split
+/// rewrites the shared map, every existing filter narrows (or widens)
+/// automatically — no indexer or builder holds a stale layout.
+fn partition_filter(map: &Arc<RwLock<PartitionMap>>, partition: usize) -> KeyFilter {
+    let map = Arc::clone(map);
+    Arc::new(move |key| map.read().partition_of(key) == partition)
+}
+
+/// Spawns one replica's real-time indexing thread: poll → `apply_at` →
+/// advance `processed`, with the positive pause handshake and a
+/// drain-on-stop exit. Shared by assembly, replica bootstrap, and split.
+#[allow(clippy::too_many_arguments)] // private; every arg is one shared knob
+fn spawn_indexer_thread(
+    name: String,
+    mut consumer: Consumer<ProductEvent>,
+    indexer: RealtimeIndexer,
+    stop: Arc<AtomicBool>,
+    pause: Arc<AtomicBool>,
+    epoch: Arc<AtomicU64>,
+    processed: Arc<AtomicU64>,
+    parked: Arc<AtomicU64>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if pause.load(Ordering::Acquire) {
+                    // Positive quiesce handshake: echo the pause epoch only
+                    // here, after any in-flight apply completed — the
+                    // coordinator waits for *its* epoch, so a stale park
+                    // from an earlier pause can't satisfy it.
+                    while pause.load(Ordering::Acquire) && !stop.load(Ordering::Relaxed) {
+                        parked.store(epoch.load(Ordering::Acquire), Ordering::Release);
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    continue;
+                }
+                let offset = consumer.position();
+                match consumer.poll(Duration::from_millis(10)) {
+                    Some(event) => {
+                        indexer.apply_at(offset, &event);
+                        processed.store(consumer.position(), Ordering::Release);
+                    }
+                    None => indexer.index().flush(),
+                }
+            }
+            // Drain the backlog for deterministic shutdown (ignoring
+            // pause: we are exiting).
+            loop {
+                let offset = consumer.position();
+                match consumer.poll_now() {
+                    Some(event) => {
+                        indexer.apply_at(offset, &event);
+                        processed.store(consumer.position(), Ordering::Release);
+                    }
+                    None => break,
+                }
+            }
+            indexer.index().flush();
+        })
+        .expect("spawning real-time indexer thread")
+}
+
 impl CheckpointCore {
     /// The full online-checkpoint sequence; see
     /// [`SearchTopology::checkpoint_partition`] for the contract.
@@ -399,7 +582,7 @@ impl CheckpointCore {
             // skip the events re-published at those offsets forever.
             durable.queue.sync()?;
             let bytes_before = durable.metrics.checkpoint_bytes.get();
-            durable.checkpoints[partition].save(&index, applied_offset)?;
+            durable.checkpoints.read()[partition].save(&index, applied_offset)?;
             Ok((applied_offset, bytes_before))
         })();
         self.indexer_pause.store(false, Ordering::Release);
@@ -407,8 +590,11 @@ impl CheckpointCore {
 
         // Retention: the log is shared by every partition, so only the
         // prefix below the laggiest partition's checkpoint is garbage.
+        // A freshly-split sibling has no manifest yet and contributes 0 —
+        // retention conservatively stops until its first checkpoint.
         let min_watermark = durable
             .checkpoints
+            .read()
             .iter()
             .map(|c| c.manifest().map_or(0, |m| m.applied_offset))
             .min()
@@ -432,7 +618,7 @@ impl CheckpointCore {
             if self.indexer_stop.load(Ordering::Relaxed) {
                 return;
             }
-            let watermark = self.durable.checkpoints[p]
+            let watermark = self.durable.checkpoints.read()[p]
                 .manifest()
                 .map_or(0, |m| m.applied_offset);
             let applied = self.handles[p][0].get().stats().applied_offset.get();
@@ -472,8 +658,10 @@ impl SearchTopology {
         training: &[Vector],
         queue: MessageQueue<ProductEvent>,
     ) -> Self {
+        config.validate();
+        let layout = PartitionMap::new(config.num_partitions, config.num_broker_groups);
         Self::assemble(
-            config, extractor, images, feature_db, training, queue, None, None,
+            config, extractor, images, feature_db, training, queue, layout, None, None,
         )
     }
 
@@ -518,12 +706,28 @@ impl SearchTopology {
             },
             Arc::clone(&metrics),
         )?;
-        let mut checkpoints = Vec::with_capacity(config.num_partitions);
-        for p in 0..config.num_partitions {
+        // A previous life's online splits changed the layout; checkpoints
+        // taken after a split cover the narrowed key sets, so the restart
+        // must reconstruct the persisted layout (not the config-derived
+        // one) or the moved keys would vanish.
+        let layout = match load_partition_map(&options.dir)? {
+            Some(persisted) => {
+                assert_eq!(
+                    persisted.num_broker_groups(),
+                    config.num_broker_groups,
+                    "persisted partition map was laid out for a different broker-group count"
+                );
+                persisted
+            }
+            None => PartitionMap::new(config.num_partitions, config.num_broker_groups),
+        };
+        let snapshots_keep = options.snapshots_keep.max(1);
+        let mut checkpoints = Vec::with_capacity(layout.num_partitions());
+        for p in 0..layout.num_partitions() {
             checkpoints.push(CheckpointStore::open(
                 CheckpointConfig {
                     dir: options.dir.join(format!("ckpt-p{p}")),
-                    keep: options.snapshots_keep.max(1),
+                    keep: snapshots_keep,
                 },
                 Arc::clone(&metrics),
             )?);
@@ -536,11 +740,14 @@ impl SearchTopology {
             feature_db,
             training,
             queue,
+            layout,
             Some(DurableParts {
                 queue: durable_queue,
-                checkpoints,
+                checkpoints: RwLock::new(checkpoints),
                 metrics,
                 recovery: Vec::new(),
+                dir: options.dir.clone(),
+                snapshots_keep,
             }),
             options.checkpoint_exposure,
         ))
@@ -554,11 +761,15 @@ impl SearchTopology {
         feature_db: Arc<FeatureDb>,
         training: &[Vector],
         queue: MessageQueue<ProductEvent>,
+        layout: PartitionMap,
         mut durable: Option<DurableParts>,
         checkpoint_exposure: Option<u64>,
     ) -> Self {
         config.validate();
-        let partition_map = PartitionMap::new(config.num_partitions, config.num_broker_groups);
+        // The layout may have more partitions than the config when a
+        // persisted map (recording previous splits) was restored.
+        let num_partitions = layout.num_partitions();
+        let partition_map = Arc::new(RwLock::new(layout));
         // One metrics instance shared by every balancer/broker/blender, so
         // a single snapshot covers the whole serving path.
         let metrics = Arc::new(ResilienceMetrics::new());
@@ -589,16 +800,22 @@ impl SearchTopology {
         let indexer_stop = Arc::new(AtomicBool::new(false));
         let indexer_pause = Arc::new(AtomicBool::new(false));
         let pause_epoch = Arc::new(AtomicU64::new(0));
-        let mut handles: Vec<Vec<Arc<IndexHandle>>> = Vec::with_capacity(config.num_partitions);
-        let mut searcher_nodes = Vec::with_capacity(config.num_partitions);
+        let mut handles: Vec<Vec<Arc<IndexHandle>>> = Vec::with_capacity(num_partitions);
+        let mut searcher_nodes = Vec::with_capacity(num_partitions);
         let mut indexer_threads = Vec::new();
         let mut indexer_processed: Vec<Vec<Arc<AtomicU64>>> = Vec::new();
         let mut indexer_parked: Vec<Vec<Arc<AtomicU64>>> = Vec::new();
-        for p in 0..config.num_partitions {
+        for p in 0..num_partitions {
             let mut replica_handles = Vec::new();
             let mut nodes = Vec::new();
             let mut processed_row = Vec::new();
             let mut parked_row = Vec::new();
+            // One disk read + one validating decode per partition, shared
+            // by every replica below (each forks its copy from the cached
+            // bytes instead of re-reading the snapshot).
+            let shared_seed: Option<SharedCheckpoint> = durable
+                .as_ref()
+                .and_then(|d| d.checkpoints.read()[p].recover_shared_within(queue.len()));
             for r in 0..config.replicas_per_partition {
                 let index = Arc::new(VisualIndex::with_quantizers(
                     config.index.clone(),
@@ -621,75 +838,39 @@ impl SearchTopology {
                     Arc::clone(&images),
                     Arc::clone(&feature_db),
                 )
-                .with_partition(p, config.num_partitions);
+                .with_filter(partition_filter(&partition_map, p));
                 // Durable startup: recover this replica *before* any query
                 // is served — newest valid checkpoint swapped in, then the
                 // log suffix replayed through the live indexing path.
                 let mut start = queue.base();
                 if let Some(d) = durable.as_mut() {
-                    let report = recover_partition(&indexer, &d.checkpoints[p], &queue, &d.metrics);
+                    let report = recover_partition_seeded(
+                        &indexer,
+                        shared_seed.as_ref(),
+                        &queue,
+                        &d.metrics,
+                    );
                     start = report.start_offset + report.replayed;
                     d.recovery.push(report);
                 }
                 if config.realtime_indexing {
-                    let mut consumer = queue.consumer_at(start);
-                    let stop = Arc::clone(&indexer_stop);
-                    let pause = Arc::clone(&indexer_pause);
-                    let epoch = Arc::clone(&pause_epoch);
+                    let consumer = queue.consumer_at(start);
                     // Absolute queue position this replica has consumed
                     // through (== its applied-offset watermark).
                     let processed = Arc::new(AtomicU64::new(start));
                     processed_row.push(Arc::clone(&processed));
                     let parked = Arc::new(AtomicU64::new(0));
                     parked_row.push(Arc::clone(&parked));
-                    indexer_threads.push(
-                        std::thread::Builder::new()
-                            .name(format!("rtidx-{p}-{r}"))
-                            .spawn(move || {
-                                while !stop.load(Ordering::Relaxed) {
-                                    if pause.load(Ordering::Acquire) {
-                                        // Positive quiesce handshake: echo
-                                        // the pause epoch only here, after
-                                        // any in-flight apply completed —
-                                        // the coordinator waits for *its*
-                                        // epoch, so a stale park from an
-                                        // earlier pause can't satisfy it.
-                                        while pause.load(Ordering::Acquire)
-                                            && !stop.load(Ordering::Relaxed)
-                                        {
-                                            parked.store(
-                                                epoch.load(Ordering::Acquire),
-                                                Ordering::Release,
-                                            );
-                                            std::thread::sleep(Duration::from_millis(1));
-                                        }
-                                        continue;
-                                    }
-                                    let offset = consumer.position();
-                                    match consumer.poll(Duration::from_millis(10)) {
-                                        Some(event) => {
-                                            indexer.apply_at(offset, &event);
-                                            processed.store(consumer.position(), Ordering::Release);
-                                        }
-                                        None => indexer.index().flush(),
-                                    }
-                                }
-                                // Drain the backlog for deterministic
-                                // shutdown (ignoring pause: we are exiting).
-                                loop {
-                                    let offset = consumer.position();
-                                    match consumer.poll_now() {
-                                        Some(event) => {
-                                            indexer.apply_at(offset, &event);
-                                            processed.store(consumer.position(), Ordering::Release);
-                                        }
-                                        None => break,
-                                    }
-                                }
-                                indexer.index().flush();
-                            })
-                            .expect("spawning real-time indexer thread"),
-                    );
+                    indexer_threads.push(spawn_indexer_thread(
+                        format!("rtidx-{p}-{r}"),
+                        consumer,
+                        indexer,
+                        Arc::clone(&indexer_stop),
+                        Arc::clone(&indexer_pause),
+                        Arc::clone(&pause_epoch),
+                        processed,
+                        parked,
+                    ));
                 }
             }
             handles.push(replica_handles);
@@ -700,10 +881,14 @@ impl SearchTopology {
 
         // --- Brokers: G groups × broker_replicas instances. --------------
         let mut broker_nodes = Vec::with_capacity(config.num_broker_groups);
+        let mut broker_partitions: Vec<Vec<BrokerFanout>> =
+            Vec::with_capacity(config.num_broker_groups);
         for g in 0..config.num_broker_groups {
             let mut instances = Vec::new();
+            let mut instance_partitions = Vec::new();
             for b in 0..config.broker_replicas {
                 let balancers: Vec<Balancer<NodeHandle<SearcherService>>> = partition_map
+                    .read()
                     .partitions_of_group(g)
                     .into_iter()
                     .map(|p| {
@@ -720,7 +905,12 @@ impl SearchTopology {
                         .with_metrics(Arc::clone(&metrics))
                     })
                     .collect();
-                let mut service = BrokerService::new(g, balancers, config.searcher_deadline)
+                // The balancer list stays shared with the topology so
+                // replica bootstrap and splits can grow it while this
+                // broker keeps serving.
+                let shared = Arc::new(RwLock::new(balancers));
+                instance_partitions.push(Arc::clone(&shared));
+                let mut service = BrokerService::over(g, shared, config.searcher_deadline)
                     .with_metrics(Arc::clone(&metrics));
                 if let Some(hedge_after) = config.hedge_after {
                     service = service.with_hedging(hedge_after);
@@ -734,15 +924,18 @@ impl SearchTopology {
                 ));
             }
             broker_nodes.push(instances);
+            broker_partitions.push(instance_partitions);
         }
 
         // --- Blenders. ----------------------------------------------------
         let query_cache = config
             .query_cache_capacity
             .map(|cap| Arc::new(jdvs_storage::lru::LruCache::new(cap)));
-        let group_partitions: Vec<usize> = (0..config.num_broker_groups)
-            .map(|g| partition_map.partitions_of_group(g).len())
-            .collect();
+        let group_partition_counts: Arc<Vec<AtomicUsize>> = Arc::new(
+            (0..config.num_broker_groups)
+                .map(|g| AtomicUsize::new(partition_map.read().partitions_of_group(g).len()))
+                .collect(),
+        );
         let blender_nodes: Vec<Node<BlenderService>> = (0..config.num_blenders)
             .map(|i| {
                 let groups: Vec<Balancer<NodeHandle<BrokerService>>> = broker_nodes
@@ -765,7 +958,7 @@ impl SearchTopology {
                     config.ranking,
                     config.broker_deadline,
                 )
-                .with_group_partitions(group_partitions.clone())
+                .with_shared_group_partitions(Arc::clone(&group_partition_counts))
                 .with_metrics(Arc::clone(&metrics));
                 if let Some(cache) = &query_cache {
                     service = service.with_query_cache(Arc::clone(cache));
@@ -831,6 +1024,8 @@ impl SearchTopology {
             handles,
             searcher_nodes,
             broker_nodes,
+            broker_partitions,
+            group_partition_counts,
             blender_nodes,
             queue,
             extractor,
@@ -995,15 +1190,17 @@ impl SearchTopology {
     /// Panics if `partition` is out of range on a durable topology.
     pub fn checkpoint_watermark(&self, partition: usize) -> Option<u64> {
         self.durable.as_ref().and_then(|d| {
-            d.checkpoints[partition]
+            d.checkpoints.read()[partition]
                 .manifest()
                 .map(|m| m.applied_offset)
         })
     }
 
-    /// The partition layout.
+    /// A snapshot of the partition layout. Splits change the live layout;
+    /// take a fresh snapshot rather than caching this across maintenance
+    /// operations.
     pub fn partition_map(&self) -> PartitionMap {
-        self.partition_map
+        self.partition_map.read().clone()
     }
 
     /// The stack's configuration (shape, deadlines, policies).
@@ -1137,31 +1334,125 @@ impl SearchTopology {
         }
     }
 
+    /// The quiesced consume positions of `partition`'s replicas. Caller
+    /// must hold the maintenance mutex with the partition quiesced.
+    fn quiesced_cuts(&self, partition: usize) -> Vec<u64> {
+        (0..self.handles[partition].len())
+            .map(|r| self.indexer_processed[partition][r].load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Builds a fresh filter-scoped index covering `[0, cut)` of the
+    /// logical log: seeded from the newest checkpoint at or below `cut`
+    /// (replaying only the surviving suffix) when one exists, or by cold
+    /// replay of the complete log otherwise. Shared by rebuild and split.
+    ///
+    /// The cold path asserts the log prefix is still present. That cannot
+    /// fire spuriously: retention only prunes below the *minimum*
+    /// checkpoint watermark across partitions, so a pruned prefix implies
+    /// this partition has a checkpoint at or above the queue base — and
+    /// `cut` (an applied position) is necessarily at or above that
+    /// watermark, so the seeded path is taken.
+    fn build_to_cut(
+        &self,
+        checkpoint_partition: usize,
+        filter: &KeyFilter,
+        cut: u64,
+    ) -> (VisualIndex, u64, bool) {
+        let builder = FullIndexBuilder::new(
+            self.config.index.clone(),
+            Arc::clone(&self.extractor),
+            Arc::clone(&self.images),
+            Arc::clone(&self.feature_db),
+        )
+        .with_filter(Arc::clone(filter));
+        let seed = self
+            .durable
+            .as_ref()
+            .and_then(|d| d.checkpoints.read()[checkpoint_partition].recover_shared_within(cut));
+        let (fresh, build) = match &seed {
+            Some(s) => {
+                let start = s.applied_offset.max(self.queue.base());
+                let suffix = self.queue.read_range(start, (cut - start) as usize);
+                builder.build_seeded(&s.index, &suffix)
+            }
+            None => {
+                assert_eq!(
+                    self.queue.base(),
+                    0,
+                    "cold rebuild needs the complete log, but checkpoint \
+                     retention already reclaimed its prefix and no usable \
+                     checkpoint at or below the cut survived"
+                );
+                builder.build(&self.queue.read_range(0, cut as usize))
+            }
+        };
+        // Stamp the watermark the build reached: the fresh index applied
+        // everything below the cut, and post-swap checkpoints measure
+        // replay exposure against this.
+        fresh.stats().applied_offset.set_max(cut);
+        (fresh, build.messages_replayed, seed.is_some())
+    }
+
+    /// Replays `[from, to)` of the log into `index` through the live
+    /// indexing path (a replica whose quiesced cut ran past the common
+    /// build cut catches its private tail up before the swap).
+    fn replay_tail(
+        &self,
+        index: Arc<VisualIndex>,
+        filter: &KeyFilter,
+        from: u64,
+        to: u64,
+    ) -> Arc<VisualIndex> {
+        let indexer = RealtimeIndexer::for_index(
+            index,
+            Arc::clone(&self.extractor),
+            Arc::clone(&self.images),
+            Arc::clone(&self.feature_db),
+        )
+        .with_filter(Arc::clone(filter));
+        for (i, event) in self
+            .queue
+            .read_range(from, (to - from) as usize)
+            .iter()
+            .enumerate()
+        {
+            indexer.apply_at(from + i as u64, event);
+        }
+        indexer.index().flush();
+        indexer.index()
+    }
+
     /// Performs the weekly full rebuild of one partition **online**
     /// (Figure 2): real-time indexing is briefly paused at a quiesced
-    /// cut point, the message log up to each replica's cut is replayed
+    /// cut point, the partition's state up to the cut is reconstructed
     /// into a fresh index (logically-deleted images are physically
     /// dropped), the index is shipped through the snapshot format and
     /// hot-swapped, and indexing resumes — all while searches keep being
     /// served (by the old index until the instant of the swap).
     ///
+    /// On a durable topology the rebuild is **checkpoint-seeded**: the
+    /// newest valid snapshot at or below the cut seeds the catalog state
+    /// and only the surviving log suffix `[watermark, cut)` is replayed —
+    /// so rebuilds keep working after checkpoint retention pruned the log
+    /// prefix. One index is built at the minimum cut and decoded once per
+    /// replica from the same snapshot bytes; a replica whose own cut ran
+    /// further catches up through the live indexing path before its swap.
+    ///
+    /// A partition whose replayed state contains no valid image (empty or
+    /// fully deleted) swaps in an empty index and reports
+    /// `records_after: 0` — not a panic.
+    ///
     /// # Panics
     ///
     /// Panics if `partition` is out of range, real-time indexing is
-    /// disabled, or the replayed log contains no valid image for this
-    /// partition.
+    /// disabled, or (non-durable topologies only) the log prefix was
+    /// externally pruned.
     pub fn rebuild_partition(&self, partition: usize) -> RebuildReport {
         assert!(partition < self.handles.len(), "partition out of range");
         assert!(
             self.realtime_indexing,
             "online rebuild requires real-time indexing (otherwise just build a world)"
-        );
-        assert_eq!(
-            self.queue.base(),
-            0,
-            "online full rebuild replays the complete log; checkpoint \
-             retention has already reclaimed its prefix (recover from \
-             checkpoints instead)"
         );
         // 1. One maintenance op at a time (the pause flag is global), then
         //    pause consumption and wait for every indexer thread of this
@@ -1169,41 +1460,396 @@ impl SearchTopology {
         let _maintenance = self.maintenance.lock();
         self.quiesce_partition(partition);
 
-        // 2. Per replica: replay [0, cut) into a fresh index, ship it as a
-        //    snapshot, swap it in.
+        // 2. Build once at the minimum quiesced cut (replica cuts may
+        //    differ — each indexer thread parked at its own position).
+        let cuts = self.quiesced_cuts(partition);
+        let cut0 = cuts.iter().copied().min().unwrap_or(0);
+        let filter = partition_filter(&self.partition_map, partition);
+        let (fresh, messages_replayed, _) = self.build_to_cut(partition, &filter, cut0);
+        // Ship through the on-disk format, as production distributes
+        // index files to searcher nodes.
+        let bytes = persist::save(&fresh);
+
+        // 3. Per replica: decode the shared snapshot, replay the replica's
+        //    private tail [cut0, cut_r), swap it in.
         let mut report = RebuildReport {
             partition,
-            messages_replayed: 0,
+            messages_replayed,
             records_before: 0,
             records_after: 0,
-            snapshot_bytes: 0,
+            snapshot_bytes: bytes.len(),
         };
+        let mut max_tail = 0u64;
         for (r, handle) in self.handles[partition].iter().enumerate() {
-            let cut = self.indexer_processed[partition][r].load(Ordering::Acquire);
-            let log = self.queue.read_range(0, cut as usize);
-            let builder = FullIndexBuilder::new(
-                self.config.index.clone(),
-                Arc::clone(&self.extractor),
-                Arc::clone(&self.images),
-                Arc::clone(&self.feature_db),
-            )
-            .with_partition(partition, self.config.num_partitions);
-            let (fresh, build) = builder.build(&log);
-            // Ship through the on-disk format, as production distributes
-            // index files to searcher nodes.
-            let bytes = persist::save(&fresh);
             let loaded = Arc::new(persist::load(&bytes).expect("snapshot round-trip cannot fail"));
-            report.messages_replayed = report.messages_replayed.max(build.messages_replayed);
-            report.snapshot_bytes = bytes.len();
+            // The snapshot format does not carry the applied-offset
+            // watermark (recovery re-stamps it too); without this a
+            // post-rebuild checkpoint would record watermark 0.
+            loaded.stats().applied_offset.set_max(cut0);
+            let loaded = if cuts[r] > cut0 {
+                max_tail = max_tail.max(cuts[r] - cut0);
+                self.replay_tail(loaded, &filter, cut0, cuts[r])
+            } else {
+                loaded
+            };
             report.records_after += loaded.num_images();
             let old = handle.swap(loaded);
             report.records_before += old.num_images();
         }
+        report.messages_replayed += max_tail;
 
-        // 3. Resume real-time indexing; events after each cut apply to the
+        // 4. Resume real-time indexing; events after each cut apply to the
         //    fresh index through the handle.
         self.resume_indexers();
         report
+    }
+
+    /// Adds one replica to a partition **online**: the replica is seeded
+    /// from the newest checkpoint (or built cold from the retained log
+    /// sharing the siblings' quantizers), tails the live log *without
+    /// pausing ingestion* until within
+    /// [`TopologyConfig::bootstrap_lag_bound`] events of the head, then —
+    /// under the maintenance mutex and a brief quiesce — drains the final
+    /// gap and atomically joins the serving set: its searcher node is
+    /// pushed into every broker balancer that fans out to this partition,
+    /// and its own indexing thread keeps it fresh from there on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range or real-time indexing is
+    /// disabled.
+    pub fn bootstrap_replica(&mut self, partition: usize) -> BootstrapReport {
+        assert!(partition < self.handles.len(), "partition out of range");
+        assert!(
+            self.realtime_indexing,
+            "replica bootstrap tails the live log"
+        );
+        // --- Phase A: build the replica off to the side. Ingestion and
+        // serving continue untouched; only the checkpoint read takes the
+        // maintenance mutex (lifecycle ops serialize on it, so a snapshot
+        // mid-save is never observed).
+        let filter = partition_filter(&self.partition_map, partition);
+        let seed = {
+            let _maintenance = self.maintenance.lock();
+            self.durable.as_ref().and_then(|d| {
+                d.checkpoints.read()[partition].recover_shared_within(self.queue.len())
+            })
+        };
+        let from_snapshot = seed.is_some();
+        let (index, start) = match seed {
+            Some(seed) => {
+                let start = seed.applied_offset.max(self.queue.base());
+                let index = seed.fork();
+                index.stats().applied_offset.set_max(seed.applied_offset);
+                (index, start)
+            }
+            None => {
+                // Cold path: an empty index sharing the siblings' trained
+                // quantizers, fed from the queue base (still unpruned by
+                // the same retention argument as `build_to_cut`).
+                let sibling = self.handles[partition][0].get();
+                assert_eq!(
+                    self.queue.base(),
+                    0,
+                    "cold bootstrap needs the complete log, but checkpoint \
+                     retention already reclaimed its prefix and no usable \
+                     checkpoint survived"
+                );
+                let index = VisualIndex::with_quantizers(
+                    self.config.index.clone(),
+                    sibling.quantizer().clone(),
+                    sibling.pq_quantizer(),
+                );
+                (index, 0)
+            }
+        };
+        let replica = self.handles[partition].len();
+        let indexer = RealtimeIndexer::for_index(
+            Arc::new(index),
+            Arc::clone(&self.extractor),
+            Arc::clone(&self.images),
+            Arc::clone(&self.feature_db),
+        )
+        .with_filter(filter);
+        let mut consumer = self.queue.consumer_at(start);
+        let mut tailed = 0u64;
+        // Tail the live log (publishers keep running) until the replica is
+        // within the configured lag bound of the head.
+        while self.queue.len().saturating_sub(consumer.position()) > self.config.bootstrap_lag_bound
+        {
+            let offset = consumer.position();
+            if let Some(event) = consumer.poll_now() {
+                indexer.apply_at(offset, &event);
+                tailed += 1;
+            }
+        }
+
+        // --- Phase B: quiesce the partition, drain the remaining gap, and
+        // atomically join the serving set.
+        let _maintenance = self.maintenance.lock();
+        self.quiesce_partition(partition);
+        loop {
+            let offset = consumer.position();
+            match consumer.poll_now() {
+                Some(event) => {
+                    indexer.apply_at(offset, &event);
+                    tailed += 1;
+                }
+                None => break,
+            }
+        }
+        indexer.index().flush();
+
+        let handle = Arc::clone(indexer.handle());
+        let node = Node::spawn_with(
+            format!("searcher-{partition}-{replica}"),
+            SearcherService::new(partition, Arc::clone(&handle)),
+            self.config.searcher_workers,
+            self.config.latency,
+            self.config.seed ^ ((partition as u64) << 16) ^ replica as u64,
+        );
+        // Join the fan-out: every broker instance of the owning group gets
+        // this searcher as a new balancer target (fan-outs already in
+        // flight took their snapshot; the next one covers the replica).
+        let (group, slot) = {
+            let map = self.partition_map.read();
+            let group = map.broker_group_of(partition);
+            let slot = map
+                .partitions_of_group(group)
+                .iter()
+                .position(|&q| q == partition)
+                .expect("a partition appears in its own group");
+            (group, slot)
+        };
+        for instance in &self.broker_partitions[group] {
+            instance.read()[slot].push_target(node.handle());
+        }
+        let processed = Arc::new(AtomicU64::new(consumer.position()));
+        let parked = Arc::new(AtomicU64::new(0));
+        self.handles[partition].push(Arc::clone(&handle));
+        self.searcher_nodes[partition].push(node);
+        self.indexer_processed[partition].push(Arc::clone(&processed));
+        self.indexer_parked[partition].push(Arc::clone(&parked));
+        self.indexer_threads.push(spawn_indexer_thread(
+            format!("rtidx-{partition}-{replica}"),
+            consumer,
+            indexer,
+            Arc::clone(&self.indexer_stop),
+            Arc::clone(&self.indexer_pause),
+            Arc::clone(&self.pause_epoch),
+            processed,
+            parked,
+        ));
+        self.resume_indexers();
+        BootstrapReport {
+            partition,
+            replica,
+            from_snapshot,
+            seed_offset: start,
+            tailed,
+        }
+    }
+
+    /// Splits one partition in two **online** with zero lost updates: under
+    /// the maintenance mutex and a quiesce of the parent's indexers, the
+    /// routing table doubles (the upper-half aliases of the parent's key
+    /// space move to a new sibling id), both halves are rebuilt from the
+    /// parent's newest checkpoint plus the surviving log suffix — each
+    /// through its own partition filter — and then the sibling's replica
+    /// row joins the serving set before the parent's replicas swap down to
+    /// their narrowed half. Sibling indexer threads start consuming at the
+    /// build cut, so events published during the split land exactly once.
+    ///
+    /// On a durable topology the sibling gets its own checkpoint store and
+    /// the new layout is persisted (atomically, before ingestion resumes),
+    /// so a restart reconstructs the split topology instead of losing the
+    /// moved keys to the parent's post-split checkpoints.
+    ///
+    /// A fan-out racing the final swaps may briefly see a moved key in
+    /// both halves (the parent still serves its pre-split index while the
+    /// sibling is already live); searches never miss a key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from opening the sibling's checkpoint store
+    /// or persisting the partition map (the split is aborted, layout
+    /// unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range or real-time indexing is
+    /// disabled.
+    pub fn split_partition(&mut self, partition: usize) -> io::Result<SplitReport> {
+        assert!(partition < self.handles.len(), "partition out of range");
+        assert!(
+            self.realtime_indexing,
+            "online split requires real-time indexing"
+        );
+        let _maintenance = self.maintenance.lock();
+        self.quiesce_partition(partition);
+        let cuts = self.quiesced_cuts(partition);
+        let cut0 = cuts.iter().copied().min().unwrap_or(0);
+
+        let sibling = self.handles.len();
+        let candidate = {
+            let mut map = self.partition_map.read().clone();
+            let s = map.split(partition);
+            debug_assert_eq!(s, sibling, "sibling id is the next partition id");
+            map
+        };
+
+        // Build both halves from the same seed + suffix, each through its
+        // own filter over the *candidate* layout — the live map stays
+        // untouched until the durable artifacts below are safely on disk,
+        // so the abort path leaves the running layout unchanged.
+        let cand_map = Arc::new(RwLock::new(candidate.clone()));
+        let (parent_half, messages_replayed, from_snapshot) =
+            self.build_to_cut(partition, &partition_filter(&cand_map, partition), cut0);
+        let (sibling_half, _, _) =
+            self.build_to_cut(partition, &partition_filter(&cand_map, sibling), cut0);
+        let parent_bytes = persist::save(&parent_half);
+        let sibling_bytes = persist::save(&sibling_half);
+
+        // Durable commit (fallible). Ordering is load-bearing:
+        //
+        //   1. the sibling's store gets its half checkpointed at the cut —
+        //      without a manifest, a restart after earlier retention
+        //      pruning would cold-replay the sibling from a log whose
+        //      prefix is gone, losing every moved key below the base;
+        //   2. the layout file commits the split on disk (if step 1's
+        //      orphan store is all that survives a crash here, the old
+        //      layout simply ignores it);
+        //   3. the parent's *narrowed* half lands only after the layout —
+        //      a narrowed parent checkpoint under the old two-way layout
+        //      would drop the moved keys on restart. Until it lands, the
+        //      pre-split full checkpoint is a safe superset.
+        if let Some(d) = self.durable.as_ref() {
+            let committed: io::Result<()> = (|| {
+                let store = CheckpointStore::open(
+                    CheckpointConfig {
+                        dir: d.dir.join(format!("ckpt-p{sibling}")),
+                        keep: d.snapshots_keep,
+                    },
+                    Arc::clone(&d.metrics),
+                )?;
+                // Sync the log through the cut first: a crash after these
+                // checkpoints could otherwise truncate the log below their
+                // watermark (same hazard as checkpoint_partition).
+                d.queue.sync()?;
+                store.save(&sibling_half, cut0)?;
+                save_partition_map(&d.dir, &candidate)?;
+                d.checkpoints.read()[partition].save(&parent_half, cut0)?;
+                d.checkpoints.write().push(store);
+                Ok(())
+            })();
+            if let Err(e) = committed {
+                self.resume_indexers();
+                return Err(e);
+            }
+        }
+        // Commit the routing change. The parent's indexers are parked, so
+        // no event is applied under a half-updated view; other partitions'
+        // ownership is untouched by construction of the table doubling.
+        *self.partition_map.write() = candidate;
+        let parent_filter = partition_filter(&self.partition_map, partition);
+        let sibling_filter = partition_filter(&self.partition_map, sibling);
+
+        // Stand the sibling's replica row up (same replica count as the
+        // parent). Its indexer threads start at the build cut and park
+        // until the resume below, then consume [cut0, …) through the
+        // sibling filter — nothing published during the split is lost.
+        let replicas = self.handles[partition].len();
+        let mut report = SplitReport {
+            partition,
+            sibling,
+            messages_replayed,
+            parent_records: 0,
+            sibling_records: 0,
+            from_snapshot,
+        };
+        let mut sib_handles = Vec::with_capacity(replicas);
+        let mut sib_nodes = Vec::with_capacity(replicas);
+        let mut sib_processed = Vec::with_capacity(replicas);
+        let mut sib_parked = Vec::with_capacity(replicas);
+        for r in 0..replicas {
+            let loaded =
+                Arc::new(persist::load(&sibling_bytes).expect("snapshot round-trip cannot fail"));
+            loaded.stats().applied_offset.set_max(cut0);
+            report.sibling_records += loaded.num_images();
+            let indexer = RealtimeIndexer::for_index(
+                loaded,
+                Arc::clone(&self.extractor),
+                Arc::clone(&self.images),
+                Arc::clone(&self.feature_db),
+            )
+            .with_filter(Arc::clone(&sibling_filter));
+            let handle = Arc::clone(indexer.handle());
+            let node = Node::spawn_with(
+                format!("searcher-{sibling}-{r}"),
+                SearcherService::new(sibling, Arc::clone(&handle)),
+                self.config.searcher_workers,
+                self.config.latency,
+                self.config.seed ^ ((sibling as u64) << 16) ^ r as u64,
+            );
+            let processed = Arc::new(AtomicU64::new(cut0));
+            let parked = Arc::new(AtomicU64::new(0));
+            self.indexer_threads.push(spawn_indexer_thread(
+                format!("rtidx-{sibling}-{r}"),
+                self.queue.consumer_at(cut0),
+                indexer,
+                Arc::clone(&self.indexer_stop),
+                Arc::clone(&self.indexer_pause),
+                Arc::clone(&self.pause_epoch),
+                Arc::clone(&processed),
+                Arc::clone(&parked),
+            ));
+            sib_handles.push(handle);
+            sib_nodes.push(node);
+            sib_processed.push(processed);
+            sib_parked.push(parked);
+        }
+
+        // Make the sibling serving-visible *before* narrowing the parent,
+        // so no fan-out ever misses the moved keys: one balancer over the
+        // sibling's replicas per broker instance of the owning group, then
+        // the blenders' coverage count.
+        let group = self.partition_map.read().broker_group_of(sibling);
+        for (b, instance) in self.broker_partitions[group].iter().enumerate() {
+            let balancer = Balancer::with_policies(
+                sib_nodes.iter().map(Node::handle).collect(),
+                self.config.health,
+                self.config.retry,
+                self.config.seed
+                    ^ 0xBA1
+                    ^ ((group as u64) << 24)
+                    ^ ((b as u64) << 12)
+                    ^ sibling as u64,
+            )
+            .with_metrics(Arc::clone(&self.metrics));
+            instance.write().push(balancer);
+        }
+        self.handles.push(sib_handles);
+        self.searcher_nodes.push(sib_nodes);
+        self.indexer_processed.push(sib_processed);
+        self.indexer_parked.push(sib_parked);
+        self.group_partition_counts[group].fetch_add(1, Ordering::Release);
+
+        // Swap the parent's replicas down to their narrowed half, catching
+        // up any replica whose quiesced cut ran past the build cut.
+        for (r, handle) in self.handles[partition].iter().enumerate() {
+            let loaded =
+                Arc::new(persist::load(&parent_bytes).expect("snapshot round-trip cannot fail"));
+            loaded.stats().applied_offset.set_max(cut0);
+            let loaded = if cuts[r] > cut0 {
+                self.replay_tail(loaded, &parent_filter, cut0, cuts[r])
+            } else {
+                loaded
+            };
+            report.parent_records += loaded.num_images();
+            handle.swap(loaded);
+        }
+        self.resume_indexers();
+        Ok(report)
     }
 
     /// Stops real-time indexers (draining the queue), then shuts every node
@@ -1846,5 +2492,331 @@ mod tests {
             ..Default::default()
         }
         .validate();
+    }
+
+    /// Top-1 probe over a url set: (query url, hit url, exact distance
+    /// bits) — bit-comparable across rebuilds.
+    fn probe(t: &SearchTopology, urls: impl Iterator<Item = u64>) -> Vec<(String, String, u32)> {
+        urls.map(|i| {
+            let url = format!("u{i}");
+            let resp = t.search(SearchQuery::by_image_url(&url, 1)).unwrap();
+            let top = &resp.results[0].hit;
+            (url, top.url.clone(), top.distance.to_bits())
+        })
+        .collect()
+    }
+
+    #[test]
+    fn rebuild_after_checkpoint_prune_seeds_from_snapshot() {
+        let dir = durable_dir("prune-rebuild");
+        let images = Arc::new(ImageStore::with_blob_len(64));
+        {
+            let mut t = durable_world(&dir, &images);
+            for i in 0..30u64 {
+                t.publish(add_event_for(&images, i));
+            }
+            t.wait_for_freshness(Duration::from_secs(30));
+            t.checkpoint_partition(0).unwrap();
+            let r = t.checkpoint_partition(1).unwrap();
+            assert!(r.segments_pruned > 0, "retention must reclaim the prefix");
+            for i in 30..40u64 {
+                t.publish(add_event_for(&images, i));
+            }
+            t.wait_for_freshness(Duration::from_secs(30));
+            t.shutdown();
+        }
+        // Pruning reclaims disk segments; the surviving log only *starts*
+        // above zero once the queue is rebuilt from them. Reopen to get a
+        // life where the prefix is genuinely gone.
+        let mut t = durable_world(&dir, &images);
+        assert!(
+            t.queue().base() > 0,
+            "the log prefix is gone; a full-log rebuild would be impossible"
+        );
+
+        // The regression: rebuilding on a pruned log used to panic. Now it
+        // seeds from the checkpoint and replays only the suffix — and the
+        // search results afterwards are bit-identical.
+        let before = probe(&t, 0..40);
+        for p in 0..2 {
+            let report = t.rebuild_partition(p);
+            assert_eq!(
+                report.messages_replayed, 10,
+                "only the surviving suffix replays"
+            );
+            assert!(report.snapshot_bytes > 0);
+        }
+        assert_eq!(probe(&t, 0..40), before, "rebuild is bit-identical");
+        // The seeded rebuild stamped the cut as the applied watermark, so a
+        // follow-up checkpoint sees no phantom exposure.
+        let r = t.checkpoint_partition(0).unwrap();
+        assert_eq!(r.applied_offset, 40);
+        t.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rebuild_of_a_fully_deleted_partition_swaps_in_an_empty_index() {
+        let w = world(true);
+        for i in 0..12u64 {
+            w.topology.publish(add_event(&w, i));
+        }
+        // Fully delete one partition's key set.
+        let map = w.topology.partition_map();
+        let target = map.partition_of_url("u0");
+        let mut deleted = Vec::new();
+        for i in 0..12u64 {
+            if map.partition_of_url(&format!("u{i}")) == target {
+                deleted.push(i);
+                w.topology.publish(ProductEvent::RemoveProduct {
+                    product_id: ProductId(i),
+                    urls: vec![format!("u{i}")],
+                });
+            }
+        }
+        w.topology.wait_for_freshness(Duration::from_secs(30));
+
+        // The satellite regression: this used to panic ("no valid image
+        // for this partition"); now it swaps in an empty index.
+        let report = w.topology.rebuild_partition(target);
+        assert_eq!(report.records_after, 0, "both replicas empty");
+        assert!(report.records_before > 0, "tombstones were present before");
+        let resp = w
+            .topology
+            .search(SearchQuery::by_image_url(format!("u{}", deleted[0]), 5))
+            .unwrap();
+        assert!(resp
+            .results
+            .iter()
+            .all(|h| !deleted.contains(&h.hit.url[1..].parse().unwrap())));
+        // Other partitions keep serving.
+        let survivor = (0..12u64).find(|i| !deleted.contains(i)).unwrap();
+        let resp = w
+            .topology
+            .search(SearchQuery::by_image_url(format!("u{survivor}"), 1))
+            .unwrap();
+        assert_eq!(resp.results[0].hit.url, format!("u{survivor}"));
+    }
+
+    #[test]
+    fn bootstrap_replica_converges_and_serves() {
+        let mut w = world(true);
+        for i in 0..20u64 {
+            w.topology.publish(add_event(&w, i));
+        }
+        w.topology.wait_for_freshness(Duration::from_secs(30));
+        let report = w.topology.bootstrap_replica(0);
+        assert_eq!(report.replica, 2, "joins after the two built-in replicas");
+        assert!(!report.from_snapshot, "non-durable topologies seed cold");
+        w.topology.wait_for_freshness(Duration::from_secs(30));
+        // The new replica converged to the same corpus slice…
+        assert_eq!(
+            w.topology.index(0, 2).num_images(),
+            w.topology.index(0, 0).num_images(),
+            "bootstrapped replica owns the same records"
+        );
+        // …and actually serves once the original replicas die.
+        w.topology.searcher_faults(0, 0).set_down(true);
+        w.topology.searcher_faults(0, 1).set_down(true);
+        let map = w.topology.partition_map();
+        let owned = (0..20u64)
+            .find(|i| map.partition_of_url(&format!("u{i}")) == 0)
+            .expect("some url lands in partition 0");
+        let resp = w
+            .topology
+            .search(SearchQuery::by_image_url(format!("u{owned}"), 1))
+            .unwrap();
+        assert_eq!(resp.results[0].hit.url, format!("u{owned}"));
+        assert_eq!(
+            (resp.partitions_ok, resp.partitions_total),
+            (4, 4),
+            "coverage identity holds with the bootstrapped replica serving"
+        );
+        // Live ingestion reaches the new replica too.
+        w.topology.publish(add_event(&w, 777));
+        w.topology.wait_for_freshness(Duration::from_secs(30));
+        let resp = w
+            .topology
+            .search(SearchQuery::by_image_url("u777", 1))
+            .unwrap();
+        assert_eq!(resp.results[0].hit.url, "u777");
+    }
+
+    #[test]
+    fn bootstrap_replica_seeds_from_checkpoint() {
+        let dir = durable_dir("boot-seed");
+        let images = Arc::new(ImageStore::with_blob_len(64));
+        let mut t = durable_world(&dir, &images);
+        for i in 0..30u64 {
+            t.publish(add_event_for(&images, i));
+        }
+        t.wait_for_freshness(Duration::from_secs(30));
+        t.checkpoint_partition(0).unwrap();
+        for i in 30..40u64 {
+            t.publish(add_event_for(&images, i));
+        }
+        t.wait_for_freshness(Duration::from_secs(30));
+        let report = t.bootstrap_replica(0);
+        assert!(report.from_snapshot);
+        assert_eq!(report.seed_offset, 30, "tails from the watermark");
+        assert_eq!(report.tailed, 10, "only the suffix applies");
+        t.searcher_faults(0, 0).set_down(true);
+        let map = t.partition_map();
+        let owned = (0..40u64)
+            .find(|i| map.partition_of_url(&format!("u{i}")) == 0)
+            .unwrap();
+        let resp = t
+            .search(SearchQuery::by_image_url(format!("u{owned}"), 1))
+            .unwrap();
+        assert_eq!(resp.results[0].hit.url, format!("u{owned}"));
+        // Checkpointing after the bootstrap still works (store state is
+        // consistent under the serialized lifecycle ops).
+        let r = t.checkpoint_partition(0).unwrap();
+        assert_eq!(r.applied_offset, 40);
+        t.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn split_partition_under_ingestion_loses_nothing() {
+        let mut w = world(true);
+        for i in 0..30u64 {
+            w.topology.publish(add_event(&w, i));
+        }
+        w.topology.wait_for_freshness(Duration::from_secs(30));
+        // Publish 30 more from another thread while the split runs: the
+        // moved keys and the in-flight events must all survive.
+        for i in 30..60u64 {
+            w.images.put_synthetic(&format!("u{i}"), i % 5);
+        }
+        let queue = w.topology.queue().clone();
+        let report = std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 30..60u64 {
+                    let url = format!("u{i}");
+                    queue.publish(ProductEvent::AddProduct {
+                        product_id: ProductId(i),
+                        images: vec![ProductAttributes::new(ProductId(i), 1, 100, 1, url)],
+                    });
+                }
+            });
+            w.topology.split_partition(0).unwrap()
+        });
+        assert_eq!(report.sibling, 4);
+        assert!(!report.from_snapshot);
+        w.topology.wait_for_freshness(Duration::from_secs(30));
+        let map = w.topology.partition_map();
+        assert_eq!(map.num_partitions(), 5);
+        assert_eq!(map.broker_group_of(4), map.broker_group_of(0));
+        // Zero lost updates: every one of the 60 urls is searchable, and
+        // fan-outs cover all five partitions.
+        for i in 0..60u64 {
+            let url = format!("u{i}");
+            let resp = w
+                .topology
+                .search(SearchQuery::by_image_url(&url, 1))
+                .unwrap();
+            assert_eq!(resp.results[0].hit.url, url, "u{i} lost by the split");
+            assert_eq!(
+                (resp.partitions_ok, resp.partitions_total),
+                (5, 5),
+                "coverage identity after the split"
+            );
+        }
+        assert_eq!(w.topology.ops_report().logical_valid_images(), 60);
+        // The parent really shed its upper half.
+        let moved: Vec<u64> = (0..60)
+            .filter(|&i| map.partition_of_url(&format!("u{i}")) == 4)
+            .collect();
+        assert!(!moved.is_empty(), "the split must move some keys");
+        let parent = w.topology.index(0, 0);
+        assert!(moved.iter().all(|i| parent
+            .lookup(ImageKey::from_url(&format!("u{i}")))
+            .is_none()));
+    }
+
+    #[test]
+    fn split_survives_restart_with_post_split_checkpoints() {
+        let dir = durable_dir("split-restart");
+        let images = Arc::new(ImageStore::with_blob_len(64));
+        {
+            let mut t = durable_world(&dir, &images);
+            for i in 0..30u64 {
+                t.publish(add_event_for(&images, i));
+            }
+            t.wait_for_freshness(Duration::from_secs(30));
+            t.checkpoint_partition(0).unwrap();
+            t.checkpoint_partition(1).unwrap();
+            for i in 30..40u64 {
+                t.publish(add_event_for(&images, i));
+            }
+            t.wait_for_freshness(Duration::from_secs(30));
+            let report = t.split_partition(0).unwrap();
+            assert!(report.from_snapshot, "halves seed from the checkpoint");
+            let sibling = report.sibling;
+            t.wait_for_freshness(Duration::from_secs(30));
+            // Satellite regression: checkpoint-during-split lifecycle — the
+            // sibling's store was opened by the split and checkpoints work
+            // immediately, as does re-checkpointing the narrowed parent.
+            let rs = t.checkpoint_partition(sibling).unwrap();
+            assert_eq!(rs.applied_offset, 40);
+            assert!(t.checkpoint_watermark(sibling).is_some());
+            let rp = t.checkpoint_partition(0).unwrap();
+            assert_eq!(rp.applied_offset, 40);
+            t.shutdown();
+        }
+        // Restart: the persisted partition map reconstructs the split
+        // layout, so the narrowed post-split checkpoints are safe — no
+        // moved key is lost.
+        let mut t = durable_world(&dir, &images);
+        assert_eq!(t.partition_map().num_partitions(), 3);
+        assert_eq!(t.recovery_reports().unwrap().len(), 3);
+        assert_eq!(t.ops_report().logical_valid_images(), 40);
+        for i in 0..40u64 {
+            let url = format!("u{i}");
+            let resp = t.search(SearchQuery::by_image_url(&url, 1)).unwrap();
+            assert_eq!(resp.results[0].hit.url, url, "u{i} lost across restart");
+        }
+        t.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scheduler_checkpoints_race_lifecycle_ops() {
+        let dir = durable_dir("sched-race");
+        let images = Arc::new(ImageStore::with_blob_len(64));
+        {
+            // A background scheduler with a tiny exposure bound checkpoints
+            // continuously while bootstrap and split run — everything
+            // serializes on the maintenance mutex.
+            let mut t = durable_world_with(&dir, &images, |o| {
+                *o = o.clone().with_checkpoint_exposure(5);
+            });
+            for i in 0..30u64 {
+                t.publish(add_event_for(&images, i));
+            }
+            t.wait_for_freshness(Duration::from_secs(30));
+            let boot = t.bootstrap_replica(0);
+            assert_eq!(boot.replica, 1);
+            for i in 30..50u64 {
+                t.publish(add_event_for(&images, i));
+            }
+            t.split_partition(0).unwrap();
+            for i in 50..60u64 {
+                t.publish(add_event_for(&images, i));
+            }
+            t.wait_for_freshness(Duration::from_secs(30));
+            assert_eq!(t.ops_report().logical_valid_images(), 60);
+            t.shutdown();
+        }
+        let mut t = durable_world(&dir, &images);
+        assert_eq!(t.ops_report().logical_valid_images(), 60);
+        for i in 0..60u64 {
+            let url = format!("u{i}");
+            let resp = t.search(SearchQuery::by_image_url(&url, 1)).unwrap();
+            assert_eq!(resp.results[0].hit.url, url);
+        }
+        t.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -15,6 +15,20 @@
 //! - prove the recovered index answers queries identically
 //!   ([`RecoveryHarness::probe`] captures bit-comparable result sets).
 //!
+//! For the partition-lifecycle suite (rebuild / replica bootstrap / online
+//! split) the harness adds **lifecycle crash hooks**: corrupting the
+//! newest checkpoint snapshot ([`RecoveryHarness::corrupt_newest_checkpoint`],
+//! a torn write during a rebuild's checkpoint), stranding `*.tmp` files in
+//! a partition's checkpoint store ([`RecoveryHarness::strand_checkpoint_tmp`],
+//! a crash between a temp write and its rename), planting an orphan
+//! sibling store ([`RecoveryHarness::plant_orphan_sibling_store`], a crash
+//! after an online split created its sibling store but before the layout
+//! committed) — and the comparator they are all judged against:
+//! [`RecoveryHarness::cold_reference_probe`] rebuilds the searchable set
+//! from the full event stream alone (no checkpoints, no durable state), so
+//! any recovered life can be compared bit-for-bit to a cold full rebuild
+//! of the same log.
+//!
 //! [`run_crash_cycle`] is the one-call scenario driver used by the
 //! `recovery` integration suite and the recovery experiment.
 
@@ -31,6 +45,7 @@ use jdvs_features::{CachingExtractor, ExtractorConfig, FeatureExtractor};
 use jdvs_search::topology::{DurabilityOptions, SearchTopology, TopologyConfig};
 use jdvs_search::{RankingPolicy, SearchQuery};
 use jdvs_storage::model::ProductEvent;
+use jdvs_storage::queue::MessageQueue;
 use jdvs_storage::{FeatureDb, ImageStore};
 use jdvs_vector::Vector;
 
@@ -298,6 +313,104 @@ impl RecoveryHarness {
         segments
             .pop()
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no log segments"))
+    }
+
+    /// Directory of `partition`'s checkpoint store.
+    pub fn checkpoint_dir(&self, partition: usize) -> std::path::PathBuf {
+        self.config.options.dir.join(format!("ckpt-p{partition}"))
+    }
+
+    /// Flips one byte in the middle of `partition`'s newest checkpoint
+    /// snapshot — a torn/damaged write from a crash during the snapshot's
+    /// temp-file phase. Returns `false` if the store has no snapshot yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn corrupt_newest_checkpoint(&self, partition: usize) -> io::Result<bool> {
+        let dir = self.checkpoint_dir(partition);
+        let mut snaps: Vec<_> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+            .collect();
+        snaps.sort();
+        let Some(newest) = snaps.pop() else {
+            return Ok(false);
+        };
+        let mut bytes = fs::read(&newest)?;
+        if bytes.is_empty() {
+            return Ok(false);
+        }
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5A;
+        fs::write(&newest, &bytes)?;
+        Ok(true)
+    }
+
+    /// Strands half-written `*.tmp` files (a snapshot and a manifest) in
+    /// `partition`'s checkpoint store — the state a crash between a temp
+    /// write and its rename leaves behind. [`CheckpointStore::open`] must
+    /// sweep them on the next boot.
+    ///
+    /// [`CheckpointStore::open`]: jdvs_durability::checkpoint::CheckpointStore::open
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn strand_checkpoint_tmp(&self, partition: usize) -> io::Result<()> {
+        let dir = self.checkpoint_dir(partition);
+        fs::create_dir_all(&dir)?;
+        fs::write(
+            dir.join("snap-99999999999999999999.ckpt.tmp"),
+            b"torn snapshot",
+        )?;
+        fs::write(dir.join("MANIFEST.tmp"), b"torn manifest")?;
+        Ok(())
+    }
+
+    /// Plants an orphan sibling checkpoint store for partition id
+    /// `sibling` — the on-disk state of an online split that crashed after
+    /// creating (and possibly part-seeding) its sibling's store but before
+    /// the partition-map file committed the new layout. A reboot under the
+    /// old layout must ignore it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn plant_orphan_sibling_store(&self, sibling: usize) -> io::Result<()> {
+        let dir = self.checkpoint_dir(sibling);
+        fs::create_dir_all(&dir)?;
+        fs::write(dir.join("snap-00000000000000000007.ckpt"), b"half-seeded")?;
+        fs::write(dir.join("MANIFEST.tmp"), b"torn manifest")?;
+        Ok(())
+    }
+
+    /// Boots a **non-durable** topology over the same stores and replays
+    /// `events` of the planned stream through it from scratch — a cold
+    /// full rebuild of the same log, with no checkpoints or durable state
+    /// involved. The returned probes are the ground truth every recovered
+    /// or lifecycle-mutated life must match bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` exceeds the planned stream or indexing stalls.
+    pub fn cold_reference_probe(&self, events: usize) -> Vec<Probe> {
+        assert!(events <= self.events.len(), "beyond the planned stream");
+        let mut reference = SearchTopology::build(
+            self.topology_config.clone(),
+            Arc::clone(&self.extractor),
+            Arc::clone(&self.images),
+            Arc::clone(&self.feature_db),
+            &self.training,
+            MessageQueue::new(),
+        );
+        for event in &self.events[..events] {
+            reference.publish(event.clone());
+        }
+        reference.wait_for_freshness(Duration::from_secs(60));
+        let probes = self.probe(&reference);
+        reference.shutdown();
+        probes
     }
 
     /// Captures the answer to every probe query in bit-comparable form.

@@ -1,0 +1,257 @@
+//! Crash-injection suite for the partition lifecycle: checkpoint-seeded
+//! rebuild, replica bootstrap and online split.
+//!
+//! Every scenario kills a durable topology at some point in a lifecycle
+//! operation (or mutilates the on-disk state the way a mid-operation crash
+//! would), reboots on the same directory, and holds the recovered world to
+//! one standard: its probe answers must be **bit-identical** to a cold
+//! full rebuild of the same log — same ranked results, same float
+//! distances, same attributes ([`RecoveryHarness::cold_reference_probe`]).
+//!
+//! The lifecycle operations themselves write nothing mid-flight except
+//! through atomic temp-file + rename commits, so each crash point maps to
+//! a concrete on-disk state the harness can produce:
+//!
+//! - a kill during a replica bootstrap's log-tail leaves only the
+//!   pre-bootstrap checkpoints and the log (the bootstrap is memory-only);
+//! - a kill between an online split's half-swaps leaves the fully
+//!   committed durable artifacts (sibling checkpoint, layout file,
+//!   narrowed parent checkpoint) with the in-memory swaps lost;
+//! - a crash *before* the split's layout commit leaves an orphan sibling
+//!   store the old layout must ignore;
+//! - a torn checkpoint write leaves a corrupt newest snapshot the
+//!   manifest still names — recovery must walk the fallback chain;
+//! - a crash between a checkpoint temp write and its rename strands
+//!   `*.tmp` files the next boot must sweep.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use jdvs::workload::recovery::{RecoveryConfig, RecoveryHarness};
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "jdvs-lifecycle-{}-{}-{}",
+        tag,
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A kill while a freshly bootstrapped replica is still the only one that
+/// tailed the latest events: the bootstrap wrote nothing durable, so the
+/// reboot must rebuild the acknowledged set from the pre-bootstrap
+/// checkpoints plus the log — and match a cold rebuild exactly.
+#[test]
+fn kill_during_bootstrap_tail_recovers_bit_identical() {
+    let dir = scratch_dir("boot-tail");
+    let harness = RecoveryHarness::new(RecoveryConfig::fast(&dir));
+    let n = harness.events().len();
+
+    let mut topology = harness.boot().expect("first boot");
+    harness.publish(&topology, 0..n / 3);
+    topology.checkpoint_partition(0).expect("checkpoint p0");
+    topology.checkpoint_partition(1).expect("checkpoint p1");
+    harness.publish(&topology, n / 3..2 * n / 3);
+
+    let report = topology.bootstrap_replica(0);
+    assert!(report.from_snapshot, "durable bootstrap seeds from disk");
+    assert_eq!(report.replica, 1, "joins after the configured replica");
+
+    // The new replica serves the rest of the stream, then the process
+    // dies without checkpointing anything it tailed.
+    harness.publish(&topology, 2 * n / 3..n);
+    let before = harness.probe(&topology);
+    harness.halt(topology);
+
+    let topology = harness.boot().expect("reboot");
+    let after = harness.probe(&topology);
+    assert_eq!(after, before, "reboot diverged from the killed life");
+    assert_eq!(
+        after,
+        harness.cold_reference_probe(n),
+        "reboot diverged from a cold full rebuild of the log"
+    );
+    harness.halt(topology);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A kill right between an online split's half-swaps: the durable
+/// artifacts (sibling checkpoint at the cut, layout file, narrowed parent
+/// checkpoint) are committed but the in-memory swaps die with the
+/// process. The reboot must reconstruct the three-way layout and lose
+/// nothing — including the events published after the split.
+#[test]
+fn kill_between_split_half_swaps_recovers_bit_identical() {
+    let dir = scratch_dir("split-swap");
+    let harness = RecoveryHarness::new(RecoveryConfig::fast(&dir));
+    let n = harness.events().len();
+
+    let mut topology = harness.boot().expect("first boot");
+    harness.publish(&topology, 0..n / 3);
+    topology.checkpoint_partition(0).expect("checkpoint p0");
+    topology.checkpoint_partition(1).expect("checkpoint p1");
+    harness.publish(&topology, n / 3..2 * n / 3);
+
+    let report = topology.split_partition(0).expect("online split");
+    assert_eq!(report.sibling, 2);
+    assert!(report.from_snapshot, "split seeds from the checkpoint");
+
+    harness.publish(&topology, 2 * n / 3..n);
+    let before = harness.probe(&topology);
+    harness.halt(topology);
+
+    let topology = harness.boot().expect("reboot");
+    assert_eq!(
+        topology.partition_map().num_partitions(),
+        3,
+        "the persisted layout reconstructs the split"
+    );
+    assert_eq!(topology.recovery_reports().expect("durable").len(), 3);
+    let after = harness.probe(&topology);
+    assert_eq!(after, before, "reboot diverged from the killed life");
+    assert_eq!(
+        after,
+        harness.cold_reference_probe(n),
+        "reboot diverged from a cold full rebuild of the log"
+    );
+
+    // The post-split checkpoint chain is sound: checkpoint all three
+    // halves, kill, reboot — still bit-identical.
+    for p in 0..3 {
+        topology.checkpoint_partition(p).expect("post-split ckpt");
+    }
+    harness.halt(topology);
+    let topology = harness.boot().expect("third life");
+    assert_eq!(
+        harness.probe(&topology),
+        before,
+        "post-split checkpoints diverged"
+    );
+    harness.halt(topology);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A split that crashed after creating its sibling's checkpoint store but
+/// before the layout file committed: the orphan store (with garbage
+/// contents, even) must be ignored by a reboot under the old layout.
+#[test]
+fn orphan_sibling_store_from_aborted_split_is_ignored() {
+    let dir = scratch_dir("orphan");
+    let harness = RecoveryHarness::new(RecoveryConfig::fast(&dir));
+    let n = harness.events().len();
+
+    let topology = harness.boot().expect("first boot");
+    harness.publish(&topology, 0..n);
+    topology.checkpoint_partition(0).expect("checkpoint p0");
+    topology.checkpoint_partition(1).expect("checkpoint p1");
+    let before = harness.probe(&topology);
+    harness.halt(topology);
+
+    harness
+        .plant_orphan_sibling_store(2)
+        .expect("plant orphan store");
+
+    let topology = harness.boot().expect("reboot");
+    assert_eq!(
+        topology.partition_map().num_partitions(),
+        2,
+        "an uncommitted split must not change the layout"
+    );
+    assert_eq!(harness.probe(&topology), before);
+    harness.halt(topology);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn checkpoint write during a rebuild cycle: the newest snapshot is
+/// corrupt but still named by the manifest. Recovery must walk down the
+/// fallback chain to the older snapshot, converge bit-identically, and a
+/// follow-up rebuild + checkpoint must repair the chain.
+#[test]
+fn torn_checkpoint_during_rebuild_falls_back_and_converges() {
+    let dir = scratch_dir("torn-ckpt");
+    let harness = RecoveryHarness::new(RecoveryConfig::fast(&dir));
+    let n = harness.events().len();
+
+    let topology = harness.boot().expect("first boot");
+    harness.publish(&topology, 0..n / 3);
+    topology.checkpoint_partition(0).expect("older checkpoint");
+    topology.checkpoint_partition(1).expect("checkpoint p1");
+    harness.publish(&topology, n / 3..2 * n / 3);
+    topology.checkpoint_partition(0).expect("newest checkpoint");
+    harness.publish(&topology, 2 * n / 3..n);
+    let before = harness.probe(&topology);
+    harness.halt(topology);
+
+    assert!(
+        harness.corrupt_newest_checkpoint(0).expect("corrupt"),
+        "there must be a snapshot to tear"
+    );
+
+    let topology = harness.boot().expect("reboot");
+    let after = harness.probe(&topology);
+    assert_eq!(after, before, "fallback recovery diverged");
+    assert_eq!(
+        after,
+        harness.cold_reference_probe(n),
+        "fallback recovery diverged from a cold rebuild"
+    );
+
+    // Repair: a rebuild re-seeds from the surviving snapshot and a fresh
+    // checkpoint replaces the torn one at the head of the chain.
+    let report = topology.rebuild_partition(0);
+    assert!(report.snapshot_bytes > 0, "rebuild produced a snapshot");
+    assert_eq!(harness.probe(&topology), before, "rebuild diverged");
+    topology.checkpoint_partition(0).expect("repair checkpoint");
+    harness.halt(topology);
+
+    let topology = harness.boot().expect("third life");
+    assert_eq!(harness.probe(&topology), before, "repaired chain diverged");
+    harness.halt(topology);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Stranded `*.tmp` files from a crash between a checkpoint's temp write
+/// and its rename: the next boot sweeps them, and lifecycle operations
+/// (replica bootstraps on both partitions, immediately after the sweep)
+/// run over the swept stores without tripping on the leftovers.
+#[test]
+fn stranded_tmp_sweep_then_immediate_bootstrap() {
+    let dir = scratch_dir("tmp-sweep");
+    let harness = RecoveryHarness::new(RecoveryConfig::fast(&dir));
+    let n = harness.events().len();
+
+    let topology = harness.boot().expect("first boot");
+    harness.publish(&topology, 0..n);
+    topology.checkpoint_partition(0).expect("checkpoint p0");
+    topology.checkpoint_partition(1).expect("checkpoint p1");
+    let before = harness.probe(&topology);
+    harness.halt(topology);
+
+    harness.strand_checkpoint_tmp(0).expect("strand p0");
+    harness.strand_checkpoint_tmp(1).expect("strand p1");
+
+    let mut topology = harness.boot().expect("reboot sweeps");
+    for p in 0..2 {
+        let leftovers: Vec<_> = std::fs::read_dir(harness.checkpoint_dir(p))
+            .expect("store dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "tmp files must be swept: {leftovers:?}"
+        );
+    }
+    // Lifecycle straight after the sweep: both bootstraps read the stores
+    // the sweep just cleaned, serialized on the maintenance mutex.
+    for p in 0..2 {
+        let report = topology.bootstrap_replica(p);
+        assert!(report.from_snapshot, "bootstrap seeds from the snapshot");
+    }
+    assert_eq!(harness.probe(&topology), before);
+    harness.halt(topology);
+    let _ = std::fs::remove_dir_all(&dir);
+}

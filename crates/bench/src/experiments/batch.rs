@@ -99,6 +99,7 @@ fn pass_batched(
                 features: q.as_slice(),
                 k: K,
                 nprobe: NPROBE,
+                filter: None,
             })
             .collect();
         let call = Instant::now();
@@ -156,6 +157,7 @@ pub fn multi_query(ctx: &Ctx) -> ExperimentResult {
                     features: q.as_slice(),
                     k: K,
                     nprobe: NPROBE,
+                    filter: None,
                 })
                 .collect();
             let batched = search::multi_compressed_search(&index, &members, RERANK);

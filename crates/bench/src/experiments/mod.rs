@@ -20,6 +20,7 @@
 //! | `searcher-scan` | block execution engine vs per-id scalar scan | [`scan`] |
 //! | `pq-fastscan` | 4-bit fast-scan blocks vs 8-bit ADC scan | [`pq_fastscan`] |
 //! | `batch` | batched multi-query QPS/p99 frontier vs batch size | [`batch`] |
+//! | `filtered` | attribute-filter pushdown vs post-filter + escalation fill | [`filtered`] |
 //! | `recovery` | durable-log append throughput + crash-recovery time | [`recovery`] |
 //! | `serving` | goodput under ~3x overload through the TCP tiers | [`overload`] |
 //! | `lifecycle` | replica bootstrap time vs log-suffix length + split cost | [`lifecycle`] |
@@ -28,6 +29,7 @@ pub mod ablations;
 pub mod batch;
 pub mod day;
 pub mod examples_fig;
+pub mod filtered;
 pub mod lifecycle;
 pub mod overload;
 pub mod pq_fastscan;
@@ -96,6 +98,7 @@ pub const ALL: &[&str] = &[
     "searcher-scan",
     "pq-fastscan",
     "batch",
+    "filtered",
     "recovery",
     "serving",
     "lifecycle",
@@ -126,6 +129,7 @@ pub fn run(id: &str, ctx: &Ctx) -> Vec<ExperimentResult> {
         "searcher-scan" => vec![scan::searcher_scan(ctx)],
         "pq-fastscan" => vec![pq_fastscan::pq_fastscan(ctx)],
         "batch" => vec![batch::multi_query(ctx)],
+        "filtered" => vec![filtered::filtered(ctx)],
         "recovery" => vec![recovery::recovery(ctx)],
         "serving" => vec![overload::serving_overload(ctx)],
         "lifecycle" => vec![lifecycle::lifecycle(ctx)],

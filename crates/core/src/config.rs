@@ -44,6 +44,14 @@ pub struct IndexConfig {
     /// sequential regardless). Results are identical either way — per-thread
     /// top-k collectors merge under a total order on (distance, id).
     pub intra_query_threads: usize,
+    /// Selectivity-aware probe escalation for **filtered** searches: when a
+    /// filtered scan cannot fill its top-k from the base `nprobe` lists,
+    /// probing widens (doubling each round, scanning only the newly added
+    /// lists) until the top-k fills or this many lists have been probed.
+    /// `0` disables escalation; unfiltered searches never escalate. A
+    /// serving-time knob like `intra_query_threads` — not persisted in
+    /// snapshots.
+    pub nprobe_escalation: usize,
     /// Master seed for quantizer training.
     pub seed: u64,
 }
@@ -62,6 +70,7 @@ impl Default for IndexConfig {
             pq_bits: 8,
             rerank_factor: 4,
             intra_query_threads: 1,
+            nprobe_escalation: 0,
             seed: 0x1D05,
         }
     }

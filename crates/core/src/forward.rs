@@ -23,7 +23,7 @@
 //! - appended records become visible when the global `len` counter is
 //!   bumped with release ordering (single appender per partition).
 
-use crate::sync::{Arc, AtomicU64, Ordering, RwLock};
+use crate::sync::{Arc, AtomicU64, Ordering, RwLock, RwLockReadGuard};
 
 use jdvs_storage::model::{ProductAttributes, ProductId};
 
@@ -34,14 +34,18 @@ use crate::ids::ImageId;
 /// Records per chunk.
 const CHUNK_RECORDS: usize = 4096;
 
-/// One fixed-length record: four numeric attribute cells plus the packed
-/// URL reference (Figure 7's update targets).
+/// One fixed-length record: the numeric attribute cells plus the packed
+/// URL reference (Figure 7's update targets). Category and stock state are
+/// one cell each so filtered search can read them with the same single-word
+/// atomicity as the ranking attributes.
 #[derive(Debug, Default)]
 struct Record {
     product_id: AtomicU64,
     sales: AtomicU64,
     price: AtomicU64,
     praise: AtomicU64,
+    category: AtomicU64,
+    in_stock: AtomicU64,
     url_ref: AtomicU64,
 }
 
@@ -72,6 +76,10 @@ pub struct NumericAttributes {
     pub price: u64,
     /// Praise count.
     pub praise: u64,
+    /// Product category id.
+    pub category: u32,
+    /// Whether the product is currently purchasable.
+    pub in_stock: bool,
 }
 
 /// The forward index; see the module docs.
@@ -157,6 +165,10 @@ impl ForwardIndex {
         rec.sales.store(attrs.sales, Ordering::Relaxed);
         rec.price.store(attrs.price, Ordering::Relaxed);
         rec.praise.store(attrs.praise, Ordering::Relaxed);
+        rec.category
+            .store(u64::from(attrs.category), Ordering::Relaxed);
+        rec.in_stock
+            .store(u64::from(attrs.in_stock), Ordering::Relaxed);
         rec.url_ref.store(url_ref.as_raw(), Ordering::Relaxed);
         drop(chunks);
         // Release: pairs with the Acquire in `len()`; readers that observe
@@ -190,6 +202,8 @@ impl ForwardIndex {
             sales: rec.sales.load(Ordering::Relaxed),
             price: rec.price.load(Ordering::Relaxed),
             praise: rec.praise.load(Ordering::Relaxed),
+            category: rec.category.load(Ordering::Relaxed) as u32,
+            in_stock: rec.in_stock.load(Ordering::Relaxed) != 0,
         })
     }
 
@@ -218,13 +232,11 @@ impl ForwardIndex {
     pub fn attributes(&self, id: ImageId) -> Result<ProductAttributes, IndexError> {
         let n = self.numeric(id)?;
         let url = self.url(id)?;
-        Ok(ProductAttributes::new(
-            n.product_id,
-            n.sales,
-            n.price,
-            n.praise,
-            url,
-        ))
+        Ok(
+            ProductAttributes::new(n.product_id, n.sales, n.price, n.praise, url)
+                .with_category(n.category)
+                .with_stock(n.in_stock),
+        )
     }
 
     /// Atomically updates the numeric attributes present in the arguments
@@ -255,6 +267,41 @@ impl ForwardIndex {
         Ok(())
     }
 
+    /// Updates the category and stock cells (a re-listing's refresh path).
+    /// Each field is one atomic store, same contract as
+    /// [`ForwardIndex::update_numeric`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::UnknownImage`] for out-of-range ids.
+    pub fn update_listing(
+        &self,
+        id: ImageId,
+        category: u32,
+        in_stock: bool,
+    ) -> Result<(), IndexError> {
+        let chunk = self.record(id)?;
+        let rec = &chunk.records[id.as_usize() % CHUNK_RECORDS];
+        rec.category.store(u64::from(category), Ordering::Relaxed);
+        rec.in_stock.store(u64::from(in_stock), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Pins the chunk spine once and returns a reader for repeated numeric
+    /// reads — the filtered-scan hot path: one read-lock acquisition covers
+    /// a whole query instead of one per candidate (the same pattern as
+    /// [`crate::bitmap::AtomicBitmap::reader`]). In-place attribute updates
+    /// made while the reader is live remain visible (the cells are
+    /// atomics); only records appended past the pinned length read as
+    /// absent, and those are invisible to the scan's snapshot anyway.
+    pub fn reader(&self) -> ForwardReader<'_> {
+        let len = self.len();
+        ForwardReader {
+            chunks: self.chunks.read(),
+            len,
+        }
+    }
+
     /// Updates the variable-length URL: appends the new value to the buffer
     /// and swings the packed reference word (Section 2.3's varying-length
     /// update protocol). Old bytes stay readable for in-flight readers.
@@ -276,6 +323,51 @@ impl ForwardIndex {
     /// The underlying variable-length buffer (exposed for stats).
     pub fn buffer(&self) -> &VarBuffer {
         &self.buffer
+    }
+}
+
+/// A pinned view of the forward index for repeated numeric reads; see
+/// [`ForwardIndex::reader`].
+pub struct ForwardReader<'a> {
+    chunks: RwLockReadGuard<'a, Vec<Arc<Chunk>>>,
+    len: usize,
+}
+
+impl std::fmt::Debug for ForwardReader<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForwardReader")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl ForwardReader<'_> {
+    /// Records visible to this reader.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the pinned view holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads the numeric attributes of record `id`; `None` beyond the
+    /// pinned length.
+    #[inline]
+    pub fn numeric(&self, id: usize) -> Option<NumericAttributes> {
+        if id >= self.len {
+            return None;
+        }
+        let rec = &self.chunks[id / CHUNK_RECORDS].records[id % CHUNK_RECORDS];
+        Some(NumericAttributes {
+            product_id: ProductId(rec.product_id.load(Ordering::Relaxed)),
+            sales: rec.sales.load(Ordering::Relaxed),
+            price: rec.price.load(Ordering::Relaxed),
+            praise: rec.praise.load(Ordering::Relaxed),
+            category: rec.category.load(Ordering::Relaxed) as u32,
+            in_stock: rec.in_stock.load(Ordering::Relaxed) != 0,
+        })
     }
 }
 
@@ -336,6 +428,45 @@ mod tests {
         assert_eq!(n.price, 999);
         assert_eq!(n.praise, 3);
         assert_eq!(n.sales, 500);
+    }
+
+    #[test]
+    fn listing_cells_round_trip_and_update() {
+        let fwd = ForwardIndex::new();
+        let a = attrs(1, "u").with_category(9).with_stock(false);
+        let id = fwd.append(&a).unwrap();
+        let n = fwd.numeric(id).unwrap();
+        assert_eq!(n.category, 9);
+        assert!(!n.in_stock);
+        assert_eq!(fwd.attributes(id).unwrap(), a);
+        fwd.update_listing(id, 12, true).unwrap();
+        let n = fwd.numeric(id).unwrap();
+        assert_eq!(n.category, 12);
+        assert!(n.in_stock);
+        assert!(fwd.update_listing(ImageId(5), 0, true).is_err());
+    }
+
+    #[test]
+    fn pinned_reader_matches_numeric_and_sees_live_updates() {
+        let fwd = ForwardIndex::new();
+        for i in 0..10u64 {
+            fwd.append(&attrs(i, &format!("u{i}"))).unwrap();
+        }
+        let r = fwd.reader();
+        assert_eq!(r.len(), 10);
+        assert!(!r.is_empty());
+        for i in 0..10usize {
+            assert_eq!(
+                r.numeric(i).unwrap(),
+                fwd.numeric(ImageId(i as u32)).unwrap()
+            );
+        }
+        assert!(r.numeric(10).is_none(), "beyond pinned length reads absent");
+        // An in-place update made while the reader is pinned is visible —
+        // the filtered scan's freshness contract.
+        fwd.update_numeric(ImageId(3), Some(777), None, None)
+            .unwrap();
+        assert_eq!(r.numeric(3).unwrap().sales, 777);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use jdvs_vector::Vector;
 use crate::bitmap::AtomicBitmap;
 use crate::config::IndexConfig;
 use crate::error::IndexError;
+use crate::filter::{FilterIndex, FilterSpec};
 use crate::forward::ForwardIndex;
 use crate::ids::{ImageId, ListId};
 use crate::inverted::InvertedIndex;
@@ -70,6 +71,9 @@ pub struct VisualIndex {
     stats: IndexStats,
     /// Compressed-code companion store (config.pq_subspaces).
     pq: Option<PqStore>,
+    /// Per-attribute filter bitmaps (category, in-stock), maintained by
+    /// every insert and re-listing for search-time pushdown.
+    filters: FilterIndex,
 }
 
 impl VisualIndex {
@@ -178,6 +182,7 @@ impl VisualIndex {
             key_map: KvStore::new(),
             stats: IndexStats::new(),
             pq: pq_quantizer.map(|q| PqStore::new(q, num_lists)),
+            filters: FilterIndex::new(),
         }
     }
 
@@ -278,6 +283,10 @@ impl VisualIndex {
             pq.put(id, list, pos, &features);
         }
         self.vectors.put(id, features);
+        // Filter bits land before the validity bit so a filtered search
+        // that sees the image also sees its category / stock membership.
+        self.filters
+            .note_listing(id, attrs.category, attrs.in_stock, None);
         self.bitmap.set(id.as_usize());
         self.key_map.put(key, id);
         self.stats.inserts.incr();
@@ -302,12 +311,17 @@ impl VisualIndex {
         if let Some(id) = self.key_map.get(&key) {
             // Reuse: no extraction, no index append — flip the bit back on
             // and refresh the attributes in place.
+            let prev_category = self.forward.numeric(id).map(|n| n.category).ok();
             self.forward.update_numeric(
                 id,
                 Some(attrs.sales),
                 Some(attrs.price),
                 Some(attrs.praise),
             )?;
+            self.forward
+                .update_listing(id, attrs.category, attrs.in_stock)?;
+            self.filters
+                .note_listing(id, attrs.category, attrs.in_stock, prev_category);
             self.bitmap.set(id.as_usize());
             self.stats.reuses.incr();
             return Ok(UpsertOutcome::Revalidated(id));
@@ -402,6 +416,48 @@ impl VisualIndex {
         search::compressed_search(self, query, k, nprobe, rerank_factor)
     }
 
+    /// Attribute-filtered ANN search: like [`VisualIndex::search`], but only
+    /// images admitted by `filter` are returned. The constraints are pushed
+    /// down into the block scan (bitmap lane masks resolve *before* the
+    /// distance kernels run), and when the filtered scan cannot fill `k`
+    /// results, probing widens up to
+    /// [`crate::config::IndexConfig::nprobe_escalation`] lists. Results are
+    /// bit-identical to scoring every valid candidate and post-filtering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `nprobe == 0`, or the query dimension is wrong.
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        filter: &FilterSpec,
+    ) -> Vec<Neighbor> {
+        self.stats.searches.incr();
+        search::filtered_ann_search(self, query, k, nprobe, filter)
+    }
+
+    /// Attribute-filtered two-stage compressed search; the filtered twin of
+    /// [`VisualIndex::search_compressed`] with the same pushdown and
+    /// escalation behaviour as [`VisualIndex::search_filtered`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if PQ mode is disabled, `k == 0`, `nprobe == 0`,
+    /// `rerank_factor == 0`, or the query dimension is wrong.
+    pub fn search_compressed_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        rerank_factor: usize,
+        filter: &FilterSpec,
+    ) -> Vec<Neighbor> {
+        self.stats.searches.incr();
+        search::filtered_compressed_search(self, query, k, nprobe, rerank_factor, filter)
+    }
+
     /// Batched ANN search: executes co-arriving queries in one pass over
     /// the union of their probed lists (see
     /// [`search::multi_ann_search`]). Per-member results are bit-identical
@@ -442,6 +498,11 @@ impl VisualIndex {
     /// Panics if `k == 0` or the query dimension is wrong.
     pub fn brute_force_search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         search::brute_force(self, query, k)
+    }
+
+    /// The per-attribute filter bitmaps (category / in-stock membership).
+    pub fn filters(&self) -> &FilterIndex {
+        &self.filters
     }
 
     pub(crate) fn bitmap(&self) -> &AtomicBitmap {

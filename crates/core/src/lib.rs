@@ -55,6 +55,7 @@ pub mod bitmap;
 pub mod buffer;
 pub mod config;
 pub mod error;
+pub mod filter;
 pub mod forward;
 pub mod full;
 pub mod ids;
@@ -71,6 +72,7 @@ pub mod vectors;
 
 pub use config::IndexConfig;
 pub use error::IndexError;
+pub use filter::FilterSpec;
 pub use ids::{ImageId, ListId};
 pub use index::VisualIndex;
 pub use realtime::RealtimeIndexer;

@@ -14,7 +14,8 @@
 //! ```text
 //! magic "JDVS" | u32 version | config (incl. pq_subspaces, 0 = none) |
 //! quantizer (k × dim f32) | u64 n_images |
-//! n × { attrs, valid u8, features dim × f32 } | u32 crc32c (v2)
+//! n × { attrs, valid u8, features dim × f32 } |
+//! n × { category u32, in_stock u8 } (v4) | u32 crc32c (v2)
 //! ```
 //!
 //! **Version 2** appends a CRC32C trailer computed over every preceding
@@ -22,8 +23,11 @@
 //! snapshot (bit rot, short write, bad shipping) fails with
 //! [`PersistError::ChecksumMismatch`] instead of decoding garbage.
 //! **Version 3** adds the `pq_bits` and `rerank_factor` config fields
-//! (fast-scan PQ). Version-1 (no trailer) and version-2 snapshots still
-//! load, with the pre-fast-scan defaults (8-bit codes, 4x over-fetch).
+//! (fast-scan PQ). **Version 4** appends a listing-attribute section
+//! (category + in-stock per record) after the record array; loading it
+//! rebuilds the filter bitmaps through the ordinary insert path. Older
+//! snapshots still load — v1/v2 with the pre-fast-scan defaults, pre-v4
+//! with every record uncategorized and in stock.
 //!
 //! PQ codebooks are *derived* data (trained deterministically from the
 //! stored vectors and the config seed), so snapshots carry raw vectors
@@ -41,8 +45,9 @@ use crate::index::VisualIndex;
 /// Format magic.
 const MAGIC: &[u8; 4] = b"JDVS";
 /// Current format version (v2 = v1 payload + CRC32C trailer; v3 adds the
-/// `pq_bits` / `rerank_factor` config fields for the fast-scan PQ mode).
-const VERSION: u32 = 3;
+/// `pq_bits` / `rerank_factor` config fields for the fast-scan PQ mode;
+/// v4 appends the per-record listing-attribute section).
+const VERSION: u32 = 4;
 /// Oldest version [`load`] still accepts.
 const MIN_VERSION: u32 = 1;
 
@@ -223,6 +228,15 @@ pub fn save(index: &VisualIndex) -> Vec<u8> {
         w.u8(u8::from(index.is_valid(id)));
         w.f32s(features.as_slice());
     }
+    // v4 section: per-record listing attributes, appended after the legacy
+    // record array so the record grammar itself never changed shape.
+    for raw in 0..n {
+        let attrs = index
+            .attributes(ImageId(raw as u32))
+            .expect("record below len");
+        w.u32(attrs.category);
+        w.u8(u8::from(attrs.in_stock));
+    }
     // v2 trailer: CRC32C over everything written so far. The checksum is
     // verified before any field is decoded, so shipping corruption is an
     // explicit error, never silently-decoded garbage.
@@ -282,9 +296,10 @@ pub fn load(bytes: &[u8]) -> Result<VisualIndex, PersistError> {
             0 => None,
             m => Some(m as usize),
         },
-        // Serving-time knob, not index structure: snapshots stay portable
-        // across hosts with different core counts.
+        // Serving-time knobs, not index structure: snapshots stay portable
+        // across hosts with different core counts / probing policies.
         intra_query_threads: 1,
+        nprobe_escalation: 0,
         seed: r.u64("config.seed")?,
         // Struct-literal fields evaluate in textual order, so these v3
         // reads consume the bytes directly after `seed`; pre-v3 snapshots
@@ -329,6 +344,14 @@ pub fn load(bytes: &[u8]) -> Result<VisualIndex, PersistError> {
             valid,
             features,
         ));
+    }
+    // v4 listing-attribute section; pre-v4 records default to
+    // uncategorized + in stock (what those builds assumed).
+    if version >= 4 {
+        for rec in records.iter_mut() {
+            rec.0.category = r.u32("listing.category")?;
+            rec.0.in_stock = r.u8("listing.in_stock")? != 0;
+        }
     }
     let pq = match config.pq_subspaces {
         Some(m) if !records.is_empty() => {
@@ -419,7 +442,9 @@ mod tests {
             index
                 .insert(
                     v,
-                    ProductAttributes::new(ProductId(i), i * 2, 100 + i, i % 5, format!("u{i}")),
+                    ProductAttributes::new(ProductId(i), i * 2, 100 + i, i % 5, format!("u{i}"))
+                        .with_category((i % 3) as u32)
+                        .with_stock(i % 2 == 0),
                 )
                 .unwrap();
         }
@@ -553,11 +578,16 @@ mod tests {
     /// + the fixed-width config fields up to and including `seed`.
     const V3_FIELDS_AT: usize = 4 + 4 + 4 + 4 + 4 + 4 + 1 + 4 + 8 + 4 + 8;
 
-    /// Rewrites a freshly-saved (v3) snapshot into the older `version`
-    /// layout: splices out the v3 config fields, drops or recomputes the
-    /// trailer.
-    fn downgrade(mut bytes: Vec<u8>, version: u32) -> Vec<u8> {
-        bytes.drain(V3_FIELDS_AT..V3_FIELDS_AT + 5);
+    /// Rewrites a freshly-saved (v4) snapshot of `n` records into the
+    /// older `version` layout: drops the v4 listing section (5 bytes per
+    /// record, directly before the trailer), splices out the v3 config
+    /// fields when needed, and drops or recomputes the trailer.
+    fn downgrade(mut bytes: Vec<u8>, version: u32, n: usize) -> Vec<u8> {
+        let trailer_at = bytes.len() - 4;
+        bytes.drain(trailer_at - 5 * n..trailer_at);
+        if version < 3 {
+            bytes.drain(V3_FIELDS_AT..V3_FIELDS_AT + 5);
+        }
         bytes[4..8].copy_from_slice(&version.to_le_bytes());
         let len = bytes.len();
         if version >= 2 {
@@ -572,7 +602,7 @@ mod tests {
     #[test]
     fn v1_snapshots_without_trailer_still_load() {
         let index = build_index(20);
-        let loaded = load(&downgrade(save(&index), 1)).expect("v1 must stay loadable");
+        let loaded = load(&downgrade(save(&index), 1, 20)).expect("v1 must stay loadable");
         assert_eq!(loaded.num_images(), index.num_images());
         assert_eq!(loaded.valid_images(), index.valid_images());
     }
@@ -580,12 +610,48 @@ mod tests {
     #[test]
     fn v2_snapshots_load_with_fastscan_defaults() {
         let index = build_index(20);
-        let loaded = load(&downgrade(save(&index), 2)).expect("v2 must stay loadable");
+        let loaded = load(&downgrade(save(&index), 2, 20)).expect("v2 must stay loadable");
         assert_eq!(loaded.num_images(), index.num_images());
         assert_eq!(loaded.valid_images(), index.valid_images());
         // Pre-fast-scan snapshots behave as the builds that wrote them did.
         assert_eq!(loaded.config().pq_bits, 8);
         assert_eq!(loaded.config().rerank_factor, 4);
+    }
+
+    #[test]
+    fn v3_snapshots_load_with_default_listing() {
+        let index = build_index(20);
+        let loaded = load(&downgrade(save(&index), 3, 20)).expect("v3 must stay loadable");
+        assert_eq!(loaded.num_images(), index.num_images());
+        // Pre-v4 snapshots carry no listing attributes: every record loads
+        // uncategorized and in stock.
+        for raw in 0..20u32 {
+            let a = loaded.attributes(ImageId(raw)).unwrap();
+            assert_eq!(a.category, 0);
+            assert!(a.in_stock);
+        }
+    }
+
+    #[test]
+    fn listing_attributes_round_trip_and_serve_filtered_search() {
+        let index = build_index(60);
+        let loaded = load(&save(&index)).expect("load");
+        for raw in 0..60u32 {
+            let id = ImageId(raw);
+            let a = loaded.attributes(id).unwrap();
+            let b = index.attributes(id).unwrap();
+            assert_eq!(a.category, b.category);
+            assert_eq!(a.in_stock, b.in_stock);
+        }
+        // The rebuilt filter bitmaps serve filtered searches identically.
+        let spec = crate::filter::FilterSpec::by_category(1).in_stock();
+        for probe in 0..5u32 {
+            let q = index.features(ImageId(probe * 7)).unwrap();
+            assert_eq!(
+                index.search_filtered(q.as_slice(), 5, 4, &spec),
+                loaded.search_filtered(q.as_slice(), 5, 4, &spec),
+            );
+        }
     }
 
     #[test]

@@ -59,6 +59,21 @@
 //!   sets, same kernel lanes, and [`TopK`]'s total (distance, id) order
 //!   makes the outcome independent of list visit order.
 //!
+//! - **Filter pushdown.** Attribute-filtered queries
+//!   ([`filtered_ann_search`] / [`filtered_compressed_search`], and
+//!   [`MultiQuery::filter`] on the batched paths) resolve their
+//!   category/stock bitmap lanes and forward-index range predicates
+//!   **before** the distance kernels run: a 32-lane fast-scan group (or a
+//!   raw candidate) rejected by the filter costs bitmap word loads, not
+//!   kernel work. When the filtered scan cannot fill `k`, probing widens
+//!   (doubling, scanning only newly added lists — `assign_multi`'s
+//!   nearest-first prefix is stable) up to
+//!   [`crate::config::IndexConfig::nprobe_escalation`] lists. Results are
+//!   bit-identical to the post-filter references
+//!   ([`filtered_ann_search_reference`] /
+//!   [`filtered_compressed_search_reference`]), which score every valid
+//!   candidate first and discard after.
+//!
 //! Every engine path keeps a sequential per-id `*_reference` twin that uses
 //! the same dispatched kernel — differential tests assert bit-identical
 //! results — plus [`ann_search_scalar_baseline`], the pre-engine scan
@@ -70,6 +85,7 @@ use jdvs_vector::simd::{self, KernelSet};
 use jdvs_vector::topk::{Neighbor, TopK};
 
 use crate::bitmap::BitmapReader;
+use crate::filter::{FilterSpec, FilterView, QueryFilter};
 use crate::ids::{ImageId, ListId};
 use crate::index::VisualIndex;
 use crate::inverted::InvertedIndex;
@@ -136,6 +152,111 @@ pub fn ann_search_with_threads(
     scan_probed_lists(inverted, &lists, k, threads, &scan).into_sorted_vec()
 }
 
+/// Attribute-filtered IVF search with pushdown: the filter is evaluated
+/// *before* the vector fetch and distance kernel, so non-matching
+/// candidates cost two or three bitmap word loads instead of a `d`-wide
+/// kernel call. When the filtered scan cannot fill `k`, probing widens per
+/// [`crate::config::IndexConfig::nprobe_escalation`]. Results are
+/// bit-identical to [`filtered_ann_search_reference`].
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `nprobe == 0`, or `query` has the wrong dimension.
+pub fn filtered_ann_search(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    filter: &FilterSpec,
+) -> Vec<Neighbor> {
+    filtered_ann_search_with_threads(
+        index,
+        query,
+        k,
+        nprobe,
+        filter,
+        index.config().intra_query_threads,
+    )
+}
+
+/// [`filtered_ann_search`] with an explicit thread budget.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `nprobe == 0`, or `query` has the wrong dimension.
+pub fn filtered_ann_search_with_threads(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    filter: &FilterSpec,
+    threads: usize,
+) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+    assert!(nprobe > 0, "nprobe must be positive");
+    assert_eq!(query.len(), index.config().dim, "query dimension mismatch");
+    if filter.is_unconstrained() {
+        // An empty spec is the plain scan; unfiltered searches never
+        // escalate.
+        return ann_search_with_threads(index, query, k, nprobe, threads);
+    }
+    let qf = QueryFilter::new(filter, index.filters(), index.forward());
+    let view = qf.view();
+    let kernels = simd::active();
+    let bitmap = index.bitmap().reader();
+    let vectors = index.vectors().snapshot();
+    let inverted = index.inverted_internal();
+    let eval = |id: ImageId| {
+        // Pushdown: the filter verdict comes before the vector fetch, so a
+        // rejected candidate never reaches the distance kernel.
+        if !bitmap.test(id.as_usize()) || !view.admits(id.as_usize()) {
+            return None;
+        }
+        let v = vectors.get(id)?;
+        Some(kernels.squared_l2(query, v.as_slice()))
+    };
+    let scan = |list: usize, topk: &mut TopK| scan_one_list(inverted, list, &eval, topk);
+    let lists = index.quantizer().assign_multi(query, nprobe);
+    let mut topk = scan_probed_lists(inverted, &lists, k, threads, &scan);
+    escalate_filtered(index, query, k, lists.len(), threads, &mut topk, &scan);
+    topk.into_sorted_vec()
+}
+
+/// Widens a **filtered** query's probing while its top-k is underfull:
+/// each round doubles the probe width (capped at
+/// [`crate::config::IndexConfig::nprobe_escalation`] and the list count)
+/// and scans only the newly added lists — `assign_multi`'s nearest-first
+/// prefix is stable, so the first `width` lists of the wider assignment
+/// are exactly the ones already scanned. Merging per-round collectors
+/// under [`TopK`]'s total order keeps the result identical to one flat
+/// scan at the final width.
+fn escalate_filtered<S>(
+    index: &VisualIndex,
+    query: &[f32],
+    fill_target: usize,
+    base_width: usize,
+    threads: usize,
+    topk: &mut TopK,
+    scan: &S,
+) where
+    S: Fn(usize, &mut TopK) + Sync,
+{
+    let cap = index
+        .config()
+        .nprobe_escalation
+        .min(index.config().num_lists);
+    let inverted = index.inverted_internal();
+    let mut width = base_width;
+    while topk.len() < fill_target && width < cap {
+        let new_width = (width * 2).min(cap);
+        let wider = index.quantizer().assign_multi(query, new_width);
+        let extra = &wider[width.min(wider.len())..];
+        let round = scan_probed_lists(inverted, extra, topk.k(), threads, scan);
+        topk.merge(round);
+        width = new_width;
+    }
+}
+
 /// One member of a co-executed query batch; see [`multi_ann_search`] and
 /// [`multi_compressed_search`]. Each member carries its own result budget
 /// and probe width, so a batch may mix queries with different `k` /
@@ -148,6 +269,13 @@ pub struct MultiQuery<'a> {
     pub k: usize,
     /// Number of lists this query probes.
     pub nprobe: usize,
+    /// Attribute constraints, pushed down into the shared block scan.
+    /// Members of one batch may carry distinct filters (or none); each
+    /// member's result stays bit-identical to its sequential filtered
+    /// twin. Constrained members escalate probing individually after the
+    /// batch pass when underfull (see
+    /// [`crate::config::IndexConfig::nprobe_escalation`]).
+    pub filter: Option<&'a FilterSpec>,
 }
 
 /// Maps each inverted list to the batch members whose probe set includes
@@ -226,6 +354,8 @@ pub fn multi_ann_search(index: &VisualIndex, queries: &[MultiQuery<'_>]) -> Vec<
     let bitmap = index.bitmap().reader();
     let vectors = index.vectors().snapshot();
     let inverted = index.inverted_internal();
+    let filters = member_filters(index, queries);
+    let views = member_views(&filters);
     let mut topks: Vec<TopK> = queries.iter().map(|q| TopK::new(q.k)).collect();
     for &(list, ref subs) in &subscribers {
         inverted.scan_blocks(ListId(list as u32), |ids| {
@@ -233,10 +363,27 @@ pub fn multi_ann_search(index: &VisualIndex, queries: &[MultiQuery<'_>]) -> Vec<
                 if !bitmap.test(id.as_usize()) {
                     continue; // logically deleted
                 }
-                // Fetched once, scored by every subscriber (see
-                // `ann_search_with_threads` for the missing-vector rule).
-                let Some(v) = vectors.get(id) else { continue };
+                // Fetched lazily and at most once (see
+                // `ann_search_with_threads` for the missing-vector rule): a
+                // candidate every subscriber's filter rejects costs no
+                // vector load at all.
+                let mut fetched = None;
                 for &qi in subs {
+                    if let Some(view) = &views[qi] {
+                        if !view.admits(id.as_usize()) {
+                            continue;
+                        }
+                    }
+                    let v = match fetched {
+                        Some(v) => v,
+                        None => match vectors.get(id) {
+                            Some(v) => {
+                                fetched = Some(v);
+                                v
+                            }
+                            None => break,
+                        },
+                    };
                     let d = kernels.squared_l2(queries[qi].features, v.as_slice());
                     if topks[qi].would_accept(d) {
                         topks[qi].push(id.as_u64(), d);
@@ -245,7 +392,50 @@ pub fn multi_ann_search(index: &VisualIndex, queries: &[MultiQuery<'_>]) -> Vec<
             }
         });
     }
+    // Constrained members that the batch pass left underfull escalate
+    // individually — same rounds, same scan predicate, hence the same
+    // result as their sequential filtered twin.
+    for (qi, q) in queries.iter().enumerate() {
+        let Some(view) = views[qi].as_ref() else {
+            continue;
+        };
+        let eval = |id: ImageId| {
+            if !bitmap.test(id.as_usize()) || !view.admits(id.as_usize()) {
+                return None;
+            }
+            let v = vectors.get(id)?;
+            Some(kernels.squared_l2(q.features, v.as_slice()))
+        };
+        let scan = |list: usize, topk: &mut TopK| scan_one_list(inverted, list, &eval, topk);
+        let base_width = index.quantizer().assign_multi(q.features, q.nprobe).len();
+        escalate_filtered(index, q.features, q.k, base_width, 1, &mut topks[qi], &scan);
+    }
     topks.into_iter().map(TopK::into_sorted_vec).collect()
+}
+
+/// Resolves each batch member's filter spec against the index — `None` for
+/// unconstrained members (no filter, or a spec that admits everything), so
+/// the scan's per-subscriber check is a single `Option` branch.
+fn member_filters<'a>(
+    index: &'a VisualIndex,
+    queries: &[MultiQuery<'a>],
+) -> Vec<Option<QueryFilter<'a>>> {
+    queries
+        .iter()
+        .map(|q| {
+            q.filter
+                .filter(|f| !f.is_unconstrained())
+                .map(|f| QueryFilter::new(f, index.filters(), index.forward()))
+        })
+        .collect()
+}
+
+/// Pins a [`FilterView`] per constrained batch member.
+fn member_views<'a>(filters: &'a [Option<QueryFilter<'a>>]) -> Vec<Option<FilterView<'a>>> {
+    filters
+        .iter()
+        .map(|qf| qf.as_ref().map(QueryFilter::view))
+        .collect()
 }
 
 /// Two-stage compressed (PQ) search; see
@@ -338,6 +528,94 @@ pub fn compressed_search_with_threads(
     exact_rerank(&bitmap, &vectors, kernels, query, shortlist, k)
 }
 
+/// Attribute-filtered two-stage compressed search; the filtered twin of
+/// [`compressed_search`]. In 4-bit mode the filter lane mask resolves
+/// *before* the fast-scan kernel, so a 32-code group with no admitted lane
+/// skips the kernel, LUT accumulation and bound pruning outright; in 8-bit
+/// mode rejected candidates skip the code read and the `m` table lookups.
+/// Underfull shortlists escalate probing like [`filtered_ann_search`].
+/// Results are bit-identical to [`filtered_compressed_search_reference`].
+///
+/// # Panics
+///
+/// Panics if PQ mode is disabled, any count is zero, or `query` has the
+/// wrong dimension.
+pub fn filtered_compressed_search(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    rerank_factor: usize,
+    filter: &FilterSpec,
+) -> Vec<Neighbor> {
+    filtered_compressed_search_with_threads(
+        index,
+        query,
+        k,
+        nprobe,
+        rerank_factor,
+        filter,
+        index.config().intra_query_threads,
+    )
+}
+
+/// [`filtered_compressed_search`] with an explicit thread budget for
+/// stage 1.
+///
+/// # Panics
+///
+/// Panics if PQ mode is disabled, any count is zero, or `query` has the
+/// wrong dimension.
+pub fn filtered_compressed_search_with_threads(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    rerank_factor: usize,
+    filter: &FilterSpec,
+    threads: usize,
+) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+    assert!(nprobe > 0, "nprobe must be positive");
+    assert!(rerank_factor > 0, "rerank_factor must be positive");
+    assert_eq!(query.len(), index.config().dim, "query dimension mismatch");
+    if filter.is_unconstrained() {
+        return compressed_search_with_threads(index, query, k, nprobe, rerank_factor, threads);
+    }
+    let pq = index
+        .pq_store()
+        .expect("compressed search requires config.pq_subspaces (see IndexConfig)");
+    let qf = QueryFilter::new(filter, index.filters(), index.forward());
+    let view = qf.view();
+    let lists = index.quantizer().assign_multi(query, nprobe);
+    let kernels = simd::active();
+    let bitmap = index.bitmap().reader();
+    let inverted = index.inverted_internal();
+    let shortlist_k = k.saturating_mul(rerank_factor).max(k);
+    let shortlist = if pq.is_four_bit() {
+        let qt = pq.quantized_adc_table(query);
+        let scan = |list: usize, topk: &mut TopK| {
+            filtered_fastscan_one_list(inverted, pq, &bitmap, &view, kernels, &qt, list, topk);
+        };
+        let mut topk = scan_probed_lists(inverted, &lists, shortlist_k, threads, &scan);
+        // The escalation target is k — the final result budget — not the
+        // over-fetch capacity: stage 2 only drops ids deleted between
+        // stages, so k shortlisted candidates fill the top-k.
+        escalate_filtered(index, query, k, lists.len(), threads, &mut topk, &scan);
+        topk
+    } else {
+        let table = pq.adc_table(query);
+        let scan = |list: usize, topk: &mut TopK| {
+            filtered_adc_scan_one_list(inverted, pq, &bitmap, &view, &table, list, topk);
+        };
+        let mut topk = scan_probed_lists(inverted, &lists, shortlist_k, threads, &scan);
+        escalate_filtered(index, query, k, lists.len(), threads, &mut topk, &scan);
+        topk
+    };
+    let vectors = index.vectors().snapshot();
+    exact_rerank(&bitmap, &vectors, kernels, query, shortlist, k)
+}
+
 /// Batched two-stage compressed (PQ) search — the `MultiQuery` engine
 /// entry point the serving micro-batcher feeds. Stage 1 probes the union
 /// of the batch's nprobe lists once: every interleaved 4-bit block is
@@ -376,6 +654,8 @@ pub fn multi_compressed_search(
     let kernels = simd::active();
     let bitmap = index.bitmap().reader();
     let inverted = index.inverted_internal();
+    let filters = member_filters(index, queries);
+    let views = member_views(&filters);
     let mut shortlists: Vec<TopK> = queries
         .iter()
         .map(|q| TopK::new(q.k.saturating_mul(rerank_factor).max(q.k)))
@@ -397,6 +677,7 @@ pub fn multi_compressed_search(
                 &bitmap,
                 kernels,
                 &qts,
+                &views,
                 subs,
                 list,
                 &mut shortlists,
@@ -404,9 +685,33 @@ pub fn multi_compressed_search(
                 &mut accs,
             );
         }
+        // Per-member escalation for constrained members the batch pass
+        // left underfull, scanning only the suffix lists with the
+        // sequential filtered scan — identical rounds, identical results.
+        for (qi, q) in queries.iter().enumerate() {
+            let Some(view) = views[qi].as_ref() else {
+                continue;
+            };
+            let scan = |list: usize, topk: &mut TopK| {
+                filtered_fastscan_one_list(
+                    inverted, pq, &bitmap, view, kernels, &qts[qi], list, topk,
+                );
+            };
+            let base_width = index.quantizer().assign_multi(q.features, q.nprobe).len();
+            escalate_filtered(
+                index,
+                q.features,
+                q.k,
+                base_width,
+                1,
+                &mut shortlists[qi],
+                &scan,
+            );
+        }
     } else {
         // Classic 8-bit ADC: the code read is shared; each subscriber
-        // pays only its own m table lookups.
+        // pays only its own m table lookups. Per-member filters gate both:
+        // a candidate no subscriber admits skips the code read too.
         let tables: Vec<_> = queries.iter().map(|q| pq.adc_table(q.features)).collect();
         let mut code = vec![0u8; pq.code_len()];
         for &(list, ref subs) in &subscribers {
@@ -414,17 +719,48 @@ pub fn multi_compressed_search(
             let mut base = 0usize;
             inverted.scan_blocks(ListId(list as u32), |ids| {
                 for (i, &id) in ids.iter().enumerate() {
-                    if bitmap.test(id.as_usize()) && reader.read_code(base + i, &mut code) {
-                        for &qi in subs {
-                            let d = tables[qi].distance(&code);
-                            if shortlists[qi].would_accept(d) {
-                                shortlists[qi].push(id.as_u64(), d);
+                    if !bitmap.test(id.as_usize()) {
+                        continue;
+                    }
+                    let mut loaded = false;
+                    for &qi in subs {
+                        if let Some(view) = &views[qi] {
+                            if !view.admits(id.as_usize()) {
+                                continue;
                             }
+                        }
+                        if !loaded {
+                            if !reader.read_code(base + i, &mut code) {
+                                break; // unpublished for every subscriber
+                            }
+                            loaded = true;
+                        }
+                        let d = tables[qi].distance(&code);
+                        if shortlists[qi].would_accept(d) {
+                            shortlists[qi].push(id.as_u64(), d);
                         }
                     }
                 }
                 base += ids.len();
             });
+        }
+        for (qi, q) in queries.iter().enumerate() {
+            let Some(view) = views[qi].as_ref() else {
+                continue;
+            };
+            let scan = |list: usize, topk: &mut TopK| {
+                filtered_adc_scan_one_list(inverted, pq, &bitmap, view, &tables[qi], list, topk);
+            };
+            let base_width = index.quantizer().assign_multi(q.features, q.nprobe).len();
+            escalate_filtered(
+                index,
+                q.features,
+                q.k,
+                base_width,
+                1,
+                &mut shortlists[qi],
+                &scan,
+            );
         }
     }
 
@@ -500,6 +836,97 @@ fn fastscan_one_list(
     });
 }
 
+/// Filtered twin of [`fastscan_one_list`]: the admitted-lane mask (filter
+/// ∧ published) resolves **before** the kernel, so a group whose mask is
+/// zero skips the `fastscan16` call, the LUT accumulation and the bound
+/// pruning — the pushdown that makes low-selectivity filters cheap. Lanes
+/// that survive score exactly as in the unfiltered scan.
+#[allow(clippy::too_many_arguments)]
+fn filtered_fastscan_one_list(
+    inverted: &InvertedIndex,
+    pq: &PqStore,
+    bitmap: &BitmapReader<'_>,
+    view: &FilterView<'_>,
+    kernels: &KernelSet,
+    qt: &jdvs_vector::pq::QuantizedAdcTable,
+    list: usize,
+    topk: &mut TopK,
+) {
+    let reader = pq.list_reader(ListId(list as u32));
+    let mut tile = vec![0u8; reader.tile_len()];
+    let mut acc = [0u16; FASTSCAN_BLOCK];
+    let mut bound = Some(u16::MAX);
+    let mut bound_thr = f32::INFINITY;
+    let mut base = 0usize;
+    inverted.scan_blocks(ListId(list as u32), |ids| {
+        let mut g = 0usize;
+        while g < ids.len() {
+            let lanes = (ids.len() - g).min(FASTSCAN_BLOCK);
+            let mask = reader.load_group(base + g, &mut tile);
+            let fmask = if mask != 0 {
+                view.lane_mask(&ids[g..g + lanes], mask)
+            } else {
+                0
+            };
+            if fmask != 0 {
+                let thr = topk.threshold();
+                if thr.to_bits() != bound_thr.to_bits() {
+                    bound = qt.prune_bound(thr);
+                    bound_thr = thr;
+                }
+                if let Some(b) = bound {
+                    kernels.fastscan16(&tile, qt.luts(), &mut acc);
+                    let mut hits = kernels.lanes_le16(&acc, b) & fmask;
+                    while hits != 0 {
+                        let lane = hits.trailing_zeros() as usize;
+                        hits &= hits - 1;
+                        let id = ids[g + lane];
+                        if bitmap.test(id.as_usize()) {
+                            let d = qt.to_f32(acc[lane]);
+                            if topk.would_accept(d) {
+                                topk.push(id.as_u64(), d);
+                            }
+                        }
+                    }
+                }
+            }
+            g += lanes;
+        }
+        base += ids.len();
+    });
+}
+
+/// Filtered 8-bit ADC scan of one list: rejected candidates skip the code
+/// read and all `m` table lookups. Shared by the sequential filtered path
+/// and the batched path's per-member escalation rounds.
+fn filtered_adc_scan_one_list(
+    inverted: &InvertedIndex,
+    pq: &PqStore,
+    bitmap: &BitmapReader<'_>,
+    view: &FilterView<'_>,
+    table: &jdvs_vector::pq::AdcTable,
+    list: usize,
+    topk: &mut TopK,
+) {
+    let reader = pq.list_reader(ListId(list as u32));
+    let mut code = vec![0u8; pq.code_len()];
+    let mut base = 0usize;
+    inverted.scan_blocks(ListId(list as u32), |ids| {
+        for (i, &id) in ids.iter().enumerate() {
+            if bitmap.test(id.as_usize())
+                && view.admits(id.as_usize())
+                && reader.read_code(base + i, &mut code)
+            {
+                let d = table.distance(&code);
+                if topk.would_accept(d) {
+                    topk.push(id.as_u64(), d);
+                }
+            }
+        }
+        base += ids.len();
+    });
+}
+
 /// Stage 1 of the batched 4-bit path over one list: each 32-code
 /// interleaved block is loaded with a single
 /// [`crate::pq_store::PqListReader::load_group`], its published lanes are
@@ -513,6 +940,7 @@ fn fastscan_one_list_multi(
     bitmap: &BitmapReader<'_>,
     kernels: &KernelSet,
     qts: &[jdvs_vector::pq::QuantizedAdcTable],
+    views: &[Option<FilterView<'_>>],
     subs: &[usize],
     list: usize,
     shortlists: &mut [TopK],
@@ -525,11 +953,12 @@ fn fastscan_one_list_multi(
     let luts: Vec<&[u8]> = subs.iter().map(|&qi| qts[qi].luts()).collect();
     // Per-subscriber quantized prune bounds, recomputed only when that
     // query's k-th distance moves (same exact-edge contract as the
-    // sequential path), plus a per-subscriber hit mask for the block in
-    // flight.
+    // sequential path), plus per-subscriber filter and hit masks for the
+    // block in flight.
     let mut bounds: Vec<Option<u16>> = vec![Some(u16::MAX); subs.len()];
     let mut bound_thrs: Vec<f32> = vec![f32::INFINITY; subs.len()];
     let mut hit_masks: Vec<u32> = vec![0; subs.len()];
+    let mut filter_masks: Vec<u32> = vec![0; subs.len()];
     let mut base = 0usize;
     inverted.scan_blocks(ListId(list as u32), |ids| {
         let mut g = 0usize;
@@ -537,6 +966,21 @@ fn fastscan_one_list_multi(
             let lanes = (ids.len() - g).min(FASTSCAN_BLOCK);
             let mask = reader.load_group(base + g, tile);
             if mask != 0 {
+                // Pushdown: per-subscriber filter lanes resolve before the
+                // batched kernel; a group no subscriber admits skips the
+                // kernel, LUT accumulation and bound pruning entirely.
+                let mut filter_union = 0u32;
+                for (si, &qi) in subs.iter().enumerate() {
+                    filter_masks[si] = match &views[qi] {
+                        Some(view) => view.lane_mask(&ids[g..g + lanes], mask),
+                        None => mask,
+                    };
+                    filter_union |= filter_masks[si];
+                }
+                if filter_union == 0 {
+                    g += lanes;
+                    continue;
+                }
                 kernels.fastscan16_multi(tile, &luts, &mut accs[..subs.len()]);
                 // Prune each subscriber to its published survivors, then
                 // resolve the validity bitmap once, only for lanes some
@@ -551,7 +995,7 @@ fn fastscan_one_list_multi(
                         bound_thrs[si] = thr;
                     }
                     hit_masks[si] = match bounds[si] {
-                        Some(b) => kernels.lanes_le16(&accs[si], b) & mask,
+                        Some(b) => kernels.lanes_le16(&accs[si], b) & filter_masks[si],
                         None => 0,
                     };
                     union_hits |= hit_masks[si];
@@ -758,6 +1202,165 @@ pub fn ann_search_reference(
             }
         });
     }
+    topk.into_sorted_vec()
+}
+
+/// Post-filter reference twin of [`filtered_ann_search`]: computes the
+/// distance for **every** valid candidate (the full kernel cost the
+/// pushdown avoids) and only then discards non-matching ones, before
+/// top-k insertion. Runs the same escalation schedule — both sides hold
+/// identical top-k contents at every round boundary, so they widen
+/// identically — and differential tests assert bit-identical results.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `nprobe == 0`, or `query` has the wrong dimension.
+pub fn filtered_ann_search_reference(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    filter: &FilterSpec,
+) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+    assert!(nprobe > 0, "nprobe must be positive");
+    assert_eq!(query.len(), index.config().dim, "query dimension mismatch");
+    let qf = QueryFilter::new(filter, index.filters(), index.forward());
+    let view = qf.view();
+    let kernels = simd::active();
+    let bitmap = index.bitmap().reader();
+    let vectors = index.vectors().snapshot();
+    let inverted = index.inverted_internal();
+    let eval = |id: ImageId| {
+        if !bitmap.test(id.as_usize()) {
+            return None;
+        }
+        let v = vectors.get(id)?;
+        // Post-filter: score first, discard after.
+        let d = kernels.squared_l2(query, v.as_slice());
+        view.admits(id.as_usize()).then_some(d)
+    };
+    let scan = |list: usize, topk: &mut TopK| scan_one_list(inverted, list, &eval, topk);
+    let lists = index.quantizer().assign_multi(query, nprobe);
+    let mut topk = scan_probed_lists(inverted, &lists, k, 1, &scan);
+    if !filter.is_unconstrained() {
+        escalate_filtered(index, query, k, lists.len(), 1, &mut topk, &scan);
+    }
+    topk.into_sorted_vec()
+}
+
+/// Post-filter reference twin of [`filtered_compressed_search`]: stage 1
+/// computes the (quantized) ADC distance for every valid candidate and
+/// post-filters before shortlist insertion; same escalation schedule,
+/// same stage-2 rerank. Differential tests assert bit-identical results
+/// on both kernel legs.
+///
+/// # Panics
+///
+/// Panics if PQ mode is disabled, any count is zero, or `query` has the
+/// wrong dimension.
+pub fn filtered_compressed_search_reference(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    rerank_factor: usize,
+    filter: &FilterSpec,
+) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+    assert!(nprobe > 0, "nprobe must be positive");
+    assert!(rerank_factor > 0, "rerank_factor must be positive");
+    assert_eq!(query.len(), index.config().dim, "query dimension mismatch");
+    let pq = index
+        .pq_store()
+        .expect("compressed search requires config.pq_subspaces (see IndexConfig)");
+    let qf = QueryFilter::new(filter, index.filters(), index.forward());
+    let view = qf.view();
+    let bitmap = index.bitmap().reader();
+    let inverted = index.inverted_internal();
+    let lists = index.quantizer().assign_multi(query, nprobe);
+    let shortlist_k = k.saturating_mul(rerank_factor).max(k);
+    let shortlist = if pq.is_four_bit() {
+        let qt = pq.quantized_adc_table(query);
+        let scan = |list: usize, topk: &mut TopK| {
+            inverted.scan(ListId(list as u32), |id| {
+                if !bitmap.test(id.as_usize()) {
+                    return;
+                }
+                if let Some(d) = pq.quantized_distance(&qt, id) {
+                    if view.admits(id.as_usize()) {
+                        topk.push(id.as_u64(), d);
+                    }
+                }
+            });
+        };
+        let mut topk = TopK::new(shortlist_k);
+        for &list in &lists {
+            scan(list, &mut topk);
+        }
+        if !filter.is_unconstrained() {
+            escalate_filtered(index, query, k, lists.len(), 1, &mut topk, &scan);
+        }
+        topk
+    } else {
+        let table = pq.adc_table(query);
+        let scan = |list: usize, topk: &mut TopK| {
+            inverted.scan(ListId(list as u32), |id| {
+                if !bitmap.test(id.as_usize()) {
+                    return;
+                }
+                if let Some(d) = pq.distance(&table, id) {
+                    if view.admits(id.as_usize()) {
+                        topk.push(id.as_u64(), d);
+                    }
+                }
+            });
+        };
+        let mut topk = TopK::new(shortlist_k);
+        for &list in &lists {
+            scan(list, &mut topk);
+        }
+        if !filter.is_unconstrained() {
+            escalate_filtered(index, query, k, lists.len(), 1, &mut topk, &scan);
+        }
+        topk
+    };
+    let kernels = simd::active();
+    let vectors = index.vectors().snapshot();
+    exact_rerank(&bitmap, &vectors, kernels, query, shortlist, k)
+}
+
+/// Exact filtered top-k over every valid image admitted by `filter` —
+/// the ground truth for the filtered latency/recall frontier.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `query` has the wrong dimension.
+pub fn filtered_brute_force(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    filter: &FilterSpec,
+) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(query.len(), index.config().dim, "query dimension mismatch");
+    let qf = QueryFilter::new(filter, index.filters(), index.forward());
+    let view = qf.view();
+    let kernels = simd::active();
+    let vectors = index.vectors().snapshot();
+    let mut topk = TopK::new(k);
+    index.bitmap().for_each_valid(index.forward().len(), |raw| {
+        if !view.admits(raw) {
+            return;
+        }
+        let id = ImageId(raw as u32);
+        if let Some(v) = vectors.get(id) {
+            let d = kernels.squared_l2(query, v.as_slice());
+            if topk.would_accept(d) {
+                topk.push(id.as_u64(), d);
+            }
+        }
+    });
     topk.into_sorted_vec()
 }
 
@@ -1229,6 +1832,7 @@ mod tests {
                     features: q.as_slice(),
                     k: 3 + i % 5,
                     nprobe: 1 + i % 4,
+                    filter: None,
                 })
                 .collect();
             let batched = multi_compressed_search(&index, &queries, 3);
@@ -1251,6 +1855,7 @@ mod tests {
                 features: q.as_slice(),
                 k: 10,
                 nprobe: 3,
+                filter: None,
             })
             .collect();
         for (q, got) in queries
@@ -1279,6 +1884,7 @@ mod tests {
                     features: q.as_slice(),
                     k: 5 + i % 6,
                     nprobe: 1 + i % 8,
+                    filter: None,
                 })
                 .collect();
             for (q, got) in queries.iter().zip(multi_ann_search(&index, &queries)) {
@@ -1296,6 +1902,7 @@ mod tests {
             features: data[0].as_slice(),
             k: 10,
             nprobe: 3,
+            filter: None,
         };
         assert_eq!(
             multi_compressed_search(&index, &[q], 3),
@@ -1326,6 +1933,7 @@ mod tests {
                 features: &[0.0; 4],
                 k: 1,
                 nprobe: 1,
+                filter: None,
             }],
         );
     }
@@ -1369,5 +1977,288 @@ mod tests {
     fn zero_k_panics() {
         let (index, data) = build_index(10, 2, 1);
         ann_search(&index, data[0].as_slice(), 0, 1);
+    }
+
+    // -----------------------------------------------------------------
+    // Filtered search: pushdown vs post-filter reference differentials.
+    // -----------------------------------------------------------------
+
+    /// Deterministic attribute assignment for filtered-search tests:
+    /// category 9 is rare (~1% of images), categories 0..5 common;
+    /// about a third of images are out of stock.
+    fn test_attrs(i: usize) -> ProductAttributes {
+        let category = if i.is_multiple_of(97) { 9 } else { (i % 5) as u32 };
+        ProductAttributes::new(
+            ProductId(i as u64),
+            (i as u64) * 3,
+            ((i % 100) as u64) * 50,
+            (i % 7) as u64,
+            format!("u{i}"),
+        )
+        .with_category(category)
+        .with_stock(!i.is_multiple_of(3))
+    }
+
+    fn build_attr_index(
+        n: usize,
+        num_lists: usize,
+        seed: u64,
+        pq_bits: Option<u8>,
+        escalation: usize,
+    ) -> (VisualIndex, Vec<Vector>) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let data: Vec<Vector> = (0..n)
+            .map(|_| (0..8).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let config = IndexConfig {
+            dim: 8,
+            num_lists,
+            initial_list_capacity: 8,
+            pq_subspaces: pq_bits.map(|_| 8),
+            pq_bits: pq_bits.unwrap_or(8),
+            nprobe_escalation: escalation,
+            ..Default::default()
+        };
+        let index = VisualIndex::bootstrap(config, &data);
+        for (i, v) in data.iter().enumerate() {
+            index.insert(v.clone(), test_attrs(i)).unwrap();
+        }
+        index.flush();
+        for i in (0..n).step_by(11) {
+            let key = jdvs_storage::model::ImageKey::from_url(&format!("u{i}"));
+            index.invalidate(key, &format!("u{i}")).unwrap();
+        }
+        (index, data)
+    }
+
+    fn test_specs() -> Vec<FilterSpec> {
+        vec![
+            FilterSpec::none(),
+            FilterSpec::by_category(2),
+            FilterSpec::none().in_stock(),
+            FilterSpec::by_category(3).in_stock(),
+            FilterSpec::none().with_price_range(500, 2500),
+            FilterSpec::by_category(1).with_min_sales(300),
+            FilterSpec::by_category(9),  // ~1% selectivity
+            FilterSpec::by_category(77), // never listed: empty result
+        ]
+    }
+
+    /// The raw filtered engine (pushdown + escalation) must be
+    /// bit-identical to the post-filter reference across specs, probe
+    /// widths and deletions.
+    #[test]
+    fn filtered_matches_post_filter_reference() {
+        let (index, data) = build_attr_index(600, 8, 61, None, 8);
+        for spec in test_specs() {
+            for q in data.iter().take(8) {
+                for nprobe in [1usize, 3, 8] {
+                    let engine = filtered_ann_search(&index, q.as_slice(), 10, nprobe, &spec);
+                    let reference =
+                        filtered_ann_search_reference(&index, q.as_slice(), 10, nprobe, &spec);
+                    assert_eq!(engine, reference, "spec {spec:?} nprobe {nprobe}");
+                    for hit in &engine {
+                        let n = index
+                            .forward()
+                            .numeric(ImageId(hit.id as u32))
+                            .expect("hit has a record");
+                        assert!(spec.matches(&n), "spec {spec:?} admitted id {}", hit.id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Same contract on the 4-bit fast-scan leg: group skipping via the
+    /// filter lane mask must not change the candidate set.
+    #[test]
+    fn filtered_compressed_matches_post_filter_reference_four_bit() {
+        let (index, data) = build_attr_index(600, 8, 67, Some(4), 8);
+        for spec in test_specs() {
+            for q in data.iter().take(6) {
+                for nprobe in [1usize, 4] {
+                    let engine =
+                        filtered_compressed_search(&index, q.as_slice(), 10, nprobe, 3, &spec);
+                    let reference = filtered_compressed_search_reference(
+                        &index,
+                        q.as_slice(),
+                        10,
+                        nprobe,
+                        3,
+                        &spec,
+                    );
+                    assert_eq!(engine, reference, "spec {spec:?} nprobe {nprobe}");
+                }
+            }
+        }
+    }
+
+    /// Same contract on the classic 8-bit ADC leg.
+    #[test]
+    fn filtered_compressed_matches_post_filter_reference_eight_bit() {
+        let (index, data) = build_attr_index(500, 8, 71, Some(8), 8);
+        for spec in test_specs() {
+            for q in data.iter().take(6) {
+                let engine = filtered_compressed_search(&index, q.as_slice(), 10, 3, 3, &spec);
+                let reference =
+                    filtered_compressed_search_reference(&index, q.as_slice(), 10, 3, 3, &spec);
+                assert_eq!(engine, reference, "spec {spec:?}");
+            }
+        }
+    }
+
+    /// An unconstrained spec must take the plain unfiltered path exactly.
+    #[test]
+    fn filtered_unconstrained_equals_unfiltered() {
+        let (index, data) = build_attr_index(300, 4, 73, Some(4), 8);
+        let spec = FilterSpec::none();
+        for q in data.iter().take(5) {
+            assert_eq!(
+                filtered_ann_search(&index, q.as_slice(), 10, 2, &spec),
+                ann_search(&index, q.as_slice(), 10, 2),
+            );
+            assert_eq!(
+                filtered_compressed_search(&index, q.as_slice(), 10, 2, 3, &spec),
+                compressed_search(&index, q.as_slice(), 10, 2, 3),
+            );
+        }
+    }
+
+    /// With full probing the filtered engine is exact against the
+    /// filtered brute force.
+    #[test]
+    fn filtered_full_probe_equals_filtered_brute_force() {
+        let (index, data) = build_attr_index(400, 8, 79, None, 0);
+        for spec in [FilterSpec::by_category(2), FilterSpec::none().in_stock()] {
+            for q in data.iter().take(8) {
+                let ann = filtered_ann_search(&index, q.as_slice(), 5, 8, &spec);
+                let exact = filtered_brute_force(&index, q.as_slice(), 5, &spec);
+                assert_eq!(ann, exact, "spec {spec:?}");
+            }
+        }
+    }
+
+    /// Selectivity-aware escalation: at ~1% selectivity a single-list
+    /// probe cannot fill k, and the escalating engine must widen until it
+    /// does — still bit-identical to the escalating reference.
+    #[test]
+    fn filtered_escalation_fills_topk() {
+        let n = 2000;
+        let spec = FilterSpec::by_category(9); // ~1% of images
+        let matching = (0..n)
+            .filter(|i| i % 97 == 0 && i % 11 != 0) // listed ∧ not deleted
+            .count();
+        let k = 10;
+        assert!(matching >= k, "test needs at least k matching images");
+
+        let (escalating, data) = build_attr_index(n, 16, 83, None, 16);
+        let (capped, _) = build_attr_index(n, 16, 83, None, 0);
+        let mut ever_underfull = false;
+        for q in data.iter().take(10) {
+            let wide = filtered_ann_search(&escalating, q.as_slice(), k, 1, &spec);
+            assert_eq!(wide.len(), k, "escalation must fill top-k");
+            assert_eq!(
+                wide,
+                filtered_ann_search_reference(&escalating, q.as_slice(), k, 1, &spec),
+            );
+            let narrow = filtered_ann_search(&capped, q.as_slice(), k, 1, &spec);
+            ever_underfull |= narrow.len() < k;
+        }
+        assert!(
+            ever_underfull,
+            "without escalation a 1-list probe should miss at ~1% selectivity"
+        );
+    }
+
+    /// Batched raw search with distinct per-member filters must match
+    /// each member's sequential filtered twin bit-for-bit.
+    #[test]
+    fn multi_filtered_matches_reference_per_member() {
+        let (index, data) = build_attr_index(600, 8, 89, None, 8);
+        let specs = test_specs();
+        let queries: Vec<MultiQuery<'_>> = data
+            .iter()
+            .take(specs.len())
+            .enumerate()
+            .map(|(i, q)| MultiQuery {
+                features: q.as_slice(),
+                k: 4 + i % 5,
+                nprobe: 1 + i % 4,
+                filter: (i % 3 != 0).then_some(&specs[i]),
+            })
+            .collect();
+        for (q, got) in queries.iter().zip(multi_ann_search(&index, &queries)) {
+            let spec_owned;
+            let spec = match q.filter {
+                Some(s) => s,
+                None => {
+                    spec_owned = FilterSpec::none();
+                    &spec_owned
+                }
+            };
+            let reference = filtered_ann_search_reference(&index, q.features, q.k, q.nprobe, spec);
+            assert_eq!(got, reference, "spec {spec:?}");
+        }
+    }
+
+    /// Batched 4-bit compressed search with distinct per-member filters.
+    #[test]
+    fn multi_filtered_compressed_matches_reference_four_bit() {
+        let (index, data) = build_attr_index(600, 8, 97, Some(4), 8);
+        let specs = test_specs();
+        let queries: Vec<MultiQuery<'_>> = data
+            .iter()
+            .take(specs.len())
+            .enumerate()
+            .map(|(i, q)| MultiQuery {
+                features: q.as_slice(),
+                k: 4 + i % 4,
+                nprobe: 1 + i % 3,
+                filter: (i % 4 != 3).then_some(&specs[i]),
+            })
+            .collect();
+        for (q, got) in queries
+            .iter()
+            .zip(multi_compressed_search(&index, &queries, 3))
+        {
+            let spec_owned;
+            let spec = match q.filter {
+                Some(s) => s,
+                None => {
+                    spec_owned = FilterSpec::none();
+                    &spec_owned
+                }
+            };
+            let reference =
+                filtered_compressed_search_reference(&index, q.features, q.k, q.nprobe, 3, spec);
+            assert_eq!(got, reference, "spec {spec:?}");
+        }
+    }
+
+    /// Batched 8-bit compressed search with distinct per-member filters.
+    #[test]
+    fn multi_filtered_compressed_matches_reference_eight_bit() {
+        let (index, data) = build_attr_index(500, 8, 101, Some(8), 8);
+        let specs = test_specs();
+        let queries: Vec<MultiQuery<'_>> = data
+            .iter()
+            .take(specs.len())
+            .enumerate()
+            .map(|(i, q)| MultiQuery {
+                features: q.as_slice(),
+                k: 5,
+                nprobe: 2,
+                filter: Some(&specs[i]),
+            })
+            .collect();
+        for (q, got) in queries
+            .iter()
+            .zip(multi_compressed_search(&index, &queries, 3))
+        {
+            let spec = q.filter.unwrap();
+            let reference =
+                filtered_compressed_search_reference(&index, q.features, q.k, q.nprobe, 3, spec);
+            assert_eq!(got, reference, "spec {spec:?}");
+        }
     }
 }

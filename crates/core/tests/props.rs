@@ -13,7 +13,7 @@ use proptest::prelude::*;
 use jdvs_core::ids::ImageId;
 use jdvs_core::search;
 use jdvs_core::swap::IndexHandle;
-use jdvs_core::{persist, IndexConfig, VisualIndex};
+use jdvs_core::{persist, FilterSpec, IndexConfig, VisualIndex};
 use jdvs_storage::model::{ImageKey, ProductAttributes, ProductId};
 use jdvs_vector::rng::Xoshiro256;
 use jdvs_vector::Vector;
@@ -293,6 +293,7 @@ proptest! {
                 features: q.as_slice(),
                 k: 1 + i % 10,
                 nprobe: 1 + (seed as usize + i) % num_lists,
+                filter: None,
             })
             .collect();
         let compressed = search::multi_compressed_search(&index, &queries, 3);
@@ -303,6 +304,222 @@ proptest! {
             prop_assert_eq!(got_c, &want_c, "compressed k={} nprobe={}", q.k, q.nprobe);
             let want_r = search::ann_search_reference(&index, q.features, q.k, q.nprobe);
             prop_assert_eq!(got_r, &want_r, "raw k={} nprobe={}", q.k, q.nprobe);
+        }
+    }
+}
+
+/// The numeric-attribute view [`FilterSpec::matches`] checks, read back
+/// through the public attributes API.
+fn numeric_of(index: &VisualIndex, id: ImageId) -> jdvs_core::forward::NumericAttributes {
+    let a = index.attributes(id).unwrap();
+    jdvs_core::forward::NumericAttributes {
+        product_id: a.product_id,
+        sales: a.sales,
+        price: a.price,
+        praise: a.praise,
+        category: a.category,
+        in_stock: a.in_stock,
+    }
+}
+
+/// A random filter over the attribute pattern laid down by
+/// [`attr_index`]: categories 0..5, ~2/3 in stock, price/sales growing
+/// with the insertion index — so generated specs span the whole
+/// selectivity range from "admits everything" down to "admits nothing".
+fn filter_spec() -> impl Strategy<Value = FilterSpec> {
+    (
+        prop_oneof![Just(None), (0u32..6).prop_map(Some)],
+        any::<bool>(),
+        prop_oneof![Just(None), (0u64..5_000).prop_map(Some)],
+        prop_oneof![Just(None), (0u64..5_000).prop_map(Some)],
+        prop_oneof![Just(None), (0u64..1_200).prop_map(Some)],
+    )
+        .prop_map(
+            |(category, in_stock_only, price_min, price_max, min_sales)| FilterSpec {
+                category,
+                in_stock_only,
+                price_min,
+                price_max,
+                min_sales,
+            },
+        )
+}
+
+/// Builds a random index whose products carry varied attributes, with
+/// every `delete_every`-th image invalidated after insertion.
+fn attr_index(
+    data: &[Vector],
+    num_lists: usize,
+    delete_every: usize,
+    pq_bits: Option<u8>,
+    nprobe_escalation: usize,
+) -> VisualIndex {
+    let index = VisualIndex::bootstrap(
+        IndexConfig {
+            dim: DIM,
+            num_lists,
+            initial_list_capacity: 4,
+            pq_subspaces: pq_bits.map(|_| DIM),
+            pq_bits: pq_bits.unwrap_or(8),
+            nprobe_escalation,
+            ..Default::default()
+        },
+        data,
+    );
+    for (i, v) in data.iter().enumerate() {
+        index
+            .insert(
+                v.clone(),
+                ProductAttributes::new(
+                    ProductId(i as u64),
+                    (i * 3) as u64,
+                    ((i % 100) * 50) as u64,
+                    (i % 7) as u64,
+                    format!("fp/u{i}"),
+                )
+                .with_category((i % 5) as u32)
+                .with_stock(i % 3 != 0),
+            )
+            .unwrap();
+    }
+    index.flush();
+    for i in (0..data.len()).step_by(delete_every) {
+        let url = format!("fp/u{i}");
+        index.invalidate(ImageKey::from_url(&url), &url).unwrap();
+    }
+    index
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Filter pushdown returns *exactly* the post-filter reference's
+    /// results — same ids, distances, order — for random filters across
+    /// the whole selectivity range, random deletions, every thread
+    /// budget, with and without probe escalation. Runs on the native and
+    /// (in CI) the forced-scalar kernel set.
+    #[test]
+    fn filtered_search_matches_post_filter_reference(
+        seed in any::<u64>(),
+        n in 80usize..400,
+        num_lists in 2usize..9,
+        nprobe in 1usize..9,
+        delete_every in 2usize..10,
+        threads in 1usize..5,
+        escalation in prop_oneof![Just(0usize), 4usize..32],
+        spec in filter_spec(),
+    ) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let data: Vec<Vector> = (0..n)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let index = attr_index(&data, num_lists, delete_every, None, escalation);
+        for q in data.iter().take(4) {
+            let engine = search::filtered_ann_search_with_threads(
+                &index, q.as_slice(), 10, nprobe, &spec, threads,
+            );
+            let reference =
+                search::filtered_ann_search_reference(&index, q.as_slice(), 10, nprobe, &spec);
+            prop_assert_eq!(
+                &engine, &reference,
+                "filtered nprobe={} threads={} esc={} spec={:?}",
+                nprobe, threads, escalation, spec
+            );
+            for hit in &engine {
+                let id = ImageId(hit.id as u32);
+                prop_assert!(index.is_valid(id));
+                prop_assert!(spec.matches(&numeric_of(&index, id)));
+            }
+        }
+    }
+
+    /// The compressed filtered paths (4-bit fast-scan mask pushdown and
+    /// 8-bit per-code admission) match their post-filter reference
+    /// bit-exactly, including the escalation schedule and exact rerank.
+    #[test]
+    fn filtered_compressed_matches_post_filter_reference(
+        seed in any::<u64>(),
+        n in 80usize..400,
+        num_lists in 2usize..9,
+        nprobe in 1usize..9,
+        delete_every in 2usize..10,
+        pq_bits in prop_oneof![Just(4u8), Just(8u8)],
+        escalation in prop_oneof![Just(0usize), 4usize..32],
+        spec in filter_spec(),
+    ) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let data: Vec<Vector> = (0..n)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let index = attr_index(&data, num_lists, delete_every, Some(pq_bits), escalation);
+        for q in data.iter().take(4) {
+            let engine =
+                search::filtered_compressed_search(&index, q.as_slice(), 10, nprobe, 3, &spec);
+            let reference = search::filtered_compressed_search_reference(
+                &index, q.as_slice(), 10, nprobe, 3, &spec,
+            );
+            prop_assert_eq!(
+                &engine, &reference,
+                "pq_bits={} nprobe={} esc={} spec={:?}",
+                pq_bits, nprobe, escalation, spec
+            );
+            for hit in &engine {
+                let id = ImageId(hit.id as u32);
+                prop_assert!(index.is_valid(id));
+                prop_assert!(spec.matches(&numeric_of(&index, id)));
+            }
+        }
+    }
+
+    /// The batched engine with *distinct per-member filters* (including
+    /// unfiltered members in the same batch) returns each member's exact
+    /// sequential filtered result — on both the 4-bit fast-scan and raw
+    /// legs.
+    #[test]
+    fn multi_filtered_batch_matches_reference_per_member(
+        seed in any::<u64>(),
+        n in 80usize..400,
+        num_lists in 2usize..9,
+        batch in 1usize..10,
+        delete_every in 2usize..10,
+        escalation in prop_oneof![Just(0usize), 4usize..32],
+        specs in prop::collection::vec(prop_oneof![Just(None), filter_spec().prop_map(Some)], 10),
+    ) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let data: Vec<Vector> = (0..n)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let index = attr_index(&data, num_lists, delete_every, Some(4), escalation);
+        let queries: Vec<search::MultiQuery<'_>> = data
+            .iter()
+            .take(batch)
+            .enumerate()
+            .map(|(i, q)| search::MultiQuery {
+                features: q.as_slice(),
+                k: 1 + i % 10,
+                nprobe: 1 + (seed as usize + i) % num_lists,
+                filter: specs[i].as_ref(),
+            })
+            .collect();
+        let compressed = search::multi_compressed_search(&index, &queries, 3);
+        let raw = search::multi_ann_search(&index, &queries);
+        for (q, (got_c, got_r)) in queries.iter().zip(compressed.iter().zip(raw.iter())) {
+            let (want_c, want_r) = match q.filter {
+                Some(spec) => (
+                    search::filtered_compressed_search_reference(
+                        &index, q.features, q.k, q.nprobe, 3, spec,
+                    ),
+                    search::filtered_ann_search_reference(
+                        &index, q.features, q.k, q.nprobe, spec,
+                    ),
+                ),
+                None => (
+                    search::compressed_search_reference(&index, q.features, q.k, q.nprobe, 3),
+                    search::ann_search_reference(&index, q.features, q.k, q.nprobe),
+                ),
+            };
+            prop_assert_eq!(got_c, &want_c, "compressed k={} filter={:?}", q.k, q.filter);
+            prop_assert_eq!(got_r, &want_r, "raw k={} filter={:?}", q.k, q.filter);
         }
     }
 }

@@ -8,13 +8,24 @@
 //! ```text
 //! event      := tag:u8 body
 //! tag        := 0 (AddProduct) | 1 (RemoveProduct) | 2 (UpdateAttributes)
+//!             | 3 (AddProduct v2)
 //! AddProduct := product_id:u64 count:u32 attrs*
 //! attrs      := product_id:u64 sales:u64 price:u64 praise:u64 url
+//! AddV2      := product_id:u64 count:u32 attrs_v2*
+//! attrs_v2   := product_id:u64 sales:u64 price:u64 praise:u64
+//!               category:u32 in_stock:u8 url
 //! Remove     := product_id:u64 count:u32 url*
 //! Update     := product_id:u64 count:u32 url* opt(sales) opt(price) opt(praise)
 //! url        := len:u32 bytes (UTF-8)
 //! opt(x)     := 0:u8 | 1:u8 x:u64
 //! ```
+//!
+//! **Versioning.** Tag 3 extends `AddProduct` with the listing attributes
+//! (category, stock) that attribute-filtered search needs. The encoder
+//! emits it only when some image actually carries non-default listing
+//! attributes; products with default listings still encode the original
+//! tag-0 layout byte-for-byte, and tag-0 records written by older encoders
+//! decode with the defaults (category 0, in stock).
 //!
 //! Integrity is the log framing's job (CRC32C per record); the decoder here
 //! still refuses structurally invalid input — truncated bodies, bad UTF-8,
@@ -59,13 +70,15 @@ impl std::error::Error for CodecError {}
 const TAG_ADD: u8 = 0;
 const TAG_REMOVE: u8 = 1;
 const TAG_UPDATE: u8 = 2;
+const TAG_ADD_V2: u8 = 3;
 
 /// Encodes one event into its log payload.
 pub fn encode_event(event: &ProductEvent) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
     match event {
         ProductEvent::AddProduct { product_id, images } => {
-            buf.push(TAG_ADD);
+            let listed = images.iter().any(|a| a.category != 0 || !a.in_stock);
+            buf.push(if listed { TAG_ADD_V2 } else { TAG_ADD });
             put_u64(&mut buf, product_id.0);
             put_u32(&mut buf, images.len() as u32);
             for a in images {
@@ -73,6 +86,10 @@ pub fn encode_event(event: &ProductEvent) -> Vec<u8> {
                 put_u64(&mut buf, a.sales);
                 put_u64(&mut buf, a.price);
                 put_u64(&mut buf, a.praise);
+                if listed {
+                    put_u32(&mut buf, a.category);
+                    buf.push(u8::from(a.in_stock));
+                }
                 put_str(&mut buf, &a.url);
             }
         }
@@ -110,7 +127,7 @@ pub fn decode_event(bytes: &[u8]) -> Result<ProductEvent, CodecError> {
     let mut r = Cursor { buf: bytes, pos: 0 };
     let tag = r.u8("tag")?;
     let event = match tag {
-        TAG_ADD => {
+        TAG_ADD | TAG_ADD_V2 => {
             let product_id = ProductId(r.u64("product_id")?);
             let count = r.count("image count")?;
             let mut images = Vec::with_capacity(count);
@@ -119,8 +136,19 @@ pub fn decode_event(bytes: &[u8]) -> Result<ProductEvent, CodecError> {
                 let sales = r.u64("sales")?;
                 let price = r.u64("price")?;
                 let praise = r.u64("praise")?;
+                // Legacy tag-0 records predate listing attributes; they
+                // decode with the defaults (category 0, in stock).
+                let (category, in_stock) = if tag == TAG_ADD_V2 {
+                    (r.u32("category")?, r.u8("in_stock")? != 0)
+                } else {
+                    (0, true)
+                };
                 let url = r.string("url")?;
-                images.push(ProductAttributes::new(owner, sales, price, praise, url));
+                images.push(
+                    ProductAttributes::new(owner, sales, price, praise, url)
+                        .with_category(category)
+                        .with_stock(in_stock),
+                );
             }
             ProductEvent::AddProduct { product_id, images }
         }
@@ -266,7 +294,33 @@ mod tests {
                 price: None,
                 praise: Some(0),
             },
+            ProductEvent::AddProduct {
+                product_id: ProductId(11),
+                images: vec![
+                    attrs(11, "img/c.jpg").with_category(42).with_stock(false),
+                    attrs(11, "img/d.jpg"),
+                ],
+            },
         ]
+    }
+
+    #[test]
+    fn default_listings_stay_byte_identical_to_legacy_tag() {
+        // A fleet mid-upgrade keeps interoperating: products whose images
+        // all carry default listing attributes encode the v1 layout.
+        let plain = ProductEvent::AddProduct {
+            product_id: ProductId(1),
+            images: vec![attrs(1, "a"), attrs(1, "b")],
+        };
+        assert_eq!(encode_event(&plain)[0], TAG_ADD);
+
+        let listed = ProductEvent::AddProduct {
+            product_id: ProductId(2),
+            images: vec![attrs(2, "a").with_category(5)],
+        };
+        assert_eq!(encode_event(&listed)[0], TAG_ADD_V2);
+        let decoded = decode_event(&encode_event(&listed)).unwrap();
+        assert_eq!(decoded, listed);
     }
 
     #[test]

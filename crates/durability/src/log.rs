@@ -106,7 +106,7 @@ impl Segment {
     }
 }
 
-fn segment_path(dir: &Path, first_offset: Offset) -> PathBuf {
+pub(crate) fn segment_path(dir: &Path, first_offset: Offset) -> PathBuf {
     dir.join(format!("wal-{first_offset:020}.seg"))
 }
 
@@ -238,6 +238,16 @@ impl SegmentedLog {
         self.segments.len()
     }
 
+    /// The directory holding this log's segment files.
+    pub(crate) fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// The metrics sink this log reports into.
+    pub(crate) fn metrics(&self) -> &DurabilityMetrics {
+        &self.metrics
+    }
+
     /// Appends one record, returning its offset. Honors the fsync policy.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<Offset> {
         let last = self.segments.last().expect("at least one segment");
@@ -367,7 +377,7 @@ impl SegmentedLog {
 
 /// Parses the frame at `pos`; `None` if incomplete or CRC-invalid.
 /// Returns the payload slice and the position of the next frame.
-fn read_frame(bytes: &[u8], pos: usize) -> Option<(&[u8], usize)> {
+pub(crate) fn read_frame(bytes: &[u8], pos: usize) -> Option<(&[u8], usize)> {
     let header = bytes.get(pos..pos + FRAME_HEADER)?;
     let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
     let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
@@ -421,7 +431,7 @@ fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
 }
 
 /// Lists segment first-offsets present in `dir`.
-fn list_segments(dir: &Path) -> io::Result<Vec<Offset>> {
+pub(crate) fn list_segments(dir: &Path) -> io::Result<Vec<Offset>> {
     let mut out = Vec::new();
     for entry in fs::read_dir(dir)? {
         let name = entry?.file_name();

@@ -130,6 +130,14 @@ impl DurableQueue {
     pub fn num_segments(&self) -> usize {
         self.log.lock().num_segments()
     }
+
+    /// Runs per-key compaction over the cold log segments (see
+    /// [`compact_log`](crate::compact::compact_log)) while holding the
+    /// append lock, so no rotation or retention races the segment swap.
+    /// Publishes block for the duration; run it in quiet periods.
+    pub fn compact(&self) -> io::Result<crate::compact::CompactionReport> {
+        self.log.lock().compact()
+    }
 }
 
 #[cfg(test)]

@@ -319,6 +319,7 @@ mod tests {
             nprobe: Some(3),
             compressed: true,
             budget,
+            filter: None,
         }
     }
 

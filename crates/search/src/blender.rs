@@ -249,6 +249,7 @@ where
             nprobe: query.nprobe,
             compressed: query.compressed,
             budget: remaining.map(|_| per_group),
+            filter: query.filter.clone(),
         };
         let responses: Vec<Result<PartialResponse, RpcError>> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = self

@@ -244,6 +244,7 @@ mod tests {
             nprobe: Some(2),
             compressed: false,
             budget: None,
+            filter: None,
         }
     }
 

@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use jdvs_core::FilterSpec;
 use jdvs_storage::model::ProductId;
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +36,10 @@ pub struct SearchQuery {
     /// own elapsed time and forwards only the remainder downstream. `None`
     /// means "use the topology's configured per-hop deadlines".
     pub budget: Option<Duration>,
+    /// Attribute constraints (category, stock, price/sales ranges),
+    /// carried unchanged through every hop and pushed down into each
+    /// searcher's block scan. `None` is unconstrained.
+    pub filter: Option<FilterSpec>,
 }
 
 impl SearchQuery {
@@ -46,6 +51,7 @@ impl SearchQuery {
             nprobe: None,
             compressed: false,
             budget: None,
+            filter: None,
         }
     }
 
@@ -57,6 +63,7 @@ impl SearchQuery {
             nprobe: None,
             compressed: false,
             budget: None,
+            filter: None,
         }
     }
 
@@ -75,6 +82,12 @@ impl SearchQuery {
     /// Sets the end-to-end deadline budget.
     pub fn with_budget(mut self, budget: Duration) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Attaches attribute constraints.
+    pub fn with_filter(mut self, filter: FilterSpec) -> Self {
+        self.filter = Some(filter);
         self
     }
 }
@@ -96,6 +109,9 @@ pub struct FanoutQuery {
     /// fanning out, so a straggling upstream cannot grant downstream work
     /// more time than the user call has left.
     pub budget: Option<Duration>,
+    /// Attribute constraints forwarded from the user query; searchers push
+    /// them down into the block scan. `None` is unconstrained.
+    pub filter: Option<FilterSpec>,
 }
 
 /// One partial hit, as returned by a searcher: everything the blender needs
@@ -267,6 +283,7 @@ mod tests {
             nprobe: Some(2),
             compressed: false,
             budget: None,
+            filter: Some(FilterSpec::by_category(3).in_stock()),
         };
         assert_eq!(q.clone(), q);
         assert!(

@@ -6,7 +6,11 @@
 //! weighted linear blend over normalized signals:
 //!
 //! - similarity: `1 / (1 + distance)` — monotone-decreasing in distance,
-//!   in `(0, 1]`;
+//!   in `(0, 1]` — or, with [`RankingPolicy::with_normalized_distance`],
+//!   `1 - (d - dmin) / (dmax - dmin)` min-max normalized across the
+//!   shortlist, which makes the attribute weights scale-invariant: the
+//!   same weights blend identically whether the feature space puts
+//!   neighbors at distance 0.1 or 100;
 //! - sales and praise: `log1p` compressed (counts are heavy-tailed);
 //! - price: inverted log (cheaper ranks higher, all else equal).
 
@@ -25,6 +29,13 @@ pub struct RankingPolicy {
     pub w_praise: f64,
     /// Weight of (inverted log) price.
     pub w_price: f64,
+    /// When set, [`RankingPolicy::rank`] min-max normalizes distances
+    /// across the shortlist before blending, so `w_sales`/`w_praise`/
+    /// `w_price` trade against similarity on a fixed `[0, 1]` scale
+    /// regardless of the feature space's distance magnitudes.
+    /// [`RankingPolicy::score`] (a single hit, no shortlist context)
+    /// always uses the absolute `1 / (1 + d)` form.
+    pub normalize_distance: bool,
 }
 
 impl Default for RankingPolicy {
@@ -36,6 +47,7 @@ impl Default for RankingPolicy {
             w_sales: 0.02,
             w_praise: 0.01,
             w_price: 0.005,
+            normalize_distance: false,
         }
     }
 }
@@ -48,12 +60,43 @@ impl RankingPolicy {
             w_sales: 0.0,
             w_praise: 0.0,
             w_price: 0.0,
+            normalize_distance: false,
         }
     }
 
-    /// Scores one hit (higher is better).
+    /// An explicit weight blend (the serving-time `blend_weights` knob).
+    pub fn blend(w_similarity: f64, w_sales: f64, w_praise: f64, w_price: f64) -> Self {
+        Self {
+            w_similarity,
+            w_sales,
+            w_praise,
+            w_price,
+            normalize_distance: false,
+        }
+    }
+
+    /// Switches [`RankingPolicy::rank`] to shortlist-normalized distances.
+    pub fn with_normalized_distance(mut self) -> Self {
+        self.normalize_distance = true;
+        self
+    }
+
+    /// Scores one hit (higher is better) with the absolute similarity
+    /// form; [`RankingPolicy::rank`] substitutes the normalized form when
+    /// [`RankingPolicy::normalize_distance`] is set.
     pub fn score(&self, hit: &PartialHit) -> f64 {
-        let similarity = 1.0 / (1.0 + f64::from(hit.distance));
+        self.score_with(hit, None)
+    }
+
+    fn score_with(&self, hit: &PartialHit, norm: Option<(f64, f64)>) -> f64 {
+        let d = f64::from(hit.distance);
+        let similarity = match norm {
+            // All-equal shortlists give every hit full similarity and let
+            // the attribute signals decide.
+            Some((lo, hi)) if hi > lo => 1.0 - (d - lo) / (hi - lo),
+            Some(_) => 1.0,
+            None => 1.0 / (1.0 + d),
+        };
         let sales = (hit.sales as f64).ln_1p();
         let praise = (hit.praise as f64).ln_1p();
         // Cheaper is better: invert the compressed price.
@@ -68,10 +111,22 @@ impl RankingPolicy {
     /// several near-identical images should occupy one result slot, as in
     /// the paper's mobile UI), and truncates to `k`.
     pub fn rank(&self, hits: Vec<PartialHit>, k: usize) -> Vec<RankedHit> {
+        let norm = if self.normalize_distance {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for h in &hits {
+                let d = f64::from(h.distance);
+                lo = lo.min(d);
+                hi = hi.max(d);
+            }
+            Some((lo, hi))
+        } else {
+            None
+        };
         let mut scored: Vec<RankedHit> = hits
             .into_iter()
             .map(|h| RankedHit {
-                score: self.score(&h),
+                score: self.score_with(&h, norm),
                 hit: h,
             })
             .collect();
@@ -158,6 +213,55 @@ mod tests {
     #[test]
     fn rank_of_empty_is_empty() {
         assert!(RankingPolicy::default().rank(vec![], 10).is_empty());
+        assert!(RankingPolicy::default()
+            .with_normalized_distance()
+            .rank(vec![], 10)
+            .is_empty());
+    }
+
+    #[test]
+    fn normalized_blend_is_scale_invariant() {
+        // The same shortlist at 100× the distance scale must rank
+        // identically under the normalized blend (the absolute form would
+        // crush every similarity toward 0 and let sales take over).
+        let p = RankingPolicy::blend(1.0, 0.1, 0.0, 0.0).with_normalized_distance();
+        let near = vec![hit(1, 0.1, 0, 0), hit(2, 0.5, 500, 0), hit(3, 1.0, 0, 0)];
+        let far: Vec<PartialHit> = near
+            .iter()
+            .cloned()
+            .map(|mut h| {
+                h.distance *= 100.0;
+                h
+            })
+            .collect();
+        let order = |ranked: Vec<RankedHit>| -> Vec<ProductId> {
+            ranked.into_iter().map(|r| r.hit.product_id).collect()
+        };
+        assert_eq!(order(p.rank(near, 3)), order(p.rank(far, 3)));
+    }
+
+    #[test]
+    fn normalized_blend_lets_sales_rerank_near_ties() {
+        let p = RankingPolicy::blend(1.0, 0.5, 0.0, 0.0).with_normalized_distance();
+        // Product 2 is marginally farther but vastly more popular.
+        let hits = vec![
+            hit(1, 1.00, 0, 0),
+            hit(2, 1.01, 100_000, 0),
+            hit(3, 2.0, 0, 0),
+        ];
+        let ranked = p.rank(hits, 3);
+        assert_eq!(ranked[0].hit.product_id, ProductId(2));
+    }
+
+    #[test]
+    fn normalized_degenerate_shortlist_stays_finite() {
+        let p = RankingPolicy::default().with_normalized_distance();
+        // One hit, and all-equal distances: no NaN, attributes decide ties.
+        let one = p.rank(vec![hit(1, 3.0, 5, 10)], 1);
+        assert!(one[0].score.is_finite());
+        let tied = p.rank(vec![hit(1, 1.0, 0, 0), hit(2, 1.0, 999, 0)], 2);
+        assert!(tied.iter().all(|r| r.score.is_finite()));
+        assert_eq!(tied[0].hit.product_id, ProductId(2), "sales break the tie");
     }
 
     #[test]

@@ -56,16 +56,28 @@ impl SearcherService {
     }
 
     /// Executes a query locally (also the code path the RPC handler runs).
+    ///
+    /// A query carrying a [`FilterSpec`](jdvs_core::FilterSpec) takes the
+    /// filtered engine paths, which push the attribute mask down into the
+    /// block scan (and may escalate `nprobe` when the index allows it);
+    /// unfiltered queries run the identical pre-existing paths.
     pub fn execute(&self, query: &FanoutQuery) -> PartialResponse {
         let index = self.handle.get();
         let nprobe = query.nprobe.unwrap_or(index.config().nprobe);
+        let k = query.k.max(1);
         let neighbors = if query.compressed && index.has_pq() {
             // Two-stage PQ scan; the over-fetch ratio is the index's
             // configured rerank_factor knob.
             let rerank = index.config().rerank_factor;
-            index.search_compressed(&query.features, query.k.max(1), nprobe, rerank)
+            match &query.filter {
+                Some(f) => index.search_compressed_filtered(&query.features, k, nprobe, rerank, f),
+                None => index.search_compressed(&query.features, k, nprobe, rerank),
+            }
         } else {
-            index.search(&query.features, query.k.max(1), nprobe)
+            match &query.filter {
+                Some(f) => index.search_filtered(&query.features, k, nprobe, f),
+                None => index.search(&query.features, k, nprobe),
+            }
         };
         // The records are guaranteed present (ids come from the same index
         // snapshot held across the whole query).
@@ -93,6 +105,7 @@ impl SearcherService {
                 features: &q.features,
                 k: q.k.max(1),
                 nprobe: q.nprobe.unwrap_or(default_nprobe),
+                filter: q.filter.as_ref(),
             };
             if q.compressed && index.has_pq() {
                 compressed.push((i, mq));
@@ -186,7 +199,9 @@ mod tests {
             index
                 .insert(
                     v,
-                    ProductAttributes::new(ProductId(i as u64), i as u64, 100, 1, format!("u{i}")),
+                    ProductAttributes::new(ProductId(i as u64), i as u64, 100, 1, format!("u{i}"))
+                        .with_category((i % 3) as u32)
+                        .with_stock(i % 2 == 0),
                 )
                 .unwrap();
         }
@@ -206,6 +221,7 @@ mod tests {
             nprobe: Some(4),
             compressed: false,
             budget: None,
+            filter: None,
         });
         assert_eq!(resp.hits.len(), 5);
         assert!(resp.is_complete());
@@ -229,8 +245,33 @@ mod tests {
             nprobe: None,
             compressed: false,
             budget: None,
+            filter: None,
         });
         assert!(!resp.hits.is_empty());
+    }
+
+    #[test]
+    fn execute_pushes_filter_into_scan() {
+        let index = index_with(60);
+        let searcher = SearcherService::for_index(0, Arc::clone(&index));
+        let spec = jdvs_core::FilterSpec::by_category(1)
+            .in_stock()
+            .with_min_sales(10);
+        let resp = searcher.execute(&FanoutQuery {
+            features: vec![0.0; DIM],
+            k: 8,
+            nprobe: Some(4),
+            compressed: false,
+            budget: None,
+            filter: Some(spec),
+        });
+        assert!(!resp.hits.is_empty());
+        for hit in &resp.hits {
+            let attrs = index.attributes(ImageId(hit.local_id)).unwrap();
+            assert_eq!(attrs.category, 1);
+            assert!(attrs.in_stock);
+            assert!(attrs.sales >= 10);
+        }
     }
 
     #[test]
@@ -243,6 +284,7 @@ mod tests {
             nprobe: Some(4),
             compressed: false,
             budget: None,
+            filter: None,
         });
         for w in resp.hits.windows(2) {
             assert!(w[0].distance <= w[1].distance);
@@ -270,15 +312,17 @@ mod tests {
             index
                 .insert(
                     v.clone(),
-                    ProductAttributes::new(ProductId(i as u64), i as u64, 9, 1, format!("eb/u{i}")),
+                    ProductAttributes::new(ProductId(i as u64), i as u64, 9, 1, format!("eb/u{i}"))
+                        .with_category((i % 3) as u32)
+                        .with_stock(i % 4 != 0),
                 )
                 .unwrap();
         }
         index.flush();
         let searcher = SearcherService::for_index(2, Arc::clone(&index));
-        // A mixed batch: compressed and raw members, varying k and nprobe,
-        // must come back positionally aligned and bit-identical to solo
-        // execution.
+        // A mixed batch: compressed and raw members, varying k, nprobe and
+        // filters, must come back positionally aligned and bit-identical to
+        // solo execution.
         let queries: Vec<FanoutQuery> = (0..7u32)
             .map(|i| FanoutQuery {
                 features: index
@@ -293,6 +337,11 @@ mod tests {
                 },
                 compressed: i % 3 != 0,
                 budget: None,
+                filter: match i % 3 {
+                    0 => None,
+                    1 => Some(jdvs_core::FilterSpec::by_category(i % 3).in_stock()),
+                    _ => Some(jdvs_core::FilterSpec::none().with_min_sales(30)),
+                },
             })
             .collect();
         let batched = searcher.execute_batch(&queries);
@@ -320,6 +369,7 @@ mod tests {
             nprobe: Some(4),
             compressed: false,
             budget: None,
+            filter: None,
         };
         let via_service = Service::handle(&searcher, q.clone());
         let via_execute = searcher.execute(&q);

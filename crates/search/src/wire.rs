@@ -8,9 +8,13 @@
 //! [`WireError`] instead of panicking or misparsing:
 //!
 //! ```text
-//! search_query    := input k:u64 opt(nprobe:u64) bool(compressed) opt(budget)
+//! search_query    := search_v1 | 2:u8 search_v1 filter          (v2)
+//! search_v1       := input k:u64 opt(nprobe:u64) bool(compressed) opt(budget)
 //! input           := 0 features | 1 url
-//! fanout_query    := features k:u64 opt(nprobe:u64) bool(compressed) opt(budget)
+//! fanout_query    := fanout_v1 | magic:u32 fanout_v1 filter     (v2)
+//! fanout_v1       := features k:u64 opt(nprobe:u64) bool(compressed) opt(budget)
+//! filter          := opt(category:u32) bool(in_stock_only) opt(price_min:u64)
+//!                    opt(price_max:u64) opt(min_sales:u64)
 //! partial_resp    := count hit* ok:u64 total:u64 timed_out:u64 failed:u64 shed:u64
 //! hit             := partition:u64 local_id:u32 distance:f32 product_id:u64
 //!                    sales:u64 price:u64 praise:u64 url
@@ -29,9 +33,19 @@
 //! ([`jdvs_net::frame`]'s CRC32C); this decoder's strictness is the second
 //! line of defense, so a payload that survives the CRC but was produced by
 //! a different encoder version degrades into a clean error.
+//!
+//! **Versioning.** Filtered queries ride a v2 envelope; unfiltered queries
+//! still encode the original v1 layout byte-for-byte, so a mixed-version
+//! fleet keeps interoperating for every query that doesn't use the new
+//! field. The v2 markers are chosen to be unambiguous against v1: a
+//! `SearchQuery` v1 payload always starts with input tag `0` or `1`, so tag
+//! `2` is free; a `FanoutQuery` v1 payload starts with a feature count whose
+//! value is bounded by the payload length, so the magic `0xF17E_0002`
+//! (≈ 4 × 10⁹) can never be a valid v1 count.
 
 use std::time::Duration;
 
+use jdvs_core::FilterSpec;
 use jdvs_storage::model::ProductId;
 
 use crate::protocol::{
@@ -73,10 +87,21 @@ impl std::error::Error for WireError {}
 
 const TAG_FEATURES: u8 = 0;
 const TAG_IMAGE_URL: u8 = 1;
+/// v2 [`SearchQuery`] envelope marker: distinct from both input tags, so a
+/// v1 decoder rejects it cleanly instead of misparsing.
+const TAG_QUERY_V2: u8 = 2;
+/// v2 [`FanoutQuery`] envelope marker, read as the leading `u32` where v1
+/// stores the feature count. Far beyond any count that passes the
+/// length-bound check, so the two layouts can't be confused.
+const FANOUT_MAGIC_V2: u32 = 0xF17E_0002;
 
-/// Encodes a [`SearchQuery`].
+/// Encodes a [`SearchQuery`]. Unfiltered queries produce the v1 layout
+/// byte-for-byte; only a present `filter` engages the v2 envelope.
 pub fn encode_search_query(q: &SearchQuery) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
+    if q.filter.is_some() {
+        buf.push(TAG_QUERY_V2);
+    }
     match &q.input {
         QueryInput::Features(f) => {
             buf.push(TAG_FEATURES);
@@ -91,17 +116,29 @@ pub fn encode_search_query(q: &SearchQuery) -> Vec<u8> {
     put_opt_u64(&mut buf, q.nprobe.map(|n| n as u64));
     put_bool(&mut buf, q.compressed);
     put_opt_duration(&mut buf, q.budget);
+    if let Some(filter) = &q.filter {
+        put_filter(&mut buf, filter);
+    }
     buf
 }
 
-/// Decodes a [`SearchQuery`].
+/// Decodes a [`SearchQuery`] (v1 or v2).
 ///
 /// # Errors
 ///
 /// Any [`WireError`] on malformed input.
 pub fn decode_search_query(bytes: &[u8]) -> Result<SearchQuery, WireError> {
     let mut r = Cursor { buf: bytes, pos: 0 };
+    let mut versioned = false;
     let input = match r.u8("input tag")? {
+        TAG_QUERY_V2 => {
+            versioned = true;
+            match r.u8("input tag")? {
+                TAG_FEATURES => QueryInput::Features(r.features()?),
+                TAG_IMAGE_URL => QueryInput::ImageUrl(r.string("image url")?),
+                other => return Err(WireError::UnknownTag(other)),
+            }
+        }
         TAG_FEATURES => QueryInput::Features(r.features()?),
         TAG_IMAGE_URL => QueryInput::ImageUrl(r.string("image url")?),
         other => return Err(WireError::UnknownTag(other)),
@@ -112,35 +149,49 @@ pub fn decode_search_query(bytes: &[u8]) -> Result<SearchQuery, WireError> {
         nprobe: r.opt_u64("nprobe")?.map(|n| n as usize),
         compressed: r.bool("compressed")?,
         budget: r.opt_duration("budget")?,
+        filter: if versioned { Some(r.filter()?) } else { None },
     };
     r.finish()?;
     Ok(q)
 }
 
-/// Encodes a [`FanoutQuery`].
+/// Encodes a [`FanoutQuery`]. Unfiltered queries produce the v1 layout
+/// byte-for-byte; only a present `filter` engages the v2 envelope.
 pub fn encode_fanout_query(q: &FanoutQuery) -> Vec<u8> {
     let mut buf = Vec::with_capacity(32 + 4 * q.features.len());
+    if q.filter.is_some() {
+        put_u32(&mut buf, FANOUT_MAGIC_V2);
+    }
     put_features(&mut buf, &q.features);
     put_u64(&mut buf, q.k as u64);
     put_opt_u64(&mut buf, q.nprobe.map(|n| n as u64));
     put_bool(&mut buf, q.compressed);
     put_opt_duration(&mut buf, q.budget);
+    if let Some(filter) = &q.filter {
+        put_filter(&mut buf, filter);
+    }
     buf
 }
 
-/// Decodes a [`FanoutQuery`].
+/// Decodes a [`FanoutQuery`] (v1 or v2).
 ///
 /// # Errors
 ///
 /// Any [`WireError`] on malformed input.
 pub fn decode_fanout_query(bytes: &[u8]) -> Result<FanoutQuery, WireError> {
     let mut r = Cursor { buf: bytes, pos: 0 };
+    let versioned =
+        bytes.len() >= 4 && u32::from_le_bytes(bytes[..4].try_into().unwrap()) == FANOUT_MAGIC_V2;
+    if versioned {
+        r.take(4, "fanout magic")?;
+    }
     let q = FanoutQuery {
         features: r.features()?,
         k: r.u64("k")? as usize,
         nprobe: r.opt_u64("nprobe")?.map(|n| n as usize),
         compressed: r.bool("compressed")?,
         budget: r.opt_duration("budget")?,
+        filter: if versioned { Some(r.filter()?) } else { None },
     };
     r.finish()?;
     Ok(q)
@@ -270,6 +321,24 @@ fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
     }
 }
 
+fn put_opt_u32(buf: &mut Vec<u8>, v: Option<u32>) {
+    match v {
+        None => buf.push(0),
+        Some(x) => {
+            buf.push(1);
+            put_u32(buf, x);
+        }
+    }
+}
+
+fn put_filter(buf: &mut Vec<u8>, f: &FilterSpec) {
+    put_opt_u32(buf, f.category);
+    put_bool(buf, f.in_stock_only);
+    put_opt_u64(buf, f.price_min);
+    put_opt_u64(buf, f.price_max);
+    put_opt_u64(buf, f.min_sales);
+}
+
 fn put_opt_duration(buf: &mut Vec<u8>, v: Option<Duration>) {
     put_opt_u64(
         buf,
@@ -362,6 +431,24 @@ impl<'a> Cursor<'a> {
         Ok(self.opt_u64(field)?.map(Duration::from_nanos))
     }
 
+    fn opt_u32(&mut self, field: &'static str) -> Result<Option<u32>, WireError> {
+        match self.u8(field)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32(field)?)),
+            other => Err(WireError::UnknownTag(other)),
+        }
+    }
+
+    fn filter(&mut self) -> Result<FilterSpec, WireError> {
+        Ok(FilterSpec {
+            category: self.opt_u32("filter.category")?,
+            in_stock_only: self.bool("filter.in_stock_only")?,
+            price_min: self.opt_u64("filter.price_min")?,
+            price_max: self.opt_u64("filter.price_max")?,
+            min_sales: self.opt_u64("filter.min_sales")?,
+        })
+    }
+
     fn features(&mut self) -> Result<Vec<f32>, WireError> {
         let n = self.u32("feature count")? as usize;
         if n.saturating_mul(4) > self.buf.len() - self.pos {
@@ -436,9 +523,71 @@ mod tests {
             nprobe: None,
             compressed: true,
             budget: Some(Duration::from_nanos(123_456_789)),
+            filter: None,
         };
         let bytes = encode_fanout_query(&q);
         assert_eq!(decode_fanout_query(&bytes).unwrap(), q);
+    }
+
+    #[test]
+    fn filtered_queries_round_trip_via_v2_envelope() {
+        let spec = FilterSpec::by_category(7)
+            .in_stock()
+            .with_price_range(100, 5_000)
+            .with_min_sales(3);
+        let q = SearchQuery::by_features(vec![0.5, -2.0], 12).with_filter(spec.clone());
+        let bytes = encode_search_query(&q);
+        assert_eq!(bytes[0], TAG_QUERY_V2);
+        assert_eq!(decode_search_query(&bytes).unwrap(), q);
+
+        let f = FanoutQuery {
+            features: vec![1.0; 4],
+            k: 9,
+            nprobe: Some(6),
+            compressed: true,
+            budget: Some(Duration::from_millis(80)),
+            filter: Some(spec),
+        };
+        let bytes = encode_fanout_query(&f);
+        assert_eq!(
+            u32::from_le_bytes(bytes[..4].try_into().unwrap()),
+            FANOUT_MAGIC_V2
+        );
+        assert_eq!(decode_fanout_query(&bytes).unwrap(), f);
+
+        // An "empty" filter is still a filter: the v2 envelope carries it
+        // distinctly from `None`.
+        let q = SearchQuery::by_image_url("u", 1).with_filter(FilterSpec::none());
+        assert_eq!(
+            decode_search_query(&encode_search_query(&q))
+                .unwrap()
+                .filter,
+            Some(FilterSpec::none())
+        );
+    }
+
+    #[test]
+    fn unfiltered_queries_stay_byte_identical_to_v1() {
+        // A fleet mid-upgrade must keep interoperating: queries that don't
+        // use the filter field encode exactly the legacy layout.
+        let q = SearchQuery::by_image_url("img/q.png", 5).with_nprobe(4);
+        let bytes = encode_search_query(&q);
+        assert_eq!(bytes[0], TAG_IMAGE_URL, "no v2 envelope without a filter");
+
+        let f = FanoutQuery {
+            features: vec![1.0, 2.0],
+            k: 3,
+            nprobe: None,
+            compressed: false,
+            budget: None,
+            filter: None,
+        };
+        let bytes = encode_fanout_query(&f);
+        assert_eq!(
+            u32::from_le_bytes(bytes[..4].try_into().unwrap()),
+            2,
+            "leading u32 is the v1 feature count"
+        );
     }
 
     #[test]
@@ -542,6 +691,30 @@ mod proptests {
         ]
     }
 
+    fn arb_filter() -> impl Strategy<Value = Option<FilterSpec>> {
+        prop_oneof![
+            Just(None),
+            (
+                prop_oneof![Just(None), any::<u32>().prop_map(Some)],
+                any::<bool>(),
+                prop_oneof![Just(None), any::<u64>().prop_map(Some)],
+                prop_oneof![Just(None), any::<u64>().prop_map(Some)],
+                prop_oneof![Just(None), any::<u64>().prop_map(Some)],
+            )
+                .prop_map(
+                    |(category, in_stock_only, price_min, price_max, min_sales)| {
+                        Some(FilterSpec {
+                            category,
+                            in_stock_only,
+                            price_min,
+                            price_max,
+                            min_sales,
+                        })
+                    }
+                ),
+        ]
+    }
+
     fn arb_search_query() -> impl Strategy<Value = SearchQuery> {
         (
             arb_input(),
@@ -549,14 +722,18 @@ mod proptests {
             prop_oneof![Just(None), (1usize..64).prop_map(Some)],
             any::<bool>(),
             arb_budget(),
+            arb_filter(),
         )
-            .prop_map(|(input, k, nprobe, compressed, budget)| SearchQuery {
-                input,
-                k,
-                nprobe,
-                compressed,
-                budget,
-            })
+            .prop_map(
+                |(input, k, nprobe, compressed, budget, filter)| SearchQuery {
+                    input,
+                    k,
+                    nprobe,
+                    compressed,
+                    budget,
+                    filter,
+                },
+            )
     }
 
     fn arb_fanout_query() -> impl Strategy<Value = FanoutQuery> {
@@ -566,14 +743,18 @@ mod proptests {
             prop_oneof![Just(None), (1usize..64).prop_map(Some)],
             any::<bool>(),
             arb_budget(),
+            arb_filter(),
         )
-            .prop_map(|(features, k, nprobe, compressed, budget)| FanoutQuery {
-                features,
-                k,
-                nprobe,
-                compressed,
-                budget,
-            })
+            .prop_map(
+                |(features, k, nprobe, compressed, budget, filter)| FanoutQuery {
+                    features,
+                    k,
+                    nprobe,
+                    compressed,
+                    budget,
+                    filter,
+                },
+            )
     }
 
     fn arb_hit() -> impl Strategy<Value = PartialHit> {

@@ -68,7 +68,7 @@ impl std::fmt::Display for ImageKey {
 /// Numeric and variable-length product attributes stored in the forward
 /// index and used for result ranking (Section 2.2: "product ID, sales,
 /// prices and image URL are used to search and rank results").
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProductAttributes {
     /// Owning product.
     pub product_id: ProductId,
@@ -78,20 +78,55 @@ pub struct ProductAttributes {
     pub price: u64,
     /// Praise / positive-review count.
     pub praise: u64,
+    /// Product category id (query constraints filter on this; `0` is the
+    /// catch-all "uncategorized").
+    pub category: u32,
+    /// Whether the product is currently purchasable. Listings default to
+    /// in-stock; a sold-out product stays searchable unless the query asks
+    /// for in-stock only.
+    pub in_stock: bool,
     /// The image's URL (variable-length attribute).
     pub url: String,
 }
 
+impl Default for ProductAttributes {
+    fn default() -> Self {
+        Self {
+            product_id: ProductId::default(),
+            sales: 0,
+            price: 0,
+            praise: 0,
+            category: 0,
+            in_stock: true,
+            url: String::new(),
+        }
+    }
+}
+
 impl ProductAttributes {
-    /// Convenience constructor.
+    /// Convenience constructor (category 0, in stock).
     pub fn new(product_id: ProductId, sales: u64, price: u64, praise: u64, url: String) -> Self {
         Self {
             product_id,
             sales,
             price,
             praise,
+            category: 0,
+            in_stock: true,
             url,
         }
+    }
+
+    /// Sets the product category.
+    pub fn with_category(mut self, category: u32) -> Self {
+        self.category = category;
+        self
+    }
+
+    /// Sets the stock state.
+    pub fn with_stock(mut self, in_stock: bool) -> Self {
+        self.in_stock = in_stock;
+        self
     }
 
     /// The image key for this record's URL.
@@ -271,6 +306,17 @@ mod tests {
     fn attributes_image_key_matches_url_hash() {
         let attrs = ProductAttributes::new(ProductId(1), 0, 0, 0, "xyz".into());
         assert_eq!(attrs.image_key(), ImageKey::from_url("xyz"));
+    }
+
+    #[test]
+    fn attributes_default_to_in_stock_uncategorized() {
+        let attrs = ProductAttributes::new(ProductId(1), 0, 0, 0, "u".into());
+        assert_eq!(attrs.category, 0);
+        assert!(attrs.in_stock);
+        assert!(ProductAttributes::default().in_stock);
+        let attrs = attrs.with_category(42).with_stock(false);
+        assert_eq!(attrs.category, 42);
+        assert!(!attrs.in_stock);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use jdvs_core::FilterSpec;
 use jdvs_search::protocol::SearchQuery;
 use jdvs_storage::ImageStore;
 use jdvs_vector::rng::Xoshiro256;
@@ -114,6 +115,82 @@ impl QueryGenerator {
     }
 }
 
+/// Mints *attribute-filtered* queries with controllable selectivity.
+///
+/// Filter thresholds are derived from the catalog's own per-image sales
+/// distribution, so a requested selectivity is hit exactly on the indexed
+/// corpus rather than assumed from a synthetic distribution: asking for
+/// 1% yields a [`FilterSpec`] whose `min_sales` admits the top 1% of the
+/// catalog's images by sales.
+#[derive(Debug)]
+pub struct FilteredQueryGenerator {
+    inner: QueryGenerator,
+    /// Per-image sales values, ascending (one entry per catalog image).
+    sales: Vec<u64>,
+}
+
+impl FilteredQueryGenerator {
+    /// Creates a generator over `catalog`'s clusters and sales histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog is empty.
+    pub fn new(catalog: &Catalog, seed: u64) -> Self {
+        let mut sales: Vec<u64> = catalog
+            .products()
+            .iter()
+            .flat_map(|p| p.urls.iter().map(move |_| p.sales))
+            .collect();
+        sales.sort_unstable();
+        Self {
+            inner: QueryGenerator::new(catalog, seed),
+            sales,
+        }
+    }
+
+    /// The `min_sales` threshold admitting ~`selectivity` of the
+    /// catalog's images (at least one image is always admitted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selectivity` is outside `(0, 1]`.
+    pub fn min_sales_for_selectivity(&self, selectivity: f64) -> u64 {
+        assert!(
+            selectivity > 0.0 && selectivity <= 1.0,
+            "selectivity must be in (0, 1]"
+        );
+        let admit =
+            ((self.sales.len() as f64 * selectivity).round() as usize).clamp(1, self.sales.len());
+        self.sales[self.sales.len() - admit]
+    }
+
+    /// The fraction of catalog images a `min_sales` threshold actually
+    /// admits (ground truth for selectivity-sweep experiments).
+    pub fn achieved_selectivity(&self, min_sales: u64) -> f64 {
+        let admitted = self.sales.len() - self.sales.partition_point(|&s| s < min_sales);
+        admitted as f64 / self.sales.len() as f64
+    }
+
+    /// Mints a filtered query targeting ~`selectivity`: a fresh photo
+    /// from a random cluster (see [`QueryGenerator::next_query`])
+    /// carrying a `min_sales` [`FilterSpec`]. Returns the query, its
+    /// ground-truth cluster, and the spec it carries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selectivity` is outside `(0, 1]`.
+    pub fn next_filtered_query(
+        &self,
+        store: &ImageStore,
+        k: usize,
+        selectivity: f64,
+    ) -> (SearchQuery, u64, FilterSpec) {
+        let spec = FilterSpec::none().with_min_sales(self.min_sales_for_selectivity(selectivity));
+        let (query, cluster) = self.inner.next_query(store, k);
+        (query.with_filter(spec.clone()), cluster, spec)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +273,40 @@ mod tests {
             urls.keys().filter(|u| u.contains("viral")).count() <= 3,
             "viral pool is fixed"
         );
+    }
+
+    #[test]
+    fn filtered_queries_hit_requested_selectivity() {
+        let cat = catalog();
+        let store = ImageStore::with_blob_len(32);
+        let generator = FilteredQueryGenerator::new(&cat, 5);
+        for s in [1.0, 0.5, 0.1, 0.01] {
+            let threshold = generator.min_sales_for_selectivity(s);
+            let achieved = generator.achieved_selectivity(threshold);
+            // Ties in the sales histogram can only widen the admitted set,
+            // never shrink it below the request (modulo the >=1 floor).
+            assert!(
+                achieved >= s || threshold == generator.min_sales_for_selectivity(1.0),
+                "selectivity {s}: achieved {achieved} below request"
+            );
+            assert!(
+                achieved <= s * 3.0 + 0.02,
+                "selectivity {s}: achieved {achieved} far above request"
+            );
+        }
+        let (q, cluster, spec) = generator.next_filtered_query(&store, 7, 0.1);
+        assert_eq!(q.k, 7);
+        assert_eq!(
+            q.filter.as_ref(),
+            Some(&spec),
+            "query carries the returned spec"
+        );
+        assert!(!spec.is_unconstrained(), "min_sales spec must constrain");
+        if let QueryInput::ImageUrl(url) = &q.input {
+            assert_eq!(store.get_by_url(url).unwrap().visual_seed, cluster);
+        } else {
+            panic!("expected image url query");
+        }
     }
 
     #[test]

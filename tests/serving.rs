@@ -31,7 +31,7 @@ use jdvs::vector::rng::Xoshiro256;
 use jdvs::vector::Vector;
 use jdvs::workload::catalog::CatalogConfig;
 use jdvs::workload::openloop::{OpenLoopConfig, OpenLoopDriver, OpenLoopOutcome};
-use jdvs::workload::queries::QueryGenerator;
+use jdvs::workload::queries::{FilteredQueryGenerator, QueryGenerator};
 use jdvs::workload::scenario::{World, WorldConfig};
 use jdvs::workload::FaultProxy;
 
@@ -483,6 +483,7 @@ fn hedged_broker_over_tcp_beats_stalled_searcher() {
         nprobe: Some(4),
         compressed: false,
         budget: None,
+        filter: None,
     };
 
     // Stall the proxy: bytes are read but never answered, so the primary
@@ -576,4 +577,160 @@ fn graceful_drain_finishes_work_sheds_new_and_closes() {
         fresh.search(q).is_err(),
         "a drained stack must not accept new work"
     );
+}
+
+/// Filtered-search satellite: a sales update published through the
+/// realtime queue must re-rank *blended* results served over live TCP —
+/// the blend stage reads sales from the forward index at response time,
+/// so freshness needs no index rebuild and no restart.
+#[test]
+fn sales_update_over_tcp_reranks_blended_results_without_rebuild() {
+    let world = World::build(WorldConfig {
+        catalog: CatalogConfig {
+            num_products: 60,
+            num_clusters: 6,
+            ..Default::default()
+        },
+        topology: TopologyConfig {
+            index: IndexConfig {
+                dim: 16,
+                num_lists: 4,
+                nprobe: 4,
+                initial_list_capacity: 16,
+                ..Default::default()
+            },
+            num_partitions: 4,
+            replicas_per_partition: 1,
+            num_broker_groups: 2,
+            broker_replicas: 1,
+            num_blenders: 2,
+            // Normalized-distance blend: similarity ties let sales decide.
+            ranking: jdvs::search::RankingPolicy::blend(1.0, 0.05, 0.0, 0.0)
+                .with_normalized_distance(),
+            ..Default::default()
+        },
+        seed: 0x5E17,
+        ..Default::default()
+    });
+    let serving = NetServing::over(world.topology(), NetServingConfig::default()).unwrap();
+    let client = serving.client();
+
+    // Two distinct products with visually identical images (same synthetic
+    // seed): both sit at distance zero from the probe, so only the blend's
+    // attribute terms can separate them.
+    world.images().put_synthetic("rerank/a.jpg", 777);
+    world.images().put_synthetic("rerank/b.jpg", 777);
+    for (pid, url) in [(910_000, "rerank/a.jpg"), (910_001, "rerank/b.jpg")] {
+        world.topology().publish(ProductEvent::AddProduct {
+            product_id: ProductId(pid),
+            images: vec![ProductAttributes::new(
+                ProductId(pid),
+                5,
+                100,
+                1,
+                url.to_string(),
+            )],
+        });
+    }
+    world.topology().wait_for_freshness(Duration::from_secs(30));
+
+    let query = SearchQuery::by_image_url("rerank/a.jpg", 5);
+    let resp = client.search(query.clone()).unwrap();
+    assert_identity(&resp);
+    let top2: Vec<ProductId> = resp
+        .results
+        .iter()
+        .take(2)
+        .map(|r| r.hit.product_id)
+        .collect();
+    assert_eq!(
+        top2,
+        vec![ProductId(910_000), ProductId(910_001)],
+        "equal sales: deterministic URL tiebreak puts product a first"
+    );
+
+    let records_before: usize = world
+        .topology()
+        .indexes()
+        .iter()
+        .flatten()
+        .map(|i| i.num_images())
+        .sum();
+
+    // One realtime sales tick for product b, straight through the queue.
+    world.topology().publish(ProductEvent::UpdateAttributes {
+        product_id: ProductId(910_001),
+        urls: vec!["rerank/b.jpg".to_string()],
+        sales: Some(9_000_000),
+        price: None,
+        praise: None,
+    });
+    world.topology().wait_for_freshness(Duration::from_secs(30));
+
+    let resp = client.search(query).unwrap();
+    assert_identity(&resp);
+    assert_eq!(
+        resp.results[0].hit.product_id,
+        ProductId(910_001),
+        "the sales bump must flip the blended order over TCP"
+    );
+    assert_eq!(
+        resp.results[0].hit.sales, 9_000_000,
+        "the blend stage must see the fresh forward-index value"
+    );
+    let records_after: usize = world
+        .topology()
+        .indexes()
+        .iter()
+        .flatten()
+        .map(|i| i.num_images())
+        .sum();
+    assert_eq!(
+        records_before, records_after,
+        "re-ranking must come from the forward index, not a rebuild"
+    );
+}
+
+/// Filtered-search smoke for CI: a low-selectivity attribute filter rides
+/// the full TCP tier — blender encodes the [`FilterSpec`] into the wire
+/// envelope, brokers fan it out, searchers push it down into the block
+/// scan — and every hit that comes back satisfies the filter.
+#[test]
+fn low_selectivity_filtered_query_over_tcp() {
+    let world = serving_world();
+    let serving = NetServing::over(world.topology(), NetServingConfig::default()).unwrap();
+    let client = serving.client();
+    let generator = FilteredQueryGenerator::new(world.catalog(), 21);
+
+    // ~5% of the catalog's images admitted; with nprobe == num_lists the
+    // searchers scan everything, so the admitted survivors must surface.
+    let selectivity = 0.05;
+    let threshold = generator.min_sales_for_selectivity(selectivity);
+    assert!(
+        generator.achieved_selectivity(threshold) <= 0.25,
+        "threshold must actually be selective on this catalog"
+    );
+
+    for _ in 0..10 {
+        let (query, _, spec) = generator.next_filtered_query(world.images(), 5, selectivity);
+        assert_eq!(spec.min_sales, Some(threshold));
+        let resp = client.search(query).unwrap();
+        assert_identity(&resp);
+        assert!(
+            resp.is_complete(),
+            "healthy stack must cover all partitions"
+        );
+        assert!(
+            !resp.results.is_empty(),
+            "admitted products exist and every list is probed"
+        );
+        for r in &resp.results {
+            assert!(
+                r.hit.sales >= threshold,
+                "hit {:?} (sales {}) violates min_sales {threshold}",
+                r.hit.product_id,
+                r.hit.sales
+            );
+        }
+    }
 }

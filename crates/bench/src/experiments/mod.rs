@@ -24,9 +24,11 @@
 //! | `recovery` | durable-log append throughput + crash-recovery time | [`recovery`] |
 //! | `serving` | goodput under ~3x overload through the TCP tiers | [`overload`] |
 //! | `lifecycle` | replica bootstrap time vs log-suffix length + split cost | [`lifecycle`] |
+//! | `coarse` | hierarchical coarse quantizer vs flat centroid scan | [`coarse`] |
 
 pub mod ablations;
 pub mod batch;
+pub mod coarse;
 pub mod day;
 pub mod examples_fig;
 pub mod filtered;
@@ -102,6 +104,7 @@ pub const ALL: &[&str] = &[
     "recovery",
     "serving",
     "lifecycle",
+    "coarse",
 ];
 
 /// Runs one experiment by id.
@@ -133,6 +136,7 @@ pub fn run(id: &str, ctx: &Ctx) -> Vec<ExperimentResult> {
         "recovery" => vec![recovery::recovery(ctx)],
         "serving" => vec![overload::serving_overload(ctx)],
         "lifecycle" => vec![lifecycle::lifecycle(ctx)],
+        "coarse" => vec![coarse::coarse(ctx)],
         other => panic!("unknown experiment id {other:?}"),
     }
 }

@@ -52,6 +52,23 @@ pub struct IndexConfig {
     /// serving-time knob like `intra_query_threads` — not persisted in
     /// snapshots.
     pub nprobe_escalation: usize,
+    /// Hierarchical coarse quantizer: beam width (`ef`) of the navigable
+    /// small-world graph searched over the trained centroids instead of the
+    /// flat `O(num_lists)` centroid scan. `0` disables the graph (flat scan,
+    /// the exact baseline); positive values search with an effective beam of
+    /// `max(coarse_beam_width, nprobe)`, and a beam at or above `num_lists`
+    /// degenerates to the flat scan's exact output. Worth enabling from a
+    /// few thousand lists up, where centroid assignment dominates pre-kernel
+    /// query cost. Persisted (format v5): assignment results shape the index
+    /// contents, so a reloaded partition must probe identically.
+    pub coarse_beam_width: usize,
+    /// Imbalance-aware k-means training: when `> 0`, each Lloyd iteration
+    /// splits clusters whose population exceeds `coarse_balance_factor ×`
+    /// the mean count by reseating the smallest clusters' centroids onto
+    /// their farthest members (hot inverted lists dominate tail latency at
+    /// 10k+ lists). `0.0` keeps plain Lloyd. Persisted (format v5) for
+    /// training provenance.
+    pub coarse_balance_factor: f64,
     /// Master seed for quantizer training.
     pub seed: u64,
 }
@@ -71,6 +88,8 @@ impl Default for IndexConfig {
             rerank_factor: 4,
             intra_query_threads: 1,
             nprobe_escalation: 0,
+            coarse_beam_width: 0,
+            coarse_balance_factor: 0.0,
             seed: 0x1D05,
         }
     }
@@ -108,6 +127,10 @@ impl IndexConfig {
                 self.dim
             );
         }
+        assert!(
+            self.coarse_balance_factor >= 0.0 && self.coarse_balance_factor.is_finite(),
+            "coarse_balance_factor must be finite and non-negative"
+        );
     }
 }
 
@@ -197,6 +220,26 @@ mod tests {
             dim: 64,
             pq_subspaces: Some(16),
             pq_bits: 4,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "coarse_balance_factor must be finite")]
+    fn negative_balance_factor_rejected() {
+        IndexConfig {
+            coarse_balance_factor: -1.0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn coarse_knobs_accepted() {
+        IndexConfig {
+            coarse_beam_width: 32,
+            coarse_balance_factor: 2.0,
             ..Default::default()
         }
         .validate();

@@ -105,6 +105,7 @@ impl VisualIndex {
                 max_iters: config.kmeans_iters,
                 tolerance: 1e-4,
                 seed: config.seed,
+                balance_factor: config.coarse_balance_factor,
             },
         );
         let pq = config.pq_subspaces.map(|m| {
@@ -156,6 +157,17 @@ impl VisualIndex {
             config.dim,
             "quantizer dimension must match config.dim"
         );
+        // The config is authoritative for the hierarchical coarse index: the
+        // centroid graph is derived data, rebuilt deterministically from the
+        // centroid table whenever absent (e.g. a quantizer deserialized from
+        // a snapshot), re-targeted when the beam knob changed, and dropped
+        // when disabled. A quantizer cloned from a sibling partition carries
+        // its graph along, so splits/replicas skip the rebuild.
+        let quantizer = if config.coarse_beam_width > 0 {
+            quantizer.with_coarse_graph(config.coarse_beam_width)
+        } else {
+            quantizer.without_coarse_graph()
+        };
         match (config.pq_subspaces, &pq_quantizer) {
             (None, None) => {}
             (Some(m), Some(pq)) => {
@@ -438,6 +450,26 @@ impl VisualIndex {
         search::filtered_ann_search(self, query, k, nprobe, filter)
     }
 
+    /// [`VisualIndex::search_filtered`] with a deadline budget: probe
+    /// escalation stops when the remaining time cannot pay for another
+    /// doubling round, returning the current (possibly underfull) top-k on
+    /// time instead (see [`search::filtered_ann_search_with_budget`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `nprobe == 0`, or the query dimension is wrong.
+    pub fn search_filtered_with_budget(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        filter: &FilterSpec,
+        deadline: Option<std::time::Instant>,
+    ) -> Vec<Neighbor> {
+        self.stats.searches.incr();
+        search::filtered_ann_search_with_budget(self, query, k, nprobe, filter, deadline)
+    }
+
     /// Attribute-filtered two-stage compressed search; the filtered twin of
     /// [`VisualIndex::search_compressed`] with the same pushdown and
     /// escalation behaviour as [`VisualIndex::search_filtered`].
@@ -456,6 +488,34 @@ impl VisualIndex {
     ) -> Vec<Neighbor> {
         self.stats.searches.incr();
         search::filtered_compressed_search(self, query, k, nprobe, rerank_factor, filter)
+    }
+
+    /// [`VisualIndex::search_compressed_filtered`] with a deadline budget;
+    /// the compressed twin of [`VisualIndex::search_filtered_with_budget`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if PQ mode is disabled, `k == 0`, `nprobe == 0`,
+    /// `rerank_factor == 0`, or the query dimension is wrong.
+    pub fn search_compressed_filtered_with_budget(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        rerank_factor: usize,
+        filter: &FilterSpec,
+        deadline: Option<std::time::Instant>,
+    ) -> Vec<Neighbor> {
+        self.stats.searches.incr();
+        search::filtered_compressed_search_with_budget(
+            self,
+            query,
+            k,
+            nprobe,
+            rerank_factor,
+            filter,
+            deadline,
+        )
     }
 
     /// Batched ANN search: executes co-arriving queries in one pass over

@@ -25,13 +25,19 @@
 //! **Version 3** adds the `pq_bits` and `rerank_factor` config fields
 //! (fast-scan PQ). **Version 4** appends a listing-attribute section
 //! (category + in-stock per record) after the record array; loading it
-//! rebuilds the filter bitmaps through the ordinary insert path. Older
-//! snapshots still load — v1/v2 with the pre-fast-scan defaults, pre-v4
-//! with every record uncategorized and in stock.
+//! rebuilds the filter bitmaps through the ordinary insert path.
+//! **Version 5** adds the hierarchical coarse-quantizer config fields
+//! (`coarse_beam_width` + `coarse_balance_factor`) — beam width is index
+//! structure, not a serving knob: assignment shaped the inverted lists, so a
+//! reloaded partition must probe identically. Older snapshots still load —
+//! v1/v2 with the pre-fast-scan defaults, pre-v4 with every record
+//! uncategorized and in stock, pre-v5 with the flat centroid scan.
 //!
-//! PQ codebooks are *derived* data (trained deterministically from the
-//! stored vectors and the config seed), so snapshots carry raw vectors
-//! only; [`load`] retrains the codebook when `pq_subspaces` is set.
+//! PQ codebooks and the centroid graph are *derived* data (rebuilt
+//! deterministically from the stored vectors/centroids and the config), so
+//! snapshots carry raw vectors and centroids only; [`load`] retrains the
+//! codebook when `pq_subspaces` is set and rebuilds the centroid graph when
+//! `coarse_beam_width` is positive.
 
 use jdvs_storage::checksum::crc32c;
 use jdvs_storage::model::{ProductAttributes, ProductId};
@@ -46,8 +52,9 @@ use crate::index::VisualIndex;
 const MAGIC: &[u8; 4] = b"JDVS";
 /// Current format version (v2 = v1 payload + CRC32C trailer; v3 adds the
 /// `pq_bits` / `rerank_factor` config fields for the fast-scan PQ mode;
-/// v4 appends the per-record listing-attribute section).
-const VERSION: u32 = 4;
+/// v4 appends the per-record listing-attribute section; v5 adds the
+/// hierarchical coarse-quantizer config fields).
+const VERSION: u32 = 5;
 /// Oldest version [`load`] still accepts.
 const MIN_VERSION: u32 = 1;
 
@@ -207,6 +214,10 @@ pub fn save(index: &VisualIndex) -> Vec<u8> {
     // the pre-fast-scan defaults (8-bit codes, 4x over-fetch).
     w.u8(c.pq_bits);
     w.u32(c.rerank_factor as u32);
+    // v5 fields: hierarchical coarse-quantizer knobs. The graph itself is
+    // derived data, rebuilt from the centroids on load.
+    w.u32(c.coarse_beam_width as u32);
+    w.u64(c.coarse_balance_factor.to_bits());
 
     let q = index.quantizer();
     w.u32(q.k() as u32);
@@ -314,7 +325,25 @@ pub fn load(bytes: &[u8]) -> Result<VisualIndex, PersistError> {
         } else {
             4
         },
+        // v5 fields; pre-v5 snapshots were written by flat-scan builds.
+        coarse_beam_width: if version >= 5 {
+            r.u32("config.coarse_beam_width")? as usize
+        } else {
+            0
+        },
+        coarse_balance_factor: if version >= 5 {
+            f64::from_bits(r.u64("config.coarse_balance_factor")?)
+        } else {
+            0.0
+        },
     };
+    if !config.coarse_balance_factor.is_finite() || config.coarse_balance_factor < 0.0 {
+        // Guard the validate() assertion inside the index constructor:
+        // corrupt input must surface as an error, never a panic.
+        return Err(PersistError::Corrupt {
+            reason: "invalid coarse_balance_factor",
+        });
+    }
 
     let k = r.u32("quantizer.k")? as usize;
     if k == 0 {
@@ -578,13 +607,24 @@ mod tests {
     /// + the fixed-width config fields up to and including `seed`.
     const V3_FIELDS_AT: usize = 4 + 4 + 4 + 4 + 4 + 4 + 1 + 4 + 8 + 4 + 8;
 
-    /// Rewrites a freshly-saved (v4) snapshot of `n` records into the
+    /// Byte offset of the v5-only config fields (`coarse_beam_width` +
+    /// `coarse_balance_factor`, 12 bytes): directly after the v3 fields.
+    const V5_FIELDS_AT: usize = V3_FIELDS_AT + 5;
+
+    /// Rewrites a freshly-saved (v5) snapshot of `n` records into the
     /// older `version` layout: drops the v4 listing section (5 bytes per
-    /// record, directly before the trailer), splices out the v3 config
-    /// fields when needed, and drops or recomputes the trailer.
+    /// record, directly before the trailer) for pre-v4 targets, splices out
+    /// the v5/v3 config fields when needed (v5 first — it sits after the v3
+    /// fields, so draining it never shifts their offset), and drops or
+    /// recomputes the trailer.
     fn downgrade(mut bytes: Vec<u8>, version: u32, n: usize) -> Vec<u8> {
-        let trailer_at = bytes.len() - 4;
-        bytes.drain(trailer_at - 5 * n..trailer_at);
+        if version < 4 {
+            let trailer_at = bytes.len() - 4;
+            bytes.drain(trailer_at - 5 * n..trailer_at);
+        }
+        if version < 5 {
+            bytes.drain(V5_FIELDS_AT..V5_FIELDS_AT + 12);
+        }
         if version < 3 {
             bytes.drain(V3_FIELDS_AT..V3_FIELDS_AT + 5);
         }
@@ -629,6 +669,71 @@ mod tests {
             let a = loaded.attributes(ImageId(raw)).unwrap();
             assert_eq!(a.category, 0);
             assert!(a.in_stock);
+        }
+    }
+
+    #[test]
+    fn v4_snapshots_load_with_flat_coarse_defaults() {
+        let index = build_index(20);
+        let loaded = load(&downgrade(save(&index), 4, 20)).expect("v4 must stay loadable");
+        assert_eq!(loaded.num_images(), index.num_images());
+        assert_eq!(loaded.valid_images(), index.valid_images());
+        // Pre-v5 snapshots were written by flat-scan builds: no graph.
+        assert_eq!(loaded.config().coarse_beam_width, 0);
+        assert_eq!(loaded.config().coarse_balance_factor, 0.0);
+        assert!(loaded.quantizer().coarse_graph().is_none());
+        // Listing attributes (a v4 feature) survive the v4 downgrade.
+        for raw in 0..20u32 {
+            let a = loaded.attributes(ImageId(raw)).unwrap();
+            let b = index.attributes(ImageId(raw)).unwrap();
+            assert_eq!(a.category, b.category);
+            assert_eq!(a.in_stock, b.in_stock);
+        }
+    }
+
+    #[test]
+    fn coarse_graph_is_rebuilt_on_load() {
+        let mut rng = Xoshiro256::seed_from(55);
+        let train: Vec<Vector> = (0..256)
+            .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let index = VisualIndex::bootstrap(
+            IndexConfig {
+                dim: DIM,
+                num_lists: 32,
+                nprobe: 4,
+                coarse_beam_width: 8,
+                coarse_balance_factor: 2.5,
+                ..Default::default()
+            },
+            &train,
+        );
+        for (i, v) in train.iter().take(120).enumerate() {
+            index
+                .insert(
+                    v.clone(),
+                    ProductAttributes::new(ProductId(i as u64), 0, 0, 0, format!("u{i}")),
+                )
+                .unwrap();
+        }
+        index.flush();
+        let loaded = load(&save(&index)).expect("round trip");
+        // The knobs persist and the graph (derived data, absent from the
+        // snapshot bytes) is rebuilt deterministically on load.
+        assert_eq!(loaded.config().coarse_beam_width, 8);
+        assert_eq!(loaded.config().coarse_balance_factor, 2.5);
+        assert_eq!(
+            loaded.quantizer().coarse_graph(),
+            index.quantizer().coarse_graph(),
+            "rebuilt graph must equal the original bit for bit"
+        );
+        // Graph-assigned probing reproduces the original's searches exactly.
+        for i in (0..120u32).step_by(17) {
+            let q = index.features(ImageId(i)).unwrap();
+            assert_eq!(
+                index.search(q.as_slice(), 5, 4),
+                loaded.search(q.as_slice(), 5, 4)
+            );
         }
     }
 

@@ -66,9 +66,12 @@
 //!   **before** the distance kernels run: a 32-lane fast-scan group (or a
 //!   raw candidate) rejected by the filter costs bitmap word loads, not
 //!   kernel work. When the filtered scan cannot fill `k`, probing widens
-//!   (doubling, scanning only newly added lists — `assign_multi`'s
-//!   nearest-first prefix is stable) up to
-//!   [`crate::config::IndexConfig::nprobe_escalation`] lists. Results are
+//!   (doubling, scanning only lists not yet probed — robust to the
+//!   hierarchical coarse quantizer, whose bounded-beam assignment need not
+//!   extend the previous prefix exactly) up to
+//!   [`crate::config::IndexConfig::nprobe_escalation`] lists, optionally
+//!   stopping early when a deadline budget cannot pay for another doubling
+//!   round ([`filtered_ann_search_with_budget`]). Results are
 //!   bit-identical to the post-filter references
 //!   ([`filtered_ann_search_reference`] /
 //!   [`filtered_compressed_search_reference`]), which score every valid
@@ -79,6 +82,8 @@
 //! results — plus [`ann_search_scalar_baseline`], the pre-engine scan
 //! (per-candidate locking, forced scalar kernel) kept as the benchmark
 //! baseline.
+
+use std::time::{Duration, Instant};
 
 use jdvs_vector::distance::squared_l2;
 use jdvs_vector::simd::{self, KernelSet};
@@ -152,6 +157,38 @@ pub fn ann_search_with_threads(
     scan_probed_lists(inverted, &lists, k, threads, &scan).into_sorted_vec()
 }
 
+/// [`ann_search`] over an explicit probe set instead of the quantizer's
+/// assignment — an evaluation hook (used by the coarse-quantizer bench to
+/// compare flat-scan and graph-assigned probe sets through the identical
+/// list scan), not a serving path.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, any list id is out of range, or `query` has the
+/// wrong dimension.
+pub fn ann_search_with_probes(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    lists: &[usize],
+) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(query.len(), index.config().dim, "query dimension mismatch");
+    let kernels = simd::active();
+    let bitmap = index.bitmap().reader();
+    let vectors = index.vectors().snapshot();
+    let eval = |id: ImageId| {
+        if !bitmap.test(id.as_usize()) {
+            return None;
+        }
+        let v = vectors.get(id)?;
+        Some(kernels.squared_l2(query, v.as_slice()))
+    };
+    let inverted = index.inverted_internal();
+    let scan = |list: usize, topk: &mut TopK| scan_one_list(inverted, list, &eval, topk);
+    scan_probed_lists(inverted, lists, k, 1, &scan).into_sorted_vec()
+}
+
 /// Attribute-filtered IVF search with pushdown: the filter is evaluated
 /// *before* the vector fetch and distance kernel, so non-matching
 /// candidates cost two or three bitmap word loads instead of a `d`-wide
@@ -192,6 +229,46 @@ pub fn filtered_ann_search_with_threads(
     filter: &FilterSpec,
     threads: usize,
 ) -> Vec<Neighbor> {
+    filtered_ann_search_inner(index, query, k, nprobe, filter, threads, None)
+}
+
+/// [`filtered_ann_search`] with a deadline budget: escalation rounds stop
+/// as soon as the remaining time cannot pay for another doubling round
+/// (estimated from the measured per-list scan cost of the base pass), so a
+/// near-expired query returns its current top-k instead of blowing its
+/// deadline widening. `None` behaves exactly like [`filtered_ann_search`].
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `nprobe == 0`, or `query` has the wrong dimension.
+pub fn filtered_ann_search_with_budget(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    filter: &FilterSpec,
+    deadline: Option<Instant>,
+) -> Vec<Neighbor> {
+    filtered_ann_search_inner(
+        index,
+        query,
+        k,
+        nprobe,
+        filter,
+        index.config().intra_query_threads,
+        deadline,
+    )
+}
+
+fn filtered_ann_search_inner(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    filter: &FilterSpec,
+    threads: usize,
+    deadline: Option<Instant>,
+) -> Vec<Neighbor> {
     assert!(k > 0, "k must be positive");
     assert!(nprobe > 0, "nprobe must be positive");
     assert_eq!(query.len(), index.config().dim, "query dimension mismatch");
@@ -217,25 +294,63 @@ pub fn filtered_ann_search_with_threads(
     };
     let scan = |list: usize, topk: &mut TopK| scan_one_list(inverted, list, &eval, topk);
     let lists = index.quantizer().assign_multi(query, nprobe);
+    let base_start = deadline.map(|_| Instant::now());
     let mut topk = scan_probed_lists(inverted, &lists, k, threads, &scan);
-    escalate_filtered(index, query, k, lists.len(), threads, &mut topk, &scan);
+    let budget = EscalationBudget::measured(deadline, base_start.map(|s| s.elapsed()), lists.len());
+    escalate_filtered(index, query, k, &lists, threads, budget, &mut topk, &scan);
     topk.into_sorted_vec()
+}
+
+/// Deadline context for budget-aware escalation: the absolute deadline and
+/// a per-list scan-cost estimate seeded from the measured base pass (and
+/// refreshed from each completed round). `escalate_filtered` stops widening
+/// when the remaining budget cannot pay for the next doubling round.
+#[derive(Debug, Clone, Copy)]
+struct EscalationBudget {
+    deadline: Instant,
+    per_list: Option<Duration>,
+}
+
+impl EscalationBudget {
+    /// Builds the budget from a deadline and the measured base scan
+    /// (`elapsed` over `lists` probed lists).
+    fn measured(
+        deadline: Option<Instant>,
+        elapsed: Option<Duration>,
+        lists: usize,
+    ) -> Option<Self> {
+        deadline.map(|deadline| EscalationBudget {
+            deadline,
+            per_list: elapsed.filter(|_| lists > 0).map(|e| e / lists as u32),
+        })
+    }
 }
 
 /// Widens a **filtered** query's probing while its top-k is underfull:
 /// each round doubles the probe width (capped at
 /// [`crate::config::IndexConfig::nprobe_escalation`] and the list count)
-/// and scans only the newly added lists — `assign_multi`'s nearest-first
-/// prefix is stable, so the first `width` lists of the wider assignment
-/// are exactly the ones already scanned. Merging per-round collectors
-/// under [`TopK`]'s total order keeps the result identical to one flat
-/// scan at the final width.
+/// and scans only the lists not yet probed. With the flat (exact) coarse
+/// quantizer the not-yet-probed lists are precisely the suffix of the
+/// wider assignment — its nearest-first prefix is stable — and with the
+/// hierarchical quantizer, whose bounded-beam assignment may re-rank once
+/// the requested width exceeds the beam, the explicit seen-set still
+/// guarantees every list is scanned at most once. Merging per-round
+/// collectors under [`TopK`]'s total order keeps the result identical to
+/// one flat scan over the union of probed lists.
+///
+/// When `budget` is set, a round only starts while the deadline has both
+/// not passed and (once a per-list cost estimate exists — seeded from the
+/// measured base pass, refreshed after every round) enough headroom to pay
+/// for the round's extra lists; otherwise the current top-k is returned
+/// as-is, degraded but on time.
+#[allow(clippy::too_many_arguments)]
 fn escalate_filtered<S>(
     index: &VisualIndex,
     query: &[f32],
     fill_target: usize,
-    base_width: usize,
+    base_lists: &[usize],
     threads: usize,
+    budget: Option<EscalationBudget>,
     topk: &mut TopK,
     scan: &S,
 ) where
@@ -246,12 +361,40 @@ fn escalate_filtered<S>(
         .nprobe_escalation
         .min(index.config().num_lists);
     let inverted = index.inverted_internal();
-    let mut width = base_width;
+    let mut seen = vec![false; index.quantizer().k()];
+    for &list in base_lists {
+        seen[list] = true;
+    }
+    let mut width = base_lists.len();
+    let mut per_list = budget.and_then(|b| b.per_list);
+    let mut extra: Vec<usize> = Vec::new();
     while topk.len() < fill_target && width < cap {
         let new_width = (width * 2).min(cap);
+        if let Some(b) = budget {
+            let now = Instant::now();
+            if now >= b.deadline {
+                break;
+            }
+            if let Some(cost) = per_list {
+                let estimate = cost.saturating_mul((new_width - width) as u32);
+                if b.deadline.duration_since(now) < estimate {
+                    break;
+                }
+            }
+        }
         let wider = index.quantizer().assign_multi(query, new_width);
-        let extra = &wider[width.min(wider.len())..];
-        let round = scan_probed_lists(inverted, extra, topk.k(), threads, scan);
+        extra.clear();
+        extra.extend(wider.into_iter().filter(|&l| !seen[l]));
+        for &list in &extra {
+            seen[list] = true;
+        }
+        let round_start = budget.map(|_| Instant::now());
+        let round = scan_probed_lists(inverted, &extra, topk.k(), threads, scan);
+        if let Some(start) = round_start {
+            if !extra.is_empty() {
+                per_list = Some(start.elapsed() / extra.len() as u32);
+            }
+        }
         topk.merge(round);
         width = new_width;
     }
@@ -407,8 +550,17 @@ pub fn multi_ann_search(index: &VisualIndex, queries: &[MultiQuery<'_>]) -> Vec<
             Some(kernels.squared_l2(q.features, v.as_slice()))
         };
         let scan = |list: usize, topk: &mut TopK| scan_one_list(inverted, list, &eval, topk);
-        let base_width = index.quantizer().assign_multi(q.features, q.nprobe).len();
-        escalate_filtered(index, q.features, q.k, base_width, 1, &mut topks[qi], &scan);
+        let base = index.quantizer().assign_multi(q.features, q.nprobe);
+        escalate_filtered(
+            index,
+            q.features,
+            q.k,
+            &base,
+            1,
+            None,
+            &mut topks[qi],
+            &scan,
+        );
     }
     topks.into_iter().map(TopK::into_sorted_vec).collect()
 }
@@ -575,6 +727,58 @@ pub fn filtered_compressed_search_with_threads(
     filter: &FilterSpec,
     threads: usize,
 ) -> Vec<Neighbor> {
+    filtered_compressed_search_inner(
+        index,
+        query,
+        k,
+        nprobe,
+        rerank_factor,
+        filter,
+        threads,
+        None,
+    )
+}
+
+/// [`filtered_compressed_search`] with a deadline budget; the compressed
+/// twin of [`filtered_ann_search_with_budget`] (escalation rounds stop when
+/// the remaining time cannot pay for another doubling round).
+///
+/// # Panics
+///
+/// Panics if PQ mode is disabled, any count is zero, or `query` has the
+/// wrong dimension.
+pub fn filtered_compressed_search_with_budget(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    rerank_factor: usize,
+    filter: &FilterSpec,
+    deadline: Option<Instant>,
+) -> Vec<Neighbor> {
+    filtered_compressed_search_inner(
+        index,
+        query,
+        k,
+        nprobe,
+        rerank_factor,
+        filter,
+        index.config().intra_query_threads,
+        deadline,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn filtered_compressed_search_inner(
+    index: &VisualIndex,
+    query: &[f32],
+    k: usize,
+    nprobe: usize,
+    rerank_factor: usize,
+    filter: &FilterSpec,
+    threads: usize,
+    deadline: Option<Instant>,
+) -> Vec<Neighbor> {
     assert!(k > 0, "k must be positive");
     assert!(nprobe > 0, "nprobe must be positive");
     assert!(rerank_factor > 0, "rerank_factor must be positive");
@@ -597,19 +801,25 @@ pub fn filtered_compressed_search_with_threads(
         let scan = |list: usize, topk: &mut TopK| {
             filtered_fastscan_one_list(inverted, pq, &bitmap, &view, kernels, &qt, list, topk);
         };
+        let base_start = deadline.map(|_| Instant::now());
         let mut topk = scan_probed_lists(inverted, &lists, shortlist_k, threads, &scan);
+        let budget =
+            EscalationBudget::measured(deadline, base_start.map(|s| s.elapsed()), lists.len());
         // The escalation target is k — the final result budget — not the
         // over-fetch capacity: stage 2 only drops ids deleted between
         // stages, so k shortlisted candidates fill the top-k.
-        escalate_filtered(index, query, k, lists.len(), threads, &mut topk, &scan);
+        escalate_filtered(index, query, k, &lists, threads, budget, &mut topk, &scan);
         topk
     } else {
         let table = pq.adc_table(query);
         let scan = |list: usize, topk: &mut TopK| {
             filtered_adc_scan_one_list(inverted, pq, &bitmap, &view, &table, list, topk);
         };
+        let base_start = deadline.map(|_| Instant::now());
         let mut topk = scan_probed_lists(inverted, &lists, shortlist_k, threads, &scan);
-        escalate_filtered(index, query, k, lists.len(), threads, &mut topk, &scan);
+        let budget =
+            EscalationBudget::measured(deadline, base_start.map(|s| s.elapsed()), lists.len());
+        escalate_filtered(index, query, k, &lists, threads, budget, &mut topk, &scan);
         topk
     };
     let vectors = index.vectors().snapshot();
@@ -697,13 +907,14 @@ pub fn multi_compressed_search(
                     inverted, pq, &bitmap, view, kernels, &qts[qi], list, topk,
                 );
             };
-            let base_width = index.quantizer().assign_multi(q.features, q.nprobe).len();
+            let base = index.quantizer().assign_multi(q.features, q.nprobe);
             escalate_filtered(
                 index,
                 q.features,
                 q.k,
-                base_width,
+                &base,
                 1,
+                None,
                 &mut shortlists[qi],
                 &scan,
             );
@@ -751,13 +962,14 @@ pub fn multi_compressed_search(
             let scan = |list: usize, topk: &mut TopK| {
                 filtered_adc_scan_one_list(inverted, pq, &bitmap, view, &tables[qi], list, topk);
             };
-            let base_width = index.quantizer().assign_multi(q.features, q.nprobe).len();
+            let base = index.quantizer().assign_multi(q.features, q.nprobe);
             escalate_filtered(
                 index,
                 q.features,
                 q.k,
-                base_width,
+                &base,
                 1,
+                None,
                 &mut shortlists[qi],
                 &scan,
             );
@@ -1244,7 +1456,7 @@ pub fn filtered_ann_search_reference(
     let lists = index.quantizer().assign_multi(query, nprobe);
     let mut topk = scan_probed_lists(inverted, &lists, k, 1, &scan);
     if !filter.is_unconstrained() {
-        escalate_filtered(index, query, k, lists.len(), 1, &mut topk, &scan);
+        escalate_filtered(index, query, k, &lists, 1, None, &mut topk, &scan);
     }
     topk.into_sorted_vec()
 }
@@ -1299,7 +1511,7 @@ pub fn filtered_compressed_search_reference(
             scan(list, &mut topk);
         }
         if !filter.is_unconstrained() {
-            escalate_filtered(index, query, k, lists.len(), 1, &mut topk, &scan);
+            escalate_filtered(index, query, k, &lists, 1, None, &mut topk, &scan);
         }
         topk
     } else {
@@ -1321,7 +1533,7 @@ pub fn filtered_compressed_search_reference(
             scan(list, &mut topk);
         }
         if !filter.is_unconstrained() {
-            escalate_filtered(index, query, k, lists.len(), 1, &mut topk, &scan);
+            escalate_filtered(index, query, k, &lists, 1, None, &mut topk, &scan);
         }
         topk
     };
@@ -1987,7 +2199,11 @@ mod tests {
     /// category 9 is rare (~1% of images), categories 0..5 common;
     /// about a third of images are out of stock.
     fn test_attrs(i: usize) -> ProductAttributes {
-        let category = if i.is_multiple_of(97) { 9 } else { (i % 5) as u32 };
+        let category = if i.is_multiple_of(97) {
+            9
+        } else {
+            (i % 5) as u32
+        };
         ProductAttributes::new(
             ProductId(i as u64),
             (i as u64) * 3,
@@ -2168,6 +2384,78 @@ mod tests {
             ever_underfull,
             "without escalation a 1-list probe should miss at ~1% selectivity"
         );
+    }
+
+    /// Budget-aware escalation: a deadline already in the past stops the
+    /// widening before its first round, so the (possibly underfull) base
+    /// top-k comes back on time — exactly the escalation-disabled result —
+    /// while a generous deadline escalates like the unbudgeted path.
+    #[test]
+    fn near_expired_budget_skips_escalation() {
+        let n = 2000;
+        let spec = FilterSpec::by_category(9); // ~1% of images
+        let k = 10;
+        let (index, data) = build_attr_index(n, 16, 83, None, 16);
+        let (capped, _) = build_attr_index(n, 16, 83, None, 0);
+        let mut ever_underfull = false;
+        for q in data.iter().take(10) {
+            let expired = Some(Instant::now() - Duration::from_millis(5));
+            let hurried =
+                filtered_ann_search_with_budget(&index, q.as_slice(), k, 1, &spec, expired);
+            assert_eq!(
+                hurried,
+                filtered_ann_search(&capped, q.as_slice(), k, 1, &spec),
+                "expired budget must return the base-probe result unchanged"
+            );
+            ever_underfull |= hurried.len() < k;
+            let relaxed = Some(Instant::now() + Duration::from_secs(60));
+            assert_eq!(
+                filtered_ann_search_with_budget(&index, q.as_slice(), k, 1, &spec, relaxed),
+                filtered_ann_search(&index, q.as_slice(), k, 1, &spec),
+                "a generous budget must not change the escalated result"
+            );
+        }
+        assert!(
+            ever_underfull,
+            "the expired budget should have cut escalation short at ~1% selectivity"
+        );
+    }
+
+    /// The compressed twin of [`near_expired_budget_skips_escalation`].
+    #[test]
+    fn near_expired_budget_skips_escalation_compressed() {
+        let spec = FilterSpec::by_category(9);
+        let k = 10;
+        let (index, data) = build_attr_index(2000, 16, 83, Some(4), 16);
+        let (capped, _) = build_attr_index(2000, 16, 83, Some(4), 0);
+        for q in data.iter().take(5) {
+            let expired = Some(Instant::now() - Duration::from_millis(5));
+            assert_eq!(
+                filtered_compressed_search_with_budget(
+                    &index,
+                    q.as_slice(),
+                    k,
+                    1,
+                    3,
+                    &spec,
+                    expired
+                ),
+                filtered_compressed_search(&capped, q.as_slice(), k, 1, 3, &spec),
+            );
+            let relaxed = Some(Instant::now() + Duration::from_secs(60));
+            assert_eq!(
+                filtered_compressed_search_with_budget(
+                    &index,
+                    q.as_slice(),
+                    k,
+                    1,
+                    3,
+                    &spec,
+                    relaxed
+                ),
+                filtered_compressed_search(&index, q.as_slice(), k, 1, 3, &spec),
+            );
+        }
     }
 
     /// Batched raw search with distinct per-member filters must match

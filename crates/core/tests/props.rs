@@ -16,7 +16,7 @@ use jdvs_core::swap::IndexHandle;
 use jdvs_core::{persist, FilterSpec, IndexConfig, VisualIndex};
 use jdvs_storage::model::{ImageKey, ProductAttributes, ProductId};
 use jdvs_vector::rng::Xoshiro256;
-use jdvs_vector::Vector;
+use jdvs_vector::{Kmeans, KmeansConfig, Vector};
 
 const DIM: usize = 6;
 
@@ -306,6 +306,104 @@ proptest! {
             prop_assert_eq!(got_r, &want_r, "raw k={} nprobe={}", q.k, q.nprobe);
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The hierarchical coarse quantizer at an **exhaustive** beam
+    /// (`beam ≥ k`, so the graph search drains its whole frontier) returns
+    /// *exactly* the flat centroid scan's probe order — same lists, same
+    /// order — across random dims, list counts, nprobe, and training
+    /// balance factors. Both paths score with the same dispatched kernel,
+    /// so equality is bit-exact. Runs on the native and (in CI) the
+    /// forced-scalar kernel set.
+    #[test]
+    fn coarse_exhaustive_beam_matches_flat_assignment(
+        seed in any::<u64>(),
+        dim in 2usize..12,
+        k in 2usize..48,
+        nprobe in 1usize..10,
+        n in 60usize..220,
+        balance in prop_oneof![Just(0.0f64), Just(1.5f64), Just(3.0f64)],
+    ) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let data: Vec<Vector> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.next_gaussian() as f32).collect())
+            .collect();
+        let flat = Kmeans::train(&data, &KmeansConfig {
+            k,
+            max_iters: 6,
+            tolerance: 1e-4,
+            seed,
+            balance_factor: balance,
+        });
+        // beam ≥ trained k makes the graph search exhaustive regardless
+        // of nprobe; trained k may be below the requested k on tiny data.
+        let graphed = flat.clone().with_coarse_graph(flat.k());
+        let nprobe = nprobe.min(flat.k());
+        for q in data.iter().take(6) {
+            prop_assert_eq!(
+                graphed.assign_multi(q.as_slice(), nprobe),
+                flat.assign_multi(q.as_slice(), nprobe),
+                "dim={} k={} nprobe={}", dim, flat.k(), nprobe
+            );
+            prop_assert_eq!(graphed.assign(q.as_slice()), flat.assign(q.as_slice()));
+        }
+    }
+}
+
+/// At a realistic **bounded** beam (the serving configuration, where the
+/// graph search visits a fraction of the centroids), probe sets are no
+/// longer guaranteed identical — but end-to-end search recall against the
+/// flat-scan index must stay at parity. Deterministic seed; runs on the
+/// native and (in CI) the forced-scalar kernel set.
+#[test]
+fn coarse_default_beam_recall_parity() {
+    const N: usize = 2000;
+    const K: usize = 10;
+    let mut rng = Xoshiro256::seed_from(41);
+    let data: Vec<Vector> = (0..N)
+        .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+        .collect();
+    let build = |beam: usize| {
+        let index = VisualIndex::bootstrap(
+            IndexConfig {
+                dim: DIM,
+                num_lists: 64,
+                initial_list_capacity: 8,
+                nprobe: 16,
+                coarse_beam_width: beam,
+                ..Default::default()
+            },
+            &data,
+        );
+        for (i, v) in data.iter().enumerate() {
+            index
+                .insert(
+                    v.clone(),
+                    ProductAttributes::new(ProductId(i as u64), 0, 0, 0, format!("cr/u{i}")),
+                )
+                .unwrap();
+        }
+        index.flush();
+        index
+    };
+    let flat = build(0);
+    let graphed = build(16); // bounded: beam 16 over 64 lists
+    let queries = 50;
+    let mut overlap = 0usize;
+    for q in data.iter().take(queries) {
+        let want = search::ann_search(&flat, q.as_slice(), K, 16);
+        let got = search::ann_search(&graphed, q.as_slice(), K, 16);
+        let want_ids: std::collections::HashSet<u64> = want.iter().map(|h| h.id).collect();
+        overlap += got.iter().filter(|h| want_ids.contains(&h.id)).count();
+    }
+    let recall = overlap as f64 / (queries * K) as f64;
+    assert!(
+        recall >= 0.95,
+        "bounded-beam recall@{K} fell to {recall:.3} against the flat scan"
+    );
 }
 
 /// The numeric-attribute view [`FilterSpec::matches`] checks, read back

@@ -60,22 +60,35 @@ impl SearcherService {
     /// A query carrying a [`FilterSpec`](jdvs_core::FilterSpec) takes the
     /// filtered engine paths, which push the attribute mask down into the
     /// block scan (and may escalate `nprobe` when the index allows it);
-    /// unfiltered queries run the identical pre-existing paths.
+    /// unfiltered queries run the identical pre-existing paths. A query
+    /// `budget` becomes a deadline on the filtered paths: probe escalation
+    /// stops widening once the remaining time cannot pay for another
+    /// round, returning the (possibly underfull) top-k on time.
     pub fn execute(&self, query: &FanoutQuery) -> PartialResponse {
         let index = self.handle.get();
         let nprobe = query.nprobe.unwrap_or(index.config().nprobe);
         let k = query.k.max(1);
+        let deadline = query.budget.map(|b| std::time::Instant::now() + b);
         let neighbors = if query.compressed && index.has_pq() {
             // Two-stage PQ scan; the over-fetch ratio is the index's
             // configured rerank_factor knob.
             let rerank = index.config().rerank_factor;
             match &query.filter {
-                Some(f) => index.search_compressed_filtered(&query.features, k, nprobe, rerank, f),
+                Some(f) => index.search_compressed_filtered_with_budget(
+                    &query.features,
+                    k,
+                    nprobe,
+                    rerank,
+                    f,
+                    deadline,
+                ),
                 None => index.search_compressed(&query.features, k, nprobe, rerank),
             }
         } else {
             match &query.filter {
-                Some(f) => index.search_filtered(&query.features, k, nprobe, f),
+                Some(f) => {
+                    index.search_filtered_with_budget(&query.features, k, nprobe, f, deadline)
+                }
                 None => index.search(&query.features, k, nprobe),
             }
         };
@@ -272,6 +285,60 @@ mod tests {
             assert!(attrs.in_stock);
             assert!(attrs.sales >= 10);
         }
+    }
+
+    #[test]
+    fn budget_caps_filtered_escalation() {
+        fn build(escalation: usize) -> Arc<VisualIndex> {
+            let mut rng = Xoshiro256::seed_from(29);
+            let data: Vec<Vector> = (0..400)
+                .map(|_| (0..DIM).map(|_| rng.next_gaussian() as f32).collect())
+                .collect();
+            let index = Arc::new(VisualIndex::bootstrap(
+                IndexConfig {
+                    dim: DIM,
+                    num_lists: 8,
+                    nprobe: 1,
+                    nprobe_escalation: escalation,
+                    ..Default::default()
+                },
+                &data,
+            ));
+            for (i, v) in data.iter().enumerate() {
+                index
+                    .insert(
+                        v.clone(),
+                        ProductAttributes::new(ProductId(i as u64), 0, 0, 0, format!("u{i}"))
+                            .with_category((i % 50) as u32),
+                    )
+                    .unwrap();
+            }
+            index.flush();
+            index
+        }
+        let escalating = SearcherService::for_index(0, build(8));
+        let capped = SearcherService::for_index(0, build(0));
+        let query = |budget| FanoutQuery {
+            features: vec![0.0; DIM],
+            k: 8,
+            nprobe: Some(1),
+            compressed: false,
+            budget,
+            filter: Some(jdvs_core::FilterSpec::by_category(7)), // ~2% of images
+        };
+        // An already-expired budget stops escalation before its first
+        // widening round: the response is exactly what an
+        // escalation-disabled index returns from the base probe.
+        let hurried = escalating.execute(&query(Some(std::time::Duration::ZERO)));
+        assert_eq!(hurried, capped.execute(&query(None)));
+        assert!(
+            hurried.hits.len() < 8,
+            "a 1-list probe at ~2% selectivity should come back underfull"
+        );
+        // A generous budget escalates exactly like no budget at all.
+        let relaxed = escalating.execute(&query(Some(std::time::Duration::from_secs(60))));
+        assert_eq!(relaxed, escalating.execute(&query(None)));
+        assert_eq!(relaxed.hits.len(), 8, "escalation should fill the top-k");
     }
 
     #[test]

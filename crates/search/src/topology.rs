@@ -182,11 +182,22 @@ pub struct DurabilityOptions {
     /// calling [`SearchTopology::checkpoint_partition`]. `None` (the
     /// default) disables the scheduler; checkpoints are manual-only.
     pub checkpoint_exposure: Option<u64>,
+    /// When set (and real-time indexing is on), the background scheduler
+    /// also watches the log's **blanked-frame estimate** — the fraction of
+    /// frames a per-key compaction could rewrite into no-op tombstones
+    /// (see [`DurableQueue::stale_frame_ratio`]) — and runs
+    /// [`DurableQueue::compact`] under the maintenance mutex whenever the
+    /// estimate crosses this threshold. Hot-key churn (the same URLs
+    /// re-added over and over) then stops growing cold-recovery replay
+    /// cost without an operator in the loop. `None` (the default) leaves
+    /// compaction manual-only.
+    pub log_compaction_ratio: Option<f64>,
 }
 
 impl DurabilityOptions {
     /// Defaults: `FsyncPolicy::Always`, no group commit, 8 MiB segments,
-    /// 2 snapshots kept, no background checkpoint scheduler.
+    /// 2 snapshots kept, no background checkpoint scheduler, no background
+    /// log compaction.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Self {
             dir: dir.into(),
@@ -195,6 +206,7 @@ impl DurabilityOptions {
             segment_max_bytes: 8 * 1024 * 1024,
             snapshots_keep: 2,
             checkpoint_exposure: None,
+            log_compaction_ratio: None,
         }
     }
 
@@ -202,6 +214,22 @@ impl DurabilityOptions {
     /// exposure bound (see [`DurabilityOptions::checkpoint_exposure`]).
     pub fn with_checkpoint_exposure(mut self, events: u64) -> Self {
         self.checkpoint_exposure = Some(events);
+        self
+    }
+
+    /// Enables scheduler-driven per-key log compaction at the given
+    /// blanked-frame ratio threshold (see
+    /// [`DurabilityOptions::log_compaction_ratio`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < ratio <= 1.0`.
+    pub fn with_log_compaction(mut self, ratio: f64) -> Self {
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "log_compaction_ratio must be in (0, 1]"
+        );
+        self.log_compaction_ratio = Some(ratio);
         self
     }
 }
@@ -627,6 +655,23 @@ impl CheckpointCore {
             }
         }
     }
+
+    /// One scheduler pass of the log-compaction side: when the estimated
+    /// blanked-frame ratio crosses `threshold` and the log has cold
+    /// segments to rewrite, run per-key compaction. Serialized on the same
+    /// maintenance mutex as checkpoints, rebuilds and splits, so no
+    /// snapshot save or segment retention races the segment swap. Errors
+    /// are left for the next pass to retry, like a failed checkpoint.
+    fn run_compaction_pass(&self, threshold: f64) {
+        if self.indexer_stop.load(Ordering::Relaxed)
+            || self.durable.queue.stale_frame_ratio() < threshold
+            || self.durable.queue.num_segments() < 2
+        {
+            return;
+        }
+        let _maintenance = self.maintenance.lock();
+        let _ = self.durable.queue.compact();
+    }
 }
 
 impl std::fmt::Debug for SearchTopology {
@@ -661,7 +706,7 @@ impl SearchTopology {
         config.validate();
         let layout = PartitionMap::new(config.num_partitions, config.num_broker_groups);
         Self::assemble(
-            config, extractor, images, feature_db, training, queue, layout, None, None,
+            config, extractor, images, feature_db, training, queue, layout, None, None, None,
         )
     }
 
@@ -750,6 +795,7 @@ impl SearchTopology {
                 snapshots_keep,
             }),
             options.checkpoint_exposure,
+            options.log_compaction_ratio,
         ))
     }
 
@@ -764,6 +810,7 @@ impl SearchTopology {
         layout: PartitionMap,
         mut durable: Option<DurableParts>,
         checkpoint_exposure: Option<u64>,
+        log_compaction_ratio: Option<f64>,
     ) -> Self {
         config.validate();
         // The layout may have more partitions than the config when a
@@ -780,8 +827,17 @@ impl SearchTopology {
                 max_iters: config.index.kmeans_iters,
                 tolerance: 1e-4,
                 seed: config.index.seed,
+                balance_factor: config.index.coarse_balance_factor,
             },
         );
+        // Hierarchical coarse quantizer: build the centroid graph once here
+        // so every replica's `with_quantizers` below inherits it from its
+        // clone instead of rebuilding per replica.
+        let quantizer = if config.index.coarse_beam_width > 0 {
+            quantizer.with_coarse_graph(config.index.coarse_beam_width)
+        } else {
+            quantizer
+        };
         // PQ codebook (when compressed mode is configured) is trained once
         // and shared by all replicas, like the coarse quantizer.
         let pq_quantizer = config.index.pq_subspaces.map(|m| {
@@ -991,9 +1047,14 @@ impl SearchTopology {
         let durable = durable.map(Arc::new);
         let maintenance = Arc::new(Mutex::new(()));
 
-        // --- Background checkpoint scheduler (durable + knob set). --------
+        // --- Background maintenance scheduler (durable + a knob set). -----
+        // One thread drives both scheduled duties: exposure-bounded
+        // checkpoints and threshold-triggered log compaction. They share
+        // the maintenance mutex anyway, so a second thread would only
+        // queue behind the first.
         let mut checkpoint_scheduler = None;
-        if let (Some(bound), Some(d), true) = (checkpoint_exposure, &durable, realtime_indexing) {
+        let scheduled = checkpoint_exposure.is_some() || log_compaction_ratio.is_some();
+        if let (true, Some(d), true) = (scheduled, &durable, realtime_indexing) {
             let core = CheckpointCore {
                 handles: handles.clone(),
                 maintenance: Arc::clone(&maintenance),
@@ -1009,7 +1070,12 @@ impl SearchTopology {
                     .name("ckpt-sched".into())
                     .spawn(move || {
                         while !stop.load(Ordering::Relaxed) {
-                            core.run_exposure_pass(bound);
+                            if let Some(bound) = checkpoint_exposure {
+                                core.run_exposure_pass(bound);
+                            }
+                            if let Some(threshold) = log_compaction_ratio {
+                                core.run_compaction_pass(threshold);
+                            }
                             std::thread::sleep(Duration::from_millis(5));
                         }
                     })
@@ -2429,6 +2495,46 @@ mod tests {
         assert!(reports.iter().all(|r| r.from_snapshot));
         assert!(reports.iter().all(|r| r.start_offset >= 25));
         assert_eq!(t.ops_report().logical_valid_images(), 30);
+        t.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_scheduler_compacts_hot_key_churn() {
+        let dir = durable_dir("compact");
+        let images = Arc::new(ImageStore::with_blob_len(64));
+        {
+            let mut t = durable_world_with(&dir, &images, |o| {
+                *o = o.clone().with_log_compaction(0.5);
+            });
+            // Re-add the same 3 products over and over: most log frames
+            // are superseded, pushing the blanked-frame estimate over the
+            // threshold — the scheduler must compact without any operator
+            // call.
+            for i in 0..40u64 {
+                t.publish(add_event_for(&images, i % 3));
+            }
+            t.wait_for_freshness(Duration::from_secs(30));
+            let metrics = Arc::clone(t.durability_metrics().unwrap());
+            let deadline = std::time::Instant::now() + Duration::from_secs(20);
+            while metrics.compaction_events_dropped.get() == 0 {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "scheduler never compacted the hot-key churn"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            assert!(metrics.log_compactions.get() >= 1);
+            // Serving is unaffected: the catalog still has 3 live images.
+            assert_eq!(t.ops_report().logical_valid_images(), 3);
+            t.shutdown();
+        }
+        // Restart: replay over the tombstoned log reproduces the same
+        // catalog (offsets preserved, superseded frames apply as no-ops).
+        let mut t = durable_world(&dir, &images);
+        assert_eq!(t.ops_report().logical_valid_images(), 3);
+        let resp = t.search(SearchQuery::by_image_url("u1", 1)).unwrap();
+        assert_eq!(resp.results[0].hit.url, "u1");
         t.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -12,6 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::coarse::{CentroidGraph, GraphScratch};
 use crate::distance::squared_l2;
 use crate::rng::Xoshiro256;
 use crate::vector::Vector;
@@ -28,6 +29,13 @@ pub struct KmeansConfig {
     pub tolerance: f64,
     /// Seed for k-means++ initialization.
     pub seed: u64,
+    /// Imbalance control: when `> 0`, each Lloyd iteration reseats the
+    /// centroids of the smallest clusters onto the farthest members of
+    /// clusters whose population exceeds `balance_factor ×` the mean count,
+    /// splitting hot cells so no inverted list dominates tail latency at
+    /// 10k+ lists. `0.0` disables rebalancing (plain Lloyd).
+    #[serde(default)]
+    pub balance_factor: f64,
 }
 
 impl Default for KmeansConfig {
@@ -37,6 +45,7 @@ impl Default for KmeansConfig {
             max_iters: 25,
             tolerance: 1e-4,
             seed: 0x5EED,
+            balance_factor: 0.0,
         }
     }
 }
@@ -73,6 +82,11 @@ pub struct Kmeans {
     dim: usize,
     inertia: f64,
     iterations: usize,
+    /// Optional hierarchical coarse index over the centroids. Derived data:
+    /// rebuilt deterministically from the centroid table, never required for
+    /// correctness — absent, assignment falls back to the flat scan.
+    #[serde(default)]
+    coarse: Option<CentroidGraph>,
 }
 
 impl Kmeans {
@@ -123,6 +137,15 @@ impl Kmeans {
                 }
             }
             repair_empty_clusters(data, &assignments, &mut centroids, &counts);
+            if config.balance_factor > 0.0 {
+                split_oversized_clusters(
+                    data,
+                    &assignments,
+                    &mut centroids,
+                    &mut counts,
+                    config.balance_factor,
+                );
+            }
 
             let improved = inertia.is_infinite()
                 || inertia == 0.0
@@ -137,6 +160,7 @@ impl Kmeans {
             dim,
             inertia,
             iterations,
+            coarse: None,
         }
     }
 
@@ -157,7 +181,39 @@ impl Kmeans {
             dim,
             inertia: f64::NAN,
             iterations: 0,
+            coarse: None,
         }
+    }
+
+    /// Enables the hierarchical coarse quantizer: builds (or, if already
+    /// built, re-targets to `beam`) a [`CentroidGraph`] over the centroid
+    /// table. Subsequent [`Kmeans::assign`] / [`Kmeans::assign_multi`] calls
+    /// route through graph beam search with an effective beam of
+    /// `max(beam, nprobe)`; a beam at or above `k` degenerates to the flat
+    /// scan's exact output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beam == 0` (use [`Kmeans::without_coarse_graph`] to
+    /// disable).
+    pub fn with_coarse_graph(mut self, beam: usize) -> Self {
+        assert!(beam > 0, "beam width must be positive");
+        match &mut self.coarse {
+            Some(graph) => graph.set_beam(beam),
+            None => self.coarse = Some(CentroidGraph::build(&self.centroids, beam)),
+        }
+        self
+    }
+
+    /// Drops the centroid graph; assignment reverts to the flat scan.
+    pub fn without_coarse_graph(mut self) -> Self {
+        self.coarse = None;
+        self
+    }
+
+    /// Borrows the centroid graph, if enabled.
+    pub fn coarse_graph(&self) -> Option<&CentroidGraph> {
+        self.coarse.as_ref()
     }
 
     /// Number of clusters.
@@ -193,6 +249,9 @@ impl Kmeans {
     ///
     /// Panics if `v`'s dimension differs from the training dimension.
     pub fn assign(&self, v: &[f32]) -> usize {
+        if let Some(graph) = &self.coarse {
+            return graph.assign_one(&self.centroids, v);
+        }
         nearest(&self.centroids, v).0
     }
 
@@ -226,6 +285,10 @@ impl Kmeans {
         out: &mut Vec<usize>,
     ) {
         assert!(nprobe > 0, "nprobe must be positive");
+        if let Some(graph) = &self.coarse {
+            graph.assign_into(&self.centroids, v, nprobe, &mut scratch.graph, out);
+            return;
+        }
         let candidates = &mut scratch.candidates;
         candidates.clear();
         for (i, c) in self.centroids.iter().enumerate() {
@@ -249,6 +312,7 @@ impl Kmeans {
 #[derive(Debug, Default, Clone)]
 pub struct AssignScratch {
     candidates: Vec<crate::topk::Neighbor>,
+    graph: GraphScratch,
 }
 
 fn nearest(centroids: &[Vector], v: &[f32]) -> (usize, f32) {
@@ -326,6 +390,65 @@ fn repair_empty_clusters(
             }
         }
         centroids[cluster] = data[worst_idx].clone();
+    }
+}
+
+/// Imbalance-aware rebalancing: repeatedly reseats the centroid of the
+/// smallest cluster onto the farthest member of the most oversized cluster
+/// (population above `factor ×` the mean), approximately splitting the hot
+/// cell in two. The next assignment step settles the real memberships; the
+/// count bookkeeping here only steers which cells get split this pass.
+/// Deterministic: all ties break toward the lower index.
+fn split_oversized_clusters(
+    data: &[Vector],
+    assignments: &[usize],
+    centroids: &mut [Vector],
+    counts: &mut [usize],
+    factor: f64,
+) {
+    let k = centroids.len();
+    if k < 2 {
+        return;
+    }
+    let mean = data.len() as f64 / k as f64;
+    let cap = (factor * mean).ceil().max(1.0) as usize;
+    for _ in 0..k {
+        let (big, big_count) = counts
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(i, c)| (c, std::cmp::Reverse(i)))
+            .expect("k >= 2");
+        if big_count <= cap {
+            break;
+        }
+        let (small, small_count) = counts
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(i, c)| (c, i))
+            .expect("k >= 2");
+        if small == big || small_count * 2 >= big_count {
+            // No donor meaningfully smaller than the hot cell: splitting
+            // would just move the imbalance around.
+            break;
+        }
+        let mut far_idx = None;
+        let mut far_d = -1.0f32;
+        for (i, v) in data.iter().enumerate() {
+            if assignments[i] != big {
+                continue;
+            }
+            let d = squared_l2(v.as_slice(), centroids[big].as_slice());
+            if d > far_d {
+                far_d = d;
+                far_idx = Some(i);
+            }
+        }
+        let Some(far_idx) = far_idx else { break };
+        centroids[small] = data[far_idx].clone();
+        counts[small] = big_count / 2;
+        counts[big] = big_count - big_count / 2;
     }
 }
 
@@ -524,5 +647,119 @@ mod tests {
     fn zero_nprobe_panics() {
         let model = Kmeans::from_centroids(vec![Vector::from(vec![0.0])]);
         model.assign_multi(&[0.0], 0);
+    }
+
+    /// A skewed dataset: one dense blob plus scattered outliers, so plain
+    /// Lloyd leaves one list holding almost everything.
+    fn skewed(seed: u64) -> Vec<Vector> {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut out = Vec::new();
+        for _ in 0..900 {
+            out.push(Vector::from(vec![
+                rng.next_gaussian() as f32 * 0.05,
+                rng.next_gaussian() as f32 * 0.05,
+            ]));
+        }
+        for _ in 0..100 {
+            out.push(Vector::from(vec![
+                rng.next_gaussian() as f32 * 20.0,
+                rng.next_gaussian() as f32 * 20.0,
+            ]));
+        }
+        out
+    }
+
+    fn max_list_population(model: &Kmeans, data: &[Vector]) -> usize {
+        let mut counts = vec![0usize; model.k()];
+        for v in data {
+            counts[model.assign(v.as_slice())] += 1;
+        }
+        counts.into_iter().max().unwrap()
+    }
+
+    #[test]
+    fn balance_factor_shrinks_hot_lists() {
+        let data = skewed(77);
+        let plain = Kmeans::train(
+            &data,
+            &KmeansConfig {
+                k: 16,
+                seed: 6,
+                ..Default::default()
+            },
+        );
+        let balanced = Kmeans::train(
+            &data,
+            &KmeansConfig {
+                k: 16,
+                seed: 6,
+                balance_factor: 2.0,
+                ..Default::default()
+            },
+        );
+        let hot_plain = max_list_population(&plain, &data);
+        let hot_balanced = max_list_population(&balanced, &data);
+        assert!(
+            hot_balanced < hot_plain,
+            "balanced hot list {hot_balanced} should shrink below plain {hot_plain}"
+        );
+    }
+
+    #[test]
+    fn balanced_training_is_deterministic() {
+        let data = skewed(78);
+        let cfg = KmeansConfig {
+            k: 8,
+            seed: 12,
+            balance_factor: 1.5,
+            ..Default::default()
+        };
+        assert_eq!(
+            Kmeans::train(&data, &cfg).centroids(),
+            Kmeans::train(&data, &cfg).centroids()
+        );
+    }
+
+    #[test]
+    fn graph_assign_multi_exhaustive_matches_flat() {
+        let data = blobs(60, &[[0.0, 0.0], [4.0, 4.0], [8.0, 0.0]], 91);
+        let flat = Kmeans::train(
+            &data,
+            &KmeansConfig {
+                k: 12,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        let graphed = flat.clone().with_coarse_graph(flat.k());
+        let mut scratch = AssignScratch::default();
+        let mut out = Vec::new();
+        for q in data.iter().take(30) {
+            for nprobe in [1usize, 3, 12, 40] {
+                graphed.assign_multi_into(q.as_slice(), nprobe, &mut scratch, &mut out);
+                assert_eq!(out, flat.assign_multi(q.as_slice(), nprobe));
+            }
+            assert_eq!(graphed.assign(q.as_slice()), flat.assign(q.as_slice()));
+        }
+    }
+
+    #[test]
+    fn coarse_graph_round_trips_through_enable_disable() {
+        let data = blobs(40, &[[0.0, 0.0], [5.0, 5.0]], 93);
+        let flat = Kmeans::train(
+            &data,
+            &KmeansConfig {
+                k: 6,
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        let graphed = flat.clone().with_coarse_graph(4);
+        assert_eq!(graphed.coarse_graph().map(|g| g.beam()), Some(4));
+        let retargeted = graphed.clone().with_coarse_graph(8);
+        assert_eq!(retargeted.coarse_graph().map(|g| g.beam()), Some(8));
+        let back = graphed.without_coarse_graph();
+        assert!(back.coarse_graph().is_none());
+        assert_eq!(back, flat);
     }
 }

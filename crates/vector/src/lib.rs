@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod coarse;
 pub mod distance;
 pub mod kmeans;
 pub mod lsh;
@@ -41,6 +42,7 @@ pub mod simd;
 pub mod topk;
 pub mod vector;
 
+pub use coarse::CentroidGraph;
 pub use distance::DistanceMetric;
 pub use kmeans::{Kmeans, KmeansConfig};
 pub use pq::ProductQuantizer;

@@ -119,6 +119,7 @@ impl ProductQuantizer {
                 max_iters: config.max_iters,
                 tolerance: 1e-4,
                 seed: config.seed.wrapping_add(sub as u64),
+                balance_factor: 0.0,
             };
             codebooks.push(Kmeans::train(&slice_data, &cfg));
         }

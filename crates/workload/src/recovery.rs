@@ -141,6 +141,11 @@ impl RecoveryHarness {
                 num_lists: 8,
                 nprobe: 8,
                 initial_list_capacity: 16,
+                // Hierarchical coarse quantizer on (bounded beam), so
+                // every crash/recovery comparison also covers the centroid
+                // graph's deterministic rebuild-on-load path.
+                coarse_beam_width: 4,
+                coarse_balance_factor: 1.5,
                 ..Default::default()
             },
             num_partitions: 2,
